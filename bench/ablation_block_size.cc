@@ -1,0 +1,59 @@
+// Ablation: sensitivity of the blocked searcher to the query-block size s.
+// Eq. (1) picks s so the block + heaps fit in L3; this sweep shows the
+// performance curve around that point — too small loses reuse, too large
+// spills the cache (the design-choice justification for Eq. 1).
+
+#include "bench_common.h"
+#include "common/config.h"
+#include "engine/batch_searcher.h"
+
+using namespace vectordb;  // NOLINT — bench brevity.
+
+int main() {
+  const size_t n = bench::Scaled(200000);
+  const size_t dim = 128;
+  const size_t batch = bench::Scaled(1000);
+
+  bench::DatasetSpec spec;
+  spec.num_vectors = n;
+  spec.dim = dim;
+  const auto data = bench::MakeSiftLike(spec);
+  const auto queries = bench::MakeQueries(spec, batch);
+
+  engine::BatchSearchSpec base_spec;
+  base_spec.metric = MetricType::kL2;
+  base_spec.dim = dim;
+  base_spec.k = 50;
+  base_spec.num_threads = 1;
+  const size_t eq1 = engine::ComputeQueryBlockSize(
+      dim, base_spec.k, 1, EngineConfig::Global().EffectiveL3Bytes(), 4096);
+
+  engine::CacheAwareBatchSearcher searcher(nullptr);
+  bench::TableReporter table({"block size s", "seconds", "vs Eq.1"});
+  double eq1_seconds = 0;
+  // Measure Eq.1's choice first, then the sweep relative to it.
+  {
+    engine::BatchSearchSpec spec1 = base_spec;
+    spec1.query_block = eq1;
+    std::vector<HitList> results;
+    Timer timer;
+    (void)searcher.Search(data.data.data(), n, queries.data.data(), batch,
+                          spec1, &results);
+    eq1_seconds = timer.ElapsedSeconds();
+  }
+  for (size_t block : {1u, 4u, 16u, 64u, 256u, 1024u, 4096u}) {
+    engine::BatchSearchSpec spec_b = base_spec;
+    spec_b.query_block = block;
+    std::vector<HitList> results;
+    Timer timer;
+    (void)searcher.Search(data.data.data(), n, queries.data.data(), batch,
+                          spec_b, &results);
+    const double seconds = timer.ElapsedSeconds();
+    table.AddRow({std::to_string(block), bench::TableReporter::Num(seconds),
+                  bench::TableReporter::Num(seconds / eq1_seconds)});
+  }
+  table.AddRow({"Eq.1 = " + std::to_string(eq1),
+                bench::TableReporter::Num(eq1_seconds), "1.0"});
+  table.Print("Ablation — query-block size s vs Eq. (1)'s choice");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Ablation: tiered merge policy knobs. Sweeps the merge factor and reports
+// segment counts, total merge work (rows rewritten — write amplification),
+// and query latency after ingestion — the tradeoff Sec 2.3's policy
+// balances (many small segments hurt reads; aggressive merging hurts
+// writes).
+
+#include "bench_common.h"
+#include "db/vector_db.h"
+#include "storage/filesystem.h"
+
+using namespace vectordb;  // NOLINT — bench brevity.
+
+int main() {
+  const size_t total_rows = bench::Scaled(40000);
+  const size_t flush_every = 1000;
+  const size_t dim = 32;
+
+  bench::DatasetSpec spec;
+  spec.num_vectors = total_rows;
+  spec.dim = dim;
+  const auto data = bench::MakeSiftLike(spec);
+  const auto queries = bench::MakeQueries(spec, 50);
+
+  bench::TableReporter table({"merge_factor", "segments", "merge rounds",
+                              "ingest(s)", "query(s)"});
+  for (size_t merge_factor : {0u, 2u, 4u, 8u}) {  // 0 = merging disabled.
+    db::DbOptions options;
+    options.fs = storage::NewMemoryFileSystem();
+    options.memtable_flush_rows = 1u << 30;
+    options.index_build_threshold_rows = 2000;
+    options.merge_policy.merge_factor =
+        merge_factor == 0 ? 1u << 20 : merge_factor;
+    db::VectorDb db(options);
+
+    db::CollectionSchema schema;
+    schema.name = "m";
+    schema.vector_fields = {{"v", dim}};
+    schema.index_params.nlist = 16;
+    auto created = db.CreateCollection(schema);
+    if (!created.ok()) continue;
+    db::Collection* c = created.value();
+
+    Timer ingest_timer;
+    size_t merge_rounds = 0;
+    for (size_t i = 0; i < total_rows; ++i) {
+      db::Entity entity;
+      entity.id = static_cast<RowId>(i);
+      entity.vectors.emplace_back(data.vector(i), data.vector(i) + dim);
+      (void)c->Insert(entity);
+      if ((i + 1) % flush_every == 0) {
+        (void)c->Flush();
+        if (merge_factor != 0) {
+          size_t merges = 0;
+          do {
+            (void)c->RunMergeOnce(&merges);
+            merge_rounds += merges;
+          } while (merges > 0);
+        }
+      }
+    }
+    (void)c->Flush();
+    const double ingest_s = ingest_timer.ElapsedSeconds();
+
+    Timer query_timer;
+    db::QueryOptions qopts;
+    qopts.k = 10;
+    qopts.nprobe = 8;
+    (void)c->Search("v", queries.data.data(), queries.num_vectors, qopts);
+    const double query_s = query_timer.ElapsedSeconds();
+
+    table.AddRow({merge_factor == 0 ? "off" : std::to_string(merge_factor),
+                  std::to_string(c->NumSegments()),
+                  std::to_string(merge_rounds),
+                  bench::TableReporter::Num(ingest_s),
+                  bench::TableReporter::Num(query_s)});
+  }
+  table.Print("Ablation — tiered merge policy (segments vs write/read cost)");
+  return 0;
+}

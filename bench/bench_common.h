@@ -1,0 +1,38 @@
+#ifndef VECTORDB_BENCH_BENCH_COMMON_H_
+#define VECTORDB_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <string>
+
+#include "benchsupport/dataset.h"
+#include "benchsupport/ground_truth.h"
+#include "benchsupport/reporter.h"
+#include "common/timer.h"
+
+namespace vectordb {
+namespace bench {
+
+/// Global size multiplier for the figure harnesses: VDB_BENCH_SCALE=0.1
+/// runs a quick smoke pass, 10 runs a long pass. Default 1.
+inline double BenchScale() {
+  if (const char* env = std::getenv("VDB_BENCH_SCALE")) {
+    const double scale = std::atof(env);
+    if (scale > 0) return scale;
+  }
+  return 1.0;
+}
+
+inline size_t Scaled(size_t base) {
+  const double scaled = static_cast<double>(base) * BenchScale();
+  return scaled < 1 ? 1 : static_cast<size_t>(scaled);
+}
+
+/// Queries per second from a measured wall time.
+inline double Qps(size_t num_queries, double seconds) {
+  return seconds <= 0 ? 0 : static_cast<double>(num_queries) / seconds;
+}
+
+}  // namespace bench
+}  // namespace vectordb
+
+#endif  // VECTORDB_BENCH_BENCH_COMMON_H_

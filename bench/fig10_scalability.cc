@@ -1,0 +1,126 @@
+// Figure 10: scalability.
+//  (a) single node: throughput vs data size (paper: 1M→1B; here scaled) —
+//      expected shape: throughput drops roughly proportionally to size.
+//  (b) distributed: throughput vs number of reader nodes (paper: 4→12) —
+//      expected shape: near-linear scaling. Readers are simulated
+//      in-process; per-node throughput is computed from the idealized
+//      parallel makespan (slowest reader's share), matching the paper's
+//      sharded scatter/gather.
+
+#include "bench_common.h"
+#include "dist/cluster.h"
+#include "index/index_factory.h"
+#include "storage/object_store.h"
+
+using namespace vectordb;  // NOLINT — bench brevity.
+
+namespace {
+
+void SingleNodeSweep() {
+  bench::TableReporter table({"data size", "recall@50", "QPS"});
+  const size_t nq = bench::Scaled(200);
+  for (size_t n :
+       {bench::Scaled(1000), bench::Scaled(10000), bench::Scaled(100000),
+        bench::Scaled(400000)}) {
+    bench::DatasetSpec spec;
+    spec.num_vectors = n;
+    spec.dim = 64;
+    spec.num_clusters = 128;
+    spec.cluster_stddev = 0.35f;
+    const auto data = bench::MakeSiftLike(spec);
+    const auto queries = bench::MakeQueries(spec, nq);
+
+    // Fixed index configuration across sizes (as when one deployment's
+    // data grows): per-query work ∝ n, so QPS should drop ∝ 1/n — the
+    // proportional decline of Figure 10a.
+    index::IndexBuildParams params;
+    params.nlist = 128;
+    auto created = index::CreateIndex(index::IndexType::kIvfFlat, spec.dim,
+                                      MetricType::kL2, params);
+    if (!created.ok()) continue;
+    index::IndexPtr idx = std::move(created).value();
+    if (!idx->Build(data.data.data(), n).ok()) continue;
+
+    index::SearchOptions options;
+    options.k = 50;
+    options.nprobe = 16;
+    std::vector<HitList> results;
+    Timer timer;
+    (void)idx->Search(queries.data.data(), nq, options, &results);
+    const double seconds = timer.ElapsedSeconds();
+
+    const auto truth = bench::ComputeGroundTruth(
+        data.data.data(), n, queries.data.data(), nq, spec.dim, 50,
+        MetricType::kL2);
+    table.AddRow({std::to_string(n),
+                  bench::TableReporter::Num(bench::MeanRecall(truth, results)),
+                  bench::TableReporter::Num(bench::Qps(nq, seconds))});
+  }
+  table.Print("Figure 10a — single node, throughput vs data size");
+}
+
+void DistributedSweep() {
+  const size_t n = bench::Scaled(60000);
+  const size_t nq = 200;  // Fixed: keeps per-reader timings above noise.
+  bench::DatasetSpec spec;
+  spec.num_vectors = n;
+  spec.dim = 32;
+  spec.num_clusters = 64;
+  const auto data = bench::MakeSiftLike(spec);
+  const auto queries = bench::MakeQueries(spec, nq);
+
+  bench::TableReporter table(
+      {"#readers", "QPS(ideal-parallel)", "QPS(measured-serial)"});
+
+  for (size_t readers : {1u, 2u, 4u, 8u, 12u}) {
+    auto fs = std::make_shared<storage::ObjectStoreFileSystem>(
+        storage::NewMemoryFileSystem(), storage::ObjectStoreOptions{});
+    dist::ClusterOptions options;
+    options.shared_fs = fs;
+    options.num_readers = readers;
+    options.index_build_threshold_rows = 2000;
+    dist::Cluster cluster(options);
+
+    db::CollectionSchema schema;
+    schema.name = "scale";
+    schema.vector_fields = {{"v", 32}};
+    schema.index_params.nlist = 64;
+    if (!cluster.CreateCollection(schema).ok()) continue;
+    // Many segments so the shard map spreads smoothly even over 12 readers
+    // (the makespan is set by the worst-loaded reader; ~8 segments per
+    // reader keeps consistent-hashing imbalance low).
+    const size_t per_flush = n / 96;
+    for (size_t i = 0; i < n; ++i) {
+      db::Entity entity;
+      entity.id = static_cast<RowId>(i);
+      entity.vectors.emplace_back(data.vector(i), data.vector(i) + 32);
+      (void)cluster.Insert("scale", entity);
+      if ((i + 1) % per_flush == 0) (void)cluster.Flush("scale");
+    }
+    (void)cluster.Flush("scale");
+
+    db::QueryOptions qopts;
+    qopts.k = 50;
+    qopts.nprobe = 8;
+    // Serial total across readers vs the slowest reader's scatter leg —
+    // the wall time an actually-parallel deployment would see.
+    Timer timer;
+    (void)cluster.Search("scale", "v", queries.data.data(), nq, qopts);
+    const double total = timer.ElapsedSeconds();
+    table.AddRow({std::to_string(readers),
+                  bench::TableReporter::Num(
+                      bench::Qps(nq, cluster.last_scatter_makespan())),
+                  bench::TableReporter::Num(bench::Qps(nq, total))});
+  }
+  table.Print(
+      "Figure 10b — distributed, throughput vs #reader nodes "
+      "(ideal-parallel = serial/N; shape target: near-linear)");
+}
+
+}  // namespace
+
+int main() {
+  SingleNodeSweep();
+  DistributedSweep();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 12: SIMD levels on the batch-search kernel (the paper compares
+// AVX2 vs AVX512, ~1.5× apart). We sweep every level the host CPU
+// supports — scalar, SSE4.2, AVX2, AVX512 — via the runtime hook, data
+// size 10^3 → 10^6, batch 1000 (paper setup of Figure 11/12).
+
+#include "bench_common.h"
+#include "engine/batch_searcher.h"
+#include "simd/distances.h"
+
+using namespace vectordb;  // NOLINT — bench brevity.
+
+int main() {
+  const size_t dim = 128;
+  const size_t batch = bench::Scaled(500);
+  const std::vector<size_t> sizes = {bench::Scaled(1000),
+                                     bench::Scaled(10000),
+                                     bench::Scaled(100000),
+                                     bench::Scaled(500000)};
+
+  std::vector<std::string> headers = {"data size"};
+  std::vector<simd::SimdLevel> levels;
+  for (auto level : {simd::SimdLevel::kScalar, simd::SimdLevel::kSse,
+                     simd::SimdLevel::kAvx2, simd::SimdLevel::kAvx512}) {
+    if (simd::SetLevel(level)) {
+      levels.push_back(level);
+      headers.push_back(std::string(simd::SimdLevelName(level)) + "(s)");
+    }
+  }
+  headers.push_back("avx512/avx2 speedup");
+  simd::SetLevel(simd::HighestSupportedLevel());
+
+  bench::TableReporter table(headers);
+  for (size_t n : sizes) {
+    bench::DatasetSpec spec;
+    spec.num_vectors = n;
+    spec.dim = dim;
+    const auto data = bench::MakeSiftLike(spec);
+    const auto queries = bench::MakeQueries(spec, batch);
+
+    engine::BatchSearchSpec search_spec;
+    search_spec.metric = MetricType::kL2;
+    search_spec.dim = dim;
+    search_spec.k = 50;
+    search_spec.num_threads = 1;
+    engine::CacheAwareBatchSearcher searcher(nullptr);
+
+    std::vector<std::string> row = {std::to_string(n)};
+    double avx2_s = 0, avx512_s = 0;
+    for (simd::SimdLevel level : levels) {
+      simd::SetLevel(level);
+      std::vector<HitList> results;
+      Timer timer;
+      (void)searcher.Search(data.data.data(), n, queries.data.data(), batch,
+                            search_spec, &results);
+      const double seconds = timer.ElapsedSeconds();
+      row.push_back(bench::TableReporter::Num(seconds));
+      if (level == simd::SimdLevel::kAvx2) avx2_s = seconds;
+      if (level == simd::SimdLevel::kAvx512) avx512_s = seconds;
+    }
+    row.push_back(avx512_s > 0 && avx2_s > 0
+                      ? bench::TableReporter::Num(avx2_s / avx512_s)
+                      : "n/a");
+    table.AddRow(std::move(row));
+  }
+  simd::SetLevel(simd::HighestSupportedLevel());
+  table.Print(
+      "Figure 12 — SIMD levels (paper: AVX512 ~1.5x faster than AVX2)");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Figure 15: attribute filtering — Milvus (strategy E) vs other systems.
+// Competitor stand-ins reproduce the design axes of the closed systems
+// (see DESIGN.md): generic engines answer hybrid queries with either
+// post-filtering a fixed top-k (recall collapses, so they must over-fetch
+// massively) or pre-filter + exhaustive scan. Expected shape: Milvus wins
+// by orders of magnitude at most selectivities.
+
+#include "bench_common.h"
+#include "common/result_heap.h"
+#include "query/partition_manager.h"
+#include "simd/distances.h"
+
+using namespace vectordb;  // NOLINT — bench brevity.
+
+namespace {
+
+/// "Generic system" leg 1: post-filter over a brute-force full ranking —
+/// relational engines without a vector-native planner fall back to this.
+double PostFilterBrute(const bench::Dataset& data,
+                       const std::vector<double>& attrs,
+                       const bench::Dataset& queries, size_t nq, size_t k,
+                       const query::AttrRange& range) {
+  Timer timer;
+  for (size_t q = 0; q < nq; ++q) {
+    const float* query = queries.vector(q);
+    ResultHeap heap(k, /*keep_largest=*/false);
+    for (size_t i = 0; i < data.num_vectors; ++i) {
+      if (!range.Contains(attrs[i])) continue;
+      heap.Push(static_cast<RowId>(i),
+                simd::L2Sqr(query, data.vector(i), data.dim));
+    }
+    (void)heap.TakeSorted();
+  }
+  return timer.ElapsedSeconds();
+}
+
+/// "Generic system" leg 2: pre-filter via a row-id scan (no attribute
+/// index), then exact distances on survivors.
+double PreFilterScan(const bench::Dataset& data,
+                     const std::vector<double>& attrs,
+                     const bench::Dataset& queries, size_t nq, size_t k,
+                     const query::AttrRange& range) {
+  Timer timer;
+  for (size_t q = 0; q < nq; ++q) {
+    std::vector<size_t> pass;
+    for (size_t i = 0; i < data.num_vectors; ++i) {
+      if (range.Contains(attrs[i])) pass.push_back(i);
+    }
+    const float* query = queries.vector(q);
+    ResultHeap heap(k, /*keep_largest=*/false);
+    for (size_t i : pass) {
+      heap.Push(static_cast<RowId>(i),
+                simd::L2Sqr(query, data.vector(i), data.dim));
+    }
+    (void)heap.TakeSorted();
+  }
+  return timer.ElapsedSeconds();
+}
+
+}  // namespace
+
+int main() {
+  const size_t n = bench::Scaled(200000);
+  const size_t nq = bench::Scaled(20);
+  const size_t k = 50;
+
+  bench::DatasetSpec spec;
+  spec.num_vectors = n;
+  spec.dim = 64;
+  spec.num_clusters = 128;
+  const auto data = bench::MakeSiftLike(spec);
+  const auto queries = bench::MakeQueries(spec, nq);
+  const auto attrs = bench::MakeUniformAttribute(n, 0, 10000, 99);
+
+  query::PartitionedCollection::Options popts;
+  popts.num_partitions = 16;
+  popts.index_params.nlist = 8;  // Global nlist / ρ: equal probe fraction.
+  query::PartitionedCollection milvus(spec.dim, MetricType::kL2, popts);
+  (void)milvus.Load(data.data.data(), attrs, n);
+
+  // Unpartitioned cost-based dataset — the "AnalyticDB-V-like" leg.
+  query::FilteredDataset costbased(spec.dim, MetricType::kL2);
+  (void)costbased.Load(data.data.data(), attrs, n);
+  index::IndexBuildParams params;
+  params.nlist = 128;
+  (void)costbased.BuildIndex(index::IndexType::kIvfFlat, params);
+
+  bench::TableReporter table({"selectivity", "PostFilterBrute(s)",
+                              "PreFilterScan(s)", "CostBased-like(s)",
+                              "Milvus-E(s)", "best-other/Milvus"});
+  for (double selectivity : {0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 0.95, 0.99}) {
+    query::AttrRange range{0.0, 10000.0 * (1.0 - selectivity)};
+    const double post = PostFilterBrute(data, attrs, queries, nq, k, range);
+    const double pre = PreFilterScan(data, attrs, queries, nq, k, range);
+
+    query::FilteredSearchOptions options;
+    options.k = k;
+    options.nprobe = 32;
+    options.range = range;
+    Timer d_timer;
+    for (size_t q = 0; q < nq; ++q) {
+      (void)costbased.Search(queries.vector(q), options,
+                             query::FilterStrategy::kD);
+    }
+    const double dbased = d_timer.ElapsedSeconds();
+
+    Timer e_timer;
+    for (size_t q = 0; q < nq; ++q) {
+      (void)milvus.Search(queries.vector(q), options);
+    }
+    const double milvus_s = e_timer.ElapsedSeconds();
+
+    table.AddRow({bench::TableReporter::Num(selectivity),
+                  bench::TableReporter::Num(post),
+                  bench::TableReporter::Num(pre),
+                  bench::TableReporter::Num(dbased),
+                  bench::TableReporter::Num(milvus_s),
+                  bench::TableReporter::Num(std::min({post, pre, dbased}) /
+                                            milvus_s)});
+  }
+  table.Print(
+      "Figure 15 — attribute filtering vs generic designs (paper: Milvus "
+      "48.5x-41299.5x faster)");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Figure 9: recall–throughput curves on the HNSW (graph) index.
+// Milvus_HNSW vs the NSG graph variant and a brute-force stand-in
+// (Systems A/C are closed; the axis that separates them in the paper —
+// graph search through a purpose-built engine vs generic engines — is
+// reproduced by sweeping ef on our HNSW/NSG vs exact scan).
+
+#include "bench_common.h"
+#include "engine/query_per_thread_searcher.h"
+#include "index/index_factory.h"
+
+using namespace vectordb;  // NOLINT — bench brevity.
+
+namespace {
+
+void RunDataset(const char* name, const bench::Dataset& data,
+                const bench::Dataset& queries, MetricType metric) {
+  const size_t k = 50;
+  const auto truth = bench::ComputeGroundTruth(
+      data.data.data(), data.num_vectors, queries.data.data(),
+      queries.num_vectors, data.dim, k, metric);
+
+  bench::TableReporter table({"system", "ef", "recall@50", "QPS"});
+
+  index::IndexBuildParams params;
+  params.hnsw_m = 16;
+  params.ef_construction = 200;
+  params.nsg_out_degree = 32;
+  params.nsg_candidate_pool = 300;
+
+  for (auto [label, type] :
+       {std::pair<const char*, index::IndexType>{"Milvus_HNSW",
+                                                 index::IndexType::kHnsw},
+        std::pair<const char*, index::IndexType>{"Milvus_NSG",
+                                                 index::IndexType::kNsg}}) {
+    auto created = index::CreateIndex(type, data.dim, metric, params);
+    if (!created.ok()) continue;
+    index::IndexPtr idx = std::move(created).value();
+    Timer build_timer;
+    if (!idx->Build(data.data.data(), data.num_vectors).ok()) continue;
+    std::printf("%s build: %.1fs\n", label, build_timer.ElapsedSeconds());
+    for (size_t ef : {50u, 100u, 200u, 400u, 800u}) {
+      index::SearchOptions options;
+      options.k = k;
+      options.ef_search = ef;
+      std::vector<HitList> results;
+      Timer timer;
+      (void)idx->Search(queries.data.data(), queries.num_vectors, options,
+                        &results);
+      table.AddRow({label, std::to_string(ef),
+                    bench::TableReporter::Num(
+                        bench::MeanRecall(truth, results)),
+                    bench::TableReporter::Num(bench::Qps(
+                        queries.num_vectors, timer.ElapsedSeconds()))});
+    }
+  }
+
+  {
+    engine::QueryPerThreadSearcher brute(nullptr);
+    engine::BatchSearchSpec spec;
+    spec.metric = metric;
+    spec.dim = data.dim;
+    spec.k = k;
+    std::vector<HitList> results;
+    Timer timer;
+    (void)brute.Search(data.data.data(), data.num_vectors,
+                       queries.data.data(), queries.num_vectors, spec,
+                       &results);
+    table.AddRow({"GenericEngine(brute)", "-",
+                  bench::TableReporter::Num(bench::MeanRecall(truth, results)),
+                  bench::TableReporter::Num(
+                      bench::Qps(queries.num_vectors,
+                                 timer.ElapsedSeconds()))});
+  }
+
+  table.Print(std::string("Figure 9 — HNSW/graph recall vs throughput, ") +
+              name);
+}
+
+}  // namespace
+
+int main() {
+  const size_t n = bench::Scaled(30000);
+  const size_t nq = bench::Scaled(200);
+
+  bench::DatasetSpec sift;
+  sift.num_vectors = n;
+  sift.dim = 64;
+  sift.num_clusters = 128;
+  sift.cluster_stddev = 0.6f;
+  RunDataset("SIFT-like (L2)", bench::MakeSiftLike(sift),
+             bench::MakeQueries(sift, nq), MetricType::kL2);
+
+  bench::DatasetSpec deep;
+  deep.num_vectors = n;
+  deep.dim = 48;
+  deep.num_clusters = 128;
+  deep.cluster_stddev = 0.6f;
+  deep.normalize = true;
+  RunDataset("Deep-like (IP)", bench::MakeSiftLike(deep),
+             bench::MakeQueries(deep, nq), MetricType::kInnerProduct);
+  return 0;
+}

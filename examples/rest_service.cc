@@ -1,0 +1,73 @@
+// RESTful API walkthrough (Sec 2.1: "Milvus also supports RESTful APIs for
+// web applications"): drives the transport-agnostic request router with
+// the same JSON payloads an HTTP server would forward.
+//
+//   ./build/examples/rest_service
+
+#include <cstdio>
+
+#include "api/rest_handler.h"
+#include "storage/filesystem.h"
+
+using namespace vectordb;  // NOLINT — example brevity.
+
+namespace {
+
+void Show(const char* method, const char* path, const std::string& body,
+          const api::RestResponse& response) {
+  std::printf("> %s %s %s\n< %d %s\n\n", method, path, body.c_str(),
+              response.status, response.body.Dump().c_str());
+}
+
+}  // namespace
+
+int main() {
+  db::DbOptions options;
+  options.fs = storage::NewMemoryFileSystem();
+  db::VectorDb db(options);
+  api::RestHandler rest(&db);
+
+  auto call = [&](const char* method, const char* path,
+                  const std::string& body = "") {
+    auto response = rest.Handle(method, path, body);
+    Show(method, path, body, response);
+    return response;
+  };
+
+  // Create a collection.
+  call("POST", "/collections",
+       R"({"name":"docs","fields":[{"name":"embedding","dim":8}],)"
+       R"("attributes":["year"],"metric":"L2","index":"IVF_FLAT","nlist":4})");
+
+  // Ingest a few documents.
+  for (int i = 0; i < 8; ++i) {
+    const std::string v = std::to_string(i);
+    rest.Handle("POST", "/collections/docs/entities",
+                R"({"id":)" + v + R"(,"vectors":[[)" + v +
+                    R"(,0,0,0,0,0,0,0]],"attributes":[)" +
+                    std::to_string(2015 + i) + "]}");
+  }
+  call("POST", "/collections/docs/flush");
+  call("GET", "/collections/docs");
+
+  // Vector search.
+  call("POST", "/collections/docs/search",
+       R"({"vector":[5,0,0,0,0,0,0,0],"k":3,"nprobe":4})");
+
+  // Attribute filtering: only documents from 2019-2021.
+  call("POST", "/collections/docs/search",
+       R"({"vector":[5,0,0,0,0,0,0,0],"k":3,"nprobe":4,)"
+       R"("filter":{"attribute":"year","lo":2019,"hi":2021}})");
+
+  // Point lookup, delete, and the resulting 404.
+  call("GET", "/collections/docs/entities/5");
+  call("DELETE", "/collections/docs/entities/5");
+  call("GET", "/collections/docs/entities/5");
+
+  // Error handling: malformed JSON and unknown routes map to HTTP codes.
+  call("POST", "/collections", "{not json");
+  call("GET", "/collections/ghost");
+
+  call("DELETE", "/collections/docs");
+  return 0;
+}

@@ -1,0 +1,317 @@
+#include "api/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vectordb {
+namespace api {
+
+const Json& Json::operator[](const std::string& key) const {
+  static const Json kNull;
+  auto it = object_.find(key);
+  return it == object_.end() ? kNull : it->second;
+}
+
+namespace {
+
+void DumpString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void DumpNumber(double n, std::string* out) {
+  if (n == std::floor(n) && std::abs(n) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(n));
+    *out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.10g", n);
+    *out += buf;
+  }
+}
+
+void DumpValue(const Json& j, std::string* out);
+
+void DumpArray(const Json& j, std::string* out) {
+  out->push_back('[');
+  for (size_t i = 0; i < j.size(); ++i) {
+    if (i != 0) out->push_back(',');
+    DumpValue(j.at(i), out);
+  }
+  out->push_back(']');
+}
+
+void DumpObject(const Json& j, std::string* out) {
+  out->push_back('{');
+  bool first = true;
+  for (const auto& [key, value] : j.object_items()) {
+    if (!first) out->push_back(',');
+    first = false;
+    DumpString(key, out);
+    out->push_back(':');
+    DumpValue(value, out);
+  }
+  out->push_back('}');
+}
+
+void DumpValue(const Json& j, std::string* out) {
+  switch (j.type()) {
+    case Json::Type::kNull:
+      *out += "null";
+      break;
+    case Json::Type::kBool:
+      *out += j.as_bool() ? "true" : "false";
+      break;
+    case Json::Type::kNumber:
+      DumpNumber(j.as_number(), out);
+      break;
+    case Json::Type::kString:
+      DumpString(j.as_string(), out);
+      break;
+    case Json::Type::kArray:
+      DumpArray(j, out);
+      break;
+    case Json::Type::kObject:
+      DumpObject(j, out);
+      break;
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Json> Run() {
+    SkipSpace();
+    Json value;
+    if (!ParseValue(&value)) return Status::InvalidArgument(error_);
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  bool Fail(const std::string& message) {
+    error_ = message + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* word) {
+    const size_t len = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, len, word) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(Json* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      std::string s;
+      if (!ParseString(&s)) return false;
+      *out = Json(std::move(s));
+      return true;
+    }
+    if (ConsumeWord("null")) {
+      *out = Json();
+      return true;
+    }
+    if (ConsumeWord("true")) {
+      *out = Json(true);
+      return true;
+    }
+    if (ConsumeWord("false")) {
+      *out = Json(false);
+      return true;
+    }
+    return ParseNumber(out);
+  }
+
+  bool ParseNumber(Json* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("invalid value");
+    char* end = nullptr;
+    const std::string token = text_.substr(start, pos_ - start);
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Fail("invalid number");
+    *out = Json(value);
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return Fail("expected string");
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Fail("bad escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+            out->push_back('"');
+            break;
+          case '\\':
+            out->push_back('\\');
+            break;
+          case '/':
+            out->push_back('/');
+            break;
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'r':
+            out->push_back('\r');
+            break;
+          case 'b':
+            out->push_back('\b');
+            break;
+          case 'f':
+            out->push_back('\f');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Fail("bad unicode escape");
+            const std::string hex = text_.substr(pos_, 4);
+            pos_ += 4;
+            const long code = std::strtol(hex.c_str(), nullptr, 16);
+            // Basic-multilingual-plane only; encode as UTF-8.
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Fail("bad escape");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseArray(Json* out) {
+    Consume('[');
+    *out = Json::Array();
+    SkipSpace();
+    if (Consume(']')) return true;
+    while (true) {
+      Json value;
+      if (!ParseValue(&value)) return false;
+      out->Append(std::move(value));
+      SkipSpace();
+      if (Consume(']')) return true;
+      if (!Consume(',')) return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseObject(Json* out) {
+    Consume('{');
+    *out = Json::Object();
+    SkipSpace();
+    if (Consume('}')) return true;
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipSpace();
+      if (!Consume(':')) return Fail("expected ':'");
+      Json value;
+      if (!ParseValue(&value)) return false;
+      out->Set(key, std::move(value));
+      SkipSpace();
+      if (Consume('}')) return true;
+      if (!Consume(',')) return Fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpValue(*this, &out);
+  return out;
+}
+
+Result<Json> Json::Parse(const std::string& text) {
+  return Parser(text).Run();
+}
+
+}  // namespace api
+}  // namespace vectordb

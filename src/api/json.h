@@ -1,0 +1,85 @@
+#ifndef VECTORDB_API_JSON_H_
+#define VECTORDB_API_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vectordb {
+namespace api {
+
+/// Minimal JSON value for the RESTful API layer (Sec 2.1): objects, arrays,
+/// strings, doubles, booleans, null. Numbers are stored as double — ample
+/// for ids/dims at this scale and faithful to JavaScript JSON.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}          // NOLINT
+  Json(double n) : type_(Type::kNumber), number_(n) {}    // NOLINT
+  Json(int n) : Json(static_cast<double>(n)) {}           // NOLINT
+  Json(int64_t n) : Json(static_cast<double>(n)) {}       // NOLINT
+  Json(size_t n) : Json(static_cast<double>(n)) {}        // NOLINT
+  Json(const char* s) : type_(Type::kString), string_(s) {}  // NOLINT
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+
+  static Json Array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json Object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+
+  // Array access.
+  size_t size() const { return array_.size(); }
+  const Json& at(size_t i) const { return array_[i]; }
+  void Append(Json value) { array_.push_back(std::move(value)); }
+
+  // Object access.
+  bool Has(const std::string& key) const { return object_.count(key) != 0; }
+  /// Missing keys return a shared null (safe chained lookups).
+  const Json& operator[](const std::string& key) const;
+  void Set(const std::string& key, Json value) {
+    object_[key] = std::move(value);
+  }
+  const std::map<std::string, Json>& object_items() const { return object_; }
+
+  /// Compact serialization.
+  std::string Dump() const;
+
+  /// Strict-ish parser; trailing garbage is an error.
+  static Result<Json> Parse(const std::string& text);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::map<std::string, Json> object_;
+};
+
+}  // namespace api
+}  // namespace vectordb
+
+#endif  // VECTORDB_API_JSON_H_

@@ -1,0 +1,329 @@
+#include "api/rest_handler.h"
+
+#include <cstdlib>
+#include <vector>
+
+namespace vectordb {
+namespace api {
+
+namespace {
+
+RestResponse Error(int status, const std::string& message) {
+  RestResponse response;
+  response.status = status;
+  response.body.Set("error", message);
+  return response;
+}
+
+RestResponse FromStatus(const Status& status) {
+  if (status.ok()) return RestResponse{};
+  if (status.IsNotFound()) return Error(404, status.ToString());
+  if (status.IsAlreadyExists()) return Error(409, status.ToString());
+  if (status.IsInvalidArgument() || status.IsNotSupported()) {
+    return Error(400, status.ToString());
+  }
+  return Error(500, status.ToString());
+}
+
+/// Split "/collections/foo/entities/7" into path segments.
+std::vector<std::string> SplitPath(const std::string& path) {
+  std::vector<std::string> segments;
+  size_t begin = 0;
+  while (begin < path.size()) {
+    while (begin < path.size() && path[begin] == '/') ++begin;
+    size_t end = path.find('/', begin);
+    if (end == std::string::npos) end = path.size();
+    if (end > begin) segments.push_back(path.substr(begin, end - begin));
+    begin = end;
+  }
+  return segments;
+}
+
+bool ParseVector(const Json& array, std::vector<float>* out) {
+  if (!array.is_array()) return false;
+  out->clear();
+  out->reserve(array.size());
+  for (size_t i = 0; i < array.size(); ++i) {
+    if (!array.at(i).is_number()) return false;
+    out->push_back(static_cast<float>(array.at(i).as_number()));
+  }
+  return true;
+}
+
+MetricType ParseMetric(const std::string& name) {
+  if (name == "IP") return MetricType::kInnerProduct;
+  if (name == "COSINE") return MetricType::kCosine;
+  return MetricType::kL2;
+}
+
+index::IndexType ParseIndexType(const std::string& name) {
+  if (name == "FLAT") return index::IndexType::kFlat;
+  if (name == "IVF_SQ8") return index::IndexType::kIvfSq8;
+  if (name == "IVF_PQ") return index::IndexType::kIvfPq;
+  if (name == "HNSW") return index::IndexType::kHnsw;
+  if (name == "NSG") return index::IndexType::kNsg;
+  if (name == "ANNOY") return index::IndexType::kAnnoy;
+  return index::IndexType::kIvfFlat;
+}
+
+Json HitsToJson(const HitList& hits) {
+  Json rows = Json::Array();
+  for (const SearchHit& hit : hits) {
+    Json row = Json::Object();
+    row.Set("id", Json(static_cast<int64_t>(hit.id)));
+    row.Set("score", Json(static_cast<double>(hit.score)));
+    rows.Append(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace
+
+RestResponse RestHandler::Handle(const std::string& method,
+                                 const std::string& path,
+                                 const std::string& body) {
+  const auto segments = SplitPath(path);
+  Json parsed = Json::Object();
+  if (!body.empty()) {
+    auto result = Json::Parse(body);
+    if (!result.ok()) return Error(400, "invalid JSON: " + body);
+    parsed = std::move(result).value();
+  }
+
+  if (segments.empty() || segments[0] != "collections") {
+    return Error(404, "unknown route: " + path);
+  }
+  if (segments.size() == 1) {
+    if (method == "GET") return ListCollections();
+    if (method == "POST") return CreateCollection(parsed);
+    return Error(405, "method not allowed");
+  }
+  const std::string& name = segments[1];
+  if (segments.size() == 2) {
+    if (method == "DELETE") return DropCollection(name);
+    if (method == "GET") return CollectionStats(name);
+    return Error(405, "method not allowed");
+  }
+  const std::string& verb = segments[2];
+  if (verb == "entities") {
+    if (segments.size() == 3 && method == "POST") {
+      return InsertEntity(name, parsed);
+    }
+    if (segments.size() == 4 && method == "DELETE") {
+      return DeleteEntity(name, segments[3]);
+    }
+    if (segments.size() == 4 && method == "GET") {
+      return GetEntity(name, segments[3]);
+    }
+  }
+  if (verb == "flush" && method == "POST") return Flush(name);
+  if (verb == "search" && method == "POST") return Search(name, parsed);
+  return Error(404, "unknown route: " + path);
+}
+
+RestResponse RestHandler::ListCollections() {
+  RestResponse response;
+  Json names = Json::Array();
+  for (const std::string& name : db_->ListCollections()) {
+    names.Append(Json(name));
+  }
+  response.body.Set("collections", std::move(names));
+  return response;
+}
+
+RestResponse RestHandler::CreateCollection(const Json& body) {
+  if (!body["name"].is_string() || !body["fields"].is_array()) {
+    return Error(400, "body requires 'name' and 'fields'");
+  }
+  db::CollectionSchema schema;
+  schema.name = body["name"].as_string();
+  for (size_t i = 0; i < body["fields"].size(); ++i) {
+    const Json& field = body["fields"].at(i);
+    if (!field["name"].is_string() || !field["dim"].is_number()) {
+      return Error(400, "each field requires 'name' and 'dim'");
+    }
+    schema.vector_fields.push_back(
+        {field["name"].as_string(),
+         static_cast<size_t>(field["dim"].as_number())});
+  }
+  const Json& attrs = body["attributes"];
+  for (size_t i = 0; attrs.is_array() && i < attrs.size(); ++i) {
+    if (attrs.at(i).is_string()) {
+      schema.attributes.push_back(attrs.at(i).as_string());
+    }
+  }
+  if (body["metric"].is_string()) {
+    schema.metric = ParseMetric(body["metric"].as_string());
+  }
+  if (body["index"].is_string()) {
+    schema.default_index = ParseIndexType(body["index"].as_string());
+  }
+  if (body["nlist"].is_number()) {
+    schema.index_params.nlist =
+        static_cast<size_t>(body["nlist"].as_number());
+  }
+  auto created = db_->CreateCollection(schema);
+  if (!created.ok()) return FromStatus(created.status());
+  RestResponse response;
+  response.status = 201;
+  response.body.Set("name", schema.name);
+  return response;
+}
+
+RestResponse RestHandler::DropCollection(const std::string& name) {
+  return FromStatus(db_->DropCollection(name));
+}
+
+RestResponse RestHandler::CollectionStats(const std::string& name) {
+  db::Collection* c = db_->GetCollection(name);
+  if (c == nullptr) return Error(404, "unknown collection: " + name);
+  RestResponse response;
+  response.body.Set("name", name);
+  response.body.Set("num_rows", Json(c->NumLiveRows()));
+  response.body.Set("num_segments", Json(c->NumSegments()));
+  response.body.Set("pending_rows", Json(c->pending_rows()));
+  Json fields = Json::Array();
+  for (const auto& field : c->schema().vector_fields) {
+    Json f = Json::Object();
+    f.Set("name", field.name);
+    f.Set("dim", Json(field.dim));
+    fields.Append(std::move(f));
+  }
+  response.body.Set("fields", std::move(fields));
+  return response;
+}
+
+RestResponse RestHandler::InsertEntity(const std::string& name,
+                                       const Json& body) {
+  db::Collection* c = db_->GetCollection(name);
+  if (c == nullptr) return Error(404, "unknown collection: " + name);
+  if (!body["vectors"].is_array()) {
+    return Error(400, "body requires 'vectors': [[...], ...]");
+  }
+  db::Entity entity;
+  entity.id = body["id"].is_number()
+                  ? static_cast<RowId>(body["id"].as_number())
+                  : c->AllocateRowIds(1);
+  for (size_t f = 0; f < body["vectors"].size(); ++f) {
+    std::vector<float> vec;
+    if (!ParseVector(body["vectors"].at(f), &vec)) {
+      return Error(400, "vectors must be arrays of numbers");
+    }
+    entity.vectors.push_back(std::move(vec));
+  }
+  const Json& attrs = body["attributes"];
+  for (size_t i = 0; attrs.is_array() && i < attrs.size(); ++i) {
+    entity.attributes.push_back(attrs.at(i).as_number());
+  }
+  const Status status = c->Insert(entity);
+  if (!status.ok()) return FromStatus(status);
+  RestResponse response;
+  response.status = 201;
+  response.body.Set("id", Json(static_cast<int64_t>(entity.id)));
+  return response;
+}
+
+RestResponse RestHandler::DeleteEntity(const std::string& name,
+                                       const std::string& id) {
+  db::Collection* c = db_->GetCollection(name);
+  if (c == nullptr) return Error(404, "unknown collection: " + name);
+  return FromStatus(c->Delete(std::strtoll(id.c_str(), nullptr, 10)));
+}
+
+RestResponse RestHandler::GetEntity(const std::string& name,
+                                    const std::string& id) {
+  db::Collection* c = db_->GetCollection(name);
+  if (c == nullptr) return Error(404, "unknown collection: " + name);
+  auto entity = c->Get(std::strtoll(id.c_str(), nullptr, 10));
+  if (!entity.ok()) return FromStatus(entity.status());
+  RestResponse response;
+  response.body.Set("id", Json(static_cast<int64_t>(entity.value().id)));
+  Json vectors = Json::Array();
+  for (const auto& vec : entity.value().vectors) {
+    Json arr = Json::Array();
+    for (float x : vec) arr.Append(Json(static_cast<double>(x)));
+    vectors.Append(std::move(arr));
+  }
+  response.body.Set("vectors", std::move(vectors));
+  Json attrs = Json::Array();
+  for (double a : entity.value().attributes) attrs.Append(Json(a));
+  response.body.Set("attributes", std::move(attrs));
+  return response;
+}
+
+RestResponse RestHandler::Flush(const std::string& name) {
+  return FromStatus(db_->Flush(name));
+}
+
+RestResponse RestHandler::Search(const std::string& name, const Json& body) {
+  db::Collection* c = db_->GetCollection(name);
+  if (c == nullptr) return Error(404, "unknown collection: " + name);
+
+  db::QueryOptions options;
+  if (body["k"].is_number()) {
+    options.k = static_cast<size_t>(body["k"].as_number());
+  }
+  if (body["nprobe"].is_number()) {
+    options.nprobe = static_cast<size_t>(body["nprobe"].as_number());
+  }
+  if (body["ef_search"].is_number()) {
+    options.ef_search = static_cast<size_t>(body["ef_search"].as_number());
+  }
+
+  // Multi-vector query: "vectors": [[...], [...]] (+ optional weights).
+  if (body["vectors"].is_array()) {
+    std::vector<std::vector<float>> fields(body["vectors"].size());
+    std::vector<const float*> query;
+    for (size_t f = 0; f < body["vectors"].size(); ++f) {
+      if (!ParseVector(body["vectors"].at(f), &fields[f])) {
+        return Error(400, "vectors must be arrays of numbers");
+      }
+      query.push_back(fields[f].data());
+    }
+    std::vector<float> weights;
+    const Json& w = body["weights"];
+    for (size_t i = 0; w.is_array() && i < w.size(); ++i) {
+      weights.push_back(static_cast<float>(w.at(i).as_number()));
+    }
+    auto result = c->MultiVectorSearch(query, weights, options);
+    if (!result.ok()) return FromStatus(result.status());
+    RestResponse response;
+    response.body.Set("hits", HitsToJson(result.value()));
+    return response;
+  }
+
+  // Single-vector query: "vector": [...].
+  std::vector<float> query;
+  if (!ParseVector(body["vector"], &query)) {
+    return Error(400, "body requires 'vector' or 'vectors'");
+  }
+  const std::string field = body["field"].is_string()
+                                ? body["field"].as_string()
+                                : c->schema().vector_fields[0].name;
+
+  // Optional attribute filter: {"filter": {"attribute": "...", "lo": a,
+  // "hi": b}} (Sec 4.1).
+  const Json& filter = body["filter"];
+  if (filter.is_object()) {
+    if (!filter["attribute"].is_string() || !filter["lo"].is_number() ||
+        !filter["hi"].is_number()) {
+      return Error(400, "filter requires 'attribute', 'lo', 'hi'");
+    }
+    auto result = c->SearchFiltered(
+        field, query.data(), filter["attribute"].as_string(),
+        {filter["lo"].as_number(), filter["hi"].as_number()}, options);
+    if (!result.ok()) return FromStatus(result.status());
+    RestResponse response;
+    response.body.Set("hits", HitsToJson(result.value()));
+    return response;
+  }
+
+  auto result = c->Search(field, query.data(), 1, options);
+  if (!result.ok()) return FromStatus(result.status());
+  RestResponse response;
+  response.body.Set("hits", HitsToJson(result.value()[0]));
+  return response;
+}
+
+}  // namespace api
+}  // namespace vectordb

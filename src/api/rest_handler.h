@@ -1,0 +1,59 @@
+#ifndef VECTORDB_API_REST_HANDLER_H_
+#define VECTORDB_API_REST_HANDLER_H_
+
+#include <string>
+
+#include "api/json.h"
+#include "db/vector_db.h"
+
+namespace vectordb {
+namespace api {
+
+/// A REST response: HTTP-style status code plus a JSON body.
+struct RestResponse {
+  int status = 200;
+  Json body = Json::Object();
+
+  bool ok() const { return status >= 200 && status < 300; }
+};
+
+/// Transport-agnostic RESTful request router (Sec 2.1: "Milvus also
+/// supports RESTful APIs for web applications"). Any HTTP server can
+/// delegate `(method, path, body)` here; tests and embedded callers invoke
+/// it directly. Routes:
+///
+///   GET    /collections                          → list collections
+///   POST   /collections                          → create (schema in body)
+///   DELETE /collections/{name}                   → drop
+///   GET    /collections/{name}                   → stats
+///   POST   /collections/{name}/entities          → insert one entity
+///   DELETE /collections/{name}/entities/{id}     → delete by id
+///   GET    /collections/{name}/entities/{id}     → point lookup
+///   POST   /collections/{name}/flush             → flush
+///   POST   /collections/{name}/search            → vector / filtered /
+///                                                  multi-vector search
+class RestHandler {
+ public:
+  explicit RestHandler(db::VectorDb* db) : db_(db) {}
+
+  RestResponse Handle(const std::string& method, const std::string& path,
+                      const std::string& body);
+
+ private:
+  RestResponse ListCollections();
+  RestResponse CreateCollection(const Json& body);
+  RestResponse DropCollection(const std::string& name);
+  RestResponse CollectionStats(const std::string& name);
+  RestResponse InsertEntity(const std::string& name, const Json& body);
+  RestResponse DeleteEntity(const std::string& name, const std::string& id);
+  RestResponse GetEntity(const std::string& name, const std::string& id);
+  RestResponse Flush(const std::string& name);
+  RestResponse Search(const std::string& name, const Json& body);
+
+  db::VectorDb* db_;
+};
+
+}  // namespace api
+}  // namespace vectordb
+
+#endif  // VECTORDB_API_REST_HANDLER_H_

@@ -1,0 +1,112 @@
+#include "api/sdk.h"
+
+namespace vectordb {
+namespace api {
+
+bool Client::CollectionBuilder::Create() {
+  return client_->Record(client_->db_->CreateCollection(schema_).status());
+}
+
+bool Client::DropCollection(const std::string& name) {
+  return Record(db_->DropCollection(name));
+}
+
+bool Client::HasCollection(const std::string& name) {
+  return db_->GetCollection(name) != nullptr;
+}
+
+std::vector<std::string> Client::ListCollections() {
+  return db_->ListCollections();
+}
+
+RowId Client::Insert(const std::string& collection, RowId id,
+                     const std::vector<std::vector<float>>& vectors,
+                     const std::vector<double>& attributes) {
+  db::Collection* c = db_->GetCollection(collection);
+  if (c == nullptr) {
+    Record(Status::NotFound("unknown collection: " + collection));
+    return kInvalidRowId;
+  }
+  db::Entity entity;
+  entity.id = id == kInvalidRowId ? c->AllocateRowIds(1) : id;
+  entity.vectors = vectors;
+  entity.attributes = attributes;
+  if (!Record(c->Insert(entity))) return kInvalidRowId;
+  return entity.id;
+}
+
+bool Client::Delete(const std::string& collection, RowId id) {
+  db::Collection* c = db_->GetCollection(collection);
+  if (c == nullptr) {
+    return Record(Status::NotFound("unknown collection: " + collection));
+  }
+  return Record(c->Delete(id));
+}
+
+bool Client::Flush(const std::string& collection) {
+  return Record(db_->Flush(collection));
+}
+
+namespace {
+
+std::vector<SearchResultRow> ToRows(const HitList& hits,
+                                    const db::Collection* collection,
+                                    bool fetch_attributes) {
+  std::vector<SearchResultRow> rows;
+  rows.reserve(hits.size());
+  for (const SearchHit& hit : hits) {
+    SearchResultRow row;
+    row.id = hit.id;
+    row.score = hit.score;
+    if (fetch_attributes) {
+      auto entity = collection->Get(hit.id);
+      if (entity.ok()) row.attributes = entity.value().attributes;
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::vector<SearchResultRow> Client::SearchBuilder::Run(
+    const std::vector<float>& query) {
+  db::Collection* c = client_->db_->GetCollection(collection_);
+  if (c == nullptr) {
+    client_->Record(Status::NotFound("unknown collection: " + collection_));
+    return {};
+  }
+  const std::string field =
+      field_.empty() && !c->schema().vector_fields.empty()
+          ? c->schema().vector_fields[0].name
+          : field_;
+
+  if (!where_attribute_.empty()) {
+    auto result = c->SearchFiltered(field, query.data(), where_attribute_,
+                                    range_, options_);
+    if (!client_->Record(result.status())) return {};
+    return ToRows(result.value(), c, fetch_attributes_);
+  }
+  auto result = c->Search(field, query.data(), 1, options_);
+  if (!client_->Record(result.status())) return {};
+  return ToRows(result.value()[0], c, fetch_attributes_);
+}
+
+std::vector<SearchResultRow> Client::SearchBuilder::RunMulti(
+    const std::vector<std::vector<float>>& query_fields,
+    const std::vector<float>& weights) {
+  db::Collection* c = client_->db_->GetCollection(collection_);
+  if (c == nullptr) {
+    client_->Record(Status::NotFound("unknown collection: " + collection_));
+    return {};
+  }
+  std::vector<const float*> query;
+  query.reserve(query_fields.size());
+  for (const auto& q : query_fields) query.push_back(q.data());
+  auto result = c->MultiVectorSearch(query, weights, options_);
+  if (!client_->Record(result.status())) return {};
+  return ToRows(result.value(), c, fetch_attributes_);
+}
+
+}  // namespace api
+}  // namespace vectordb

@@ -1,0 +1,169 @@
+#ifndef VECTORDB_API_SDK_H_
+#define VECTORDB_API_SDK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/vector_db.h"
+
+namespace vectordb {
+namespace api {
+
+/// Search result as surfaced to applications: ids plus scores, and the
+/// entity attributes when requested.
+struct SearchResultRow {
+  RowId id = kInvalidRowId;
+  float score = 0.0f;
+  std::vector<double> attributes;
+};
+
+/// Fluent client facade in the style of the paper's SDKs (Sec 2.1:
+/// "easy-to-use SDK interfaces ... in Python, Java, Go, and C++"). This is
+/// the C++ SDK: a thin, typed veneer over VectorDb that hides Status
+/// plumbing behind a per-call error string and bundles common patterns
+/// (insert+flush, search+fetch-attributes).
+///
+///   api::Client client(db);
+///   client.Collection("products")
+///         .WithVectorField("embedding", 128)
+///         .WithAttribute("price")
+///         .Create();
+///   client.Insert("products", id, {vec}, {9.99});
+///   auto rows = client.Search("products").Field("embedding")
+///                     .TopK(5).NProbe(16).Run(query);
+class Client {
+ public:
+  explicit Client(db::VectorDb* db) : db_(db) {}
+
+  /// Error message of the last failed call ("" when the last call
+  /// succeeded).
+  const std::string& last_error() const { return last_error_; }
+
+  // ----- collection DDL -----
+
+  class CollectionBuilder {
+   public:
+    CollectionBuilder(Client* client, std::string name)
+        : client_(client) {
+      schema_.name = std::move(name);
+    }
+    CollectionBuilder& WithVectorField(const std::string& name, size_t dim) {
+      schema_.vector_fields.push_back({name, dim});
+      return *this;
+    }
+    CollectionBuilder& WithAttribute(const std::string& name) {
+      schema_.attributes.push_back(name);
+      return *this;
+    }
+    CollectionBuilder& WithMetric(MetricType metric) {
+      schema_.metric = metric;
+      return *this;
+    }
+    CollectionBuilder& WithIndex(index::IndexType type,
+                                 const index::IndexBuildParams& params = {}) {
+      schema_.default_index = type;
+      schema_.index_params = params;
+      return *this;
+    }
+    /// Execute the DDL; false on failure (see Client::last_error()).
+    bool Create();
+
+   private:
+    Client* client_;
+    db::CollectionSchema schema_;
+  };
+
+  CollectionBuilder Collection(const std::string& name) {
+    return CollectionBuilder(this, name);
+  }
+  bool DropCollection(const std::string& name);
+  bool HasCollection(const std::string& name);
+  std::vector<std::string> ListCollections();
+
+  // ----- data plane -----
+
+  /// Insert one entity; id = kInvalidRowId auto-assigns. Returns the row
+  /// id, or kInvalidRowId on failure.
+  RowId Insert(const std::string& collection, RowId id,
+               const std::vector<std::vector<float>>& vectors,
+               const std::vector<double>& attributes = {});
+  bool Delete(const std::string& collection, RowId id);
+  /// Sec 5.1 flush(): blocks until all pending writes are searchable.
+  bool Flush(const std::string& collection);
+
+  // ----- query plane -----
+
+  class SearchBuilder {
+   public:
+    SearchBuilder(Client* client, std::string collection)
+        : client_(client), collection_(std::move(collection)) {}
+    SearchBuilder& Field(const std::string& field) {
+      field_ = field;
+      return *this;
+    }
+    SearchBuilder& TopK(size_t k) {
+      options_.k = k;
+      return *this;
+    }
+    SearchBuilder& NProbe(size_t nprobe) {
+      options_.nprobe = nprobe;
+      return *this;
+    }
+    SearchBuilder& EfSearch(size_t ef) {
+      options_.ef_search = ef;
+      return *this;
+    }
+    /// Attribute filter: attribute in [lo, hi].
+    SearchBuilder& Where(const std::string& attribute, double lo, double hi) {
+      where_attribute_ = attribute;
+      range_ = {lo, hi};
+      return *this;
+    }
+    /// Return the entities' attributes alongside ids/scores.
+    SearchBuilder& FetchAttributes(bool fetch = true) {
+      fetch_attributes_ = fetch;
+      return *this;
+    }
+
+    /// Single-vector query (vector query or attribute filtering).
+    std::vector<SearchResultRow> Run(const std::vector<float>& query);
+
+    /// Multi-vector query over all fields with the given weights.
+    std::vector<SearchResultRow> RunMulti(
+        const std::vector<std::vector<float>>& query_fields,
+        const std::vector<float>& weights = {});
+
+   private:
+    Client* client_;
+    std::string collection_;
+    std::string field_;
+    db::QueryOptions options_;
+    std::string where_attribute_;
+    query::AttrRange range_{0, 0};
+    bool fetch_attributes_ = false;
+  };
+
+  SearchBuilder Search(const std::string& collection) {
+    return SearchBuilder(this, collection);
+  }
+
+  db::VectorDb* raw() { return db_; }
+
+ private:
+  friend class CollectionBuilder;
+  friend class SearchBuilder;
+
+  bool Record(const Status& status) {
+    last_error_ = status.ok() ? "" : status.ToString();
+    return status.ok();
+  }
+
+  db::VectorDb* db_;
+  std::string last_error_;
+};
+
+}  // namespace api
+}  // namespace vectordb
+
+#endif  // VECTORDB_API_SDK_H_

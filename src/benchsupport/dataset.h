@@ -1,0 +1,76 @@
+#ifndef VECTORDB_BENCHSUPPORT_DATASET_H_
+#define VECTORDB_BENCHSUPPORT_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vectordb {
+namespace bench {
+
+/// Synthetic stand-ins for the paper's datasets (see DESIGN.md): clustered
+/// Gaussian vectors whose clusteredness drives the same IVF/graph recall
+/// tradeoffs as SIFT1B / Deep1B at laptop scale.
+struct DatasetSpec {
+  size_t num_vectors = 10000;
+  size_t dim = 128;
+  size_t num_clusters = 64;     ///< Latent clusters in the generator.
+  float cluster_stddev = 0.15f; ///< Spread within a cluster.
+  bool normalize = false;       ///< Deep1B-style unit vectors.
+  uint64_t seed = 42;
+};
+
+struct Dataset {
+  size_t num_vectors = 0;
+  size_t dim = 0;
+  std::vector<float> data;  ///< num_vectors × dim row-major.
+
+  const float* vector(size_t i) const { return data.data() + i * dim; }
+};
+
+/// SIFT-like: 128-d, clustered, positive-ish coordinates.
+Dataset MakeSiftLike(const DatasetSpec& spec);
+
+/// Deep1B-like: 96-d, clustered, L2-normalized.
+Dataset MakeDeepLike(DatasetSpec spec);
+
+/// Queries drawn from the same latent clusters (held-out points).
+Dataset MakeQueries(const DatasetSpec& spec, size_t num_queries);
+
+/// Packed binary fingerprints (chemical-structure workload, Sec 6.2).
+struct BinaryDataset {
+  size_t num_vectors = 0;
+  size_t dim_bits = 0;
+  std::vector<uint8_t> data;  ///< num_vectors × dim_bits/8.
+
+  const uint8_t* vector(size_t i) const {
+    return data.data() + i * (dim_bits / 8);
+  }
+};
+BinaryDataset MakeFingerprints(size_t num_vectors, size_t dim_bits,
+                               double density, uint64_t seed);
+
+/// Two-vector entities ("text" + "image" fields with correlated clusters),
+/// the Recipe1M stand-in for Figure 16.
+struct MultiVectorDatasetRaw {
+  size_t num_entities = 0;
+  std::vector<size_t> dims;
+  std::vector<std::vector<float>> fields;
+
+  const float* field_vector(size_t field, size_t entity) const {
+    return fields[field].data() + entity * dims[field];
+  }
+};
+MultiVectorDatasetRaw MakeTwoFieldEntities(size_t num_entities, size_t dim0,
+                                           size_t dim1, bool normalize,
+                                           uint64_t seed);
+
+/// Uniform numeric attribute column in [lo, hi] (Sec 7.5's 0..10000).
+std::vector<double> MakeUniformAttribute(size_t n, double lo, double hi,
+                                         uint64_t seed);
+
+}  // namespace bench
+}  // namespace vectordb
+
+#endif  // VECTORDB_BENCHSUPPORT_DATASET_H_

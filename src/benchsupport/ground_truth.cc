@@ -1,0 +1,51 @@
+#include "benchsupport/ground_truth.h"
+
+#include <unordered_set>
+
+#include "common/result_heap.h"
+#include "simd/distances.h"
+
+namespace vectordb {
+namespace bench {
+
+std::vector<HitList> ComputeGroundTruth(const float* data, size_t n,
+                                        const float* queries, size_t nq,
+                                        size_t dim, size_t k,
+                                        MetricType metric) {
+  std::vector<HitList> truth(nq);
+  for (size_t q = 0; q < nq; ++q) {
+    ResultHeap heap = ResultHeap::ForMetric(k, metric);
+    const float* query = queries + q * dim;
+    for (size_t i = 0; i < n; ++i) {
+      heap.Push(static_cast<RowId>(i),
+                simd::ComputeFloatScore(metric, query, data + i * dim, dim));
+    }
+    truth[q] = heap.TakeSorted();
+  }
+  return truth;
+}
+
+double Recall(const HitList& truth, const HitList& result) {
+  if (truth.empty()) return 1.0;
+  std::unordered_set<RowId> truth_ids;
+  truth_ids.reserve(truth.size());
+  for (const SearchHit& hit : truth) truth_ids.insert(hit.id);
+  size_t overlap = 0;
+  for (const SearchHit& hit : result) {
+    if (truth_ids.count(hit.id) != 0) ++overlap;
+  }
+  return static_cast<double>(overlap) / static_cast<double>(truth.size());
+}
+
+double MeanRecall(const std::vector<HitList>& truth,
+                  const std::vector<HitList>& results) {
+  if (truth.empty()) return 1.0;
+  double total = 0.0;
+  for (size_t q = 0; q < truth.size(); ++q) {
+    total += Recall(truth[q], results[q]);
+  }
+  return total / static_cast<double>(truth.size());
+}
+
+}  // namespace bench
+}  // namespace vectordb

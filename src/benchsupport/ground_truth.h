@@ -1,0 +1,27 @@
+#ifndef VECTORDB_BENCHSUPPORT_GROUND_TRUTH_H_
+#define VECTORDB_BENCHSUPPORT_GROUND_TRUTH_H_
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace vectordb {
+namespace bench {
+
+/// Exact top-k per query by brute force (the recall oracle).
+std::vector<HitList> ComputeGroundTruth(const float* data, size_t n,
+                                        const float* queries, size_t nq,
+                                        size_t dim, size_t k,
+                                        MetricType metric);
+
+/// Recall@k of one result list vs its ground truth: |S ∩ S′| / |S| (Sec 7.1).
+double Recall(const HitList& truth, const HitList& result);
+
+/// Mean recall across queries.
+double MeanRecall(const std::vector<HitList>& truth,
+                  const std::vector<HitList>& results);
+
+}  // namespace bench
+}  // namespace vectordb
+
+#endif  // VECTORDB_BENCHSUPPORT_GROUND_TRUTH_H_

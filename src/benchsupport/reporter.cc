@@ -1,0 +1,44 @@
+#include "benchsupport/reporter.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace vectordb {
+namespace bench {
+
+std::string TableReporter::Num(double value) {
+  char buf[64];
+  if (value != 0.0 && (value < 0.01 || value >= 1e6)) {
+    std::snprintf(buf, sizeof(buf), "%.3e", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4g", value);
+  }
+  return buf;
+}
+
+void TableReporter::Print(const std::string& title) const {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size() && c < widths.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]), cells[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    std::printf("%s  ", std::string(widths[c], '-').c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) print_row(row);
+  std::fflush(stdout);
+}
+
+}  // namespace bench
+}  // namespace vectordb

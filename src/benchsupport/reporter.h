@@ -1,0 +1,35 @@
+#ifndef VECTORDB_BENCHSUPPORT_REPORTER_H_
+#define VECTORDB_BENCHSUPPORT_REPORTER_H_
+
+#include <string>
+#include <vector>
+
+namespace vectordb {
+namespace bench {
+
+/// Plain-text table printer for the figure-reproduction harnesses: one
+/// header row, aligned columns, stdout. The bench binaries print the same
+/// rows/series the paper's figures plot.
+class TableReporter {
+ public:
+  explicit TableReporter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Convenience: formats doubles with 4 significant digits.
+  static std::string Num(double value);
+
+  void Print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bench
+}  // namespace vectordb
+
+#endif  // VECTORDB_BENCHSUPPORT_REPORTER_H_

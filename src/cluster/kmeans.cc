@@ -1,0 +1,191 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <numeric>
+
+#include "common/result_heap.h"
+#include "common/rng.h"
+#include "simd/distances.h"
+
+namespace vectordb {
+namespace cluster {
+
+namespace {
+
+/// k-means++ seeding: pick the first centroid uniformly, then each next one
+/// with probability proportional to D², the squared distance to the nearest
+/// already-chosen centroid.
+std::vector<size_t> KMeansPlusPlusSeed(const float* data, size_t n,
+                                       size_t dim, size_t k, Rng* rng) {
+  std::vector<size_t> chosen;
+  chosen.reserve(k);
+  std::vector<double> dist2(n, std::numeric_limits<double>::max());
+
+  chosen.push_back(rng->NextUint64(n));
+  for (size_t c = 1; c < k; ++c) {
+    const float* last = data + chosen.back() * dim;
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double d = simd::L2Sqr(data + i * dim, last, dim);
+      if (d < dist2[i]) dist2[i] = d;
+      total += dist2[i];
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with chosen centroids; pick uniformly.
+      chosen.push_back(rng->NextUint64(n));
+      continue;
+    }
+    double target = rng->NextDouble() * total;
+    size_t pick = n - 1;
+    for (size_t i = 0; i < n; ++i) {
+      target -= dist2[i];
+      if (target <= 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    chosen.push_back(pick);
+  }
+  return chosen;
+}
+
+}  // namespace
+
+size_t NearestCentroid(const float* vec, const float* centroids, size_t k,
+                       size_t dim) {
+  size_t best = 0;
+  float best_dist = std::numeric_limits<float>::max();
+  for (size_t c = 0; c < k; ++c) {
+    const float d = simd::L2Sqr(vec, centroids + c * dim, dim);
+    if (d < best_dist) {
+      best_dist = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::vector<size_t> NearestCentroids(const float* vec, const float* centroids,
+                                     size_t k, size_t dim, size_t nprobe) {
+  nprobe = std::min(nprobe, k);
+  ResultHeap heap(nprobe, /*keep_largest=*/false);
+  for (size_t c = 0; c < k; ++c) {
+    heap.Push(static_cast<RowId>(c), simd::L2Sqr(vec, centroids + c * dim, dim));
+  }
+  HitList hits = heap.TakeSorted();
+  std::vector<size_t> out;
+  out.reserve(hits.size());
+  for (const auto& h : hits) out.push_back(static_cast<size_t>(h.id));
+  return out;
+}
+
+Result<KMeansResult> RunKMeans(const float* data, size_t n, size_t dim,
+                               const KMeansOptions& options) {
+  const size_t k = options.num_clusters;
+  if (k == 0 || dim == 0) {
+    return Status::InvalidArgument("k-means requires k > 0 and dim > 0");
+  }
+  if (n < k) {
+    return Status::InvalidArgument("k-means requires n >= num_clusters");
+  }
+
+  Rng rng(options.seed);
+
+  // Optional training subsample (Faiss-style cap per centroid).
+  std::vector<float> sample_storage;
+  const float* train = data;
+  size_t train_n = n;
+  if (options.max_points_per_centroid != 0) {
+    const size_t cap = options.max_points_per_centroid * k;
+    if (n > cap) {
+      std::vector<size_t> perm(n);
+      std::iota(perm.begin(), perm.end(), size_t{0});
+      std::shuffle(perm.begin(), perm.end(), rng.engine());
+      sample_storage.resize(cap * dim);
+      for (size_t i = 0; i < cap; ++i) {
+        std::memcpy(sample_storage.data() + i * dim, data + perm[i] * dim,
+                    dim * sizeof(float));
+      }
+      train = sample_storage.data();
+      train_n = cap;
+    }
+  }
+
+  KMeansResult result;
+  result.num_clusters = k;
+  result.dim = dim;
+  result.centroids.resize(k * dim);
+
+  const std::vector<size_t> seeds =
+      KMeansPlusPlusSeed(train, train_n, dim, k, &rng);
+  for (size_t c = 0; c < k; ++c) {
+    std::memcpy(result.centroids.data() + c * dim, train + seeds[c] * dim,
+                dim * sizeof(float));
+  }
+
+  std::vector<size_t> assignment(train_n, 0);
+  std::vector<size_t> counts(k, 0);
+  std::vector<double> sums(k * dim, 0.0);
+  double prev_objective = std::numeric_limits<double>::max();
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Assignment step.
+    double objective = 0.0;
+    for (size_t i = 0; i < train_n; ++i) {
+      const size_t c =
+          NearestCentroid(train + i * dim, result.centroids.data(), k, dim);
+      assignment[i] = c;
+      objective +=
+          simd::L2Sqr(train + i * dim, result.centroids.data() + c * dim, dim);
+    }
+    result.objective = objective;
+    result.iterations_run = iter + 1;
+
+    // Update step.
+    std::fill(counts.begin(), counts.end(), size_t{0});
+    std::fill(sums.begin(), sums.end(), 0.0);
+    for (size_t i = 0; i < train_n; ++i) {
+      const size_t c = assignment[i];
+      ++counts[c];
+      const float* v = train + i * dim;
+      double* s = sums.data() + c * dim;
+      for (size_t j = 0; j < dim; ++j) s[j] += v[j];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;
+      float* cent = result.centroids.data() + c * dim;
+      const double inv = 1.0 / static_cast<double>(counts[c]);
+      for (size_t j = 0; j < dim; ++j) {
+        cent[j] = static_cast<float>(sums[c * dim + j] * inv);
+      }
+    }
+
+    // Empty-cluster handling: re-seed from the largest cluster, nudged.
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] != 0) continue;
+      const size_t donor = static_cast<size_t>(
+          std::max_element(counts.begin(), counts.end()) - counts.begin());
+      const float* donor_cent = result.centroids.data() + donor * dim;
+      float* cent = result.centroids.data() + c * dim;
+      for (size_t j = 0; j < dim; ++j) {
+        cent[j] = donor_cent[j] * (1.0f + 1e-4f * (rng.NextFloat() - 0.5f));
+      }
+      counts[c] = 1;  // Avoid repeated donation from the same pass.
+    }
+
+    if (prev_objective < std::numeric_limits<double>::max()) {
+      const double improvement =
+          (prev_objective - objective) / std::max(prev_objective, 1e-30);
+      if (improvement >= 0.0 && improvement < options.tolerance) break;
+    }
+    prev_objective = objective;
+  }
+
+  return result;
+}
+
+}  // namespace cluster
+}  // namespace vectordb

@@ -1,0 +1,50 @@
+#ifndef VECTORDB_CLUSTER_KMEANS_H_
+#define VECTORDB_CLUSTER_KMEANS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vectordb {
+namespace cluster {
+
+struct KMeansOptions {
+  size_t num_clusters = 16;
+  size_t max_iterations = 20;
+  /// Training subsample cap: at most this many points per centroid are used
+  /// for Lloyd iterations (Faiss-style); 0 disables subsampling.
+  size_t max_points_per_centroid = 256;
+  uint64_t seed = 42;
+  /// Stop early when the relative improvement of the objective falls below
+  /// this threshold.
+  double tolerance = 1e-4;
+};
+
+/// Result of a k-means run: row-major centroids and the final objective.
+struct KMeansResult {
+  std::vector<float> centroids;  ///< num_clusters × dim, row-major.
+  size_t num_clusters = 0;
+  size_t dim = 0;
+  double objective = 0.0;  ///< Sum of squared distances to assigned centroid.
+  size_t iterations_run = 0;
+};
+
+/// Lloyd's k-means with k-means++ seeding and empty-cluster splitting.
+/// `data` is n × dim row-major. Requires n >= options.num_clusters.
+Result<KMeansResult> RunKMeans(const float* data, size_t n, size_t dim,
+                               const KMeansOptions& options);
+
+/// Index of the centroid nearest to `vec` (L2). `centroids` is k × dim.
+size_t NearestCentroid(const float* vec, const float* centroids, size_t k,
+                       size_t dim);
+
+/// Indices of the `nprobe` nearest centroids, nearest first.
+std::vector<size_t> NearestCentroids(const float* vec, const float* centroids,
+                                     size_t k, size_t dim, size_t nprobe);
+
+}  // namespace cluster
+}  // namespace vectordb
+
+#endif  // VECTORDB_CLUSTER_KMEANS_H_

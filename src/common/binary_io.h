@@ -1,0 +1,111 @@
+#ifndef VECTORDB_COMMON_BINARY_IO_H_
+#define VECTORDB_COMMON_BINARY_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vectordb {
+
+/// Append-only little-endian binary encoder used for index and segment
+/// serialization. The format is naive length-prefixed POD streaming; files
+/// carry a magic + version header at the layer above.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::string* out) : out_(out) {}
+
+  void PutU32(uint32_t v) { PutPod(v); }
+  void PutU64(uint64_t v) { PutPod(v); }
+  void PutI64(int64_t v) { PutPod(v); }
+  void PutFloat(float v) { PutPod(v); }
+  void PutDouble(double v) { PutPod(v); }
+
+  void PutString(const std::string& s) {
+    PutU64(s.size());
+    out_->append(s);
+  }
+
+  void PutBytes(const void* data, size_t bytes) {
+    out_->append(reinterpret_cast<const char*>(data), bytes);
+  }
+
+  template <typename T>
+  void PutVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    PutU64(v.size());
+    PutBytes(v.data(), v.size() * sizeof(T));
+  }
+
+ private:
+  template <typename T>
+  void PutPod(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    out_->append(reinterpret_cast<const char*>(&v), sizeof(T));
+  }
+
+  std::string* out_;
+};
+
+/// Matching decoder. All getters return false on underflow; callers convert
+/// to Status::Corruption.
+class BinaryReader {
+ public:
+  BinaryReader(const char* data, size_t size) : data_(data), size_(size) {}
+  explicit BinaryReader(const std::string& s)
+      : BinaryReader(s.data(), s.size()) {}
+
+  bool GetU32(uint32_t* v) { return GetPod(v); }
+  bool GetU64(uint64_t* v) { return GetPod(v); }
+  bool GetI64(int64_t* v) { return GetPod(v); }
+  bool GetFloat(float* v) { return GetPod(v); }
+  bool GetDouble(double* v) { return GetPod(v); }
+
+  bool GetString(std::string* s) {
+    uint64_t len;
+    if (!GetU64(&len) || len > Remaining()) return false;
+    s->assign(data_ + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  bool GetBytes(void* out, size_t bytes) {
+    if (bytes > Remaining()) return false;
+    std::memcpy(out, data_ + pos_, bytes);
+    pos_ += bytes;
+    return true;
+  }
+
+  template <typename T>
+  bool GetVector(std::vector<T>* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t n;
+    if (!GetU64(&n)) return false;
+    if (n * sizeof(T) > Remaining()) return false;
+    v->resize(n);
+    return GetBytes(v->data(), n * sizeof(T));
+  }
+
+  size_t Remaining() const { return size_ - pos_; }
+  size_t position() const { return pos_; }
+
+ private:
+  template <typename T>
+  bool GetPod(T* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (sizeof(T) > Remaining()) return false;
+    std::memcpy(v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace vectordb
+
+#endif  // VECTORDB_COMMON_BINARY_IO_H_

@@ -1,0 +1,110 @@
+#ifndef VECTORDB_COMMON_BITSET_H_
+#define VECTORDB_COMMON_BITSET_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vectordb {
+
+/// Dynamically sized bitset used for deletion tombstones and attribute
+/// filter bitmaps (strategy B of Sec 4.1).
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(size_t num_bits, bool value = false)
+      : num_bits_(num_bits),
+        words_((num_bits + 63) / 64, value ? ~uint64_t{0} : 0) {
+    ClearPadding();
+  }
+
+  size_t size() const { return num_bits_; }
+  bool empty() const { return num_bits_ == 0; }
+
+  void Resize(size_t num_bits, bool value = false) {
+    const size_t old_bits = num_bits_;
+    num_bits_ = num_bits;
+    words_.resize((num_bits + 63) / 64, value ? ~uint64_t{0} : 0);
+    if (value && old_bits < num_bits && old_bits % 64 != 0) {
+      // Set the tail bits of the previously-last word.
+      words_[old_bits / 64] |= ~uint64_t{0} << (old_bits % 64);
+    }
+    ClearPadding();
+  }
+
+  bool Test(size_t i) const {
+    return (words_[i / 64] >> (i % 64)) & 1u;
+  }
+
+  void Set(size_t i) { words_[i / 64] |= uint64_t{1} << (i % 64); }
+  void Clear(size_t i) { words_[i / 64] &= ~(uint64_t{1} << (i % 64)); }
+  void Assign(size_t i, bool v) { v ? Set(i) : Clear(i); }
+
+  void SetAll() {
+    for (auto& w : words_) w = ~uint64_t{0};
+    ClearPadding();
+  }
+  void ClearAll() {
+    for (auto& w : words_) w = 0;
+  }
+
+  size_t Count() const {
+    size_t c = 0;
+    for (uint64_t w : words_) c += static_cast<size_t>(std::popcount(w));
+    return c;
+  }
+
+  bool Any() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  Bitset& operator&=(const Bitset& other) {
+    for (size_t i = 0; i < words_.size() && i < other.words_.size(); ++i) {
+      words_[i] &= other.words_[i];
+    }
+    return *this;
+  }
+
+  Bitset& operator|=(const Bitset& other) {
+    for (size_t i = 0; i < words_.size() && i < other.words_.size(); ++i) {
+      words_[i] |= other.words_[i];
+    }
+    ClearPadding();
+    return *this;
+  }
+
+  /// Index of the first set bit at or after `from`, or size() if none.
+  size_t FindNext(size_t from) const {
+    if (from >= num_bits_) return num_bits_;
+    size_t word = from / 64;
+    uint64_t bits = words_[word] & (~uint64_t{0} << (from % 64));
+    while (true) {
+      if (bits != 0) {
+        size_t pos = word * 64 + static_cast<size_t>(std::countr_zero(bits));
+        return pos < num_bits_ ? pos : num_bits_;
+      }
+      if (++word >= words_.size()) return num_bits_;
+      bits = words_[word];
+    }
+  }
+
+  const uint64_t* data() const { return words_.data(); }
+
+ private:
+  void ClearPadding() {
+    if (num_bits_ % 64 != 0 && !words_.empty()) {
+      words_.back() &= ~uint64_t{0} >> (64 - num_bits_ % 64);
+    }
+  }
+
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace vectordb
+
+#endif  // VECTORDB_COMMON_BITSET_H_

@@ -1,0 +1,20 @@
+#include "common/config.h"
+
+#include "common/sysinfo.h"
+
+namespace vectordb {
+
+EngineConfig& EngineConfig::Global() {
+  static EngineConfig config;
+  return config;
+}
+
+size_t EngineConfig::EffectiveThreads() const {
+  return num_threads != 0 ? num_threads : LogicalCpuCount();
+}
+
+size_t EngineConfig::EffectiveL3Bytes() const {
+  return l3_cache_bytes != 0 ? l3_cache_bytes : L3CacheBytes();
+}
+
+}  // namespace vectordb

@@ -1,0 +1,45 @@
+#ifndef VECTORDB_COMMON_CONFIG_H_
+#define VECTORDB_COMMON_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace vectordb {
+
+/// Process-wide engine tunables. A mutable singleton consulted by the query
+/// engine; benchmarks override fields to reproduce specific hardware setups
+/// (e.g. the two L3 sizes of Figure 11).
+struct EngineConfig {
+  /// Worker threads for intra-query parallelism. 0 = hardware concurrency.
+  size_t num_threads = 0;
+
+  /// L3 cache budget in bytes used by Eq. (1) to size query blocks.
+  /// 0 = probe from the operating system (falls back to 16MB).
+  size_t l3_cache_bytes = 0;
+
+  /// Upper bound for the query-block size regardless of Eq. (1).
+  size_t max_query_block = 4096;
+
+  /// Segments larger than this many rows get indexes built automatically
+  /// (the paper builds indexes only for segments > ~1GB; we use row counts).
+  size_t index_build_threshold_rows = 4096;
+
+  /// Target max segment size (rows) for the tiered merge policy.
+  size_t max_segment_rows = 1u << 20;
+
+  /// MemTable flush threshold in rows.
+  size_t memtable_flush_rows = 8192;
+
+  static EngineConfig& Global();
+
+  /// Effective thread count after resolving 0 → hardware concurrency.
+  size_t EffectiveThreads() const;
+
+  /// Effective L3 budget after resolving 0 → probed size.
+  size_t EffectiveL3Bytes() const;
+};
+
+}  // namespace vectordb
+
+#endif  // VECTORDB_COMMON_CONFIG_H_

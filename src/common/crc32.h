@@ -1,0 +1,37 @@
+#ifndef VECTORDB_COMMON_CRC32_H_
+#define VECTORDB_COMMON_CRC32_H_
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <string>
+
+namespace vectordb {
+
+/// Software CRC-32 (IEEE 802.3 polynomial), used to checksum WAL records
+/// and segment files.
+inline uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0) {
+  static const std::array<uint32_t, 256> kTable = [] {
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int j = 0; j < 8; ++j) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return table;
+  }();
+  uint32_t crc = ~seed;
+  const auto* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+inline uint32_t Crc32(const std::string& s) { return Crc32(s.data(), s.size()); }
+
+}  // namespace vectordb
+
+#endif  // VECTORDB_COMMON_CRC32_H_

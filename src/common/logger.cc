@@ -1,0 +1,41 @@
+#include "common/logger.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace vectordb {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_write_mu;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel Logger::level() { return g_level.load(std::memory_order_relaxed); }
+
+void Logger::set_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void Logger::Write(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_write_mu);
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());
+}
+
+}  // namespace vectordb

@@ -1,0 +1,44 @@
+#ifndef VECTORDB_COMMON_LOGGER_H_
+#define VECTORDB_COMMON_LOGGER_H_
+
+#include <sstream>
+#include <string>
+
+namespace vectordb {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+/// Minimal thread-safe logger writing to stderr. Level is process-global and
+/// defaults to kWarn so tests/benches stay quiet unless asked.
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+  static void Write(LogLevel level, const std::string& msg);
+};
+
+namespace internal {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Write(level_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define VDB_LOG(level_enum)                                      \
+  if (::vectordb::Logger::level() <= (level_enum))               \
+  ::vectordb::internal::LogMessage(level_enum).stream()
+
+#define VDB_DEBUG VDB_LOG(::vectordb::LogLevel::kDebug)
+#define VDB_INFO VDB_LOG(::vectordb::LogLevel::kInfo)
+#define VDB_WARN VDB_LOG(::vectordb::LogLevel::kWarn)
+#define VDB_ERROR VDB_LOG(::vectordb::LogLevel::kError)
+
+}  // namespace vectordb
+
+#endif  // VECTORDB_COMMON_LOGGER_H_

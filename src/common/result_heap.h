@@ -1,0 +1,133 @@
+#ifndef VECTORDB_COMMON_RESULT_HEAP_H_
+#define VECTORDB_COMMON_RESULT_HEAP_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vectordb {
+
+/// Fixed-capacity top-k accumulator used by every searcher.
+///
+/// For distance metrics (L2, Hamming, ...) it keeps the k *smallest* scores;
+/// for similarity metrics (IP, cosine) it keeps the k *largest*. Internally a
+/// binary heap ordered so the current worst kept hit sits at the root, making
+/// the admission test a single comparison (the hot path in bucket scans).
+class ResultHeap {
+ public:
+  /// @param k capacity (top-k).
+  /// @param keep_largest true for similarity metrics, false for distances.
+  ResultHeap(size_t k, bool keep_largest)
+      : k_(k), keep_largest_(keep_largest) {
+    heap_.reserve(k);
+  }
+
+  static ResultHeap ForMetric(size_t k, MetricType metric) {
+    return ResultHeap(k, MetricIsSimilarity(metric));
+  }
+
+  size_t capacity() const { return k_; }
+  size_t size() const { return heap_.size(); }
+  bool full() const { return heap_.size() == k_; }
+  bool keep_largest() const { return keep_largest_; }
+
+  /// Score of the current worst kept hit; admission threshold once full.
+  /// When not full, returns the weakest possible bound.
+  float WorstScore() const {
+    if (!full()) {
+      return keep_largest_ ? std::numeric_limits<float>::lowest()
+                           : std::numeric_limits<float>::max();
+    }
+    return heap_.front().score;
+  }
+
+  /// True if a hit with this score would be admitted.
+  bool WouldAccept(float score) const {
+    if (!full()) return true;
+    return keep_largest_ ? score > heap_.front().score
+                         : score < heap_.front().score;
+  }
+
+  /// Offer a candidate; keeps it only if it beats the current worst.
+  void Push(RowId id, float score) {
+    if (full()) {
+      if (!WouldAccept(score)) return;
+      PopRoot();
+    }
+    heap_.push_back({id, score});
+    SiftUp(heap_.size() - 1);
+  }
+
+  /// Merge another heap's contents into this one.
+  void Merge(const ResultHeap& other) {
+    for (const SearchHit& hit : other.heap_) Push(hit.id, hit.score);
+  }
+
+  /// Drain to a sorted HitList (best hit first). The heap is left empty.
+  HitList TakeSorted() {
+    HitList out = std::move(heap_);
+    heap_.clear();
+    if (keep_largest_) {
+      std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+        return a.score > b.score || (a.score == b.score && a.id < b.id);
+      });
+    } else {
+      std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+        return a.score < b.score || (a.score == b.score && a.id < b.id);
+      });
+    }
+    return out;
+  }
+
+  /// Unordered view of the current contents.
+  const std::vector<SearchHit>& contents() const { return heap_; }
+
+ private:
+  // Root is the *worst* kept element: a max-heap on score when keeping the
+  // smallest scores, a min-heap when keeping the largest.
+  bool RootOrder(float parent, float child) const {
+    return keep_largest_ ? parent <= child : parent >= child;
+  }
+
+  void SiftUp(size_t i) {
+    while (i > 0) {
+      size_t parent = (i - 1) / 2;
+      if (RootOrder(heap_[parent].score, heap_[i].score)) break;
+      std::swap(heap_[parent], heap_[i]);
+      i = parent;
+    }
+  }
+
+  void PopRoot() {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    size_t i = 0;
+    const size_t n = heap_.size();
+    while (true) {
+      size_t left = 2 * i + 1;
+      size_t right = left + 1;
+      size_t swap_with = i;
+      if (left < n && !RootOrder(heap_[swap_with].score, heap_[left].score)) {
+        swap_with = left;
+      }
+      if (right < n &&
+          !RootOrder(heap_[swap_with].score, heap_[right].score)) {
+        swap_with = right;
+      }
+      if (swap_with == i) break;
+      std::swap(heap_[i], heap_[swap_with]);
+      i = swap_with;
+    }
+  }
+
+  size_t k_;
+  bool keep_largest_;
+  std::vector<SearchHit> heap_;
+};
+
+}  // namespace vectordb
+
+#endif  // VECTORDB_COMMON_RESULT_HEAP_H_

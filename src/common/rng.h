@@ -1,0 +1,44 @@
+#ifndef VECTORDB_COMMON_RNG_H_
+#define VECTORDB_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace vectordb {
+
+/// Deterministic random source. All randomized components (k-means seeding,
+/// HNSW level draws, synthetic datasets) take an explicit seed so tests and
+/// benchmarks are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [0, bound).
+  uint64_t NextUint64(uint64_t bound) {
+    return std::uniform_int_distribution<uint64_t>(0, bound - 1)(engine_);
+  }
+
+  /// Uniform float in [0, 1).
+  float NextFloat() {
+    return std::uniform_real_distribution<float>(0.0f, 1.0f)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Standard normal draw.
+  float NextGaussian() {
+    return std::normal_distribution<float>(0.0f, 1.0f)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace vectordb
+
+#endif  // VECTORDB_COMMON_RNG_H_

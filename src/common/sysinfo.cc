@@ -1,0 +1,27 @@
+#include "common/sysinfo.h"
+
+#include <thread>
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
+
+namespace vectordb {
+
+size_t LogicalCpuCount() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+size_t L3CacheBytes() {
+  constexpr size_t kFallback = 16u << 20;
+#ifdef __linux__
+#ifdef _SC_LEVEL3_CACHE_SIZE
+  long sz = sysconf(_SC_LEVEL3_CACHE_SIZE);
+  if (sz > 0) return static_cast<size_t>(sz);
+#endif
+#endif
+  return kFallback;
+}
+
+}  // namespace vectordb

@@ -1,0 +1,17 @@
+#ifndef VECTORDB_COMMON_SYSINFO_H_
+#define VECTORDB_COMMON_SYSINFO_H_
+
+#include <cstddef>
+
+namespace vectordb {
+
+/// Number of logical CPUs visible to the process (>= 1).
+size_t LogicalCpuCount();
+
+/// Size of the last-level (L3) cache in bytes; falls back to 16MB when the
+/// OS does not expose it.
+size_t L3CacheBytes();
+
+}  // namespace vectordb
+
+#endif  // VECTORDB_COMMON_SYSINFO_H_

@@ -1,0 +1,66 @@
+#ifndef VECTORDB_COMMON_THREADPOOL_H_
+#define VECTORDB_COMMON_THREADPOOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vectordb {
+
+/// Fixed-size worker pool. Used for intra-query parallelism in the blocked
+/// batch searcher (threads are assigned to *data* slices, Sec 3.2.1), for
+/// background flush/merge/GC in the storage engine, and for the simulated
+/// GPU device workers.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueue a task; returns a future for completion/result.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<decltype(fn())> {
+    using R = decltype(fn());
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Run fn(i) for i in [0, n) across the pool and wait for all of them.
+  /// The calling thread also participates, so a 1-thread pool still makes
+  /// progress when the caller submits from inside the pool.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Block until the queue is empty and all workers are idle.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace vectordb
+
+#endif  // VECTORDB_COMMON_THREADPOOL_H_

@@ -1,0 +1,29 @@
+#ifndef VECTORDB_COMMON_TIMER_H_
+#define VECTORDB_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace vectordb {
+
+/// Monotonic wall-clock stopwatch for benchmark harnesses.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace vectordb
+
+#endif  // VECTORDB_COMMON_TIMER_H_

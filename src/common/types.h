@@ -1,0 +1,70 @@
+#ifndef VECTORDB_COMMON_TYPES_H_
+#define VECTORDB_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vectordb {
+
+/// Row identifier within the database. Vectors inside a segment are stored
+/// contiguously sorted by row id (Sec 2.4 of the paper).
+using RowId = int64_t;
+constexpr RowId kInvalidRowId = -1;
+
+/// Segment identifier (the basic unit of searching/scheduling/buffering).
+using SegmentId = uint64_t;
+
+/// Similarity / distance metrics supported by the engine (Sec 2.1).
+enum class MetricType {
+  kL2,            ///< squared Euclidean distance (smaller = more similar)
+  kInnerProduct,  ///< inner product (larger = more similar)
+  kCosine,        ///< cosine similarity (larger = more similar)
+  kHamming,       ///< binary Hamming distance (smaller = more similar)
+  kJaccard,       ///< binary Jaccard distance (smaller = more similar)
+  kTanimoto,      ///< binary Tanimoto distance (smaller = more similar)
+};
+
+/// True when larger scores mean more similar for the given metric.
+inline bool MetricIsSimilarity(MetricType metric) {
+  return metric == MetricType::kInnerProduct || metric == MetricType::kCosine;
+}
+
+/// True for metrics over packed binary vectors.
+inline bool MetricIsBinary(MetricType metric) {
+  return metric == MetricType::kHamming || metric == MetricType::kJaccard ||
+         metric == MetricType::kTanimoto;
+}
+
+inline const char* MetricName(MetricType metric) {
+  switch (metric) {
+    case MetricType::kL2:
+      return "L2";
+    case MetricType::kInnerProduct:
+      return "IP";
+    case MetricType::kCosine:
+      return "COSINE";
+    case MetricType::kHamming:
+      return "HAMMING";
+    case MetricType::kJaccard:
+      return "JACCARD";
+    case MetricType::kTanimoto:
+      return "TANIMOTO";
+  }
+  return "UNKNOWN";
+}
+
+/// One (id, score) search hit.
+struct SearchHit {
+  RowId id = kInvalidRowId;
+  float score = 0.0f;
+
+  bool operator==(const SearchHit& other) const = default;
+};
+
+/// Top-k result list for one query, best hit first.
+using HitList = std::vector<SearchHit>;
+
+}  // namespace vectordb
+
+#endif  // VECTORDB_COMMON_TYPES_H_

@@ -1,0 +1,797 @@
+#include "db/collection.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/binary_io.h"
+#include "common/result_heap.h"
+#include "engine/batch_searcher.h"
+#include "index/index_factory.h"
+#include "index/ivf_index.h"
+#include "query/cost_model.h"
+#include "simd/distances.h"
+
+namespace vectordb {
+namespace db {
+
+namespace {
+constexpr uint32_t kManifestMagic = 0x464E4D56;  // "VMNF"
+
+std::string EncodeDeletePayload(RowId row_id) {
+  std::string payload;
+  BinaryWriter writer(&payload);
+  writer.PutI64(row_id);
+  return payload;
+}
+}  // namespace
+
+Collection::Collection(CollectionSchema schema,
+                       const CollectionOptions& options)
+    : schema_(std::move(schema)),
+      options_(options),
+      buffer_pool_(options.buffer_pool_bytes) {
+  wal_ = std::make_unique<storage::WriteAheadLog>(options_.fs, WalPath());
+  memtable_ =
+      std::make_unique<storage::MemTable>(schema_.ToSegmentSchema());
+  snapshot_manager_.SetDropHandler([this](SegmentId id) {
+    buffer_pool_.Invalidate(id);
+    (void)options_.fs->Delete(SegmentPath(id));
+  });
+}
+
+std::string Collection::SegmentPath(SegmentId id) const {
+  return options_.data_prefix + schema_.name + "/segments/" +
+         std::to_string(id) + ".seg";
+}
+
+std::string Collection::ManifestPath() const {
+  return options_.data_prefix + schema_.name + "/MANIFEST";
+}
+
+std::string Collection::WalPath() const {
+  return options_.data_prefix + schema_.name + "/WAL";
+}
+
+Result<std::unique_ptr<Collection>> Collection::Create(
+    const CollectionSchema& schema, const CollectionOptions& options) {
+  VDB_RETURN_NOT_OK(schema.Validate());
+  if (options.fs == nullptr) {
+    return Status::InvalidArgument("a FileSystem is required");
+  }
+  std::unique_ptr<Collection> collection(new Collection(schema, options));
+  auto exists = options.fs->Exists(collection->ManifestPath());
+  if (!exists.ok()) return exists.status();
+  if (exists.value()) {
+    return Status::AlreadyExists("collection exists: " + schema.name);
+  }
+  VDB_RETURN_NOT_OK(collection->PersistManifest());
+  return collection;
+}
+
+Result<std::unique_ptr<Collection>> Collection::Open(
+    const std::string& name, const CollectionOptions& options) {
+  if (options.fs == nullptr) {
+    return Status::InvalidArgument("a FileSystem is required");
+  }
+  // Load the manifest to learn the schema, then rebuild state.
+  CollectionSchema bootstrap;
+  bootstrap.name = name;
+  bootstrap.vector_fields.push_back({"_", 1});  // Replaced by manifest.
+  std::unique_ptr<Collection> collection(
+      new Collection(bootstrap, options));
+  VDB_RETURN_NOT_OK(collection->RecoverFromStorage());
+  return collection;
+}
+
+Status Collection::PersistManifest() {
+  std::string out;
+  BinaryWriter writer(&out);
+  writer.PutU32(kManifestMagic);
+  std::string schema_blob;
+  schema_.Serialize(&schema_blob);
+  writer.PutString(schema_blob);
+  writer.PutU64(next_segment_id_.load());
+  writer.PutU64(next_row_id_.load());
+
+  const storage::SnapshotPtr snapshot = snapshot_manager_.Acquire();
+  writer.PutU64(snapshot->segments.size());
+  for (const auto& segment : snapshot->segments) {
+    writer.PutU64(segment->id());
+  }
+  std::vector<RowId> tombstone_rows;
+  std::vector<SegmentId> tombstone_marks;
+  for (const auto& [row_id, watermark] : *snapshot->tombstones) {
+    tombstone_rows.push_back(row_id);
+    tombstone_marks.push_back(watermark);
+  }
+  writer.PutVector(tombstone_rows);
+  writer.PutVector(tombstone_marks);
+  return options_.fs->Write(ManifestPath(), out);
+}
+
+Status Collection::RecoverFromStorage() {
+  std::string manifest;
+  VDB_RETURN_NOT_OK(options_.fs->Read(ManifestPath(), &manifest));
+  BinaryReader reader(manifest);
+  uint32_t magic;
+  if (!reader.GetU32(&magic) || magic != kManifestMagic) {
+    return Status::Corruption("bad manifest magic");
+  }
+  std::string schema_blob;
+  uint64_t next_segment, next_row, num_segments;
+  if (!reader.GetString(&schema_blob) || !reader.GetU64(&next_segment) ||
+      !reader.GetU64(&next_row) || !reader.GetU64(&num_segments)) {
+    return Status::Corruption("truncated manifest");
+  }
+  auto schema = CollectionSchema::Deserialize(schema_blob);
+  if (!schema.ok()) return schema.status();
+  schema_ = std::move(schema).value();
+  memtable_ =
+      std::make_unique<storage::MemTable>(schema_.ToSegmentSchema());
+  next_segment_id_.store(next_segment);
+  next_row_id_.store(next_row);
+
+  std::vector<storage::SegmentPtr> segments;
+  for (uint64_t i = 0; i < num_segments; ++i) {
+    uint64_t id;
+    if (!reader.GetU64(&id)) return Status::Corruption("truncated manifest");
+    auto loaded = LoadSegment(id);
+    if (!loaded.ok()) return loaded.status();
+    segments.push_back(std::move(loaded).value());
+  }
+  std::vector<RowId> tombstone_rows;
+  std::vector<SegmentId> tombstone_marks;
+  if (!reader.GetVector(&tombstone_rows) ||
+      !reader.GetVector(&tombstone_marks) ||
+      tombstone_rows.size() != tombstone_marks.size()) {
+    return Status::Corruption("truncated manifest tombstones");
+  }
+  snapshot_manager_.Commit([&](storage::Snapshot* snap) {
+    snap->segments = segments;
+    auto tombs = std::make_shared<storage::TombstoneMap>();
+    for (size_t i = 0; i < tombstone_rows.size(); ++i) {
+      (*tombs)[tombstone_rows[i]] = tombstone_marks[i];
+    }
+    snap->tombstones = std::move(tombs);
+  });
+
+  // Replay the WAL tail (operations after the last manifest persist).
+  return wal_->Replay([this](const storage::WalRecord& record) -> Status {
+    switch (record.type) {
+      case storage::WalOpType::kInsert: {
+        auto entity = Entity::Deserialize(record.payload);
+        if (!entity.ok()) return entity.status();
+        const Entity& e = entity.value();
+        std::vector<const float*> fields;
+        for (const auto& vec : e.vectors) fields.push_back(vec.data());
+        uint64_t expected = next_row_id_.load();
+        while (static_cast<uint64_t>(e.id) >= expected &&
+               !next_row_id_.compare_exchange_weak(expected, e.id + 1)) {
+        }
+        return memtable_->Insert(e.id, fields, e.attributes);
+      }
+      case storage::WalOpType::kDelete: {
+        BinaryReader payload(record.payload);
+        RowId row_id;
+        if (!payload.GetI64(&row_id)) {
+          return Status::Corruption("bad delete payload");
+        }
+        if (!memtable_->Delete(row_id)) {
+          const SegmentId watermark = next_segment_id_.load();
+          snapshot_manager_.Commit([&](storage::Snapshot* snap) {
+            auto tombs =
+                std::make_shared<storage::TombstoneMap>(*snap->tombstones);
+            SegmentId& mark = (*tombs)[row_id];
+            mark = std::max(mark, watermark);
+            snap->tombstones = std::move(tombs);
+          });
+        }
+        return Status::OK();
+      }
+      default:
+        return Status::OK();
+    }
+  });
+}
+
+Status Collection::PersistSegment(const storage::SegmentPtr& segment) {
+  std::string blob;
+  VDB_RETURN_NOT_OK(segment->Serialize(&blob));
+  return options_.fs->Write(SegmentPath(segment->id()), blob);
+}
+
+Result<storage::SegmentPtr> Collection::LoadSegment(SegmentId id) const {
+  return buffer_pool_.Fetch(id, [&]() -> Result<storage::SegmentPtr> {
+    std::string blob;
+    VDB_RETURN_NOT_OK(options_.fs->Read(SegmentPath(id), &blob));
+    return storage::Segment::Deserialize(blob);
+  });
+}
+
+Status Collection::ValidateEntity(const Entity& entity) const {
+  if (entity.vectors.size() != schema_.vector_fields.size()) {
+    return Status::InvalidArgument("entity vector field count mismatch");
+  }
+  for (size_t f = 0; f < entity.vectors.size(); ++f) {
+    if (entity.vectors[f].size() != schema_.vector_fields[f].dim) {
+      return Status::InvalidArgument("entity vector dim mismatch in field " +
+                                     schema_.vector_fields[f].name);
+    }
+  }
+  if (entity.attributes.size() != schema_.attributes.size()) {
+    return Status::InvalidArgument("entity attribute count mismatch");
+  }
+  return Status::OK();
+}
+
+RowId Collection::AllocateRowIds(size_t count) {
+  return static_cast<RowId>(next_row_id_.fetch_add(count));
+}
+
+uint64_t Collection::next_row_id() const { return next_row_id_.load(); }
+
+Status Collection::LogAndApplyInsert(const Entity& entity) {
+  // Materialize to the log first (Sec 5.1), then apply to the MemTable.
+  storage::WalRecord record;
+  record.type = storage::WalOpType::kInsert;
+  record.collection = schema_.name;
+  entity.Serialize(&record.payload);
+  VDB_RETURN_NOT_OK(wal_->Append(&record));
+
+  std::vector<const float*> fields;
+  fields.reserve(entity.vectors.size());
+  for (const auto& vec : entity.vectors) fields.push_back(vec.data());
+  return memtable_->Insert(entity.id, fields, entity.attributes);
+}
+
+Status Collection::Insert(const Entity& entity) {
+  VDB_RETURN_NOT_OK(ValidateEntity(entity));
+  std::lock_guard<std::mutex> lock(write_mu_);
+  Entity to_insert = entity;
+  if (to_insert.id == kInvalidRowId) {
+    to_insert.id = AllocateRowIds(1);
+  } else {
+    uint64_t expected = next_row_id_.load();
+    while (static_cast<uint64_t>(to_insert.id) >= expected &&
+           !next_row_id_.compare_exchange_weak(expected, to_insert.id + 1)) {
+    }
+  }
+  return LogAndApplyInsert(to_insert);
+}
+
+Status Collection::InsertBatch(const std::vector<Entity>& entities) {
+  for (const Entity& entity : entities) {
+    VDB_RETURN_NOT_OK(Insert(entity));
+  }
+  return Status::OK();
+}
+
+Status Collection::Delete(RowId row_id) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  storage::WalRecord record;
+  record.type = storage::WalOpType::kDelete;
+  record.collection = schema_.name;
+  record.payload = EncodeDeletePayload(row_id);
+  VDB_RETURN_NOT_OK(wal_->Append(&record));
+
+  if (memtable_->Delete(row_id)) return Status::OK();  // Never flushed.
+  // Every physical copy currently on disk lives in a segment with id below
+  // the watermark; a later re-insert flushes above it and stays visible.
+  const SegmentId watermark = next_segment_id_.load();
+  snapshot_manager_.Commit([&](storage::Snapshot* snap) {
+    auto tombs = std::make_shared<storage::TombstoneMap>(*snap->tombstones);
+    SegmentId& mark = (*tombs)[row_id];
+    mark = std::max(mark, watermark);
+    snap->tombstones = std::move(tombs);
+  });
+  return Status::OK();
+}
+
+Status Collection::Update(const Entity& entity) {
+  if (entity.id == kInvalidRowId) {
+    return Status::InvalidArgument("update requires an explicit row id");
+  }
+  VDB_RETURN_NOT_OK(Delete(entity.id));
+  return Insert(entity);
+}
+
+Status Collection::Flush() {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (memtable_->num_rows() == 0) return Status::OK();
+
+  const SegmentId segment_id = next_segment_id_.fetch_add(1);
+  auto flushed = memtable_->Flush(segment_id);
+  if (!flushed.ok()) return flushed.status();
+  storage::SegmentPtr segment = std::move(flushed).value();
+  if (segment == nullptr) return Status::OK();
+
+  // Index large segments immediately; small ones stay flat (Sec 2.3).
+  if (segment->num_rows() >= options_.index_build_threshold_rows) {
+    for (size_t f = 0; f < schema_.vector_fields.size(); ++f) {
+      auto created = index::CreateIndex(schema_.default_index,
+                                        schema_.vector_fields[f].dim,
+                                        schema_.metric, schema_.index_params);
+      if (!created.ok()) return created.status();
+      index::IndexPtr idx = std::move(created).value();
+      VDB_RETURN_NOT_OK(idx->Build(segment->vectors(f), segment->num_rows()));
+      segment->SetIndex(f, std::move(idx));
+    }
+  }
+
+  VDB_RETURN_NOT_OK(PersistSegment(segment));
+  snapshot_manager_.Commit([&](storage::Snapshot* snap) {
+    snap->segments.push_back(segment);
+  });
+  VDB_RETURN_NOT_OK(PersistManifest());
+  return wal_->Reset();  // All logged operations are now durable as state.
+}
+
+Status Collection::RunMergeOnce(size_t* merges_done) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (merges_done != nullptr) *merges_done = 0;
+  const storage::SnapshotPtr snapshot = snapshot_manager_.Acquire();
+
+  std::vector<storage::SegmentInfo> infos;
+  infos.reserve(snapshot->segments.size());
+  for (const auto& segment : snapshot->segments) {
+    infos.push_back({segment->id(), segment->num_rows()});
+  }
+  const auto groups = PickMerges(infos, options_.merge_policy);
+  if (groups.empty()) return Status::OK();
+
+  for (const storage::MergeGroup& group : groups) {
+    std::vector<storage::SegmentPtr> sources;
+    for (SegmentId id : group) {
+      for (const auto& segment : snapshot->segments) {
+        if (segment->id() == id) sources.push_back(segment);
+      }
+    }
+
+    const SegmentId merged_id = next_segment_id_.fetch_add(1);
+    storage::SegmentBuilder builder(merged_id, schema_.ToSegmentSchema());
+    std::vector<RowId> applied_tombstones;
+    for (const auto& source : sources) {
+      for (size_t pos = 0; pos < source->num_rows(); ++pos) {
+        const RowId row_id = source->row_id_at(pos);
+        if (snapshot->IsDeleted(row_id, source->id())) {
+          // Obsoleted vectors are removed during merge (Sec 2.3).
+          applied_tombstones.push_back(row_id);
+          continue;
+        }
+        std::vector<const float*> fields;
+        for (size_t f = 0; f < schema_.vector_fields.size(); ++f) {
+          fields.push_back(source->vector(f, pos));
+        }
+        std::vector<double> attrs;
+        for (size_t a = 0; a < schema_.attributes.size(); ++a) {
+          attrs.push_back(source->attribute(a).ValueAt(pos));
+        }
+        VDB_RETURN_NOT_OK(builder.AddRow(row_id, fields, attrs));
+      }
+    }
+    auto built = builder.Finish();
+    if (!built.ok()) return built.status();
+    storage::SegmentPtr merged = std::move(built).value();
+
+    if (merged->num_rows() >= options_.index_build_threshold_rows) {
+      for (size_t f = 0; f < schema_.vector_fields.size(); ++f) {
+        auto created = index::CreateIndex(
+            schema_.default_index, schema_.vector_fields[f].dim,
+            schema_.metric, schema_.index_params);
+        if (!created.ok()) return created.status();
+        index::IndexPtr idx = std::move(created).value();
+        VDB_RETURN_NOT_OK(idx->Build(merged->vectors(f), merged->num_rows()));
+        merged->SetIndex(f, std::move(idx));
+      }
+    }
+    VDB_RETURN_NOT_OK(PersistSegment(merged));
+
+    snapshot_manager_.Commit([&](storage::Snapshot* snap) {
+      auto& segs = snap->segments;
+      segs.erase(std::remove_if(segs.begin(), segs.end(),
+                                [&](const storage::SegmentPtr& s) {
+                                  return std::find(group.begin(), group.end(),
+                                                   s->id()) != group.end();
+                                }),
+                 segs.end());
+      segs.push_back(merged);
+      if (!applied_tombstones.empty()) {
+        auto tombs =
+            std::make_shared<storage::TombstoneMap>(*snap->tombstones);
+        for (RowId id : applied_tombstones) tombs->erase(id);
+        snap->tombstones = std::move(tombs);
+      }
+    });
+    if (merges_done != nullptr) ++(*merges_done);
+  }
+  return PersistManifest();
+}
+
+Status Collection::BuildIndexes(size_t* built) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (built != nullptr) *built = 0;
+  const storage::SnapshotPtr snapshot = snapshot_manager_.Acquire();
+  for (const auto& segment : snapshot->segments) {
+    if (segment->num_rows() < options_.index_build_threshold_rows) continue;
+    bool missing = false;
+    for (size_t f = 0; f < schema_.vector_fields.size(); ++f) {
+      if (!segment->HasIndex(f)) missing = true;
+    }
+    if (!missing) continue;
+
+    // Copy-on-write: a new version of the segment gets the index (Sec 5.2 —
+    // a new segment version whenever data or index changes).
+    std::string blob;
+    VDB_RETURN_NOT_OK(segment->Serialize(&blob));
+    auto copied = storage::Segment::Deserialize(blob);
+    if (!copied.ok()) return copied.status();
+    storage::SegmentPtr indexed = std::move(copied).value();
+    for (size_t f = 0; f < schema_.vector_fields.size(); ++f) {
+      if (indexed->HasIndex(f)) continue;
+      auto created = index::CreateIndex(schema_.default_index,
+                                        schema_.vector_fields[f].dim,
+                                        schema_.metric, schema_.index_params);
+      if (!created.ok()) return created.status();
+      index::IndexPtr idx = std::move(created).value();
+      VDB_RETURN_NOT_OK(
+          idx->Build(indexed->vectors(f), indexed->num_rows()));
+      indexed->SetIndex(f, std::move(idx));
+    }
+    VDB_RETURN_NOT_OK(PersistSegment(indexed));
+    buffer_pool_.Invalidate(indexed->id());
+    snapshot_manager_.Commit([&](storage::Snapshot* snap) {
+      for (auto& s : snap->segments) {
+        if (s->id() == indexed->id()) s = indexed;
+      }
+    });
+    if (built != nullptr) ++(*built);
+  }
+  return Status::OK();
+}
+
+size_t Collection::CollectGarbage() {
+  return snapshot_manager_.CollectGarbage();
+}
+
+size_t Collection::NumLiveRows() const {
+  const storage::SnapshotPtr snapshot = snapshot_manager_.Acquire();
+  size_t rows = 0;
+  for (const auto& segment : snapshot->segments) {
+    for (size_t pos = 0; pos < segment->num_rows(); ++pos) {
+      if (!snapshot->IsDeleted(segment->row_id_at(pos), segment->id())) {
+        ++rows;
+      }
+    }
+  }
+  return rows;
+}
+
+size_t Collection::NumSegments() const {
+  return snapshot_manager_.Acquire()->segments.size();
+}
+
+void Collection::SearchSegment(const storage::Segment& segment, size_t field,
+                               const float* query, const QueryOptions& options,
+                               size_t k, const storage::Snapshot& snapshot,
+                               ResultHeap* heap) const {
+  // Tombstone allow-filter over local positions (only when needed).
+  Bitset allowed;
+  const Bitset* filter = nullptr;
+  if (snapshot.tombstones != nullptr && !snapshot.tombstones->empty()) {
+    bool any_deleted = false;
+    allowed.Resize(segment.num_rows(), true);
+    for (const auto& [dead, watermark] : *snapshot.tombstones) {
+      if (segment.id() >= watermark) continue;  // Newer re-inserted copy.
+      if (auto pos = segment.PositionOf(dead)) {
+        allowed.Clear(*pos);
+        any_deleted = true;
+      }
+    }
+    if (any_deleted) filter = &allowed;
+  }
+
+  const size_t dim = schema_.vector_fields[field].dim;
+  const index::VectorIndex* idx = segment.GetIndex(field);
+  if (idx != nullptr) {
+    index::SearchOptions idx_options;
+    idx_options.k = k;
+    idx_options.nprobe = options.nprobe;
+    idx_options.ef_search = std::max(options.ef_search, k);
+    idx_options.filter = filter;
+    std::vector<HitList> results;
+    if (idx->Search(query, 1, idx_options, &results).ok()) {
+      for (const SearchHit& hit : results[0]) {
+        heap->Push(segment.row_id_at(static_cast<size_t>(hit.id)), hit.score);
+      }
+      return;
+    }
+  }
+  // Flat scan fallback for small / index-less segments.
+  for (size_t pos = 0; pos < segment.num_rows(); ++pos) {
+    if (filter != nullptr && !filter->Test(pos)) continue;
+    const float score = simd::ComputeFloatScore(
+        schema_.metric, query, segment.vector(field, pos), dim);
+    heap->Push(segment.row_id_at(pos), score);
+  }
+}
+
+Result<std::vector<HitList>> Collection::Search(
+    const std::string& field, const float* queries, size_t nq,
+    const QueryOptions& options) const {
+  return SearchScoped(field, queries, nq, options,
+                      [](SegmentId) { return true; });
+}
+
+Result<std::vector<HitList>> Collection::SearchScoped(
+    const std::string& field, const float* queries, size_t nq,
+    const QueryOptions& options,
+    const std::function<bool(SegmentId)>& owns) const {
+  const int f = schema_.FieldIndex(field);
+  if (f < 0) return Status::NotFound("unknown vector field: " + field);
+  const storage::SnapshotPtr snapshot = snapshot_manager_.Acquire();
+
+  // Resolve the shard predicate once per call, not per (segment, query).
+  std::vector<const storage::Segment*> owned;
+  owned.reserve(snapshot->segments.size());
+  for (const auto& segment : snapshot->segments) {
+    if (owns(segment->id())) owned.push_back(segment.get());
+  }
+
+  const size_t dim = schema_.vector_fields[f].dim;
+  std::vector<ResultHeap> heaps;
+  heaps.reserve(nq);
+  for (size_t q = 0; q < nq; ++q) {
+    heaps.push_back(ResultHeap::ForMetric(options.k, schema_.metric));
+  }
+
+  for (const storage::Segment* segment : owned) {
+    // Index-less segments with a multi-query batch go through the
+    // cache-aware blocked searcher (Sec 3.2.1) — tombstoned segments and
+    // indexed segments take the per-query path in SearchSegment.
+    const bool has_tombstones_here = [&] {
+      if (snapshot->tombstones == nullptr) return false;
+      for (const auto& [dead, watermark] : *snapshot->tombstones) {
+        if (segment->id() < watermark && segment->PositionOf(dead)) {
+          return true;
+        }
+      }
+      return false;
+    }();
+    if (nq > 1 && segment->GetIndex(f) == nullptr && !has_tombstones_here) {
+      engine::BatchSearchSpec spec;
+      spec.metric = schema_.metric;
+      spec.dim = dim;
+      spec.k = options.k;
+      engine::CacheAwareBatchSearcher searcher(nullptr);
+      std::vector<HitList> results;
+      if (searcher
+              .Search(segment->vectors(f), segment->num_rows(), queries, nq,
+                      spec, &results)
+              .ok()) {
+        for (size_t q = 0; q < nq; ++q) {
+          for (const SearchHit& hit : results[q]) {
+            heaps[q].Push(segment->row_id_at(static_cast<size_t>(hit.id)),
+                          hit.score);
+          }
+        }
+        continue;
+      }
+    }
+    for (size_t q = 0; q < nq; ++q) {
+      SearchSegment(*segment, static_cast<size_t>(f), queries + q * dim,
+                    options, options.k, *snapshot, &heaps[q]);
+    }
+  }
+
+  std::vector<HitList> out(nq);
+  for (size_t q = 0; q < nq; ++q) out[q] = heaps[q].TakeSorted();
+  return out;
+}
+
+Result<HitList> Collection::SearchFiltered(
+    const std::string& field, const float* query, const std::string& attribute,
+    const query::AttrRange& range, const QueryOptions& options) const {
+  const int f = schema_.FieldIndex(field);
+  if (f < 0) return Status::NotFound("unknown vector field: " + field);
+  const int a = schema_.AttributeIdx(attribute);
+  if (a < 0) return Status::NotFound("unknown attribute: " + attribute);
+  const storage::SnapshotPtr snapshot = snapshot_manager_.Acquire();
+
+  const size_t dim = schema_.vector_fields[f].dim;
+  ResultHeap heap = ResultHeap::ForMetric(options.k, schema_.metric);
+
+  for (const auto& segment : snapshot->segments) {
+    const auto& column = segment->attribute(static_cast<size_t>(a));
+    const size_t passing = column.CountInRange(range.lo, range.hi);
+    if (passing == 0) continue;
+
+    // Per-segment cost-based strategy (Sec 4.1 strategy D).
+    query::CostModelInputs inputs;
+    inputs.n = segment->num_rows();
+    inputs.dim = dim;
+    inputs.k = options.k;
+    inputs.pass_fraction =
+        static_cast<double>(passing) / static_cast<double>(segment->num_rows());
+    inputs.theta = options.theta;
+    const index::VectorIndex* idx = segment->GetIndex(f);
+    if (const auto* ivf = dynamic_cast<const index::IvfIndex*>(idx)) {
+      inputs.nlist = ivf->nlist();
+      inputs.nprobe = options.nprobe;
+    }
+    query::FilterStrategy strategy =
+        idx == nullptr ? query::FilterStrategy::kA
+                       : query::ChooseStrategy(inputs);
+
+    switch (strategy) {
+      case query::FilterStrategy::kA: {
+        std::vector<RowId> candidates;
+        column.CollectInRange(range.lo, range.hi, &candidates);
+        for (RowId row_id : candidates) {
+          if (snapshot->IsDeleted(row_id, segment->id())) continue;
+          const auto pos = segment->PositionOf(row_id);
+          if (!pos) continue;
+          heap.Push(row_id, simd::ComputeFloatScore(
+                                schema_.metric, query,
+                                segment->vector(f, *pos), dim));
+        }
+        break;
+      }
+      case query::FilterStrategy::kC: {
+        const size_t fetch = std::max<size_t>(
+            options.k, static_cast<size_t>(options.theta * options.k));
+        index::SearchOptions idx_options;
+        idx_options.k = fetch;
+        idx_options.nprobe = options.nprobe;
+        idx_options.ef_search = std::max(options.ef_search, fetch);
+        std::vector<HitList> results;
+        VDB_RETURN_NOT_OK(idx->Search(query, 1, idx_options, &results));
+        size_t taken = 0;
+        for (const SearchHit& hit : results[0]) {
+          const size_t pos = static_cast<size_t>(hit.id);
+          const RowId row_id = segment->row_id_at(pos);
+          if (snapshot->IsDeleted(row_id, segment->id())) continue;
+          const double value = column.ValueAt(pos);
+          if (value < range.lo || value > range.hi) continue;
+          heap.Push(row_id, hit.score);
+          if (++taken == options.k) break;
+        }
+        break;
+      }
+      default: {  // Strategy B.
+        std::vector<RowId> candidates;
+        column.CollectInRange(range.lo, range.hi, &candidates);
+        Bitset allowed(segment->num_rows());
+        for (RowId row_id : candidates) {
+          if (snapshot->IsDeleted(row_id, segment->id())) continue;
+          if (auto pos = segment->PositionOf(row_id)) allowed.Set(*pos);
+        }
+        index::SearchOptions idx_options;
+        idx_options.k = options.k;
+        idx_options.nprobe = options.nprobe;
+        idx_options.ef_search = std::max(options.ef_search, options.k);
+        idx_options.filter = &allowed;
+        std::vector<HitList> results;
+        VDB_RETURN_NOT_OK(idx->Search(query, 1, idx_options, &results));
+        for (const SearchHit& hit : results[0]) {
+          heap.Push(segment->row_id_at(static_cast<size_t>(hit.id)),
+                    hit.score);
+        }
+        break;
+      }
+    }
+  }
+  return heap.TakeSorted();
+}
+
+Result<HitList> Collection::MultiVectorSearch(
+    const std::vector<const float*>& query, const std::vector<float>& weights,
+    const QueryOptions& options) const {
+  const size_t mu = schema_.vector_fields.size();
+  if (query.size() != mu) {
+    return Status::InvalidArgument("one query vector per field required");
+  }
+  if (!weights.empty() && weights.size() != mu) {
+    return Status::InvalidArgument("one weight per field required");
+  }
+  auto weight = [&](size_t f) { return weights.empty() ? 1.0f : weights[f]; };
+  const storage::SnapshotPtr snapshot = snapshot_manager_.Acquire();
+  const bool keep_largest = MetricIsSimilarity(schema_.metric);
+
+  // Random-access exact aggregated score of one entity.
+  auto exact_score = [&](RowId row_id, float* out) -> bool {
+    for (const auto& segment : snapshot->segments) {
+      if (snapshot->IsDeleted(row_id, segment->id())) continue;
+      const auto pos = segment->PositionOf(row_id);
+      if (!pos) continue;
+      float total = 0.0f;
+      for (size_t f = 0; f < mu; ++f) {
+        total += weight(f) * simd::ComputeFloatScore(
+                                 schema_.metric, query[f],
+                                 segment->vector(f, *pos),
+                                 schema_.vector_fields[f].dim);
+      }
+      *out = total;
+      return true;
+    }
+    return false;
+  };
+
+  // Iterative merging (Algorithm 2) across segments: per-field top-k' with
+  // adaptive doubling; the stop test compares the k-th exact aggregate with
+  // the frontier bound of unseen entities.
+  size_t k_prime = options.k;
+  const size_t total_rows = snapshot->TotalRows();
+  HitList best;
+  while (true) {
+    std::vector<HitList> lists(mu);
+    QueryOptions field_options = options;
+    field_options.k = k_prime;
+    bool exhausted = true;
+    for (size_t f = 0; f < mu; ++f) {
+      auto result = Search(schema_.vector_fields[f].name, query[f], 1,
+                           field_options);
+      if (!result.ok()) return result.status();
+      lists[f] = std::move(result.value()[0]);
+      if (lists[f].size() >= k_prime) exhausted = false;
+    }
+
+    // Frontier bound: the best aggregate any unseen entity could have.
+    float bound = 0.0f;
+    bool bound_valid = true;
+    for (size_t f = 0; f < mu; ++f) {
+      if (lists[f].empty()) {
+        bound_valid = false;
+        break;
+      }
+      bound += weight(f) * lists[f].back().score;
+    }
+
+    std::unordered_set<RowId> candidates;
+    for (const auto& list : lists) {
+      for (const SearchHit& hit : list) candidates.insert(hit.id);
+    }
+    ResultHeap heap = ResultHeap::ForMetric(options.k, schema_.metric);
+    for (RowId id : candidates) {
+      float score;
+      if (exact_score(id, &score)) heap.Push(id, score);
+    }
+    best = heap.TakeSorted();
+
+    const bool determined =
+        best.size() >= options.k && bound_valid &&
+        (keep_largest ? best[options.k - 1].score >= bound
+                      : best[options.k - 1].score <= bound);
+    // Footnote 5: Milvus caps k' at 16384 to bound data movement.
+    constexpr size_t kPrimeCeiling = 16384;
+    if (determined || exhausted || k_prime >= total_rows ||
+        k_prime >= kPrimeCeiling) {
+      break;
+    }
+    k_prime *= 2;
+  }
+  return best;
+}
+
+Result<Entity> Collection::Get(RowId row_id) const {
+  const storage::SnapshotPtr snapshot = snapshot_manager_.Acquire();
+  for (const auto& segment : snapshot->segments) {
+    if (snapshot->IsDeleted(row_id, segment->id())) continue;
+    const auto pos = segment->PositionOf(row_id);
+    if (!pos) continue;
+    Entity entity;
+    entity.id = row_id;
+    for (size_t f = 0; f < schema_.vector_fields.size(); ++f) {
+      const size_t dim = schema_.vector_fields[f].dim;
+      const float* vec = segment->vector(f, *pos);
+      entity.vectors.emplace_back(vec, vec + dim);
+    }
+    for (size_t a = 0; a < schema_.attributes.size(); ++a) {
+      entity.attributes.push_back(segment->attribute(a).ValueAt(*pos));
+    }
+    return entity;
+  }
+  return Status::NotFound("row not found (or not yet flushed)");
+}
+
+}  // namespace db
+}  // namespace vectordb

@@ -1,0 +1,171 @@
+#ifndef VECTORDB_DB_COLLECTION_H_
+#define VECTORDB_DB_COLLECTION_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result_heap.h"
+#include "db/schema.h"
+#include "query/filter_strategies.h"
+#include "storage/buffer_pool.h"
+#include "storage/filesystem.h"
+#include "storage/memtable.h"
+#include "storage/merge_policy.h"
+#include "storage/snapshot.h"
+#include "storage/wal.h"
+
+namespace vectordb {
+namespace db {
+
+struct CollectionOptions {
+  storage::FileSystemPtr fs;  ///< Required: durable storage backend.
+  /// Object-name prefix for this collection's files.
+  std::string data_prefix;
+  /// MemTable rows that trigger a flush (the size leg of Sec 2.3's
+  /// "threshold or once every second"; the time leg is the background tick).
+  size_t memtable_flush_rows = 8192;
+  /// Segments at or above this row count get indexes built (Sec 2.3 builds
+  /// only for large segments, e.g. >1GB; we count rows).
+  size_t index_build_threshold_rows = 4096;
+  storage::MergePolicyOptions merge_policy;
+  size_t buffer_pool_bytes = size_t{256} << 20;
+};
+
+/// Query-time knobs shared by all collection search entry points.
+struct QueryOptions {
+  size_t k = 10;
+  size_t nprobe = 16;
+  size_t ef_search = 64;
+  /// Strategy C over-fetch factor for filtered search.
+  double theta = 2.0;
+};
+
+/// A collection of entities: the LSM write path (WAL → MemTable → immutable
+/// segments → tiered merges), snapshot-isolated reads, automatic index
+/// builds for large segments, and the three query types of Sec 2.1.
+///
+/// Thread model: writes are serialized by an internal mutex; reads pin a
+/// snapshot and never block writes (Sec 5.2).
+class Collection {
+ public:
+  /// Create a brand-new collection (fails if files already exist).
+  static Result<std::unique_ptr<Collection>> Create(
+      const CollectionSchema& schema, const CollectionOptions& options);
+
+  /// Re-open an existing collection: load the manifest, reload segment
+  /// metadata, replay the WAL into the MemTable (crash recovery).
+  static Result<std::unique_ptr<Collection>> Open(
+      const std::string& name, const CollectionOptions& options);
+
+  const CollectionSchema& schema() const { return schema_; }
+
+  // ----- writes (durably logged before acknowledgement, Sec 5.1) -----
+
+  /// Insert one entity. id == kInvalidRowId auto-assigns. Row ids are the
+  /// caller's primary keys: re-inserting an id that already exists in a
+  /// flushed segment creates a duplicate — use Update() to replace.
+  Status Insert(const Entity& entity);
+  Status InsertBatch(const std::vector<Entity>& entities);
+
+  /// Delete by row id (out-of-place: a tombstone until merge, Sec 2.3).
+  Status Delete(RowId row_id);
+
+  /// Update = delete + insert (Sec 2.3).
+  Status Update(const Entity& entity);
+
+  /// Make all buffered rows durable and searchable: MemTable → segment,
+  /// manifest persist, WAL truncate, new snapshot.
+  Status Flush();
+
+  /// One round of the tiered merge policy; physically drops tombstoned
+  /// rows from merged segments. Reports how many merges ran.
+  Status RunMergeOnce(size_t* merges_done = nullptr);
+
+  /// Build the default index for every index-less segment above the build
+  /// threshold. Reports how many indexes were built.
+  Status BuildIndexes(size_t* built = nullptr);
+
+  /// Drop unreferenced segment files (Sec 5.2's background GC step).
+  size_t CollectGarbage();
+
+  // ----- reads (snapshot isolated) -----
+
+  /// Vector query (Sec 2.1): top-k per query over one vector field.
+  Result<std::vector<HitList>> Search(const std::string& field,
+                                      const float* queries, size_t nq,
+                                      const QueryOptions& options) const;
+
+  /// Like Search, but restricted to segments for which `owns` returns true —
+  /// the reader-node sharding hook of the distributed layer (Sec 5.3).
+  Result<std::vector<HitList>> SearchScoped(
+      const std::string& field, const float* queries, size_t nq,
+      const QueryOptions& options,
+      const std::function<bool(SegmentId)>& owns) const;
+
+  /// Attribute filtering (Sec 4.1): per-segment cost-based strategy.
+  Result<HitList> SearchFiltered(const std::string& field, const float* query,
+                                 const std::string& attribute,
+                                 const query::AttrRange& range,
+                                 const QueryOptions& options) const;
+
+  /// Multi-vector query (Sec 4.2): iterative merging across segments with
+  /// weighted-sum aggregation (weights empty = all 1).
+  Result<HitList> MultiVectorSearch(const std::vector<const float*>& query,
+                                    const std::vector<float>& weights,
+                                    const QueryOptions& options) const;
+
+  /// Point lookup over flushed data.
+  Result<Entity> Get(RowId row_id) const;
+
+  // ----- introspection -----
+
+  size_t pending_rows() const { return memtable_->num_rows(); }
+  size_t NumLiveRows() const;
+  size_t NumSegments() const;
+  storage::SnapshotManager& snapshots() { return snapshot_manager_; }
+  const storage::BufferPool& buffer_pool() const { return buffer_pool_; }
+  uint64_t next_row_id() const;
+
+  /// Reserve `count` consecutive row ids (auto-id allocation).
+  RowId AllocateRowIds(size_t count);
+
+ private:
+  Collection(CollectionSchema schema, const CollectionOptions& options);
+
+  Status ValidateEntity(const Entity& entity) const;
+  Status LogAndApplyInsert(const Entity& entity);
+
+  std::string SegmentPath(SegmentId id) const;
+  std::string ManifestPath() const;
+  std::string WalPath() const;
+
+  Status PersistSegment(const storage::SegmentPtr& segment);
+  Result<storage::SegmentPtr> LoadSegment(SegmentId id) const;
+  Status PersistManifest();
+  Status RecoverFromStorage();
+
+  /// Search one segment into `heap` (hits carry global row ids).
+  void SearchSegment(const storage::Segment& segment, size_t field,
+                     const float* query, const QueryOptions& options, size_t k,
+                     const storage::Snapshot& snapshot,
+                     ResultHeap* heap) const;
+
+  CollectionSchema schema_;
+  CollectionOptions options_;
+  std::unique_ptr<storage::WriteAheadLog> wal_;
+  std::unique_ptr<storage::MemTable> memtable_;
+  storage::SnapshotManager snapshot_manager_;
+  mutable storage::BufferPool buffer_pool_;
+
+  mutable std::mutex write_mu_;
+  std::atomic<uint64_t> next_segment_id_{1};
+  std::atomic<uint64_t> next_row_id_{0};
+};
+
+}  // namespace db
+}  // namespace vectordb
+
+#endif  // VECTORDB_DB_COLLECTION_H_

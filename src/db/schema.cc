@@ -1,0 +1,141 @@
+#include "db/schema.h"
+
+#include <unordered_set>
+
+#include "common/binary_io.h"
+
+namespace vectordb {
+namespace db {
+
+Status CollectionSchema::Validate() const {
+  if (name.empty()) return Status::InvalidArgument("collection name empty");
+  if (vector_fields.empty()) {
+    return Status::InvalidArgument("at least one vector field required");
+  }
+  std::unordered_set<std::string> names;
+  for (const auto& field : vector_fields) {
+    if (field.dim == 0) {
+      return Status::InvalidArgument("vector field dim must be > 0: " +
+                                     field.name);
+    }
+    if (!names.insert(field.name).second) {
+      return Status::InvalidArgument("duplicate field name: " + field.name);
+    }
+  }
+  for (const auto& attr : attributes) {
+    if (!names.insert(attr).second) {
+      return Status::InvalidArgument("duplicate attribute name: " + attr);
+    }
+  }
+  if (MetricIsBinary(metric)) {
+    return Status::NotSupported(
+        "collections store float vectors; use BinaryFlatIndex directly for "
+        "binary data");
+  }
+  return Status::OK();
+}
+
+storage::SegmentSchema CollectionSchema::ToSegmentSchema() const {
+  storage::SegmentSchema schema;
+  for (const auto& field : vector_fields) {
+    schema.vector_dims.push_back(field.dim);
+  }
+  schema.attribute_names = attributes;
+  return schema;
+}
+
+int CollectionSchema::FieldIndex(const std::string& field_name) const {
+  for (size_t i = 0; i < vector_fields.size(); ++i) {
+    if (vector_fields[i].name == field_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int CollectionSchema::AttributeIdx(const std::string& attribute_name) const {
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    if (attributes[i] == attribute_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void CollectionSchema::Serialize(std::string* out) const {
+  BinaryWriter writer(out);
+  writer.PutString(name);
+  writer.PutU64(vector_fields.size());
+  for (const auto& field : vector_fields) {
+    writer.PutString(field.name);
+    writer.PutU64(field.dim);
+  }
+  writer.PutU64(attributes.size());
+  for (const auto& attr : attributes) writer.PutString(attr);
+  writer.PutU32(static_cast<uint32_t>(metric));
+  writer.PutU32(static_cast<uint32_t>(default_index));
+  writer.PutU64(index_params.nlist);
+  writer.PutU64(index_params.pq_m);
+  writer.PutU64(index_params.hnsw_m);
+  writer.PutU64(index_params.seed);
+}
+
+Result<CollectionSchema> CollectionSchema::Deserialize(const std::string& in) {
+  BinaryReader reader(in);
+  CollectionSchema schema;
+  uint64_t num_fields, num_attrs;
+  if (!reader.GetString(&schema.name) || !reader.GetU64(&num_fields)) {
+    return Status::Corruption("truncated schema");
+  }
+  schema.vector_fields.resize(num_fields);
+  for (auto& field : schema.vector_fields) {
+    uint64_t dim;
+    if (!reader.GetString(&field.name) || !reader.GetU64(&dim)) {
+      return Status::Corruption("truncated schema field");
+    }
+    field.dim = dim;
+  }
+  if (!reader.GetU64(&num_attrs)) return Status::Corruption("truncated");
+  schema.attributes.resize(num_attrs);
+  for (auto& attr : schema.attributes) {
+    if (!reader.GetString(&attr)) return Status::Corruption("truncated");
+  }
+  uint32_t metric, default_index;
+  uint64_t nlist, pq_m, hnsw_m, seed;
+  if (!reader.GetU32(&metric) || !reader.GetU32(&default_index) ||
+      !reader.GetU64(&nlist) || !reader.GetU64(&pq_m) ||
+      !reader.GetU64(&hnsw_m) || !reader.GetU64(&seed)) {
+    return Status::Corruption("truncated schema tail");
+  }
+  schema.metric = static_cast<MetricType>(metric);
+  schema.default_index = static_cast<index::IndexType>(default_index);
+  schema.index_params.nlist = nlist;
+  schema.index_params.pq_m = pq_m;
+  schema.index_params.hnsw_m = hnsw_m;
+  schema.index_params.seed = seed;
+  return schema;
+}
+
+void Entity::Serialize(std::string* out) const {
+  BinaryWriter writer(out);
+  writer.PutI64(id);
+  writer.PutU64(vectors.size());
+  for (const auto& vec : vectors) writer.PutVector(vec);
+  writer.PutVector(attributes);
+}
+
+Result<Entity> Entity::Deserialize(const std::string& in) {
+  BinaryReader reader(in);
+  Entity entity;
+  uint64_t num_fields;
+  if (!reader.GetI64(&entity.id) || !reader.GetU64(&num_fields)) {
+    return Status::Corruption("truncated entity");
+  }
+  entity.vectors.resize(num_fields);
+  for (auto& vec : entity.vectors) {
+    if (!reader.GetVector(&vec)) return Status::Corruption("truncated entity");
+  }
+  if (!reader.GetVector(&entity.attributes)) {
+    return Status::Corruption("truncated entity attributes");
+  }
+  return entity;
+}
+
+}  // namespace db
+}  // namespace vectordb

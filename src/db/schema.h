@@ -1,0 +1,57 @@
+#ifndef VECTORDB_DB_SCHEMA_H_
+#define VECTORDB_DB_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "index/index.h"
+#include "storage/segment.h"
+
+namespace vectordb {
+namespace db {
+
+/// One named vector field of an entity.
+struct VectorFieldSchema {
+  std::string name;
+  size_t dim = 0;
+};
+
+/// Schema of a collection: each *entity* (Sec 2.1) carries one or more
+/// vectors and optionally some numeric attributes.
+struct CollectionSchema {
+  std::string name;
+  std::vector<VectorFieldSchema> vector_fields;
+  std::vector<std::string> attributes;
+  MetricType metric = MetricType::kL2;
+  /// Index built automatically for large segments.
+  index::IndexType default_index = index::IndexType::kIvfFlat;
+  index::IndexBuildParams index_params;
+
+  Status Validate() const;
+  storage::SegmentSchema ToSegmentSchema() const;
+
+  /// Index of the named vector field / attribute, or -1.
+  int FieldIndex(const std::string& field_name) const;
+  int AttributeIdx(const std::string& attribute_name) const;
+
+  void Serialize(std::string* out) const;
+  static Result<CollectionSchema> Deserialize(const std::string& in);
+};
+
+/// One entity for insertion.
+struct Entity {
+  RowId id = kInvalidRowId;
+  /// vectors[f] has schema.vector_fields[f].dim floats.
+  std::vector<std::vector<float>> vectors;
+  std::vector<double> attributes;
+
+  void Serialize(std::string* out) const;
+  static Result<Entity> Deserialize(const std::string& in);
+};
+
+}  // namespace db
+}  // namespace vectordb
+
+#endif  // VECTORDB_DB_SCHEMA_H_

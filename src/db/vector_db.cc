@@ -1,0 +1,227 @@
+#include "db/vector_db.h"
+
+#include <chrono>
+
+#include "common/logger.h"
+
+namespace vectordb {
+namespace db {
+
+VectorDb::VectorDb(DbOptions options) : options_(std::move(options)) {
+  running_.store(true);
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+VectorDb::~VectorDb() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    running_.store(false);
+  }
+  queue_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+CollectionOptions VectorDb::MakeCollectionOptions() const {
+  CollectionOptions copts;
+  copts.fs = options_.fs;
+  copts.data_prefix = options_.data_prefix;
+  copts.memtable_flush_rows = options_.memtable_flush_rows;
+  copts.index_build_threshold_rows = options_.index_build_threshold_rows;
+  copts.merge_policy = options_.merge_policy;
+  copts.buffer_pool_bytes = options_.buffer_pool_bytes;
+  return copts;
+}
+
+Result<Collection*> VectorDb::CreateCollection(
+    const CollectionSchema& schema) {
+  auto created = Collection::Create(schema, MakeCollectionOptions());
+  if (!created.ok()) return created.status();
+  std::lock_guard<std::mutex> lock(collections_mu_);
+  auto [it, inserted] =
+      collections_.emplace(schema.name, std::move(created).value());
+  if (!inserted) return Status::AlreadyExists(schema.name);
+  return it->second.get();
+}
+
+Result<Collection*> VectorDb::OpenCollection(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(collections_mu_);
+    auto it = collections_.find(name);
+    if (it != collections_.end()) return it->second.get();
+  }
+  auto opened = Collection::Open(name, MakeCollectionOptions());
+  if (!opened.ok()) return opened.status();
+  std::lock_guard<std::mutex> lock(collections_mu_);
+  auto [it, inserted] = collections_.emplace(name, std::move(opened).value());
+  return it->second.get();
+}
+
+Collection* VectorDb::GetCollection(const std::string& name) {
+  std::lock_guard<std::mutex> lock(collections_mu_);
+  auto it = collections_.find(name);
+  return it == collections_.end() ? nullptr : it->second.get();
+}
+
+Status VectorDb::DropCollection(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(collections_mu_);
+    if (collections_.erase(name) == 0) {
+      return Status::NotFound("unknown collection: " + name);
+    }
+  }
+  // Remove every object under the collection prefix.
+  auto listed = options_.fs->List(options_.data_prefix + name + "/");
+  if (!listed.ok()) return listed.status();
+  for (const std::string& path : listed.value()) {
+    (void)options_.fs->Delete(path);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> VectorDb::ListCollections() const {
+  std::lock_guard<std::mutex> lock(collections_mu_);
+  std::vector<std::string> names;
+  names.reserve(collections_.size());
+  for (const auto& [name, _] : collections_) names.push_back(name);
+  return names;
+}
+
+Status VectorDb::InsertAsync(const std::string& collection, Entity entity) {
+  if (GetCollection(collection) == nullptr) {
+    return Status::NotFound("unknown collection: " + collection);
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    PendingOp op;
+    op.kind = PendingOp::Kind::kInsert;
+    op.collection = collection;
+    op.entity = std::move(entity);
+    queue_.push_back(std::move(op));
+  }
+  queue_cv_.notify_one();
+  return Status::OK();
+}
+
+Status VectorDb::DeleteAsync(const std::string& collection, RowId row_id) {
+  if (GetCollection(collection) == nullptr) {
+    return Status::NotFound("unknown collection: " + collection);
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    PendingOp op;
+    op.kind = PendingOp::Kind::kDelete;
+    op.collection = collection;
+    op.row_id = row_id;
+    queue_.push_back(std::move(op));
+  }
+  queue_cv_.notify_one();
+  return Status::OK();
+}
+
+Status VectorDb::ApplyOp(const PendingOp& op) {
+  Collection* collection = GetCollection(op.collection);
+  if (collection == nullptr) return Status::NotFound(op.collection);
+  switch (op.kind) {
+    case PendingOp::Kind::kInsert:
+      return collection->Insert(op.entity);
+    case PendingOp::Kind::kDelete:
+      return collection->Delete(op.row_id);
+  }
+  return Status::OK();
+}
+
+void VectorDb::WorkerLoop() {
+  auto last_maintenance = std::chrono::steady_clock::now();
+  while (true) {
+    PendingOp op;
+    bool have_op = false;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait_for(
+          lock, std::chrono::milliseconds(options_.background_interval_ms),
+          [this] { return !queue_.empty() || !running_.load(); });
+      if (!running_.load() && queue_.empty()) return;
+      if (!queue_.empty()) {
+        op = std::move(queue_.front());
+        queue_.pop_front();
+        have_op = true;
+        queue_busy_ = true;
+      }
+    }
+    if (have_op) {
+      const Status status = ApplyOp(op);
+      if (!status.ok()) {
+        VDB_WARN << "async op failed: " << status.ToString();
+      }
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      queue_busy_ = false;
+      if (queue_.empty()) drained_cv_.notify_all();
+      continue;  // Drain writes before doing maintenance.
+    }
+    if (background_enabled_.load()) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_maintenance >=
+          std::chrono::milliseconds(options_.background_interval_ms)) {
+        last_maintenance = now;
+        const Status status = RunMaintenancePass();
+        if (!status.ok()) {
+          VDB_WARN << "maintenance failed: " << status.ToString();
+        }
+      }
+    }
+  }
+}
+
+void VectorDb::DrainQueue() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  drained_cv_.wait(lock, [this] { return queue_.empty() && !queue_busy_; });
+}
+
+Status VectorDb::Flush(const std::string& collection) {
+  Collection* c = GetCollection(collection);
+  if (c == nullptr) return Status::NotFound(collection);
+  DrainQueue();
+  return c->Flush();
+}
+
+Status VectorDb::FlushAll() {
+  DrainQueue();
+  std::vector<Collection*> all;
+  {
+    std::lock_guard<std::mutex> lock(collections_mu_);
+    for (auto& [_, c] : collections_) all.push_back(c.get());
+  }
+  for (Collection* c : all) VDB_RETURN_NOT_OK(c->Flush());
+  return Status::OK();
+}
+
+size_t VectorDb::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return queue_.size() + (queue_busy_ ? 1 : 0);
+}
+
+void VectorDb::StartBackground() { background_enabled_.store(true); }
+void VectorDb::StopBackground() { background_enabled_.store(false); }
+
+Status VectorDb::RunMaintenancePass() {
+  std::vector<Collection*> all;
+  {
+    std::lock_guard<std::mutex> lock(collections_mu_);
+    for (auto& [_, c] : collections_) all.push_back(c.get());
+  }
+  for (Collection* c : all) {
+    if (c->pending_rows() >= options_.memtable_flush_rows ||
+        c->pending_rows() > 0) {
+      // The "once every second" flush leg (Sec 2.3): the tick flushes
+      // whatever accumulated, not only full MemTables.
+      VDB_RETURN_NOT_OK(c->Flush());
+    }
+    VDB_RETURN_NOT_OK(c->RunMergeOnce());
+    VDB_RETURN_NOT_OK(c->BuildIndexes());
+    c->CollectGarbage();
+  }
+  return Status::OK();
+}
+
+}  // namespace db
+}  // namespace vectordb

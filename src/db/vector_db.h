@@ -1,0 +1,106 @@
+#ifndef VECTORDB_DB_VECTOR_DB_H_
+#define VECTORDB_DB_VECTOR_DB_H_
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/collection.h"
+
+namespace vectordb {
+namespace db {
+
+struct DbOptions {
+  storage::FileSystemPtr fs;  ///< Shared by every collection.
+  /// Object-name prefix for all collections of this instance.
+  std::string data_prefix = "db/";
+  size_t memtable_flush_rows = 8192;
+  size_t index_build_threshold_rows = 4096;
+  storage::MergePolicyOptions merge_policy;
+  size_t buffer_pool_bytes = size_t{256} << 20;
+  /// Background maintenance tick — the "once every second" flush leg of
+  /// Sec 2.3 plus merging, index building, and snapshot GC.
+  size_t background_interval_ms = 1000;
+};
+
+/// The embeddable database facade: collection lifecycle, the asynchronous
+/// write path of Sec 5.1 (operations are materialized and acknowledged,
+/// then consumed by a background thread; `Flush` blocks until the pending
+/// operations are fully processed), and background LSM maintenance.
+class VectorDb {
+ public:
+  explicit VectorDb(DbOptions options);
+  ~VectorDb();
+
+  VectorDb(const VectorDb&) = delete;
+  VectorDb& operator=(const VectorDb&) = delete;
+
+  // ----- collection lifecycle -----
+
+  Result<Collection*> CreateCollection(const CollectionSchema& schema);
+  Result<Collection*> OpenCollection(const std::string& name);
+  /// Returns nullptr when unknown.
+  Collection* GetCollection(const std::string& name);
+  Status DropCollection(const std::string& name);
+  std::vector<std::string> ListCollections() const;
+
+  // ----- asynchronous write path (Sec 5.1) -----
+
+  /// Enqueue an insert; acknowledged once queued (callers may not see the
+  /// row until the background thread applies it — use Flush for barriers).
+  Status InsertAsync(const std::string& collection, Entity entity);
+  Status DeleteAsync(const std::string& collection, RowId row_id);
+
+  /// Drain the async queue, then flush the collection (Sec 5.1's flush()).
+  Status Flush(const std::string& collection);
+  Status FlushAll();
+
+  /// Pending async operations (for tests).
+  size_t QueueDepth() const;
+
+  // ----- background maintenance -----
+
+  void StartBackground();
+  void StopBackground();
+  /// One synchronous maintenance pass (flush-by-size, merge, index, GC) —
+  /// what the background thread runs each tick.
+  Status RunMaintenancePass();
+
+ private:
+  struct PendingOp {
+    enum class Kind { kInsert, kDelete } kind = Kind::kInsert;
+    std::string collection;
+    Entity entity;
+    RowId row_id = kInvalidRowId;
+  };
+
+  CollectionOptions MakeCollectionOptions() const;
+  void WorkerLoop();
+  Status ApplyOp(const PendingOp& op);
+  void DrainQueue();
+
+  DbOptions options_;
+
+  mutable std::mutex collections_mu_;
+  std::map<std::string, std::unique_ptr<Collection>> collections_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;    ///< Signals new work.
+  std::condition_variable drained_cv_;  ///< Signals an empty queue.
+  std::deque<PendingOp> queue_;
+  bool queue_busy_ = false;
+
+  std::thread worker_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> background_enabled_{false};
+};
+
+}  // namespace db
+}  // namespace vectordb
+
+#endif  // VECTORDB_DB_VECTOR_DB_H_

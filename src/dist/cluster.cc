@@ -1,0 +1,184 @@
+#include "dist/cluster.h"
+
+#include <algorithm>
+
+#include "common/result_heap.h"
+#include "common/timer.h"
+
+namespace vectordb {
+namespace dist {
+
+Cluster::Cluster(const ClusterOptions& options) : options_(options) {
+  coordinator_ = std::make_unique<Coordinator>(options_.shared_fs,
+                                               "cluster/coordinator.meta");
+  (void)coordinator_->Recover();
+  writer_ = std::make_unique<WriterNode>("writer-0", MakeWriterOptions());
+  for (size_t i = 0; i < options_.num_readers; ++i) {
+    (void)AddReader();
+  }
+}
+
+db::DbOptions Cluster::MakeWriterOptions() const {
+  db::DbOptions opts;
+  opts.fs = options_.shared_fs;
+  opts.data_prefix = "cluster/data/";
+  opts.memtable_flush_rows = options_.memtable_flush_rows;
+  opts.index_build_threshold_rows = options_.index_build_threshold_rows;
+  return opts;
+}
+
+db::CollectionOptions Cluster::MakeReaderOptions() const {
+  db::CollectionOptions opts;
+  opts.fs = options_.shared_fs;
+  opts.data_prefix = "cluster/data/";
+  opts.index_build_threshold_rows = options_.index_build_threshold_rows;
+  opts.buffer_pool_bytes = options_.reader_buffer_pool_bytes;
+  return opts;
+}
+
+Status Cluster::CreateCollection(const db::CollectionSchema& schema) {
+  if (writer_ == nullptr) return Status::Unavailable("writer down");
+  auto created = writer_->CreateCollection(schema);
+  if (!created.ok()) return created.status();
+  collections_.push_back(schema.name);
+  VDB_RETURN_NOT_OK(coordinator_->RegisterCollection(schema.name));
+  return PublishToReaders(schema.name);
+}
+
+Status Cluster::Insert(const std::string& collection,
+                       const db::Entity& entity) {
+  if (writer_ == nullptr) return Status::Unavailable("writer down");
+  rpc_count_.fetch_add(1, std::memory_order_relaxed);
+  return writer_->Insert(collection, entity);
+}
+
+Status Cluster::Delete(const std::string& collection, RowId row_id) {
+  if (writer_ == nullptr) return Status::Unavailable("writer down");
+  rpc_count_.fetch_add(1, std::memory_order_relaxed);
+  return writer_->Delete(collection, row_id);
+}
+
+Status Cluster::PublishToReaders(const std::string& collection) {
+  for (auto& [name, reader] : readers_) {
+    rpc_count_.fetch_add(1, std::memory_order_relaxed);
+    VDB_RETURN_NOT_OK(reader->Refresh(collection));
+  }
+  return Status::OK();
+}
+
+Status Cluster::Flush(const std::string& collection) {
+  if (writer_ == nullptr) return Status::Unavailable("writer down");
+  VDB_RETURN_NOT_OK(writer_->Flush(collection));
+  return PublishToReaders(collection);
+}
+
+Status Cluster::RunMaintenance(const std::string& collection) {
+  if (writer_ == nullptr) return Status::Unavailable("writer down");
+  db::Collection* c = writer_->collection(collection);
+  if (c == nullptr) return Status::NotFound(collection);
+  VDB_RETURN_NOT_OK(c->Flush());
+  VDB_RETURN_NOT_OK(c->RunMergeOnce());
+  VDB_RETURN_NOT_OK(c->BuildIndexes());
+  c->CollectGarbage();
+  return PublishToReaders(collection);
+}
+
+Result<std::vector<HitList>> Cluster::Search(const std::string& collection,
+                                             const std::string& field,
+                                             const float* queries, size_t nq,
+                                             const db::QueryOptions& options) {
+  if (readers_.empty()) return Status::Unavailable("no readers");
+
+  // Scatter: each reader searches the segments the shard map assigns it.
+  std::vector<std::vector<HitList>> partials;
+  double makespan = 0.0;
+  for (auto& [name, reader] : readers_) {
+    rpc_count_.fetch_add(1, std::memory_order_relaxed);
+    const std::string reader_name = name;
+    // Memoize shard-map lookups: one coordinator round-trip per segment
+    // per scatter, not per (segment, query).
+    auto owner_cache = std::make_shared<std::map<SegmentId, bool>>();
+    Timer reader_timer;
+    auto result = reader->Search(
+        collection, field, queries, nq, options,
+        [this, reader_name, owner_cache](SegmentId id) {
+          auto it = owner_cache->find(id);
+          if (it != owner_cache->end()) return it->second;
+          const bool owned = coordinator_->OwnerOfSegment(id) == reader_name;
+          (*owner_cache)[id] = owned;
+          return owned;
+        });
+    makespan = std::max(makespan, reader_timer.ElapsedSeconds());
+    if (!result.ok()) return result.status();
+    partials.push_back(std::move(result).value());
+  }
+  last_makespan_ = makespan;
+
+  // Gather: merge per-reader top-k lists.
+  const db::Collection* any = nullptr;
+  MetricType metric = MetricType::kL2;
+  if (writer_ != nullptr && (any = writer_->collection(collection)) != nullptr) {
+    metric = any->schema().metric;
+  }
+  std::vector<HitList> merged(nq);
+  for (size_t q = 0; q < nq; ++q) {
+    ResultHeap heap = ResultHeap::ForMetric(options.k, metric);
+    for (const auto& partial : partials) {
+      for (const SearchHit& hit : partial[q]) heap.Push(hit.id, hit.score);
+    }
+    merged[q] = heap.TakeSorted();
+  }
+  return merged;
+}
+
+Status Cluster::AddReader() {
+  const std::string name = "reader-" + std::to_string(next_reader_id_++);
+  auto reader = std::make_unique<ReaderNode>(name, MakeReaderOptions());
+  for (const std::string& collection : collections_) {
+    VDB_RETURN_NOT_OK(reader->Refresh(collection));
+  }
+  readers_[name] = std::move(reader);
+  return coordinator_->RegisterReader(name);
+}
+
+Status Cluster::RemoveReader(const std::string& name) {
+  if (readers_.erase(name) == 0) return Status::NotFound(name);
+  return coordinator_->UnregisterReader(name);
+}
+
+Status Cluster::CrashReader(const std::string& name) {
+  if (readers_.erase(name) == 0) return Status::NotFound(name);
+  // K8s detects the crash; the coordinator drops the node so its shards
+  // re-map to the survivors.
+  return coordinator_->UnregisterReader(name);
+}
+
+Status Cluster::RestartReader(const std::string& name) {
+  if (readers_.count(name) != 0) return Status::AlreadyExists(name);
+  auto reader = std::make_unique<ReaderNode>(name, MakeReaderOptions());
+  for (const std::string& collection : collections_) {
+    VDB_RETURN_NOT_OK(reader->Refresh(collection));
+  }
+  readers_[name] = std::move(reader);
+  return coordinator_->RegisterReader(name);
+}
+
+Status Cluster::CrashWriter() {
+  if (writer_ == nullptr) return Status::Unavailable("writer already down");
+  writer_.reset();  // Unflushed MemTable dies with the process; WAL survives.
+  return Status::OK();
+}
+
+Status Cluster::RestartWriter() {
+  if (writer_ != nullptr) return Status::AlreadyExists("writer alive");
+  writer_ = std::make_unique<WriterNode>("writer-0", MakeWriterOptions());
+  for (const std::string& collection : collections_) {
+    // Recovery: manifest + WAL replay reconstruct the exact pre-crash state.
+    auto opened = writer_->OpenCollection(collection);
+    if (!opened.ok()) return opened.status();
+  }
+  return Status::OK();
+}
+
+}  // namespace dist
+}  // namespace vectordb

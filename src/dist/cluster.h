@@ -1,0 +1,102 @@
+#ifndef VECTORDB_DIST_CLUSTER_H_
+#define VECTORDB_DIST_CLUSTER_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/coordinator.h"
+#include "dist/node.h"
+
+namespace vectordb {
+namespace dist {
+
+struct ClusterOptions {
+  /// Shared durable storage (simulated S3). Required.
+  storage::FileSystemPtr shared_fs;
+  size_t num_readers = 2;
+  size_t memtable_flush_rows = 8192;
+  size_t index_build_threshold_rows = 4096;
+  /// Per-reader local cache ("buffer memory ... to reduce accesses to the
+  /// shared storage").
+  size_t reader_buffer_pool_bytes = size_t{64} << 20;
+};
+
+/// In-process distributed deployment (Sec 5.3, Figure 5): a shared-storage,
+/// storage/compute-separated cluster with one writer, N readers sharded by
+/// consistent hashing, and a coordinator holding the shard map. Node crash
+/// and restart are explicit APIs so tests and benches exercise recovery:
+/// compute is stateless — the WAL and segments on shared storage are the
+/// only durable state.
+class Cluster {
+ public:
+  explicit Cluster(const ClusterOptions& options);
+
+  Coordinator& coordinator() { return *coordinator_; }
+
+  // ----- DDL / writes (routed to the single writer) -----
+
+  Status CreateCollection(const db::CollectionSchema& schema);
+  Status Insert(const std::string& collection, const db::Entity& entity);
+  Status Delete(const std::string& collection, RowId row_id);
+
+  /// Writer flush + publish: readers reload the manifest ("the computing
+  /// layer only sends logs to the storage layer"; readers consume state
+  /// from shared storage).
+  Status Flush(const std::string& collection);
+
+  /// Writer-side LSM maintenance (merge, index build, GC) + publish.
+  Status RunMaintenance(const std::string& collection);
+
+  // ----- reads (scatter/gather across readers) -----
+
+  Result<std::vector<HitList>> Search(const std::string& collection,
+                                      const std::string& field,
+                                      const float* queries, size_t nq,
+                                      const db::QueryOptions& options);
+
+  // ----- elasticity & failure injection -----
+
+  Status AddReader();
+  Status RemoveReader(const std::string& name);
+  /// Kill a reader without deregistering cleanly; its shards re-map.
+  Status CrashReader(const std::string& name);
+  Status RestartReader(const std::string& name);
+  /// Kill the writer (unflushed MemTable is lost from memory; the WAL on
+  /// shared storage preserves the operations).
+  Status CrashWriter();
+  /// Replace the writer (K8s-style): recovery replays the WAL.
+  Status RestartWriter();
+
+  size_t num_live_readers() const { return readers_.size(); }
+  bool writer_alive() const { return writer_ != nullptr; }
+
+  /// Scatter/gather RPCs issued so far (simulated network accounting).
+  size_t rpc_count() const { return rpc_count_.load(); }
+
+  /// Slowest reader's scatter time in the last Search call — the wall time
+  /// an actually-parallel deployment would observe (readers here execute
+  /// serially in one process).
+  double last_scatter_makespan() const { return last_makespan_; }
+
+ private:
+  db::DbOptions MakeWriterOptions() const;
+  db::CollectionOptions MakeReaderOptions() const;
+  Status PublishToReaders(const std::string& collection);
+
+  ClusterOptions options_;
+  std::unique_ptr<Coordinator> coordinator_;
+  std::unique_ptr<WriterNode> writer_;
+  std::map<std::string, std::unique_ptr<ReaderNode>> readers_;
+  std::vector<std::string> collections_;
+  size_t next_reader_id_ = 0;
+  std::atomic<size_t> rpc_count_{0};
+  double last_makespan_ = 0.0;
+};
+
+}  // namespace dist
+}  // namespace vectordb
+
+#endif  // VECTORDB_DIST_CLUSTER_H_

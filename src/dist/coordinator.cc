@@ -1,0 +1,109 @@
+#include "dist/coordinator.h"
+
+#include <algorithm>
+
+#include "common/binary_io.h"
+
+namespace vectordb {
+namespace dist {
+
+Status Coordinator::RegisterReader(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ring_.HasNode(name)) {
+      return Status::AlreadyExists("reader registered: " + name);
+    }
+    ring_.AddNode(name);
+  }
+  return Persist();
+}
+
+Status Coordinator::UnregisterReader(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!ring_.RemoveNode(name)) {
+      return Status::NotFound("unknown reader: " + name);
+    }
+  }
+  return Persist();
+}
+
+std::vector<std::string> Coordinator::Readers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.nodes();
+}
+
+size_t Coordinator::num_readers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.num_nodes();
+}
+
+Status Coordinator::RegisterCollection(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (std::find(collections_.begin(), collections_.end(), name) !=
+        collections_.end()) {
+      return Status::AlreadyExists("collection registered: " + name);
+    }
+    collections_.push_back(name);
+  }
+  return Persist();
+}
+
+std::vector<std::string> Coordinator::Collections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return collections_;
+}
+
+std::string Coordinator::OwnerOfSegment(SegmentId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.NodeFor("segment/" + std::to_string(id));
+}
+
+Status Coordinator::Persist() const {
+  std::string out;
+  BinaryWriter writer(&out);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto readers = ring_.nodes();
+  writer.PutU64(readers.size());
+  for (const auto& reader : readers) writer.PutString(reader);
+  writer.PutU64(collections_.size());
+  for (const auto& name : collections_) writer.PutString(name);
+  return fs_->Write(meta_path_, out);
+}
+
+Status Coordinator::Recover() {
+  std::string data;
+  Status status = fs_->Read(meta_path_, &data);
+  if (status.IsNotFound()) return Status::OK();  // Fresh cluster.
+  VDB_RETURN_NOT_OK(status);
+  BinaryReader reader(data);
+  uint64_t num_readers, num_collections;
+  if (!reader.GetU64(&num_readers)) {
+    return Status::Corruption("truncated coordinator meta");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_ = ConsistentHashRing(256);
+  for (uint64_t i = 0; i < num_readers; ++i) {
+    std::string name;
+    if (!reader.GetString(&name)) {
+      return Status::Corruption("truncated coordinator meta");
+    }
+    ring_.AddNode(name);
+  }
+  if (!reader.GetU64(&num_collections)) {
+    return Status::Corruption("truncated coordinator meta");
+  }
+  collections_.clear();
+  for (uint64_t i = 0; i < num_collections; ++i) {
+    std::string name;
+    if (!reader.GetString(&name)) {
+      return Status::Corruption("truncated coordinator meta");
+    }
+    collections_.push_back(name);
+  }
+  return Status::OK();
+}
+
+}  // namespace dist
+}  // namespace vectordb

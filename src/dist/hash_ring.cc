@@ -1,0 +1,65 @@
+#include "dist/hash_ring.h"
+
+#include <algorithm>
+
+namespace vectordb {
+namespace dist {
+
+uint64_t ConsistentHashRing::Hash(const std::string& value) {
+  // FNV-1a 64-bit (stable across processes, unlike std::hash) followed by a
+  // splitmix64 finalizer — raw FNV clusters badly on short similar keys
+  // like "node#17", which skews virtual-node placement.
+  uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : value) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+void ConsistentHashRing::AddNode(const std::string& name) {
+  if (HasNode(name)) return;
+  nodes_.push_back(name);
+  for (size_t v = 0; v < virtual_nodes_; ++v) {
+    ring_[Hash(name + "#" + std::to_string(v))] = name;
+  }
+}
+
+bool ConsistentHashRing::RemoveNode(const std::string& name) {
+  auto it = std::find(nodes_.begin(), nodes_.end(), name);
+  if (it == nodes_.end()) return false;
+  nodes_.erase(it);
+  for (auto ring_it = ring_.begin(); ring_it != ring_.end();) {
+    if (ring_it->second == name) {
+      ring_it = ring_.erase(ring_it);
+    } else {
+      ++ring_it;
+    }
+  }
+  return true;
+}
+
+bool ConsistentHashRing::HasNode(const std::string& name) const {
+  return std::find(nodes_.begin(), nodes_.end(), name) != nodes_.end();
+}
+
+std::vector<std::string> ConsistentHashRing::nodes() const { return nodes_; }
+
+std::string ConsistentHashRing::NodeFor(const std::string& key) const {
+  if (ring_.empty()) return "";
+  auto it = ring_.lower_bound(Hash(key));
+  if (it == ring_.end()) it = ring_.begin();  // Wrap around.
+  return it->second;
+}
+
+std::string ConsistentHashRing::NodeFor(uint64_t key) const {
+  return NodeFor(std::to_string(key));
+}
+
+}  // namespace dist
+}  // namespace vectordb

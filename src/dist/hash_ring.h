@@ -1,0 +1,41 @@
+#ifndef VECTORDB_DIST_HASH_RING_H_
+#define VECTORDB_DIST_HASH_RING_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vectordb {
+namespace dist {
+
+/// Consistent hash ring with virtual nodes (Sec 5.3: "data is sharded among
+/// the reader instances with consistent hashing"). Adding or removing a
+/// node remaps only ~1/N of the keys.
+class ConsistentHashRing {
+ public:
+  explicit ConsistentHashRing(size_t virtual_nodes = 64)
+      : virtual_nodes_(virtual_nodes) {}
+
+  void AddNode(const std::string& name);
+  bool RemoveNode(const std::string& name);
+  bool HasNode(const std::string& name) const;
+  size_t num_nodes() const { return nodes_.size(); }
+  std::vector<std::string> nodes() const;
+
+  /// Owning node for a key ("" when the ring is empty).
+  std::string NodeFor(const std::string& key) const;
+  std::string NodeFor(uint64_t key) const;
+
+ private:
+  static uint64_t Hash(const std::string& value);
+
+  size_t virtual_nodes_;
+  std::map<uint64_t, std::string> ring_;  ///< hash → node name.
+  std::vector<std::string> nodes_;
+};
+
+}  // namespace dist
+}  // namespace vectordb
+
+#endif  // VECTORDB_DIST_HASH_RING_H_

@@ -1,0 +1,44 @@
+#include "dist/node.h"
+
+namespace vectordb {
+namespace dist {
+
+Status WriterNode::Insert(const std::string& collection,
+                          const db::Entity& entity) {
+  db::Collection* c = db_->GetCollection(collection);
+  if (c == nullptr) return Status::NotFound(collection);
+  return c->Insert(entity);
+}
+
+Status WriterNode::Delete(const std::string& collection, RowId row_id) {
+  db::Collection* c = db_->GetCollection(collection);
+  if (c == nullptr) return Status::NotFound(collection);
+  return c->Delete(row_id);
+}
+
+Status WriterNode::Flush(const std::string& collection) {
+  db::Collection* c = db_->GetCollection(collection);
+  if (c == nullptr) return Status::NotFound(collection);
+  return c->Flush();
+}
+
+Status ReaderNode::Refresh(const std::string& collection) {
+  auto opened = db::Collection::Open(collection, collection_options_);
+  if (!opened.ok()) return opened.status();
+  collections_[collection] = std::move(opened).value();
+  return Status::OK();
+}
+
+Result<std::vector<HitList>> ReaderNode::Search(
+    const std::string& collection, const std::string& field,
+    const float* queries, size_t nq, const db::QueryOptions& options,
+    const std::function<bool(SegmentId)>& owns) const {
+  auto it = collections_.find(collection);
+  if (it == collections_.end()) {
+    return Status::NotFound("collection not loaded on reader " + name_);
+  }
+  return it->second->SearchScoped(field, queries, nq, options, owns);
+}
+
+}  // namespace dist
+}  // namespace vectordb

@@ -1,0 +1,83 @@
+#ifndef VECTORDB_DIST_NODE_H_
+#define VECTORDB_DIST_NODE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "db/vector_db.h"
+
+namespace vectordb {
+namespace dist {
+
+/// The single writer instance of the computing layer (Sec 5.3): handles
+/// insertions, deletions, updates and flushes. All durable state — WAL and
+/// segments — lives on the *shared* storage passed in, so a crashed writer
+/// is replaced by simply constructing a new one over the same storage
+/// (stateless compute, Kubernetes-restart style); the WAL guarantees
+/// atomicity of unflushed writes.
+class WriterNode {
+ public:
+  WriterNode(std::string name, const db::DbOptions& options)
+      : name_(std::move(name)), db_(std::make_unique<db::VectorDb>(options)) {}
+
+  const std::string& name() const { return name_; }
+
+  Result<db::Collection*> CreateCollection(const db::CollectionSchema& schema) {
+    return db_->CreateCollection(schema);
+  }
+  Result<db::Collection*> OpenCollection(const std::string& name) {
+    return db_->OpenCollection(name);
+  }
+  db::Collection* collection(const std::string& name) {
+    return db_->GetCollection(name);
+  }
+
+  Status Insert(const std::string& collection, const db::Entity& entity);
+  Status Delete(const std::string& collection, RowId row_id);
+  Status Flush(const std::string& collection);
+  Status RunMaintenance() { return db_->RunMaintenancePass(); }
+
+ private:
+  std::string name_;
+  std::unique_ptr<db::VectorDb> db_;
+};
+
+/// A reader instance: opens collections from shared storage, caches
+/// segments in its local buffer pool (the paper's "buffer memory and SSDs
+/// to reduce accesses to the shared storage"), and serves queries for the
+/// segments the shard map assigns to it.
+class ReaderNode {
+ public:
+  ReaderNode(std::string name, db::CollectionOptions collection_options)
+      : name_(std::move(name)),
+        collection_options_(std::move(collection_options)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Load (or reload) a collection's manifest from shared storage —
+  /// invoked when the writer publishes new segments.
+  Status Refresh(const std::string& collection);
+
+  bool HasCollection(const std::string& collection) const {
+    return collections_.count(collection) != 0;
+  }
+
+  /// Scatter leg of a distributed query: search only the segments this
+  /// reader owns under the shard map.
+  Result<std::vector<HitList>> Search(
+      const std::string& collection, const std::string& field,
+      const float* queries, size_t nq, const db::QueryOptions& options,
+      const std::function<bool(SegmentId)>& owns) const;
+
+ private:
+  std::string name_;
+  db::CollectionOptions collection_options_;
+  std::map<std::string, std::unique_ptr<db::Collection>> collections_;
+};
+
+}  // namespace dist
+}  // namespace vectordb
+
+#endif  // VECTORDB_DIST_NODE_H_

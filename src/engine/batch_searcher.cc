@@ -1,0 +1,89 @@
+#include "engine/batch_searcher.h"
+
+#include <algorithm>
+
+#include "common/config.h"
+#include "common/result_heap.h"
+#include "simd/distances.h"
+
+namespace vectordb {
+namespace engine {
+
+size_t CacheAwareBatchSearcher::EffectiveBlockSize(
+    const BatchSearchSpec& spec) {
+  if (spec.query_block != 0) return spec.query_block;
+  const EngineConfig& config = EngineConfig::Global();
+  const size_t threads =
+      spec.num_threads != 0 ? spec.num_threads : config.EffectiveThreads();
+  const size_t l3 =
+      spec.l3_cache_bytes != 0 ? spec.l3_cache_bytes : config.EffectiveL3Bytes();
+  return ComputeQueryBlockSize(spec.dim, spec.k, threads, l3,
+                               config.max_query_block);
+}
+
+Status CacheAwareBatchSearcher::Search(const float* data, size_t n,
+                                       const float* queries, size_t m,
+                                       const BatchSearchSpec& spec,
+                                       std::vector<HitList>* results) const {
+  if (spec.dim == 0) return Status::InvalidArgument("dim must be > 0");
+  results->assign(m, HitList{});
+  if (m == 0 || n == 0) return Status::OK();
+
+  const EngineConfig& config = EngineConfig::Global();
+  size_t threads =
+      spec.num_threads != 0 ? spec.num_threads : config.EffectiveThreads();
+  if (pool_ == nullptr) threads = 1;
+  threads = std::min(threads, n);  // No empty data slices.
+  const size_t block = EffectiveBlockSize(spec);
+  const size_t dim = spec.dim;
+  const bool keep_largest = MetricIsSimilarity(spec.metric);
+
+  // Data slice boundaries: thread r owns rows [slice[r], slice[r+1]).
+  std::vector<size_t> slice(threads + 1);
+  for (size_t r = 0; r <= threads; ++r) slice[r] = n * r / threads;
+
+  for (size_t block_begin = 0; block_begin < m; block_begin += block) {
+    const size_t block_size = std::min(block, m - block_begin);
+    const float* block_queries = queries + block_begin * dim;
+
+    // One heap per (thread, query): H[r * block_size + j] in the paper's
+    // notation (Figure 3). No cross-thread synchronization during the scan.
+    std::vector<ResultHeap> heaps;
+    heaps.reserve(threads * block_size);
+    for (size_t i = 0; i < threads * block_size; ++i) {
+      heaps.emplace_back(spec.k, keep_largest);
+    }
+
+    auto scan_slice = [&](size_t r) {
+      ResultHeap* thread_heaps = heaps.data() + r * block_size;
+      for (size_t row = slice[r]; row < slice[r + 1]; ++row) {
+        const float* vec = data + row * dim;
+        // `vec` is now in cache; reuse it for every query in the block.
+        for (size_t j = 0; j < block_size; ++j) {
+          const float score = simd::ComputeFloatScore(
+              spec.metric, block_queries + j * dim, vec, dim);
+          thread_heaps[j].Push(static_cast<RowId>(row), score);
+        }
+      }
+    };
+
+    if (pool_ != nullptr && threads > 1) {
+      pool_->ParallelFor(threads, scan_slice);
+    } else {
+      for (size_t r = 0; r < threads; ++r) scan_slice(r);
+    }
+
+    // Merge the t partial heaps of each query.
+    for (size_t j = 0; j < block_size; ++j) {
+      ResultHeap merged(spec.k, keep_largest);
+      for (size_t r = 0; r < threads; ++r) {
+        merged.Merge(heaps[r * block_size + j]);
+      }
+      (*results)[block_begin + j] = merged.TakeSorted();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace engine
+}  // namespace vectordb

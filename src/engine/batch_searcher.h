@@ -1,0 +1,48 @@
+#ifndef VECTORDB_ENGINE_BATCH_SEARCHER_H_
+#define VECTORDB_ENGINE_BATCH_SEARCHER_H_
+
+#include <vector>
+
+#include "common/threadpool.h"
+#include "engine/search.h"
+
+namespace vectordb {
+namespace engine {
+
+/// Cache-aware blocked batch searcher — the design of Figure 3 / Sec 3.2.1:
+///
+///  * Threads are assigned to *data* slices (fine-grained, intra-query
+///    parallelism) instead of to whole queries, so a small batch still uses
+///    every core.
+///  * Queries are processed in blocks of s (Eq. 1) sized so the block plus
+///    its per-(thread, query) heaps fit in L3; every data vector loaded into
+///    cache is compared against all s in-cache queries before eviction.
+///  * One heap per (thread, query) eliminates synchronization; a final merge
+///    per query combines the t partial heaps.
+///
+/// Each thread touches the data m/(s*t) times versus m/t for the baseline —
+/// an s-fold reduction in memory traffic (the 1.5×–2.7× win of Figure 11).
+class CacheAwareBatchSearcher {
+ public:
+  /// @param pool worker pool for data-slice parallelism; may be nullptr to
+  ///   search single-threaded on the calling thread.
+  explicit CacheAwareBatchSearcher(ThreadPool* pool) : pool_(pool) {}
+
+  /// Top-k of each of the `m` queries against the `n` data vectors.
+  /// Row ids in the results are data offsets [0, n).
+  Status Search(const float* data, size_t n, const float* queries, size_t m,
+                const BatchSearchSpec& spec,
+                std::vector<HitList>* results) const;
+
+  /// Block size that Search() will use for this spec (exposed for tests and
+  /// the Figure 11 ablation).
+  static size_t EffectiveBlockSize(const BatchSearchSpec& spec);
+
+ private:
+  ThreadPool* pool_;
+};
+
+}  // namespace engine
+}  // namespace vectordb
+
+#endif  // VECTORDB_ENGINE_BATCH_SEARCHER_H_

@@ -1,0 +1,38 @@
+#include "engine/query_per_thread_searcher.h"
+
+#include "common/result_heap.h"
+#include "simd/distances.h"
+
+namespace vectordb {
+namespace engine {
+
+Status QueryPerThreadSearcher::Search(const float* data, size_t n,
+                                      const float* queries, size_t m,
+                                      const BatchSearchSpec& spec,
+                                      std::vector<HitList>* results) const {
+  if (spec.dim == 0) return Status::InvalidArgument("dim must be > 0");
+  results->assign(m, HitList{});
+  if (m == 0 || n == 0) return Status::OK();
+  const size_t dim = spec.dim;
+
+  auto scan_query = [&](size_t q) {
+    const float* query = queries + q * dim;
+    ResultHeap heap = ResultHeap::ForMetric(spec.k, spec.metric);
+    for (size_t row = 0; row < n; ++row) {
+      const float score =
+          simd::ComputeFloatScore(spec.metric, query, data + row * dim, dim);
+      heap.Push(static_cast<RowId>(row), score);
+    }
+    (*results)[q] = heap.TakeSorted();
+  };
+
+  if (pool_ != nullptr && m > 1) {
+    pool_->ParallelFor(m, scan_query);
+  } else {
+    for (size_t q = 0; q < m; ++q) scan_query(q);
+  }
+  return Status::OK();
+}
+
+}  // namespace engine
+}  // namespace vectordb

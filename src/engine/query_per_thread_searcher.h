@@ -1,0 +1,34 @@
+#ifndef VECTORDB_ENGINE_QUERY_PER_THREAD_SEARCHER_H_
+#define VECTORDB_ENGINE_QUERY_PER_THREAD_SEARCHER_H_
+
+#include <vector>
+
+#include "common/threadpool.h"
+#include "engine/search.h"
+
+namespace vectordb {
+namespace engine {
+
+/// Faithful reimplementation of the *original* batch-query threading model
+/// the paper attributes to Faiss (Sec 3.2.1): each worker takes one whole
+/// query at a time and streams the entire dataset through the cache for it.
+/// Kept as the baseline leg of Figure 11 and as the "Vearch-like" competitor
+/// in the system-comparison benches. Its two weaknesses, per the paper:
+///  1. every query streams all n vectors through the cache (no reuse), and
+///  2. batches smaller than the core count leave cores idle.
+class QueryPerThreadSearcher {
+ public:
+  explicit QueryPerThreadSearcher(ThreadPool* pool) : pool_(pool) {}
+
+  Status Search(const float* data, size_t n, const float* queries, size_t m,
+                const BatchSearchSpec& spec,
+                std::vector<HitList>* results) const;
+
+ private:
+  ThreadPool* pool_;
+};
+
+}  // namespace engine
+}  // namespace vectordb
+
+#endif  // VECTORDB_ENGINE_QUERY_PER_THREAD_SEARCHER_H_

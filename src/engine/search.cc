@@ -1,0 +1,19 @@
+#include "engine/search.h"
+
+#include <algorithm>
+
+namespace vectordb {
+namespace engine {
+
+size_t ComputeQueryBlockSize(size_t dim, size_t k, size_t num_threads,
+                             size_t l3_cache_bytes, size_t max_block) {
+  const size_t per_query = dim * sizeof(float) +
+                           num_threads * k * (sizeof(int64_t) + sizeof(float));
+  size_t block = per_query == 0 ? 1 : l3_cache_bytes / per_query;
+  block = std::max<size_t>(block, 1);
+  if (max_block != 0) block = std::min(block, max_block);
+  return block;
+}
+
+}  // namespace engine
+}  // namespace vectordb

@@ -1,0 +1,37 @@
+#ifndef VECTORDB_ENGINE_SEARCH_H_
+#define VECTORDB_ENGINE_SEARCH_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace vectordb {
+namespace engine {
+
+/// Parameters shared by the batch searchers (Sec 3.2.1). A "batch search"
+/// answers m queries against n flat data vectors at once — the fundamental
+/// operation inside coarse-quantizer probing and bucket scanning.
+struct BatchSearchSpec {
+  MetricType metric = MetricType::kL2;
+  size_t dim = 0;
+  size_t k = 10;
+  /// Worker threads; 0 = EngineConfig::Global().
+  size_t num_threads = 0;
+  /// L3 budget for Eq. (1); 0 = EngineConfig::Global().
+  size_t l3_cache_bytes = 0;
+  /// Query block size override; 0 = compute via Eq. (1).
+  size_t query_block = 0;
+};
+
+/// Equation (1) of the paper: the number of queries s whose vectors and
+/// per-(thread,query) heaps fit in the L3 cache:
+///   s = L3 / (d * sizeof(float) + t * k * (sizeof(int64) + sizeof(float)))
+/// Clamped to [1, max_block].
+size_t ComputeQueryBlockSize(size_t dim, size_t k, size_t num_threads,
+                             size_t l3_cache_bytes, size_t max_block);
+
+}  // namespace engine
+}  // namespace vectordb
+
+#endif  // VECTORDB_ENGINE_SEARCH_H_

@@ -1,0 +1,116 @@
+#include "gpusim/gpu_device.h"
+
+namespace vectordb {
+namespace gpusim {
+
+bool GpuDevice::IsResident(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = resident_.find(key);
+  if (it == resident_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second.first);
+  return true;
+}
+
+Status GpuDevice::Upload(const std::string& key, size_t bytes,
+                         size_t num_chunks) {
+  if (bytes > options_.memory_bytes) {
+    return Status::ResourceExhausted("buffer exceeds device memory: " + key);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = resident_.find(key);
+  if (it != resident_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.first);
+    return Status::OK();
+  }
+  if (memory_used_ + bytes > options_.memory_bytes) {
+    EvictLruLocked(memory_used_ + bytes - options_.memory_bytes);
+  }
+  if (num_chunks == 0) num_chunks = 1;
+  cost_.transfer_seconds +=
+      static_cast<double>(num_chunks) * options_.dma_latency +
+      static_cast<double>(bytes) / options_.pcie_bandwidth;
+  cost_.dma_operations += num_chunks;
+  lru_.push_front(key);
+  resident_[key] = {lru_.begin(), bytes};
+  memory_used_ += bytes;
+  return Status::OK();
+}
+
+Status GpuDevice::RegisterResident(const std::string& key, size_t bytes) {
+  if (bytes > options_.memory_bytes) {
+    return Status::ResourceExhausted("buffer exceeds device memory: " + key);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = resident_.find(key);
+  if (it != resident_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.first);
+    return Status::OK();
+  }
+  if (memory_used_ + bytes > options_.memory_bytes) {
+    EvictLruLocked(memory_used_ + bytes - options_.memory_bytes);
+  }
+  lru_.push_front(key);
+  resident_[key] = {lru_.begin(), bytes};
+  memory_used_ += bytes;
+  return Status::OK();
+}
+
+void GpuDevice::Evict(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = resident_.find(key);
+  if (it == resident_.end()) return;
+  memory_used_ -= it->second.second;
+  lru_.erase(it->second.first);
+  resident_.erase(it);
+}
+
+void GpuDevice::EvictAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  resident_.clear();
+  lru_.clear();
+  memory_used_ = 0;
+}
+
+void GpuDevice::EvictLruLocked(size_t needed) {
+  size_t freed = 0;
+  while (freed < needed && !lru_.empty()) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    auto it = resident_.find(victim);
+    freed += it->second.second;
+    memory_used_ -= it->second.second;
+    resident_.erase(it);
+  }
+}
+
+void GpuDevice::RunKernel(const std::function<void()>& fn) {
+  Timer timer;
+  fn();
+  const double host_seconds = timer.ElapsedSeconds();
+  std::lock_guard<std::mutex> lock(mu_);
+  cost_.kernel_seconds +=
+      host_seconds / options_.kernel_speedup + options_.kernel_launch_overhead;
+  ++cost_.kernel_launches;
+}
+
+void GpuDevice::ChargeTransfer(size_t bytes, size_t num_chunks) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (num_chunks == 0) num_chunks = 1;
+  cost_.transfer_seconds +=
+      static_cast<double>(num_chunks) * options_.dma_latency +
+      static_cast<double>(bytes) / options_.pcie_bandwidth;
+  cost_.dma_operations += num_chunks;
+}
+
+GpuCost GpuDevice::cost() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cost_;
+}
+
+void GpuDevice::ResetCost() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cost_ = GpuCost{};
+}
+
+}  // namespace gpusim
+}  // namespace vectordb

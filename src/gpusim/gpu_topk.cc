@@ -1,0 +1,76 @@
+#include "gpusim/gpu_topk.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/result_heap.h"
+#include "simd/distances.h"
+
+namespace vectordb {
+namespace gpusim {
+
+Status GpuTopK(GpuDevice* device, const float* data, size_t n, size_t dim,
+               const float* query, size_t k, MetricType metric,
+               HitList* out) {
+  if (k > kMaxSupportedK) {
+    return Status::InvalidArgument("k exceeds the supported maximum (16384)");
+  }
+  out->clear();
+  if (k == 0 || n == 0) return Status::OK();
+  const bool keep_largest = MetricIsSimilarity(metric);
+
+  // Boundary state carried between rounds: d_l is the worst score returned
+  // so far; tied_ids are the ids returned with score exactly d_l.
+  bool have_boundary = false;
+  float boundary = 0.0f;
+  std::unordered_set<RowId> tied_ids;
+
+  while (out->size() < k) {
+    const size_t want = std::min(kGpuKernelMaxK, k - out->size());
+    ResultHeap round_heap(want, keep_largest);
+
+    device->RunKernel([&] {
+      for (size_t row = 0; row < n; ++row) {
+        const float score =
+            simd::ComputeFloatScore(metric, query, data + row * dim, dim);
+        if (have_boundary) {
+          // Skip everything already returned in earlier rounds: strictly
+          // better scores, and boundary-tied ids that were recorded.
+          const bool strictly_better =
+              keep_largest ? score > boundary : score < boundary;
+          if (strictly_better) continue;
+          if (score == boundary &&
+              tied_ids.count(static_cast<RowId>(row)) != 0) {
+            continue;
+          }
+        }
+        round_heap.Push(static_cast<RowId>(row), score);
+      }
+    });
+
+    HitList round = round_heap.TakeSorted();
+    if (round.empty()) break;  // Data exhausted before k results.
+
+    // Update the boundary from this round's worst hit.
+    const float new_boundary = round.back().score;
+    if (!have_boundary || new_boundary != boundary) tied_ids.clear();
+    boundary = new_boundary;
+    have_boundary = true;
+    for (auto it = round.rbegin();
+         it != round.rend() && it->score == boundary; ++it) {
+      tied_ids.insert(it->id);
+    }
+    // Earlier rounds may also have returned ids tied at this same score.
+    for (const SearchHit& hit : *out) {
+      if (hit.score == boundary) tied_ids.insert(hit.id);
+    }
+
+    out->insert(out->end(), round.begin(), round.end());
+    // Results D2H: (id, score) pairs.
+    device->ChargeTransfer(round.size() * (sizeof(RowId) + sizeof(float)));
+  }
+  return Status::OK();
+}
+
+}  // namespace gpusim
+}  // namespace vectordb

@@ -1,0 +1,32 @@
+#ifndef VECTORDB_GPUSIM_GPU_TOPK_H_
+#define VECTORDB_GPUSIM_GPU_TOPK_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "gpusim/gpu_device.h"
+
+namespace vectordb {
+namespace gpusim {
+
+/// Shared-memory limit of the (simulated) GPU top-k kernel: one round can
+/// produce at most this many results, mirroring the Faiss limitation the
+/// paper lifts (Sec 3.3).
+constexpr size_t kGpuKernelMaxK = 1024;
+
+/// Hard cap Milvus places on k to bound network transfers (footnote 5).
+constexpr size_t kMaxSupportedK = 16384;
+
+/// Multi-round big-k top-k (Sec 3.3): round 1 returns up to 1024 results;
+/// each later round records the boundary distance d_l and the ids tied at
+/// d_l, filters out everything already returned, and collects the next 1024,
+/// merging until k results are accumulated. Each round is one kernel launch
+/// on `device`.
+Status GpuTopK(GpuDevice* device, const float* data, size_t n, size_t dim,
+               const float* query, size_t k, MetricType metric, HitList* out);
+
+}  // namespace gpusim
+}  // namespace vectordb
+
+#endif  // VECTORDB_GPUSIM_GPU_TOPK_H_

@@ -1,0 +1,58 @@
+#include "gpusim/segment_scheduler.h"
+
+#include <algorithm>
+
+namespace vectordb {
+namespace gpusim {
+
+void SegmentScheduler::AddDevice(std::shared_ptr<GpuDevice> device) {
+  std::lock_guard<std::mutex> lock(mu_);
+  devices_.push_back(std::move(device));
+}
+
+bool SegmentScheduler::RemoveDevice(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = std::find_if(
+      devices_.begin(), devices_.end(),
+      [&](const std::shared_ptr<GpuDevice>& d) { return d->name() == name; });
+  if (it == devices_.end()) return false;
+  devices_.erase(it);
+  return true;
+}
+
+size_t SegmentScheduler::num_devices() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return devices_.size();
+}
+
+Result<std::vector<SegmentScheduler::TaskReport>> SegmentScheduler::RunTasks(
+    const std::vector<SegmentTask>& tasks) {
+  std::vector<std::shared_ptr<GpuDevice>> devices;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    devices = devices_;
+  }
+  if (devices.empty()) {
+    return Status::Unavailable("no GPU devices attached");
+  }
+
+  std::vector<double> busy(devices.size(), 0.0);
+  std::vector<TaskReport> reports;
+  reports.reserve(tasks.size());
+  for (const SegmentTask& task : tasks) {
+    // Greedy least-loaded assignment.
+    const size_t dev = static_cast<size_t>(
+        std::min_element(busy.begin(), busy.end()) - busy.begin());
+    const GpuCost cost = task(devices[dev].get());
+    busy[dev] += cost.TotalSeconds();
+    reports.push_back({devices[dev]->name(), cost.TotalSeconds()});
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_makespan_ = *std::max_element(busy.begin(), busy.end());
+  }
+  return reports;
+}
+
+}  // namespace gpusim
+}  // namespace vectordb

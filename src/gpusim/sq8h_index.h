@@ -1,0 +1,83 @@
+#ifndef VECTORDB_GPUSIM_SQ8H_INDEX_H_
+#define VECTORDB_GPUSIM_SQ8H_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "index/ivf_sq8_index.h"
+#include "gpusim/gpu_device.h"
+
+namespace vectordb {
+namespace gpusim {
+
+/// How a query batch is executed (Figure 13 sweeps all three).
+enum class ExecutionMode {
+  kAuto,     ///< Algorithm 1: batch >= threshold → GPU, else hybrid.
+  kPureCpu,  ///< Both steps on CPU (plain IVF_SQ8).
+  kPureGpu,  ///< Faiss-style: everything on GPU, per-bucket on-demand DMA.
+  kHybrid,   ///< SQ8H: step 1 (probe selection) on GPU, step 2 on CPU.
+};
+
+/// SQ8H — the CPU/GPU hybrid index of Sec 3.4 (Algorithm 1), layered over
+/// IVF_SQ8:
+///
+///  * Large batches (>= `gpu_batch_threshold`) run fully on the GPU, with
+///    the needed buckets copied in *one batched multi-bucket DMA* (possible
+///    because LSM segments are immutable, unlike Faiss's in-place-updated
+///    buckets), utilizing the full PCIe bandwidth.
+///  * Small batches execute step 1 (centroid comparison — high
+///    compute-to-I/O ratio, the K centroids stay resident in device memory)
+///    on the GPU, and step 2 (scattered bucket scans) on the CPU, so no
+///    bucket data ever crosses the bus.
+class Sq8hIndex {
+ public:
+  struct Options {
+    size_t gpu_batch_threshold = 1000;  ///< Algorithm 1's `threshold`.
+  };
+
+  Sq8hIndex(std::unique_ptr<index::IvfSq8Index> base,
+            std::shared_ptr<GpuDevice> device, const Options& options);
+  Sq8hIndex(std::unique_ptr<index::IvfSq8Index> base,
+            std::shared_ptr<GpuDevice> device)
+      : Sq8hIndex(std::move(base), std::move(device), Options()) {}
+
+  Status Train(const float* data, size_t n) { return base_->Train(data, n); }
+  Status Add(const float* data, size_t n) { return base_->Add(data, n); }
+  Status Build(const float* data, size_t n) { return base_->Build(data, n); }
+  size_t Size() const { return base_->Size(); }
+  const index::IvfSq8Index& base() const { return *base_; }
+
+  struct SearchStats {
+    GpuCost gpu;               ///< Simulated device cost.
+    double cpu_seconds = 0.0;  ///< Measured host time of CPU legs.
+    ExecutionMode mode_used = ExecutionMode::kAuto;
+    size_t buckets_transferred = 0;
+
+    double TotalSeconds() const { return gpu.TotalSeconds() + cpu_seconds; }
+  };
+
+  /// Batch search. `mode` kAuto applies Algorithm 1's batch-size test.
+  Status Search(const float* queries, size_t nq,
+                const index::SearchOptions& options,
+                std::vector<HitList>* results, SearchStats* stats,
+                ExecutionMode mode = ExecutionMode::kAuto) const;
+
+ private:
+  Status SearchPureGpu(const float* queries, size_t nq,
+                       const index::SearchOptions& options,
+                       std::vector<HitList>* results, SearchStats* stats,
+                       bool batched_dma) const;
+  Status SearchHybrid(const float* queries, size_t nq,
+                      const index::SearchOptions& options,
+                      std::vector<HitList>* results,
+                      SearchStats* stats) const;
+
+  std::unique_ptr<index::IvfSq8Index> base_;
+  std::shared_ptr<GpuDevice> device_;
+  Options options_;
+};
+
+}  // namespace gpusim
+}  // namespace vectordb
+
+#endif  // VECTORDB_GPUSIM_SQ8H_INDEX_H_

@@ -1,0 +1,215 @@
+#include "index/annoy_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+#include "common/binary_io.h"
+#include "common/result_heap.h"
+#include "simd/distances.h"
+
+namespace vectordb {
+namespace index {
+
+namespace {
+constexpr uint32_t kAnnoyMagic = 0x594F4E41;  // "ANOY"
+constexpr int kMaxDepth = 64;
+}  // namespace
+
+AnnoyIndex::AnnoyIndex(size_t dim, MetricType metric,
+                       const IndexBuildParams& params)
+    : VectorIndex(IndexType::kAnnoy, dim, metric),
+      num_trees_param_(params.annoy_num_trees),
+      leaf_size_(std::max<size_t>(params.annoy_leaf_size, 2)),
+      seed_(params.seed) {}
+
+float AnnoyIndex::Margin(const TreeNode& node, const float* vec) const {
+  const float* normal =
+      planes_.data() + static_cast<size_t>(node.normal_idx) * dim_;
+  return simd::InnerProduct(normal, vec, dim_) - node.offset;
+}
+
+int32_t AnnoyIndex::BuildSubtree(std::vector<uint32_t>* ids, size_t begin,
+                                 size_t end, Rng* rng, int depth) {
+  const size_t count = end - begin;
+  if (count <= leaf_size_ || depth >= kMaxDepth) {
+    TreeNode leaf;
+    leaf.item_begin = static_cast<uint32_t>(items_.size());
+    items_.insert(items_.end(), ids->begin() + begin, ids->begin() + end);
+    leaf.item_end = static_cast<uint32_t>(items_.size());
+    nodes_.push_back(leaf);
+    return static_cast<int32_t>(nodes_.size() - 1);
+  }
+
+  // Split plane through the midpoint of two random distinct points.
+  const uint32_t a = (*ids)[begin + rng->NextUint64(count)];
+  uint32_t b = a;
+  for (int attempt = 0; attempt < 8 && b == a; ++attempt) {
+    b = (*ids)[begin + rng->NextUint64(count)];
+  }
+  TreeNode node;
+  node.normal_idx = static_cast<int32_t>(planes_.size() / dim_);
+  planes_.resize(planes_.size() + dim_);
+  float* normal = planes_.data() + static_cast<size_t>(node.normal_idx) * dim_;
+  const float* va = VectorAt(a);
+  const float* vb = VectorAt(b);
+  float norm = 0.0f;
+  for (size_t d = 0; d < dim_; ++d) {
+    normal[d] = va[d] - vb[d];
+    norm += normal[d] * normal[d];
+  }
+  if (norm < 1e-12f) {
+    // Degenerate sample (duplicate points): random Gaussian plane.
+    norm = 0.0f;
+    for (size_t d = 0; d < dim_; ++d) {
+      normal[d] = rng->NextGaussian();
+      norm += normal[d] * normal[d];
+    }
+  }
+  const float inv = 1.0f / std::sqrt(std::max(norm, 1e-12f));
+  for (size_t d = 0; d < dim_; ++d) normal[d] *= inv;
+  float offset = 0.0f;
+  for (size_t d = 0; d < dim_; ++d) {
+    offset += normal[d] * 0.5f * (va[d] + vb[d]);
+  }
+  node.offset = offset;
+
+  // Partition by margin sign; fall back to a random split when degenerate.
+  auto mid_it = std::partition(
+      ids->begin() + begin, ids->begin() + end, [&](uint32_t id) {
+        return simd::InnerProduct(normal, VectorAt(id), dim_) - offset < 0.0f;
+      });
+  size_t mid = static_cast<size_t>(mid_it - ids->begin());
+  if (mid == begin || mid == end) mid = begin + count / 2;
+
+  const int32_t node_idx = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(node);
+  const int32_t left = BuildSubtree(ids, begin, mid, rng, depth + 1);
+  const int32_t right = BuildSubtree(ids, mid, end, rng, depth + 1);
+  nodes_[node_idx].left = left;
+  nodes_[node_idx].right = right;
+  return node_idx;
+}
+
+void AnnoyIndex::BuildForest() {
+  nodes_.clear();
+  planes_.clear();
+  items_.clear();
+  roots_.clear();
+  if (num_vectors_ == 0) return;
+  Rng rng(seed_);
+  std::vector<uint32_t> ids(num_vectors_);
+  for (size_t t = 0; t < num_trees_param_; ++t) {
+    for (uint32_t i = 0; i < num_vectors_; ++i) ids[i] = i;
+    std::shuffle(ids.begin(), ids.end(), rng.engine());
+    roots_.push_back(BuildSubtree(&ids, 0, ids.size(), &rng, 0));
+  }
+}
+
+Status AnnoyIndex::Add(const float* data, size_t n) {
+  vectors_.insert(vectors_.end(), data, data + n * dim_);
+  num_vectors_ += n;
+  BuildForest();  // Rebuild; Annoy is a static structure.
+  built_ = true;
+  return Status::OK();
+}
+
+Status AnnoyIndex::Search(const float* queries, size_t nq,
+                          const SearchOptions& options,
+                          std::vector<HitList>* results) const {
+  results->assign(nq, HitList{});
+  if (num_vectors_ == 0) return Status::OK();
+  const size_t search_k = options.annoy_search_k != 0
+                              ? options.annoy_search_k
+                              : options.k * roots_.size() * 4;
+  for (size_t q = 0; q < nq; ++q) {
+    const float* query = queries + q * dim_;
+    // Max-heap on margin priority: explore the most promising subtree first;
+    // both children are pushed, the far side with the (negative) margin
+    // magnitude as priority, Annoy-style.
+    std::priority_queue<std::pair<float, int32_t>> frontier;
+    for (int32_t root : roots_) {
+      frontier.emplace(std::numeric_limits<float>::max(), root);
+    }
+    std::unordered_set<uint32_t> candidates;
+    while (!frontier.empty() && candidates.size() < search_k) {
+      const auto [priority, node_idx] = frontier.top();
+      frontier.pop();
+      const TreeNode& node = nodes_[node_idx];
+      if (node.is_leaf()) {
+        for (uint32_t i = node.item_begin; i < node.item_end; ++i) {
+          candidates.insert(items_[i]);
+        }
+        continue;
+      }
+      const float margin = Margin(node, query);
+      const float bound = std::min(priority, std::abs(margin));
+      // Near side keeps the parent priority; far side is bounded by |margin|.
+      if (margin < 0.0f) {
+        frontier.emplace(priority, node.left);
+        frontier.emplace(bound, node.right);
+      } else {
+        frontier.emplace(priority, node.right);
+        frontier.emplace(bound, node.left);
+      }
+    }
+    // Exact rerank of the candidate set.
+    ResultHeap heap = ResultHeap::ForMetric(options.k, metric_);
+    for (uint32_t id : candidates) {
+      if (options.filter != nullptr && !options.filter->Test(id)) continue;
+      const float score =
+          simd::ComputeFloatScore(metric_, query, VectorAt(id), dim_);
+      heap.Push(static_cast<RowId>(id), score);
+    }
+    (*results)[q] = heap.TakeSorted();
+  }
+  return Status::OK();
+}
+
+size_t AnnoyIndex::MemoryBytes() const {
+  return vectors_.capacity() * sizeof(float) +
+         nodes_.capacity() * sizeof(TreeNode) +
+         planes_.capacity() * sizeof(float) +
+         items_.capacity() * sizeof(uint32_t);
+}
+
+Status AnnoyIndex::Serialize(std::string* out) const {
+  BinaryWriter writer(out);
+  writer.PutU32(kAnnoyMagic);
+  writer.PutU64(dim_);
+  writer.PutU64(num_vectors_);
+  writer.PutVector(vectors_);
+  writer.PutVector(planes_);
+  writer.PutVector(items_);
+  writer.PutVector(roots_);
+  writer.PutU64(nodes_.size());
+  writer.PutBytes(nodes_.data(), nodes_.size() * sizeof(TreeNode));
+  return Status::OK();
+}
+
+Status AnnoyIndex::Deserialize(const std::string& in) {
+  BinaryReader reader(in);
+  uint32_t magic;
+  uint64_t dim, n, num_nodes;
+  if (!reader.GetU32(&magic) || magic != kAnnoyMagic) {
+    return Status::Corruption("bad ANNOY magic");
+  }
+  if (!reader.GetU64(&dim) || !reader.GetU64(&n) ||
+      !reader.GetVector(&vectors_) || !reader.GetVector(&planes_) ||
+      !reader.GetVector(&items_) || !reader.GetVector(&roots_) ||
+      !reader.GetU64(&num_nodes)) {
+    return Status::Corruption("truncated ANNOY index");
+  }
+  if (dim != dim_) return Status::InvalidArgument("dim mismatch");
+  nodes_.resize(num_nodes);
+  if (!reader.GetBytes(nodes_.data(), num_nodes * sizeof(TreeNode))) {
+    return Status::Corruption("truncated ANNOY nodes");
+  }
+  num_vectors_ = n;
+  built_ = n > 0;
+  return Status::OK();
+}
+
+}  // namespace index
+}  // namespace vectordb

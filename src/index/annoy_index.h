@@ -1,0 +1,72 @@
+#ifndef VECTORDB_INDEX_ANNOY_INDEX_H_
+#define VECTORDB_INDEX_ANNOY_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/index.h"
+
+namespace vectordb {
+namespace index {
+
+/// Tree-based index in the style of Spotify Annoy (footnote 3 of the paper):
+/// a forest of random-projection trees. Each internal node splits by a
+/// hyperplane through the midpoint of two sampled points; a search walks all
+/// trees with a shared priority queue on margin, collects candidate leaves
+/// until `annoy_search_k` nodes are inspected, then reranks exactly.
+class AnnoyIndex : public VectorIndex {
+ public:
+  AnnoyIndex(size_t dim, MetricType metric, const IndexBuildParams& params);
+
+  Status Add(const float* data, size_t n) override;
+  Status Search(const float* queries, size_t nq, const SearchOptions& options,
+                std::vector<HitList>* results) const override;
+  size_t Size() const override { return num_vectors_; }
+  size_t MemoryBytes() const override;
+  Status Serialize(std::string* out) const override;
+  Status Deserialize(const std::string& in) override;
+
+  size_t num_trees() const { return roots_.size(); }
+
+ private:
+  struct TreeNode {
+    /// Hyperplane: normal (dim floats stored in planes_) and offset.
+    float offset = 0.0f;
+    int32_t normal_idx = -1;  ///< Index into planes_ / dim_; -1 for leaf.
+    int32_t left = -1;
+    int32_t right = -1;
+    /// Leaf payload: [item_begin, item_end) into items_.
+    uint32_t item_begin = 0;
+    uint32_t item_end = 0;
+    bool is_leaf() const { return normal_idx < 0; }
+  };
+
+  const float* VectorAt(uint32_t i) const {
+    return vectors_.data() + static_cast<size_t>(i) * dim_;
+  }
+
+  int32_t BuildSubtree(std::vector<uint32_t>* ids, size_t begin, size_t end,
+                       Rng* rng, int depth);
+  float Margin(const TreeNode& node, const float* vec) const;
+
+  void BuildForest();
+
+  size_t num_trees_param_;
+  size_t leaf_size_;
+  uint64_t seed_;
+
+  std::vector<float> vectors_;
+  size_t num_vectors_ = 0;
+
+  std::vector<TreeNode> nodes_;
+  std::vector<float> planes_;     ///< One dim-length normal per split node.
+  std::vector<uint32_t> items_;   ///< Leaf item storage.
+  std::vector<int32_t> roots_;
+  bool built_ = false;
+};
+
+}  // namespace index
+}  // namespace vectordb
+
+#endif  // VECTORDB_INDEX_ANNOY_INDEX_H_

@@ -1,0 +1,70 @@
+#include "index/binary_flat_index.h"
+
+#include "common/binary_io.h"
+#include "common/result_heap.h"
+#include "simd/distances.h"
+
+namespace vectordb {
+namespace index {
+
+namespace {
+constexpr uint32_t kBinFlatMagic = 0x464E4942;  // "BINF"
+}
+
+Status BinaryFlatIndex::AddBinary(const uint8_t* data, size_t n) {
+  codes_.insert(codes_.end(), data, data + n * bytes_per_vector_);
+  num_vectors_ += n;
+  return Status::OK();
+}
+
+Status BinaryFlatIndex::SearchBinary(const uint8_t* queries, size_t nq,
+                                     const SearchOptions& options,
+                                     std::vector<HitList>* results) const {
+  if (!MetricIsBinary(metric_)) {
+    return Status::InvalidArgument("binary index requires a binary metric");
+  }
+  results->assign(nq, HitList{});
+  for (size_t q = 0; q < nq; ++q) {
+    const uint8_t* query = queries + q * bytes_per_vector_;
+    ResultHeap heap(options.k, /*keep_largest=*/false);
+    for (size_t i = 0; i < num_vectors_; ++i) {
+      if (options.filter != nullptr && !options.filter->Test(i)) continue;
+      const float score = simd::ComputeBinaryScore(metric_, query, vector(i),
+                                                   bytes_per_vector_);
+      heap.Push(static_cast<RowId>(i), score);
+    }
+    (*results)[q] = heap.TakeSorted();
+  }
+  return Status::OK();
+}
+
+Status BinaryFlatIndex::Serialize(std::string* out) const {
+  BinaryWriter writer(out);
+  writer.PutU32(kBinFlatMagic);
+  writer.PutU64(dim_);
+  writer.PutU64(num_vectors_);
+  writer.PutVector(codes_);
+  return Status::OK();
+}
+
+Status BinaryFlatIndex::Deserialize(const std::string& in) {
+  BinaryReader reader(in);
+  uint32_t magic;
+  uint64_t dim, n;
+  if (!reader.GetU32(&magic) || magic != kBinFlatMagic) {
+    return Status::Corruption("bad BIN_FLAT magic");
+  }
+  if (!reader.GetU64(&dim) || !reader.GetU64(&n) ||
+      !reader.GetVector(&codes_)) {
+    return Status::Corruption("truncated BIN_FLAT index");
+  }
+  if (dim != dim_) return Status::InvalidArgument("dim mismatch");
+  if (codes_.size() != n * bytes_per_vector_) {
+    return Status::Corruption("BIN_FLAT payload size mismatch");
+  }
+  num_vectors_ = n;
+  return Status::OK();
+}
+
+}  // namespace index
+}  // namespace vectordb

@@ -1,0 +1,57 @@
+#ifndef VECTORDB_INDEX_BINARY_FLAT_INDEX_H_
+#define VECTORDB_INDEX_BINARY_FLAT_INDEX_H_
+
+#include <vector>
+
+#include "index/index.h"
+
+namespace vectordb {
+namespace index {
+
+/// Exact index over packed binary vectors (Hamming / Jaccard / Tanimoto),
+/// used e.g. for chemical-fingerprint search (Sec 6.2). `dim` is the bit
+/// length; vectors are packed 8 bits per byte, LSB first.
+///
+/// The float-vector entry points of VectorIndex are not applicable and
+/// return NotSupported; callers use the *Binary methods.
+class BinaryFlatIndex : public VectorIndex {
+ public:
+  BinaryFlatIndex(size_t dim_bits, MetricType metric)
+      : VectorIndex(IndexType::kBinaryFlat, dim_bits, metric),
+        bytes_per_vector_((dim_bits + 7) / 8) {}
+
+  size_t bytes_per_vector() const { return bytes_per_vector_; }
+
+  Status AddBinary(const uint8_t* data, size_t n);
+  Status SearchBinary(const uint8_t* queries, size_t nq,
+                      const SearchOptions& options,
+                      std::vector<HitList>* results) const;
+
+  // Float entry points: not applicable to binary data.
+  Status Add(const float* data, size_t n) override {
+    return Status::NotSupported("BinaryFlatIndex stores binary vectors");
+  }
+  Status Search(const float* queries, size_t nq, const SearchOptions& options,
+                std::vector<HitList>* results) const override {
+    return Status::NotSupported("BinaryFlatIndex searches binary vectors");
+  }
+
+  size_t Size() const override { return num_vectors_; }
+  size_t MemoryBytes() const override { return codes_.capacity(); }
+  Status Serialize(std::string* out) const override;
+  Status Deserialize(const std::string& in) override;
+
+  const uint8_t* vector(size_t offset) const {
+    return codes_.data() + offset * bytes_per_vector_;
+  }
+
+ private:
+  size_t bytes_per_vector_;
+  std::vector<uint8_t> codes_;
+  size_t num_vectors_ = 0;
+};
+
+}  // namespace index
+}  // namespace vectordb
+
+#endif  // VECTORDB_INDEX_BINARY_FLAT_INDEX_H_

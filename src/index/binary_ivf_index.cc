@@ -1,0 +1,203 @@
+#include "index/binary_ivf_index.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/binary_io.h"
+#include "common/result_heap.h"
+#include "common/rng.h"
+#include "simd/distances.h"
+
+namespace vectordb {
+namespace index {
+
+namespace {
+constexpr uint32_t kBinIvfMagic = 0x46564942;  // "BIVF"
+}
+
+BinaryIvfIndex::BinaryIvfIndex(size_t dim_bits, MetricType metric,
+                               const IndexBuildParams& params)
+    : VectorIndex(IndexType::kBinaryIvf, dim_bits, metric),
+      bytes_per_vector_((dim_bits + 7) / 8),
+      nlist_param_(params.nlist),
+      kmeans_iters_(params.kmeans_iters),
+      seed_(params.seed) {}
+
+size_t BinaryIvfIndex::NearestCentroid(const uint8_t* vec) const {
+  size_t best = 0;
+  uint32_t best_dist = std::numeric_limits<uint32_t>::max();
+  const size_t k = nlist();
+  for (size_t c = 0; c < k; ++c) {
+    const uint32_t d = simd::HammingDistance(
+        vec, centroids_.data() + c * bytes_per_vector_, bytes_per_vector_);
+    if (d < best_dist) {
+      best_dist = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+Status BinaryIvfIndex::TrainBinary(const uint8_t* data, size_t n) {
+  if (!MetricIsBinary(metric_)) {
+    return Status::InvalidArgument("binary IVF requires a binary metric");
+  }
+  if (trained_) return Status::OK();
+  if (n == 0) return Status::InvalidArgument("empty training set");
+  const size_t k = std::min(std::max<size_t>(nlist_param_, 1), n);
+
+  // Seed centroids with distinct random training points.
+  Rng rng(seed_);
+  centroids_.assign(k * bytes_per_vector_, 0);
+  for (size_t c = 0; c < k; ++c) {
+    const size_t pick = rng.NextUint64(n);
+    std::copy(data + pick * bytes_per_vector_,
+              data + (pick + 1) * bytes_per_vector_,
+              centroids_.begin() + c * bytes_per_vector_);
+  }
+
+  // Lloyd with bitwise-majority centroid updates (binary k-majority).
+  std::vector<size_t> assignment(n);
+  std::vector<uint32_t> bit_votes(k * dim_, 0);
+  std::vector<size_t> counts(k, 0);
+  for (size_t iter = 0; iter < std::max<size_t>(kmeans_iters_, 1); ++iter) {
+    std::fill(bit_votes.begin(), bit_votes.end(), 0u);
+    std::fill(counts.begin(), counts.end(), size_t{0});
+    for (size_t i = 0; i < n; ++i) {
+      const uint8_t* vec = data + i * bytes_per_vector_;
+      const size_t c = NearestCentroid(vec);
+      assignment[i] = c;
+      ++counts[c];
+      uint32_t* votes = bit_votes.data() + c * dim_;
+      for (size_t b = 0; b < dim_; ++b) {
+        votes[b] += (vec[b / 8] >> (b % 8)) & 1u;
+      }
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed empty clusters from a random point.
+        const size_t pick = rng.NextUint64(n);
+        std::copy(data + pick * bytes_per_vector_,
+                  data + (pick + 1) * bytes_per_vector_,
+                  centroids_.begin() + c * bytes_per_vector_);
+        continue;
+      }
+      uint8_t* centroid = centroids_.data() + c * bytes_per_vector_;
+      std::fill(centroid, centroid + bytes_per_vector_, 0);
+      const uint32_t* votes = bit_votes.data() + c * dim_;
+      for (size_t b = 0; b < dim_; ++b) {
+        if (votes[b] * 2 >= counts[c]) {
+          centroid[b / 8] |= uint8_t{1} << (b % 8);
+        }
+      }
+    }
+  }
+  lists_.assign(k, List{});
+  trained_ = true;
+  return Status::OK();
+}
+
+Status BinaryIvfIndex::AddBinary(const uint8_t* data, size_t n) {
+  if (!trained_) return Status::Aborted("binary IVF not trained");
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t* vec = data + i * bytes_per_vector_;
+    List& list = lists_[NearestCentroid(vec)];
+    list.ids.push_back(static_cast<RowId>(num_vectors_ + i));
+    list.codes.insert(list.codes.end(), vec, vec + bytes_per_vector_);
+  }
+  num_vectors_ += n;
+  return Status::OK();
+}
+
+std::vector<size_t> BinaryIvfIndex::SelectProbes(const uint8_t* query,
+                                                 size_t nprobe) const {
+  const size_t k = nlist();
+  nprobe = std::min(nprobe, k);
+  ResultHeap heap(nprobe, /*keep_largest=*/false);
+  for (size_t c = 0; c < k; ++c) {
+    heap.Push(static_cast<RowId>(c),
+              static_cast<float>(simd::HammingDistance(
+                  query, centroids_.data() + c * bytes_per_vector_,
+                  bytes_per_vector_)));
+  }
+  HitList hits = heap.TakeSorted();
+  std::vector<size_t> out;
+  out.reserve(hits.size());
+  for (const auto& hit : hits) out.push_back(static_cast<size_t>(hit.id));
+  return out;
+}
+
+Status BinaryIvfIndex::SearchBinary(const uint8_t* queries, size_t nq,
+                                    const SearchOptions& options,
+                                    std::vector<HitList>* results) const {
+  if (!trained_) return Status::Aborted("binary IVF not trained");
+  results->assign(nq, HitList{});
+  for (size_t q = 0; q < nq; ++q) {
+    const uint8_t* query = queries + q * bytes_per_vector_;
+    ResultHeap heap(options.k, /*keep_largest=*/false);
+    for (size_t list_id : SelectProbes(query, options.nprobe)) {
+      const List& list = lists_[list_id];
+      for (size_t j = 0; j < list.ids.size(); ++j) {
+        const RowId id = list.ids[j];
+        if (options.filter != nullptr &&
+            !options.filter->Test(static_cast<size_t>(id))) {
+          continue;
+        }
+        heap.Push(id, simd::ComputeBinaryScore(
+                          metric_, query,
+                          list.codes.data() + j * bytes_per_vector_,
+                          bytes_per_vector_));
+      }
+    }
+    (*results)[q] = heap.TakeSorted();
+  }
+  return Status::OK();
+}
+
+size_t BinaryIvfIndex::MemoryBytes() const {
+  size_t bytes = centroids_.capacity();
+  for (const auto& list : lists_) {
+    bytes += list.ids.capacity() * sizeof(RowId) + list.codes.capacity();
+  }
+  return bytes;
+}
+
+Status BinaryIvfIndex::Serialize(std::string* out) const {
+  BinaryWriter writer(out);
+  writer.PutU32(kBinIvfMagic);
+  writer.PutU64(dim_);
+  writer.PutU64(num_vectors_);
+  writer.PutU64(nlist());
+  writer.PutVector(centroids_);
+  for (const auto& list : lists_) {
+    writer.PutVector(list.ids);
+    writer.PutVector(list.codes);
+  }
+  return Status::OK();
+}
+
+Status BinaryIvfIndex::Deserialize(const std::string& in) {
+  BinaryReader reader(in);
+  uint32_t magic;
+  uint64_t dim, n, nlist;
+  if (!reader.GetU32(&magic) || magic != kBinIvfMagic) {
+    return Status::Corruption("bad BIN_IVF magic");
+  }
+  if (!reader.GetU64(&dim) || !reader.GetU64(&n) || !reader.GetU64(&nlist) ||
+      !reader.GetVector(&centroids_)) {
+    return Status::Corruption("truncated BIN_IVF header");
+  }
+  if (dim != dim_) return Status::InvalidArgument("dim mismatch");
+  lists_.assign(nlist, List{});
+  for (auto& list : lists_) {
+    if (!reader.GetVector(&list.ids) || !reader.GetVector(&list.codes)) {
+      return Status::Corruption("truncated BIN_IVF lists");
+    }
+  }
+  num_vectors_ = n;
+  trained_ = true;
+  return Status::OK();
+}
+
+}  // namespace index
+}  // namespace vectordb

@@ -1,0 +1,67 @@
+#include "index/flat_index.h"
+
+#include "common/binary_io.h"
+#include "common/result_heap.h"
+#include "simd/distances.h"
+
+namespace vectordb {
+namespace index {
+
+namespace {
+constexpr uint32_t kFlatMagic = 0x564C4146;  // "FLAV"
+}
+
+Status FlatIndex::Add(const float* data, size_t n) {
+  vectors_.insert(vectors_.end(), data, data + n * dim_);
+  num_vectors_ += n;
+  return Status::OK();
+}
+
+Status FlatIndex::Search(const float* queries, size_t nq,
+                         const SearchOptions& options,
+                         std::vector<HitList>* results) const {
+  results->assign(nq, HitList{});
+  for (size_t q = 0; q < nq; ++q) {
+    const float* query = queries + q * dim_;
+    ResultHeap heap = ResultHeap::ForMetric(options.k, metric_);
+    for (size_t i = 0; i < num_vectors_; ++i) {
+      if (options.filter != nullptr && !options.filter->Test(i)) continue;
+      const float score =
+          simd::ComputeFloatScore(metric_, query, vector(i), dim_);
+      heap.Push(static_cast<RowId>(i), score);
+    }
+    (*results)[q] = heap.TakeSorted();
+  }
+  return Status::OK();
+}
+
+Status FlatIndex::Serialize(std::string* out) const {
+  BinaryWriter writer(out);
+  writer.PutU32(kFlatMagic);
+  writer.PutU64(dim_);
+  writer.PutU64(num_vectors_);
+  writer.PutVector(vectors_);
+  return Status::OK();
+}
+
+Status FlatIndex::Deserialize(const std::string& in) {
+  BinaryReader reader(in);
+  uint32_t magic;
+  uint64_t dim, n;
+  if (!reader.GetU32(&magic) || magic != kFlatMagic) {
+    return Status::Corruption("bad FLAT magic");
+  }
+  if (!reader.GetU64(&dim) || !reader.GetU64(&n) ||
+      !reader.GetVector(&vectors_)) {
+    return Status::Corruption("truncated FLAT index");
+  }
+  if (dim != dim_) return Status::InvalidArgument("dim mismatch");
+  if (vectors_.size() != n * dim) {
+    return Status::Corruption("FLAT payload size mismatch");
+  }
+  num_vectors_ = n;
+  return Status::OK();
+}
+
+}  // namespace index
+}  // namespace vectordb

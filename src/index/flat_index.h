@@ -1,0 +1,44 @@
+#ifndef VECTORDB_INDEX_FLAT_INDEX_H_
+#define VECTORDB_INDEX_FLAT_INDEX_H_
+
+#include <vector>
+
+#include "index/index.h"
+
+namespace vectordb {
+namespace index {
+
+/// Exact brute-force index over raw float vectors. Serves as the ground
+/// truth oracle, as the small-segment search path (segments below the index
+/// build threshold are scanned flat, Sec 2.3), and as the "vector full scan"
+/// leg of attribute-filter strategy A.
+class FlatIndex : public VectorIndex {
+ public:
+  FlatIndex(size_t dim, MetricType metric)
+      : VectorIndex(IndexType::kFlat, dim, metric) {}
+
+  Status Add(const float* data, size_t n) override;
+  Status Search(const float* queries, size_t nq, const SearchOptions& options,
+                std::vector<HitList>* results) const override;
+  size_t Size() const override { return num_vectors_; }
+  size_t MemoryBytes() const override {
+    return vectors_.capacity() * sizeof(float);
+  }
+  Status Serialize(std::string* out) const override;
+  Status Deserialize(const std::string& in) override;
+
+  /// Raw storage access (used by searchers that scan flat data directly).
+  const float* data() const { return vectors_.data(); }
+  const float* vector(size_t offset) const {
+    return vectors_.data() + offset * dim_;
+  }
+
+ private:
+  std::vector<float> vectors_;
+  size_t num_vectors_ = 0;
+};
+
+}  // namespace index
+}  // namespace vectordb
+
+#endif  // VECTORDB_INDEX_FLAT_INDEX_H_

@@ -1,0 +1,292 @@
+#include "index/hnsw_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+#include "common/binary_io.h"
+#include "common/result_heap.h"
+#include "simd/distances.h"
+
+namespace vectordb {
+namespace index {
+
+namespace {
+constexpr uint32_t kHnswMagic = 0x57534E48;  // "HNSW"
+
+/// Min-heap on distance.
+using MinQueue =
+    std::priority_queue<std::pair<float, uint32_t>,
+                        std::vector<std::pair<float, uint32_t>>,
+                        std::greater<>>;
+/// Max-heap on distance.
+using MaxQueue = std::priority_queue<std::pair<float, uint32_t>>;
+}  // namespace
+
+HnswIndex::HnswIndex(size_t dim, MetricType metric,
+                     const IndexBuildParams& params)
+    : VectorIndex(IndexType::kHnsw, dim, metric),
+      m_(params.hnsw_m),
+      ef_construction_(params.ef_construction),
+      level_mult_(1.0 / std::log(static_cast<double>(std::max<size_t>(m_, 2)))),
+      rng_(params.seed) {}
+
+float HnswIndex::Distance(const float* a, const float* b) const {
+  switch (metric_) {
+    case MetricType::kL2:
+      return simd::L2Sqr(a, b, dim_);
+    case MetricType::kInnerProduct:
+      return -simd::InnerProduct(a, b, dim_);
+    case MetricType::kCosine:
+      return -simd::CosineSimilarity(a, b, dim_);
+    default:
+      return 0.0f;
+  }
+}
+
+float HnswIndex::DistanceTo(const float* query, uint32_t node) const {
+  return Distance(query, VectorAt(node));
+}
+
+int HnswIndex::DrawLevel() {
+  const double u = std::max(rng_.NextDouble(), 1e-12);
+  return static_cast<int>(-std::log(u) * level_mult_);
+}
+
+uint32_t HnswIndex::GreedySearchLayer(const float* query, uint32_t entry,
+                                      int level) const {
+  uint32_t current = entry;
+  float current_dist = DistanceTo(query, current);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (uint32_t nb : nodes_[current].neighbors[level]) {
+      const float d = DistanceTo(query, nb);
+      if (d < current_dist) {
+        current_dist = d;
+        current = nb;
+        improved = true;
+      }
+    }
+  }
+  return current;
+}
+
+std::vector<std::pair<float, uint32_t>> HnswIndex::SearchLayer(
+    const float* query, uint32_t entry, int level, size_t ef) const {
+  std::unordered_set<uint32_t> visited;
+  MinQueue candidates;   // Closest-first expansion frontier.
+  MaxQueue best;         // Current ef best, worst on top.
+
+  const float entry_dist = DistanceTo(query, entry);
+  candidates.emplace(entry_dist, entry);
+  best.emplace(entry_dist, entry);
+  visited.insert(entry);
+
+  while (!candidates.empty()) {
+    const auto [dist, node] = candidates.top();
+    candidates.pop();
+    if (best.size() >= ef && dist > best.top().first) break;
+    for (uint32_t nb : nodes_[node].neighbors[level]) {
+      if (!visited.insert(nb).second) continue;
+      const float d = DistanceTo(query, nb);
+      if (best.size() < ef || d < best.top().first) {
+        candidates.emplace(d, nb);
+        best.emplace(d, nb);
+        if (best.size() > ef) best.pop();
+      }
+    }
+  }
+
+  std::vector<std::pair<float, uint32_t>> out;
+  out.reserve(best.size());
+  while (!best.empty()) {
+    out.push_back(best.top());
+    best.pop();
+  }
+  std::reverse(out.begin(), out.end());  // Closest first.
+  return out;
+}
+
+std::vector<uint32_t> HnswIndex::SelectNeighbors(
+    const float* base, std::vector<std::pair<float, uint32_t>> candidates,
+    size_t max_degree) const {
+  std::sort(candidates.begin(), candidates.end());
+  std::vector<uint32_t> selected;
+  selected.reserve(max_degree);
+  for (const auto& [dist, cand] : candidates) {
+    if (selected.size() >= max_degree) break;
+    // Keep `cand` only if it is closer to the base point than to any
+    // already-selected neighbor (diversity heuristic from the HNSW paper).
+    bool keep = true;
+    for (uint32_t sel : selected) {
+      if (Distance(VectorAt(cand), VectorAt(sel)) < dist) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) selected.push_back(cand);
+  }
+  // Backfill with nearest remaining candidates if the heuristic was too
+  // aggressive (keeps the graph connected at small sizes).
+  if (selected.size() < max_degree) {
+    for (const auto& [dist, cand] : candidates) {
+      if (selected.size() >= max_degree) break;
+      if (std::find(selected.begin(), selected.end(), cand) ==
+          selected.end()) {
+        selected.push_back(cand);
+      }
+    }
+  }
+  return selected;
+}
+
+void HnswIndex::LinkNode(uint32_t node_id) {
+  const float* vec = VectorAt(node_id);
+  Node& node = nodes_[node_id];
+
+  if (max_level_ < 0) {
+    max_level_ = node.level;
+    entry_point_ = node_id;
+    return;
+  }
+
+  uint32_t entry = entry_point_;
+  // Greedy descent through layers above the node's level.
+  for (int level = max_level_; level > node.level; --level) {
+    entry = GreedySearchLayer(vec, entry, level);
+  }
+
+  // Insert at each level from min(node.level, max_level_) down to 0.
+  for (int level = std::min(node.level, max_level_); level >= 0; --level) {
+    auto candidates = SearchLayer(vec, entry, level, ef_construction_);
+    entry = candidates.front().second;
+    auto selected = SelectNeighbors(vec, candidates, MaxDegree(level));
+    node.neighbors[level] = selected;
+    // Add reverse edges, shrinking neighbor lists that overflow.
+    for (uint32_t nb : selected) {
+      auto& nb_links = nodes_[nb].neighbors[level];
+      nb_links.push_back(node_id);
+      const size_t cap = MaxDegree(level);
+      if (nb_links.size() > cap) {
+        std::vector<std::pair<float, uint32_t>> cands;
+        cands.reserve(nb_links.size());
+        const float* nb_vec = VectorAt(nb);
+        for (uint32_t x : nb_links) {
+          cands.emplace_back(Distance(nb_vec, VectorAt(x)), x);
+        }
+        nb_links = SelectNeighbors(nb_vec, std::move(cands), cap);
+      }
+    }
+  }
+
+  if (node.level > max_level_) {
+    max_level_ = node.level;
+    entry_point_ = node_id;
+  }
+}
+
+Status HnswIndex::Add(const float* data, size_t n) {
+  vectors_.insert(vectors_.end(), data, data + n * dim_);
+  nodes_.reserve(nodes_.size() + n);
+  for (size_t i = 0; i < n; ++i) {
+    Node node;
+    node.level = DrawLevel();
+    node.neighbors.resize(node.level + 1);
+    nodes_.push_back(std::move(node));
+    LinkNode(static_cast<uint32_t>(num_vectors_ + i));
+  }
+  num_vectors_ += n;
+  return Status::OK();
+}
+
+Status HnswIndex::Search(const float* queries, size_t nq,
+                         const SearchOptions& options,
+                         std::vector<HitList>* results) const {
+  results->assign(nq, HitList{});
+  if (num_vectors_ == 0) return Status::OK();
+  const size_t ef = std::max(options.ef_search, options.k);
+  for (size_t q = 0; q < nq; ++q) {
+    const float* query = queries + q * dim_;
+    uint32_t entry = entry_point_;
+    for (int level = max_level_; level > 0; --level) {
+      entry = GreedySearchLayer(query, entry, level);
+    }
+    auto found = SearchLayer(query, entry, 0, ef);
+    ResultHeap heap = ResultHeap::ForMetric(options.k, metric_);
+    for (const auto& [dist, id] : found) {
+      if (options.filter != nullptr && !options.filter->Test(id)) continue;
+      // Map the internal distance back to the metric's native score.
+      const float score = MetricIsSimilarity(metric_) ? -dist : dist;
+      heap.Push(static_cast<RowId>(id), score);
+    }
+    (*results)[q] = heap.TakeSorted();
+  }
+  return Status::OK();
+}
+
+size_t HnswIndex::MemoryBytes() const {
+  size_t bytes = vectors_.capacity() * sizeof(float);
+  for (const auto& node : nodes_) {
+    for (const auto& links : node.neighbors) {
+      bytes += links.capacity() * sizeof(uint32_t);
+    }
+    bytes += sizeof(Node);
+  }
+  return bytes;
+}
+
+Status HnswIndex::Serialize(std::string* out) const {
+  BinaryWriter writer(out);
+  writer.PutU32(kHnswMagic);
+  writer.PutU64(dim_);
+  writer.PutU64(num_vectors_);
+  writer.PutU64(m_);
+  writer.PutI64(max_level_);
+  writer.PutU32(entry_point_);
+  writer.PutVector(vectors_);
+  for (const auto& node : nodes_) {
+    writer.PutI64(node.level);
+    for (const auto& links : node.neighbors) writer.PutVector(links);
+  }
+  return Status::OK();
+}
+
+Status HnswIndex::Deserialize(const std::string& in) {
+  BinaryReader reader(in);
+  uint32_t magic;
+  uint64_t dim, n, m;
+  int64_t max_level;
+  if (!reader.GetU32(&magic) || magic != kHnswMagic) {
+    return Status::Corruption("bad HNSW magic");
+  }
+  if (!reader.GetU64(&dim) || !reader.GetU64(&n) || !reader.GetU64(&m) ||
+      !reader.GetI64(&max_level) || !reader.GetU32(&entry_point_) ||
+      !reader.GetVector(&vectors_)) {
+    return Status::Corruption("truncated HNSW header");
+  }
+  if (dim != dim_) return Status::InvalidArgument("dim mismatch");
+  m_ = m;
+  max_level_ = static_cast<int>(max_level);
+  nodes_.clear();
+  nodes_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Node node;
+    int64_t level;
+    if (!reader.GetI64(&level)) return Status::Corruption("truncated node");
+    node.level = static_cast<int>(level);
+    node.neighbors.resize(node.level + 1);
+    for (auto& links : node.neighbors) {
+      if (!reader.GetVector(&links)) {
+        return Status::Corruption("truncated neighbor list");
+      }
+    }
+    nodes_.push_back(std::move(node));
+  }
+  num_vectors_ = n;
+  return Status::OK();
+}
+
+}  // namespace index
+}  // namespace vectordb

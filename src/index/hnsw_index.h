@@ -1,0 +1,84 @@
+#ifndef VECTORDB_INDEX_HNSW_INDEX_H_
+#define VECTORDB_INDEX_HNSW_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/index.h"
+
+namespace vectordb {
+namespace index {
+
+/// Hierarchical Navigable Small World graph (Malkov & Yashunin), the
+/// graph-based index family of Sec 2.2. Supports incremental insertion
+/// (no separate Train step) and beam search with the `ef_search` knob.
+///
+/// Internally all metrics are mapped to a *distance* (smaller = better):
+/// L2 stays as is, IP and cosine use the negated similarity.
+class HnswIndex : public VectorIndex {
+ public:
+  HnswIndex(size_t dim, MetricType metric, const IndexBuildParams& params);
+
+  Status Add(const float* data, size_t n) override;
+  Status Search(const float* queries, size_t nq, const SearchOptions& options,
+                std::vector<HitList>* results) const override;
+  size_t Size() const override { return num_vectors_; }
+  size_t MemoryBytes() const override;
+  Status Serialize(std::string* out) const override;
+  Status Deserialize(const std::string& in) override;
+
+  /// Graph stats for tests: max level currently in the graph.
+  int max_level() const { return max_level_; }
+
+ private:
+  struct Node {
+    int level = 0;
+    /// Neighbor lists per level, level 0 first.
+    std::vector<std::vector<uint32_t>> neighbors;
+  };
+
+  float Distance(const float* a, const float* b) const;
+  float DistanceTo(const float* query, uint32_t node) const;
+  const float* VectorAt(uint32_t node) const {
+    return vectors_.data() + static_cast<size_t>(node) * dim_;
+  }
+
+  int DrawLevel();
+
+  /// Greedy descent on one layer starting from `entry`; returns the closest
+  /// node found.
+  uint32_t GreedySearchLayer(const float* query, uint32_t entry,
+                             int level) const;
+
+  /// Beam search on one layer; returns up to `ef` (id, dist) pairs.
+  std::vector<std::pair<float, uint32_t>> SearchLayer(const float* query,
+                                                      uint32_t entry, int level,
+                                                      size_t ef) const;
+
+  /// Malkov's neighbor-selection heuristic: prune candidates that are closer
+  /// to an already-selected neighbor than to the base point.
+  std::vector<uint32_t> SelectNeighbors(
+      const float* base, std::vector<std::pair<float, uint32_t>> candidates,
+      size_t max_degree) const;
+
+  void LinkNode(uint32_t node_id);
+
+  size_t MaxDegree(int level) const { return level == 0 ? 2 * m_ : m_; }
+
+  size_t m_;
+  size_t ef_construction_;
+  double level_mult_;
+  Rng rng_;
+
+  std::vector<float> vectors_;
+  std::vector<Node> nodes_;
+  size_t num_vectors_ = 0;
+  int max_level_ = -1;
+  uint32_t entry_point_ = 0;
+};
+
+}  // namespace index
+}  // namespace vectordb
+
+#endif  // VECTORDB_INDEX_HNSW_INDEX_H_

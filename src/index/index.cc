@@ -1,0 +1,31 @@
+#include "index/index.h"
+
+namespace vectordb {
+namespace index {
+
+const char* IndexTypeName(IndexType type) {
+  switch (type) {
+    case IndexType::kFlat:
+      return "FLAT";
+    case IndexType::kBinaryFlat:
+      return "BIN_FLAT";
+    case IndexType::kBinaryIvf:
+      return "BIN_IVF_FLAT";
+    case IndexType::kIvfFlat:
+      return "IVF_FLAT";
+    case IndexType::kIvfSq8:
+      return "IVF_SQ8";
+    case IndexType::kIvfPq:
+      return "IVF_PQ";
+    case IndexType::kHnsw:
+      return "HNSW";
+    case IndexType::kNsg:
+      return "NSG";
+    case IndexType::kAnnoy:
+      return "ANNOY";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace index
+}  // namespace vectordb

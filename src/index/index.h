@@ -1,0 +1,132 @@
+#ifndef VECTORDB_INDEX_INDEX_H_
+#define VECTORDB_INDEX_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace vectordb {
+namespace index {
+
+/// Index families supported by the engine (Sec 2.2 of the paper):
+/// quantization-based (IVF_*), graph-based (HNSW, NSG), tree-based (ANNOY),
+/// plus exact Flat baselines for float and binary vectors.
+enum class IndexType {
+  kFlat,
+  kBinaryFlat,
+  kBinaryIvf,
+  kIvfFlat,
+  kIvfSq8,
+  kIvfPq,
+  kHnsw,
+  kNsg,
+  kAnnoy,
+};
+
+const char* IndexTypeName(IndexType type);
+
+/// Build-time parameters. A single struct keeps the factory signature
+/// uniform; each index reads only its own fields.
+struct IndexBuildParams {
+  // IVF family.
+  size_t nlist = 256;  ///< Number of coarse clusters (paper default 16384).
+  size_t kmeans_iters = 10;
+  // IVF_PQ.
+  size_t pq_m = 8;      ///< Number of sub-quantizers.
+  size_t pq_nbits = 8;  ///< Bits per sub-code (256 codewords).
+  // HNSW.
+  size_t hnsw_m = 16;
+  size_t ef_construction = 200;
+  // NSG.
+  size_t nsg_out_degree = 24;
+  size_t nsg_candidate_pool = 100;
+  // Annoy.
+  size_t annoy_num_trees = 8;
+  size_t annoy_leaf_size = 64;
+
+  uint64_t seed = 42;
+};
+
+/// Query-time parameters.
+struct SearchOptions {
+  size_t k = 10;
+  size_t nprobe = 16;      ///< IVF: clusters probed (accuracy/perf knob).
+  size_t ef_search = 64;   ///< HNSW/NSG beam width.
+  size_t annoy_search_k = 0;  ///< Annoy: nodes to inspect (0 = auto).
+  /// Optional allow-list: when set, only rows whose bit is 1 are candidates.
+  /// Used for deletion tombstones and attribute-filter strategy B.
+  const Bitset* filter = nullptr;
+};
+
+/// Abstract vector index over a fixed-dimension collection.
+///
+/// Indexes address rows by *local offsets* [0, Size()); layers above (the
+/// segment) translate offsets to global row ids. Adding a new index type
+/// requires implementing this interface and registering a creator with
+/// IndexFactory (the paper's "few pre-defined interfaces" extensibility
+/// story, Sec 2.2).
+class VectorIndex {
+ public:
+  VectorIndex(IndexType type, size_t dim, MetricType metric)
+      : type_(type), dim_(dim), metric_(metric) {}
+  virtual ~VectorIndex() = default;
+
+  VectorIndex(const VectorIndex&) = delete;
+  VectorIndex& operator=(const VectorIndex&) = delete;
+
+  IndexType type() const { return type_; }
+  size_t dim() const { return dim_; }
+  MetricType metric() const { return metric_; }
+
+  /// Learn any codebooks/structure parameters from a training sample.
+  /// Indexes that need no training return OK immediately.
+  virtual Status Train(const float* data, size_t n) { return Status::OK(); }
+
+  /// True once the index can accept Add() calls.
+  virtual bool IsTrained() const { return true; }
+
+  /// Append `n` vectors; they receive consecutive local offsets.
+  virtual Status Add(const float* data, size_t n) = 0;
+
+  /// Train + Add in one call.
+  Status Build(const float* data, size_t n) {
+    VDB_RETURN_NOT_OK(Train(data, n));
+    return Add(data, n);
+  }
+
+  /// Top-k search for `nq` queries (row-major, nq × dim).
+  /// `results` receives one sorted HitList per query.
+  virtual Status Search(const float* queries, size_t nq,
+                        const SearchOptions& options,
+                        std::vector<HitList>* results) const = 0;
+
+  /// Number of indexed vectors.
+  virtual size_t Size() const = 0;
+
+  /// Approximate main-memory footprint in bytes.
+  virtual size_t MemoryBytes() const = 0;
+
+  /// Serialize the full index state.
+  virtual Status Serialize(std::string* out) const = 0;
+
+  /// Restore state produced by Serialize() on a same-typed empty index.
+  virtual Status Deserialize(const std::string& in) = 0;
+
+ protected:
+  IndexType type_;
+  size_t dim_;
+  MetricType metric_;
+};
+
+using IndexPtr = std::unique_ptr<VectorIndex>;
+
+}  // namespace index
+}  // namespace vectordb
+
+#endif  // VECTORDB_INDEX_INDEX_H_

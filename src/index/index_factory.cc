@@ -1,0 +1,123 @@
+#include "index/index_factory.h"
+
+#include <map>
+#include <mutex>
+
+#include "index/annoy_index.h"
+#include "index/binary_flat_index.h"
+#include "index/binary_ivf_index.h"
+#include "index/flat_index.h"
+#include "index/hnsw_index.h"
+#include "index/ivf_flat_index.h"
+#include "index/ivf_pq_index.h"
+#include "index/ivf_sq8_index.h"
+#include "index/nsg_index.h"
+
+namespace vectordb {
+namespace index {
+
+struct IndexFactory::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, Creator> creators;
+};
+
+IndexFactory& IndexFactory::Instance() {
+  static IndexFactory factory;
+  return factory;
+}
+
+IndexFactory::IndexFactory() : impl_(new Impl) {
+  // Built-in index types (Sec 2.2). Registration uses the same public
+  // interface third-party indexes would.
+  auto reg = [this](const std::string& name, Creator creator) {
+    (void)Register(name, std::move(creator));
+  };
+  reg("FLAT", [](size_t dim, MetricType metric, const IndexBuildParams&)
+          -> Result<IndexPtr> {
+        return IndexPtr(new FlatIndex(dim, metric));
+      });
+  reg("BIN_FLAT", [](size_t dim, MetricType metric, const IndexBuildParams&)
+          -> Result<IndexPtr> {
+        if (!MetricIsBinary(metric)) {
+          return Status::InvalidArgument("BIN_FLAT requires a binary metric");
+        }
+        return IndexPtr(new BinaryFlatIndex(dim, metric));
+      });
+  reg("BIN_IVF_FLAT", [](size_t dim, MetricType metric,
+                         const IndexBuildParams& params) -> Result<IndexPtr> {
+        if (!MetricIsBinary(metric)) {
+          return Status::InvalidArgument(
+              "BIN_IVF_FLAT requires a binary metric");
+        }
+        return IndexPtr(new BinaryIvfIndex(dim, metric, params));
+      });
+  reg("IVF_FLAT", [](size_t dim, MetricType metric,
+                     const IndexBuildParams& params) -> Result<IndexPtr> {
+        return IndexPtr(new IvfFlatIndex(dim, metric, params));
+      });
+  reg("IVF_SQ8", [](size_t dim, MetricType metric,
+                    const IndexBuildParams& params) -> Result<IndexPtr> {
+        return IndexPtr(new IvfSq8Index(dim, metric, params));
+      });
+  reg("IVF_PQ", [](size_t dim, MetricType metric,
+                   const IndexBuildParams& params) -> Result<IndexPtr> {
+        if (params.pq_m == 0 || dim % params.pq_m != 0) {
+          return Status::InvalidArgument("IVF_PQ requires dim % pq_m == 0");
+        }
+        return IndexPtr(new IvfPqIndex(dim, metric, params));
+      });
+  reg("HNSW", [](size_t dim, MetricType metric,
+                 const IndexBuildParams& params) -> Result<IndexPtr> {
+        return IndexPtr(new HnswIndex(dim, metric, params));
+      });
+  reg("NSG", [](size_t dim, MetricType metric,
+                const IndexBuildParams& params) -> Result<IndexPtr> {
+        return IndexPtr(new NsgIndex(dim, metric, params));
+      });
+  reg("ANNOY", [](size_t dim, MetricType metric,
+                  const IndexBuildParams& params) -> Result<IndexPtr> {
+        return IndexPtr(new AnnoyIndex(dim, metric, params));
+      });
+}
+
+Status IndexFactory::Register(const std::string& name, Creator creator) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto [it, inserted] = impl_->creators.emplace(name, std::move(creator));
+  if (!inserted) {
+    return Status::AlreadyExists("index type already registered: " + name);
+  }
+  return Status::OK();
+}
+
+Result<IndexPtr> IndexFactory::Create(const std::string& name, size_t dim,
+                                      MetricType metric,
+                                      const IndexBuildParams& params) const {
+  Creator creator;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    auto it = impl_->creators.find(name);
+    if (it == impl_->creators.end()) {
+      return Status::NotFound("unknown index type: " + name);
+    }
+    creator = it->second;
+  }
+  if (dim == 0) return Status::InvalidArgument("dim must be > 0");
+  return creator(dim, metric, params);
+}
+
+Result<IndexPtr> IndexFactory::Create(IndexType type, size_t dim,
+                                      MetricType metric,
+                                      const IndexBuildParams& params) const {
+  return Create(IndexTypeName(type), dim, metric, params);
+}
+
+std::vector<std::string> IndexFactory::RegisteredNames() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<std::string> names;
+  names.reserve(impl_->creators.size());
+  for (const auto& [name, _] : impl_->creators) names.push_back(name);
+  return names;
+}
+
+}  // namespace index
+}  // namespace vectordb

@@ -1,0 +1,55 @@
+#ifndef VECTORDB_INDEX_INDEX_FACTORY_H_
+#define VECTORDB_INDEX_INDEX_FACTORY_H_
+
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "index/index.h"
+
+namespace vectordb {
+namespace index {
+
+/// Extensible index registry (Sec 2.2): new index types plug in by
+/// registering a creator; the rest of the system constructs indexes by name
+/// or enum without knowing concrete classes.
+class IndexFactory {
+ public:
+  using Creator = std::function<Result<IndexPtr>(
+      size_t dim, MetricType metric, const IndexBuildParams& params)>;
+
+  static IndexFactory& Instance();
+
+  /// Register a creator under `name`. Returns AlreadyExists if taken.
+  Status Register(const std::string& name, Creator creator);
+
+  /// Create an index by registered name (e.g. "IVF_FLAT").
+  Result<IndexPtr> Create(const std::string& name, size_t dim,
+                          MetricType metric,
+                          const IndexBuildParams& params = {}) const;
+
+  /// Create by enum; forwards to the name-based path.
+  Result<IndexPtr> Create(IndexType type, size_t dim, MetricType metric,
+                          const IndexBuildParams& params = {}) const;
+
+  /// Names of all registered index types.
+  std::vector<std::string> RegisteredNames() const;
+
+ private:
+  IndexFactory();
+
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Convenience free function.
+inline Result<IndexPtr> CreateIndex(IndexType type, size_t dim,
+                                    MetricType metric,
+                                    const IndexBuildParams& params = {}) {
+  return IndexFactory::Instance().Create(type, dim, metric, params);
+}
+
+}  // namespace index
+}  // namespace vectordb
+
+#endif  // VECTORDB_INDEX_INDEX_FACTORY_H_

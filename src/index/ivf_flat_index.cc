@@ -1,0 +1,50 @@
+#include "index/ivf_flat_index.h"
+
+#include <cstring>
+
+#include "simd/distances.h"
+
+namespace vectordb {
+namespace index {
+
+namespace {
+
+class FlatScanner : public IvfIndex::QueryScanner {
+ public:
+  FlatScanner(const float* query, size_t dim, MetricType metric)
+      : query_(query), dim_(dim), metric_(metric) {}
+
+  void ScanList(size_t /*list_id*/, const InvertedList& list,
+                const Bitset* filter, ResultHeap* heap) const override {
+    const float* codes = reinterpret_cast<const float*>(list.codes.data());
+    for (size_t j = 0; j < list.size(); ++j) {
+      const RowId id = list.ids[j];
+      if (filter != nullptr && !filter->Test(static_cast<size_t>(id))) {
+        continue;
+      }
+      const float score =
+          simd::ComputeFloatScore(metric_, query_, codes + j * dim_, dim_);
+      heap->Push(id, score);
+    }
+  }
+
+ private:
+  const float* query_;
+  size_t dim_;
+  MetricType metric_;
+};
+
+}  // namespace
+
+void IvfFlatIndex::Encode(const float* vec, size_t /*list_id*/,
+                          uint8_t* code) const {
+  std::memcpy(code, vec, dim_ * sizeof(float));
+}
+
+std::unique_ptr<IvfIndex::QueryScanner> IvfFlatIndex::MakeScanner(
+    const float* query) const {
+  return std::make_unique<FlatScanner>(query, dim_, metric_);
+}
+
+}  // namespace index
+}  // namespace vectordb

@@ -1,0 +1,29 @@
+#ifndef VECTORDB_INDEX_IVF_FLAT_INDEX_H_
+#define VECTORDB_INDEX_IVF_FLAT_INDEX_H_
+
+#include <memory>
+
+#include "index/ivf_index.h"
+
+namespace vectordb {
+namespace index {
+
+/// IVF with the original vector representation as the fine quantizer
+/// (exact distances inside probed buckets).
+class IvfFlatIndex : public IvfIndex {
+ public:
+  IvfFlatIndex(size_t dim, MetricType metric, const IndexBuildParams& params)
+      : IvfIndex(IndexType::kIvfFlat, dim, metric, params) {}
+
+  std::unique_ptr<QueryScanner> MakeScanner(
+      const float* query) const override;
+
+ protected:
+  size_t code_size() const override { return dim_ * sizeof(float); }
+  void Encode(const float* vec, size_t list_id, uint8_t* code) const override;
+};
+
+}  // namespace index
+}  // namespace vectordb
+
+#endif  // VECTORDB_INDEX_IVF_FLAT_INDEX_H_

@@ -1,0 +1,153 @@
+#include "index/ivf_index.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "cluster/kmeans.h"
+#include "simd/distances.h"
+
+namespace vectordb {
+namespace index {
+
+namespace {
+constexpr uint32_t kIvfMagic = 0x20465649;  // "IVF "
+}
+
+Status IvfIndex::Train(const float* data, size_t n) {
+  if (trained_) return Status::OK();
+  size_t nlist = params_.nlist;
+  if (nlist == 0) return Status::InvalidArgument("nlist must be > 0");
+  // Degrade gracefully on tiny training sets rather than failing: clamp
+  // nlist so that each cluster can receive at least one training point.
+  nlist = std::min(nlist, n);
+  if (nlist == 0) return Status::InvalidArgument("empty training set");
+
+  cluster::KMeansOptions opts;
+  opts.num_clusters = nlist;
+  opts.max_iterations = params_.kmeans_iters;
+  opts.seed = params_.seed;
+  auto result = cluster::RunKMeans(data, n, dim_, opts);
+  if (!result.ok()) return result.status();
+  centroids_ = std::move(result.value().centroids);
+  lists_.assign(nlist, InvertedList{});
+
+  VDB_RETURN_NOT_OK(TrainFine(data, n));
+  trained_ = true;
+  return Status::OK();
+}
+
+Status IvfIndex::Add(const float* data, size_t n) {
+  if (!trained_) return Status::Aborted("IVF index not trained");
+  const size_t csize = code_size();
+  for (size_t i = 0; i < n; ++i) {
+    const float* vec = data + i * dim_;
+    const size_t list_id =
+        cluster::NearestCentroid(vec, centroids_.data(), nlist(), dim_);
+    InvertedList& list = lists_[list_id];
+    list.ids.push_back(static_cast<RowId>(num_vectors_ + i));
+    list.codes.resize(list.codes.size() + csize);
+    Encode(vec, list_id, list.codes.data() + list.codes.size() - csize);
+  }
+  num_vectors_ += n;
+  return Status::OK();
+}
+
+std::vector<size_t> IvfIndex::SelectProbes(const float* query,
+                                           size_t nprobe) const {
+  // Bucket selection is metric-aware: distances pick the closest centroids,
+  // similarities the highest-scoring ones.
+  nprobe = std::min(nprobe, nlist());
+  ResultHeap heap = ResultHeap::ForMetric(nprobe, metric_);
+  for (size_t c = 0; c < nlist(); ++c) {
+    const float score = simd::ComputeFloatScore(
+        metric_, query, centroids_.data() + c * dim_, dim_);
+    heap.Push(static_cast<RowId>(c), score);
+  }
+  HitList hits = heap.TakeSorted();
+  std::vector<size_t> out;
+  out.reserve(hits.size());
+  for (const auto& h : hits) out.push_back(static_cast<size_t>(h.id));
+  return out;
+}
+
+void IvfIndex::ScanLists(const float* query,
+                         const std::vector<size_t>& list_ids,
+                         const SearchOptions& options,
+                         ResultHeap* heap) const {
+  const std::unique_ptr<QueryScanner> scanner = MakeScanner(query);
+  for (size_t list_id : list_ids) {
+    scanner->ScanList(list_id, lists_[list_id], options.filter, heap);
+  }
+}
+
+Status IvfIndex::Search(const float* queries, size_t nq,
+                        const SearchOptions& options,
+                        std::vector<HitList>* results) const {
+  if (!trained_) return Status::Aborted("IVF index not trained");
+  results->assign(nq, HitList{});
+  for (size_t q = 0; q < nq; ++q) {
+    const float* query = queries + q * dim_;
+    const std::vector<size_t> probes = SelectProbes(query, options.nprobe);
+    ResultHeap heap = ResultHeap::ForMetric(options.k, metric_);
+    ScanLists(query, probes, options, &heap);
+    (*results)[q] = heap.TakeSorted();
+  }
+  return Status::OK();
+}
+
+size_t IvfIndex::MemoryBytes() const {
+  size_t bytes = centroids_.capacity() * sizeof(float);
+  for (const auto& list : lists_) {
+    bytes += list.ids.capacity() * sizeof(RowId) + list.codes.capacity();
+  }
+  return bytes;
+}
+
+Status IvfIndex::Serialize(std::string* out) const {
+  BinaryWriter writer(out);
+  writer.PutU32(kIvfMagic);
+  writer.PutU32(static_cast<uint32_t>(type_));
+  writer.PutU64(dim_);
+  writer.PutU64(num_vectors_);
+  writer.PutU64(nlist());
+  writer.PutVector(centroids_);
+  for (const auto& list : lists_) {
+    writer.PutVector(list.ids);
+    writer.PutVector(list.codes);
+  }
+  SerializeFine(&writer);
+  return Status::OK();
+}
+
+Status IvfIndex::Deserialize(const std::string& in) {
+  BinaryReader reader(in);
+  uint32_t magic, type;
+  uint64_t dim, n, nlist;
+  if (!reader.GetU32(&magic) || magic != kIvfMagic) {
+    return Status::Corruption("bad IVF magic");
+  }
+  if (!reader.GetU32(&type) || !reader.GetU64(&dim) || !reader.GetU64(&n) ||
+      !reader.GetU64(&nlist)) {
+    return Status::Corruption("truncated IVF header");
+  }
+  if (type != static_cast<uint32_t>(type_)) {
+    return Status::InvalidArgument("IVF index type mismatch");
+  }
+  if (dim != dim_) return Status::InvalidArgument("dim mismatch");
+  if (!reader.GetVector(&centroids_)) {
+    return Status::Corruption("truncated IVF centroids");
+  }
+  lists_.assign(nlist, InvertedList{});
+  for (auto& list : lists_) {
+    if (!reader.GetVector(&list.ids) || !reader.GetVector(&list.codes)) {
+      return Status::Corruption("truncated IVF lists");
+    }
+  }
+  VDB_RETURN_NOT_OK(DeserializeFine(&reader));
+  num_vectors_ = n;
+  trained_ = true;
+  return Status::OK();
+}
+
+}  // namespace index
+}  // namespace vectordb

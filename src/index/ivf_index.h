@@ -1,0 +1,98 @@
+#ifndef VECTORDB_INDEX_IVF_INDEX_H_
+#define VECTORDB_INDEX_IVF_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/result_heap.h"
+#include "index/index.h"
+
+namespace vectordb {
+namespace index {
+
+/// One coarse-quantizer bucket: local row offsets plus fine-quantizer codes
+/// packed back to back (code_size bytes per vector).
+struct InvertedList {
+  std::vector<RowId> ids;
+  std::vector<uint8_t> codes;
+
+  size_t size() const { return ids.size(); }
+};
+
+/// Common machinery for quantization-based indexes (Sec 3.1): a k-means
+/// coarse quantizer over `nlist` buckets, inverted lists of fine-quantizer
+/// codes, two-step search (probe selection, then bucket scans).
+///
+/// Subclasses define the fine quantizer: IVF_FLAT keeps raw floats, IVF_SQ8
+/// scalar-quantizes to one byte per dimension, IVF_PQ product-quantizes.
+class IvfIndex : public VectorIndex {
+ public:
+  IvfIndex(IndexType type, size_t dim, MetricType metric,
+           const IndexBuildParams& params)
+      : VectorIndex(type, dim, metric), params_(params) {}
+
+  Status Train(const float* data, size_t n) override;
+  bool IsTrained() const override { return trained_; }
+  Status Add(const float* data, size_t n) override;
+  Status Search(const float* queries, size_t nq, const SearchOptions& options,
+                std::vector<HitList>* results) const override;
+  size_t Size() const override { return num_vectors_; }
+  size_t MemoryBytes() const override;
+  Status Serialize(std::string* out) const override;
+  Status Deserialize(const std::string& in) override;
+
+  size_t nlist() const { return lists_.size(); }
+  const float* centroids() const { return centroids_.data(); }
+  const InvertedList& list(size_t i) const { return lists_[i]; }
+
+  /// Step 1 of quantization-index search: ids of the `nprobe` buckets whose
+  /// centroids best match `query`, best first. Public so the SQ8H hybrid can
+  /// run this step on the (simulated) GPU and step 2 on the CPU.
+  std::vector<size_t> SelectProbes(const float* query, size_t nprobe) const;
+
+  /// Per-query scanning context. Created once per query so subclasses can
+  /// amortize per-query work (e.g. the PQ distance lookup table).
+  class QueryScanner {
+   public:
+    virtual ~QueryScanner() = default;
+    /// Score every vector of bucket `list_id` against the query into `heap`,
+    /// honouring the optional allow-filter. The bucket id is passed so
+    /// residual-encoded quantizers (IVF_PQ) can shift the query by the
+    /// bucket centroid.
+    virtual void ScanList(size_t list_id, const InvertedList& list,
+                          const Bitset* filter, ResultHeap* heap) const = 0;
+  };
+
+  virtual std::unique_ptr<QueryScanner> MakeScanner(
+      const float* query) const = 0;
+
+  /// Step 2 of search over an explicit bucket set (used by SQ8H).
+  void ScanLists(const float* query, const std::vector<size_t>& list_ids,
+                 const SearchOptions& options, ResultHeap* heap) const;
+
+ protected:
+  /// Bytes per encoded vector.
+  virtual size_t code_size() const = 0;
+  /// Encode one vector into `code` (code_size() bytes). Called after
+  /// training; `list_id` is the assigned coarse bucket.
+  virtual void Encode(const float* vec, size_t list_id, uint8_t* code) const = 0;
+
+  /// Hook for subclasses that learn fine-quantizer state during Train.
+  virtual Status TrainFine(const float* data, size_t n) { return Status::OK(); }
+
+  /// Subclass serialization hooks (fine-quantizer state only).
+  virtual void SerializeFine(BinaryWriter* writer) const {}
+  virtual Status DeserializeFine(BinaryReader* reader) { return Status::OK(); }
+
+  IndexBuildParams params_;
+  std::vector<float> centroids_;  ///< nlist × dim.
+  std::vector<InvertedList> lists_;
+  bool trained_ = false;
+  size_t num_vectors_ = 0;
+};
+
+}  // namespace index
+}  // namespace vectordb
+
+#endif  // VECTORDB_INDEX_IVF_INDEX_H_

@@ -1,0 +1,109 @@
+#include "index/ivf_pq_index.h"
+
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "simd/distances.h"
+
+namespace vectordb {
+namespace index {
+
+namespace {
+
+/// Residual ADC scanner: for each probed bucket, build the lookup table for
+/// the residual query (q - centroid). For inner product the per-bucket
+/// constant ip(q, centroid) is added to every score.
+class PqScanner : public IvfIndex::QueryScanner {
+ public:
+  PqScanner(const float* query, const IvfPqIndex& index)
+      : query_(query),
+        index_(index),
+        pq_(index.pq()),
+        residual_(index.dim()),
+        table_(pq_.m() * pq_.ksub()) {}
+
+  void ScanList(size_t list_id, const InvertedList& list, const Bitset* filter,
+                ResultHeap* heap) const override {
+    const size_t dim = index_.dim();
+    const float* centroid = index_.centroids() + list_id * dim;
+    const MetricType metric = index_.metric();
+
+    float bias = 0.0f;
+    if (metric == MetricType::kInnerProduct) {
+      // ip(q, c + r̂) = ip(q, c) + ip(q, r̂): table over the original query
+      // is bucket-independent — build it once per query, not per bucket.
+      if (!ip_table_ready_) {
+        pq_.ComputeAdcTable(query_, metric, table_.data());
+        ip_table_ready_ = true;
+      }
+      bias = simd::InnerProduct(query_, centroid, dim);
+    } else {
+      // ||q - (c + r̂)||² = ||(q - c) - r̂||²: table over the residual query.
+      for (size_t d = 0; d < dim; ++d) residual_[d] = query_[d] - centroid[d];
+      pq_.ComputeAdcTable(residual_.data(), metric, table_.data());
+    }
+
+    const size_t csize = pq_.code_size();
+    for (size_t j = 0; j < list.size(); ++j) {
+      const RowId id = list.ids[j];
+      if (filter != nullptr && !filter->Test(static_cast<size_t>(id))) {
+        continue;
+      }
+      const float score =
+          bias + pq_.AdcScore(table_.data(), list.codes.data() + j * csize);
+      heap->Push(id, score);
+    }
+  }
+
+ private:
+  const float* query_;
+  const IvfPqIndex& index_;
+  const ProductQuantizer& pq_;
+  mutable std::vector<float> residual_;
+  mutable std::vector<float> table_;
+  mutable bool ip_table_ready_ = false;
+};
+
+}  // namespace
+
+Status IvfPqIndex::TrainFine(const float* data, size_t n) {
+  if (metric_ == MetricType::kCosine) {
+    return Status::NotSupported(
+        "IVF_PQ supports L2 and IP; normalize data and use IP for cosine");
+  }
+  // Train the PQ on residuals relative to each point's coarse centroid.
+  std::vector<float> residuals(n * dim_);
+  for (size_t i = 0; i < n; ++i) {
+    const float* vec = data + i * dim_;
+    const size_t list_id =
+        cluster::NearestCentroid(vec, centroids_.data(), nlist(), dim_);
+    const float* centroid = centroids_.data() + list_id * dim_;
+    float* out = residuals.data() + i * dim_;
+    for (size_t d = 0; d < dim_; ++d) out[d] = vec[d] - centroid[d];
+  }
+  return pq_.Train(residuals.data(), n, params_.seed, params_.kmeans_iters);
+}
+
+void IvfPqIndex::Encode(const float* vec, size_t list_id,
+                        uint8_t* code) const {
+  std::vector<float> residual(dim_);
+  const float* centroid = centroids_.data() + list_id * dim_;
+  for (size_t d = 0; d < dim_; ++d) residual[d] = vec[d] - centroid[d];
+  pq_.Encode(residual.data(), code);
+}
+
+std::unique_ptr<IvfIndex::QueryScanner> IvfPqIndex::MakeScanner(
+    const float* query) const {
+  return std::make_unique<PqScanner>(query, *this);
+}
+
+void IvfPqIndex::SerializeFine(BinaryWriter* writer) const {
+  pq_.Serialize(writer);
+}
+
+Status IvfPqIndex::DeserializeFine(BinaryReader* reader) {
+  return pq_.Deserialize(reader);
+}
+
+}  // namespace index
+}  // namespace vectordb

@@ -1,0 +1,40 @@
+#ifndef VECTORDB_INDEX_IVF_PQ_INDEX_H_
+#define VECTORDB_INDEX_IVF_PQ_INDEX_H_
+
+#include <memory>
+
+#include "index/ivf_index.h"
+#include "index/product_quantizer.h"
+
+namespace vectordb {
+namespace index {
+
+/// IVF with a product-quantization fine quantizer. Residual encoding: each
+/// vector is PQ-encoded relative to its coarse centroid, and queries are
+/// scored with a per-(query, bucket) ADC table over the residual.
+class IvfPqIndex : public IvfIndex {
+ public:
+  IvfPqIndex(size_t dim, MetricType metric, const IndexBuildParams& params)
+      : IvfIndex(IndexType::kIvfPq, dim, metric, params),
+        pq_(dim, params.pq_m, params.pq_nbits) {}
+
+  std::unique_ptr<QueryScanner> MakeScanner(
+      const float* query) const override;
+
+  const ProductQuantizer& pq() const { return pq_; }
+
+ protected:
+  size_t code_size() const override { return pq_.code_size(); }
+  void Encode(const float* vec, size_t list_id, uint8_t* code) const override;
+  Status TrainFine(const float* data, size_t n) override;
+  void SerializeFine(BinaryWriter* writer) const override;
+  Status DeserializeFine(BinaryReader* reader) override;
+
+ private:
+  ProductQuantizer pq_;
+};
+
+}  // namespace index
+}  // namespace vectordb
+
+#endif  // VECTORDB_INDEX_IVF_PQ_INDEX_H_

@@ -1,0 +1,102 @@
+#include "index/ivf_sq8_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simd/distances.h"
+
+namespace vectordb {
+namespace index {
+
+namespace {
+
+class Sq8Scanner : public IvfIndex::QueryScanner {
+ public:
+  Sq8Scanner(const float* query, size_t dim, MetricType metric,
+             const std::vector<float>& vmin, const std::vector<float>& vdiff)
+      : query_(query),
+        dim_(dim),
+        metric_(metric),
+        vmin_(vmin),
+        vdiff_(vdiff),
+        decoded_(dim) {}
+
+  void ScanList(size_t /*list_id*/, const InvertedList& list,
+                const Bitset* filter, ResultHeap* heap) const override {
+    for (size_t j = 0; j < list.size(); ++j) {
+      const RowId id = list.ids[j];
+      if (filter != nullptr && !filter->Test(static_cast<size_t>(id))) {
+        continue;
+      }
+      const uint8_t* code = list.codes.data() + j * dim_;
+      for (size_t d = 0; d < dim_; ++d) {
+        decoded_[d] = vmin_[d] + vdiff_[d] * (code[d] * (1.0f / 255.0f));
+      }
+      const float score =
+          simd::ComputeFloatScore(metric_, query_, decoded_.data(), dim_);
+      heap->Push(id, score);
+    }
+  }
+
+ private:
+  const float* query_;
+  size_t dim_;
+  MetricType metric_;
+  const std::vector<float>& vmin_;
+  const std::vector<float>& vdiff_;
+  mutable std::vector<float> decoded_;
+};
+
+}  // namespace
+
+Status IvfSq8Index::TrainFine(const float* data, size_t n) {
+  vmin_.assign(dim_, std::numeric_limits<float>::max());
+  std::vector<float> vmax(dim_, std::numeric_limits<float>::lowest());
+  for (size_t i = 0; i < n; ++i) {
+    const float* vec = data + i * dim_;
+    for (size_t d = 0; d < dim_; ++d) {
+      vmin_[d] = std::min(vmin_[d], vec[d]);
+      vmax[d] = std::max(vmax[d], vec[d]);
+    }
+  }
+  vdiff_.resize(dim_);
+  for (size_t d = 0; d < dim_; ++d) {
+    vdiff_[d] = std::max(vmax[d] - vmin_[d], 1e-20f);
+  }
+  return Status::OK();
+}
+
+void IvfSq8Index::Encode(const float* vec, size_t /*list_id*/,
+                         uint8_t* code) const {
+  for (size_t d = 0; d < dim_; ++d) {
+    const float norm = (vec[d] - vmin_[d]) / vdiff_[d];
+    const float clamped = std::clamp(norm, 0.0f, 1.0f);
+    code[d] = static_cast<uint8_t>(std::lround(clamped * 255.0f));
+  }
+}
+
+void IvfSq8Index::Decode(const uint8_t* code, float* out) const {
+  for (size_t d = 0; d < dim_; ++d) {
+    out[d] = vmin_[d] + vdiff_[d] * (code[d] * (1.0f / 255.0f));
+  }
+}
+
+std::unique_ptr<IvfIndex::QueryScanner> IvfSq8Index::MakeScanner(
+    const float* query) const {
+  return std::make_unique<Sq8Scanner>(query, dim_, metric_, vmin_, vdiff_);
+}
+
+void IvfSq8Index::SerializeFine(BinaryWriter* writer) const {
+  writer->PutVector(vmin_);
+  writer->PutVector(vdiff_);
+}
+
+Status IvfSq8Index::DeserializeFine(BinaryReader* reader) {
+  if (!reader->GetVector(&vmin_) || !reader->GetVector(&vdiff_)) {
+    return Status::Corruption("truncated SQ8 ranges");
+  }
+  return Status::OK();
+}
+
+}  // namespace index
+}  // namespace vectordb

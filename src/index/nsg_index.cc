@@ -1,0 +1,296 @@
+#include "index/nsg_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+#include <unordered_set>
+
+#include "common/binary_io.h"
+#include "common/result_heap.h"
+#include "index/hnsw_index.h"
+#include "simd/distances.h"
+
+namespace vectordb {
+namespace index {
+
+namespace {
+constexpr uint32_t kNsgMagic = 0x2047534E;  // "NSG "
+}
+
+NsgIndex::NsgIndex(size_t dim, MetricType metric,
+                   const IndexBuildParams& params)
+    : VectorIndex(IndexType::kNsg, dim, metric),
+      out_degree_(params.nsg_out_degree),
+      candidate_pool_(params.nsg_candidate_pool),
+      seed_(params.seed) {}
+
+float NsgIndex::Distance(const float* a, const float* b) const {
+  switch (metric_) {
+    case MetricType::kL2:
+      return simd::L2Sqr(a, b, dim_);
+    case MetricType::kInnerProduct:
+      return -simd::InnerProduct(a, b, dim_);
+    case MetricType::kCosine:
+      return -simd::CosineSimilarity(a, b, dim_);
+    default:
+      return 0.0f;
+  }
+}
+
+Status NsgIndex::Add(const float* data, size_t n) {
+  if (built_) {
+    return Status::NotSupported(
+        "NSG is a static graph; rebuild to incorporate new vectors");
+  }
+  vectors_.insert(vectors_.end(), data, data + n * dim_);
+  num_vectors_ += n;
+  BuildGraph();
+  built_ = true;
+  return Status::OK();
+}
+
+void NsgIndex::BuildGraph() {
+  const uint32_t n = static_cast<uint32_t>(num_vectors_);
+  graph_.assign(n, {});
+  if (n == 0) return;
+  if (n == 1) {
+    nav_node_ = 0;
+    return;
+  }
+
+  // 1. Approximate kNN graph via a scratch HNSW (stand-in for nn-descent).
+  IndexBuildParams hnsw_params;
+  hnsw_params.hnsw_m = std::min<size_t>(out_degree_, 32);
+  hnsw_params.ef_construction = candidate_pool_;
+  hnsw_params.seed = seed_;
+  HnswIndex knn_helper(dim_, metric_, hnsw_params);
+  (void)knn_helper.Add(vectors_.data(), n);
+
+  // 2. Navigating node = point closest to the dataset centroid.
+  std::vector<float> centroid(dim_, 0.0f);
+  for (uint32_t i = 0; i < n; ++i) {
+    const float* v = VectorAt(i);
+    for (size_t d = 0; d < dim_; ++d) centroid[d] += v[d];
+  }
+  for (size_t d = 0; d < dim_; ++d) centroid[d] /= static_cast<float>(n);
+  {
+    SearchOptions opts;
+    opts.k = 1;
+    opts.ef_search = candidate_pool_;
+    std::vector<HitList> res;
+    (void)knn_helper.Search(centroid.data(), 1, opts, &res);
+    nav_node_ = res[0].empty() ? 0 : static_cast<uint32_t>(res[0][0].id);
+  }
+
+  // 3. Per-node MRNG edge selection from a candidate pool gathered by
+  //    searching the kNN graph for the node itself.
+  SearchOptions pool_opts;
+  pool_opts.k = std::min<size_t>(candidate_pool_, n);
+  pool_opts.ef_search = candidate_pool_;
+  for (uint32_t i = 0; i < n; ++i) {
+    std::vector<HitList> res;
+    (void)knn_helper.Search(VectorAt(i), 1, pool_opts, &res);
+    std::vector<std::pair<float, uint32_t>> pool;
+    pool.reserve(res[0].size());
+    for (const auto& hit : res[0]) {
+      const uint32_t cand = static_cast<uint32_t>(hit.id);
+      if (cand == i) continue;
+      pool.emplace_back(Distance(VectorAt(i), VectorAt(cand)), cand);
+    }
+    std::sort(pool.begin(), pool.end());
+    // MRNG rule: keep a candidate only if no already-kept neighbor is closer
+    // to it than the base point is.
+    std::vector<uint32_t>& edges = graph_[i];
+    for (const auto& [dist, cand] : pool) {
+      if (edges.size() >= out_degree_) break;
+      bool keep = true;
+      for (uint32_t sel : edges) {
+        if (Distance(VectorAt(cand), VectorAt(sel)) < dist) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep) edges.push_back(cand);
+    }
+    if (edges.empty() && !pool.empty()) edges.push_back(pool.front().second);
+  }
+
+  // 3b. Reverse edges (the "insert backward links" step of the NSG
+  //     construction): an edge i→j should generally be navigable from j as
+  //     well, otherwise the pruned graph loses inbound paths and recall
+  //     collapses as n grows. Overflowing adjacency lists are re-pruned
+  //     with the same MRNG rule.
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j : graph_[i]) {
+      std::vector<uint32_t>& back = graph_[j];
+      if (std::find(back.begin(), back.end(), i) != back.end()) continue;
+      back.push_back(i);
+      if (back.size() > out_degree_ + out_degree_ / 2) {
+        std::vector<std::pair<float, uint32_t>> cands;
+        cands.reserve(back.size());
+        const float* base = VectorAt(j);
+        for (uint32_t x : back) {
+          cands.emplace_back(Distance(base, VectorAt(x)), x);
+        }
+        std::sort(cands.begin(), cands.end());
+        std::vector<uint32_t> kept;
+        for (const auto& [dist, cand] : cands) {
+          if (kept.size() >= out_degree_) break;
+          bool keep = true;
+          for (uint32_t sel : kept) {
+            if (Distance(VectorAt(cand), VectorAt(sel)) < dist) {
+              keep = false;
+              break;
+            }
+          }
+          if (keep) kept.push_back(cand);
+        }
+        back = std::move(kept);
+      }
+    }
+  }
+
+  // 4. Connectivity repair: BFS from the navigating node; attach any
+  //    unreachable node to its nearest reachable neighbor (spanning edge).
+  std::vector<char> reachable(n, 0);
+  std::deque<uint32_t> frontier{nav_node_};
+  reachable[nav_node_] = 1;
+  while (!frontier.empty()) {
+    const uint32_t u = frontier.front();
+    frontier.pop_front();
+    for (uint32_t v : graph_[u]) {
+      if (!reachable[v]) {
+        reachable[v] = 1;
+        frontier.push_back(v);
+      }
+    }
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    if (reachable[i]) continue;
+    // Link from the closest reachable node into this island, then flood it.
+    uint32_t best = nav_node_;
+    float best_dist = std::numeric_limits<float>::max();
+    for (uint32_t j = 0; j < n; ++j) {
+      if (!reachable[j]) continue;
+      const float d = Distance(VectorAt(i), VectorAt(j));
+      if (d < best_dist) {
+        best_dist = d;
+        best = j;
+      }
+    }
+    graph_[best].push_back(i);
+    reachable[i] = 1;
+    frontier.push_back(i);
+    while (!frontier.empty()) {
+      const uint32_t u = frontier.front();
+      frontier.pop_front();
+      for (uint32_t v : graph_[u]) {
+        if (!reachable[v]) {
+          reachable[v] = 1;
+          frontier.push_back(v);
+        }
+      }
+    }
+  }
+}
+
+std::vector<std::pair<float, uint32_t>> NsgIndex::BeamSearch(
+    const float* query, size_t ef) const {
+  std::unordered_set<uint32_t> visited;
+  std::priority_queue<std::pair<float, uint32_t>,
+                      std::vector<std::pair<float, uint32_t>>, std::greater<>>
+      candidates;
+  std::priority_queue<std::pair<float, uint32_t>> best;
+
+  const float d0 = Distance(query, VectorAt(nav_node_));
+  candidates.emplace(d0, nav_node_);
+  best.emplace(d0, nav_node_);
+  visited.insert(nav_node_);
+
+  while (!candidates.empty()) {
+    const auto [dist, node] = candidates.top();
+    candidates.pop();
+    if (best.size() >= ef && dist > best.top().first) break;
+    for (uint32_t nb : graph_[node]) {
+      if (!visited.insert(nb).second) continue;
+      const float d = Distance(query, VectorAt(nb));
+      if (best.size() < ef || d < best.top().first) {
+        candidates.emplace(d, nb);
+        best.emplace(d, nb);
+        if (best.size() > ef) best.pop();
+      }
+    }
+  }
+
+  std::vector<std::pair<float, uint32_t>> out;
+  out.reserve(best.size());
+  while (!best.empty()) {
+    out.push_back(best.top());
+    best.pop();
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+Status NsgIndex::Search(const float* queries, size_t nq,
+                        const SearchOptions& options,
+                        std::vector<HitList>* results) const {
+  results->assign(nq, HitList{});
+  if (num_vectors_ == 0) return Status::OK();
+  const size_t ef = std::max(options.ef_search, options.k);
+  for (size_t q = 0; q < nq; ++q) {
+    auto found = BeamSearch(queries + q * dim_, ef);
+    ResultHeap heap = ResultHeap::ForMetric(options.k, metric_);
+    for (const auto& [dist, id] : found) {
+      if (options.filter != nullptr && !options.filter->Test(id)) continue;
+      const float score = MetricIsSimilarity(metric_) ? -dist : dist;
+      heap.Push(static_cast<RowId>(id), score);
+    }
+    (*results)[q] = heap.TakeSorted();
+  }
+  return Status::OK();
+}
+
+size_t NsgIndex::MemoryBytes() const {
+  size_t bytes = vectors_.capacity() * sizeof(float);
+  for (const auto& edges : graph_) bytes += edges.capacity() * sizeof(uint32_t);
+  return bytes;
+}
+
+Status NsgIndex::Serialize(std::string* out) const {
+  BinaryWriter writer(out);
+  writer.PutU32(kNsgMagic);
+  writer.PutU64(dim_);
+  writer.PutU64(num_vectors_);
+  writer.PutU32(nav_node_);
+  writer.PutVector(vectors_);
+  for (const auto& edges : graph_) writer.PutVector(edges);
+  return Status::OK();
+}
+
+Status NsgIndex::Deserialize(const std::string& in) {
+  BinaryReader reader(in);
+  uint32_t magic;
+  uint64_t dim, n;
+  if (!reader.GetU32(&magic) || magic != kNsgMagic) {
+    return Status::Corruption("bad NSG magic");
+  }
+  if (!reader.GetU64(&dim) || !reader.GetU64(&n) ||
+      !reader.GetU32(&nav_node_) || !reader.GetVector(&vectors_)) {
+    return Status::Corruption("truncated NSG header");
+  }
+  if (dim != dim_) return Status::InvalidArgument("dim mismatch");
+  graph_.assign(n, {});
+  for (auto& edges : graph_) {
+    if (!reader.GetVector(&edges)) {
+      return Status::Corruption("truncated NSG edges");
+    }
+  }
+  num_vectors_ = n;
+  built_ = n > 0;
+  return Status::OK();
+}
+
+}  // namespace index
+}  // namespace vectordb

@@ -1,0 +1,59 @@
+#ifndef VECTORDB_INDEX_NSG_INDEX_H_
+#define VECTORDB_INDEX_NSG_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/index.h"
+
+namespace vectordb {
+namespace index {
+
+/// Navigating Spreading-out Graph (Fu et al., "RNSG" in the paper): a flat
+/// monotonic graph entered through a single navigating node (the medoid),
+/// with MRNG-style edge selection and an explicit connectivity repair pass.
+///
+/// NSG is built in one shot over the full dataset (Train+Add or Build);
+/// incremental Add after build is not supported (matching the original
+/// algorithm, which assumes static data — the LSM layer handles dynamism).
+class NsgIndex : public VectorIndex {
+ public:
+  NsgIndex(size_t dim, MetricType metric, const IndexBuildParams& params);
+
+  Status Add(const float* data, size_t n) override;
+  Status Search(const float* queries, size_t nq, const SearchOptions& options,
+                std::vector<HitList>* results) const override;
+  size_t Size() const override { return num_vectors_; }
+  size_t MemoryBytes() const override;
+  Status Serialize(std::string* out) const override;
+  Status Deserialize(const std::string& in) override;
+
+  uint32_t navigating_node() const { return nav_node_; }
+
+ private:
+  float Distance(const float* a, const float* b) const;
+  const float* VectorAt(uint32_t i) const {
+    return vectors_.data() + static_cast<size_t>(i) * dim_;
+  }
+
+  /// Beam search over the flat graph, closest-first; returns up to ef hits.
+  std::vector<std::pair<float, uint32_t>> BeamSearch(const float* query,
+                                                     size_t ef) const;
+
+  void BuildGraph();
+
+  size_t out_degree_;
+  size_t candidate_pool_;
+  uint64_t seed_;
+
+  std::vector<float> vectors_;
+  std::vector<std::vector<uint32_t>> graph_;
+  size_t num_vectors_ = 0;
+  uint32_t nav_node_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace index
+}  // namespace vectordb
+
+#endif  // VECTORDB_INDEX_NSG_INDEX_H_

@@ -1,0 +1,98 @@
+#include "index/product_quantizer.h"
+
+#include <cstring>
+
+#include "cluster/kmeans.h"
+#include "simd/distances.h"
+
+namespace vectordb {
+namespace index {
+
+Status ProductQuantizer::Train(const float* data, size_t n, uint64_t seed,
+                               size_t kmeans_iters) {
+  if (m_ == 0 || dim_ % m_ != 0) {
+    return Status::InvalidArgument("PQ requires dim divisible by m");
+  }
+  if (nbits_ == 0 || nbits_ > 8) {
+    return Status::InvalidArgument("PQ supports 1..8 bits per sub-code");
+  }
+  if (n < ksub_) {
+    return Status::InvalidArgument("PQ training needs at least ksub vectors");
+  }
+
+  codebooks_.assign(m_ * ksub_ * dsub_, 0.0f);
+  std::vector<float> sub(n * dsub_);
+  for (size_t j = 0; j < m_; ++j) {
+    // Gather the j-th sub-vector of every training point.
+    for (size_t i = 0; i < n; ++i) {
+      std::memcpy(sub.data() + i * dsub_, data + i * dim_ + j * dsub_,
+                  dsub_ * sizeof(float));
+    }
+    cluster::KMeansOptions opts;
+    opts.num_clusters = ksub_;
+    opts.max_iterations = kmeans_iters;
+    opts.seed = seed + j;
+    auto result = cluster::RunKMeans(sub.data(), n, dsub_, opts);
+    if (!result.ok()) return result.status();
+    std::memcpy(codebooks_.data() + j * ksub_ * dsub_,
+                result.value().centroids.data(),
+                ksub_ * dsub_ * sizeof(float));
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+void ProductQuantizer::Encode(const float* vec, uint8_t* code) const {
+  for (size_t j = 0; j < m_; ++j) {
+    const float* subvec = vec + j * dsub_;
+    const float* codebook = codebooks_.data() + j * ksub_ * dsub_;
+    code[j] = static_cast<uint8_t>(
+        cluster::NearestCentroid(subvec, codebook, ksub_, dsub_));
+  }
+}
+
+void ProductQuantizer::Decode(const uint8_t* code, float* out) const {
+  for (size_t j = 0; j < m_; ++j) {
+    const float* codeword =
+        codebooks_.data() + (j * ksub_ + code[j]) * dsub_;
+    std::memcpy(out + j * dsub_, codeword, dsub_ * sizeof(float));
+  }
+}
+
+void ProductQuantizer::ComputeAdcTable(const float* query, MetricType metric,
+                                       float* table) const {
+  for (size_t j = 0; j < m_; ++j) {
+    const float* subquery = query + j * dsub_;
+    const float* codebook = codebooks_.data() + j * ksub_ * dsub_;
+    float* row = table + j * ksub_;
+    for (size_t c = 0; c < ksub_; ++c) {
+      const float* codeword = codebook + c * dsub_;
+      row[c] = metric == MetricType::kInnerProduct
+                   ? simd::InnerProduct(subquery, codeword, dsub_)
+                   : simd::L2Sqr(subquery, codeword, dsub_);
+    }
+  }
+}
+
+void ProductQuantizer::Serialize(BinaryWriter* writer) const {
+  writer->PutU64(dim_);
+  writer->PutU64(m_);
+  writer->PutU64(nbits_);
+  writer->PutVector(codebooks_);
+}
+
+Status ProductQuantizer::Deserialize(BinaryReader* reader) {
+  uint64_t dim, m, nbits;
+  if (!reader->GetU64(&dim) || !reader->GetU64(&m) || !reader->GetU64(&nbits) ||
+      !reader->GetVector(&codebooks_)) {
+    return Status::Corruption("truncated PQ state");
+  }
+  if (dim != dim_ || m != m_ || nbits != nbits_) {
+    return Status::InvalidArgument("PQ geometry mismatch");
+  }
+  trained_ = !codebooks_.empty();
+  return Status::OK();
+}
+
+}  // namespace index
+}  // namespace vectordb

@@ -1,0 +1,72 @@
+#ifndef VECTORDB_INDEX_PRODUCT_QUANTIZER_H_
+#define VECTORDB_INDEX_PRODUCT_QUANTIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace vectordb {
+namespace index {
+
+/// Product quantizer (Jégou et al., used by IVF_PQ): splits each vector into
+/// `m` sub-vectors and runs k-means with 2^nbits codewords per sub-space.
+/// Asymmetric distance computation (ADC) scores a code against a query via a
+/// per-query lookup table of size m × 2^nbits.
+class ProductQuantizer {
+ public:
+  /// @param dim full vector dimensionality (must be divisible by m).
+  /// @param m number of sub-quantizers.
+  /// @param nbits bits per sub-code; codes are one byte each, so nbits <= 8.
+  ProductQuantizer(size_t dim, size_t m, size_t nbits)
+      : dim_(dim), m_(m), nbits_(nbits), ksub_(size_t{1} << nbits),
+        dsub_(m == 0 ? 0 : dim / m) {}
+
+  Status Train(const float* data, size_t n, uint64_t seed, size_t kmeans_iters);
+  bool trained() const { return trained_; }
+
+  size_t dim() const { return dim_; }
+  size_t m() const { return m_; }
+  size_t ksub() const { return ksub_; }
+  size_t dsub() const { return dsub_; }
+  size_t code_size() const { return m_; }
+
+  /// Encode one vector into m bytes.
+  void Encode(const float* vec, uint8_t* code) const;
+
+  /// Reconstruct an approximation of the encoded vector.
+  void Decode(const uint8_t* code, float* out) const;
+
+  /// Fill a per-query ADC table (m × ksub). For kL2 the entries are squared
+  /// sub-distances (score = sum, smaller better); for kInnerProduct they are
+  /// sub inner products (score = sum, larger better).
+  void ComputeAdcTable(const float* query, MetricType metric,
+                       float* table) const;
+
+  /// ADC score of one code given a precomputed table.
+  float AdcScore(const float* table, const uint8_t* code) const {
+    float score = 0.0f;
+    for (size_t j = 0; j < m_; ++j) score += table[j * ksub_ + code[j]];
+    return score;
+  }
+
+  void Serialize(BinaryWriter* writer) const;
+  Status Deserialize(BinaryReader* reader);
+
+ private:
+  size_t dim_;
+  size_t m_;
+  size_t nbits_;
+  size_t ksub_;
+  size_t dsub_;
+  bool trained_ = false;
+  /// m_ sub-codebooks, each ksub_ × dsub_ row-major, concatenated.
+  std::vector<float> codebooks_;
+};
+
+}  // namespace index
+}  // namespace vectordb
+
+#endif  // VECTORDB_INDEX_PRODUCT_QUANTIZER_H_

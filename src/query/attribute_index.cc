@@ -1,0 +1,54 @@
+#include "query/attribute_index.h"
+
+#include <algorithm>
+
+namespace vectordb {
+namespace query {
+
+void AttributeIndex::Build(const std::vector<double>& values) {
+  by_row_ = values;
+  sorted_.clear();
+  sorted_.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    sorted_.emplace_back(values[i], static_cast<RowId>(i));
+  }
+  std::sort(sorted_.begin(), sorted_.end());
+  const size_t num_pages = (sorted_.size() + kPageSize - 1) / kPageSize;
+  page_min_.resize(num_pages);
+  page_max_.resize(num_pages);
+  for (size_t p = 0; p < num_pages; ++p) {
+    const size_t begin = p * kPageSize;
+    const size_t end = std::min(begin + kPageSize, sorted_.size());
+    page_min_[p] = sorted_[begin].first;
+    page_max_[p] = sorted_[end - 1].first;
+  }
+}
+
+void AttributeIndex::CollectInRange(double lo, double hi,
+                                    std::vector<RowId>* out) const {
+  for (size_t p = 0; p < page_min_.size(); ++p) {
+    if (page_max_[p] < lo) continue;
+    if (page_min_[p] > hi) break;
+    const size_t begin = p * kPageSize;
+    const size_t end = std::min(begin + kPageSize, sorted_.size());
+    auto it = std::lower_bound(
+        sorted_.begin() + begin, sorted_.begin() + end, lo,
+        [](const std::pair<double, RowId>& e, double v) { return e.first < v; });
+    for (; it != sorted_.begin() + end && it->first <= hi; ++it) {
+      out->push_back(it->second);
+    }
+  }
+}
+
+size_t AttributeIndex::CountInRange(double lo, double hi) const {
+  auto begin = std::lower_bound(
+      sorted_.begin(), sorted_.end(), lo,
+      [](const std::pair<double, RowId>& e, double v) { return e.first < v; });
+  auto end = std::upper_bound(
+      sorted_.begin(), sorted_.end(), hi,
+      [](double v, const std::pair<double, RowId>& e) { return v < e.first; });
+  return end > begin ? static_cast<size_t>(end - begin) : 0;
+}
+
+}  // namespace query
+}  // namespace vectordb

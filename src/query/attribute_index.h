@@ -1,0 +1,59 @@
+#ifndef VECTORDB_QUERY_ATTRIBUTE_INDEX_H_
+#define VECTORDB_QUERY_ATTRIBUTE_INDEX_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vectordb {
+namespace query {
+
+/// Sorted attribute index over one numeric column (Sec 2.4): an array of
+/// (value, row) pairs sorted by value with per-page min/max skip pointers,
+/// supporting point/range lookups via binary search. Rows are dense
+/// positions [0, n) here (the standalone form used by the filter-strategy
+/// implementations; segments carry the same structure per column).
+class AttributeIndex {
+ public:
+  static constexpr size_t kPageSize = 256;
+
+  AttributeIndex() = default;
+
+  /// Build from per-row values (row i has values[i]).
+  explicit AttributeIndex(const std::vector<double>& values) { Build(values); }
+
+  void Build(const std::vector<double>& values);
+
+  size_t size() const { return sorted_.size(); }
+
+  /// Rows whose value ∈ [lo, hi], appended to `out` (unsorted by row).
+  void CollectInRange(double lo, double hi, std::vector<RowId>* out) const;
+
+  /// |{rows : value ∈ [lo, hi]}| without materializing — O(log n).
+  size_t CountInRange(double lo, double hi) const;
+
+  /// Selectivity in the paper's sense: fraction of rows *failing* the
+  /// constraint (higher selectivity ⇒ fewer passing rows, Sec 7.5).
+  double FailFraction(double lo, double hi) const {
+    if (sorted_.empty()) return 1.0;
+    return 1.0 - static_cast<double>(CountInRange(lo, hi)) /
+                     static_cast<double>(sorted_.size());
+  }
+
+  double ValueOfRow(size_t row) const { return by_row_[row]; }
+  double min_value() const { return sorted_.empty() ? 0 : sorted_.front().first; }
+  double max_value() const { return sorted_.empty() ? 0 : sorted_.back().first; }
+
+ private:
+  std::vector<std::pair<double, RowId>> sorted_;
+  std::vector<double> page_min_;
+  std::vector<double> page_max_;
+  std::vector<double> by_row_;
+};
+
+}  // namespace query
+}  // namespace vectordb
+
+#endif  // VECTORDB_QUERY_ATTRIBUTE_INDEX_H_

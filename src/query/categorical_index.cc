@@ -1,0 +1,70 @@
+#include "query/categorical_index.h"
+
+#include <algorithm>
+
+namespace vectordb {
+namespace query {
+
+void CategoricalIndex::Build(const std::vector<std::string>& values) {
+  num_rows_ = values.size();
+  inverted_.clear();
+  for (size_t i = 0; i < values.size(); ++i) {
+    inverted_[values[i]].push_back(static_cast<RowId>(i));
+  }
+}
+
+const std::vector<RowId>* CategoricalIndex::Lookup(
+    const std::string& value) const {
+  auto it = inverted_.find(value);
+  return it == inverted_.end() ? nullptr : &it->second;
+}
+
+size_t CategoricalIndex::CountOf(const std::string& value) const {
+  const auto* rows = Lookup(value);
+  return rows == nullptr ? 0 : rows->size();
+}
+
+Bitset CategoricalIndex::BitmapFor(const std::string& value) const {
+  Bitset bits(num_rows_);
+  if (const auto* rows = Lookup(value)) {
+    for (RowId row : *rows) bits.Set(static_cast<size_t>(row));
+  }
+  return bits;
+}
+
+Bitset CategoricalIndex::BitmapForAnyOf(
+    const std::vector<std::string>& values) const {
+  Bitset bits(num_rows_);
+  for (const std::string& value : values) {
+    if (const auto* rows = Lookup(value)) {
+      for (RowId row : *rows) bits.Set(static_cast<size_t>(row));
+    }
+  }
+  return bits;
+}
+
+Bitset CategoricalIndex::BitmapForNot(const std::string& value) const {
+  Bitset bits(num_rows_, true);
+  if (const auto* rows = Lookup(value)) {
+    for (RowId row : *rows) bits.Clear(static_cast<size_t>(row));
+  }
+  return bits;
+}
+
+std::vector<std::pair<std::string, size_t>> CategoricalIndex::ValueHistogram()
+    const {
+  std::vector<std::pair<std::string, size_t>> histogram;
+  histogram.reserve(inverted_.size());
+  for (const auto& [value, rows] : inverted_) {
+    histogram.emplace_back(value, rows.size());
+  }
+  std::sort(histogram.begin(), histogram.end(),
+            [](const auto& a, const auto& b) {
+              return a.second > b.second ||
+                     (a.second == b.second && a.first < b.first);
+            });
+  return histogram;
+}
+
+}  // namespace query
+}  // namespace vectordb

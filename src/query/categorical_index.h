@@ -1,0 +1,64 @@
+#ifndef VECTORDB_QUERY_CATEGORICAL_INDEX_H_
+#define VECTORDB_QUERY_CATEGORICAL_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/types.h"
+
+namespace vectordb {
+namespace query {
+
+/// Index over a categorical (string) attribute column — the extension the
+/// paper plans for beyond numerical attributes ("in the future, we plan to
+/// support categorical attributes with indexes like inverted lists or
+/// bitmaps", Sec 2.1). Both forms are provided:
+///
+///  * an inverted list per distinct value (compact for high-cardinality
+///    columns: total size O(n)), and
+///  * materialized bitmaps (fast AND/OR composition, preferable for
+///    low-cardinality columns) built lazily per queried value.
+///
+/// The produced Bitsets plug directly into index::SearchOptions::filter —
+/// i.e. categorical filtering composes with every vector index exactly like
+/// strategy B of Sec 4.1.
+class CategoricalIndex {
+ public:
+  CategoricalIndex() = default;
+
+  /// Build from per-row values (row i has values[i]).
+  void Build(const std::vector<std::string>& values);
+
+  size_t num_rows() const { return num_rows_; }
+  /// Number of distinct values.
+  size_t cardinality() const { return inverted_.size(); }
+
+  /// Rows holding exactly `value` (nullptr when the value never occurs).
+  const std::vector<RowId>* Lookup(const std::string& value) const;
+
+  /// Count of rows holding `value`.
+  size_t CountOf(const std::string& value) const;
+
+  /// Allow-bitmap of rows whose value == `value`.
+  Bitset BitmapFor(const std::string& value) const;
+
+  /// Allow-bitmap of rows whose value ∈ `values` (SQL IN-list).
+  Bitset BitmapForAnyOf(const std::vector<std::string>& values) const;
+
+  /// Allow-bitmap of rows whose value != `value` (negation).
+  Bitset BitmapForNot(const std::string& value) const;
+
+  /// Distinct values sorted by descending frequency (for stats/planning).
+  std::vector<std::pair<std::string, size_t>> ValueHistogram() const;
+
+ private:
+  size_t num_rows_ = 0;
+  std::unordered_map<std::string, std::vector<RowId>> inverted_;
+};
+
+}  // namespace query
+}  // namespace vectordb
+
+#endif  // VECTORDB_QUERY_CATEGORICAL_INDEX_H_

@@ -1,0 +1,59 @@
+#include "query/cost_model.h"
+
+#include <algorithm>
+
+namespace vectordb {
+namespace query {
+
+CostEstimates EstimateCosts(const CostModelInputs& inputs) {
+  CostEstimates est;
+  const double n = static_cast<double>(inputs.n);
+  const double pass = std::clamp(inputs.pass_fraction, 0.0, 1.0);
+
+  // Strategy A: binary search on the attribute index (negligible) + exact
+  // distance for every passing row.
+  est.cost_a = pass * n;
+
+  // Strategy B: bitmap construction over the passing rows (cheap, charged
+  // at a fraction of a distance computation each) + a vector index probe.
+  // IVF probe cost: centroid comparison (nlist) + scan of nprobe buckets
+  // (~ n * nprobe / nlist rows). Non-IVF indexes are charged a generic
+  // sublinear cost.
+  double index_cost;
+  if (inputs.nlist > 0) {
+    index_cost = static_cast<double>(inputs.nlist) +
+                 n * static_cast<double>(inputs.nprobe) /
+                     static_cast<double>(std::max<size_t>(inputs.nlist, 1));
+  } else {
+    index_cost = 64.0 * static_cast<double>(inputs.k);  // Graph-ish probe.
+  }
+  constexpr double kBitmapCostPerRow = 0.05;  // vs one distance computation.
+  est.cost_b = index_cost + kBitmapCostPerRow * pass * n;
+
+  // Strategy C: vector search for θ·k, then attribute check on the
+  // candidates. It can produce k results in one pass only when enough of
+  // the θ·k candidates are expected to pass C_A.
+  est.c_feasible =
+      pass * inputs.theta * static_cast<double>(inputs.k) >=
+      static_cast<double>(inputs.k);
+  est.cost_c = index_cost + inputs.theta * static_cast<double>(inputs.k);
+
+  return est;
+}
+
+FilterStrategy ChooseStrategy(const CostModelInputs& inputs) {
+  const CostEstimates est = EstimateCosts(inputs);
+  FilterStrategy best = FilterStrategy::kA;
+  double best_cost = est.cost_a;
+  if (est.cost_b < best_cost) {
+    best = FilterStrategy::kB;
+    best_cost = est.cost_b;
+  }
+  if (est.c_feasible && est.cost_c < best_cost) {
+    best = FilterStrategy::kC;
+  }
+  return best;
+}
+
+}  // namespace query
+}  // namespace vectordb

@@ -1,0 +1,39 @@
+#ifndef VECTORDB_QUERY_COST_MODEL_H_
+#define VECTORDB_QUERY_COST_MODEL_H_
+
+#include <cstddef>
+
+#include "query/filter_strategies.h"
+
+namespace vectordb {
+namespace query {
+
+/// Inputs to the strategy-D cost model (Sec 4.1, following AnalyticDB-V):
+/// everything is expressed in "distance computations" as the unit of work.
+struct CostModelInputs {
+  size_t n = 0;           ///< Rows in the dataset/partition.
+  size_t dim = 0;
+  size_t k = 0;
+  double pass_fraction = 1.0;  ///< Fraction of rows satisfying C_A.
+  size_t nlist = 0;       ///< 0 when the vector index is not IVF.
+  size_t nprobe = 0;
+  double theta = 2.0;     ///< Strategy C over-fetch factor.
+};
+
+/// Estimated cost (distance computations) of each strategy.
+struct CostEstimates {
+  double cost_a = 0.0;
+  double cost_b = 0.0;
+  double cost_c = 0.0;
+  bool c_feasible = false;  ///< Strategy C can reach k results in one pass.
+};
+
+CostEstimates EstimateCosts(const CostModelInputs& inputs);
+
+/// The strategy-D decision: argmin over feasible {A, B, C}.
+FilterStrategy ChooseStrategy(const CostModelInputs& inputs);
+
+}  // namespace query
+}  // namespace vectordb
+
+#endif  // VECTORDB_QUERY_COST_MODEL_H_

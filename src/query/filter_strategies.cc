@@ -1,0 +1,171 @@
+#include "query/filter_strategies.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/result_heap.h"
+#include "index/ivf_index.h"
+#include "query/cost_model.h"
+#include "simd/distances.h"
+
+namespace vectordb {
+namespace query {
+
+const char* FilterStrategyName(FilterStrategy strategy) {
+  switch (strategy) {
+    case FilterStrategy::kA:
+      return "A(attr-first/full-scan)";
+    case FilterStrategy::kB:
+      return "B(attr-first/vector-search)";
+    case FilterStrategy::kC:
+      return "C(vector-first/attr-scan)";
+    case FilterStrategy::kD:
+      return "D(cost-based)";
+    case FilterStrategy::kE:
+      return "E(partition-based)";
+  }
+  return "?";
+}
+
+Status FilteredDataset::Load(const float* vectors,
+                             const std::vector<double>& attrs, size_t n) {
+  if (attrs.size() != n) {
+    return Status::InvalidArgument("one attribute value per row required");
+  }
+  vectors_.assign(vectors, vectors + n * dim_);
+  attr_.Build(attrs);
+  n_ = n;
+  return Status::OK();
+}
+
+Status FilteredDataset::BuildIndex(index::IndexType type,
+                                   const index::IndexBuildParams& params) {
+  auto created = index::CreateIndex(type, dim_, metric_, params);
+  if (!created.ok()) return created.status();
+  index_ = std::move(created).value();
+  return index_->Build(vectors_.data(), n_);
+}
+
+HitList FilteredDataset::ExactSearch(const float* query, size_t k,
+                                     const AttrRange& range) const {
+  ResultHeap heap = ResultHeap::ForMetric(k, metric_);
+  for (size_t row = 0; row < n_; ++row) {
+    if (!range.Contains(attr_.ValueOfRow(row))) continue;
+    heap.Push(static_cast<RowId>(row),
+              simd::ComputeFloatScore(metric_, query,
+                                      vectors_.data() + row * dim_, dim_));
+  }
+  return heap.TakeSorted();
+}
+
+HitList FilteredDataset::StrategyA(const float* query,
+                                   const FilteredSearchOptions& options) const {
+  // Attribute index search → exact distance on every qualifying row.
+  std::vector<RowId> candidates;
+  attr_.CollectInRange(options.range.lo, options.range.hi, &candidates);
+  ResultHeap heap = ResultHeap::ForMetric(options.k, metric_);
+  for (RowId row : candidates) {
+    heap.Push(row, simd::ComputeFloatScore(
+                       metric_, query,
+                       vectors_.data() + static_cast<size_t>(row) * dim_,
+                       dim_));
+  }
+  return heap.TakeSorted();
+}
+
+HitList FilteredDataset::StrategyB(const float* query,
+                                   const FilteredSearchOptions& options) const {
+  // Attribute index search → bitmap → filtered vector-index search.
+  std::vector<RowId> candidates;
+  attr_.CollectInRange(options.range.lo, options.range.hi, &candidates);
+  Bitset allowed(n_);
+  for (RowId row : candidates) allowed.Set(static_cast<size_t>(row));
+
+  index::SearchOptions idx_options;
+  idx_options.k = options.k;
+  idx_options.nprobe = options.nprobe;
+  idx_options.ef_search = options.ef_search;
+  idx_options.filter = &allowed;
+  std::vector<HitList> results;
+  if (index_ == nullptr ||
+      !index_->Search(query, 1, idx_options, &results).ok()) {
+    return StrategyA(query, options);  // No index: degrade to exact path.
+  }
+  return results[0];
+}
+
+HitList FilteredDataset::StrategyC(const float* query,
+                                   const FilteredSearchOptions& options) const {
+  // Vector-index search for θ·k → attribute post-check.
+  const size_t fetch = std::max<size_t>(
+      options.k,
+      static_cast<size_t>(options.theta * static_cast<double>(options.k)));
+  index::SearchOptions idx_options;
+  idx_options.k = fetch;
+  idx_options.nprobe = options.nprobe;
+  idx_options.ef_search = std::max(options.ef_search, fetch);
+  std::vector<HitList> results;
+  if (index_ == nullptr ||
+      !index_->Search(query, 1, idx_options, &results).ok()) {
+    return StrategyA(query, options);
+  }
+  HitList out;
+  out.reserve(options.k);
+  for (const SearchHit& hit : results[0]) {
+    if (options.range.Contains(
+            attr_.ValueOfRow(static_cast<size_t>(hit.id)))) {
+      out.push_back(hit);
+      if (out.size() == options.k) break;
+    }
+  }
+  return out;
+}
+
+HitList FilteredDataset::StrategyD(const float* query,
+                                   const FilteredSearchOptions& options) const {
+  CostModelInputs inputs;
+  inputs.n = n_;
+  inputs.dim = dim_;
+  inputs.k = options.k;
+  inputs.pass_fraction =
+      n_ == 0 ? 0.0
+              : static_cast<double>(
+                    attr_.CountInRange(options.range.lo, options.range.hi)) /
+                    static_cast<double>(n_);
+  if (const auto* ivf = dynamic_cast<const index::IvfIndex*>(index_.get())) {
+    inputs.nlist = ivf->nlist();
+    inputs.nprobe = options.nprobe;
+  }
+  inputs.theta = options.theta;
+  switch (ChooseStrategy(inputs)) {
+    case FilterStrategy::kA:
+      return StrategyA(query, options);
+    case FilterStrategy::kC:
+      return StrategyC(query, options);
+    default:
+      return StrategyB(query, options);
+  }
+}
+
+Result<HitList> FilteredDataset::Search(const float* query,
+                                        const FilteredSearchOptions& options,
+                                        FilterStrategy strategy) const {
+  switch (strategy) {
+    case FilterStrategy::kA:
+      return StrategyA(query, options);
+    case FilterStrategy::kB:
+      return StrategyB(query, options);
+    case FilterStrategy::kC:
+      return StrategyC(query, options);
+    case FilterStrategy::kD:
+      return StrategyD(query, options);
+    case FilterStrategy::kE:
+      return Status::InvalidArgument(
+          "strategy E runs on a PartitionedCollection (see "
+          "partition_manager.h)");
+  }
+  return Status::InvalidArgument("unknown strategy");
+}
+
+}  // namespace query
+}  // namespace vectordb

@@ -1,0 +1,96 @@
+#ifndef VECTORDB_QUERY_FILTER_STRATEGIES_H_
+#define VECTORDB_QUERY_FILTER_STRATEGIES_H_
+
+#include <memory>
+#include <vector>
+
+#include "index/index.h"
+#include "index/index_factory.h"
+#include "query/attribute_index.h"
+
+namespace vectordb {
+namespace query {
+
+/// Range constraint C_A: a >= lo && a <= hi (Sec 4.1).
+struct AttrRange {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool Contains(double v) const { return v >= lo && v <= hi; }
+  /// True when [other_lo, other_hi] ⊆ [lo, hi].
+  bool Covers(double other_lo, double other_hi) const {
+    return lo <= other_lo && other_hi <= hi;
+  }
+  bool Overlaps(double other_lo, double other_hi) const {
+    return lo <= other_hi && other_lo <= hi;
+  }
+};
+
+/// Attribute-filtering strategies of Sec 4.1 / Figure 4.
+enum class FilterStrategy {
+  kA,  ///< attribute-first, vector full scan (exact).
+  kB,  ///< attribute-first bitmap, filtered vector search.
+  kC,  ///< vector-first (θ·k), attribute post-check.
+  kD,  ///< cost-based choice among A/B/C (AnalyticDB-V).
+  kE,  ///< partition-based over D (the Milvus contribution).
+};
+
+const char* FilterStrategyName(FilterStrategy strategy);
+
+struct FilteredSearchOptions {
+  size_t k = 50;
+  AttrRange range;
+  size_t nprobe = 16;
+  size_t ef_search = 64;
+  /// Strategy C over-fetch factor θ (> 1).
+  double theta = 2.0;
+};
+
+/// One searchable dataset: flat vectors (rows are dense positions), one
+/// numeric attribute with a sorted index, and one vector index. This is the
+/// substrate the strategy implementations (and Figures 14/15) run on; the
+/// DB layer applies the same logic per segment.
+class FilteredDataset {
+ public:
+  FilteredDataset(size_t dim, MetricType metric) : dim_(dim), metric_(metric) {}
+
+  /// Ingest rows and build the attribute index.
+  Status Load(const float* vectors, const std::vector<double>& attrs, size_t n);
+
+  /// Build the vector index over the loaded rows.
+  Status BuildIndex(index::IndexType type,
+                    const index::IndexBuildParams& params = {});
+
+  size_t size() const { return n_; }
+  size_t dim() const { return dim_; }
+  MetricType metric() const { return metric_; }
+  const AttributeIndex& attribute() const { return attr_; }
+  const index::VectorIndex* vector_index() const { return index_.get(); }
+  const float* vectors() const { return vectors_.data(); }
+
+  /// Execute one filtered top-k query with the given strategy.
+  Result<HitList> Search(const float* query, const FilteredSearchOptions& options,
+                         FilterStrategy strategy) const;
+
+  /// Exact filtered top-k (ground truth for recall measurements).
+  HitList ExactSearch(const float* query, size_t k, const AttrRange& range) const;
+
+  // Individual strategies (public for tests and the cost model).
+  HitList StrategyA(const float* query, const FilteredSearchOptions& options) const;
+  HitList StrategyB(const float* query, const FilteredSearchOptions& options) const;
+  HitList StrategyC(const float* query, const FilteredSearchOptions& options) const;
+  HitList StrategyD(const float* query, const FilteredSearchOptions& options) const;
+
+ private:
+  size_t dim_;
+  MetricType metric_;
+  size_t n_ = 0;
+  std::vector<float> vectors_;
+  AttributeIndex attr_;
+  index::IndexPtr index_;
+};
+
+}  // namespace query
+}  // namespace vectordb
+
+#endif  // VECTORDB_QUERY_FILTER_STRATEGIES_H_

@@ -1,0 +1,312 @@
+#include "query/multi_vector.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/result_heap.h"
+#include "simd/distances.h"
+
+namespace vectordb {
+namespace query {
+
+namespace {
+/// For similarity metrics larger aggregate is better; for distances smaller.
+bool Better(float a, float b, bool keep_largest) {
+  return keep_largest ? a > b : a < b;
+}
+}  // namespace
+
+Status MultiVectorDataset::Load(const std::vector<const float*>& field_data,
+                                size_t n) {
+  if (field_data.size() != schema_.num_fields()) {
+    return Status::InvalidArgument("field count mismatch");
+  }
+  if (!schema_.weights.empty() &&
+      schema_.weights.size() != schema_.num_fields()) {
+    return Status::InvalidArgument("weight count mismatch");
+  }
+  fields_.resize(schema_.num_fields());
+  for (size_t f = 0; f < schema_.num_fields(); ++f) {
+    fields_[f].assign(field_data[f], field_data[f] + n * schema_.dims[f]);
+  }
+  n_ = n;
+  return Status::OK();
+}
+
+Status MultiVectorDataset::BuildIndexes(index::IndexType type,
+                                        const index::IndexBuildParams& params) {
+  indexes_.clear();
+  for (size_t f = 0; f < schema_.num_fields(); ++f) {
+    auto created =
+        index::CreateIndex(type, schema_.dims[f], schema_.metric, params);
+    if (!created.ok()) return created.status();
+    index::IndexPtr idx = std::move(created).value();
+    VDB_RETURN_NOT_OK(idx->Build(fields_[f].data(), n_));
+    indexes_.push_back(std::move(idx));
+  }
+  return Status::OK();
+}
+
+float MultiVectorDataset::ExactScore(const std::vector<const float*>& query,
+                                     size_t e) const {
+  float total = 0.0f;
+  for (size_t f = 0; f < schema_.num_fields(); ++f) {
+    total += schema_.weight(f) *
+             simd::ComputeFloatScore(schema_.metric, query[f],
+                                     field_vector(f, e), schema_.dims[f]);
+  }
+  return total;
+}
+
+HitList MultiVectorDataset::ExactSearch(
+    const std::vector<const float*>& query, size_t k) const {
+  ResultHeap heap = ResultHeap::ForMetric(k, schema_.metric);
+  for (size_t e = 0; e < n_; ++e) {
+    heap.Push(static_cast<RowId>(e), ExactScore(query, e));
+  }
+  return heap.TakeSorted();
+}
+
+HitList MultiVectorDataset::FieldTopK(size_t field, const float* query,
+                                      size_t k, size_t nprobe) const {
+  index::SearchOptions options;
+  options.k = std::min(k, n_);
+  options.nprobe = nprobe;
+  options.ef_search = std::max<size_t>(64, options.k);
+  std::vector<HitList> results;
+  if (field < indexes_.size() && indexes_[field] != nullptr) {
+    if (indexes_[field]->Search(query, 1, options, &results).ok()) {
+      return results[0];
+    }
+  }
+  // Flat fallback.
+  ResultHeap heap = ResultHeap::ForMetric(options.k, schema_.metric);
+  for (size_t e = 0; e < n_; ++e) {
+    heap.Push(static_cast<RowId>(e),
+              simd::ComputeFloatScore(schema_.metric, query,
+                                      field_vector(field, e),
+                                      schema_.dims[field]));
+  }
+  return heap.TakeSorted();
+}
+
+HitList MultiVectorDataset::NaiveSearch(const std::vector<const float*>& query,
+                                        size_t k, size_t k_prime,
+                                        size_t nprobe,
+                                        MultiVectorStats* stats) const {
+  std::unordered_set<RowId> candidates;
+  for (size_t f = 0; f < schema_.num_fields(); ++f) {
+    const HitList hits = FieldTopK(f, query[f], k_prime, nprobe);
+    if (stats != nullptr) ++stats->vector_queries;
+    for (const SearchHit& hit : hits) candidates.insert(hit.id);
+  }
+  if (stats != nullptr) stats->candidates_seen = candidates.size();
+  ResultHeap heap = ResultHeap::ForMetric(k, schema_.metric);
+  for (RowId id : candidates) {
+    heap.Push(id, ExactScore(query, static_cast<size_t>(id)));
+  }
+  return heap.TakeSorted();
+}
+
+bool MultiVectorDataset::NraDetermine(const std::vector<HitList>& lists,
+                                      size_t k, HitList* result) const {
+  const size_t mu = lists.size();
+  const bool keep_largest = MetricIsSimilarity(schema_.metric);
+
+  // Frontier: the worst score returned per field — the bound for any
+  // entity not (yet) seen in that field's stream.
+  std::vector<float> frontier(mu);
+  for (size_t f = 0; f < mu; ++f) {
+    if (lists[f].empty()) return false;
+    frontier[f] = lists[f].back().score;
+  }
+
+  struct Candidate {
+    float partial = 0.0f;
+    uint32_t seen_mask = 0;
+  };
+  std::unordered_map<RowId, Candidate> table;
+  for (size_t f = 0; f < mu; ++f) {
+    const float w = schema_.weight(f);
+    for (const SearchHit& hit : lists[f]) {
+      Candidate& c = table[hit.id];
+      c.partial += w * hit.score;
+      c.seen_mask |= 1u << f;
+    }
+  }
+
+  const uint32_t full_mask = (1u << mu) - 1;
+  // Aggregate bound for an entity unseen in every stream.
+  float unseen_bound = 0.0f;
+  for (size_t f = 0; f < mu; ++f) unseen_bound += schema_.weight(f) * frontier[f];
+
+  // Exact candidates and the best-possible score of every partial one.
+  ResultHeap exact(k, keep_largest);
+  float best_partial_bound = keep_largest
+                                 ? std::numeric_limits<float>::lowest()
+                                 : std::numeric_limits<float>::max();
+  bool have_partial = false;
+  for (const auto& [id, c] : table) {
+    if (c.seen_mask == full_mask) {
+      exact.Push(id, c.partial);
+      continue;
+    }
+    have_partial = true;
+    float bound = c.partial;
+    for (size_t f = 0; f < mu; ++f) {
+      if ((c.seen_mask & (1u << f)) == 0) {
+        bound += schema_.weight(f) * frontier[f];
+      }
+    }
+    if (Better(bound, best_partial_bound, keep_largest)) {
+      best_partial_bound = bound;
+    }
+  }
+
+  *result = exact.TakeSorted();
+  if (result->size() < k) return false;
+
+  // Determined iff no partially-seen or unseen entity could still beat the
+  // current k-th exact score.
+  const float kth = (*result)[k - 1].score;
+  if (have_partial && Better(best_partial_bound, kth, keep_largest)) {
+    return false;
+  }
+  if (Better(unseen_bound, kth, keep_largest)) return false;
+  return true;
+}
+
+HitList MultiVectorDataset::NraSearch(const std::vector<const float*>& query,
+                                      size_t k, size_t depth, size_t nprobe,
+                                      MultiVectorStats* stats) const {
+  // Faithful cost model of running textbook NRA over vector indexes
+  // (Sec 4.2): NRA consumes the streams via getNext(), but quantization and
+  // graph indexes have no efficient getNext() — each deeper access re-runs
+  // a full top-k' search. We emulate the sorted-access pattern in batches
+  // of kGetNextBatch, re-querying every field at the growing depth, which
+  // is exactly the redundant work iterative merging eliminates.
+  constexpr size_t kGetNextBatch = 64;
+  std::vector<HitList> lists(schema_.num_fields());
+  for (size_t d = kGetNextBatch;; d += kGetNextBatch) {
+    const size_t cur = std::min(d, depth);
+    for (size_t f = 0; f < schema_.num_fields(); ++f) {
+      lists[f] = FieldTopK(f, query[f], cur, nprobe);
+      if (stats != nullptr) ++stats->vector_queries;
+    }
+    // NRA's per-access bookkeeping: bounds are refreshed on every batch.
+    HitList result;
+    const bool determined = NraDetermine(lists, k, &result);
+    if (stats != nullptr) ++stats->rounds;
+    if (determined || cur >= depth) {
+      if (stats != nullptr) stats->determined = determined;
+      if (result.size() > k) result.resize(k);
+      return result;
+    }
+  }
+}
+
+HitList MultiVectorDataset::IterativeMergeSearch(
+    const std::vector<const float*>& query, size_t k,
+    size_t k_prime_threshold, size_t nprobe, MultiVectorStats* stats) const {
+  const size_t mu = schema_.num_fields();
+  std::vector<HitList> lists(mu);
+  size_t k_prime = k;
+
+  // Algorithm 2: top-k' per field, NRA stop test, double k' and repeat.
+  while (k_prime < k_prime_threshold) {
+    for (size_t f = 0; f < mu; ++f) {
+      lists[f] = FieldTopK(f, query[f], k_prime, nprobe);
+      if (stats != nullptr) ++stats->vector_queries;
+    }
+    if (stats != nullptr) ++stats->rounds;
+    HitList result;
+    if (NraDetermine(lists, k, &result)) {
+      if (stats != nullptr) stats->determined = true;
+      if (result.size() > k) result.resize(k);
+      return result;
+    }
+    k_prime *= 2;
+    if (k_prime >= n_) break;  // Lists already cover the whole dataset.
+  }
+
+  // Line 9: best effort from ∪ R_i, exact-reranked via random access.
+  std::unordered_set<RowId> candidates;
+  for (const HitList& list : lists) {
+    for (const SearchHit& hit : list) candidates.insert(hit.id);
+  }
+  if (stats != nullptr) stats->candidates_seen = candidates.size();
+  ResultHeap heap = ResultHeap::ForMetric(k, schema_.metric);
+  for (RowId id : candidates) {
+    heap.Push(id, ExactScore(query, static_cast<size_t>(id)));
+  }
+  return heap.TakeSorted();
+}
+
+// ------------------------------------------------------------- fusion ----
+
+size_t VectorFusionSearcher::total_dim() const {
+  size_t total = 0;
+  for (size_t d : schema_.dims) total += d;
+  return total;
+}
+
+Status VectorFusionSearcher::Load(const std::vector<const float*>& field_data,
+                                  size_t n) {
+  if (schema_.metric != MetricType::kInnerProduct) {
+    return Status::NotSupported(
+        "vector fusion requires a decomposable similarity (inner product); "
+        "normalize the data to reduce cosine/L2 to IP");
+  }
+  if (field_data.size() != schema_.num_fields()) {
+    return Status::InvalidArgument("field count mismatch");
+  }
+  const size_t tdim = total_dim();
+  concatenated_.assign(n * tdim, 0.0f);
+  size_t offset = 0;
+  for (size_t f = 0; f < schema_.num_fields(); ++f) {
+    const size_t dim = schema_.dims[f];
+    for (size_t e = 0; e < n; ++e) {
+      std::memcpy(concatenated_.data() + e * tdim + offset,
+                  field_data[f] + e * dim, dim * sizeof(float));
+    }
+    offset += dim;
+  }
+  n_ = n;
+  return Status::OK();
+}
+
+Status VectorFusionSearcher::BuildIndex(index::IndexType type,
+                                        const index::IndexBuildParams& params) {
+  auto created = index::CreateIndex(type, total_dim(),
+                                    MetricType::kInnerProduct, params);
+  if (!created.ok()) return created.status();
+  index_ = std::move(created).value();
+  return index_->Build(concatenated_.data(), n_);
+}
+
+Result<HitList> VectorFusionSearcher::Search(
+    const std::vector<const float*>& query, size_t k, size_t nprobe) const {
+  if (index_ == nullptr) return Status::Aborted("fusion index not built");
+  // Aggregated query: [w0·q0, w1·q1, ...] — the weighted sum becomes one IP.
+  std::vector<float> fused(total_dim());
+  size_t offset = 0;
+  for (size_t f = 0; f < schema_.num_fields(); ++f) {
+    const float w = schema_.weight(f);
+    for (size_t d = 0; d < schema_.dims[f]; ++d) {
+      fused[offset + d] = w * query[f][d];
+    }
+    offset += schema_.dims[f];
+  }
+  index::SearchOptions options;
+  options.k = k;
+  options.nprobe = nprobe;
+  options.ef_search = std::max<size_t>(64, k);
+  std::vector<HitList> results;
+  VDB_RETURN_NOT_OK(index_->Search(fused.data(), 1, options, &results));
+  return std::move(results[0]);
+}
+
+}  // namespace query
+}  // namespace vectordb

@@ -1,0 +1,132 @@
+#ifndef VECTORDB_QUERY_MULTI_VECTOR_H_
+#define VECTORDB_QUERY_MULTI_VECTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "index/index.h"
+#include "index/index_factory.h"
+
+namespace vectordb {
+namespace query {
+
+/// Schema of multi-vector entities (Sec 4.2): µ vector fields, one shared
+/// similarity function f, and a monotone weighted-sum aggregation g with
+/// non-negative weights.
+struct MultiVectorSchema {
+  std::vector<size_t> dims;
+  MetricType metric = MetricType::kL2;
+  std::vector<float> weights;  ///< One per field; empty = all 1.0.
+
+  size_t num_fields() const { return dims.size(); }
+  float weight(size_t field) const {
+    return weights.empty() ? 1.0f : weights[field];
+  }
+};
+
+/// Work counters for comparing the multi-vector algorithms (Figure 16).
+struct MultiVectorStats {
+  size_t vector_queries = 0;  ///< Top-k' index invocations issued.
+  size_t rounds = 0;          ///< Iterative-merge rounds.
+  size_t candidates_seen = 0; ///< Distinct entities touched.
+  bool determined = false;    ///< NRA declared the top-k safe.
+};
+
+/// Multi-vector entity store with per-field indexes, implementing the three
+/// query algorithms of Sec 4.2: the naive per-field candidate union, the
+/// NRA baseline (no random access), and Milvus's iterative merging
+/// (Algorithm 2). Vector fusion lives in VectorFusionSearcher below since
+/// it needs a different (concatenated) physical layout.
+class MultiVectorDataset {
+ public:
+  explicit MultiVectorDataset(MultiVectorSchema schema)
+      : schema_(std::move(schema)) {}
+
+  const MultiVectorSchema& schema() const { return schema_; }
+  size_t size() const { return n_; }
+
+  /// `field_data[f]` points at n × dims[f] floats (columnar, Sec 2.4).
+  Status Load(const std::vector<const float*>& field_data, size_t n);
+
+  /// Build one vector index per field.
+  Status BuildIndexes(index::IndexType type,
+                      const index::IndexBuildParams& params = {});
+
+  const float* field_vector(size_t field, size_t entity) const {
+    return fields_[field].data() + entity * schema_.dims[field];
+  }
+
+  /// Exact aggregated score of entity `e` for the query (random access).
+  float ExactScore(const std::vector<const float*>& query, size_t e) const;
+
+  /// Exact top-k by full scan (ground truth).
+  HitList ExactSearch(const std::vector<const float*>& query, size_t k) const;
+
+  /// Naive solution (Sec 4.2): per-field top-k' queries, union the
+  /// candidates, exact-rerank. Low recall when k' is small.
+  HitList NaiveSearch(const std::vector<const float*>& query, size_t k,
+                      size_t k_prime, size_t nprobe,
+                      MultiVectorStats* stats = nullptr) const;
+
+  /// Standard NRA (Fagin et al.) over per-field streams of depth `depth`,
+  /// with *no random access*: only entities fully seen across all fields
+  /// get exact scores; the rest are bounded. Slow or low-recall — the
+  /// baseline of Figure 16a.
+  HitList NraSearch(const std::vector<const float*>& query, size_t k,
+                    size_t depth, size_t nprobe,
+                    MultiVectorStats* stats = nullptr) const;
+
+  /// Iterative merging (Algorithm 2): adaptive k′ doubling with the NRA
+  /// stop test per round, bounded by `k_prime_threshold`.
+  HitList IterativeMergeSearch(const std::vector<const float*>& query,
+                               size_t k, size_t k_prime_threshold,
+                               size_t nprobe,
+                               MultiVectorStats* stats = nullptr) const;
+
+ private:
+  /// Per-field approximate top-k' (index if built, else flat scan).
+  HitList FieldTopK(size_t field, const float* query, size_t k, size_t nprobe)
+      const;
+
+  /// Shared NRA bookkeeping over retrieved lists; fills `result` with the
+  /// best fully-seen entities and reports whether top-k is determined.
+  bool NraDetermine(const std::vector<HitList>& lists, size_t k,
+                    HitList* result) const;
+
+  MultiVectorSchema schema_;
+  size_t n_ = 0;
+  std::vector<std::vector<float>> fields_;
+  std::vector<index::IndexPtr> indexes_;
+};
+
+/// Vector fusion (Sec 4.2): entities stored as *concatenated* vectors; a
+/// weighted-sum query becomes a single top-k inner-product search over the
+/// concatenation, since IP decomposes: ip([w0·q0 … ], [e0 … ]) = Σ wᵢ·ip(qᵢ,eᵢ).
+/// Requires a decomposable similarity — inner product here; cosine/L2 on
+/// normalized data reduce to it.
+class VectorFusionSearcher {
+ public:
+  explicit VectorFusionSearcher(MultiVectorSchema schema)
+      : schema_(std::move(schema)) {}
+
+  Status Load(const std::vector<const float*>& field_data, size_t n);
+  Status BuildIndex(index::IndexType type,
+                    const index::IndexBuildParams& params = {});
+
+  size_t total_dim() const;
+
+  /// Single top-k IP search with the aggregated query vector.
+  Result<HitList> Search(const std::vector<const float*>& query, size_t k,
+                         size_t nprobe) const;
+
+ private:
+  MultiVectorSchema schema_;
+  size_t n_ = 0;
+  std::vector<float> concatenated_;
+  index::IndexPtr index_;
+};
+
+}  // namespace query
+}  // namespace vectordb
+
+#endif  // VECTORDB_QUERY_MULTI_VECTOR_H_

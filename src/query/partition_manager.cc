@@ -1,0 +1,125 @@
+#include "query/partition_manager.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/result_heap.h"
+
+namespace vectordb {
+namespace query {
+
+std::string QueryFrequencyTracker::MostFrequent() const {
+  std::string best;
+  size_t best_count = 0;
+  for (const auto& [name, count] : counts_) {
+    if (count > best_count || (count == best_count && name < best)) {
+      best = name;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+Status PartitionedCollection::Load(const float* vectors,
+                                   const std::vector<double>& attrs,
+                                   size_t n) {
+  if (attrs.size() != n) {
+    return Status::InvalidArgument("one attribute value per row required");
+  }
+  const size_t rho = std::max<size_t>(options_.num_partitions, 1);
+
+  // Equal-frequency boundaries from the sorted attribute values.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return attrs[a] < attrs[b]; });
+
+  partitions_.clear();
+  partitions_.resize(std::min(rho, std::max<size_t>(n, 1)));
+  const size_t per_part =
+      (n + partitions_.size() - 1) / std::max<size_t>(partitions_.size(), 1);
+
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    const size_t begin = p * per_part;
+    const size_t end = std::min(begin + per_part, n);
+    if (begin >= end) {
+      partitions_.resize(p);
+      break;
+    }
+    Partition& part = partitions_[p];
+    part.lo = attrs[order[begin]];
+    part.hi = attrs[order[end - 1]];
+    part.dataset = std::make_unique<FilteredDataset>(dim_, metric_);
+    part.global_ids.reserve(end - begin);
+
+    std::vector<float> part_vectors((end - begin) * dim_);
+    std::vector<double> part_attrs(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      const size_t row = order[i];
+      std::copy(vectors + row * dim_, vectors + (row + 1) * dim_,
+                part_vectors.begin() + (i - begin) * dim_);
+      part_attrs[i - begin] = attrs[row];
+      part.global_ids.push_back(static_cast<RowId>(row));
+    }
+    VDB_RETURN_NOT_OK(
+        part.dataset->Load(part_vectors.data(), part_attrs, end - begin));
+    VDB_RETURN_NOT_OK(
+        part.dataset->BuildIndex(options_.index_type, options_.index_params));
+  }
+  return Status::OK();
+}
+
+PartitionedCollection::PartitionInfo PartitionedCollection::partition_info(
+    size_t p) const {
+  const Partition& part = partitions_[p];
+  return {part.lo, part.hi, part.dataset->size()};
+}
+
+Result<HitList> PartitionedCollection::Search(
+    const float* query, const FilteredSearchOptions& options,
+    SearchStats* stats) const {
+  SearchStats local_stats;
+  ResultHeap merged = ResultHeap::ForMetric(options.k, metric_);
+
+  // A partition holds ~1/ρ of the rows, so probing nprobe/ρ of its buckets
+  // keeps the *fraction of data scanned* (the accuracy/cost knob) equal to
+  // an unpartitioned search with `nprobe` — otherwise strategy E would be
+  // charged ρ× the probing work of strategy D for the same recall target.
+  FilteredSearchOptions part_options = options;
+  part_options.nprobe = std::max<size_t>(
+      1, options.nprobe / std::max<size_t>(partitions_.size(), 1));
+
+  for (const Partition& part : partitions_) {
+    if (!options.range.Overlaps(part.lo, part.hi)) {
+      ++local_stats.partitions_pruned;
+      continue;  // Range-disjoint partition: skipped entirely.
+    }
+    HitList hits;
+    if (options.range.Covers(part.lo, part.hi)) {
+      // Fully covered: every row passes C_A — pure vector search, no
+      // attribute check at all (the key win of strategy E).
+      ++local_stats.partitions_covered;
+      index::SearchOptions idx_options;
+      idx_options.k = options.k;
+      idx_options.nprobe = part_options.nprobe;
+      idx_options.ef_search = options.ef_search;
+      std::vector<HitList> results;
+      const index::VectorIndex* idx = part.dataset->vector_index();
+      if (idx == nullptr) return Status::Internal("partition has no index");
+      VDB_RETURN_NOT_OK(idx->Search(query, 1, idx_options, &results));
+      hits = std::move(results[0]);
+    } else {
+      // Partially covered: local cost-based strategy D.
+      ++local_stats.partitions_costbased;
+      hits = part.dataset->StrategyD(query, part_options);
+    }
+    for (const SearchHit& hit : hits) {
+      merged.Push(part.global_ids[static_cast<size_t>(hit.id)], hit.score);
+    }
+  }
+  if (stats != nullptr) *stats = local_stats;
+  return merged.TakeSorted();
+}
+
+}  // namespace query
+}  // namespace vectordb

@@ -1,0 +1,91 @@
+#ifndef VECTORDB_QUERY_PARTITION_MANAGER_H_
+#define VECTORDB_QUERY_PARTITION_MANAGER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "query/filter_strategies.h"
+
+namespace vectordb {
+namespace query {
+
+/// Counts how often each attribute appears in filter queries (Sec 4.1:
+/// "we maintain the frequency of each searched attribute in a hash table").
+/// The most frequent attribute is the partitioning key candidate.
+class QueryFrequencyTracker {
+ public:
+  void Record(const std::string& attribute) { ++counts_[attribute]; }
+  size_t CountOf(const std::string& attribute) const {
+    auto it = counts_.find(attribute);
+    return it == counts_.end() ? 0 : it->second;
+  }
+  /// Most frequently filtered attribute ("" when nothing recorded).
+  std::string MostFrequent() const;
+
+ private:
+  std::unordered_map<std::string, size_t> counts_;
+};
+
+/// Strategy E (the Milvus contribution of Sec 4.1): the dataset is split
+/// into ρ partitions by equal-frequency ranges of the hot attribute; a
+/// query touches only partitions whose range overlaps C_A, and partitions
+/// *fully covered* by C_A skip the attribute check entirely — pure vector
+/// search. Partially covered partitions fall back to the cost-based
+/// strategy D locally.
+class PartitionedCollection {
+ public:
+  struct Options {
+    size_t num_partitions = 16;  ///< ρ; paper recommends ~1M rows each.
+    index::IndexType index_type = index::IndexType::kIvfFlat;
+    index::IndexBuildParams index_params;
+  };
+
+  PartitionedCollection(size_t dim, MetricType metric, const Options& options)
+      : dim_(dim), metric_(metric), options_(options) {}
+
+  /// Partition rows by attribute quantiles and build one FilteredDataset
+  /// (with vector index) per partition. Row ids in results are the global
+  /// positions [0, n) of the input.
+  Status Load(const float* vectors, const std::vector<double>& attrs,
+              size_t n);
+
+  size_t num_partitions() const { return partitions_.size(); }
+
+  struct PartitionInfo {
+    double range_lo = 0.0;
+    double range_hi = 0.0;
+    size_t num_rows = 0;
+  };
+  PartitionInfo partition_info(size_t p) const;
+
+  /// Filtered top-k via strategy E. `stats` (optional) reports how many
+  /// partitions were pruned / fully covered / cost-based.
+  struct SearchStats {
+    size_t partitions_pruned = 0;
+    size_t partitions_covered = 0;   ///< Searched without attribute check.
+    size_t partitions_costbased = 0; ///< Searched via strategy D.
+  };
+  Result<HitList> Search(const float* query,
+                         const FilteredSearchOptions& options,
+                         SearchStats* stats = nullptr) const;
+
+ private:
+  struct Partition {
+    double lo = 0.0;
+    double hi = 0.0;
+    std::unique_ptr<FilteredDataset> dataset;
+    std::vector<RowId> global_ids;  ///< Local row → global row.
+  };
+
+  size_t dim_;
+  MetricType metric_;
+  Options options_;
+  std::vector<Partition> partitions_;
+};
+
+}  // namespace query
+}  // namespace vectordb
+
+#endif  // VECTORDB_QUERY_PARTITION_MANAGER_H_

@@ -1,0 +1,34 @@
+#include "simd/cpu_features.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <cpuid.h>
+#define VDB_X86 1
+#endif
+
+namespace vectordb {
+namespace simd {
+
+namespace {
+CpuFeatures Probe() {
+  CpuFeatures f;
+#ifdef VDB_X86
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+    f.sse42 = (ecx >> 20) & 1;  // SSE4.2
+  }
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+    f.avx2 = (ebx >> 5) & 1;      // AVX2
+    f.avx512f = (ebx >> 16) & 1;  // AVX-512 Foundation
+  }
+#endif
+  return f;
+}
+}  // namespace
+
+const CpuFeatures& GetCpuFeatures() {
+  static const CpuFeatures features = Probe();
+  return features;
+}
+
+}  // namespace simd
+}  // namespace vectordb

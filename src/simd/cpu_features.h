@@ -1,0 +1,20 @@
+#ifndef VECTORDB_SIMD_CPU_FEATURES_H_
+#define VECTORDB_SIMD_CPU_FEATURES_H_
+
+namespace vectordb {
+namespace simd {
+
+/// CPU ISA capabilities probed once via CPUID.
+struct CpuFeatures {
+  bool sse42 = false;
+  bool avx2 = false;
+  bool avx512f = false;
+};
+
+/// Probed features of the current CPU (cached after first call).
+const CpuFeatures& GetCpuFeatures();
+
+}  // namespace simd
+}  // namespace vectordb
+
+#endif  // VECTORDB_SIMD_CPU_FEATURES_H_

@@ -1,0 +1,252 @@
+// Runtime SIMD dispatch: a hook table of function pointers selected from the
+// per-ISA kernel sets based on CPUID (and the VECTORDB_SIMD override), as
+// described in Sec 3.2.2 of the paper.
+
+#include "simd/distances.h"
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "simd/cpu_features.h"
+#include "simd/kernels.h"
+
+namespace vectordb {
+namespace simd {
+
+namespace {
+
+struct Hooks {
+  FloatKernels kernels;
+  SimdLevel level;
+};
+
+std::mutex g_hook_mu;
+std::atomic<bool> g_initialized{false};
+Hooks g_hooks;  // Guarded by g_hook_mu for writes; hot path reads after init.
+
+FloatKernels KernelsForLevel(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return GetScalarKernels();
+    case SimdLevel::kSse:
+      return GetSseKernels();
+    case SimdLevel::kAvx2:
+      return GetAvx2Kernels();
+    case SimdLevel::kAvx512:
+      return GetAvx512Kernels();
+  }
+  return GetScalarKernels();
+}
+
+bool LevelSupported(SimdLevel level) {
+  const CpuFeatures& f = GetCpuFeatures();
+  switch (level) {
+    case SimdLevel::kScalar:
+      return true;
+    case SimdLevel::kSse:
+      return f.sse42;
+    case SimdLevel::kAvx2:
+      return f.avx2;
+    case SimdLevel::kAvx512:
+      return f.avx512f;
+  }
+  return false;
+}
+
+bool ParseLevel(const char* name, SimdLevel* out) {
+  if (std::strcmp(name, "scalar") == 0) {
+    *out = SimdLevel::kScalar;
+  } else if (std::strcmp(name, "sse") == 0) {
+    *out = SimdLevel::kSse;
+  } else if (std::strcmp(name, "avx2") == 0) {
+    *out = SimdLevel::kAvx2;
+  } else if (std::strcmp(name, "avx512") == 0) {
+    *out = SimdLevel::kAvx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void InstallLevelLocked(SimdLevel level) {
+  g_hooks.kernels = KernelsForLevel(level);
+  g_hooks.level = level;
+  g_initialized.store(true, std::memory_order_release);
+}
+
+void EnsureInit() {
+  if (g_initialized.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(g_hook_mu);
+  if (g_initialized.load(std::memory_order_relaxed)) return;
+  SimdLevel level = HighestSupportedLevel();
+  if (const char* env = std::getenv("VECTORDB_SIMD")) {
+    SimdLevel requested;
+    if (ParseLevel(env, &requested) && LevelSupported(requested)) {
+      level = requested;
+    }
+  }
+  InstallLevelLocked(level);
+}
+
+uint64_t PopcountBytes(const uint8_t* x, size_t bytes) {
+  uint64_t count = 0;
+  size_t i = 0;
+  for (; i + 8 <= bytes; i += 8) {
+    uint64_t w;
+    std::memcpy(&w, x + i, 8);
+    count += std::popcount(w);
+  }
+  for (; i < bytes; ++i) count += std::popcount(unsigned{x[i]});
+  return count;
+}
+
+uint64_t PopcountAnd(const uint8_t* x, const uint8_t* y, size_t bytes) {
+  uint64_t count = 0;
+  size_t i = 0;
+  for (; i + 8 <= bytes; i += 8) {
+    uint64_t a, b;
+    std::memcpy(&a, x + i, 8);
+    std::memcpy(&b, y + i, 8);
+    count += std::popcount(a & b);
+  }
+  for (; i < bytes; ++i) count += std::popcount(unsigned(x[i] & y[i]));
+  return count;
+}
+
+uint64_t PopcountOr(const uint8_t* x, const uint8_t* y, size_t bytes) {
+  uint64_t count = 0;
+  size_t i = 0;
+  for (; i + 8 <= bytes; i += 8) {
+    uint64_t a, b;
+    std::memcpy(&a, x + i, 8);
+    std::memcpy(&b, y + i, 8);
+    count += std::popcount(a | b);
+  }
+  for (; i < bytes; ++i) count += std::popcount(unsigned(x[i] | y[i]));
+  return count;
+}
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse:
+      return "sse";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+SimdLevel HighestSupportedLevel() {
+  const CpuFeatures& f = GetCpuFeatures();
+  if (f.avx512f) return SimdLevel::kAvx512;
+  if (f.avx2) return SimdLevel::kAvx2;
+  if (f.sse42) return SimdLevel::kSse;
+  return SimdLevel::kScalar;
+}
+
+SimdLevel ActiveLevel() {
+  EnsureInit();
+  return g_hooks.level;
+}
+
+bool SetLevel(SimdLevel level) {
+  if (!LevelSupported(level)) return false;
+  std::lock_guard<std::mutex> lock(g_hook_mu);
+  InstallLevelLocked(level);
+  return true;
+}
+
+float L2Sqr(const float* x, const float* y, size_t dim) {
+  EnsureInit();
+  return g_hooks.kernels.l2_sqr(x, y, dim);
+}
+
+float InnerProduct(const float* x, const float* y, size_t dim) {
+  EnsureInit();
+  return g_hooks.kernels.inner_product(x, y, dim);
+}
+
+float NormSqr(const float* x, size_t dim) {
+  EnsureInit();
+  return g_hooks.kernels.norm_sqr(x, dim);
+}
+
+float CosineSimilarity(const float* x, const float* y, size_t dim) {
+  EnsureInit();
+  const float ip = g_hooks.kernels.inner_product(x, y, dim);
+  const float nx = g_hooks.kernels.norm_sqr(x, dim);
+  const float ny = g_hooks.kernels.norm_sqr(y, dim);
+  if (nx == 0.0f || ny == 0.0f) return 0.0f;
+  return ip / (std::sqrt(nx) * std::sqrt(ny));
+}
+
+uint32_t HammingDistance(const uint8_t* x, const uint8_t* y, size_t bytes) {
+  uint64_t count = 0;
+  size_t i = 0;
+  for (; i + 8 <= bytes; i += 8) {
+    uint64_t a, b;
+    std::memcpy(&a, x + i, 8);
+    std::memcpy(&b, y + i, 8);
+    count += std::popcount(a ^ b);
+  }
+  for (; i < bytes; ++i) count += std::popcount(unsigned(x[i] ^ y[i]));
+  return static_cast<uint32_t>(count);
+}
+
+float JaccardDistance(const uint8_t* x, const uint8_t* y, size_t bytes) {
+  const uint64_t inter = PopcountAnd(x, y, bytes);
+  const uint64_t uni = PopcountOr(x, y, bytes);
+  if (uni == 0) return 0.0f;
+  return 1.0f - static_cast<float>(inter) / static_cast<float>(uni);
+}
+
+float TanimotoDistance(const uint8_t* x, const uint8_t* y, size_t bytes) {
+  // For bit vectors the Tanimoto coefficient equals the Jaccard coefficient:
+  // T = |x & y| / (|x| + |y| - |x & y|).
+  const uint64_t inter = PopcountAnd(x, y, bytes);
+  const uint64_t denom = PopcountBytes(x, bytes) + PopcountBytes(y, bytes) -
+                         inter;
+  if (denom == 0) return 0.0f;
+  return 1.0f - static_cast<float>(inter) / static_cast<float>(denom);
+}
+
+float ComputeFloatScore(MetricType metric, const float* x, const float* y,
+                        size_t dim) {
+  switch (metric) {
+    case MetricType::kL2:
+      return L2Sqr(x, y, dim);
+    case MetricType::kInnerProduct:
+      return InnerProduct(x, y, dim);
+    case MetricType::kCosine:
+      return CosineSimilarity(x, y, dim);
+    default:
+      return 0.0f;
+  }
+}
+
+float ComputeBinaryScore(MetricType metric, const uint8_t* x,
+                         const uint8_t* y, size_t bytes) {
+  switch (metric) {
+    case MetricType::kHamming:
+      return static_cast<float>(HammingDistance(x, y, bytes));
+    case MetricType::kJaccard:
+      return JaccardDistance(x, y, bytes);
+    case MetricType::kTanimoto:
+      return TanimotoDistance(x, y, bytes);
+    default:
+      return 0.0f;
+  }
+}
+
+}  // namespace simd
+}  // namespace vectordb

@@ -1,0 +1,65 @@
+#ifndef VECTORDB_SIMD_DISTANCES_H_
+#define VECTORDB_SIMD_DISTANCES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace vectordb {
+namespace simd {
+
+/// SIMD dispatch levels, ordered by capability.
+enum class SimdLevel { kScalar = 0, kSse = 1, kAvx2 = 2, kAvx512 = 3 };
+
+const char* SimdLevelName(SimdLevel level);
+
+/// Highest level the current CPU supports.
+SimdLevel HighestSupportedLevel();
+
+/// Currently hooked level. On first use the engine auto-selects the highest
+/// supported level, honouring the VECTORDB_SIMD environment variable
+/// (scalar|sse|avx2|avx512) if set.
+SimdLevel ActiveLevel();
+
+/// Re-hook the kernel table to `level`. Returns false (and leaves the hooks
+/// unchanged) if the CPU does not support it. Used by the Figure 12 bench to
+/// sweep SIMD levels inside one binary.
+bool SetLevel(SimdLevel level);
+
+/// --- Float kernels (dispatched) ---------------------------------------
+
+/// Squared Euclidean distance.
+float L2Sqr(const float* x, const float* y, size_t dim);
+
+/// Inner product.
+float InnerProduct(const float* x, const float* y, size_t dim);
+
+/// Squared L2 norm of one vector.
+float NormSqr(const float* x, size_t dim);
+
+/// Cosine similarity (0 when either vector is all-zero).
+float CosineSimilarity(const float* x, const float* y, size_t dim);
+
+/// --- Binary kernels (scalar popcount; bytes = packed bit length / 8) ---
+
+uint32_t HammingDistance(const uint8_t* x, const uint8_t* y, size_t bytes);
+float JaccardDistance(const uint8_t* x, const uint8_t* y, size_t bytes);
+float TanimotoDistance(const uint8_t* x, const uint8_t* y, size_t bytes);
+
+/// --- Metric helpers ----------------------------------------------------
+
+/// Distance/similarity between two float vectors under `metric`
+/// (kL2 → squared L2; kInnerProduct / kCosine → similarity score).
+float ComputeFloatScore(MetricType metric, const float* x, const float* y,
+                        size_t dim);
+
+/// Distance between two packed binary vectors under `metric`.
+float ComputeBinaryScore(MetricType metric, const uint8_t* x,
+                         const uint8_t* y, size_t bytes);
+
+}  // namespace simd
+}  // namespace vectordb
+
+#endif  // VECTORDB_SIMD_DISTANCES_H_

@@ -1,0 +1,65 @@
+// AVX2+FMA kernels. This translation unit is the only one compiled with
+// -mavx2 -mfma (Sec 3.2.2).
+
+#include <immintrin.h>
+
+#include "simd/kernels.h"
+
+namespace vectordb {
+namespace simd {
+
+namespace {
+
+inline float HorizontalSum256(__m256 v) {
+  __m128 low = _mm256_castps256_ps128(v);
+  __m128 high = _mm256_extractf128_ps(v, 1);
+  __m128 sum = _mm_add_ps(low, high);
+  __m128 shuf = _mm_movehdup_ps(sum);
+  __m128 sums = _mm_add_ps(sum, shuf);
+  shuf = _mm_movehl_ps(shuf, sums);
+  sums = _mm_add_ss(sums, shuf);
+  return _mm_cvtss_f32(sums);
+}
+
+float L2SqrAvx2(const float* x, const float* y, size_t dim) {
+  __m256 acc = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    __m256 vx = _mm256_loadu_ps(x + i);
+    __m256 vy = _mm256_loadu_ps(y + i);
+    __m256 diff = _mm256_sub_ps(vx, vy);
+    acc = _mm256_fmadd_ps(diff, diff, acc);
+  }
+  float sum = HorizontalSum256(acc);
+  for (; i < dim; ++i) {
+    const float diff = x[i] - y[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+float InnerProductAvx2(const float* x, const float* y, size_t dim) {
+  __m256 acc = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    __m256 vx = _mm256_loadu_ps(x + i);
+    __m256 vy = _mm256_loadu_ps(y + i);
+    acc = _mm256_fmadd_ps(vx, vy, acc);
+  }
+  float sum = HorizontalSum256(acc);
+  for (; i < dim; ++i) sum += x[i] * y[i];
+  return sum;
+}
+
+float NormSqrAvx2(const float* x, size_t dim) {
+  return InnerProductAvx2(x, x, dim);
+}
+
+}  // namespace
+
+FloatKernels GetAvx2Kernels() {
+  return {&L2SqrAvx2, &InnerProductAvx2, &NormSqrAvx2};
+}
+
+}  // namespace simd
+}  // namespace vectordb

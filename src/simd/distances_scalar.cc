@@ -1,0 +1,39 @@
+// Scalar reference kernels. Compiled without any SIMD flags; also the
+// correctness oracle the SIMD variants are tested against.
+
+#include "simd/kernels.h"
+
+namespace vectordb {
+namespace simd {
+
+namespace {
+
+float L2SqrScalar(const float* x, const float* y, size_t dim) {
+  float sum = 0.0f;
+  for (size_t i = 0; i < dim; ++i) {
+    const float diff = x[i] - y[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+float InnerProductScalar(const float* x, const float* y, size_t dim) {
+  float sum = 0.0f;
+  for (size_t i = 0; i < dim; ++i) sum += x[i] * y[i];
+  return sum;
+}
+
+float NormSqrScalar(const float* x, size_t dim) {
+  float sum = 0.0f;
+  for (size_t i = 0; i < dim; ++i) sum += x[i] * x[i];
+  return sum;
+}
+
+}  // namespace
+
+FloatKernels GetScalarKernels() {
+  return {&L2SqrScalar, &InnerProductScalar, &NormSqrScalar};
+}
+
+}  // namespace simd
+}  // namespace vectordb

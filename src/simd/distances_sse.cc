@@ -1,0 +1,62 @@
+// SSE4.2 kernels. This translation unit is the only one compiled with
+// -msse4.2; no other file may include SSE intrinsics (Sec 3.2.2).
+
+#include <nmmintrin.h>
+
+#include "simd/kernels.h"
+
+namespace vectordb {
+namespace simd {
+
+namespace {
+
+inline float HorizontalSum(__m128 v) {
+  __m128 shuf = _mm_movehdup_ps(v);
+  __m128 sums = _mm_add_ps(v, shuf);
+  shuf = _mm_movehl_ps(shuf, sums);
+  sums = _mm_add_ss(sums, shuf);
+  return _mm_cvtss_f32(sums);
+}
+
+float L2SqrSse(const float* x, const float* y, size_t dim) {
+  __m128 acc = _mm_setzero_ps();
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    __m128 vx = _mm_loadu_ps(x + i);
+    __m128 vy = _mm_loadu_ps(y + i);
+    __m128 diff = _mm_sub_ps(vx, vy);
+    acc = _mm_add_ps(acc, _mm_mul_ps(diff, diff));
+  }
+  float sum = HorizontalSum(acc);
+  for (; i < dim; ++i) {
+    const float diff = x[i] - y[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+float InnerProductSse(const float* x, const float* y, size_t dim) {
+  __m128 acc = _mm_setzero_ps();
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    __m128 vx = _mm_loadu_ps(x + i);
+    __m128 vy = _mm_loadu_ps(y + i);
+    acc = _mm_add_ps(acc, _mm_mul_ps(vx, vy));
+  }
+  float sum = HorizontalSum(acc);
+  for (; i < dim; ++i) sum += x[i] * y[i];
+  return sum;
+}
+
+float NormSqrSse(const float* x, size_t dim) {
+  return InnerProductSse(x, x, dim);
+}
+
+}  // namespace
+
+FloatKernels GetSseKernels() {
+  return {&L2SqrSse, &InnerProductSse, &NormSqrSse};
+}
+
+}  // namespace simd
+}  // namespace vectordb

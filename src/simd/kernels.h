@@ -1,0 +1,28 @@
+#ifndef VECTORDB_SIMD_KERNELS_H_
+#define VECTORDB_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vectordb {
+namespace simd {
+
+/// Set of float distance kernels implemented at one SIMD level. Each level
+/// lives in its own translation unit compiled with the matching ISA flags
+/// (Sec 3.2.2); the active set is selected at runtime via hooking.
+struct FloatKernels {
+  float (*l2_sqr)(const float* x, const float* y, size_t dim);
+  float (*inner_product)(const float* x, const float* y, size_t dim);
+  /// Squared L2 of a single vector against itself (norm²), used by cosine.
+  float (*norm_sqr)(const float* x, size_t dim);
+};
+
+FloatKernels GetScalarKernels();
+FloatKernels GetSseKernels();
+FloatKernels GetAvx2Kernels();
+FloatKernels GetAvx512Kernels();
+
+}  // namespace simd
+}  // namespace vectordb
+
+#endif  // VECTORDB_SIMD_KERNELS_H_

@@ -1,0 +1,78 @@
+#include "storage/buffer_pool.h"
+
+namespace vectordb {
+namespace storage {
+
+Result<SegmentPtr> BufferPool::Fetch(SegmentId id, const Loader& loader) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(id);
+    if (it != cache_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return it->second.segment;
+    }
+    ++stats_.misses;
+  }
+
+  // Load outside the lock; concurrent loads of the same segment are benign
+  // (last one wins in the cache, both callers get valid segments).
+  auto loaded = loader();
+  if (!loaded.ok()) return loaded.status();
+  SegmentPtr segment = std::move(loaded).value();
+  if (segment == nullptr) return Status::NotFound("loader returned null");
+  const size_t bytes = segment->MemoryBytes();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (bytes > capacity_bytes_) return segment;  // Too big to cache.
+  auto it = cache_.find(id);
+  if (it != cache_.end()) return it->second.segment;  // Raced; reuse.
+  if (stats_.resident_bytes + bytes > capacity_bytes_) {
+    EvictLruLocked(stats_.resident_bytes + bytes - capacity_bytes_);
+  }
+  lru_.push_front(id);
+  cache_[id] = {segment, lru_.begin(), bytes};
+  stats_.resident_bytes += bytes;
+  stats_.resident_segments = cache_.size();
+  return segment;
+}
+
+void BufferPool::EvictLruLocked(size_t needed) {
+  size_t freed = 0;
+  while (freed < needed && !lru_.empty()) {
+    const SegmentId victim = lru_.back();
+    lru_.pop_back();
+    auto it = cache_.find(victim);
+    freed += it->second.bytes;
+    stats_.resident_bytes -= it->second.bytes;
+    cache_.erase(it);
+    ++stats_.evictions;
+  }
+  stats_.resident_segments = cache_.size();
+}
+
+void BufferPool::Invalidate(SegmentId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(id);
+  if (it == cache_.end()) return;
+  stats_.resident_bytes -= it->second.bytes;
+  lru_.erase(it->second.lru_it);
+  cache_.erase(it);
+  stats_.resident_segments = cache_.size();
+}
+
+void BufferPool::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+  lru_.clear();
+  stats_.resident_bytes = 0;
+  stats_.resident_segments = 0;
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace storage
+}  // namespace vectordb

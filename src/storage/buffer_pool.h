@@ -1,0 +1,61 @@
+#ifndef VECTORDB_STORAGE_BUFFER_POOL_H_
+#define VECTORDB_STORAGE_BUFFER_POOL_H_
+
+#include <functional>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "storage/segment.h"
+
+namespace vectordb {
+namespace storage {
+
+/// LRU buffer manager (Sec 2.4): the caching unit is a whole segment — the
+/// basic searching unit — not a page. Misses invoke the supplied loader
+/// (typically a FileSystem read + Segment::Deserialize), and eviction is by
+/// total resident bytes.
+class BufferPool {
+ public:
+  using Loader = std::function<Result<SegmentPtr>()>;
+
+  struct Stats {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t evictions = 0;
+    size_t resident_bytes = 0;
+    size_t resident_segments = 0;
+  };
+
+  explicit BufferPool(size_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  /// Get the segment, loading it on a miss. A segment larger than the whole
+  /// pool is returned but not cached.
+  Result<SegmentPtr> Fetch(SegmentId id, const Loader& loader);
+
+  /// Drop a cached segment (after merges/GC).
+  void Invalidate(SegmentId id);
+  void Clear();
+
+  Stats stats() const;
+
+ private:
+  void EvictLruLocked(size_t needed);
+
+  size_t capacity_bytes_;
+  mutable std::mutex mu_;
+  Stats stats_;
+  std::list<SegmentId> lru_;  // Most recent at front.
+  struct Entry {
+    SegmentPtr segment;
+    std::list<SegmentId>::iterator lru_it;
+    size_t bytes;
+  };
+  std::unordered_map<SegmentId, Entry> cache_;
+};
+
+}  // namespace storage
+}  // namespace vectordb
+
+#endif  // VECTORDB_STORAGE_BUFFER_POOL_H_

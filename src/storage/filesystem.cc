@@ -1,0 +1,10 @@
+#include "storage/filesystem.h"
+
+namespace vectordb {
+namespace storage {
+
+// Factories are defined next to each implementation; this TU anchors the
+// FileSystem vtable.
+
+}  // namespace storage
+}  // namespace vectordb

@@ -1,0 +1,51 @@
+#ifndef VECTORDB_STORAGE_FILESYSTEM_H_
+#define VECTORDB_STORAGE_FILESYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vectordb {
+namespace storage {
+
+/// Storage backend abstraction (Sec 2.4 "multi-storage"): Milvus runs on
+/// local file systems, Amazon S3, and HDFS. The interface is deliberately
+/// object-store-shaped — whole-object reads/writes plus an append used by
+/// the WAL — so the same code paths serve both POSIX files and the
+/// simulated S3 backend.
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Create/overwrite `path` with `data` (atomic at object granularity).
+  virtual Status Write(const std::string& path, const std::string& data) = 0;
+
+  /// Read the whole object into `data`.
+  virtual Status Read(const std::string& path, std::string* data) = 0;
+
+  /// Append `data` to `path`, creating it if absent.
+  virtual Status Append(const std::string& path, const std::string& data) = 0;
+
+  virtual Result<bool> Exists(const std::string& path) = 0;
+  virtual Status Delete(const std::string& path) = 0;
+
+  /// Paths that start with `prefix`, sorted.
+  virtual Result<std::vector<std::string>> List(const std::string& prefix) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+using FileSystemPtr = std::shared_ptr<FileSystem>;
+
+/// POSIX-backed implementation rooted at a directory.
+FileSystemPtr NewLocalFileSystem(const std::string& root);
+
+/// Purely in-memory implementation (tests, ephemeral nodes).
+FileSystemPtr NewMemoryFileSystem();
+
+}  // namespace storage
+}  // namespace vectordb
+
+#endif  // VECTORDB_STORAGE_FILESYSTEM_H_

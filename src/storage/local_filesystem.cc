@@ -1,0 +1,107 @@
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "storage/filesystem.h"
+
+namespace vectordb {
+namespace storage {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// POSIX implementation. Object paths map to files under `root_`; slashes
+/// in object names become directories.
+class LocalFileSystem : public FileSystem {
+ public:
+  explicit LocalFileSystem(std::string root) : root_(std::move(root)) {
+    std::error_code ec;
+    fs::create_directories(root_, ec);
+  }
+
+  Status Write(const std::string& path, const std::string& data) override {
+    const fs::path full = Resolve(path);
+    std::error_code ec;
+    fs::create_directories(full.parent_path(), ec);
+    // Write-then-rename for object-granularity atomicity.
+    const fs::path tmp = full.string() + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) return Status::IOError("cannot open for write: " + path);
+      out.write(data.data(), static_cast<std::streamsize>(data.size()));
+      if (!out) return Status::IOError("short write: " + path);
+    }
+    fs::rename(tmp, full, ec);
+    if (ec) return Status::IOError("rename failed: " + path);
+    return Status::OK();
+  }
+
+  Status Read(const std::string& path, std::string* data) override {
+    const fs::path full = Resolve(path);
+    std::ifstream in(full, std::ios::binary | std::ios::ate);
+    if (!in) return Status::NotFound(path);
+    const std::streamsize size = in.tellg();
+    in.seekg(0);
+    data->resize(static_cast<size_t>(size));
+    in.read(data->data(), size);
+    if (!in) return Status::IOError("short read: " + path);
+    return Status::OK();
+  }
+
+  Status Append(const std::string& path, const std::string& data) override {
+    const fs::path full = Resolve(path);
+    std::error_code ec;
+    fs::create_directories(full.parent_path(), ec);
+    std::ofstream out(full, std::ios::binary | std::ios::app);
+    if (!out) return Status::IOError("cannot open for append: " + path);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    if (!out) return Status::IOError("short append: " + path);
+    return Status::OK();
+  }
+
+  Result<bool> Exists(const std::string& path) override {
+    std::error_code ec;
+    return fs::exists(Resolve(path), ec);
+  }
+
+  Status Delete(const std::string& path) override {
+    std::error_code ec;
+    if (!fs::remove(Resolve(path), ec)) return Status::NotFound(path);
+    return Status::OK();
+  }
+
+  Result<std::vector<std::string>> List(const std::string& prefix) override {
+    std::vector<std::string> out;
+    std::error_code ec;
+    const fs::path root(root_);
+    if (!fs::exists(root, ec)) return out;
+    for (const auto& entry : fs::recursive_directory_iterator(root, ec)) {
+      if (!entry.is_regular_file()) continue;
+      std::string rel = fs::relative(entry.path(), root, ec).generic_string();
+      if (rel.compare(0, prefix.size(), prefix) == 0) {
+        out.push_back(std::move(rel));
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  std::string name() const override { return "local:" + root_; }
+
+ private:
+  fs::path Resolve(const std::string& path) const {
+    return fs::path(root_) / path;
+  }
+
+  std::string root_;
+};
+
+}  // namespace
+
+FileSystemPtr NewLocalFileSystem(const std::string& root) {
+  return std::make_shared<LocalFileSystem>(root);
+}
+
+}  // namespace storage
+}  // namespace vectordb

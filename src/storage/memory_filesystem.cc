@@ -1,0 +1,69 @@
+#include <map>
+#include <mutex>
+
+#include "storage/filesystem.h"
+
+namespace vectordb {
+namespace storage {
+
+namespace {
+
+class MemoryFileSystem : public FileSystem {
+ public:
+  Status Write(const std::string& path, const std::string& data) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    files_[path] = data;
+    return Status::OK();
+  }
+
+  Status Read(const std::string& path, std::string* data) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(path);
+    if (it == files_.end()) return Status::NotFound(path);
+    *data = it->second;
+    return Status::OK();
+  }
+
+  Status Append(const std::string& path, const std::string& data) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    files_[path] += data;
+    return Status::OK();
+  }
+
+  Result<bool> Exists(const std::string& path) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return files_.count(path) != 0;
+  }
+
+  Status Delete(const std::string& path) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (files_.erase(path) == 0) return Status::NotFound(path);
+    return Status::OK();
+  }
+
+  Result<std::vector<std::string>> List(const std::string& prefix) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> out;
+    for (auto it = files_.lower_bound(prefix);
+         it != files_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+         ++it) {
+      out.push_back(it->first);
+    }
+    return out;
+  }
+
+  std::string name() const override { return "memory"; }
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, std::string> files_;
+};
+
+}  // namespace
+
+FileSystemPtr NewMemoryFileSystem() {
+  return std::make_shared<MemoryFileSystem>();
+}
+
+}  // namespace storage
+}  // namespace vectordb

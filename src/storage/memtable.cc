@@ -1,0 +1,60 @@
+#include "storage/memtable.h"
+
+namespace vectordb {
+namespace storage {
+
+Status MemTable::Insert(RowId row_id,
+                        const std::vector<const float*>& field_vectors,
+                        const std::vector<double>& attribute_values) {
+  if (field_vectors.size() != schema_.vector_dims.size()) {
+    return Status::InvalidArgument("wrong number of vector fields");
+  }
+  if (attribute_values.size() != schema_.attribute_names.size()) {
+    return Status::InvalidArgument("wrong number of attributes");
+  }
+  PendingRow row;
+  for (size_t f = 0; f < field_vectors.size(); ++f) {
+    row.vectors.insert(row.vectors.end(), field_vectors[f],
+                       field_vectors[f] + schema_.vector_dims[f]);
+  }
+  row.attributes = attribute_values;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = rows_.emplace(row_id, std::move(row));
+  if (!inserted) return Status::AlreadyExists("row id already buffered");
+  return Status::OK();
+}
+
+bool MemTable::Delete(RowId row_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rows_.erase(row_id) != 0;
+}
+
+size_t MemTable::num_rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rows_.size();
+}
+
+Result<SegmentPtr> MemTable::Flush(SegmentId segment_id) {
+  std::map<RowId, PendingRow> drained;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    drained.swap(rows_);
+  }
+  if (drained.empty()) return SegmentPtr{};
+
+  SegmentBuilder builder(segment_id, schema_);
+  for (const auto& [row_id, row] : drained) {
+    std::vector<const float*> fields;
+    fields.reserve(schema_.vector_dims.size());
+    size_t offset = 0;
+    for (size_t dim : schema_.vector_dims) {
+      fields.push_back(row.vectors.data() + offset);
+      offset += dim;
+    }
+    VDB_RETURN_NOT_OK(builder.AddRow(row_id, fields, row.attributes));
+  }
+  return builder.Finish();
+}
+
+}  // namespace storage
+}  // namespace vectordb

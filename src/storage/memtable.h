@@ -1,0 +1,53 @@
+#ifndef VECTORDB_STORAGE_MEMTABLE_H_
+#define VECTORDB_STORAGE_MEMTABLE_H_
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "storage/segment.h"
+
+namespace vectordb {
+namespace storage {
+
+/// In-memory write buffer of the LSM structure (Sec 2.3): newly inserted
+/// entities accumulate here; once the row-count threshold is reached (or on
+/// the periodic flush tick) the MemTable becomes an immutable Segment.
+/// Deletions of rows still in the MemTable are applied in place (they were
+/// never durable as segments); deletions of flushed rows are handled by the
+/// tombstone set above this layer.
+class MemTable {
+ public:
+  explicit MemTable(SegmentSchema schema) : schema_(std::move(schema)) {}
+
+  const SegmentSchema& schema() const { return schema_; }
+
+  /// Buffer one entity. Vectors are copied.
+  Status Insert(RowId row_id, const std::vector<const float*>& field_vectors,
+                const std::vector<double>& attribute_values);
+
+  /// Remove a buffered row. Returns true if the row was present (in which
+  /// case no tombstone is needed).
+  bool Delete(RowId row_id);
+
+  size_t num_rows() const;
+
+  /// Drain into an immutable segment with id `segment_id`; the MemTable is
+  /// left empty. Returns nullptr segment when empty.
+  Result<SegmentPtr> Flush(SegmentId segment_id);
+
+ private:
+  struct PendingRow {
+    std::vector<float> vectors;  // Concatenated fields.
+    std::vector<double> attributes;
+  };
+
+  SegmentSchema schema_;
+  mutable std::mutex mu_;
+  std::map<RowId, PendingRow> rows_;
+};
+
+}  // namespace storage
+}  // namespace vectordb
+
+#endif  // VECTORDB_STORAGE_MEMTABLE_H_

@@ -1,0 +1,59 @@
+#include "storage/merge_policy.h"
+
+#include <algorithm>
+#include <map>
+
+namespace vectordb {
+namespace storage {
+
+namespace {
+size_t TierOf(size_t rows, const MergePolicyOptions& options) {
+  size_t tier = 0;
+  size_t upper = std::max<size_t>(options.tier_base_rows, 1);
+  while (rows >= upper) {
+    upper *= std::max<size_t>(options.merge_factor, 2);
+    ++tier;
+  }
+  return tier;
+}
+}  // namespace
+
+std::vector<MergeGroup> PickMerges(const std::vector<SegmentInfo>& segments,
+                                   const MergePolicyOptions& options) {
+  // Bucket merge-eligible segments by tier.
+  std::map<size_t, std::vector<SegmentInfo>> tiers;
+  for (const SegmentInfo& info : segments) {
+    if (info.num_rows >= options.max_segment_rows) continue;
+    tiers[TierOf(info.num_rows, options)].push_back(info);
+  }
+
+  std::vector<MergeGroup> groups;
+  for (auto& [tier, members] : tiers) {
+    if (members.size() < options.merge_factor) continue;
+    std::sort(members.begin(), members.end(),
+              [](const SegmentInfo& a, const SegmentInfo& b) {
+                return a.num_rows < b.num_rows;
+              });
+    // Greedily cut the tier into merge_factor-sized groups, smallest first,
+    // respecting the max size for the merged output.
+    size_t i = 0;
+    while (members.size() - i >= options.merge_factor) {
+      MergeGroup group;
+      size_t merged_rows = 0;
+      size_t j = i;
+      while (j < members.size() && group.size() < options.merge_factor &&
+             merged_rows + members[j].num_rows <= options.max_segment_rows) {
+        merged_rows += members[j].num_rows;
+        group.push_back(members[j].id);
+        ++j;
+      }
+      if (group.size() < 2) break;  // Nothing mergeable without overflow.
+      groups.push_back(std::move(group));
+      i = j;
+    }
+  }
+  return groups;
+}
+
+}  // namespace storage
+}  // namespace vectordb

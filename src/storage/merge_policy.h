@@ -1,0 +1,42 @@
+#ifndef VECTORDB_STORAGE_MERGE_POLICY_H_
+#define VECTORDB_STORAGE_MERGE_POLICY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vectordb {
+namespace storage {
+
+struct MergePolicyOptions {
+  /// Segments of approximately equal size are merged once at least this
+  /// many accumulate in one tier (Lucene's mergeFactor).
+  size_t merge_factor = 4;
+  /// Segments at or above this row count are never merge *sources* — the
+  /// configurable size limit of Sec 2.3 (e.g. 1GB in the paper).
+  size_t max_segment_rows = 1u << 20;
+  /// Tier width: tier(t) holds sizes in [base * factor^t, base * factor^(t+1)).
+  size_t tier_base_rows = 64;
+};
+
+struct SegmentInfo {
+  SegmentId id = 0;
+  size_t num_rows = 0;
+};
+
+/// One merge task: the inputs are replaced by a single merged segment.
+using MergeGroup = std::vector<SegmentId>;
+
+/// Tiered merge policy (Sec 2.3, "also used in Apache Lucene"): segments
+/// are bucketed into geometric size tiers; any tier with >= merge_factor
+/// segments yields a merge of its merge_factor smallest members, provided
+/// the merged size stays under max_segment_rows. Returns all applicable
+/// merge groups for one round.
+std::vector<MergeGroup> PickMerges(const std::vector<SegmentInfo>& segments,
+                                   const MergePolicyOptions& options);
+
+}  // namespace storage
+}  // namespace vectordb
+
+#endif  // VECTORDB_STORAGE_MERGE_POLICY_H_

@@ -1,0 +1,66 @@
+#include "storage/object_store.h"
+
+#include <chrono>
+#include <thread>
+
+namespace vectordb {
+namespace storage {
+
+void ObjectStoreFileSystem::Charge(size_t bytes) {
+  const uint64_t micros =
+      options_.op_latency_us +
+      static_cast<uint64_t>(static_cast<double>(bytes) / options_.bandwidth *
+                            1e6);
+  stats_.simulated_micros.fetch_add(micros, std::memory_order_relaxed);
+  if (options_.sleep_for_latency) {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+}
+
+Status ObjectStoreFileSystem::Write(const std::string& path,
+                                    const std::string& data) {
+  Charge(data.size());
+  stats_.writes.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_written.fetch_add(data.size(), std::memory_order_relaxed);
+  return inner_->Write(path, data);
+}
+
+Status ObjectStoreFileSystem::Read(const std::string& path,
+                                   std::string* data) {
+  Status status = inner_->Read(path, data);
+  if (status.ok()) {
+    Charge(data->size());
+    stats_.reads.fetch_add(1, std::memory_order_relaxed);
+    stats_.bytes_read.fetch_add(data->size(), std::memory_order_relaxed);
+  }
+  return status;
+}
+
+Status ObjectStoreFileSystem::Append(const std::string& path,
+                                     const std::string& data) {
+  // Object stores have no native append; model it as a PUT of the delta
+  // (the inner store handles the read-modify-write).
+  Charge(data.size());
+  stats_.writes.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_written.fetch_add(data.size(), std::memory_order_relaxed);
+  return inner_->Append(path, data);
+}
+
+Result<bool> ObjectStoreFileSystem::Exists(const std::string& path) {
+  Charge(0);
+  return inner_->Exists(path);
+}
+
+Status ObjectStoreFileSystem::Delete(const std::string& path) {
+  Charge(0);
+  return inner_->Delete(path);
+}
+
+Result<std::vector<std::string>> ObjectStoreFileSystem::List(
+    const std::string& prefix) {
+  Charge(0);
+  return inner_->List(prefix);
+}
+
+}  // namespace storage
+}  // namespace vectordb

@@ -1,0 +1,64 @@
+#ifndef VECTORDB_STORAGE_OBJECT_STORE_H_
+#define VECTORDB_STORAGE_OBJECT_STORE_H_
+
+#include <atomic>
+#include <cstddef>
+
+#include "storage/filesystem.h"
+
+namespace vectordb {
+namespace storage {
+
+/// Cost/latency model for the simulated object store.
+struct ObjectStoreOptions {
+  /// Per-operation round-trip latency in microseconds (S3-like: ~10ms).
+  size_t op_latency_us = 10000;
+  /// Payload bandwidth in bytes/second.
+  double bandwidth = 100e6;
+  /// When false (default) the latency is only *accounted*, not slept —
+  /// tests stay fast while benches read the simulated cost. When true the
+  /// calling thread actually sleeps, for end-to-end latency demos.
+  bool sleep_for_latency = false;
+};
+
+/// Operation counters exposed for tests and the buffer-pool ablation.
+struct ObjectStoreStats {
+  std::atomic<size_t> reads{0};
+  std::atomic<size_t> writes{0};
+  std::atomic<size_t> bytes_read{0};
+  std::atomic<size_t> bytes_written{0};
+  std::atomic<uint64_t> simulated_micros{0};
+};
+
+/// Simulated S3: a shared, durable, flat-keyed object store with injected
+/// latency and bandwidth accounting (substitution for Amazon S3 in the
+/// paper's shared-storage distributed design, Sec 5.3). Wraps an inner
+/// FileSystem (memory or local) that provides the actual byte storage, so
+/// the distributed tests can share one store across many simulated nodes.
+class ObjectStoreFileSystem : public FileSystem {
+ public:
+  ObjectStoreFileSystem(FileSystemPtr inner, const ObjectStoreOptions& options)
+      : inner_(std::move(inner)), options_(options) {}
+
+  Status Write(const std::string& path, const std::string& data) override;
+  Status Read(const std::string& path, std::string* data) override;
+  Status Append(const std::string& path, const std::string& data) override;
+  Result<bool> Exists(const std::string& path) override;
+  Status Delete(const std::string& path) override;
+  Result<std::vector<std::string>> List(const std::string& prefix) override;
+  std::string name() const override { return "s3sim(" + inner_->name() + ")"; }
+
+  const ObjectStoreStats& stats() const { return stats_; }
+
+ private:
+  void Charge(size_t bytes);
+
+  FileSystemPtr inner_;
+  ObjectStoreOptions options_;
+  ObjectStoreStats stats_;
+};
+
+}  // namespace storage
+}  // namespace vectordb
+
+#endif  // VECTORDB_STORAGE_OBJECT_STORE_H_

@@ -1,0 +1,304 @@
+#include "storage/segment.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/binary_io.h"
+#include "common/crc32.h"
+#include "index/index_factory.h"
+
+namespace vectordb {
+namespace storage {
+
+namespace {
+constexpr uint32_t kSegmentMagic = 0x47455356;  // "VSEG"
+constexpr uint32_t kSegmentVersion = 1;
+}  // namespace
+
+// ---------------------------------------------------------------- column --
+
+void Segment::AttributeColumn::Build(
+    std::vector<std::pair<double, RowId>> sorted_pairs,
+    std::vector<double> by_position) {
+  sorted_ = std::move(sorted_pairs);
+  by_position_ = std::move(by_position);
+  const size_t num_pages = (sorted_.size() + kPageSize - 1) / kPageSize;
+  page_min_.resize(num_pages);
+  page_max_.resize(num_pages);
+  for (size_t p = 0; p < num_pages; ++p) {
+    const size_t begin = p * kPageSize;
+    const size_t end = std::min(begin + kPageSize, sorted_.size());
+    page_min_[p] = sorted_[begin].first;
+    page_max_[p] = sorted_[end - 1].first;
+  }
+}
+
+void Segment::AttributeColumn::CollectInRange(
+    double lo, double hi, std::vector<RowId>* out) const {
+  for (size_t p = 0; p < page_min_.size(); ++p) {
+    if (page_max_[p] < lo) continue;   // Page entirely below the range.
+    if (page_min_[p] > hi) break;      // Pages are value-sorted: done.
+    const size_t begin = p * kPageSize;
+    const size_t end = std::min(begin + kPageSize, sorted_.size());
+    // Binary-search within the first qualifying page; later pages start in
+    // range until one exceeds hi.
+    auto it = std::lower_bound(
+        sorted_.begin() + begin, sorted_.begin() + end, lo,
+        [](const std::pair<double, RowId>& e, double v) { return e.first < v; });
+    for (; it != sorted_.begin() + end && it->first <= hi; ++it) {
+      out->push_back(it->second);
+    }
+  }
+}
+
+size_t Segment::AttributeColumn::CountInRange(double lo, double hi) const {
+  auto begin = std::lower_bound(
+      sorted_.begin(), sorted_.end(), lo,
+      [](const std::pair<double, RowId>& e, double v) { return e.first < v; });
+  auto end = std::upper_bound(
+      sorted_.begin(), sorted_.end(), hi,
+      [](double v, const std::pair<double, RowId>& e) { return v < e.first; });
+  return end > begin ? static_cast<size_t>(end - begin) : 0;
+}
+
+// --------------------------------------------------------------- segment --
+
+std::optional<size_t> Segment::PositionOf(RowId row_id) const {
+  auto it = std::lower_bound(row_ids_.begin(), row_ids_.end(), row_id);
+  if (it == row_ids_.end() || *it != row_id) return std::nullopt;
+  return static_cast<size_t>(it - row_ids_.begin());
+}
+
+std::optional<size_t> Segment::AttributeIndex(const std::string& name) const {
+  for (size_t i = 0; i < schema_.attribute_names.size(); ++i) {
+    if (schema_.attribute_names[i] == name) return i;
+  }
+  return std::nullopt;
+}
+
+void Segment::SetIndex(size_t field, index::IndexPtr idx) {
+  if (indexes_.size() <= field) indexes_.resize(num_vector_fields());
+  indexes_[field] = std::move(idx);
+}
+
+const index::VectorIndex* Segment::GetIndex(size_t field) const {
+  if (field >= indexes_.size()) return nullptr;
+  return indexes_[field].get();
+}
+
+size_t Segment::MemoryBytes() const {
+  size_t bytes = row_ids_.capacity() * sizeof(RowId);
+  for (const auto& data : vector_data_) {
+    bytes += data.capacity() * sizeof(float);
+  }
+  for (const auto& column : attributes_) {
+    bytes += column.sorted_.capacity() * sizeof(std::pair<double, RowId>) +
+             column.by_position_.capacity() * sizeof(double) +
+             (column.page_min_.capacity() + column.page_max_.capacity()) *
+                 sizeof(double);
+  }
+  for (const auto& idx : indexes_) {
+    if (idx != nullptr) bytes += idx->MemoryBytes();
+  }
+  return bytes;
+}
+
+Status Segment::Serialize(std::string* out) const {
+  std::string body;
+  BinaryWriter writer(&body);
+  writer.PutU64(id_);
+  writer.PutU64(schema_.vector_dims.size());
+  for (size_t dim : schema_.vector_dims) writer.PutU64(dim);
+  writer.PutU64(schema_.attribute_names.size());
+  for (const auto& name : schema_.attribute_names) writer.PutString(name);
+  writer.PutVector(row_ids_);
+  for (const auto& data : vector_data_) writer.PutVector(data);
+  for (const auto& column : attributes_) {
+    // std::pair is not trivially copyable; split into parallel arrays.
+    std::vector<double> values;
+    std::vector<RowId> ids;
+    values.reserve(column.sorted_.size());
+    ids.reserve(column.sorted_.size());
+    for (const auto& [value, row_id] : column.sorted_) {
+      values.push_back(value);
+      ids.push_back(row_id);
+    }
+    writer.PutVector(values);
+    writer.PutVector(ids);
+    writer.PutVector(column.by_position_);
+  }
+  // Per-field index blobs: (has_index, type, metric, blob).
+  for (size_t f = 0; f < num_vector_fields(); ++f) {
+    const index::VectorIndex* idx = GetIndex(f);
+    writer.PutU32(idx != nullptr ? 1 : 0);
+    if (idx != nullptr) {
+      writer.PutU32(static_cast<uint32_t>(idx->type()));
+      writer.PutU32(static_cast<uint32_t>(idx->metric()));
+      std::string blob;
+      VDB_RETURN_NOT_OK(idx->Serialize(&blob));
+      writer.PutString(blob);
+    }
+  }
+
+  BinaryWriter header(out);
+  header.PutU32(kSegmentMagic);
+  header.PutU32(kSegmentVersion);
+  header.PutU32(Crc32(body));
+  out->append(body);
+  return Status::OK();
+}
+
+Result<SegmentPtr> Segment::Deserialize(const std::string& in) {
+  BinaryReader reader(in);
+  uint32_t magic, version, crc;
+  if (!reader.GetU32(&magic) || magic != kSegmentMagic) {
+    return Status::Corruption("bad segment magic");
+  }
+  if (!reader.GetU32(&version) || version != kSegmentVersion) {
+    return Status::Corruption("unsupported segment version");
+  }
+  if (!reader.GetU32(&crc)) return Status::Corruption("truncated segment");
+  if (Crc32(in.data() + reader.position(), reader.Remaining()) != crc) {
+    return Status::Corruption("segment checksum mismatch");
+  }
+
+  uint64_t id, num_fields, num_attrs;
+  if (!reader.GetU64(&id) || !reader.GetU64(&num_fields)) {
+    return Status::Corruption("truncated segment header");
+  }
+  SegmentSchema schema;
+  schema.vector_dims.resize(num_fields);
+  for (auto& dim : schema.vector_dims) {
+    uint64_t d;
+    if (!reader.GetU64(&d)) return Status::Corruption("truncated dims");
+    dim = d;
+  }
+  if (!reader.GetU64(&num_attrs)) return Status::Corruption("truncated");
+  schema.attribute_names.resize(num_attrs);
+  for (auto& name : schema.attribute_names) {
+    if (!reader.GetString(&name)) return Status::Corruption("truncated");
+  }
+
+  auto segment = std::make_shared<Segment>(id, schema);
+  if (!reader.GetVector(&segment->row_ids_)) {
+    return Status::Corruption("truncated row ids");
+  }
+  segment->vector_data_.resize(num_fields);
+  for (auto& data : segment->vector_data_) {
+    if (!reader.GetVector(&data)) {
+      return Status::Corruption("truncated vector data");
+    }
+  }
+  segment->attributes_.resize(num_attrs);
+  for (auto& column : segment->attributes_) {
+    std::vector<double> values;
+    std::vector<RowId> ids;
+    std::vector<double> by_position;
+    if (!reader.GetVector(&values) || !reader.GetVector(&ids) ||
+        !reader.GetVector(&by_position) || values.size() != ids.size()) {
+      return Status::Corruption("truncated attribute column");
+    }
+    std::vector<std::pair<double, RowId>> sorted;
+    sorted.reserve(values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      sorted.emplace_back(values[i], ids[i]);
+    }
+    column.Build(std::move(sorted), std::move(by_position));
+  }
+  for (size_t f = 0; f < num_fields; ++f) {
+    uint32_t has_index;
+    if (!reader.GetU32(&has_index)) {
+      return Status::Corruption("truncated index flag");
+    }
+    if (has_index == 0) continue;
+    uint32_t type, metric;
+    std::string blob;
+    if (!reader.GetU32(&type) || !reader.GetU32(&metric) ||
+        !reader.GetString(&blob)) {
+      return Status::Corruption("truncated index blob");
+    }
+    auto created = index::CreateIndex(static_cast<index::IndexType>(type),
+                                      schema.vector_dims[f],
+                                      static_cast<MetricType>(metric));
+    if (!created.ok()) return created.status();
+    index::IndexPtr idx = std::move(created).value();
+    VDB_RETURN_NOT_OK(idx->Deserialize(blob));
+    segment->SetIndex(f, std::move(idx));
+  }
+  return segment;
+}
+
+// --------------------------------------------------------------- builder --
+
+SegmentBuilder::SegmentBuilder(SegmentId id, SegmentSchema schema)
+    : id_(id), schema_(std::move(schema)) {
+  for (size_t dim : schema_.vector_dims) total_dim_ += dim;
+}
+
+Status SegmentBuilder::AddRow(RowId row_id,
+                              const std::vector<const float*>& field_vectors,
+                              const std::vector<double>& attribute_values) {
+  if (field_vectors.size() != schema_.vector_dims.size()) {
+    return Status::InvalidArgument("wrong number of vector fields");
+  }
+  if (attribute_values.size() != schema_.attribute_names.size()) {
+    return Status::InvalidArgument("wrong number of attributes");
+  }
+  Row row;
+  row.row_id = row_id;
+  row.vectors.reserve(total_dim_);
+  for (size_t f = 0; f < field_vectors.size(); ++f) {
+    row.vectors.insert(row.vectors.end(), field_vectors[f],
+                       field_vectors[f] + schema_.vector_dims[f]);
+  }
+  row.attributes = attribute_values;
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Result<SegmentPtr> SegmentBuilder::Finish() {
+  std::sort(rows_.begin(), rows_.end(),
+            [](const Row& a, const Row& b) { return a.row_id < b.row_id; });
+  for (size_t i = 1; i < rows_.size(); ++i) {
+    if (rows_[i].row_id == rows_[i - 1].row_id) {
+      return Status::InvalidArgument("duplicate row id in segment");
+    }
+  }
+
+  auto segment = std::make_shared<Segment>(id_, schema_);
+  segment->row_ids_.reserve(rows_.size());
+  for (const Row& row : rows_) segment->row_ids_.push_back(row.row_id);
+
+  segment->vector_data_.resize(schema_.vector_dims.size());
+  size_t field_offset = 0;
+  for (size_t f = 0; f < schema_.vector_dims.size(); ++f) {
+    const size_t dim = schema_.vector_dims[f];
+    auto& data = segment->vector_data_[f];
+    data.resize(rows_.size() * dim);
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::memcpy(data.data() + i * dim,
+                  rows_[i].vectors.data() + field_offset, dim * sizeof(float));
+    }
+    field_offset += dim;
+  }
+
+  segment->attributes_.resize(schema_.attribute_names.size());
+  for (size_t a = 0; a < schema_.attribute_names.size(); ++a) {
+    std::vector<std::pair<double, RowId>> sorted;
+    std::vector<double> by_position;
+    sorted.reserve(rows_.size());
+    by_position.reserve(rows_.size());
+    for (const Row& row : rows_) {
+      sorted.emplace_back(row.attributes[a], row.row_id);
+      by_position.push_back(row.attributes[a]);
+    }
+    std::sort(sorted.begin(), sorted.end());
+    segment->attributes_[a].Build(std::move(sorted), std::move(by_position));
+  }
+
+  rows_.clear();
+  return segment;
+}
+
+}  // namespace storage
+}  // namespace vectordb

@@ -1,0 +1,158 @@
+#ifndef VECTORDB_STORAGE_SEGMENT_H_
+#define VECTORDB_STORAGE_SEGMENT_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "index/index.h"
+
+namespace vectordb {
+namespace storage {
+
+/// Storage-level schema of a segment: µ vector fields (multi-vector
+/// entities, Sec 2.4) and named numeric attributes.
+struct SegmentSchema {
+  std::vector<size_t> vector_dims;
+  std::vector<std::string> attribute_names;
+
+  bool operator==(const SegmentSchema& other) const = default;
+};
+
+/// Immutable columnar segment (Sec 2.3/2.4) — the basic unit of searching,
+/// scheduling, and buffering:
+///
+///  * Vectors of each field are stored contiguously, ordered by row id, so
+///    a row id resolves to its vector by position (no stored ids per
+///    vector). Multi-vector entities store field v0 of all rows, then v1 —
+///    the {A.v1, B.v1, C.v1, A.v2, ...} layout of Sec 2.4.
+///  * Each attribute is stored as an array of (value, row id) pairs sorted
+///    by value, with per-page min/max skip pointers (Snowflake-style).
+///  * A per-field vector index may be attached ("index and data are stored
+///    in the same segment").
+class Segment {
+ public:
+  /// Sorted-by-value attribute column with skip pointers.
+  class AttributeColumn {
+   public:
+    static constexpr size_t kPageSize = 256;
+
+    void Build(std::vector<std::pair<double, RowId>> sorted_pairs,
+               std::vector<double> by_position);
+
+    size_t size() const { return sorted_.size(); }
+
+    /// Row ids whose value lies in [lo, hi]; appended to `out`.
+    /// Uses the skip pointers to seek to the first relevant page.
+    void CollectInRange(double lo, double hi, std::vector<RowId>* out) const;
+
+    /// Count of rows in [lo, hi] without materializing ids (cost model).
+    size_t CountInRange(double lo, double hi) const;
+
+    /// Attribute value of the row at storage `position`.
+    double ValueAt(size_t position) const { return by_position_[position]; }
+
+    double min_value() const { return sorted_.empty() ? 0.0 : sorted_.front().first; }
+    double max_value() const { return sorted_.empty() ? 0.0 : sorted_.back().first; }
+
+    const std::vector<std::pair<double, RowId>>& sorted_pairs() const {
+      return sorted_;
+    }
+
+   private:
+    friend class Segment;
+    std::vector<std::pair<double, RowId>> sorted_;
+    std::vector<double> page_min_;
+    std::vector<double> page_max_;
+    std::vector<double> by_position_;
+  };
+
+  Segment(SegmentId id, SegmentSchema schema)
+      : id_(id), schema_(std::move(schema)) {}
+
+  SegmentId id() const { return id_; }
+  const SegmentSchema& schema() const { return schema_; }
+  size_t num_rows() const { return row_ids_.size(); }
+  size_t num_vector_fields() const { return schema_.vector_dims.size(); }
+
+  const std::vector<RowId>& row_ids() const { return row_ids_; }
+  RowId row_id_at(size_t position) const { return row_ids_[position]; }
+
+  /// Position of `row_id` in this segment, if present (binary search; row
+  /// ids are sorted).
+  std::optional<size_t> PositionOf(RowId row_id) const;
+
+  /// Contiguous vector data of one field (num_rows × dim).
+  const float* vectors(size_t field) const {
+    return vector_data_[field].data();
+  }
+  const float* vector(size_t field, size_t position) const {
+    return vector_data_[field].data() + position * schema_.vector_dims[field];
+  }
+
+  size_t num_attributes() const { return attributes_.size(); }
+  const AttributeColumn& attribute(size_t idx) const { return attributes_[idx]; }
+  /// Index of the named attribute, or nullopt.
+  std::optional<size_t> AttributeIndex(const std::string& name) const;
+
+  /// Attach / fetch a per-field vector index.
+  void SetIndex(size_t field, index::IndexPtr idx);
+  const index::VectorIndex* GetIndex(size_t field) const;
+  bool HasIndex(size_t field) const { return GetIndex(field) != nullptr; }
+
+  /// Approximate in-memory footprint (buffer-pool accounting unit).
+  size_t MemoryBytes() const;
+
+  Status Serialize(std::string* out) const;
+  static Result<std::shared_ptr<Segment>> Deserialize(const std::string& in);
+
+ private:
+  friend class SegmentBuilder;
+
+  SegmentId id_;
+  SegmentSchema schema_;
+  std::vector<RowId> row_ids_;
+  /// One contiguous buffer per vector field.
+  std::vector<std::vector<float>> vector_data_;
+  std::vector<AttributeColumn> attributes_;
+  std::vector<index::IndexPtr> indexes_;
+};
+
+using SegmentPtr = std::shared_ptr<Segment>;
+
+/// Accumulates rows and produces an immutable Segment sorted by row id.
+class SegmentBuilder {
+ public:
+  SegmentBuilder(SegmentId id, SegmentSchema schema);
+
+  /// Add one entity. `field_vectors[f]` points at schema.vector_dims[f]
+  /// floats; `attribute_values` has one double per schema attribute.
+  Status AddRow(RowId row_id, const std::vector<const float*>& field_vectors,
+                const std::vector<double>& attribute_values);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Sort, columnarize, and build attribute skip pointers.
+  Result<SegmentPtr> Finish();
+
+ private:
+  struct Row {
+    RowId row_id;
+    std::vector<float> vectors;      // Concatenated fields.
+    std::vector<double> attributes;
+  };
+
+  SegmentId id_;
+  SegmentSchema schema_;
+  size_t total_dim_ = 0;
+  std::vector<Row> rows_;
+};
+
+}  // namespace storage
+}  // namespace vectordb
+
+#endif  // VECTORDB_STORAGE_SEGMENT_H_

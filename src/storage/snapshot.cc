@@ -1,0 +1,79 @@
+#include "storage/snapshot.h"
+
+#include <algorithm>
+
+namespace vectordb {
+namespace storage {
+
+SnapshotManager::SnapshotManager() {
+  auto initial = std::make_shared<Snapshot>();
+  initial->version = 0;
+  initial->tombstones = std::make_shared<TombstoneMap>();
+  current_ = initial;
+}
+
+SnapshotPtr SnapshotManager::Acquire() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+uint64_t SnapshotManager::current_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_->version;
+}
+
+uint64_t SnapshotManager::Commit(
+    const std::function<void(Snapshot*)>& edit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto next = std::make_shared<Snapshot>(*current_);
+  next->version = current_->version + 1;
+  edit(next.get());
+
+  // Any segment present before but absent now awaits GC.
+  for (const SegmentPtr& old_seg : current_->segments) {
+    const bool still_live =
+        std::any_of(next->segments.begin(), next->segments.end(),
+                    [&](const SegmentPtr& s) { return s->id() == old_seg->id(); });
+    if (!still_live) pending_gc_.push_back(old_seg);
+  }
+  current_ = next;
+  return next->version;
+}
+
+void SnapshotManager::SetDropHandler(
+    std::function<void(SegmentId)> handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  drop_handler_ = std::move(handler);
+}
+
+size_t SnapshotManager::CollectGarbage() {
+  std::vector<SegmentPtr> collectable;
+  std::function<void(SegmentId)> handler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    handler = drop_handler_;
+    auto it = pending_gc_.begin();
+    while (it != pending_gc_.end()) {
+      // use_count == 1 ⇒ only the GC list still references the segment:
+      // every snapshot that pointed at it has been released.
+      if (it->use_count() == 1) {
+        collectable.push_back(std::move(*it));
+        it = pending_gc_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const SegmentPtr& segment : collectable) {
+    if (handler) handler(segment->id());
+  }
+  return collectable.size();
+}
+
+size_t SnapshotManager::pending_gc() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_gc_.size();
+}
+
+}  // namespace storage
+}  // namespace vectordb

@@ -1,0 +1,86 @@
+#ifndef VECTORDB_STORAGE_SNAPSHOT_H_
+#define VECTORDB_STORAGE_SNAPSHOT_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/segment.h"
+
+namespace vectordb {
+namespace storage {
+
+/// Deletion markers: row id → segment-id watermark. The physical copy of a
+/// row inside a segment is deleted iff that segment's id is *below* the
+/// watermark recorded at delete time. A later re-insert (update = delete +
+/// insert, Sec 2.3) lands in a segment with a higher id and stays visible.
+using TombstoneMap = std::unordered_map<RowId, SegmentId>;
+
+/// An immutable view of the collection at one version (Sec 5.2): the set of
+/// live segments plus the tombstones not yet compacted away. Queries pin
+/// the snapshot current at arrival; later flushes/merges install *new*
+/// snapshots and never mutate pinned ones.
+struct Snapshot {
+  uint64_t version = 0;
+  std::vector<SegmentPtr> segments;
+  /// Rows deleted but still physically present in some segment.
+  std::shared_ptr<const TombstoneMap> tombstones;
+
+  /// Is the copy of `row_id` living in segment `segment_id` deleted?
+  bool IsDeleted(RowId row_id, SegmentId segment_id) const {
+    if (tombstones == nullptr) return false;
+    auto it = tombstones->find(row_id);
+    return it != tombstones->end() && segment_id < it->second;
+  }
+
+  size_t TotalRows() const {
+    size_t rows = 0;
+    for (const auto& s : segments) rows += s->num_rows();
+    return rows;
+  }
+};
+
+using SnapshotPtr = std::shared_ptr<const Snapshot>;
+
+/// Versioned snapshot chain with copy-on-write installs and reference-
+/// counted garbage collection of dropped segments (Sec 5.2): a segment
+/// leaves disk only when no live snapshot references it.
+class SnapshotManager {
+ public:
+  SnapshotManager();
+
+  /// Pin the current snapshot (cheap shared_ptr copy).
+  SnapshotPtr Acquire() const;
+
+  uint64_t current_version() const;
+
+  /// Install a new version: copy the current snapshot, let `edit` mutate
+  /// the copy, bump the version, swap it in. Segments dropped by the edit
+  /// enter the GC pending list. Returns the new version.
+  uint64_t Commit(const std::function<void(Snapshot*)>& edit);
+
+  /// Called with the id of every segment whose last reference is gone
+  /// (hook for file deletion and buffer-pool invalidation).
+  void SetDropHandler(std::function<void(SegmentId)> handler);
+
+  /// Reclaim dropped segments no longer referenced by any snapshot.
+  /// Returns the number collected. (The paper runs this on a background
+  /// thread; DbOptions wires it to the background executor.)
+  size_t CollectGarbage();
+
+  /// Number of segments awaiting GC (for tests).
+  size_t pending_gc() const;
+
+ private:
+  mutable std::mutex mu_;
+  SnapshotPtr current_;
+  std::vector<SegmentPtr> pending_gc_;
+  std::function<void(SegmentId)> drop_handler_;
+};
+
+}  // namespace storage
+}  // namespace vectordb
+
+#endif  // VECTORDB_STORAGE_SNAPSHOT_H_

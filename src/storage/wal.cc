@@ -1,0 +1,119 @@
+#include "storage/wal.h"
+
+#include "common/binary_io.h"
+#include "common/crc32.h"
+
+namespace vectordb {
+namespace storage {
+
+namespace {
+
+// On-disk record framing: [u32 body_len][u32 crc][body]; body is the
+// BinaryWriter encoding of (lsn, type, collection, payload).
+std::string EncodeBody(const WalRecord& record) {
+  std::string body;
+  BinaryWriter writer(&body);
+  writer.PutU64(record.lsn);
+  writer.PutU32(static_cast<uint32_t>(record.type));
+  writer.PutString(record.collection);
+  writer.PutString(record.payload);
+  return body;
+}
+
+bool DecodeBody(const std::string& body, WalRecord* record) {
+  BinaryReader reader(body);
+  uint32_t type;
+  if (!reader.GetU64(&record->lsn) || !reader.GetU32(&type) ||
+      !reader.GetString(&record->collection) ||
+      !reader.GetString(&record->payload)) {
+    return false;
+  }
+  record->type = static_cast<WalOpType>(type);
+  return true;
+}
+
+}  // namespace
+
+Status WriteAheadLog::RecoverLsnLocked() {
+  if (recovered_) return Status::OK();
+  recovered_ = true;
+  std::string data;
+  Status status = fs_->Read(path_, &data);
+  if (status.IsNotFound()) return Status::OK();
+  VDB_RETURN_NOT_OK(status);
+  BinaryReader reader(data);
+  while (reader.Remaining() >= 8) {
+    uint32_t len, crc;
+    if (!reader.GetU32(&len) || !reader.GetU32(&crc)) break;
+    std::string body(len, '\0');
+    if (!reader.GetBytes(body.data(), len)) break;
+    if (Crc32(body) != crc) break;
+    WalRecord record;
+    if (!DecodeBody(body, &record)) break;
+    next_lsn_ = record.lsn + 1;
+  }
+  return Status::OK();
+}
+
+Status WriteAheadLog::Append(WalRecord* record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  VDB_RETURN_NOT_OK(RecoverLsnLocked());
+  record->lsn = next_lsn_++;
+  const std::string body = EncodeBody(*record);
+  std::string frame;
+  BinaryWriter writer(&frame);
+  writer.PutU32(static_cast<uint32_t>(body.size()));
+  writer.PutU32(Crc32(body));
+  frame += body;
+  return fs_->Append(path_, frame);
+}
+
+Status WriteAheadLog::Replay(
+    const std::function<Status(const WalRecord&)>& callback) const {
+  return ReplayFrom(0, callback);
+}
+
+Status WriteAheadLog::ReplayFrom(
+    uint64_t after_lsn,
+    const std::function<Status(const WalRecord&)>& callback) const {
+  std::string data;
+  Status status = fs_->Read(path_, &data);
+  if (status.IsNotFound()) return Status::OK();  // Empty log.
+  VDB_RETURN_NOT_OK(status);
+
+  BinaryReader reader(data);
+  while (reader.Remaining() >= 8) {
+    uint32_t len, crc;
+    if (!reader.GetU32(&len) || !reader.GetU32(&crc)) break;
+    std::string body(len, '\0');
+    if (!reader.GetBytes(body.data(), len)) {
+      // Torn tail write: stop replay cleanly.
+      break;
+    }
+    if (Crc32(body) != crc) break;
+    WalRecord record;
+    if (!DecodeBody(body, &record)) {
+      return Status::Corruption("undecodable WAL record");
+    }
+    if (record.lsn > after_lsn) {
+      VDB_RETURN_NOT_OK(callback(record));
+    }
+  }
+  return Status::OK();
+}
+
+Status WriteAheadLog::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status status = fs_->Delete(path_);
+  if (status.IsNotFound()) return Status::OK();
+  return status;
+}
+
+uint64_t WriteAheadLog::last_lsn() {
+  std::lock_guard<std::mutex> lock(mu_);
+  (void)RecoverLsnLocked();
+  return next_lsn_ - 1;
+}
+
+}  // namespace storage
+}  // namespace vectordb

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "query/attribute_index.h"
+
+namespace vectordb {
+namespace query {
+namespace {
+
+TEST(AttributeIndexTest, PointAndRangeLookups) {
+  AttributeIndex index({5.0, 1.0, 3.0, 1.0, 9.0});
+  EXPECT_EQ(index.size(), 5u);
+  EXPECT_EQ(index.min_value(), 1.0);
+  EXPECT_EQ(index.max_value(), 9.0);
+  EXPECT_EQ(index.CountInRange(1.0, 1.0), 2u);
+  EXPECT_EQ(index.CountInRange(2.0, 6.0), 2u);  // 3 and 5.
+  EXPECT_EQ(index.CountInRange(10.0, 20.0), 0u);
+  std::vector<RowId> rows;
+  index.CollectInRange(1.0, 3.0, &rows);
+  std::sort(rows.begin(), rows.end());
+  EXPECT_EQ(rows, (std::vector<RowId>{1, 2, 3}));
+}
+
+TEST(AttributeIndexTest, ValueOfRowPreservesOriginalOrder) {
+  AttributeIndex index({5.0, 1.0, 3.0});
+  EXPECT_EQ(index.ValueOfRow(0), 5.0);
+  EXPECT_EQ(index.ValueOfRow(1), 1.0);
+  EXPECT_EQ(index.ValueOfRow(2), 3.0);
+}
+
+TEST(AttributeIndexTest, FailFractionIsPaperSelectivity) {
+  // Sec 7.5: selectivity = fraction of rows *failing* the constraint.
+  std::vector<double> values(100);
+  for (size_t i = 0; i < 100; ++i) values[i] = static_cast<double>(i);
+  AttributeIndex index(values);
+  EXPECT_DOUBLE_EQ(index.FailFraction(0, 99), 0.0);
+  EXPECT_DOUBLE_EQ(index.FailFraction(0, 49), 0.5);
+  EXPECT_DOUBLE_EQ(index.FailFraction(200, 300), 1.0);
+}
+
+TEST(AttributeIndexTest, EmptyIndex) {
+  AttributeIndex index(std::vector<double>{});
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_EQ(index.CountInRange(0, 1), 0u);
+  EXPECT_DOUBLE_EQ(index.FailFraction(0, 1), 1.0);
+  std::vector<RowId> rows;
+  index.CollectInRange(0, 1, &rows);
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST(AttributeIndexTest, DuplicateHeavyColumn) {
+  // One value dominating: page min == max across many pages.
+  std::vector<double> values(3000, 7.0);
+  values[100] = 1.0;
+  values[200] = 9.0;
+  AttributeIndex index(values);
+  EXPECT_EQ(index.CountInRange(7.0, 7.0), 2998u);
+  std::vector<RowId> rows;
+  index.CollectInRange(0.0, 2.0, &rows);
+  EXPECT_EQ(rows, std::vector<RowId>{100});
+}
+
+/// Property: skip-pointer range collection matches a naive filter on
+/// random data for random ranges, including inverted/empty ones.
+TEST(AttributeIndexTest, MatchesNaiveFilterOnRandomData) {
+  Rng rng(21);
+  std::vector<double> values(10000);
+  for (auto& v : values) v = rng.NextDouble() * 1000.0;
+  AttributeIndex index(values);
+  for (int trial = 0; trial < 25; ++trial) {
+    double lo = rng.NextDouble() * 1100.0 - 50.0;
+    double hi = rng.NextDouble() * 1100.0 - 50.0;
+    if (trial % 5 == 0) std::swap(lo, hi);  // Sometimes inverted.
+    std::vector<RowId> got;
+    index.CollectInRange(lo, hi, &got);
+    size_t expected = 0;
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (values[i] >= lo && values[i] <= hi) ++expected;
+    }
+    EXPECT_EQ(got.size(), expected) << "[" << lo << "," << hi << "]";
+    EXPECT_EQ(index.CountInRange(lo, hi), expected);
+  }
+}
+
+TEST(AttributeIndexTest, BoundaryValuesInclusive) {
+  AttributeIndex index({1.0, 2.0, 3.0});
+  // C_A is a >= p1 && a <= p2 (Sec 4.1): both ends inclusive.
+  EXPECT_EQ(index.CountInRange(1.0, 3.0), 3u);
+  EXPECT_EQ(index.CountInRange(1.0, 1.0), 1u);
+  EXPECT_EQ(index.CountInRange(3.0, 3.0), 1u);
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace vectordb

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "benchsupport/dataset.h"
+#include "common/rng.h"
+#include "index/binary_flat_index.h"
+#include "index/binary_ivf_index.h"
+#include "index/index_factory.h"
+
+namespace vectordb {
+namespace index {
+namespace {
+
+/// Clustered fingerprints: per-cluster random template with per-vector bit
+/// flips — gives the coarse quantizer real structure to find.
+bench::BinaryDataset ClusteredFingerprints(size_t n, size_t dim_bits,
+                                           size_t clusters, uint64_t seed) {
+  Rng rng(seed);
+  const size_t bytes = dim_bits / 8;
+  std::vector<uint8_t> templates(clusters * bytes);
+  for (auto& b : templates) b = static_cast<uint8_t>(rng.NextUint64(256));
+  bench::BinaryDataset ds;
+  ds.num_vectors = n;
+  ds.dim_bits = dim_bits;
+  ds.data.resize(n * bytes);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t c = rng.NextUint64(clusters);
+    uint8_t* vec = ds.data.data() + i * bytes;
+    std::copy(templates.begin() + c * bytes,
+              templates.begin() + (c + 1) * bytes, vec);
+    // Flip ~4% of the bits.
+    for (size_t f = 0; f < dim_bits / 25; ++f) {
+      const size_t bit = rng.NextUint64(dim_bits);
+      vec[bit / 8] ^= uint8_t{1} << (bit % 8);
+    }
+  }
+  return ds;
+}
+
+IndexBuildParams Params(size_t nlist = 16) {
+  IndexBuildParams params;
+  params.nlist = nlist;
+  params.kmeans_iters = 8;
+  return params;
+}
+
+TEST(BinaryIvfTest, RequiresBinaryMetric) {
+  BinaryIvfIndex index(256, MetricType::kL2, Params());
+  const auto data = bench::MakeFingerprints(100, 256, 0.3, 1);
+  EXPECT_TRUE(
+      index.TrainBinary(data.data.data(), 100).IsInvalidArgument());
+}
+
+TEST(BinaryIvfTest, SearchBeforeTrainFails) {
+  BinaryIvfIndex index(256, MetricType::kHamming, Params());
+  const uint8_t q[32] = {};
+  std::vector<HitList> results;
+  EXPECT_TRUE(index.SearchBinary(q, 1, {}, &results).IsAborted());
+  EXPECT_TRUE(index.AddBinary(q, 1).IsAborted());
+}
+
+TEST(BinaryIvfTest, HighNprobeMatchesFlatResults) {
+  const auto data = ClusteredFingerprints(3000, 256, 24, 7);
+  BinaryIvfIndex ivf(256, MetricType::kHamming, Params(16));
+  ASSERT_TRUE(ivf.BuildBinary(data.data.data(), data.num_vectors).ok());
+  BinaryFlatIndex flat(256, MetricType::kHamming);
+  ASSERT_TRUE(flat.AddBinary(data.data.data(), data.num_vectors).ok());
+
+  SearchOptions options;
+  options.k = 10;
+  options.nprobe = 16;  // Probe everything → exact.
+  std::vector<HitList> ivf_results, flat_results;
+  ASSERT_TRUE(ivf.SearchBinary(data.vector(5), 1, options, &ivf_results).ok());
+  ASSERT_TRUE(
+      flat.SearchBinary(data.vector(5), 1, options, &flat_results).ok());
+  // Scores must match exactly (ids may differ on ties).
+  ASSERT_EQ(ivf_results[0].size(), flat_results[0].size());
+  for (size_t i = 0; i < ivf_results[0].size(); ++i) {
+    EXPECT_EQ(ivf_results[0][i].score, flat_results[0][i].score) << i;
+  }
+}
+
+TEST(BinaryIvfTest, LowNprobeStillFindsSelf) {
+  const auto data = ClusteredFingerprints(3000, 256, 24, 8);
+  BinaryIvfIndex ivf(256, MetricType::kHamming, Params(16));
+  ASSERT_TRUE(ivf.BuildBinary(data.data.data(), data.num_vectors).ok());
+  SearchOptions options;
+  options.k = 1;
+  options.nprobe = 2;
+  size_t correct = 0;
+  std::vector<HitList> results;
+  for (size_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        ivf.SearchBinary(data.vector(i * 60), 1, options, &results).ok());
+    if (!results[0].empty() &&
+        results[0][0].id == static_cast<RowId>(i * 60)) {
+      ++correct;
+    }
+  }
+  EXPECT_GE(correct, 45u);  // Clustered data: the own bucket is probed.
+}
+
+TEST(BinaryIvfTest, TanimotoAndJaccardSupported) {
+  const auto data = ClusteredFingerprints(500, 128, 8, 9);
+  for (MetricType metric : {MetricType::kJaccard, MetricType::kTanimoto}) {
+    BinaryIvfIndex ivf(128, metric, Params(8));
+    ASSERT_TRUE(ivf.BuildBinary(data.data.data(), data.num_vectors).ok());
+    SearchOptions options;
+    options.k = 3;
+    options.nprobe = 8;
+    std::vector<HitList> results;
+    ASSERT_TRUE(ivf.SearchBinary(data.vector(7), 1, options, &results).ok());
+    ASSERT_FALSE(results[0].empty());
+    EXPECT_EQ(results[0][0].id, 7);
+    EXPECT_EQ(results[0][0].score, 0.0f);
+  }
+}
+
+TEST(BinaryIvfTest, AllRowsLandInExactlyOneList) {
+  const auto data = ClusteredFingerprints(1000, 128, 8, 10);
+  BinaryIvfIndex ivf(128, MetricType::kHamming, Params(8));
+  ASSERT_TRUE(ivf.BuildBinary(data.data.data(), data.num_vectors).ok());
+  SearchOptions options;
+  options.k = 1000;
+  options.nprobe = 8;
+  std::vector<HitList> results;
+  ASSERT_TRUE(ivf.SearchBinary(data.vector(0), 1, options, &results).ok());
+  std::unordered_set<RowId> seen;
+  for (const SearchHit& hit : results[0]) {
+    EXPECT_TRUE(seen.insert(hit.id).second);
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(BinaryIvfTest, FilterRespected) {
+  const auto data = ClusteredFingerprints(600, 128, 8, 11);
+  BinaryIvfIndex ivf(128, MetricType::kHamming, Params(8));
+  ASSERT_TRUE(ivf.BuildBinary(data.data.data(), data.num_vectors).ok());
+  Bitset allowed(600);
+  for (size_t i = 0; i < 600; i += 3) allowed.Set(i);
+  SearchOptions options;
+  options.k = 30;
+  options.nprobe = 8;
+  options.filter = &allowed;
+  std::vector<HitList> results;
+  ASSERT_TRUE(ivf.SearchBinary(data.vector(1), 1, options, &results).ok());
+  for (const SearchHit& hit : results[0]) EXPECT_EQ(hit.id % 3, 0);
+}
+
+TEST(BinaryIvfTest, SerializeRoundTrip) {
+  const auto data = ClusteredFingerprints(800, 128, 8, 12);
+  BinaryIvfIndex ivf(128, MetricType::kHamming, Params(8));
+  ASSERT_TRUE(ivf.BuildBinary(data.data.data(), data.num_vectors).ok());
+  std::string blob;
+  ASSERT_TRUE(ivf.Serialize(&blob).ok());
+  BinaryIvfIndex restored(128, MetricType::kHamming, Params(8));
+  ASSERT_TRUE(restored.Deserialize(blob).ok());
+  EXPECT_EQ(restored.Size(), 800u);
+  EXPECT_EQ(restored.nlist(), ivf.nlist());
+  SearchOptions options;
+  options.k = 5;
+  options.nprobe = 4;
+  std::vector<HitList> a, b;
+  ASSERT_TRUE(ivf.SearchBinary(data.vector(3), 1, options, &a).ok());
+  ASSERT_TRUE(restored.SearchBinary(data.vector(3), 1, options, &b).ok());
+  EXPECT_EQ(a[0], b[0]);
+}
+
+TEST(BinaryIvfTest, RegisteredInFactory) {
+  auto created = IndexFactory::Instance().Create("BIN_IVF_FLAT", 128,
+                                                 MetricType::kHamming);
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(created.value()->type(), IndexType::kBinaryIvf);
+  EXPECT_FALSE(IndexFactory::Instance()
+                   .Create("BIN_IVF_FLAT", 128, MetricType::kL2)
+                   .ok());
+}
+
+TEST(BinaryIvfTest, CompressionNone_ButPruningReal) {
+  // IVF doesn't shrink binary data, but it prunes: a low-nprobe search
+  // must touch fewer candidates than the flat scan.
+  const auto data = ClusteredFingerprints(4000, 256, 32, 13);
+  BinaryIvfIndex ivf(256, MetricType::kHamming, Params(32));
+  ASSERT_TRUE(ivf.BuildBinary(data.data.data(), data.num_vectors).ok());
+  SearchOptions options;
+  options.k = 4000;
+  options.nprobe = 4;
+  std::vector<HitList> results;
+  ASSERT_TRUE(ivf.SearchBinary(data.vector(0), 1, options, &results).ok());
+  // With 4/32 buckets probed, far fewer than all rows are candidates.
+  EXPECT_LT(results[0].size(), 2000u);
+  EXPECT_GT(results[0].size(), 100u);
+}
+
+}  // namespace
+}  // namespace index
+}  // namespace vectordb

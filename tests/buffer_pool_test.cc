@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "storage/buffer_pool.h"
+
+namespace vectordb {
+namespace storage {
+namespace {
+
+SegmentPtr MakeSegment(SegmentId id, size_t rows) {
+  SegmentSchema schema;
+  schema.vector_dims = {16};
+  SegmentBuilder builder(id, schema);
+  std::vector<float> v(16, 1.0f);
+  for (size_t i = 0; i < rows; ++i) {
+    EXPECT_TRUE(builder.AddRow(static_cast<RowId>(i), {v.data()}, {}).ok());
+  }
+  return builder.Finish().value();
+}
+
+TEST(BufferPoolTest, MissLoadsThenHits) {
+  BufferPool pool(1 << 20);
+  size_t loads = 0;
+  auto loader = [&]() -> Result<SegmentPtr> {
+    ++loads;
+    return MakeSegment(1, 10);
+  };
+  auto first = pool.Fetch(1, loader);
+  ASSERT_TRUE(first.ok());
+  auto second = pool.Fetch(1, loader);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(loads, 1u);  // Second fetch served from cache.
+  EXPECT_EQ(first.value().get(), second.value().get());
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(BufferPoolTest, EvictsLeastRecentlyUsed) {
+  // Pool sized for ~2 of the 3 segments.
+  const size_t seg_bytes = MakeSegment(0, 100)->MemoryBytes();
+  BufferPool pool(2 * seg_bytes + seg_bytes / 2);
+  auto loader_for = [&](SegmentId id) {
+    return [id]() -> Result<SegmentPtr> { return MakeSegment(id, 100); };
+  };
+  ASSERT_TRUE(pool.Fetch(1, loader_for(1)).ok());
+  ASSERT_TRUE(pool.Fetch(2, loader_for(2)).ok());
+  ASSERT_TRUE(pool.Fetch(1, loader_for(1)).ok());  // Touch 1: 2 becomes LRU.
+  ASSERT_TRUE(pool.Fetch(3, loader_for(3)).ok());  // Evicts 2.
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  // Segment 1 still cached, 2 needs a reload.
+  size_t loads = 0;
+  auto counting = [&]() -> Result<SegmentPtr> {
+    ++loads;
+    return MakeSegment(1, 100);
+  };
+  ASSERT_TRUE(pool.Fetch(1, counting).ok());
+  EXPECT_EQ(loads, 0u);
+  auto counting2 = [&]() -> Result<SegmentPtr> {
+    ++loads;
+    return MakeSegment(2, 100);
+  };
+  ASSERT_TRUE(pool.Fetch(2, counting2).ok());
+  EXPECT_EQ(loads, 1u);
+}
+
+TEST(BufferPoolTest, OversizedSegmentServedButNotCached) {
+  BufferPool pool(16);  // Tiny pool.
+  auto result = pool.Fetch(1, [] { return Result<SegmentPtr>(MakeSegment(1, 100)); });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(pool.stats().resident_segments, 0u);
+}
+
+TEST(BufferPoolTest, LoaderFailurePropagates) {
+  BufferPool pool(1 << 20);
+  auto result = pool.Fetch(
+      1, []() -> Result<SegmentPtr> { return Status::IOError("boom"); });
+  EXPECT_TRUE(result.status().IsIOError());
+  EXPECT_EQ(pool.stats().resident_segments, 0u);
+}
+
+TEST(BufferPoolTest, InvalidateDropsEntry) {
+  BufferPool pool(1 << 20);
+  ASSERT_TRUE(
+      pool.Fetch(1, [] { return Result<SegmentPtr>(MakeSegment(1, 10)); }).ok());
+  pool.Invalidate(1);
+  EXPECT_EQ(pool.stats().resident_segments, 0u);
+  size_t loads = 0;
+  ASSERT_TRUE(pool.Fetch(1, [&]() -> Result<SegmentPtr> {
+                    ++loads;
+                    return MakeSegment(1, 10);
+                  })
+                  .ok());
+  EXPECT_EQ(loads, 1u);
+}
+
+TEST(BufferPoolTest, ClearResetsResidency) {
+  BufferPool pool(1 << 20);
+  ASSERT_TRUE(
+      pool.Fetch(1, [] { return Result<SegmentPtr>(MakeSegment(1, 10)); }).ok());
+  ASSERT_TRUE(
+      pool.Fetch(2, [] { return Result<SegmentPtr>(MakeSegment(2, 10)); }).ok());
+  pool.Clear();
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.resident_segments, 0u);
+  EXPECT_EQ(stats.resident_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace vectordb

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "benchsupport/dataset.h"
+#include "common/rng.h"
+#include "index/index_factory.h"
+#include "query/categorical_index.h"
+
+namespace vectordb {
+namespace query {
+namespace {
+
+std::vector<std::string> SampleColumn() {
+  return {"red", "blue", "red", "green", "blue", "red", "green", "red"};
+}
+
+TEST(CategoricalIndexTest, InvertedListsPartitionRows) {
+  CategoricalIndex index;
+  index.Build(SampleColumn());
+  EXPECT_EQ(index.num_rows(), 8u);
+  EXPECT_EQ(index.cardinality(), 3u);
+  ASSERT_NE(index.Lookup("red"), nullptr);
+  EXPECT_EQ(*index.Lookup("red"), (std::vector<RowId>{0, 2, 5, 7}));
+  EXPECT_EQ(index.CountOf("blue"), 2u);
+  EXPECT_EQ(index.CountOf("purple"), 0u);
+  EXPECT_EQ(index.Lookup("purple"), nullptr);
+}
+
+TEST(CategoricalIndexTest, BitmapMatchesInvertedList) {
+  CategoricalIndex index;
+  index.Build(SampleColumn());
+  const Bitset red = index.BitmapFor("red");
+  EXPECT_EQ(red.Count(), 4u);
+  for (RowId row : *index.Lookup("red")) {
+    EXPECT_TRUE(red.Test(static_cast<size_t>(row)));
+  }
+  EXPECT_FALSE(red.Test(1));
+}
+
+TEST(CategoricalIndexTest, AnyOfUnionsBitmaps) {
+  CategoricalIndex index;
+  index.Build(SampleColumn());
+  const Bitset either = index.BitmapForAnyOf({"blue", "green"});
+  EXPECT_EQ(either.Count(), 4u);  // Rows 1, 3, 4, 6.
+  EXPECT_TRUE(either.Test(1));
+  EXPECT_TRUE(either.Test(3));
+  EXPECT_FALSE(either.Test(0));
+}
+
+TEST(CategoricalIndexTest, NotInvertsBitmap) {
+  CategoricalIndex index;
+  index.Build(SampleColumn());
+  const Bitset not_red = index.BitmapForNot("red");
+  EXPECT_EQ(not_red.Count(), 4u);
+  EXPECT_FALSE(not_red.Test(0));
+  EXPECT_TRUE(not_red.Test(1));
+}
+
+TEST(CategoricalIndexTest, HistogramSortedByFrequency) {
+  CategoricalIndex index;
+  index.Build(SampleColumn());
+  const auto histogram = index.ValueHistogram();
+  ASSERT_EQ(histogram.size(), 3u);
+  EXPECT_EQ(histogram[0].first, "red");
+  EXPECT_EQ(histogram[0].second, 4u);
+  EXPECT_EQ(histogram[1].second, 2u);
+}
+
+TEST(CategoricalIndexTest, EmptyColumn) {
+  CategoricalIndex index;
+  index.Build({});
+  EXPECT_EQ(index.num_rows(), 0u);
+  EXPECT_EQ(index.cardinality(), 0u);
+  EXPECT_EQ(index.BitmapFor("x").size(), 0u);
+}
+
+/// The integration the paper sketches: categorical bitmap → vector index
+/// filter, composing exactly like strategy B of Sec 4.1.
+TEST(CategoricalIndexTest, BitmapDrivesFilteredVectorSearch) {
+  bench::DatasetSpec spec;
+  spec.num_vectors = 1000;
+  spec.dim = 8;
+  const auto data = bench::MakeSiftLike(spec);
+  std::vector<std::string> colours(1000);
+  for (size_t i = 0; i < 1000; ++i) {
+    colours[i] = i % 3 == 0 ? "red" : (i % 3 == 1 ? "blue" : "green");
+  }
+  CategoricalIndex categorical;
+  categorical.Build(colours);
+
+  index::IndexBuildParams params;
+  params.nlist = 8;
+  auto created = index::CreateIndex(index::IndexType::kIvfFlat, 8,
+                                    MetricType::kL2, params);
+  ASSERT_TRUE(created.ok());
+  index::IndexPtr idx = std::move(created).value();
+  ASSERT_TRUE(idx->Build(data.data.data(), 1000).ok());
+
+  const Bitset allowed = categorical.BitmapFor("blue");
+  index::SearchOptions options;
+  options.k = 10;
+  options.nprobe = 8;
+  options.filter = &allowed;
+  std::vector<HitList> results;
+  ASSERT_TRUE(idx->Search(data.vector(1), 1, options, &results).ok());
+  ASSERT_FALSE(results[0].empty());
+  for (const SearchHit& hit : results[0]) {
+    EXPECT_EQ(colours[static_cast<size_t>(hit.id)], "blue");
+  }
+}
+
+/// Property: for random columns, every row lands in exactly one inverted
+/// list and bitmaps of all values partition the row set.
+TEST(CategoricalIndexTest, InvertedListsFormPartition) {
+  Rng rng(5);
+  std::vector<std::string> values(5000);
+  for (auto& v : values) {
+    v = "cat" + std::to_string(rng.NextUint64(37));
+  }
+  CategoricalIndex index;
+  index.Build(values);
+  size_t total = 0;
+  Bitset all(values.size());
+  for (const auto& [value, count] : index.ValueHistogram()) {
+    total += count;
+    const Bitset bits = index.BitmapFor(value);
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (bits.Test(i)) {
+        EXPECT_FALSE(all.Test(i)) << "row in two lists";
+        all.Set(i);
+      }
+    }
+  }
+  EXPECT_EQ(total, values.size());
+  EXPECT_EQ(all.Count(), values.size());
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace vectordb

@@ -1,0 +1,351 @@
+#include <gtest/gtest.h>
+
+#include "benchsupport/dataset.h"
+#include "db/collection.h"
+#include "storage/filesystem.h"
+
+namespace vectordb {
+namespace db {
+namespace {
+
+CollectionSchema MakeSchema(size_t dim = 16) {
+  CollectionSchema schema;
+  schema.name = "things";
+  schema.vector_fields = {{"embedding", dim}};
+  schema.attributes = {"price"};
+  schema.metric = MetricType::kL2;
+  schema.default_index = index::IndexType::kIvfFlat;
+  schema.index_params.nlist = 8;
+  return schema;
+}
+
+Entity MakeEntity(RowId id, const float* vec, size_t dim, double price) {
+  Entity entity;
+  entity.id = id;
+  entity.vectors.emplace_back(vec, vec + dim);
+  entity.attributes = {price};
+  return entity;
+}
+
+class CollectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fs_ = storage::NewMemoryFileSystem();
+    options_.fs = fs_;
+    options_.memtable_flush_rows = 1u << 20;  // Manual flushes only.
+    options_.index_build_threshold_rows = 200;
+
+    bench::DatasetSpec spec;
+    spec.num_vectors = 500;
+    spec.dim = 16;
+    data_ = bench::MakeSiftLike(spec);
+
+    auto created = Collection::Create(MakeSchema(), options_);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    collection_ = std::move(created).value();
+  }
+
+  Status InsertRange(size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      VDB_RETURN_NOT_OK(collection_->Insert(MakeEntity(
+          static_cast<RowId>(i), data_.vector(i), 16, i * 10.0)));
+    }
+    return Status::OK();
+  }
+
+  storage::FileSystemPtr fs_;
+  CollectionOptions options_;
+  bench::Dataset data_;
+  std::unique_ptr<Collection> collection_;
+};
+
+TEST_F(CollectionTest, CreateRejectsDuplicates) {
+  EXPECT_TRUE(
+      Collection::Create(MakeSchema(), options_).status().IsAlreadyExists());
+}
+
+TEST_F(CollectionTest, SchemaValidationOnCreate) {
+  CollectionSchema bad = MakeSchema();
+  bad.vector_fields.clear();
+  EXPECT_TRUE(
+      Collection::Create(bad, options_).status().IsInvalidArgument());
+}
+
+TEST_F(CollectionTest, InsertedRowsInvisibleUntilFlush) {
+  ASSERT_TRUE(InsertRange(0, 50).ok());
+  EXPECT_EQ(collection_->pending_rows(), 50u);
+  QueryOptions options;
+  options.k = 5;
+  auto before = collection_->Search("embedding", data_.vector(0), 1, options);
+  ASSERT_TRUE(before.ok());
+  EXPECT_TRUE(before.value()[0].empty());  // Sec 5.1: visible after flush.
+
+  ASSERT_TRUE(collection_->Flush().ok());
+  EXPECT_EQ(collection_->pending_rows(), 0u);
+  auto after = collection_->Search("embedding", data_.vector(0), 1, options);
+  ASSERT_TRUE(after.ok());
+  ASSERT_FALSE(after.value()[0].empty());
+  EXPECT_EQ(after.value()[0][0].id, 0);  // Self-match.
+}
+
+TEST_F(CollectionTest, AutoIdAssignment) {
+  Entity entity = MakeEntity(kInvalidRowId, data_.vector(0), 16, 1.0);
+  ASSERT_TRUE(collection_->Insert(entity).ok());
+  Entity entity2 = MakeEntity(kInvalidRowId, data_.vector(1), 16, 2.0);
+  ASSERT_TRUE(collection_->Insert(entity2).ok());
+  EXPECT_EQ(collection_->next_row_id(), 2u);
+}
+
+TEST_F(CollectionTest, EntityValidation) {
+  Entity wrong_dim;
+  wrong_dim.id = 1;
+  wrong_dim.vectors = {{1.0f, 2.0f}};  // dim 2 != 16.
+  wrong_dim.attributes = {0.0};
+  EXPECT_TRUE(collection_->Insert(wrong_dim).IsInvalidArgument());
+
+  Entity wrong_attrs = MakeEntity(1, data_.vector(0), 16, 0.0);
+  wrong_attrs.attributes.clear();
+  EXPECT_TRUE(collection_->Insert(wrong_attrs).IsInvalidArgument());
+}
+
+TEST_F(CollectionTest, GetReturnsStoredEntity) {
+  ASSERT_TRUE(InsertRange(0, 10).ok());
+  ASSERT_TRUE(collection_->Flush().ok());
+  auto got = collection_->Get(7);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().id, 7);
+  EXPECT_EQ(got.value().attributes[0], 70.0);
+  EXPECT_EQ(got.value().vectors[0][3], data_.vector(7)[3]);
+  EXPECT_TRUE(collection_->Get(999).status().IsNotFound());
+}
+
+TEST_F(CollectionTest, DeleteHidesRowImmediately) {
+  ASSERT_TRUE(InsertRange(0, 50).ok());
+  ASSERT_TRUE(collection_->Flush().ok());
+  ASSERT_TRUE(collection_->Delete(3).ok());
+
+  QueryOptions options;
+  options.k = 50;
+  auto results = collection_->Search("embedding", data_.vector(3), 1, options);
+  ASSERT_TRUE(results.ok());
+  for (const SearchHit& hit : results.value()[0]) EXPECT_NE(hit.id, 3);
+  EXPECT_TRUE(collection_->Get(3).status().IsNotFound());
+  EXPECT_EQ(collection_->NumLiveRows(), 49u);
+}
+
+TEST_F(CollectionTest, DeleteUnflushedRowLeavesNoTombstone) {
+  ASSERT_TRUE(InsertRange(0, 10).ok());
+  ASSERT_TRUE(collection_->Delete(5).ok());  // Still in the MemTable.
+  ASSERT_TRUE(collection_->Flush().ok());
+  EXPECT_EQ(collection_->NumLiveRows(), 9u);
+  const auto snapshot = collection_->snapshots().Acquire();
+  EXPECT_TRUE(snapshot->tombstones->empty());
+}
+
+TEST_F(CollectionTest, UpdateReplacesEntity) {
+  ASSERT_TRUE(InsertRange(0, 10).ok());
+  ASSERT_TRUE(collection_->Flush().ok());
+  Entity updated = MakeEntity(4, data_.vector(100), 16, 9999.0);
+  ASSERT_TRUE(collection_->Update(updated).ok());
+  ASSERT_TRUE(collection_->Flush().ok());
+  auto got = collection_->Get(4);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().attributes[0], 9999.0);
+}
+
+TEST_F(CollectionTest, SnapshotIsolationAcrossFlushes) {
+  ASSERT_TRUE(InsertRange(0, 10).ok());
+  ASSERT_TRUE(collection_->Flush().ok());
+  const auto pinned = collection_->snapshots().Acquire();
+
+  ASSERT_TRUE(InsertRange(10, 20).ok());
+  ASSERT_TRUE(collection_->Flush().ok());
+
+  EXPECT_EQ(pinned->TotalRows(), 10u);  // Old view unchanged.
+  EXPECT_EQ(collection_->snapshots().Acquire()->TotalRows(), 20u);
+}
+
+TEST_F(CollectionTest, IndexBuiltOnlyForLargeSegments) {
+  // 100 rows < threshold 200: flat; 300 rows >= 200: indexed.
+  ASSERT_TRUE(InsertRange(0, 100).ok());
+  ASSERT_TRUE(collection_->Flush().ok());
+  ASSERT_TRUE(InsertRange(100, 400).ok());
+  ASSERT_TRUE(collection_->Flush().ok());
+
+  const auto snapshot = collection_->snapshots().Acquire();
+  ASSERT_EQ(snapshot->segments.size(), 2u);
+  for (const auto& segment : snapshot->segments) {
+    if (segment->num_rows() == 100) {
+      EXPECT_FALSE(segment->HasIndex(0));
+    } else {
+      EXPECT_TRUE(segment->HasIndex(0));
+    }
+  }
+}
+
+TEST_F(CollectionTest, BuildIndexesUpgradesSmallSegments) {
+  options_.index_build_threshold_rows = 10;  // Not applied retroactively...
+  ASSERT_TRUE(InsertRange(0, 100).ok());
+  ASSERT_TRUE(collection_->Flush().ok());  // 100 < 200: flat at flush time.
+  size_t built = 0;
+  ASSERT_TRUE(collection_->BuildIndexes(&built).ok());
+  EXPECT_EQ(built, 0u);  // Still below the collection's own threshold (200).
+
+  ASSERT_TRUE(InsertRange(100, 400).ok());
+  ASSERT_TRUE(collection_->Flush().ok());
+  ASSERT_TRUE(collection_->BuildIndexes(&built).ok());
+  EXPECT_EQ(built, 0u);  // Large segment already indexed at flush.
+}
+
+TEST_F(CollectionTest, MergeCompactsSegmentsAndAppliesTombstones) {
+  options_.merge_policy.merge_factor = 4;
+  // Re-create with the tighter merge policy.
+  fs_ = storage::NewMemoryFileSystem();
+  options_.fs = fs_;
+  auto created = Collection::Create(MakeSchema(), options_);
+  ASSERT_TRUE(created.ok());
+  collection_ = std::move(created).value();
+
+  for (int flush = 0; flush < 4; ++flush) {
+    ASSERT_TRUE(InsertRange(flush * 50, (flush + 1) * 50).ok());
+    ASSERT_TRUE(collection_->Flush().ok());
+  }
+  ASSERT_EQ(collection_->NumSegments(), 4u);
+  ASSERT_TRUE(collection_->Delete(10).ok());
+  ASSERT_TRUE(collection_->Delete(60).ok());
+
+  size_t merges = 0;
+  ASSERT_TRUE(collection_->RunMergeOnce(&merges).ok());
+  EXPECT_EQ(merges, 1u);
+  EXPECT_EQ(collection_->NumSegments(), 1u);
+  EXPECT_EQ(collection_->NumLiveRows(), 198u);
+  // Tombstones physically applied: the set is empty again.
+  EXPECT_TRUE(collection_->snapshots().Acquire()->tombstones->empty());
+  // Merged data still searchable and correct.
+  QueryOptions options;
+  options.k = 1;
+  auto results = collection_->Search("embedding", data_.vector(42), 1, options);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results.value()[0][0].id, 42);
+}
+
+TEST_F(CollectionTest, GarbageCollectionDropsMergedFiles) {
+  options_.merge_policy.merge_factor = 4;
+  for (int flush = 0; flush < 4; ++flush) {
+    ASSERT_TRUE(InsertRange(flush * 50, (flush + 1) * 50).ok());
+    ASSERT_TRUE(collection_->Flush().ok());
+  }
+  ASSERT_TRUE(collection_->RunMergeOnce().ok());
+  const size_t collected = collection_->CollectGarbage();
+  EXPECT_EQ(collected, 4u);
+  // Only the merged segment file remains.
+  auto listed = fs_->List("things/segments/");
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(listed.value().size(), 1u);
+}
+
+TEST_F(CollectionTest, SearchFilteredHonorsRange) {
+  ASSERT_TRUE(InsertRange(0, 300).ok());
+  ASSERT_TRUE(collection_->Flush().ok());
+  QueryOptions options;
+  options.k = 10;
+  options.nprobe = 8;
+  // price = id*10; range [500, 1500] → ids 50..150.
+  auto result = collection_->SearchFiltered(
+      "embedding", data_.vector(100), "price", {500, 1500}, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result.value().empty());
+  for (const SearchHit& hit : result.value()) {
+    EXPECT_GE(hit.id, 50);
+    EXPECT_LE(hit.id, 150);
+  }
+  EXPECT_EQ(result.value()[0].id, 100);
+}
+
+TEST_F(CollectionTest, SearchFilteredUnknownNamesRejected) {
+  QueryOptions options;
+  EXPECT_TRUE(collection_
+                  ->SearchFiltered("nope", data_.vector(0), "price", {0, 1},
+                                   options)
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(collection_
+                  ->SearchFiltered("embedding", data_.vector(0), "nope",
+                                   {0, 1}, options)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(CollectionTest, RecoveryReplaysWalAfterCrash) {
+  ASSERT_TRUE(InsertRange(0, 30).ok());
+  ASSERT_TRUE(collection_->Flush().ok());
+  ASSERT_TRUE(InsertRange(30, 40).ok());  // Unflushed: only in the WAL.
+  ASSERT_TRUE(collection_->Delete(5).ok());
+
+  collection_.reset();  // "Crash": memory state dropped.
+
+  auto reopened = Collection::Open("things", options_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  collection_ = std::move(reopened).value();
+  EXPECT_EQ(collection_->pending_rows(), 10u);  // WAL-replayed MemTable.
+  ASSERT_TRUE(collection_->Flush().ok());
+  EXPECT_EQ(collection_->NumLiveRows(), 39u);  // 40 inserted - 1 deleted.
+  auto got = collection_->Get(35);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(collection_->Get(5).status().IsNotFound());
+}
+
+TEST_F(CollectionTest, RecoveryPreservesRowIdCounter) {
+  Entity a = MakeEntity(kInvalidRowId, data_.vector(0), 16, 0.0);
+  ASSERT_TRUE(collection_->Insert(a).ok());
+  ASSERT_TRUE(collection_->Flush().ok());
+  collection_.reset();
+  auto reopened = Collection::Open("things", options_);
+  ASSERT_TRUE(reopened.ok());
+  collection_ = std::move(reopened).value();
+  EXPECT_EQ(collection_->next_row_id(), 1u);
+  Entity b = MakeEntity(kInvalidRowId, data_.vector(1), 16, 0.0);
+  ASSERT_TRUE(collection_->Insert(b).ok());
+  ASSERT_TRUE(collection_->Flush().ok());
+  EXPECT_TRUE(collection_->Get(1).ok());
+}
+
+TEST_F(CollectionTest, MultiFieldCollectionMultiVectorSearch) {
+  CollectionSchema schema;
+  schema.name = "faces";
+  schema.vector_fields = {{"face", 8}, {"posture", 8}};
+  schema.metric = MetricType::kL2;
+  schema.index_params.nlist = 4;
+  fs_ = storage::NewMemoryFileSystem();
+  options_.fs = fs_;
+  auto created = Collection::Create(schema, options_);
+  ASSERT_TRUE(created.ok());
+  auto faces = std::move(created).value();
+
+  bench::DatasetSpec spec;
+  spec.num_vectors = 200;
+  spec.dim = 8;
+  const auto field0 = bench::MakeSiftLike(spec);
+  spec.seed = 99;
+  const auto field1 = bench::MakeSiftLike(spec);
+  for (size_t i = 0; i < 200; ++i) {
+    Entity entity;
+    entity.id = static_cast<RowId>(i);
+    entity.vectors.emplace_back(field0.vector(i), field0.vector(i) + 8);
+    entity.vectors.emplace_back(field1.vector(i), field1.vector(i) + 8);
+    ASSERT_TRUE(faces->Insert(entity).ok());
+  }
+  ASSERT_TRUE(faces->Flush().ok());
+
+  QueryOptions options;
+  options.k = 5;
+  auto result = faces->MultiVectorSearch(
+      {field0.vector(17), field1.vector(17)}, {0.5f, 0.5f}, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result.value().empty());
+  EXPECT_EQ(result.value()[0].id, 17);  // Exact entity wins both fields.
+}
+
+}  // namespace
+}  // namespace db
+}  // namespace vectordb

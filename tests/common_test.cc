@@ -1,0 +1,316 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/bitset.h"
+#include "common/config.h"
+#include "common/crc32.h"
+#include "common/result_heap.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/threadpool.h"
+
+namespace vectordb {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing.seg");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.ToString(), "NotFound: missing.seg");
+}
+
+TEST(StatusTest, AllConstructorsMapToPredicates) {
+  EXPECT_TRUE(Status::AlreadyExists().IsAlreadyExists());
+  EXPECT_TRUE(Status::InvalidArgument().IsInvalidArgument());
+  EXPECT_TRUE(Status::IOError().IsIOError());
+  EXPECT_TRUE(Status::Corruption().IsCorruption());
+  EXPECT_TRUE(Status::NotSupported().IsNotSupported());
+  EXPECT_TRUE(Status::Aborted().IsAborted());
+  EXPECT_TRUE(Status::ResourceExhausted().IsResourceExhausted());
+  EXPECT_TRUE(Status::Unavailable().IsUnavailable());
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok(41);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 41);
+  Result<int> err(Status::IOError("disk"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsIOError());
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = [] { return Status::Aborted("x"); };
+  auto wrapper = [&]() -> Status {
+    VDB_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsAborted());
+}
+
+// ---------------------------------------------------------------- Bitset --
+
+TEST(BitsetTest, SetTestClear) {
+  Bitset bits(130);
+  EXPECT_EQ(bits.size(), 130u);
+  EXPECT_EQ(bits.Count(), 0u);
+  bits.Set(0);
+  bits.Set(64);
+  bits.Set(129);
+  EXPECT_TRUE(bits.Test(0));
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_TRUE(bits.Test(129));
+  EXPECT_FALSE(bits.Test(1));
+  EXPECT_EQ(bits.Count(), 3u);
+  bits.Clear(64);
+  EXPECT_FALSE(bits.Test(64));
+  EXPECT_EQ(bits.Count(), 2u);
+}
+
+TEST(BitsetTest, InitialValueTrueSetsEveryBit) {
+  Bitset bits(70, true);
+  EXPECT_EQ(bits.Count(), 70u);
+  for (size_t i = 0; i < 70; ++i) EXPECT_TRUE(bits.Test(i));
+}
+
+TEST(BitsetTest, ResizeWithTruePreservesAndExtends) {
+  Bitset bits(10);
+  bits.Set(3);
+  bits.Resize(100, true);
+  EXPECT_TRUE(bits.Test(3));
+  EXPECT_FALSE(bits.Test(4));  // Old bits keep their values.
+  for (size_t i = 10; i < 100; ++i) EXPECT_TRUE(bits.Test(i));
+}
+
+TEST(BitsetTest, FindNextSkipsGaps) {
+  Bitset bits(200);
+  bits.Set(5);
+  bits.Set(63);
+  bits.Set(64);
+  bits.Set(199);
+  EXPECT_EQ(bits.FindNext(0), 5u);
+  EXPECT_EQ(bits.FindNext(6), 63u);
+  EXPECT_EQ(bits.FindNext(64), 64u);
+  EXPECT_EQ(bits.FindNext(65), 199u);
+  EXPECT_EQ(bits.FindNext(200), 200u);
+  bits.Clear(5);
+  EXPECT_EQ(bits.FindNext(0), 63u);
+}
+
+TEST(BitsetTest, AndOrOperators) {
+  Bitset a(64), b(64);
+  a.Set(1);
+  a.Set(2);
+  b.Set(2);
+  b.Set(3);
+  Bitset both = a;
+  both &= b;
+  EXPECT_EQ(both.Count(), 1u);
+  EXPECT_TRUE(both.Test(2));
+  Bitset either = a;
+  either |= b;
+  EXPECT_EQ(either.Count(), 3u);
+}
+
+TEST(BitsetTest, CountIgnoresPaddingBits) {
+  Bitset bits(3, true);
+  EXPECT_EQ(bits.Count(), 3u);
+  bits.SetAll();
+  EXPECT_EQ(bits.Count(), 3u);
+  EXPECT_TRUE(bits.Any());
+  bits.ClearAll();
+  EXPECT_FALSE(bits.Any());
+}
+
+// ------------------------------------------------------------ ResultHeap --
+
+TEST(ResultHeapTest, KeepsSmallestForDistances) {
+  ResultHeap heap(3, /*keep_largest=*/false);
+  for (int i = 10; i >= 1; --i) heap.Push(i, static_cast<float>(i));
+  HitList hits = heap.TakeSorted();
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].score, 1.0f);
+  EXPECT_EQ(hits[1].score, 2.0f);
+  EXPECT_EQ(hits[2].score, 3.0f);
+}
+
+TEST(ResultHeapTest, KeepsLargestForSimilarities) {
+  ResultHeap heap(2, /*keep_largest=*/true);
+  for (int i = 1; i <= 8; ++i) heap.Push(i, static_cast<float>(i));
+  HitList hits = heap.TakeSorted();
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].score, 8.0f);
+  EXPECT_EQ(hits[1].score, 7.0f);
+}
+
+TEST(ResultHeapTest, WouldAcceptMatchesPushBehaviour) {
+  ResultHeap heap(2, false);
+  heap.Push(1, 5.0f);
+  heap.Push(2, 3.0f);
+  EXPECT_TRUE(heap.WouldAccept(4.0f));
+  EXPECT_FALSE(heap.WouldAccept(6.0f));
+  EXPECT_EQ(heap.WorstScore(), 5.0f);
+}
+
+TEST(ResultHeapTest, MergeCombinesPartials) {
+  ResultHeap a(3, false), b(3, false);
+  a.Push(1, 1.0f);
+  a.Push(2, 9.0f);
+  b.Push(3, 2.0f);
+  b.Push(4, 8.0f);
+  a.Merge(b);
+  HitList hits = a.TakeSorted();
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].id, 1);
+  EXPECT_EQ(hits[1].id, 3);
+  EXPECT_EQ(hits[2].id, 4);
+}
+
+/// Property: against a sort-based oracle for random inputs, both polarities.
+TEST(ResultHeapTest, MatchesSortOracleOnRandomStreams) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const bool keep_largest = trial % 2 == 0;
+    const size_t k = 1 + rng.NextUint64(16);
+    const size_t n = 1 + rng.NextUint64(300);
+    std::vector<std::pair<float, RowId>> all;
+    ResultHeap heap(k, keep_largest);
+    for (size_t i = 0; i < n; ++i) {
+      const float score = rng.NextFloat();
+      all.emplace_back(score, static_cast<RowId>(i));
+      heap.Push(static_cast<RowId>(i), score);
+    }
+    if (keep_largest) {
+      std::sort(all.begin(), all.end(), std::greater<>());
+    } else {
+      std::sort(all.begin(), all.end());
+    }
+    HitList hits = heap.TakeSorted();
+    ASSERT_EQ(hits.size(), std::min(k, n));
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_FLOAT_EQ(hits[i].score, all[i].first) << "trial " << trial;
+    }
+  }
+}
+
+// ------------------------------------------------------------ ThreadPool --
+
+TEST(ThreadPoolTest, SubmitReturnsFutureResult) {
+  ThreadPool pool(2);
+  auto fut = pool.Submit([] { return 6 * 7; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(1000);
+  pool.ParallelFor(1000, [&](size_t i) { counts[i].fetch_add(1); });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitBlocksUntilIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&] { done.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 10);
+}
+
+// -------------------------------------------------------------- BinaryIo --
+
+TEST(BinaryIoTest, RoundTripsAllTypes) {
+  std::string buf;
+  BinaryWriter writer(&buf);
+  writer.PutU32(7);
+  writer.PutU64(1ull << 40);
+  writer.PutI64(-5);
+  writer.PutFloat(2.5f);
+  writer.PutDouble(3.25);
+  writer.PutString("hello");
+  writer.PutVector(std::vector<int32_t>{1, 2, 3});
+
+  BinaryReader reader(buf);
+  uint32_t u32;
+  uint64_t u64;
+  int64_t i64;
+  float f;
+  double d;
+  std::string s;
+  std::vector<int32_t> v;
+  ASSERT_TRUE(reader.GetU32(&u32));
+  ASSERT_TRUE(reader.GetU64(&u64));
+  ASSERT_TRUE(reader.GetI64(&i64));
+  ASSERT_TRUE(reader.GetFloat(&f));
+  ASSERT_TRUE(reader.GetDouble(&d));
+  ASSERT_TRUE(reader.GetString(&s));
+  ASSERT_TRUE(reader.GetVector(&v));
+  EXPECT_EQ(u32, 7u);
+  EXPECT_EQ(u64, 1ull << 40);
+  EXPECT_EQ(i64, -5);
+  EXPECT_EQ(f, 2.5f);
+  EXPECT_EQ(d, 3.25);
+  EXPECT_EQ(s, "hello");
+  EXPECT_EQ(v, (std::vector<int32_t>{1, 2, 3}));
+  EXPECT_EQ(reader.Remaining(), 0u);
+}
+
+TEST(BinaryIoTest, UnderflowReturnsFalse) {
+  std::string buf = "ab";
+  BinaryReader reader(buf);
+  uint64_t v;
+  EXPECT_FALSE(reader.GetU64(&v));
+  std::string s;
+  BinaryReader reader2(buf);
+  // Length prefix larger than remaining bytes must fail, not crash.
+  std::string evil;
+  BinaryWriter w(&evil);
+  w.PutU64(1u << 30);
+  BinaryReader reader3(evil);
+  EXPECT_FALSE(reader3.GetString(&s));
+}
+
+// ----------------------------------------------------------------- CRC32 --
+
+TEST(Crc32Test, KnownVector) {
+  // CRC32("123456789") == 0xCBF43926 (IEEE check value).
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+}
+
+TEST(Crc32Test, DetectsCorruption) {
+  std::string data = "segment-payload";
+  const uint32_t crc = Crc32(data);
+  data[3] ^= 1;
+  EXPECT_NE(Crc32(data), crc);
+}
+
+// ---------------------------------------------------------------- Config --
+
+TEST(ConfigTest, EffectiveValuesResolveDefaults) {
+  EngineConfig config;
+  config.num_threads = 0;
+  EXPECT_GE(config.EffectiveThreads(), 1u);
+  config.num_threads = 3;
+  EXPECT_EQ(config.EffectiveThreads(), 3u);
+  config.l3_cache_bytes = 0;
+  EXPECT_GT(config.EffectiveL3Bytes(), 0u);
+  config.l3_cache_bytes = 12u << 20;
+  EXPECT_EQ(config.EffectiveL3Bytes(), 12u << 20);
+}
+
+}  // namespace
+}  // namespace vectordb

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "benchsupport/dataset.h"
+#include "dist/cluster.h"
+#include "dist/hash_ring.h"
+#include "storage/object_store.h"
+
+namespace vectordb {
+namespace dist {
+namespace {
+
+// --------------------------------------------------------------- hash ring --
+
+TEST(HashRingTest, EmptyRingReturnsEmpty) {
+  ConsistentHashRing ring;
+  EXPECT_EQ(ring.NodeFor("key"), "");
+}
+
+TEST(HashRingTest, SingleNodeOwnsEverything) {
+  ConsistentHashRing ring;
+  ring.AddNode("n1");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(ring.NodeFor(static_cast<uint64_t>(i)), "n1");
+  }
+}
+
+TEST(HashRingTest, DistributionRoughlyBalanced) {
+  ConsistentHashRing ring(128);
+  ring.AddNode("a");
+  ring.AddNode("b");
+  ring.AddNode("c");
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 3000; ++i) {
+    ++counts[ring.NodeFor(static_cast<uint64_t>(i))];
+  }
+  for (const auto& [node, count] : counts) {
+    EXPECT_GT(count, 500) << node;  // No node starves badly.
+  }
+}
+
+TEST(HashRingTest, RemovalOnlyRemapsVictimsKeys) {
+  ConsistentHashRing ring(128);
+  ring.AddNode("a");
+  ring.AddNode("b");
+  ring.AddNode("c");
+  std::map<uint64_t, std::string> before;
+  for (uint64_t i = 0; i < 1000; ++i) before[i] = ring.NodeFor(i);
+  ASSERT_TRUE(ring.RemoveNode("b"));
+  for (uint64_t i = 0; i < 1000; ++i) {
+    const std::string now = ring.NodeFor(i);
+    if (before[i] != "b") {
+      EXPECT_EQ(now, before[i]) << "key " << i << " moved unnecessarily";
+    } else {
+      EXPECT_NE(now, "b");
+    }
+  }
+}
+
+TEST(HashRingTest, AddRemoveIdempotence) {
+  ConsistentHashRing ring;
+  ring.AddNode("x");
+  ring.AddNode("x");  // No-op.
+  EXPECT_EQ(ring.num_nodes(), 1u);
+  EXPECT_TRUE(ring.RemoveNode("x"));
+  EXPECT_FALSE(ring.RemoveNode("x"));
+  EXPECT_EQ(ring.num_nodes(), 0u);
+}
+
+// ----------------------------------------------------------------- cluster --
+
+db::CollectionSchema MakeSchema() {
+  db::CollectionSchema schema;
+  schema.name = "vecs";
+  schema.vector_fields = {{"v", 16}};
+  schema.attributes = {};
+  schema.index_params.nlist = 4;
+  return schema;
+}
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    shared_fs_ = std::make_shared<storage::ObjectStoreFileSystem>(
+        storage::NewMemoryFileSystem(), storage::ObjectStoreOptions{});
+    ClusterOptions options;
+    options.shared_fs = shared_fs_;
+    options.num_readers = 3;
+    options.index_build_threshold_rows = 100;
+    cluster_ = std::make_unique<Cluster>(options);
+    ASSERT_TRUE(cluster_->CreateCollection(MakeSchema()).ok());
+
+    bench::DatasetSpec spec;
+    spec.num_vectors = 400;
+    spec.dim = 16;
+    data_ = bench::MakeSiftLike(spec);
+  }
+
+  Status InsertAll(size_t n, size_t per_flush = 100) {
+    for (size_t i = 0; i < n; ++i) {
+      db::Entity entity;
+      entity.id = static_cast<RowId>(i);
+      entity.vectors.emplace_back(data_.vector(i), data_.vector(i) + 16);
+      VDB_RETURN_NOT_OK(cluster_->Insert("vecs", entity));
+      if ((i + 1) % per_flush == 0) {
+        VDB_RETURN_NOT_OK(cluster_->Flush("vecs"));
+      }
+    }
+    return cluster_->Flush("vecs");
+  }
+
+  storage::FileSystemPtr shared_fs_;
+  std::unique_ptr<Cluster> cluster_;
+  bench::Dataset data_;
+};
+
+TEST_F(ClusterTest, ScatterGatherFindsExactMatches) {
+  ASSERT_TRUE(InsertAll(400).ok());
+  db::QueryOptions options;
+  options.k = 1;
+  options.nprobe = 4;
+  size_t correct = 0;
+  for (size_t i = 0; i < 40; ++i) {
+    auto result = cluster_->Search("vecs", "v", data_.vector(i * 10), 1,
+                                   options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    if (!result.value()[0].empty() &&
+        result.value()[0][0].id == static_cast<RowId>(i * 10)) {
+      ++correct;
+    }
+  }
+  EXPECT_GE(correct, 38u);
+}
+
+TEST_F(ClusterTest, SegmentsArePartitionedNotReplicated) {
+  ASSERT_TRUE(InsertAll(400).ok());
+  // Every segment has exactly one owner among the registered readers.
+  const auto readers = cluster_->coordinator().Readers();
+  EXPECT_EQ(readers.size(), 3u);
+  for (SegmentId id = 1; id <= 4; ++id) {
+    const std::string owner = cluster_->coordinator().OwnerOfSegment(id);
+    EXPECT_NE(std::find(readers.begin(), readers.end(), owner), readers.end());
+  }
+}
+
+TEST_F(ClusterTest, ElasticAddReaderServesQueries) {
+  ASSERT_TRUE(InsertAll(200).ok());
+  ASSERT_TRUE(cluster_->AddReader().ok());
+  EXPECT_EQ(cluster_->num_live_readers(), 4u);
+  db::QueryOptions options;
+  options.k = 1;
+  auto result = cluster_->Search("vecs", "v", data_.vector(5), 1, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result.value()[0].empty());
+  EXPECT_EQ(result.value()[0][0].id, 5);
+}
+
+TEST_F(ClusterTest, ReaderCrashRemapsShards) {
+  ASSERT_TRUE(InsertAll(200).ok());
+  const auto readers = cluster_->coordinator().Readers();
+  ASSERT_TRUE(cluster_->CrashReader(readers[0]).ok());
+  EXPECT_EQ(cluster_->num_live_readers(), 2u);
+  // All data still reachable: the survivors own every shard now.
+  db::QueryOptions options;
+  options.k = 1;
+  size_t correct = 0;
+  for (size_t i = 0; i < 20; ++i) {
+    auto result = cluster_->Search("vecs", "v", data_.vector(i * 10), 1,
+                                   options);
+    ASSERT_TRUE(result.ok());
+    if (!result.value()[0].empty() &&
+        result.value()[0][0].id == static_cast<RowId>(i * 10)) {
+      ++correct;
+    }
+  }
+  EXPECT_GE(correct, 19u);
+  // Restart: shards rebalance back.
+  ASSERT_TRUE(cluster_->RestartReader(readers[0]).ok());
+  EXPECT_EQ(cluster_->num_live_readers(), 3u);
+}
+
+TEST_F(ClusterTest, WriterCrashLosesNothingThanksToWal) {
+  // Insert without flushing, crash the writer, restart: the WAL on shared
+  // storage reconstructs the unflushed rows (Sec 5.3 atomicity).
+  for (size_t i = 0; i < 50; ++i) {
+    db::Entity entity;
+    entity.id = static_cast<RowId>(i);
+    entity.vectors.emplace_back(data_.vector(i), data_.vector(i) + 16);
+    ASSERT_TRUE(cluster_->Insert("vecs", entity).ok());
+  }
+  ASSERT_TRUE(cluster_->CrashWriter().ok());
+  EXPECT_FALSE(cluster_->writer_alive());
+  EXPECT_TRUE(cluster_->Insert("vecs", db::Entity{}).IsUnavailable());
+
+  ASSERT_TRUE(cluster_->RestartWriter().ok());
+  ASSERT_TRUE(cluster_->Flush("vecs").ok());
+  db::QueryOptions options;
+  options.k = 1;
+  auto result = cluster_->Search("vecs", "v", data_.vector(33), 1, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result.value()[0].empty());
+  EXPECT_EQ(result.value()[0][0].id, 33);
+}
+
+TEST_F(ClusterTest, MaintenanceMergesOnSharedStorage) {
+  ClusterOptions options;
+  options.shared_fs = shared_fs_;
+  options.num_readers = 2;
+  // (Re-use the existing cluster; merge factor default 4.)
+  ASSERT_TRUE(InsertAll(400, 100).ok());  // 4 segments of 100.
+  ASSERT_TRUE(cluster_->RunMaintenance("vecs").ok());
+  db::QueryOptions qopts;
+  qopts.k = 1;
+  auto result = cluster_->Search("vecs", "v", data_.vector(250), 1, qopts);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result.value()[0].empty());
+  EXPECT_EQ(result.value()[0][0].id, 250);
+}
+
+TEST_F(ClusterTest, CoordinatorFailoverRecoversShardMap) {
+  ASSERT_TRUE(InsertAll(100).ok());
+  // A replacement coordinator instance recovers the same metadata from
+  // shared storage (the HA property of the coordinator layer).
+  Coordinator replacement(shared_fs_, "cluster/coordinator.meta");
+  ASSERT_TRUE(replacement.Recover().ok());
+  EXPECT_EQ(replacement.Readers(), cluster_->coordinator().Readers());
+  EXPECT_EQ(replacement.Collections(),
+            cluster_->coordinator().Collections());
+  for (SegmentId id = 1; id <= 4; ++id) {
+    EXPECT_EQ(replacement.OwnerOfSegment(id),
+              cluster_->coordinator().OwnerOfSegment(id));
+  }
+}
+
+TEST_F(ClusterTest, RpcCountGrowsWithActivity) {
+  const size_t before = cluster_->rpc_count();
+  ASSERT_TRUE(InsertAll(50).ok());
+  db::QueryOptions options;
+  options.k = 1;
+  ASSERT_TRUE(cluster_->Search("vecs", "v", data_.vector(0), 1, options).ok());
+  EXPECT_GT(cluster_->rpc_count(), before + 50);
+}
+
+}  // namespace
+}  // namespace dist
+}  // namespace vectordb

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "benchsupport/dataset.h"
+#include "benchsupport/ground_truth.h"
+#include "engine/batch_searcher.h"
+#include "engine/query_per_thread_searcher.h"
+
+namespace vectordb {
+namespace engine {
+namespace {
+
+// -------------------------------------------------------- Eq. (1) sizing --
+
+TEST(QueryBlockSizeTest, MatchesEquationOne) {
+  // s = L3 / (d*4 + t*k*12): d=128, t=16, k=50 → per-query = 512 + 9600.
+  const size_t s =
+      ComputeQueryBlockSize(128, 50, 16, 35u << 20, /*max_block=*/0);
+  EXPECT_EQ(s, (35u << 20) / (128 * 4 + 16 * 50 * 12));
+}
+
+TEST(QueryBlockSizeTest, ClampedToAtLeastOne) {
+  EXPECT_EQ(ComputeQueryBlockSize(1 << 20, 10000, 64, 1024, 0), 1u);
+}
+
+TEST(QueryBlockSizeTest, MaxBlockCapApplies) {
+  EXPECT_EQ(ComputeQueryBlockSize(8, 1, 1, 1u << 30, 4096), 4096u);
+}
+
+TEST(QueryBlockSizeTest, SmallerCacheSmallerBlocks) {
+  const size_t big = ComputeQueryBlockSize(128, 50, 8, 35u << 20, 0);
+  const size_t small = ComputeQueryBlockSize(128, 50, 8, 12u << 20, 0);
+  EXPECT_GT(big, small);
+}
+
+// ------------------------------------------------- searcher equivalence --
+
+class SearcherEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<MetricType, size_t>> {};
+
+TEST_P(SearcherEquivalenceTest, BlockedMatchesBaselineAndTruth) {
+  const auto [metric, threads] = GetParam();
+  bench::DatasetSpec spec;
+  spec.num_vectors = 2000;
+  spec.dim = 24;
+  const auto data = bench::MakeSiftLike(spec);
+  const auto queries = bench::MakeQueries(spec, 37);  // Not block-aligned.
+
+  BatchSearchSpec search_spec;
+  search_spec.metric = metric;
+  search_spec.dim = spec.dim;
+  search_spec.k = 10;
+  search_spec.num_threads = threads;
+  search_spec.query_block = 7;  // Force multiple ragged blocks.
+
+  ThreadPool pool(threads);
+  CacheAwareBatchSearcher blocked(&pool);
+  QueryPerThreadSearcher baseline(&pool);
+
+  std::vector<HitList> blocked_results, baseline_results;
+  ASSERT_TRUE(blocked
+                  .Search(data.data.data(), data.num_vectors,
+                          queries.data.data(), queries.num_vectors,
+                          search_spec, &blocked_results)
+                  .ok());
+  ASSERT_TRUE(baseline
+                  .Search(data.data.data(), data.num_vectors,
+                          queries.data.data(), queries.num_vectors,
+                          search_spec, &baseline_results)
+                  .ok());
+
+  const auto truth = bench::ComputeGroundTruth(
+      data.data.data(), data.num_vectors, queries.data.data(),
+      queries.num_vectors, spec.dim, 10, metric);
+  // Both searchers are exact — they must achieve recall 1.0.
+  EXPECT_DOUBLE_EQ(bench::MeanRecall(truth, blocked_results), 1.0);
+  EXPECT_DOUBLE_EQ(bench::MeanRecall(truth, baseline_results), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MetricsAndThreads, SearcherEquivalenceTest,
+    ::testing::Combine(::testing::Values(MetricType::kL2,
+                                         MetricType::kInnerProduct),
+                       ::testing::Values(size_t{1}, size_t{2}, size_t{4})),
+    [](const auto& info) {
+      return std::string(MetricName(std::get<0>(info.param))) + "_t" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(BatchSearcherTest, WorksWithoutThreadPool) {
+  bench::DatasetSpec spec;
+  spec.num_vectors = 300;
+  spec.dim = 8;
+  const auto data = bench::MakeSiftLike(spec);
+  BatchSearchSpec search_spec;
+  search_spec.metric = MetricType::kL2;
+  search_spec.dim = 8;
+  search_spec.k = 3;
+  CacheAwareBatchSearcher searcher(nullptr);
+  std::vector<HitList> results;
+  ASSERT_TRUE(searcher
+                  .Search(data.data.data(), 300, data.data.data(), 4,
+                          search_spec, &results)
+                  .ok());
+  ASSERT_EQ(results.size(), 4u);
+  for (size_t q = 0; q < 4; ++q) {
+    ASSERT_FALSE(results[q].empty());
+    EXPECT_EQ(results[q][0].id, static_cast<RowId>(q));  // Self-match first.
+  }
+}
+
+TEST(BatchSearcherTest, EmptyInputsHandled) {
+  BatchSearchSpec spec;
+  spec.metric = MetricType::kL2;
+  spec.dim = 8;
+  spec.k = 3;
+  CacheAwareBatchSearcher searcher(nullptr);
+  std::vector<HitList> results;
+  const float dummy[8] = {};
+  EXPECT_TRUE(searcher.Search(dummy, 0, dummy, 1, spec, &results).ok());
+  EXPECT_TRUE(results[0].empty());
+  EXPECT_TRUE(searcher.Search(dummy, 1, dummy, 0, spec, &results).ok());
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(BatchSearcherTest, ZeroDimRejected) {
+  BatchSearchSpec spec;
+  spec.dim = 0;
+  CacheAwareBatchSearcher searcher(nullptr);
+  std::vector<HitList> results;
+  const float dummy[1] = {};
+  EXPECT_TRUE(
+      searcher.Search(dummy, 1, dummy, 1, spec, &results).IsInvalidArgument());
+}
+
+TEST(BatchSearcherTest, MoreThreadsThanRowsHandled) {
+  const float data[4] = {0, 0, 1, 1};  // 2 rows, dim 2.
+  BatchSearchSpec spec;
+  spec.metric = MetricType::kL2;
+  spec.dim = 2;
+  spec.k = 2;
+  spec.num_threads = 16;
+  ThreadPool pool(4);
+  CacheAwareBatchSearcher searcher(&pool);
+  std::vector<HitList> results;
+  const float q[2] = {0, 0};
+  ASSERT_TRUE(searcher.Search(data, 2, q, 1, spec, &results).ok());
+  ASSERT_EQ(results[0].size(), 2u);
+  EXPECT_EQ(results[0][0].id, 0);
+}
+
+TEST(BatchSearcherTest, EffectiveBlockSizeHonorsOverride) {
+  BatchSearchSpec spec;
+  spec.dim = 128;
+  spec.k = 50;
+  spec.query_block = 123;
+  EXPECT_EQ(CacheAwareBatchSearcher::EffectiveBlockSize(spec), 123u);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace vectordb

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "storage/filesystem.h"
+#include "storage/object_store.h"
+
+namespace vectordb {
+namespace storage {
+namespace {
+
+/// Shared conformance suite run against every FileSystem implementation.
+class FileSystemConformanceTest
+    : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == "memory") {
+      fs_ = NewMemoryFileSystem();
+    } else if (GetParam() == "local") {
+      root_ = std::filesystem::temp_directory_path() /
+              ("vdb_fs_test_" + std::to_string(::getpid()) + "_" + GetParam());
+      fs_ = NewLocalFileSystem(root_.string());
+    } else {  // s3sim
+      fs_ = std::make_shared<ObjectStoreFileSystem>(NewMemoryFileSystem(),
+                                                    ObjectStoreOptions{});
+    }
+  }
+
+  void TearDown() override {
+    if (!root_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(root_, ec);
+    }
+  }
+
+  FileSystemPtr fs_;
+  std::filesystem::path root_;
+};
+
+TEST_P(FileSystemConformanceTest, WriteReadRoundTrip) {
+  ASSERT_TRUE(fs_->Write("a/b/file.bin", "payload").ok());
+  std::string data;
+  ASSERT_TRUE(fs_->Read("a/b/file.bin", &data).ok());
+  EXPECT_EQ(data, "payload");
+}
+
+TEST_P(FileSystemConformanceTest, WriteOverwrites) {
+  ASSERT_TRUE(fs_->Write("f", "old").ok());
+  ASSERT_TRUE(fs_->Write("f", "new").ok());
+  std::string data;
+  ASSERT_TRUE(fs_->Read("f", &data).ok());
+  EXPECT_EQ(data, "new");
+}
+
+TEST_P(FileSystemConformanceTest, ReadMissingIsNotFound) {
+  std::string data;
+  EXPECT_TRUE(fs_->Read("nope", &data).IsNotFound());
+}
+
+TEST_P(FileSystemConformanceTest, AppendAccumulates) {
+  ASSERT_TRUE(fs_->Append("log", "aa").ok());
+  ASSERT_TRUE(fs_->Append("log", "bb").ok());
+  std::string data;
+  ASSERT_TRUE(fs_->Read("log", &data).ok());
+  EXPECT_EQ(data, "aabb");
+}
+
+TEST_P(FileSystemConformanceTest, ExistsAndDelete) {
+  ASSERT_TRUE(fs_->Write("x", "1").ok());
+  auto exists = fs_->Exists("x");
+  ASSERT_TRUE(exists.ok());
+  EXPECT_TRUE(exists.value());
+  ASSERT_TRUE(fs_->Delete("x").ok());
+  exists = fs_->Exists("x");
+  ASSERT_TRUE(exists.ok());
+  EXPECT_FALSE(exists.value());
+  EXPECT_TRUE(fs_->Delete("x").IsNotFound());
+}
+
+TEST_P(FileSystemConformanceTest, ListByPrefixSorted) {
+  ASSERT_TRUE(fs_->Write("col/seg/2", "b").ok());
+  ASSERT_TRUE(fs_->Write("col/seg/1", "a").ok());
+  ASSERT_TRUE(fs_->Write("other/x", "c").ok());
+  auto listed = fs_->List("col/");
+  ASSERT_TRUE(listed.ok());
+  ASSERT_EQ(listed.value().size(), 2u);
+  EXPECT_EQ(listed.value()[0], "col/seg/1");
+  EXPECT_EQ(listed.value()[1], "col/seg/2");
+}
+
+TEST_P(FileSystemConformanceTest, BinaryDataSurvives) {
+  std::string binary;
+  for (int i = 0; i < 256; ++i) binary.push_back(static_cast<char>(i));
+  ASSERT_TRUE(fs_->Write("bin", binary).ok());
+  std::string data;
+  ASSERT_TRUE(fs_->Read("bin", &data).ok());
+  EXPECT_EQ(data, binary);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, FileSystemConformanceTest,
+                         ::testing::Values("memory", "local", "s3sim"),
+                         [](const auto& info) { return info.param; });
+
+// ------------------------------------------------------ object-store sim --
+
+TEST(ObjectStoreTest, CountsOperationsAndBytes) {
+  auto store = std::make_shared<ObjectStoreFileSystem>(NewMemoryFileSystem(),
+                                                       ObjectStoreOptions{});
+  ASSERT_TRUE(store->Write("k", std::string(1000, 'x')).ok());
+  std::string data;
+  ASSERT_TRUE(store->Read("k", &data).ok());
+  EXPECT_EQ(store->stats().writes.load(), 1u);
+  EXPECT_EQ(store->stats().reads.load(), 1u);
+  EXPECT_EQ(store->stats().bytes_written.load(), 1000u);
+  EXPECT_EQ(store->stats().bytes_read.load(), 1000u);
+}
+
+TEST(ObjectStoreTest, SimulatedLatencyAccumulates) {
+  ObjectStoreOptions options;
+  options.op_latency_us = 5000;
+  options.bandwidth = 1e6;  // 1MB/s.
+  auto store = std::make_shared<ObjectStoreFileSystem>(NewMemoryFileSystem(),
+                                                       options);
+  ASSERT_TRUE(store->Write("k", std::string(1'000'000, 'x')).ok());
+  // 5ms latency + 1s payload time ≈ 1.005s.
+  EXPECT_NEAR(static_cast<double>(store->stats().simulated_micros.load()),
+              1'005'000.0, 2000.0);
+}
+
+TEST(ObjectStoreTest, FailedReadNotCharged) {
+  auto store = std::make_shared<ObjectStoreFileSystem>(NewMemoryFileSystem(),
+                                                       ObjectStoreOptions{});
+  std::string data;
+  EXPECT_TRUE(store->Read("missing", &data).IsNotFound());
+  EXPECT_EQ(store->stats().reads.load(), 0u);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace vectordb

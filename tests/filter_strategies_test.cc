@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include "benchsupport/dataset.h"
+#include "benchsupport/ground_truth.h"
+#include "query/cost_model.h"
+#include "query/filter_strategies.h"
+#include "query/partition_manager.h"
+
+namespace vectordb {
+namespace query {
+namespace {
+
+class FilterStrategyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    bench::DatasetSpec spec;
+    spec.num_vectors = 4000;
+    spec.dim = 24;
+    spec.num_clusters = 16;
+    data_ = bench::MakeSiftLike(spec);
+    queries_ = bench::MakeQueries(spec, 10);
+    attrs_ = bench::MakeUniformAttribute(data_.num_vectors, 0, 10000, 17);
+
+    dataset_ = std::make_unique<FilteredDataset>(data_.dim, MetricType::kL2);
+    ASSERT_TRUE(dataset_->Load(data_.data.data(), attrs_, data_.num_vectors).ok());
+    index::IndexBuildParams params;
+    params.nlist = 32;
+    ASSERT_TRUE(
+        dataset_->BuildIndex(index::IndexType::kIvfFlat, params).ok());
+  }
+
+  FilteredSearchOptions Options(double lo, double hi, size_t k = 20) {
+    FilteredSearchOptions options;
+    options.k = k;
+    options.range = {lo, hi};
+    options.nprobe = 32;
+    return options;
+  }
+
+  bench::Dataset data_;
+  bench::Dataset queries_;
+  std::vector<double> attrs_;
+  std::unique_ptr<FilteredDataset> dataset_;
+};
+
+TEST_F(FilterStrategyTest, AllResultsSatisfyTheConstraint) {
+  for (FilterStrategy strategy : {FilterStrategy::kA, FilterStrategy::kB,
+                                  FilterStrategy::kC, FilterStrategy::kD}) {
+    const auto options = Options(2000, 4000);
+    auto result = dataset_->Search(queries_.data.data(), options, strategy);
+    ASSERT_TRUE(result.ok()) << FilterStrategyName(strategy);
+    for (const SearchHit& hit : result.value()) {
+      const double value = attrs_[static_cast<size_t>(hit.id)];
+      EXPECT_GE(value, 2000.0) << FilterStrategyName(strategy);
+      EXPECT_LE(value, 4000.0) << FilterStrategyName(strategy);
+    }
+  }
+}
+
+TEST_F(FilterStrategyTest, StrategyAIsExact) {
+  const auto options = Options(1000, 9000);
+  const HitList got = dataset_->StrategyA(queries_.data.data(), options);
+  const HitList truth =
+      dataset_->ExactSearch(queries_.data.data(), options.k, options.range);
+  EXPECT_EQ(got, truth);
+}
+
+TEST_F(FilterStrategyTest, StrategyBHighRecall) {
+  const auto options = Options(0, 10000);  // Everything passes.
+  const HitList got = dataset_->StrategyB(queries_.data.data(), options);
+  const HitList truth =
+      dataset_->ExactSearch(queries_.data.data(), options.k, options.range);
+  EXPECT_GE(bench::Recall(truth, got), 0.9);
+}
+
+TEST_F(FilterStrategyTest, StrategyCDropsConstraintFailures) {
+  const auto options = Options(0, 5000);
+  const HitList got = dataset_->StrategyC(queries_.data.data(), options);
+  for (const SearchHit& hit : got) {
+    EXPECT_LE(attrs_[static_cast<size_t>(hit.id)], 5000.0);
+  }
+}
+
+TEST_F(FilterStrategyTest, StrategyDAlwaysAnswers) {
+  // Across wildly different selectivities the cost-based strategy must
+  // return sane, constraint-satisfying results.
+  for (const auto& [lo, hi] : std::vector<std::pair<double, double>>{
+           {0, 10000}, {4990, 5010}, {0, 100}, {9000, 10000}}) {
+    const auto options = Options(lo, hi);
+    const HitList got = dataset_->StrategyD(queries_.data.data(), options);
+    const HitList truth =
+        dataset_->ExactSearch(queries_.data.data(), options.k, options.range);
+    if (!truth.empty()) {
+      EXPECT_FALSE(got.empty()) << "[" << lo << "," << hi << "]";
+    }
+    EXPECT_GE(bench::Recall(truth, got), 0.55) << "[" << lo << "," << hi << "]";
+  }
+}
+
+TEST_F(FilterStrategyTest, EmptyRangeYieldsEmpty) {
+  const auto options = Options(20000, 30000);  // Outside the domain.
+  for (FilterStrategy strategy : {FilterStrategy::kA, FilterStrategy::kB,
+                                  FilterStrategy::kC, FilterStrategy::kD}) {
+    auto result = dataset_->Search(queries_.data.data(), options, strategy);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result.value().empty()) << FilterStrategyName(strategy);
+  }
+}
+
+TEST_F(FilterStrategyTest, StrategyERunsOnPartitionedCollection) {
+  auto result = dataset_->Search(queries_.data.data(), Options(0, 100),
+                                 FilterStrategy::kE);
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+// -------------------------------------------------------------- cost model --
+
+TEST(CostModelTest, HighSelectivityPrefersA) {
+  // Very few rows pass: scanning them exactly is cheapest.
+  CostModelInputs inputs;
+  inputs.n = 1'000'000;
+  inputs.k = 50;
+  inputs.pass_fraction = 0.0001;
+  inputs.nlist = 1024;
+  inputs.nprobe = 32;
+  EXPECT_EQ(ChooseStrategy(inputs), FilterStrategy::kA);
+}
+
+TEST(CostModelTest, LowSelectivityPrefersCOrB) {
+  // Almost everything passes: vector-first C is cheapest (θk candidates).
+  CostModelInputs inputs;
+  inputs.n = 1'000'000;
+  inputs.k = 50;
+  inputs.pass_fraction = 0.99;
+  inputs.nlist = 1024;
+  inputs.nprobe = 32;
+  inputs.theta = 2.0;
+  const FilterStrategy chosen = ChooseStrategy(inputs);
+  EXPECT_NE(chosen, FilterStrategy::kA);
+}
+
+TEST(CostModelTest, CInfeasibleWhenFewPass) {
+  CostModelInputs inputs;
+  inputs.n = 100000;
+  inputs.k = 50;
+  inputs.pass_fraction = 0.01;
+  inputs.theta = 2.0;
+  const CostEstimates est = EstimateCosts(inputs);
+  EXPECT_FALSE(est.c_feasible);
+}
+
+TEST(CostModelTest, MidSelectivityPrefersB) {
+  CostModelInputs inputs;
+  inputs.n = 1'000'000;
+  inputs.k = 50;
+  inputs.pass_fraction = 0.3;
+  inputs.nlist = 1024;
+  inputs.nprobe = 16;
+  inputs.theta = 2.0;
+  EXPECT_EQ(ChooseStrategy(inputs), FilterStrategy::kB);
+}
+
+// ------------------------------------------------------------- strategy E --
+
+class PartitionedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    bench::DatasetSpec spec;
+    spec.num_vectors = 4000;
+    spec.dim = 16;
+    data_ = bench::MakeSiftLike(spec);
+    attrs_ = bench::MakeUniformAttribute(data_.num_vectors, 0, 10000, 23);
+
+    PartitionedCollection::Options options;
+    options.num_partitions = 8;
+    options.index_params.nlist = 16;
+    partitioned_ = std::make_unique<PartitionedCollection>(
+        data_.dim, MetricType::kL2, options);
+    ASSERT_TRUE(
+        partitioned_->Load(data_.data.data(), attrs_, data_.num_vectors).ok());
+
+    flat_ = std::make_unique<FilteredDataset>(data_.dim, MetricType::kL2);
+    ASSERT_TRUE(flat_->Load(data_.data.data(), attrs_, data_.num_vectors).ok());
+  }
+
+  bench::Dataset data_;
+  std::vector<double> attrs_;
+  std::unique_ptr<PartitionedCollection> partitioned_;
+  std::unique_ptr<FilteredDataset> flat_;
+};
+
+TEST_F(PartitionedTest, PartitionsCoverEqualFrequencies) {
+  ASSERT_EQ(partitioned_->num_partitions(), 8u);
+  size_t total = 0;
+  double prev_hi = -1;
+  for (size_t p = 0; p < 8; ++p) {
+    const auto info = partitioned_->partition_info(p);
+    total += info.num_rows;
+    EXPECT_GE(info.range_lo, prev_hi);  // Non-overlapping ordered ranges.
+    prev_hi = info.range_hi;
+    EXPECT_NEAR(static_cast<double>(info.num_rows), 500.0, 1.0);
+  }
+  EXPECT_EQ(total, 4000u);
+}
+
+TEST_F(PartitionedTest, PrunesAndCoversPartitions) {
+  FilteredSearchOptions options;
+  options.k = 10;
+  options.nprobe = 16;
+  options.range = {2000, 4500};  // ~2 covered + boundary partials.
+  PartitionedCollection::SearchStats stats;
+  auto result = partitioned_->Search(data_.vector(0), options, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(stats.partitions_pruned, 0u);
+  EXPECT_GT(stats.partitions_covered, 0u);
+  EXPECT_EQ(stats.partitions_pruned + stats.partitions_covered +
+                stats.partitions_costbased,
+            8u);
+}
+
+TEST_F(PartitionedTest, ResultsSatisfyConstraintAndMatchExact) {
+  FilteredSearchOptions options;
+  options.k = 20;
+  // nprobe is scaled by 1/ρ inside the partitioned search; 128 over 8
+  // partitions probes every bucket of each partition's nlist=16 index.
+  options.nprobe = 128;
+  options.range = {1000, 6000};
+  auto result = partitioned_->Search(data_.vector(0), options, nullptr);
+  ASSERT_TRUE(result.ok());
+  for (const SearchHit& hit : result.value()) {
+    const double value = attrs_[static_cast<size_t>(hit.id)];
+    EXPECT_GE(value, 1000.0);
+    EXPECT_LE(value, 6000.0);
+  }
+  const HitList truth =
+      flat_->ExactSearch(data_.vector(0), options.k, options.range);
+  EXPECT_GE(bench::Recall(truth, result.value()), 0.7);
+}
+
+TEST_F(PartitionedTest, FullRangeCoversEverything) {
+  FilteredSearchOptions options;
+  options.k = 10;
+  options.nprobe = 16;
+  options.range = {0, 10000};
+  PartitionedCollection::SearchStats stats;
+  auto result = partitioned_->Search(data_.vector(1), options, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(stats.partitions_covered, 8u);
+  EXPECT_EQ(stats.partitions_pruned, 0u);
+}
+
+TEST(QueryFrequencyTrackerTest, TracksHottestAttribute) {
+  QueryFrequencyTracker tracker;
+  EXPECT_EQ(tracker.MostFrequent(), "");
+  tracker.Record("price");
+  tracker.Record("price");
+  tracker.Record("size");
+  EXPECT_EQ(tracker.MostFrequent(), "price");
+  EXPECT_EQ(tracker.CountOf("price"), 2u);
+  EXPECT_EQ(tracker.CountOf("colour"), 0u);
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace vectordb

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "benchsupport/dataset.h"
+#include "benchsupport/ground_truth.h"
+#include "index/binary_flat_index.h"
+#include "index/flat_index.h"
+#include "simd/distances.h"
+
+namespace vectordb {
+namespace index {
+namespace {
+
+bench::DatasetSpec SmallSpec() {
+  bench::DatasetSpec spec;
+  spec.num_vectors = 500;
+  spec.dim = 32;
+  spec.num_clusters = 8;
+  return spec;
+}
+
+TEST(FlatIndexTest, ExactTopKMatchesGroundTruth) {
+  const auto data = bench::MakeSiftLike(SmallSpec());
+  const auto queries = bench::MakeQueries(SmallSpec(), 10);
+  FlatIndex index(data.dim, MetricType::kL2);
+  ASSERT_TRUE(index.Build(data.data.data(), data.num_vectors).ok());
+  EXPECT_EQ(index.Size(), 500u);
+
+  SearchOptions options;
+  options.k = 10;
+  std::vector<HitList> results;
+  ASSERT_TRUE(
+      index.Search(queries.data.data(), queries.num_vectors, options, &results)
+          .ok());
+  const auto truth = bench::ComputeGroundTruth(
+      data.data.data(), data.num_vectors, queries.data.data(),
+      queries.num_vectors, data.dim, 10, MetricType::kL2);
+  EXPECT_DOUBLE_EQ(bench::MeanRecall(truth, results), 1.0);
+}
+
+TEST(FlatIndexTest, InnerProductOrdersDescending) {
+  const auto data = bench::MakeSiftLike(SmallSpec());
+  FlatIndex index(data.dim, MetricType::kInnerProduct);
+  ASSERT_TRUE(index.Build(data.data.data(), data.num_vectors).ok());
+  SearchOptions options;
+  options.k = 5;
+  std::vector<HitList> results;
+  ASSERT_TRUE(index.Search(data.vector(0), 1, options, &results).ok());
+  ASSERT_EQ(results[0].size(), 5u);
+  for (size_t i = 1; i < results[0].size(); ++i) {
+    EXPECT_GE(results[0][i - 1].score, results[0][i].score);
+  }
+}
+
+TEST(FlatIndexTest, FilterExcludesRows) {
+  const auto data = bench::MakeSiftLike(SmallSpec());
+  FlatIndex index(data.dim, MetricType::kL2);
+  ASSERT_TRUE(index.Build(data.data.data(), data.num_vectors).ok());
+  // Query with vector 7: unfiltered top-1 is row 7 itself; filtered out it
+  // must not appear anywhere.
+  Bitset allowed(data.num_vectors, true);
+  allowed.Clear(7);
+  SearchOptions options;
+  options.k = 10;
+  options.filter = &allowed;
+  std::vector<HitList> results;
+  ASSERT_TRUE(index.Search(data.vector(7), 1, options, &results).ok());
+  for (const SearchHit& hit : results[0]) EXPECT_NE(hit.id, 7);
+}
+
+TEST(FlatIndexTest, SerializeRoundTrip) {
+  const auto data = bench::MakeSiftLike(SmallSpec());
+  FlatIndex index(data.dim, MetricType::kL2);
+  ASSERT_TRUE(index.Build(data.data.data(), data.num_vectors).ok());
+  std::string blob;
+  ASSERT_TRUE(index.Serialize(&blob).ok());
+
+  FlatIndex restored(data.dim, MetricType::kL2);
+  ASSERT_TRUE(restored.Deserialize(blob).ok());
+  EXPECT_EQ(restored.Size(), index.Size());
+  SearchOptions options;
+  options.k = 3;
+  std::vector<HitList> a, b;
+  ASSERT_TRUE(index.Search(data.vector(1), 1, options, &a).ok());
+  ASSERT_TRUE(restored.Search(data.vector(1), 1, options, &b).ok());
+  EXPECT_EQ(a[0], b[0]);
+}
+
+TEST(FlatIndexTest, DeserializeRejectsGarbage) {
+  FlatIndex index(8, MetricType::kL2);
+  EXPECT_TRUE(index.Deserialize("not an index").IsCorruption());
+}
+
+TEST(FlatIndexTest, KLargerThanDataReturnsAll) {
+  const float data[6] = {0, 0, 1, 1, 2, 2};
+  FlatIndex index(2, MetricType::kL2);
+  ASSERT_TRUE(index.Build(data, 3).ok());
+  SearchOptions options;
+  options.k = 10;
+  std::vector<HitList> results;
+  const float q[2] = {0, 0};
+  ASSERT_TRUE(index.Search(q, 1, options, &results).ok());
+  EXPECT_EQ(results[0].size(), 3u);
+}
+
+// ------------------------------------------------------------ binary flat --
+
+TEST(BinaryFlatIndexTest, HammingSelfMatchIsFirst) {
+  const auto prints = bench::MakeFingerprints(200, 256, 0.3, 5);
+  BinaryFlatIndex index(256, MetricType::kHamming);
+  ASSERT_TRUE(index.AddBinary(prints.data.data(), prints.num_vectors).ok());
+  SearchOptions options;
+  options.k = 3;
+  std::vector<HitList> results;
+  ASSERT_TRUE(index.SearchBinary(prints.vector(42), 1, options, &results).ok());
+  ASSERT_FALSE(results[0].empty());
+  EXPECT_EQ(results[0][0].id, 42);
+  EXPECT_EQ(results[0][0].score, 0.0f);
+}
+
+TEST(BinaryFlatIndexTest, TanimotoOrdersByOverlap) {
+  // Query 0b1111; candidates with decreasing overlap.
+  const uint8_t base[3] = {0b1111, 0b0111, 0b0001};
+  BinaryFlatIndex index(8, MetricType::kTanimoto);
+  ASSERT_TRUE(index.AddBinary(base, 3).ok());
+  SearchOptions options;
+  options.k = 3;
+  std::vector<HitList> results;
+  const uint8_t query[1] = {0b1111};
+  ASSERT_TRUE(index.SearchBinary(query, 1, options, &results).ok());
+  ASSERT_EQ(results[0].size(), 3u);
+  EXPECT_EQ(results[0][0].id, 0);
+  EXPECT_EQ(results[0][1].id, 1);
+  EXPECT_EQ(results[0][2].id, 2);
+}
+
+TEST(BinaryFlatIndexTest, FloatEntryPointsNotSupported) {
+  BinaryFlatIndex index(64, MetricType::kHamming);
+  const float dummy[1] = {0};
+  EXPECT_TRUE(index.Add(dummy, 0).IsNotSupported());
+  std::vector<HitList> results;
+  EXPECT_TRUE(index.Search(dummy, 0, {}, &results).IsNotSupported());
+}
+
+TEST(BinaryFlatIndexTest, RequiresBinaryMetric) {
+  BinaryFlatIndex index(64, MetricType::kL2);
+  const uint8_t dummy[8] = {};
+  ASSERT_TRUE(index.AddBinary(dummy, 1).ok());
+  std::vector<HitList> results;
+  EXPECT_TRUE(
+      index.SearchBinary(dummy, 1, {}, &results).IsInvalidArgument());
+}
+
+TEST(BinaryFlatIndexTest, SerializeRoundTrip) {
+  const auto prints = bench::MakeFingerprints(50, 128, 0.4, 6);
+  BinaryFlatIndex index(128, MetricType::kJaccard);
+  ASSERT_TRUE(index.AddBinary(prints.data.data(), prints.num_vectors).ok());
+  std::string blob;
+  ASSERT_TRUE(index.Serialize(&blob).ok());
+  BinaryFlatIndex restored(128, MetricType::kJaccard);
+  ASSERT_TRUE(restored.Deserialize(blob).ok());
+  EXPECT_EQ(restored.Size(), 50u);
+}
+
+}  // namespace
+}  // namespace index
+}  // namespace vectordb

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "benchsupport/dataset.h"
+#include "benchsupport/ground_truth.h"
+#include "gpusim/gpu_device.h"
+#include "gpusim/gpu_topk.h"
+#include "gpusim/segment_scheduler.h"
+
+namespace vectordb {
+namespace gpusim {
+namespace {
+
+GpuDevice::Options SmallDevice() {
+  GpuDevice::Options options;
+  options.memory_bytes = 1 << 20;  // 1MB device memory.
+  options.pcie_bandwidth = 1e9;
+  options.dma_latency = 1e-4;
+  options.kernel_speedup = 4.0;
+  return options;
+}
+
+// ------------------------------------------------------------ cost model --
+
+TEST(GpuDeviceTest, TransferCostIsLatencyPlusBandwidth) {
+  GpuDevice device("gpu0", SmallDevice());
+  device.ChargeTransfer(1'000'000, 1);  // 1MB over 1GB/s + 100us latency.
+  const GpuCost cost = device.cost();
+  EXPECT_NEAR(cost.transfer_seconds, 1e-4 + 1e-3, 1e-9);
+  EXPECT_EQ(cost.dma_operations, 1u);
+}
+
+TEST(GpuDeviceTest, ManySmallCopiesCostMoreThanOneBatched) {
+  // The Sec 3.4 observation: per-bucket copies underutilize the bus.
+  GpuDevice bucket_by_bucket("a", SmallDevice());
+  GpuDevice batched("b", SmallDevice());
+  for (int i = 0; i < 100; ++i) bucket_by_bucket.ChargeTransfer(10'000, 1);
+  batched.ChargeTransfer(1'000'000, 1);
+  EXPECT_GT(bucket_by_bucket.cost().transfer_seconds,
+            5 * batched.cost().transfer_seconds);
+}
+
+TEST(GpuDeviceTest, KernelChargesSpedUpHostTime) {
+  GpuDevice device("gpu0", SmallDevice());
+  device.RunKernel([] {
+    volatile double x = 0;
+    for (int i = 0; i < 100000; ++i) x += i;
+  });
+  const GpuCost cost = device.cost();
+  EXPECT_GT(cost.kernel_seconds, 0.0);
+  EXPECT_EQ(cost.kernel_launches, 1u);
+}
+
+// -------------------------------------------------------- device memory --
+
+TEST(GpuDeviceTest, ResidentBufferCostsNothingToReuse) {
+  GpuDevice device("gpu0", SmallDevice());
+  ASSERT_TRUE(device.Upload("centroids", 1000, 1).ok());
+  const double after_first = device.cost().transfer_seconds;
+  ASSERT_TRUE(device.Upload("centroids", 1000, 1).ok());  // Already there.
+  EXPECT_EQ(device.cost().transfer_seconds, after_first);
+  EXPECT_TRUE(device.IsResident("centroids"));
+}
+
+TEST(GpuDeviceTest, LruEvictionFreesSpace) {
+  GpuDevice::Options options = SmallDevice();
+  options.memory_bytes = 1000;
+  GpuDevice device("gpu0", options);
+  ASSERT_TRUE(device.Upload("a", 400).ok());
+  ASSERT_TRUE(device.Upload("b", 400).ok());
+  ASSERT_TRUE(device.IsResident("a"));  // Refresh a: b becomes LRU.
+  ASSERT_TRUE(device.Upload("c", 400).ok());
+  EXPECT_TRUE(device.IsResident("a"));
+  EXPECT_FALSE(device.IsResident("b"));  // Evicted.
+  EXPECT_TRUE(device.IsResident("c"));
+  EXPECT_LE(device.memory_used(), 1000u);
+}
+
+TEST(GpuDeviceTest, OversizedBufferRejected) {
+  GpuDevice::Options options = SmallDevice();
+  options.memory_bytes = 100;
+  GpuDevice device("gpu0", options);
+  EXPECT_TRUE(device.Upload("huge", 1000).IsResourceExhausted());
+}
+
+TEST(GpuDeviceTest, RegisterResidentIsFree) {
+  GpuDevice device("gpu0", SmallDevice());
+  ASSERT_TRUE(device.RegisterResident("x", 500).ok());
+  EXPECT_TRUE(device.IsResident("x"));
+  EXPECT_EQ(device.cost().transfer_seconds, 0.0);
+}
+
+// ----------------------------------------------------------- big-k topk --
+
+TEST(GpuTopKTest, MatchesGroundTruthWithinKernelLimit) {
+  bench::DatasetSpec spec;
+  spec.num_vectors = 2000;
+  spec.dim = 16;
+  const auto data = bench::MakeSiftLike(spec);
+  GpuDevice device("gpu0", SmallDevice());
+  HitList hits;
+  ASSERT_TRUE(GpuTopK(&device, data.data.data(), data.num_vectors, 16,
+                      data.vector(0), 100, MetricType::kL2, &hits)
+                  .ok());
+  const auto truth =
+      bench::ComputeGroundTruth(data.data.data(), data.num_vectors,
+                                data.vector(0), 1, 16, 100, MetricType::kL2);
+  EXPECT_DOUBLE_EQ(bench::Recall(truth[0], hits), 1.0);
+  EXPECT_EQ(device.cost().kernel_launches, 1u);  // One round suffices.
+}
+
+TEST(GpuTopKTest, BigKUsesMultipleRoundsAndStaysExact) {
+  bench::DatasetSpec spec;
+  spec.num_vectors = 5000;
+  spec.dim = 8;
+  const auto data = bench::MakeSiftLike(spec);
+  GpuDevice device("gpu0", SmallDevice());
+  const size_t k = 3000;  // Nearly 3 kernel rounds.
+  HitList hits;
+  ASSERT_TRUE(GpuTopK(&device, data.data.data(), data.num_vectors, 8,
+                      data.vector(0), k, MetricType::kL2, &hits)
+                  .ok());
+  EXPECT_EQ(hits.size(), k);
+  EXPECT_GE(device.cost().kernel_launches, 3u);
+  const auto truth =
+      bench::ComputeGroundTruth(data.data.data(), data.num_vectors,
+                                data.vector(0), 1, 8, k, MetricType::kL2);
+  EXPECT_DOUBLE_EQ(bench::Recall(truth[0], hits), 1.0);
+  // Scores must be non-decreasing (L2 distances).
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_LE(hits[i - 1].score, hits[i].score);
+  }
+}
+
+TEST(GpuTopKTest, HandlesDuplicateDistancesAcrossRounds) {
+  // Many identical vectors → ties exactly at the round boundary.
+  std::vector<float> data(3000 * 4, 1.0f);
+  GpuDevice device("gpu0", SmallDevice());
+  const float query[4] = {1, 1, 1, 1};
+  HitList hits;
+  ASSERT_TRUE(GpuTopK(&device, data.data(), 3000, 4, query, 2048,
+                      MetricType::kL2, &hits)
+                  .ok());
+  EXPECT_EQ(hits.size(), 2048u);
+  // No duplicate ids despite all-equal distances.
+  std::set<RowId> ids;
+  for (const SearchHit& hit : hits) ids.insert(hit.id);
+  EXPECT_EQ(ids.size(), hits.size());
+}
+
+TEST(GpuTopKTest, RejectsKBeyondCap) {
+  GpuDevice device("gpu0", SmallDevice());
+  HitList hits;
+  const float dummy[4] = {};
+  EXPECT_TRUE(GpuTopK(&device, dummy, 1, 4, dummy, kMaxSupportedK + 1,
+                      MetricType::kL2, &hits)
+                  .IsInvalidArgument());
+}
+
+TEST(GpuTopKTest, KLargerThanDataReturnsAll) {
+  std::vector<float> data(10 * 4, 0.0f);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<float>(i);
+  GpuDevice device("gpu0", SmallDevice());
+  const float query[4] = {};
+  HitList hits;
+  ASSERT_TRUE(
+      GpuTopK(&device, data.data(), 10, 4, query, 2000, MetricType::kL2,
+              &hits)
+          .ok());
+  EXPECT_EQ(hits.size(), 10u);
+}
+
+// -------------------------------------------------------------- scheduler --
+
+TEST(SegmentSchedulerTest, FailsWithNoDevices) {
+  SegmentScheduler scheduler;
+  auto result = scheduler.RunTasks({[](GpuDevice*) { return GpuCost{}; }});
+  EXPECT_TRUE(result.status().IsUnavailable());
+}
+
+TEST(SegmentSchedulerTest, BalancesLoadAcrossDevices) {
+  SegmentScheduler scheduler;
+  scheduler.AddDevice(std::make_shared<GpuDevice>("gpu0", SmallDevice()));
+  scheduler.AddDevice(std::make_shared<GpuDevice>("gpu1", SmallDevice()));
+
+  std::vector<SegmentScheduler::SegmentTask> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back([](GpuDevice*) {
+      GpuCost cost;
+      cost.kernel_seconds = 1.0;
+      return cost;
+    });
+  }
+  auto result = scheduler.RunTasks(tasks);
+  ASSERT_TRUE(result.ok());
+  size_t on_gpu0 = 0;
+  for (const auto& report : result.value()) {
+    if (report.device_name == "gpu0") ++on_gpu0;
+  }
+  EXPECT_EQ(on_gpu0, 4u);  // Equal-cost tasks split evenly.
+  EXPECT_NEAR(scheduler.LastMakespanSeconds(), 4.0, 1e-9);
+}
+
+TEST(SegmentSchedulerTest, RuntimeDeviceDiscoveryShiftsWork) {
+  // The paper's elasticity story: a newly installed GPU is discovered at
+  // runtime and immediately receives tasks.
+  SegmentScheduler scheduler;
+  scheduler.AddDevice(std::make_shared<GpuDevice>("gpu0", SmallDevice()));
+  auto unit_task = [](GpuDevice*) {
+    GpuCost cost;
+    cost.kernel_seconds = 1.0;
+    return cost;
+  };
+  std::vector<SegmentScheduler::SegmentTask> tasks(6, unit_task);
+  ASSERT_TRUE(scheduler.RunTasks(tasks).ok());
+  const double single = scheduler.LastMakespanSeconds();
+
+  scheduler.AddDevice(std::make_shared<GpuDevice>("gpu1", SmallDevice()));
+  scheduler.AddDevice(std::make_shared<GpuDevice>("gpu2", SmallDevice()));
+  ASSERT_TRUE(scheduler.RunTasks(tasks).ok());
+  EXPECT_NEAR(scheduler.LastMakespanSeconds(), single / 3.0, 1e-9);
+}
+
+TEST(SegmentSchedulerTest, RemoveDeviceStopsAssignments) {
+  SegmentScheduler scheduler;
+  scheduler.AddDevice(std::make_shared<GpuDevice>("gpu0", SmallDevice()));
+  scheduler.AddDevice(std::make_shared<GpuDevice>("gpu1", SmallDevice()));
+  ASSERT_TRUE(scheduler.RemoveDevice("gpu0"));
+  EXPECT_FALSE(scheduler.RemoveDevice("gpu0"));
+  auto result = scheduler.RunTasks({[](GpuDevice* device) {
+    EXPECT_EQ(device->name(), "gpu1");
+    return GpuCost{};
+  }});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(scheduler.num_devices(), 1u);
+}
+
+}  // namespace
+}  // namespace gpusim
+}  // namespace vectordb

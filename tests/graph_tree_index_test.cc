@@ -1,0 +1,220 @@
+// NSG (graph) and Annoy (tree) index tests.
+
+#include <gtest/gtest.h>
+
+#include "benchsupport/dataset.h"
+#include "benchsupport/ground_truth.h"
+#include "index/annoy_index.h"
+#include "index/nsg_index.h"
+
+namespace vectordb {
+namespace index {
+namespace {
+
+bench::Dataset TestData(size_t n = 1500, size_t dim = 24) {
+  bench::DatasetSpec spec;
+  spec.num_vectors = n;
+  spec.dim = dim;
+  spec.num_clusters = 12;
+  return bench::MakeSiftLike(spec);
+}
+
+bench::Dataset TestQueries(size_t nq, size_t dim = 24) {
+  bench::DatasetSpec spec;
+  spec.num_vectors = 1500;
+  spec.dim = dim;
+  spec.num_clusters = 12;
+  return bench::MakeQueries(spec, nq);
+}
+
+// -------------------------------------------------------------------- NSG --
+
+TEST(NsgIndexTest, ReachesGoodRecall) {
+  const auto data = TestData();
+  const auto queries = TestQueries(20);
+  IndexBuildParams params;
+  params.nsg_out_degree = 24;
+  params.nsg_candidate_pool = 100;
+  NsgIndex index(data.dim, MetricType::kL2, params);
+  ASSERT_TRUE(index.Build(data.data.data(), data.num_vectors).ok());
+
+  SearchOptions options;
+  options.k = 10;
+  options.ef_search = 100;
+  std::vector<HitList> results;
+  ASSERT_TRUE(index
+                  .Search(queries.data.data(), queries.num_vectors, options,
+                          &results)
+                  .ok());
+  const auto truth = bench::ComputeGroundTruth(
+      data.data.data(), data.num_vectors, queries.data.data(),
+      queries.num_vectors, data.dim, 10, MetricType::kL2);
+  EXPECT_GE(bench::MeanRecall(truth, results), 0.85);
+}
+
+TEST(NsgIndexTest, EveryNodeReachableFromNavigatingNode) {
+  // The connectivity-repair pass must leave no islands: searching with a
+  // huge beam from any query should be able to reach all nodes.
+  const auto data = TestData(300, 8);
+  IndexBuildParams params;
+  params.nsg_out_degree = 8;
+  params.nsg_candidate_pool = 50;
+  NsgIndex index(8, MetricType::kL2, params);
+  ASSERT_TRUE(index.Build(data.data.data(), data.num_vectors).ok());
+
+  SearchOptions options;
+  options.k = 300;
+  options.ef_search = 300;
+  std::vector<HitList> results;
+  ASSERT_TRUE(index.Search(data.vector(0), 1, options, &results).ok());
+  EXPECT_EQ(results[0].size(), 300u);  // All nodes visited.
+}
+
+TEST(NsgIndexTest, SecondAddFails) {
+  const auto data = TestData(100, 8);
+  IndexBuildParams params;
+  NsgIndex index(8, MetricType::kL2, params);
+  ASSERT_TRUE(index.Add(data.data.data(), 100).ok());
+  EXPECT_TRUE(index.Add(data.data.data(), 100).IsNotSupported());
+}
+
+TEST(NsgIndexTest, SerializeRoundTrip) {
+  const auto data = TestData(400, 8);
+  IndexBuildParams params;
+  NsgIndex index(8, MetricType::kL2, params);
+  ASSERT_TRUE(index.Build(data.data.data(), 400).ok());
+  std::string blob;
+  ASSERT_TRUE(index.Serialize(&blob).ok());
+  NsgIndex restored(8, MetricType::kL2, params);
+  ASSERT_TRUE(restored.Deserialize(blob).ok());
+  EXPECT_EQ(restored.Size(), 400u);
+  EXPECT_EQ(restored.navigating_node(), index.navigating_node());
+
+  SearchOptions options;
+  options.k = 10;
+  std::vector<HitList> a, b;
+  ASSERT_TRUE(index.Search(data.vector(3), 1, options, &a).ok());
+  ASSERT_TRUE(restored.Search(data.vector(3), 1, options, &b).ok());
+  EXPECT_EQ(a[0], b[0]);
+}
+
+TEST(NsgIndexTest, SingleVectorDataset) {
+  const float v[4] = {1, 2, 3, 4};
+  IndexBuildParams params;
+  NsgIndex index(4, MetricType::kL2, params);
+  ASSERT_TRUE(index.Build(v, 1).ok());
+  SearchOptions options;
+  options.k = 5;
+  std::vector<HitList> results;
+  ASSERT_TRUE(index.Search(v, 1, options, &results).ok());
+  ASSERT_EQ(results[0].size(), 1u);
+  EXPECT_EQ(results[0][0].id, 0);
+}
+
+// ------------------------------------------------------------------ Annoy --
+
+TEST(AnnoyIndexTest, ReachesGoodRecallWithManyTrees) {
+  const auto data = TestData();
+  const auto queries = TestQueries(20);
+  IndexBuildParams params;
+  params.annoy_num_trees = 12;
+  params.annoy_leaf_size = 32;
+  AnnoyIndex index(data.dim, MetricType::kL2, params);
+  ASSERT_TRUE(index.Build(data.data.data(), data.num_vectors).ok());
+  EXPECT_EQ(index.num_trees(), 12u);
+
+  SearchOptions options;
+  options.k = 10;
+  options.annoy_search_k = 2000;
+  std::vector<HitList> results;
+  ASSERT_TRUE(index
+                  .Search(queries.data.data(), queries.num_vectors, options,
+                          &results)
+                  .ok());
+  const auto truth = bench::ComputeGroundTruth(
+      data.data.data(), data.num_vectors, queries.data.data(),
+      queries.num_vectors, data.dim, 10, MetricType::kL2);
+  EXPECT_GE(bench::MeanRecall(truth, results), 0.8);
+}
+
+TEST(AnnoyIndexTest, RecallGrowsWithSearchK) {
+  const auto data = TestData();
+  const auto queries = TestQueries(10);
+  IndexBuildParams params;
+  params.annoy_num_trees = 8;
+  AnnoyIndex index(data.dim, MetricType::kL2, params);
+  ASSERT_TRUE(index.Build(data.data.data(), data.num_vectors).ok());
+  const auto truth = bench::ComputeGroundTruth(
+      data.data.data(), data.num_vectors, queries.data.data(),
+      queries.num_vectors, data.dim, 10, MetricType::kL2);
+
+  auto recall_at = [&](size_t search_k) {
+    SearchOptions options;
+    options.k = 10;
+    options.annoy_search_k = search_k;
+    std::vector<HitList> results;
+    EXPECT_TRUE(index
+                    .Search(queries.data.data(), queries.num_vectors, options,
+                            &results)
+                    .ok());
+    return bench::MeanRecall(truth, results);
+  };
+  EXPECT_GE(recall_at(1500), recall_at(100) - 0.05);
+}
+
+TEST(AnnoyIndexTest, FilterRespected) {
+  const auto data = TestData(300, 8);
+  IndexBuildParams params;
+  AnnoyIndex index(8, MetricType::kL2, params);
+  ASSERT_TRUE(index.Build(data.data.data(), 300).ok());
+  Bitset allowed(300);
+  for (size_t i = 0; i < 300; i += 2) allowed.Set(i);  // Even rows only.
+  SearchOptions options;
+  options.k = 20;
+  options.annoy_search_k = 300;
+  options.filter = &allowed;
+  std::vector<HitList> results;
+  ASSERT_TRUE(index.Search(data.vector(1), 1, options, &results).ok());
+  for (const SearchHit& hit : results[0]) EXPECT_EQ(hit.id % 2, 0);
+}
+
+TEST(AnnoyIndexTest, SerializeRoundTrip) {
+  const auto data = TestData(400, 8);
+  IndexBuildParams params;
+  params.annoy_num_trees = 4;
+  AnnoyIndex index(8, MetricType::kL2, params);
+  ASSERT_TRUE(index.Build(data.data.data(), 400).ok());
+  std::string blob;
+  ASSERT_TRUE(index.Serialize(&blob).ok());
+  AnnoyIndex restored(8, MetricType::kL2, params);
+  ASSERT_TRUE(restored.Deserialize(blob).ok());
+  EXPECT_EQ(restored.Size(), 400u);
+  EXPECT_EQ(restored.num_trees(), 4u);
+
+  SearchOptions options;
+  options.k = 5;
+  options.annoy_search_k = 400;
+  std::vector<HitList> a, b;
+  ASSERT_TRUE(index.Search(data.vector(9), 1, options, &a).ok());
+  ASSERT_TRUE(restored.Search(data.vector(9), 1, options, &b).ok());
+  EXPECT_EQ(a[0], b[0]);
+}
+
+TEST(AnnoyIndexTest, DuplicatePointsDoNotBreakSplits) {
+  // All identical points force the degenerate-hyperplane path.
+  std::vector<float> data(200 * 4, 1.0f);
+  IndexBuildParams params;
+  params.annoy_num_trees = 2;
+  params.annoy_leaf_size = 8;
+  AnnoyIndex index(4, MetricType::kL2, params);
+  ASSERT_TRUE(index.Build(data.data(), 200).ok());
+  SearchOptions options;
+  options.k = 5;
+  std::vector<HitList> results;
+  ASSERT_TRUE(index.Search(data.data(), 1, options, &results).ok());
+  EXPECT_EQ(results[0].size(), 5u);
+}
+
+}  // namespace
+}  // namespace index
+}  // namespace vectordb

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "benchsupport/dataset.h"
+#include "benchsupport/ground_truth.h"
+#include "index/hnsw_index.h"
+
+namespace vectordb {
+namespace index {
+namespace {
+
+class HnswMetricTest : public ::testing::TestWithParam<MetricType> {
+ protected:
+  void SetUp() override {
+    bench::DatasetSpec spec;
+    spec.num_vectors = 2000;
+    spec.dim = 32;
+    spec.num_clusters = 16;
+    spec.normalize = GetParam() != MetricType::kL2;
+    data_ = bench::MakeSiftLike(spec);
+    queries_ = bench::MakeQueries(spec, 20);
+    IndexBuildParams params;
+    params.hnsw_m = 16;
+    params.ef_construction = 120;
+    index_ = std::make_unique<HnswIndex>(data_.dim, GetParam(), params);
+    ASSERT_TRUE(index_->Add(data_.data.data(), data_.num_vectors).ok());
+  }
+
+  double RecallAt(size_t k, size_t ef) {
+    SearchOptions options;
+    options.k = k;
+    options.ef_search = ef;
+    std::vector<HitList> results;
+    EXPECT_TRUE(index_
+                    ->Search(queries_.data.data(), queries_.num_vectors,
+                             options, &results)
+                    .ok());
+    const auto truth = bench::ComputeGroundTruth(
+        data_.data.data(), data_.num_vectors, queries_.data.data(),
+        queries_.num_vectors, data_.dim, k, GetParam());
+    return bench::MeanRecall(truth, results);
+  }
+
+  bench::Dataset data_;
+  bench::Dataset queries_;
+  std::unique_ptr<HnswIndex> index_;
+};
+
+TEST_P(HnswMetricTest, HighEfReachesHighRecall) {
+  EXPECT_GE(RecallAt(10, 200), 0.9);
+}
+
+TEST_P(HnswMetricTest, RecallGrowsWithEf) {
+  const double low = RecallAt(10, 10);
+  const double high = RecallAt(10, 200);
+  EXPECT_GE(high, low - 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Metrics, HnswMetricTest,
+                         ::testing::Values(MetricType::kL2,
+                                           MetricType::kInnerProduct,
+                                           MetricType::kCosine),
+                         [](const auto& info) {
+                           return MetricName(info.param);
+                         });
+
+TEST(HnswIndexTest, SelfQueryReturnsSelfFirst) {
+  bench::DatasetSpec spec;
+  spec.num_vectors = 500;
+  spec.dim = 16;
+  const auto data = bench::MakeSiftLike(spec);
+  IndexBuildParams params;
+  HnswIndex index(16, MetricType::kL2, params);
+  ASSERT_TRUE(index.Add(data.data.data(), data.num_vectors).ok());
+  SearchOptions options;
+  options.k = 1;
+  options.ef_search = 64;
+  std::vector<HitList> results;
+  size_t correct = 0;
+  for (size_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(index.Search(data.vector(i), 1, options, &results).ok());
+    if (!results[0].empty() && results[0][0].id == static_cast<RowId>(i)) {
+      ++correct;
+    }
+  }
+  EXPECT_GE(correct, 48u);  // Near-perfect self-retrieval.
+}
+
+TEST(HnswIndexTest, IncrementalAddKeepsSearchable) {
+  bench::DatasetSpec spec;
+  spec.num_vectors = 600;
+  spec.dim = 16;
+  const auto data = bench::MakeSiftLike(spec);
+  IndexBuildParams params;
+  HnswIndex index(16, MetricType::kL2, params);
+  // Insert in three increments — the graph-based family supports dynamic
+  // insertion natively.
+  for (size_t chunk = 0; chunk < 3; ++chunk) {
+    ASSERT_TRUE(index.Add(data.vector(chunk * 200), 200).ok());
+    EXPECT_EQ(index.Size(), (chunk + 1) * 200);
+  }
+  SearchOptions options;
+  options.k = 5;
+  options.ef_search = 64;
+  std::vector<HitList> results;
+  ASSERT_TRUE(index.Search(data.vector(599), 1, options, &results).ok());
+  ASSERT_FALSE(results[0].empty());
+  EXPECT_EQ(results[0][0].id, 599);
+}
+
+TEST(HnswIndexTest, EmptyIndexReturnsEmpty) {
+  IndexBuildParams params;
+  HnswIndex index(8, MetricType::kL2, params);
+  const float q[8] = {};
+  std::vector<HitList> results;
+  ASSERT_TRUE(index.Search(q, 1, {}, &results).ok());
+  EXPECT_TRUE(results[0].empty());
+}
+
+TEST(HnswIndexTest, FilterRespected) {
+  bench::DatasetSpec spec;
+  spec.num_vectors = 400;
+  spec.dim = 16;
+  const auto data = bench::MakeSiftLike(spec);
+  IndexBuildParams params;
+  HnswIndex index(16, MetricType::kL2, params);
+  ASSERT_TRUE(index.Add(data.data.data(), data.num_vectors).ok());
+  Bitset allowed(400);
+  allowed.Set(123);
+  SearchOptions options;
+  options.k = 10;
+  options.ef_search = 400;
+  options.filter = &allowed;
+  std::vector<HitList> results;
+  ASSERT_TRUE(index.Search(data.vector(0), 1, options, &results).ok());
+  for (const SearchHit& hit : results[0]) EXPECT_EQ(hit.id, 123);
+}
+
+TEST(HnswIndexTest, SerializeRoundTripPreservesResults) {
+  bench::DatasetSpec spec;
+  spec.num_vectors = 800;
+  spec.dim = 16;
+  const auto data = bench::MakeSiftLike(spec);
+  IndexBuildParams params;
+  HnswIndex index(16, MetricType::kL2, params);
+  ASSERT_TRUE(index.Add(data.data.data(), data.num_vectors).ok());
+  std::string blob;
+  ASSERT_TRUE(index.Serialize(&blob).ok());
+
+  HnswIndex restored(16, MetricType::kL2, params);
+  ASSERT_TRUE(restored.Deserialize(blob).ok());
+  EXPECT_EQ(restored.Size(), index.Size());
+  EXPECT_EQ(restored.max_level(), index.max_level());
+
+  SearchOptions options;
+  options.k = 10;
+  options.ef_search = 64;
+  std::vector<HitList> a, b;
+  ASSERT_TRUE(index.Search(data.vector(7), 1, options, &a).ok());
+  ASSERT_TRUE(restored.Search(data.vector(7), 1, options, &b).ok());
+  EXPECT_EQ(a[0], b[0]);
+}
+
+TEST(HnswIndexTest, MemoryGrowsWithData) {
+  IndexBuildParams params;
+  HnswIndex index(16, MetricType::kL2, params);
+  const size_t empty = index.MemoryBytes();
+  bench::DatasetSpec spec;
+  spec.num_vectors = 300;
+  spec.dim = 16;
+  const auto data = bench::MakeSiftLike(spec);
+  ASSERT_TRUE(index.Add(data.data.data(), 300).ok());
+  EXPECT_GT(index.MemoryBytes(), empty + 300 * 16 * sizeof(float));
+}
+
+}  // namespace
+}  // namespace index
+}  // namespace vectordb

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "benchsupport/dataset.h"
+#include "index/index_factory.h"
+
+namespace vectordb {
+namespace index {
+namespace {
+
+TEST(IndexFactoryTest, AllBuiltinsRegistered) {
+  const auto names = IndexFactory::Instance().RegisteredNames();
+  for (const char* expected : {"FLAT", "BIN_FLAT", "IVF_FLAT", "IVF_SQ8",
+                               "IVF_PQ", "HNSW", "NSG", "ANNOY"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(IndexFactoryTest, CreateByNameAndEnumAgree) {
+  auto by_name =
+      IndexFactory::Instance().Create("IVF_FLAT", 16, MetricType::kL2);
+  auto by_enum = CreateIndex(IndexType::kIvfFlat, 16, MetricType::kL2);
+  ASSERT_TRUE(by_name.ok());
+  ASSERT_TRUE(by_enum.ok());
+  EXPECT_EQ(by_name.value()->type(), by_enum.value()->type());
+}
+
+TEST(IndexFactoryTest, UnknownNameFails) {
+  auto result = IndexFactory::Instance().Create("LSH", 16, MetricType::kL2);
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST(IndexFactoryTest, ZeroDimRejected) {
+  auto result = CreateIndex(IndexType::kFlat, 0, MetricType::kL2);
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(IndexFactoryTest, BinFlatRequiresBinaryMetric) {
+  EXPECT_FALSE(CreateIndex(IndexType::kBinaryFlat, 64, MetricType::kL2).ok());
+  EXPECT_TRUE(
+      CreateIndex(IndexType::kBinaryFlat, 64, MetricType::kHamming).ok());
+}
+
+TEST(IndexFactoryTest, PqDimDivisibilityEnforced) {
+  IndexBuildParams params;
+  params.pq_m = 7;
+  EXPECT_FALSE(
+      CreateIndex(IndexType::kIvfPq, 32, MetricType::kL2, params).ok());
+}
+
+TEST(IndexFactoryTest, DuplicateRegistrationRejected) {
+  EXPECT_TRUE(IndexFactory::Instance()
+                  .Register("FLAT", [](size_t, MetricType,
+                                       const IndexBuildParams&)
+                                -> Result<IndexPtr> {
+                    return Status::Internal("never called");
+                  })
+                  .IsAlreadyExists());
+}
+
+/// The paper's extensibility claim (Sec 2.2): a third-party index plugs in
+/// by implementing the interface and registering a creator.
+class ToyIndex : public VectorIndex {
+ public:
+  ToyIndex(size_t dim, MetricType metric)
+      : VectorIndex(IndexType::kFlat, dim, metric) {}
+  Status Add(const float* data, size_t n) override {
+    count_ += n;
+    return Status::OK();
+  }
+  Status Search(const float*, size_t nq, const SearchOptions&,
+                std::vector<HitList>* results) const override {
+    results->assign(nq, HitList{});
+    return Status::OK();
+  }
+  size_t Size() const override { return count_; }
+  size_t MemoryBytes() const override { return 0; }
+  Status Serialize(std::string*) const override { return Status::OK(); }
+  Status Deserialize(const std::string&) override { return Status::OK(); }
+
+ private:
+  size_t count_ = 0;
+};
+
+TEST(IndexFactoryTest, ThirdPartyIndexPluggable) {
+  ASSERT_TRUE(IndexFactory::Instance()
+                  .Register("TOY",
+                            [](size_t dim, MetricType metric,
+                               const IndexBuildParams&) -> Result<IndexPtr> {
+                              return IndexPtr(new ToyIndex(dim, metric));
+                            })
+                  .ok());
+  auto created = IndexFactory::Instance().Create("TOY", 8, MetricType::kL2);
+  ASSERT_TRUE(created.ok());
+  const float data[16] = {};
+  ASSERT_TRUE(created.value()->Add(data, 2).ok());
+  EXPECT_EQ(created.value()->Size(), 2u);
+}
+
+TEST(IndexFactoryTest, EveryFloatIndexBuildsAndSearches) {
+  bench::DatasetSpec spec;
+  spec.num_vectors = 600;
+  spec.dim = 16;
+  const auto data = bench::MakeSiftLike(spec);
+  IndexBuildParams params;
+  params.nlist = 8;
+  params.pq_m = 4;
+  params.annoy_num_trees = 4;
+  for (IndexType type : {IndexType::kFlat, IndexType::kIvfFlat,
+                         IndexType::kIvfSq8, IndexType::kIvfPq,
+                         IndexType::kHnsw, IndexType::kNsg,
+                         IndexType::kAnnoy}) {
+    auto created = CreateIndex(type, 16, MetricType::kL2, params);
+    ASSERT_TRUE(created.ok()) << IndexTypeName(type);
+    IndexPtr index = std::move(created).value();
+    ASSERT_TRUE(index->Build(data.data.data(), data.num_vectors).ok())
+        << IndexTypeName(type);
+    SearchOptions options;
+    options.k = 5;
+    options.nprobe = 8;
+    std::vector<HitList> results;
+    ASSERT_TRUE(index->Search(data.vector(0), 1, options, &results).ok())
+        << IndexTypeName(type);
+    EXPECT_FALSE(results[0].empty()) << IndexTypeName(type);
+  }
+}
+
+}  // namespace
+}  // namespace index
+}  // namespace vectordb

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "benchsupport/dataset.h"
+#include "benchsupport/ground_truth.h"
+#include "index/index_factory.h"
+#include "index/ivf_flat_index.h"
+#include "index/ivf_pq_index.h"
+#include "index/ivf_sq8_index.h"
+
+namespace vectordb {
+namespace index {
+namespace {
+
+struct IvfCase {
+  IndexType type;
+  MetricType metric;
+  double min_recall;  ///< Expected recall@10 with generous nprobe.
+};
+
+std::string CaseName(const ::testing::TestParamInfo<IvfCase>& info) {
+  return std::string(IndexTypeName(info.param.type)) + "_" +
+         MetricName(info.param.metric);
+}
+
+class IvfFamilyTest : public ::testing::TestWithParam<IvfCase> {
+ protected:
+  void SetUp() override {
+    bench::DatasetSpec spec;
+    spec.num_vectors = 3000;
+    spec.dim = 32;
+    spec.num_clusters = 20;
+    data_ = bench::MakeSiftLike(spec);
+    queries_ = bench::MakeQueries(spec, 20);
+
+    IndexBuildParams params;
+    params.nlist = 32;
+    params.pq_m = 8;
+    auto created =
+        CreateIndex(GetParam().type, data_.dim, GetParam().metric, params);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    index_ = std::move(created).value();
+    ASSERT_TRUE(index_->Build(data_.data.data(), data_.num_vectors).ok());
+  }
+
+  double RecallAt(size_t k, size_t nprobe) {
+    SearchOptions options;
+    options.k = k;
+    options.nprobe = nprobe;
+    std::vector<HitList> results;
+    EXPECT_TRUE(index_
+                    ->Search(queries_.data.data(), queries_.num_vectors,
+                             options, &results)
+                    .ok());
+    const auto truth = bench::ComputeGroundTruth(
+        data_.data.data(), data_.num_vectors, queries_.data.data(),
+        queries_.num_vectors, data_.dim, k, GetParam().metric);
+    return bench::MeanRecall(truth, results);
+  }
+
+  bench::Dataset data_;
+  bench::Dataset queries_;
+  IndexPtr index_;
+};
+
+TEST_P(IvfFamilyTest, HighNprobeReachesTargetRecall) {
+  EXPECT_GE(RecallAt(10, 32), GetParam().min_recall);
+}
+
+TEST_P(IvfFamilyTest, RecallGrowsWithNprobe) {
+  // The paper's accuracy/performance knob (Sec 3.1): recall must be
+  // monotone-ish in nprobe.
+  const double r1 = RecallAt(10, 1);
+  const double r8 = RecallAt(10, 8);
+  const double r32 = RecallAt(10, 32);
+  EXPECT_LE(r1, r8 + 0.05);
+  EXPECT_LE(r8, r32 + 0.05);
+  EXPECT_GT(r32, r1);
+}
+
+TEST_P(IvfFamilyTest, SerializeRoundTripPreservesResults) {
+  std::string blob;
+  ASSERT_TRUE(index_->Serialize(&blob).ok());
+  IndexBuildParams params;
+  params.nlist = 32;
+  params.pq_m = 8;
+  auto created =
+      CreateIndex(GetParam().type, data_.dim, GetParam().metric, params);
+  ASSERT_TRUE(created.ok());
+  IndexPtr restored = std::move(created).value();
+  ASSERT_TRUE(restored->Deserialize(blob).ok());
+  EXPECT_EQ(restored->Size(), index_->Size());
+
+  SearchOptions options;
+  options.k = 10;
+  options.nprobe = 8;
+  std::vector<HitList> a, b;
+  ASSERT_TRUE(index_->Search(queries_.data.data(), 5, options, &a).ok());
+  ASSERT_TRUE(restored->Search(queries_.data.data(), 5, options, &b).ok());
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(IvfFamilyTest, FilterIsRespected) {
+  // Forbid the first half of the rows; no result may come from there.
+  Bitset allowed(data_.num_vectors);
+  for (size_t i = data_.num_vectors / 2; i < data_.num_vectors; ++i) {
+    allowed.Set(i);
+  }
+  SearchOptions options;
+  options.k = 20;
+  options.nprobe = 32;
+  options.filter = &allowed;
+  std::vector<HitList> results;
+  ASSERT_TRUE(
+      index_->Search(queries_.data.data(), 5, options, &results).ok());
+  for (const auto& hits : results) {
+    EXPECT_FALSE(hits.empty());
+    for (const SearchHit& hit : hits) {
+      EXPECT_GE(static_cast<size_t>(hit.id), data_.num_vectors / 2);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    IvfVariants, IvfFamilyTest,
+    ::testing::Values(IvfCase{IndexType::kIvfFlat, MetricType::kL2, 0.95},
+                      IvfCase{IndexType::kIvfFlat, MetricType::kInnerProduct,
+                              0.80},
+                      IvfCase{IndexType::kIvfSq8, MetricType::kL2, 0.85},
+                      IvfCase{IndexType::kIvfPq, MetricType::kL2, 0.40},
+                      IvfCase{IndexType::kIvfPq, MetricType::kInnerProduct,
+                              0.30}),
+    CaseName);
+
+// -------------------------------------------------------- specific tests --
+
+TEST(IvfIndexTest, SearchBeforeTrainFails) {
+  IndexBuildParams params;
+  IvfFlatIndex index(8, MetricType::kL2, params);
+  const float q[8] = {};
+  std::vector<HitList> results;
+  EXPECT_TRUE(index.Search(q, 1, {}, &results).IsAborted());
+  EXPECT_TRUE(index.Add(q, 1).IsAborted());
+}
+
+TEST(IvfIndexTest, NlistClampedToTrainingSize) {
+  IndexBuildParams params;
+  params.nlist = 1000;  // Far more than the 20 training points.
+  IvfFlatIndex index(4, MetricType::kL2, params);
+  std::vector<float> data(20 * 4, 0.0f);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<float>(i);
+  ASSERT_TRUE(index.Build(data.data(), 20).ok());
+  EXPECT_LE(index.nlist(), 20u);
+  EXPECT_EQ(index.Size(), 20u);
+}
+
+TEST(IvfIndexTest, SelectProbesReturnsSortedBuckets) {
+  bench::DatasetSpec spec;
+  spec.num_vectors = 1000;
+  spec.dim = 16;
+  const auto data = bench::MakeSiftLike(spec);
+  IndexBuildParams params;
+  params.nlist = 16;
+  IvfFlatIndex index(16, MetricType::kL2, params);
+  ASSERT_TRUE(index.Build(data.data.data(), data.num_vectors).ok());
+  const auto probes = index.SelectProbes(data.vector(0), 4);
+  ASSERT_EQ(probes.size(), 4u);
+  // All distinct bucket ids within range.
+  for (size_t p : probes) EXPECT_LT(p, index.nlist());
+}
+
+TEST(IvfIndexTest, SumOfListSizesEqualsTotal) {
+  bench::DatasetSpec spec;
+  spec.num_vectors = 777;
+  spec.dim = 16;
+  const auto data = bench::MakeSiftLike(spec);
+  IndexBuildParams params;
+  params.nlist = 8;
+  IvfFlatIndex index(16, MetricType::kL2, params);
+  ASSERT_TRUE(index.Build(data.data.data(), data.num_vectors).ok());
+  size_t total = 0;
+  for (size_t l = 0; l < index.nlist(); ++l) total += index.list(l).size();
+  EXPECT_EQ(total, 777u);
+}
+
+TEST(IvfSq8Test, CompressionIsFourfold) {
+  bench::DatasetSpec spec;
+  spec.num_vectors = 2000;
+  spec.dim = 64;
+  const auto data = bench::MakeSiftLike(spec);
+  IndexBuildParams params;
+  params.nlist = 16;
+  IvfFlatIndex flat(64, MetricType::kL2, params);
+  IvfSq8Index sq8(64, MetricType::kL2, params);
+  ASSERT_TRUE(flat.Build(data.data.data(), data.num_vectors).ok());
+  ASSERT_TRUE(sq8.Build(data.data.data(), data.num_vectors).ok());
+  // Footnote 6: SQ8 takes ~1/4 the space of IVF_FLAT (codes dominate).
+  EXPECT_LT(static_cast<double>(sq8.MemoryBytes()),
+            0.5 * static_cast<double>(flat.MemoryBytes()));
+}
+
+TEST(IvfSq8Test, DecodeApproximatesOriginal) {
+  bench::DatasetSpec spec;
+  spec.num_vectors = 500;
+  spec.dim = 16;
+  const auto data = bench::MakeSiftLike(spec);
+  IndexBuildParams params;
+  params.nlist = 4;
+  IvfSq8Index sq8(16, MetricType::kL2, params);
+  ASSERT_TRUE(sq8.Train(data.data.data(), data.num_vectors).ok());
+  std::vector<uint8_t> code(16);
+  std::vector<float> decoded(16);
+  sq8.EncodeVector(data.vector(3), code.data());
+  sq8.Decode(code.data(), decoded.data());
+  for (size_t d = 0; d < 16; ++d) {
+    // 8-bit quantization error bounded by range/255 per dimension.
+    const float range = sq8.vdiff()[d];
+    EXPECT_NEAR(decoded[d], data.vector(3)[d], range / 255.0f + 1e-4f);
+  }
+}
+
+}  // namespace
+}  // namespace index
+}  // namespace vectordb

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "api/json.h"
+
+namespace vectordb {
+namespace api {
+namespace {
+
+TEST(JsonTest, ParsePrimitives) {
+  EXPECT_TRUE(Json::Parse("null").value().is_null());
+  EXPECT_TRUE(Json::Parse("true").value().as_bool());
+  EXPECT_FALSE(Json::Parse("false").value().as_bool());
+  EXPECT_EQ(Json::Parse("42").value().as_number(), 42.0);
+  EXPECT_EQ(Json::Parse("-3.5").value().as_number(), -3.5);
+  EXPECT_EQ(Json::Parse("1e3").value().as_number(), 1000.0);
+  EXPECT_EQ(Json::Parse("\"hi\"").value().as_string(), "hi");
+}
+
+TEST(JsonTest, ParseNestedStructures) {
+  auto result = Json::Parse(
+      R"({"name":"products","fields":[{"name":"v","dim":128}],"k":5})");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Json& j = result.value();
+  EXPECT_EQ(j["name"].as_string(), "products");
+  ASSERT_TRUE(j["fields"].is_array());
+  EXPECT_EQ(j["fields"].at(0)["dim"].as_number(), 128.0);
+  EXPECT_EQ(j["k"].as_number(), 5.0);
+  EXPECT_TRUE(j["missing"].is_null());
+}
+
+TEST(JsonTest, ParseEscapes) {
+  auto result = Json::Parse(R"("line\nbreak \"quoted\" tab\t uA")");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().as_string(), "line\nbreak \"quoted\" tab\t uA");
+}
+
+TEST(JsonTest, ParseWhitespaceTolerant) {
+  auto result = Json::Parse("  { \"a\" : [ 1 , 2 ] }  ");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value()["a"].size(), 2u);
+}
+
+TEST(JsonTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\":}").ok());
+  EXPECT_FALSE(Json::Parse("tru").ok());
+  EXPECT_FALSE(Json::Parse("1 2").ok());  // Trailing garbage.
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+}
+
+TEST(JsonTest, DumpRoundTrip) {
+  Json obj = Json::Object();
+  obj.Set("name", "a\"b");
+  obj.Set("count", Json(3));
+  obj.Set("ratio", Json(0.5));
+  obj.Set("flag", Json(true));
+  obj.Set("nothing", Json());
+  Json arr = Json::Array();
+  arr.Append(Json(1));
+  arr.Append(Json("x"));
+  obj.Set("list", std::move(arr));
+
+  auto reparsed = Json::Parse(obj.Dump());
+  ASSERT_TRUE(reparsed.ok()) << obj.Dump();
+  const Json& j = reparsed.value();
+  EXPECT_EQ(j["name"].as_string(), "a\"b");
+  EXPECT_EQ(j["count"].as_number(), 3.0);
+  EXPECT_EQ(j["ratio"].as_number(), 0.5);
+  EXPECT_TRUE(j["flag"].as_bool());
+  EXPECT_TRUE(j["nothing"].is_null());
+  EXPECT_EQ(j["list"].at(1).as_string(), "x");
+}
+
+TEST(JsonTest, IntegersDumpWithoutDecimalPoint) {
+  EXPECT_EQ(Json(1234567).Dump(), "1234567");
+  EXPECT_EQ(Json(0).Dump(), "0");
+  EXPECT_EQ(Json(-5).Dump(), "-5");
+}
+
+TEST(JsonTest, DeepNestingRoundTrips) {
+  std::string text = "1";
+  for (int i = 0; i < 40; ++i) text = "[" + text + "]";
+  auto result = Json::Parse(text);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().Dump(), text);
+}
+
+}  // namespace
+}  // namespace api
+}  // namespace vectordb

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "common/rng.h"
+#include "simd/distances.h"
+
+namespace vectordb {
+namespace cluster {
+namespace {
+
+/// Three tight, well-separated clusters in 2D.
+std::vector<float> ThreeClusters(size_t per_cluster, Rng* rng) {
+  const float centers[3][2] = {{0.0f, 0.0f}, {10.0f, 10.0f}, {-10.0f, 10.0f}};
+  std::vector<float> data;
+  data.reserve(per_cluster * 3 * 2);
+  for (int c = 0; c < 3; ++c) {
+    for (size_t i = 0; i < per_cluster; ++i) {
+      data.push_back(centers[c][0] + 0.1f * rng->NextGaussian());
+      data.push_back(centers[c][1] + 0.1f * rng->NextGaussian());
+    }
+  }
+  return data;
+}
+
+TEST(KMeansTest, RecoversWellSeparatedClusters) {
+  Rng rng(1);
+  const auto data = ThreeClusters(100, &rng);
+  KMeansOptions opts;
+  opts.num_clusters = 3;
+  opts.max_iterations = 25;
+  auto result = RunKMeans(data.data(), 300, 2, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto& km = result.value();
+  EXPECT_EQ(km.num_clusters, 3u);
+  // Each true center must be within 0.5 of some learned centroid.
+  const float truth[3][2] = {{0, 0}, {10, 10}, {-10, 10}};
+  for (const auto& center : truth) {
+    float best = 1e9f;
+    for (size_t c = 0; c < 3; ++c) {
+      best = std::min(best,
+                      simd::L2Sqr(center, km.centroids.data() + c * 2, 2));
+    }
+    EXPECT_LT(best, 0.25f);
+  }
+}
+
+TEST(KMeansTest, ObjectiveIsFiniteAndPositive) {
+  Rng rng(2);
+  std::vector<float> data(500 * 8);
+  for (auto& x : data) x = rng.NextGaussian();
+  KMeansOptions opts;
+  opts.num_clusters = 16;
+  auto result = RunKMeans(data.data(), 500, 8, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().objective, 0.0);
+  EXPECT_TRUE(std::isfinite(result.value().objective));
+  EXPECT_GE(result.value().iterations_run, 1u);
+}
+
+TEST(KMeansTest, RejectsInvalidArguments) {
+  std::vector<float> data(10 * 4, 1.0f);
+  KMeansOptions opts;
+  opts.num_clusters = 0;
+  EXPECT_TRUE(RunKMeans(data.data(), 10, 4, opts).status().IsInvalidArgument());
+  opts.num_clusters = 20;  // More clusters than points.
+  EXPECT_TRUE(RunKMeans(data.data(), 10, 4, opts).status().IsInvalidArgument());
+}
+
+TEST(KMeansTest, HandlesDuplicatePoints) {
+  // All points identical: must not divide by zero or loop forever.
+  std::vector<float> data(50 * 4, 3.0f);
+  KMeansOptions opts;
+  opts.num_clusters = 4;
+  opts.max_iterations = 5;
+  auto result = RunKMeans(data.data(), 50, 4, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().centroids[0], 3.0f, 1e-3f);
+}
+
+TEST(KMeansTest, DeterministicForFixedSeed) {
+  Rng rng(3);
+  std::vector<float> data(200 * 4);
+  for (auto& x : data) x = rng.NextGaussian();
+  KMeansOptions opts;
+  opts.num_clusters = 8;
+  opts.seed = 99;
+  auto a = RunKMeans(data.data(), 200, 4, opts);
+  auto b = RunKMeans(data.data(), 200, 4, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().centroids, b.value().centroids);
+}
+
+TEST(KMeansTest, SubsamplingKeepsCentroidCount) {
+  Rng rng(4);
+  std::vector<float> data(5000 * 4);
+  for (auto& x : data) x = rng.NextGaussian();
+  KMeansOptions opts;
+  opts.num_clusters = 4;
+  opts.max_points_per_centroid = 32;  // Forces subsampling (128 < 5000).
+  auto result = RunKMeans(data.data(), 5000, 4, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().centroids.size(), 4u * 4u);
+}
+
+TEST(NearestCentroidTest, PicksTrueNearest) {
+  const float centroids[6] = {0, 0, 10, 10, -5, 5};
+  const float v[2] = {9.0f, 9.5f};
+  EXPECT_EQ(NearestCentroid(v, centroids, 3, 2), 1u);
+}
+
+TEST(NearestCentroidsTest, ReturnsSortedByDistance) {
+  const float centroids[6] = {0, 0, 1, 1, 5, 5};
+  const float v[2] = {0.9f, 0.9f};
+  const auto probes = NearestCentroids(v, centroids, 3, 2, 3);
+  ASSERT_EQ(probes.size(), 3u);
+  EXPECT_EQ(probes[0], 1u);
+  EXPECT_EQ(probes[1], 0u);
+  EXPECT_EQ(probes[2], 2u);
+}
+
+TEST(NearestCentroidsTest, NprobeClampedToK) {
+  const float centroids[4] = {0, 0, 1, 1};
+  const float v[2] = {0, 0};
+  EXPECT_EQ(NearestCentroids(v, centroids, 2, 2, 10).size(), 2u);
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace vectordb

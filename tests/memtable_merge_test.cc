@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "storage/memtable.h"
+#include "storage/merge_policy.h"
+
+namespace vectordb {
+namespace storage {
+namespace {
+
+SegmentSchema SimpleSchema() {
+  SegmentSchema schema;
+  schema.vector_dims = {2};
+  schema.attribute_names = {"a"};
+  return schema;
+}
+
+// --------------------------------------------------------------- memtable --
+
+TEST(MemTableTest, InsertAndFlushProducesSortedSegment) {
+  MemTable mem(SimpleSchema());
+  const float v[2] = {1, 2};
+  ASSERT_TRUE(mem.Insert(30, {v}, {3.0}).ok());
+  ASSERT_TRUE(mem.Insert(10, {v}, {1.0}).ok());
+  ASSERT_TRUE(mem.Insert(20, {v}, {2.0}).ok());
+  EXPECT_EQ(mem.num_rows(), 3u);
+
+  auto flushed = mem.Flush(1);
+  ASSERT_TRUE(flushed.ok());
+  const SegmentPtr segment = flushed.value();
+  ASSERT_NE(segment, nullptr);
+  EXPECT_EQ(segment->row_ids(), (std::vector<RowId>{10, 20, 30}));
+  EXPECT_EQ(mem.num_rows(), 0u);  // Drained.
+}
+
+TEST(MemTableTest, DuplicateInsertRejected) {
+  MemTable mem(SimpleSchema());
+  const float v[2] = {};
+  ASSERT_TRUE(mem.Insert(1, {v}, {0}).ok());
+  EXPECT_TRUE(mem.Insert(1, {v}, {0}).IsAlreadyExists());
+}
+
+TEST(MemTableTest, DeleteRemovesBufferedRow) {
+  MemTable mem(SimpleSchema());
+  const float v[2] = {};
+  ASSERT_TRUE(mem.Insert(1, {v}, {0}).ok());
+  EXPECT_TRUE(mem.Delete(1));
+  EXPECT_FALSE(mem.Delete(1));  // Already gone.
+  EXPECT_EQ(mem.num_rows(), 0u);
+}
+
+TEST(MemTableTest, FlushEmptyReturnsNull) {
+  MemTable mem(SimpleSchema());
+  auto flushed = mem.Flush(1);
+  ASSERT_TRUE(flushed.ok());
+  EXPECT_EQ(flushed.value(), nullptr);
+}
+
+TEST(MemTableTest, SchemaValidation) {
+  MemTable mem(SimpleSchema());
+  const float v[2] = {};
+  EXPECT_TRUE(mem.Insert(1, {}, {0.0}).IsInvalidArgument());
+  EXPECT_TRUE(mem.Insert(1, {v}, {}).IsInvalidArgument());
+}
+
+// ----------------------------------------------------------- merge policy --
+
+MergePolicyOptions DefaultPolicy() {
+  MergePolicyOptions options;
+  options.merge_factor = 4;
+  options.max_segment_rows = 100000;
+  options.tier_base_rows = 64;
+  return options;
+}
+
+TEST(MergePolicyTest, NoMergeBelowFactor) {
+  // Three similarly sized segments < merge_factor(4): nothing to do.
+  const std::vector<SegmentInfo> segments{{1, 50}, {2, 60}, {3, 55}};
+  EXPECT_TRUE(PickMerges(segments, DefaultPolicy()).empty());
+}
+
+TEST(MergePolicyTest, MergesEqualSizedTier) {
+  const std::vector<SegmentInfo> segments{{1, 50}, {2, 60}, {3, 55}, {4, 40}};
+  const auto groups = PickMerges(segments, DefaultPolicy());
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 4u);
+}
+
+TEST(MergePolicyTest, TiersSeparateSmallAndLarge) {
+  // Four tiny plus four big: two separate merge groups, never mixed.
+  const std::vector<SegmentInfo> segments{{1, 10},   {2, 12},   {3, 9},
+                                          {4, 11},   {5, 5000}, {6, 5100},
+                                          {7, 4900}, {8, 5050}};
+  const auto groups = PickMerges(segments, DefaultPolicy());
+  ASSERT_EQ(groups.size(), 2u);
+  for (const auto& group : groups) {
+    const bool has_small =
+        std::find(group.begin(), group.end(), SegmentId{1}) != group.end();
+    const bool has_big =
+        std::find(group.begin(), group.end(), SegmentId{5}) != group.end();
+    EXPECT_NE(has_small, has_big);  // Exactly one kind per group.
+  }
+}
+
+TEST(MergePolicyTest, MaxSegmentRowsExcludesGiants) {
+  MergePolicyOptions options = DefaultPolicy();
+  options.max_segment_rows = 1000;
+  const std::vector<SegmentInfo> segments{
+      {1, 2000}, {2, 2000}, {3, 2000}, {4, 2000}};  // All at the cap.
+  EXPECT_TRUE(PickMerges(segments, options).empty());
+}
+
+TEST(MergePolicyTest, MergedSizeRespectsCap) {
+  MergePolicyOptions options = DefaultPolicy();
+  options.max_segment_rows = 150;
+  options.merge_factor = 4;
+  // Four segments of 60 rows each: merging all four would exceed 150, so
+  // the group must stop at two (120 rows).
+  const std::vector<SegmentInfo> segments{{1, 60}, {2, 60}, {3, 60}, {4, 60}};
+  const auto groups = PickMerges(segments, options);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 2u);
+}
+
+TEST(MergePolicyTest, EmptyInputEmptyOutput) {
+  EXPECT_TRUE(PickMerges({}, DefaultPolicy()).empty());
+}
+
+TEST(MergePolicyTest, RepeatedApplicationConverges) {
+  // Property: simulating flush+merge rounds always converges to a bounded
+  // number of segments (the LSM invariant).
+  MergePolicyOptions options = DefaultPolicy();
+  std::vector<SegmentInfo> segments;
+  SegmentId next_id = 1;
+  for (int flush = 0; flush < 64; ++flush) {
+    segments.push_back({next_id++, 100});
+    while (true) {
+      const auto groups = PickMerges(segments, options);
+      if (groups.empty()) break;
+      for (const auto& group : groups) {
+        size_t merged_rows = 0;
+        segments.erase(
+            std::remove_if(segments.begin(), segments.end(),
+                           [&](const SegmentInfo& info) {
+                             if (std::find(group.begin(), group.end(),
+                                           info.id) != group.end()) {
+                               merged_rows += info.num_rows;
+                               return true;
+                             }
+                             return false;
+                           }),
+            segments.end());
+        segments.push_back({next_id++, merged_rows});
+      }
+    }
+  }
+  // 64 flushes of 100 rows with factor 4: segment count stays logarithmic.
+  EXPECT_LE(segments.size(), 8u);
+  size_t total = 0;
+  for (const auto& info : segments) total += info.num_rows;
+  EXPECT_EQ(total, 6400u);  // No rows lost or duplicated.
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace vectordb

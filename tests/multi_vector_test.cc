@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "benchsupport/dataset.h"
+#include "benchsupport/ground_truth.h"
+#include "query/multi_vector.h"
+
+namespace vectordb {
+namespace query {
+namespace {
+
+class MultiVectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    raw_ = bench::MakeTwoFieldEntities(2000, 16, 12, /*normalize=*/false, 31);
+    MultiVectorSchema schema;
+    schema.dims = raw_.dims;
+    schema.metric = MetricType::kL2;
+    schema.weights = {0.6f, 0.4f};
+    dataset_ = std::make_unique<MultiVectorDataset>(schema);
+    ASSERT_TRUE(dataset_
+                    ->Load({raw_.fields[0].data(), raw_.fields[1].data()},
+                           raw_.num_entities)
+                    .ok());
+    index::IndexBuildParams params;
+    params.nlist = 16;
+    ASSERT_TRUE(
+        dataset_->BuildIndexes(index::IndexType::kIvfFlat, params).ok());
+    query_ = {raw_.field_vector(0, 7), raw_.field_vector(1, 7)};
+  }
+
+  bench::MultiVectorDatasetRaw raw_;
+  std::unique_ptr<MultiVectorDataset> dataset_;
+  std::vector<const float*> query_;
+};
+
+TEST_F(MultiVectorTest, ExactSearchSelfMatchFirst) {
+  const HitList hits = dataset_->ExactSearch(query_, 5);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].id, 7);
+}
+
+TEST_F(MultiVectorTest, NaiveSmallKPrimeHasLowerRecallThanLarge) {
+  const HitList truth = dataset_->ExactSearch(query_, 50);
+  MultiVectorStats stats_small, stats_large;
+  const HitList small =
+      dataset_->NaiveSearch(query_, 50, 50, 16, &stats_small);
+  const HitList large =
+      dataset_->NaiveSearch(query_, 50, 1000, 16, &stats_large);
+  EXPECT_GE(bench::Recall(truth, large), bench::Recall(truth, small) - 0.02);
+  EXPECT_EQ(stats_small.vector_queries, 2u);  // One per field.
+}
+
+TEST_F(MultiVectorTest, IterativeMergeReachesHighRecall) {
+  const HitList truth = dataset_->ExactSearch(query_, 50);
+  MultiVectorStats stats;
+  const HitList got =
+      dataset_->IterativeMergeSearch(query_, 50, 16384, 16, &stats);
+  EXPECT_GE(bench::Recall(truth, got), 0.9);
+  EXPECT_GE(stats.rounds, 1u);
+}
+
+TEST_F(MultiVectorTest, IterativeMergeBeatsNraAtSameRecallBudget) {
+  // Figure 16a's qualitative claim: the depth-limited NRA baseline yields
+  // low recall where iterative merging converges.
+  const HitList truth = dataset_->ExactSearch(query_, 50);
+  MultiVectorStats nra_stats, img_stats;
+  const HitList nra = dataset_->NraSearch(query_, 50, 50, 16, &nra_stats);
+  const HitList img =
+      dataset_->IterativeMergeSearch(query_, 50, 16384, 16, &img_stats);
+  EXPECT_GT(bench::Recall(truth, img), bench::Recall(truth, nra));
+}
+
+TEST_F(MultiVectorTest, NraDeterminationIsSoundWhenClaimed) {
+  // When NRA says "determined", results must match the exact top-k scores
+  // (id ties aside) for fully-seen candidates.
+  MultiVectorStats stats;
+  const HitList got =
+      dataset_->IterativeMergeSearch(query_, 10, 16384, 16, &stats);
+  const HitList truth = dataset_->ExactSearch(query_, 10);
+  if (stats.determined) {
+    ASSERT_EQ(got.size(), 10u);
+    // Index search is approximate, so allow slack, but the top hit of a
+    // determined result must be the true top hit.
+    EXPECT_EQ(got[0].id, truth[0].id);
+  }
+}
+
+TEST_F(MultiVectorTest, WeightsChangeRanking) {
+  MultiVectorSchema text_heavy;
+  text_heavy.dims = raw_.dims;
+  text_heavy.metric = MetricType::kL2;
+  text_heavy.weights = {1.0f, 0.0f};
+  MultiVectorDataset text_only(text_heavy);
+  ASSERT_TRUE(text_only
+                  .Load({raw_.fields[0].data(), raw_.fields[1].data()},
+                        raw_.num_entities)
+                  .ok());
+  // With weight 0 on field 1, the aggregate equals field-0 distance alone.
+  const HitList hits = text_only.ExactSearch(query_, 5);
+  const auto truth_field0 = bench::ComputeGroundTruth(
+      raw_.fields[0].data(), raw_.num_entities, query_[0], 1, raw_.dims[0], 5,
+      MetricType::kL2);
+  ASSERT_EQ(hits.size(), 5u);
+  EXPECT_EQ(hits[0].id, truth_field0[0][0].id);
+}
+
+TEST_F(MultiVectorTest, LoadValidatesFieldCount) {
+  MultiVectorSchema schema;
+  schema.dims = {8, 8};
+  schema.metric = MetricType::kL2;
+  MultiVectorDataset bad(schema);
+  EXPECT_TRUE(bad.Load({raw_.fields[0].data()}, 10).IsInvalidArgument());
+}
+
+// ---------------------------------------------------------- vector fusion --
+
+class FusionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    raw_ = bench::MakeTwoFieldEntities(2000, 16, 12, /*normalize=*/true, 37);
+    schema_.dims = raw_.dims;
+    schema_.metric = MetricType::kInnerProduct;
+    schema_.weights = {0.7f, 0.3f};
+    query_ = {raw_.field_vector(0, 3), raw_.field_vector(1, 3)};
+  }
+
+  bench::MultiVectorDatasetRaw raw_;
+  MultiVectorSchema schema_;
+  std::vector<const float*> query_;
+};
+
+TEST_F(FusionTest, RequiresInnerProduct) {
+  MultiVectorSchema l2 = schema_;
+  l2.metric = MetricType::kL2;
+  VectorFusionSearcher fusion(l2);
+  EXPECT_TRUE(fusion.Load({raw_.fields[0].data(), raw_.fields[1].data()}, 10)
+                  .IsNotSupported());
+}
+
+TEST_F(FusionTest, MatchesExactAggregationWithFlatIndex) {
+  VectorFusionSearcher fusion(schema_);
+  ASSERT_TRUE(fusion
+                  .Load({raw_.fields[0].data(), raw_.fields[1].data()},
+                        raw_.num_entities)
+                  .ok());
+  ASSERT_TRUE(fusion.BuildIndex(index::IndexType::kFlat).ok());
+  EXPECT_EQ(fusion.total_dim(), 28u);
+
+  auto result = fusion.Search(query_, 10, 16);
+  ASSERT_TRUE(result.ok());
+
+  // Compare against the exact weighted-sum aggregate over the two fields —
+  // fusion with a FLAT index must be exactly the aggregated top-k.
+  MultiVectorDataset exact(schema_);
+  ASSERT_TRUE(exact
+                  .Load({raw_.fields[0].data(), raw_.fields[1].data()},
+                        raw_.num_entities)
+                  .ok());
+  const HitList truth = exact.ExactSearch(query_, 10);
+  ASSERT_EQ(result.value().size(), truth.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_EQ(result.value()[i].id, truth[i].id) << i;
+    EXPECT_NEAR(result.value()[i].score, truth[i].score, 1e-3f);
+  }
+}
+
+TEST_F(FusionTest, IvfFusionHighRecall) {
+  VectorFusionSearcher fusion(schema_);
+  ASSERT_TRUE(fusion
+                  .Load({raw_.fields[0].data(), raw_.fields[1].data()},
+                        raw_.num_entities)
+                  .ok());
+  index::IndexBuildParams params;
+  params.nlist = 16;
+  ASSERT_TRUE(fusion.BuildIndex(index::IndexType::kIvfFlat, params).ok());
+  auto result = fusion.Search(query_, 20, 16);
+  ASSERT_TRUE(result.ok());
+
+  MultiVectorDataset exact(schema_);
+  ASSERT_TRUE(exact
+                  .Load({raw_.fields[0].data(), raw_.fields[1].data()},
+                        raw_.num_entities)
+                  .ok());
+  const HitList truth = exact.ExactSearch(query_, 20);
+  EXPECT_GE(bench::Recall(truth, result.value()), 0.8);
+}
+
+TEST_F(FusionTest, SearchBeforeBuildFails) {
+  VectorFusionSearcher fusion(schema_);
+  ASSERT_TRUE(fusion
+                  .Load({raw_.fields[0].data(), raw_.fields[1].data()}, 100)
+                  .ok());
+  EXPECT_TRUE(fusion.Search(query_, 5, 4).status().IsAborted());
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace vectordb

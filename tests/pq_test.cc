@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "benchsupport/dataset.h"
+#include "common/binary_io.h"
+#include "common/rng.h"
+#include "index/product_quantizer.h"
+#include "simd/distances.h"
+
+namespace vectordb {
+namespace index {
+namespace {
+
+bench::Dataset TrainingData(size_t n = 2000, size_t dim = 32) {
+  bench::DatasetSpec spec;
+  spec.num_vectors = n;
+  spec.dim = dim;
+  spec.num_clusters = 16;
+  return bench::MakeSiftLike(spec);
+}
+
+TEST(ProductQuantizerTest, TrainRequiresDivisibleDim) {
+  ProductQuantizer pq(30, 8, 8);  // 30 % 8 != 0.
+  std::vector<float> data(1000 * 30, 0.0f);
+  EXPECT_TRUE(pq.Train(data.data(), 1000, 1, 5).IsInvalidArgument());
+}
+
+TEST(ProductQuantizerTest, TrainRequiresEnoughVectors) {
+  ProductQuantizer pq(32, 8, 8);
+  std::vector<float> data(10 * 32, 0.0f);
+  EXPECT_TRUE(pq.Train(data.data(), 10, 1, 5).IsInvalidArgument());
+}
+
+TEST(ProductQuantizerTest, NbitsBounds) {
+  ProductQuantizer zero(32, 8, 0);
+  std::vector<float> data(1000 * 32, 1.0f);
+  EXPECT_TRUE(zero.Train(data.data(), 1000, 1, 3).IsInvalidArgument());
+  ProductQuantizer nine(32, 8, 9);
+  EXPECT_TRUE(nine.Train(data.data(), 1000, 1, 3).IsInvalidArgument());
+}
+
+TEST(ProductQuantizerTest, EncodeDecodeReducesError) {
+  const auto data = TrainingData();
+  ProductQuantizer pq(32, 8, 8);
+  ASSERT_TRUE(pq.Train(data.data.data(), data.num_vectors, 42, 10).ok());
+  ASSERT_TRUE(pq.trained());
+
+  // Reconstruction error must be far below the data's own energy.
+  double err = 0.0, energy = 0.0;
+  std::vector<uint8_t> code(pq.code_size());
+  std::vector<float> decoded(32);
+  for (size_t i = 0; i < 100; ++i) {
+    pq.Encode(data.vector(i), code.data());
+    pq.Decode(code.data(), decoded.data());
+    err += simd::L2Sqr(data.vector(i), decoded.data(), 32);
+    energy += simd::NormSqr(data.vector(i), 32);
+  }
+  EXPECT_LT(err, 0.25 * energy);
+}
+
+TEST(ProductQuantizerTest, AdcMatchesDecodedDistanceL2) {
+  const auto data = TrainingData();
+  ProductQuantizer pq(32, 4, 8);
+  ASSERT_TRUE(pq.Train(data.data.data(), data.num_vectors, 42, 10).ok());
+
+  Rng rng(9);
+  std::vector<float> query(32);
+  for (auto& x : query) x = rng.NextGaussian();
+
+  std::vector<float> table(pq.m() * pq.ksub());
+  pq.ComputeAdcTable(query.data(), MetricType::kL2, table.data());
+
+  std::vector<uint8_t> code(pq.code_size());
+  std::vector<float> decoded(32);
+  for (size_t i = 0; i < 50; ++i) {
+    pq.Encode(data.vector(i), code.data());
+    pq.Decode(code.data(), decoded.data());
+    const float adc = pq.AdcScore(table.data(), code.data());
+    const float direct = simd::L2Sqr(query.data(), decoded.data(), 32);
+    EXPECT_NEAR(adc, direct, 1e-2f * (1.0f + direct));
+  }
+}
+
+TEST(ProductQuantizerTest, AdcMatchesDecodedDistanceIp) {
+  const auto data = TrainingData();
+  ProductQuantizer pq(32, 4, 8);
+  ASSERT_TRUE(pq.Train(data.data.data(), data.num_vectors, 42, 10).ok());
+
+  Rng rng(10);
+  std::vector<float> query(32);
+  for (auto& x : query) x = rng.NextGaussian();
+  std::vector<float> table(pq.m() * pq.ksub());
+  pq.ComputeAdcTable(query.data(), MetricType::kInnerProduct, table.data());
+
+  std::vector<uint8_t> code(pq.code_size());
+  std::vector<float> decoded(32);
+  for (size_t i = 0; i < 50; ++i) {
+    pq.Encode(data.vector(i), code.data());
+    pq.Decode(code.data(), decoded.data());
+    const float adc = pq.AdcScore(table.data(), code.data());
+    const float direct = simd::InnerProduct(query.data(), decoded.data(), 32);
+    EXPECT_NEAR(adc, direct, 1e-2f * (1.0f + std::abs(direct)));
+  }
+}
+
+TEST(ProductQuantizerTest, SmallNbitsProducesSmallCodebook) {
+  const auto data = TrainingData(1000, 16);
+  ProductQuantizer pq(16, 4, 4);  // 16 codewords per sub-space.
+  ASSERT_TRUE(pq.Train(data.data.data(), data.num_vectors, 42, 5).ok());
+  EXPECT_EQ(pq.ksub(), 16u);
+  std::vector<uint8_t> code(pq.code_size());
+  pq.Encode(data.vector(0), code.data());
+  for (uint8_t c : code) EXPECT_LT(c, 16);
+}
+
+TEST(ProductQuantizerTest, SerializeRoundTrip) {
+  const auto data = TrainingData(1000, 16);
+  ProductQuantizer pq(16, 4, 8);
+  ASSERT_TRUE(pq.Train(data.data.data(), data.num_vectors, 42, 5).ok());
+
+  std::string blob;
+  BinaryWriter writer(&blob);
+  pq.Serialize(&writer);
+
+  ProductQuantizer restored(16, 4, 8);
+  BinaryReader reader(blob);
+  ASSERT_TRUE(restored.Deserialize(&reader).ok());
+  ASSERT_TRUE(restored.trained());
+
+  std::vector<uint8_t> a(pq.code_size()), b(pq.code_size());
+  pq.Encode(data.vector(5), a.data());
+  restored.Encode(data.vector(5), b.data());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ProductQuantizerTest, DeserializeRejectsGeometryMismatch) {
+  const auto data = TrainingData(1000, 16);
+  ProductQuantizer pq(16, 4, 8);
+  ASSERT_TRUE(pq.Train(data.data.data(), data.num_vectors, 42, 5).ok());
+  std::string blob;
+  BinaryWriter writer(&blob);
+  pq.Serialize(&writer);
+
+  ProductQuantizer other(16, 8, 8);  // Different m.
+  BinaryReader reader(blob);
+  EXPECT_FALSE(other.Deserialize(&reader).ok());
+}
+
+}  // namespace
+}  // namespace index
+}  // namespace vectordb

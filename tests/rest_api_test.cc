@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "api/rest_handler.h"
+#include "storage/filesystem.h"
+
+namespace vectordb {
+namespace api {
+namespace {
+
+class RestApiTest : public ::testing::Test {
+ protected:
+  RestApiTest() {
+    options_.fs = storage::NewMemoryFileSystem();
+    db_ = std::make_unique<db::VectorDb>(options_);
+    handler_ = std::make_unique<RestHandler>(db_.get());
+  }
+
+  RestResponse CreateDefaultCollection() {
+    return handler_->Handle(
+        "POST", "/collections",
+        R"({"name":"items","fields":[{"name":"v","dim":4}],)"
+        R"("attributes":["price"],"nlist":4})");
+  }
+
+  void InsertAndFlush(int count) {
+    for (int i = 0; i < count; ++i) {
+      const std::string body =
+          R"({"id":)" + std::to_string(i) + R"(,"vectors":[[)" +
+          std::to_string(i) + R"(,0,0,0]],"attributes":[)" +
+          std::to_string(i * 10) + "]}";
+      auto response =
+          handler_->Handle("POST", "/collections/items/entities", body);
+      ASSERT_EQ(response.status, 201) << response.body.Dump();
+    }
+    ASSERT_TRUE(handler_->Handle("POST", "/collections/items/flush", "").ok());
+  }
+
+  db::DbOptions options_;
+  std::unique_ptr<db::VectorDb> db_;
+  std::unique_ptr<RestHandler> handler_;
+};
+
+TEST_F(RestApiTest, CollectionLifecycle) {
+  auto created = CreateDefaultCollection();
+  EXPECT_EQ(created.status, 201);
+  EXPECT_EQ(created.body["name"].as_string(), "items");
+
+  // Duplicate create → 409.
+  EXPECT_EQ(CreateDefaultCollection().status, 409);
+
+  auto listed = handler_->Handle("GET", "/collections", "");
+  ASSERT_TRUE(listed.ok());
+  ASSERT_EQ(listed.body["collections"].size(), 1u);
+  EXPECT_EQ(listed.body["collections"].at(0).as_string(), "items");
+
+  auto dropped = handler_->Handle("DELETE", "/collections/items", "");
+  EXPECT_TRUE(dropped.ok());
+  EXPECT_EQ(handler_->Handle("DELETE", "/collections/items", "").status, 404);
+}
+
+TEST_F(RestApiTest, StatsReflectState) {
+  ASSERT_EQ(CreateDefaultCollection().status, 201);
+  InsertAndFlush(10);
+  auto stats = handler_->Handle("GET", "/collections/items", "");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.body["num_rows"].as_number(), 10.0);
+  EXPECT_EQ(stats.body["fields"].at(0)["dim"].as_number(), 4.0);
+}
+
+TEST_F(RestApiTest, InsertSearchRoundTrip) {
+  ASSERT_EQ(CreateDefaultCollection().status, 201);
+  InsertAndFlush(20);
+  auto response = handler_->Handle(
+      "POST", "/collections/items/search",
+      R"({"vector":[7,0,0,0],"k":3,"nprobe":4})");
+  ASSERT_TRUE(response.ok()) << response.body.Dump();
+  ASSERT_EQ(response.body["hits"].size(), 3u);
+  EXPECT_EQ(response.body["hits"].at(0)["id"].as_number(), 7.0);
+}
+
+TEST_F(RestApiTest, FilteredSearchRespectsRange) {
+  ASSERT_EQ(CreateDefaultCollection().status, 201);
+  InsertAndFlush(20);
+  // price = id*10; filter [50,100] → ids 5..10.
+  auto response = handler_->Handle(
+      "POST", "/collections/items/search",
+      R"({"vector":[7,0,0,0],"k":5,"nprobe":4,)"
+      R"("filter":{"attribute":"price","lo":50,"hi":100}})");
+  ASSERT_TRUE(response.ok()) << response.body.Dump();
+  for (size_t i = 0; i < response.body["hits"].size(); ++i) {
+    const double id = response.body["hits"].at(i)["id"].as_number();
+    EXPECT_GE(id, 5.0);
+    EXPECT_LE(id, 10.0);
+  }
+}
+
+TEST_F(RestApiTest, EntityGetAndDelete) {
+  ASSERT_EQ(CreateDefaultCollection().status, 201);
+  InsertAndFlush(5);
+  auto got = handler_->Handle("GET", "/collections/items/entities/3", "");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.body["vectors"].at(0).at(0).as_number(), 3.0);
+  EXPECT_EQ(got.body["attributes"].at(0).as_number(), 30.0);
+
+  ASSERT_TRUE(
+      handler_->Handle("DELETE", "/collections/items/entities/3", "").ok());
+  EXPECT_EQ(
+      handler_->Handle("GET", "/collections/items/entities/3", "").status,
+      404);
+}
+
+TEST_F(RestApiTest, MultiVectorSearchRoute) {
+  auto created = handler_->Handle(
+      "POST", "/collections",
+      R"({"name":"faces","fields":[{"name":"face","dim":2},)"
+      R"({"name":"body","dim":2}],"nlist":2})");
+  ASSERT_EQ(created.status, 201) << created.body.Dump();
+  for (int i = 0; i < 10; ++i) {
+    const std::string v = std::to_string(i);
+    auto response = handler_->Handle(
+        "POST", "/collections/faces/entities",
+        R"({"id":)" + v + R"(,"vectors":[[)" + v + R"(,1],[)" + v +
+            ",2]]}");
+    ASSERT_EQ(response.status, 201) << response.body.Dump();
+  }
+  ASSERT_TRUE(handler_->Handle("POST", "/collections/faces/flush", "").ok());
+
+  auto response = handler_->Handle(
+      "POST", "/collections/faces/search",
+      R"({"vectors":[[4,1],[4,2]],"weights":[0.5,0.5],"k":2})");
+  ASSERT_TRUE(response.ok()) << response.body.Dump();
+  EXPECT_EQ(response.body["hits"].at(0)["id"].as_number(), 4.0);
+}
+
+TEST_F(RestApiTest, ErrorMapping) {
+  // Unknown route.
+  EXPECT_EQ(handler_->Handle("GET", "/nope", "").status, 404);
+  // Bad method.
+  EXPECT_EQ(handler_->Handle("PATCH", "/collections", "").status, 405);
+  // Malformed JSON.
+  EXPECT_EQ(handler_->Handle("POST", "/collections", "{oops").status, 400);
+  // Schema validation surfaces as 400.
+  EXPECT_EQ(
+      handler_->Handle("POST", "/collections", R"({"name":"x"})").status,
+      400);
+  // Unknown collection.
+  EXPECT_EQ(handler_->Handle("POST", "/collections/ghost/search",
+                             R"({"vector":[1]})")
+                .status,
+            404);
+}
+
+TEST_F(RestApiTest, InsertValidation) {
+  ASSERT_EQ(CreateDefaultCollection().status, 201);
+  // Wrong dimension → 400 (InvalidArgument).
+  auto response = handler_->Handle("POST", "/collections/items/entities",
+                                   R"({"vectors":[[1,2]],"attributes":[1]})");
+  EXPECT_EQ(response.status, 400);
+  // Missing vectors → 400.
+  EXPECT_EQ(handler_->Handle("POST", "/collections/items/entities",
+                             R"({"attributes":[1]})")
+                .status,
+            400);
+}
+
+}  // namespace
+}  // namespace api
+}  // namespace vectordb

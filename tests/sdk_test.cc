@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "api/sdk.h"
+#include "storage/filesystem.h"
+
+namespace vectordb {
+namespace api {
+namespace {
+
+class SdkTest : public ::testing::Test {
+ protected:
+  SdkTest() {
+    options_.fs = storage::NewMemoryFileSystem();
+    db_ = std::make_unique<db::VectorDb>(options_);
+    client_ = std::make_unique<Client>(db_.get());
+  }
+
+  bool CreateProducts() {
+    index::IndexBuildParams params;
+    params.nlist = 4;
+    return client_->Collection("products")
+        .WithVectorField("embedding", 4)
+        .WithAttribute("price")
+        .WithMetric(MetricType::kL2)
+        .WithIndex(index::IndexType::kIvfFlat, params)
+        .Create();
+  }
+
+  void InsertProducts(int count) {
+    for (int i = 0; i < count; ++i) {
+      const std::vector<float> vec = {static_cast<float>(i), 0, 0, 0};
+      ASSERT_NE(client_->Insert("products", i, {vec}, {i * 10.0}),
+                kInvalidRowId);
+    }
+    ASSERT_TRUE(client_->Flush("products"));
+  }
+
+  db::DbOptions options_;
+  std::unique_ptr<db::VectorDb> db_;
+  std::unique_ptr<Client> client_;
+  std::vector<float> vec2_ = {5, 6, 7, 8};
+};
+
+TEST_F(SdkTest, BuilderCreatesCollection) {
+  ASSERT_TRUE(CreateProducts()) << client_->last_error();
+  EXPECT_TRUE(client_->HasCollection("products"));
+  EXPECT_EQ(client_->ListCollections(),
+            std::vector<std::string>{"products"});
+}
+
+TEST_F(SdkTest, CreateFailureSetsLastError) {
+  EXPECT_FALSE(client_->Collection("bad").Create());  // No vector fields.
+  EXPECT_NE(client_->last_error(), "");
+  // A subsequent success clears it.
+  ASSERT_TRUE(CreateProducts());
+  EXPECT_EQ(client_->last_error(), "");
+}
+
+TEST_F(SdkTest, InsertAutoAssignsIds) {
+  ASSERT_TRUE(CreateProducts());
+  const std::vector<float> vec = {1, 2, 3, 4};
+  const RowId a = client_->Insert("products", kInvalidRowId, {vec}, {1.0});
+  const RowId b = client_->Insert("products", kInvalidRowId, {vec2_}, {2.0});
+  EXPECT_NE(a, kInvalidRowId);
+  EXPECT_EQ(b, a + 1);
+}
+
+TEST_F(SdkTest, SearchBuilderReturnsNeighbors) {
+  ASSERT_TRUE(CreateProducts());
+  InsertProducts(20);
+  const std::vector<float> query = {7, 0, 0, 0};
+  auto rows =
+      client_->Search("products").Field("embedding").TopK(3).NProbe(4).Run(
+          query);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].id, 7);
+}
+
+TEST_F(SdkTest, DefaultFieldIsFirstVectorField) {
+  ASSERT_TRUE(CreateProducts());
+  InsertProducts(10);
+  const std::vector<float> query = {3, 0, 0, 0};
+  auto rows = client_->Search("products").TopK(1).NProbe(4).Run(query);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].id, 3);
+}
+
+TEST_F(SdkTest, WhereClauseFilters) {
+  ASSERT_TRUE(CreateProducts());
+  InsertProducts(20);
+  const std::vector<float> query = {7, 0, 0, 0};
+  auto rows = client_->Search("products")
+                  .TopK(5)
+                  .NProbe(4)
+                  .Where("price", 100, 150)  // ids 10..15.
+                  .Run(query);
+  ASSERT_FALSE(rows.empty());
+  for (const auto& row : rows) {
+    EXPECT_GE(row.id, 10);
+    EXPECT_LE(row.id, 15);
+  }
+}
+
+TEST_F(SdkTest, FetchAttributesPopulatesRows) {
+  ASSERT_TRUE(CreateProducts());
+  InsertProducts(10);
+  const std::vector<float> query = {4, 0, 0, 0};
+  auto rows = client_->Search("products")
+                  .TopK(1)
+                  .NProbe(4)
+                  .FetchAttributes()
+                  .Run(query);
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].attributes.size(), 1u);
+  EXPECT_EQ(rows[0].attributes[0], 40.0);
+}
+
+TEST_F(SdkTest, DeleteThenSearchExcludesRow) {
+  ASSERT_TRUE(CreateProducts());
+  InsertProducts(10);
+  ASSERT_TRUE(client_->Delete("products", 4));
+  const std::vector<float> query = {4, 0, 0, 0};
+  auto rows = client_->Search("products").TopK(10).NProbe(4).Run(query);
+  for (const auto& row : rows) EXPECT_NE(row.id, 4);
+}
+
+TEST_F(SdkTest, MultiVectorSearchViaSdk) {
+  index::IndexBuildParams params;
+  params.nlist = 2;
+  ASSERT_TRUE(client_->Collection("faces")
+                  .WithVectorField("face", 2)
+                  .WithVectorField("body", 2)
+                  .WithIndex(index::IndexType::kIvfFlat, params)
+                  .Create());
+  for (int i = 0; i < 10; ++i) {
+    const std::vector<float> face = {static_cast<float>(i), 1};
+    const std::vector<float> body = {static_cast<float>(i), 2};
+    ASSERT_NE(client_->Insert("faces", i, {face, body}), kInvalidRowId);
+  }
+  ASSERT_TRUE(client_->Flush("faces"));
+  auto rows = client_->Search("faces").TopK(2).RunMulti(
+      {{6, 1}, {6, 2}}, {0.5f, 0.5f});
+  ASSERT_FALSE(rows.empty());
+  EXPECT_EQ(rows[0].id, 6);
+}
+
+TEST_F(SdkTest, UnknownCollectionFailsGracefully) {
+  EXPECT_EQ(client_->Insert("ghost", 1, {{1.0f}}), kInvalidRowId);
+  EXPECT_FALSE(client_->Delete("ghost", 1));
+  EXPECT_TRUE(client_->Search("ghost").Run({1.0f}).empty());
+  EXPECT_NE(client_->last_error(), "");
+}
+
+}  // namespace
+}  // namespace api
+}  // namespace vectordb

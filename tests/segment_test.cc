@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "benchsupport/dataset.h"
+#include "common/rng.h"
+#include "index/index_factory.h"
+#include "storage/segment.h"
+
+namespace vectordb {
+namespace storage {
+namespace {
+
+SegmentSchema TwoFieldSchema() {
+  SegmentSchema schema;
+  schema.vector_dims = {4, 2};
+  schema.attribute_names = {"price", "size"};
+  return schema;
+}
+
+/// Builds rows with row ids given in `ids` (possibly unsorted); vectors are
+/// deterministic functions of the row id.
+SegmentPtr BuildSegment(const std::vector<RowId>& ids) {
+  SegmentBuilder builder(7, TwoFieldSchema());
+  for (RowId id : ids) {
+    const float base = static_cast<float>(id);
+    const float v0[4] = {base, base + 1, base + 2, base + 3};
+    const float v1[2] = {-base, -base - 1};
+    EXPECT_TRUE(builder
+                    .AddRow(id, {v0, v1},
+                            {static_cast<double>(id) * 10.0,
+                             static_cast<double>(id) * 100.0})
+                    .ok());
+  }
+  auto result = builder.Finish();
+  EXPECT_TRUE(result.ok());
+  return result.value();
+}
+
+TEST(SegmentBuilderTest, SortsRowsById) {
+  const auto segment = BuildSegment({5, 1, 3});
+  ASSERT_EQ(segment->num_rows(), 3u);
+  EXPECT_EQ(segment->row_ids(), (std::vector<RowId>{1, 3, 5}));
+  // Vector data follows the sorted order.
+  EXPECT_EQ(segment->vector(0, 0)[0], 1.0f);
+  EXPECT_EQ(segment->vector(0, 1)[0], 3.0f);
+  EXPECT_EQ(segment->vector(0, 2)[0], 5.0f);
+  // Second field too (multi-vector columnar layout).
+  EXPECT_EQ(segment->vector(1, 0)[0], -1.0f);
+  EXPECT_EQ(segment->vector(1, 2)[0], -5.0f);
+}
+
+TEST(SegmentBuilderTest, RejectsDuplicateRowIds) {
+  SegmentBuilder builder(1, TwoFieldSchema());
+  const float v0[4] = {}, v1[2] = {};
+  ASSERT_TRUE(builder.AddRow(3, {v0, v1}, {0, 0}).ok());
+  ASSERT_TRUE(builder.AddRow(3, {v0, v1}, {0, 0}).ok());
+  EXPECT_TRUE(builder.Finish().status().IsInvalidArgument());
+}
+
+TEST(SegmentBuilderTest, RejectsWrongFieldCount) {
+  SegmentBuilder builder(1, TwoFieldSchema());
+  const float v0[4] = {};
+  EXPECT_TRUE(builder.AddRow(0, {v0}, {0, 0}).IsInvalidArgument());
+  EXPECT_TRUE(builder.AddRow(0, {v0, v0}, {0}).IsInvalidArgument());
+}
+
+TEST(SegmentTest, PositionOfFindsExactRows) {
+  const auto segment = BuildSegment({10, 20, 30});
+  EXPECT_EQ(segment->PositionOf(20), std::optional<size_t>(1));
+  EXPECT_EQ(segment->PositionOf(10), std::optional<size_t>(0));
+  EXPECT_FALSE(segment->PositionOf(15).has_value());
+  EXPECT_FALSE(segment->PositionOf(99).has_value());
+}
+
+TEST(SegmentTest, AttributeIndexByName) {
+  const auto segment = BuildSegment({1});
+  EXPECT_EQ(segment->AttributeIndex("price"), std::optional<size_t>(0));
+  EXPECT_EQ(segment->AttributeIndex("size"), std::optional<size_t>(1));
+  EXPECT_FALSE(segment->AttributeIndex("colour").has_value());
+}
+
+TEST(SegmentTest, AttributeColumnRangeQueries) {
+  const auto segment = BuildSegment({1, 2, 3, 4, 5});  // price = 10..50.
+  const auto& price = segment->attribute(0);
+  EXPECT_EQ(price.CountInRange(15, 45), 3u);  // 20, 30, 40.
+  std::vector<RowId> rows;
+  price.CollectInRange(15, 45, &rows);
+  std::sort(rows.begin(), rows.end());
+  EXPECT_EQ(rows, (std::vector<RowId>{2, 3, 4}));
+  EXPECT_EQ(price.min_value(), 10.0);
+  EXPECT_EQ(price.max_value(), 50.0);
+}
+
+TEST(SegmentTest, AttributeValueAtFollowsRowOrder) {
+  const auto segment = BuildSegment({5, 1});
+  const auto& price = segment->attribute(0);
+  EXPECT_EQ(price.ValueAt(0), 10.0);  // Row 1 sorted first.
+  EXPECT_EQ(price.ValueAt(1), 50.0);
+}
+
+TEST(SegmentTest, SkipPointersMatchFullScanOnLargeColumn) {
+  // Property: CollectInRange over many pages == naive filter.
+  SegmentSchema schema;
+  schema.vector_dims = {2};
+  schema.attribute_names = {"a"};
+  SegmentBuilder builder(9, schema);
+  Rng rng(3);
+  std::vector<double> values(5000);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = rng.NextDouble() * 1000.0;
+    const float v[2] = {0, 0};
+    ASSERT_TRUE(
+        builder.AddRow(static_cast<RowId>(i), {v}, {values[i]}).ok());
+  }
+  auto segment = builder.Finish().value();
+  const auto& column = segment->attribute(0);
+  for (const auto& [lo, hi] : std::vector<std::pair<double, double>>{
+           {0, 1000}, {100, 200}, {999, 1000}, {500, 500}, {-5, -1}}) {
+    std::vector<RowId> got;
+    column.CollectInRange(lo, hi, &got);
+    size_t expected = 0;
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (values[i] >= lo && values[i] <= hi) ++expected;
+    }
+    EXPECT_EQ(got.size(), expected) << "[" << lo << "," << hi << "]";
+    EXPECT_EQ(column.CountInRange(lo, hi), expected);
+  }
+}
+
+TEST(SegmentTest, SerializeRoundTripWithoutIndex) {
+  const auto segment = BuildSegment({2, 4, 6, 8});
+  std::string blob;
+  ASSERT_TRUE(segment->Serialize(&blob).ok());
+  auto restored = Segment::Deserialize(blob);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  const auto& seg = *restored.value();
+  EXPECT_EQ(seg.id(), 7u);
+  EXPECT_EQ(seg.num_rows(), 4u);
+  EXPECT_EQ(seg.row_ids(), segment->row_ids());
+  EXPECT_EQ(seg.vector(0, 2)[1], segment->vector(0, 2)[1]);
+  EXPECT_EQ(seg.attribute(0).ValueAt(3), segment->attribute(0).ValueAt(3));
+}
+
+TEST(SegmentTest, SerializeRoundTripWithIndex) {
+  bench::DatasetSpec spec;
+  spec.num_vectors = 300;
+  spec.dim = 8;
+  const auto data = bench::MakeSiftLike(spec);
+  SegmentSchema schema;
+  schema.vector_dims = {8};
+  SegmentBuilder builder(11, schema);
+  for (size_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE(
+        builder.AddRow(static_cast<RowId>(i), {data.vector(i)}, {}).ok());
+  }
+  auto segment = builder.Finish().value();
+  index::IndexBuildParams params;
+  params.nlist = 4;
+  auto idx =
+      index::CreateIndex(index::IndexType::kIvfFlat, 8, MetricType::kL2,
+                         params);
+  ASSERT_TRUE(idx.ok());
+  ASSERT_TRUE(idx.value()->Build(segment->vectors(0), 300).ok());
+  segment->SetIndex(0, std::move(idx).value());
+
+  std::string blob;
+  ASSERT_TRUE(segment->Serialize(&blob).ok());
+  auto restored = Segment::Deserialize(blob);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_TRUE(restored.value()->HasIndex(0));
+  EXPECT_EQ(restored.value()->GetIndex(0)->Size(), 300u);
+  EXPECT_EQ(restored.value()->GetIndex(0)->type(), index::IndexType::kIvfFlat);
+}
+
+TEST(SegmentTest, DeserializeDetectsBitrot) {
+  const auto segment = BuildSegment({1, 2, 3});
+  std::string blob;
+  ASSERT_TRUE(segment->Serialize(&blob).ok());
+  blob[blob.size() / 2] ^= 0x5A;
+  EXPECT_TRUE(Segment::Deserialize(blob).status().IsCorruption());
+}
+
+TEST(SegmentTest, MemoryBytesReflectsPayload) {
+  const auto small = BuildSegment({1});
+  const auto large = BuildSegment({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  EXPECT_GT(large->MemoryBytes(), small->MemoryBytes());
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace vectordb

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "simd/cpu_features.h"
+#include "simd/distances.h"
+#include "simd/kernels.h"
+
+namespace vectordb {
+namespace simd {
+namespace {
+
+std::vector<float> RandomVector(size_t dim, Rng* rng) {
+  std::vector<float> v(dim);
+  for (auto& x : v) x = rng->NextGaussian();
+  return v;
+}
+
+float L2Ref(const float* x, const float* y, size_t dim) {
+  double sum = 0;
+  for (size_t i = 0; i < dim; ++i) {
+    const double diff = x[i] - y[i];
+    sum += diff * diff;
+  }
+  return static_cast<float>(sum);
+}
+
+float IpRef(const float* x, const float* y, size_t dim) {
+  double sum = 0;
+  for (size_t i = 0; i < dim; ++i) sum += double{x[i]} * y[i];
+  return static_cast<float>(sum);
+}
+
+/// Every supported SIMD level must agree with the double-precision
+/// reference within float tolerance, on aligned and ragged dimensions.
+class SimdLevelTest : public ::testing::TestWithParam<SimdLevel> {
+ protected:
+  void SetUp() override {
+    if (!SetLevel(GetParam())) {
+      GTEST_SKIP() << "CPU does not support " << SimdLevelName(GetParam());
+    }
+  }
+  void TearDown() override { SetLevel(HighestSupportedLevel()); }
+};
+
+TEST_P(SimdLevelTest, L2MatchesReference) {
+  Rng rng(11);
+  for (size_t dim : {1u, 3u, 8u, 15u, 16u, 17u, 96u, 128u, 333u}) {
+    const auto x = RandomVector(dim, &rng);
+    const auto y = RandomVector(dim, &rng);
+    const float expected = L2Ref(x.data(), y.data(), dim);
+    const float actual = L2Sqr(x.data(), y.data(), dim);
+    EXPECT_NEAR(actual, expected, 1e-3f * (1.0f + std::abs(expected)))
+        << "dim=" << dim;
+  }
+}
+
+TEST_P(SimdLevelTest, InnerProductMatchesReference) {
+  Rng rng(12);
+  for (size_t dim : {1u, 7u, 16u, 31u, 96u, 128u, 500u}) {
+    const auto x = RandomVector(dim, &rng);
+    const auto y = RandomVector(dim, &rng);
+    const float expected = IpRef(x.data(), y.data(), dim);
+    const float actual = InnerProduct(x.data(), y.data(), dim);
+    EXPECT_NEAR(actual, expected, 1e-3f * (1.0f + std::abs(expected)))
+        << "dim=" << dim;
+  }
+}
+
+TEST_P(SimdLevelTest, NormSqrMatchesSelfInnerProduct) {
+  Rng rng(13);
+  const auto x = RandomVector(128, &rng);
+  EXPECT_NEAR(NormSqr(x.data(), 128),
+              InnerProduct(x.data(), x.data(), 128), 1e-2f);
+}
+
+TEST_P(SimdLevelTest, ActiveLevelReflectsHook) {
+  EXPECT_EQ(ActiveLevel(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLevels, SimdLevelTest,
+                         ::testing::Values(SimdLevel::kScalar, SimdLevel::kSse,
+                                           SimdLevel::kAvx2,
+                                           SimdLevel::kAvx512),
+                         [](const auto& info) {
+                           return SimdLevelName(info.param);
+                         });
+
+TEST(SimdDispatchTest, HighestSupportedLevelIsSupported) {
+  EXPECT_TRUE(SetLevel(HighestSupportedLevel()));
+}
+
+TEST(SimdDispatchTest, ScalarAlwaysAvailable) {
+  EXPECT_TRUE(SetLevel(SimdLevel::kScalar));
+  EXPECT_EQ(ActiveLevel(), SimdLevel::kScalar);
+  SetLevel(HighestSupportedLevel());
+}
+
+TEST(SimdDispatchTest, LevelsAgreePairwise) {
+  // All supported levels produce (near-)identical results on the same data.
+  Rng rng(14);
+  const auto x = RandomVector(128, &rng);
+  const auto y = RandomVector(128, &rng);
+  ASSERT_TRUE(SetLevel(SimdLevel::kScalar));
+  const float base_l2 = L2Sqr(x.data(), y.data(), 128);
+  const float base_ip = InnerProduct(x.data(), y.data(), 128);
+  for (SimdLevel level : {SimdLevel::kSse, SimdLevel::kAvx2,
+                          SimdLevel::kAvx512}) {
+    if (!SetLevel(level)) continue;
+    EXPECT_NEAR(L2Sqr(x.data(), y.data(), 128), base_l2, 1e-2f)
+        << SimdLevelName(level);
+    EXPECT_NEAR(InnerProduct(x.data(), y.data(), 128), base_ip, 1e-2f)
+        << SimdLevelName(level);
+  }
+  SetLevel(HighestSupportedLevel());
+}
+
+TEST(CosineTest, IdenticalVectorsScoreOne) {
+  Rng rng(15);
+  const auto x = RandomVector(64, &rng);
+  EXPECT_NEAR(CosineSimilarity(x.data(), x.data(), 64), 1.0f, 1e-5f);
+}
+
+TEST(CosineTest, OppositeVectorsScoreMinusOne) {
+  std::vector<float> x{1.0f, 2.0f, 3.0f};
+  std::vector<float> y{-1.0f, -2.0f, -3.0f};
+  EXPECT_NEAR(CosineSimilarity(x.data(), y.data(), 3), -1.0f, 1e-5f);
+}
+
+TEST(CosineTest, ZeroVectorScoresZero) {
+  std::vector<float> x{0.0f, 0.0f};
+  std::vector<float> y{1.0f, 1.0f};
+  EXPECT_EQ(CosineSimilarity(x.data(), y.data(), 2), 0.0f);
+}
+
+// --------------------------------------------------------- binary metrics --
+
+TEST(BinaryDistanceTest, HammingCountsDifferingBits) {
+  const uint8_t x[2] = {0b10110100, 0b00000001};
+  const uint8_t y[2] = {0b10010110, 0b00000000};
+  // Bit diffs: byte0: 0b00100010 → 2 bits; byte1: 1 bit.
+  EXPECT_EQ(HammingDistance(x, y, 2), 3u);
+  EXPECT_EQ(HammingDistance(x, x, 2), 0u);
+}
+
+TEST(BinaryDistanceTest, HammingHandlesRaggedTails) {
+  std::vector<uint8_t> x(11, 0xFF), y(11, 0x00);
+  EXPECT_EQ(HammingDistance(x.data(), y.data(), 11), 88u);
+}
+
+TEST(BinaryDistanceTest, JaccardMatchesDefinition) {
+  const uint8_t x[1] = {0b00001111};
+  const uint8_t y[1] = {0b00111100};
+  // |x∩y| = 2, |x∪y| = 6, distance = 1 - 2/6.
+  EXPECT_NEAR(JaccardDistance(x, y, 1), 1.0f - 2.0f / 6.0f, 1e-6f);
+  EXPECT_EQ(JaccardDistance(x, x, 1), 0.0f);
+}
+
+TEST(BinaryDistanceTest, TanimotoEqualsJaccardForBitVectors) {
+  Rng rng(16);
+  std::vector<uint8_t> x(16), y(16);
+  for (auto& b : x) b = static_cast<uint8_t>(rng.NextUint64(256));
+  for (auto& b : y) b = static_cast<uint8_t>(rng.NextUint64(256));
+  EXPECT_NEAR(TanimotoDistance(x.data(), y.data(), 16),
+              JaccardDistance(x.data(), y.data(), 16), 1e-6f);
+}
+
+TEST(BinaryDistanceTest, EmptyVectorsHaveZeroDistance) {
+  const uint8_t x[1] = {0};
+  EXPECT_EQ(JaccardDistance(x, x, 1), 0.0f);
+  EXPECT_EQ(TanimotoDistance(x, x, 1), 0.0f);
+}
+
+TEST(ComputeScoreTest, DispatchesOnMetric) {
+  std::vector<float> x{1.0f, 0.0f}, y{0.0f, 1.0f};
+  EXPECT_NEAR(ComputeFloatScore(MetricType::kL2, x.data(), y.data(), 2), 2.0f,
+              1e-6f);
+  EXPECT_NEAR(
+      ComputeFloatScore(MetricType::kInnerProduct, x.data(), y.data(), 2),
+      0.0f, 1e-6f);
+  const uint8_t bx[1] = {0b1}, by[1] = {0b0};
+  EXPECT_EQ(ComputeBinaryScore(MetricType::kHamming, bx, by, 1), 1.0f);
+}
+
+}  // namespace
+}  // namespace simd
+}  // namespace vectordb

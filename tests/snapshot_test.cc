@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "storage/snapshot.h"
+
+namespace vectordb {
+namespace storage {
+namespace {
+
+SegmentPtr MakeSegment(SegmentId id, std::vector<RowId> rows) {
+  SegmentSchema schema;
+  schema.vector_dims = {2};
+  SegmentBuilder builder(id, schema);
+  const float v[2] = {0, 0};
+  for (RowId r : rows) EXPECT_TRUE(builder.AddRow(r, {v}, {}).ok());
+  return builder.Finish().value();
+}
+
+TEST(SnapshotManagerTest, InitialSnapshotIsEmpty) {
+  SnapshotManager manager;
+  const SnapshotPtr snap = manager.Acquire();
+  EXPECT_EQ(snap->version, 0u);
+  EXPECT_TRUE(snap->segments.empty());
+  EXPECT_EQ(snap->TotalRows(), 0u);
+}
+
+TEST(SnapshotManagerTest, CommitBumpsVersion) {
+  SnapshotManager manager;
+  manager.Commit([](Snapshot* snap) {
+    snap->segments.push_back(MakeSegment(1, {0, 1}));
+  });
+  EXPECT_EQ(manager.current_version(), 1u);
+  EXPECT_EQ(manager.Acquire()->TotalRows(), 2u);
+}
+
+TEST(SnapshotManagerTest, PinnedSnapshotUnaffectedByLaterCommits) {
+  // The core isolation property of Sec 5.2: queries before t2 keep seeing
+  // snapshot 1 while queries after t2 see snapshot 2.
+  SnapshotManager manager;
+  manager.Commit([](Snapshot* snap) {
+    snap->segments.push_back(MakeSegment(1, {0}));
+  });
+  const SnapshotPtr pinned = manager.Acquire();
+  manager.Commit([](Snapshot* snap) {
+    snap->segments.push_back(MakeSegment(2, {1}));
+  });
+  EXPECT_EQ(pinned->segments.size(), 1u);
+  EXPECT_EQ(manager.Acquire()->segments.size(), 2u);
+  EXPECT_EQ(pinned->version, 1u);
+}
+
+TEST(SnapshotManagerTest, TombstonesAreCopyOnWrite) {
+  SnapshotManager manager;
+  manager.Commit([](Snapshot* snap) {
+    snap->segments.push_back(MakeSegment(1, {0, 1, 2}));
+  });
+  const SnapshotPtr before = manager.Acquire();
+  manager.Commit([](Snapshot* snap) {
+    auto tombs = std::make_shared<TombstoneMap>(*snap->tombstones);
+    (*tombs)[1] = 2;  // Copies in segments with id < 2 are deleted.
+    snap->tombstones = std::move(tombs);
+  });
+  EXPECT_FALSE(before->IsDeleted(1, 1));
+  EXPECT_TRUE(manager.Acquire()->IsDeleted(1, 1));
+}
+
+TEST(SnapshotManagerTest, TombstoneWatermarkSparesNewerSegments) {
+  // Update semantics (Sec 2.3): a re-inserted row lands in a segment with a
+  // higher id than the delete watermark and must stay visible.
+  SnapshotManager manager;
+  manager.Commit([](Snapshot* snap) {
+    auto tombs = std::make_shared<TombstoneMap>();
+    (*tombs)[7] = 3;
+    snap->tombstones = std::move(tombs);
+  });
+  const SnapshotPtr snap = manager.Acquire();
+  EXPECT_TRUE(snap->IsDeleted(7, 1));   // Old copy.
+  EXPECT_TRUE(snap->IsDeleted(7, 2));
+  EXPECT_FALSE(snap->IsDeleted(7, 3));  // Re-inserted copy.
+  EXPECT_FALSE(snap->IsDeleted(8, 1));  // Different row untouched.
+}
+
+TEST(SnapshotManagerTest, GcWaitsForPinnedReaders) {
+  SnapshotManager manager;
+  std::vector<SegmentId> dropped;
+  manager.SetDropHandler([&](SegmentId id) { dropped.push_back(id); });
+
+  manager.Commit([](Snapshot* snap) {
+    snap->segments.push_back(MakeSegment(1, {0}));
+    snap->segments.push_back(MakeSegment(2, {1}));
+  });
+
+  SnapshotPtr reader = manager.Acquire();  // Pins segments 1 and 2.
+
+  // Merge: replace 1+2 by 3.
+  manager.Commit([](Snapshot* snap) {
+    snap->segments.clear();
+    snap->segments.push_back(MakeSegment(3, {0, 1}));
+  });
+  EXPECT_EQ(manager.pending_gc(), 2u);
+  EXPECT_EQ(manager.CollectGarbage(), 0u);  // Reader still holds them.
+  EXPECT_TRUE(dropped.empty());
+
+  reader.reset();  // Query finishes.
+  EXPECT_EQ(manager.CollectGarbage(), 2u);
+  ASSERT_EQ(dropped.size(), 2u);
+  EXPECT_EQ(manager.pending_gc(), 0u);
+}
+
+TEST(SnapshotManagerTest, ReplacingSameIdDoesNotGc) {
+  // Index build swaps the instance under the same segment id (a new
+  // *version* of the segment): no GC of the id.
+  SnapshotManager manager;
+  manager.Commit([](Snapshot* snap) {
+    snap->segments.push_back(MakeSegment(1, {0}));
+  });
+  manager.Commit([](Snapshot* snap) {
+    snap->segments[0] = MakeSegment(1, {0});  // New version, same id.
+  });
+  EXPECT_EQ(manager.pending_gc(), 0u);
+}
+
+TEST(SnapshotManagerTest, ChainedCommitsAccumulateState) {
+  SnapshotManager manager;
+  for (int i = 1; i <= 5; ++i) {
+    manager.Commit([&](Snapshot* snap) {
+      snap->segments.push_back(
+          MakeSegment(static_cast<SegmentId>(i), {static_cast<RowId>(i)}));
+    });
+  }
+  const SnapshotPtr snap = manager.Acquire();
+  EXPECT_EQ(snap->version, 5u);
+  EXPECT_EQ(snap->segments.size(), 5u);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace vectordb

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "benchsupport/dataset.h"
+#include "benchsupport/ground_truth.h"
+#include "gpusim/sq8h_index.h"
+
+namespace vectordb {
+namespace gpusim {
+namespace {
+
+class Sq8hTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    bench::DatasetSpec spec;
+    spec.num_vectors = 3000;
+    spec.dim = 32;
+    spec.num_clusters = 16;
+    data_ = bench::MakeSiftLike(spec);
+    queries_ = bench::MakeQueries(spec, 50);
+
+    index::IndexBuildParams params;
+    params.nlist = 32;
+    auto base = std::make_unique<index::IvfSq8Index>(data_.dim,
+                                                     MetricType::kL2, params);
+    ASSERT_TRUE(base->Build(data_.data.data(), data_.num_vectors).ok());
+
+    GpuDevice::Options device_options;
+    device_options.memory_bytes = 64 << 10;  // Tiny: data exceeds GPU memory.
+    device_ = std::make_shared<GpuDevice>("gpu0", device_options);
+    Sq8hIndex::Options options;
+    options.gpu_batch_threshold = 32;
+    sq8h_ = std::make_unique<Sq8hIndex>(std::move(base), device_, options);
+  }
+
+  index::SearchOptions SearchOpts(size_t k = 10, size_t nprobe = 16) {
+    index::SearchOptions options;
+    options.k = k;
+    options.nprobe = nprobe;
+    return options;
+  }
+
+  bench::Dataset data_;
+  bench::Dataset queries_;
+  std::shared_ptr<GpuDevice> device_;
+  std::unique_ptr<Sq8hIndex> sq8h_;
+};
+
+TEST_F(Sq8hTest, AllModesReturnIdenticalResults) {
+  // Correctness is mode-independent: the hybrid split changes *where* the
+  // steps run, never what they compute.
+  std::vector<HitList> cpu, gpu, hybrid;
+  Sq8hIndex::SearchStats stats;
+  ASSERT_TRUE(sq8h_
+                  ->Search(queries_.data.data(), 10, SearchOpts(), &cpu,
+                           &stats, ExecutionMode::kPureCpu)
+                  .ok());
+  ASSERT_TRUE(sq8h_
+                  ->Search(queries_.data.data(), 10, SearchOpts(), &gpu,
+                           &stats, ExecutionMode::kPureGpu)
+                  .ok());
+  ASSERT_TRUE(sq8h_
+                  ->Search(queries_.data.data(), 10, SearchOpts(), &hybrid,
+                           &stats, ExecutionMode::kHybrid)
+                  .ok());
+  EXPECT_EQ(cpu, gpu);
+  EXPECT_EQ(cpu, hybrid);
+}
+
+TEST_F(Sq8hTest, RecallIsReasonable) {
+  std::vector<HitList> results;
+  Sq8hIndex::SearchStats stats;
+  ASSERT_TRUE(sq8h_
+                  ->Search(queries_.data.data(), queries_.num_vectors,
+                           SearchOpts(10, 32), &results, &stats)
+                  .ok());
+  const auto truth = bench::ComputeGroundTruth(
+      data_.data.data(), data_.num_vectors, queries_.data.data(),
+      queries_.num_vectors, data_.dim, 10, MetricType::kL2);
+  EXPECT_GE(bench::MeanRecall(truth, results), 0.8);
+}
+
+TEST_F(Sq8hTest, AutoModeFollowsAlgorithmOne) {
+  std::vector<HitList> results;
+  Sq8hIndex::SearchStats stats;
+  // Small batch (< threshold 32) → hybrid.
+  ASSERT_TRUE(sq8h_
+                  ->Search(queries_.data.data(), 4, SearchOpts(), &results,
+                           &stats, ExecutionMode::kAuto)
+                  .ok());
+  EXPECT_EQ(stats.mode_used, ExecutionMode::kHybrid);
+  // Large batch (>= 32) → pure GPU.
+  ASSERT_TRUE(sq8h_
+                  ->Search(queries_.data.data(), 50, SearchOpts(), &results,
+                           &stats, ExecutionMode::kAuto)
+                  .ok());
+  EXPECT_EQ(stats.mode_used, ExecutionMode::kPureGpu);
+}
+
+TEST_F(Sq8hTest, HybridTransfersNoBuckets) {
+  // The point of the hybrid split (Sec 3.4): step 2 runs on the CPU so no
+  // bucket data crosses PCIe.
+  std::vector<HitList> results;
+  Sq8hIndex::SearchStats stats;
+  ASSERT_TRUE(sq8h_
+                  ->Search(queries_.data.data(), 4, SearchOpts(), &results,
+                           &stats, ExecutionMode::kHybrid)
+                  .ok());
+  EXPECT_EQ(stats.buckets_transferred, 0u);
+  EXPECT_GT(stats.cpu_seconds, 0.0);
+  EXPECT_GT(stats.gpu.kernel_seconds, 0.0);
+}
+
+TEST_F(Sq8hTest, PureGpuTransfersBuckets) {
+  std::vector<HitList> results;
+  Sq8hIndex::SearchStats stats;
+  ASSERT_TRUE(sq8h_
+                  ->Search(queries_.data.data(), 4, SearchOpts(), &results,
+                           &stats, ExecutionMode::kPureGpu)
+                  .ok());
+  EXPECT_GT(stats.buckets_transferred, 0u);
+  EXPECT_GT(stats.gpu.transfer_seconds, 0.0);
+}
+
+TEST_F(Sq8hTest, BatchedDmaCheaperThanBucketByBucket) {
+  // Same buckets, one DMA: the multi-bucket copy of Sec 3.4 must beat the
+  // Faiss-style per-bucket copy on transfer time.
+  std::vector<HitList> results;
+  Sq8hIndex::SearchStats faiss_style;
+  ASSERT_TRUE(sq8h_
+                  ->Search(queries_.data.data(), 40, SearchOpts(10, 32),
+                           &results, &faiss_style, ExecutionMode::kPureGpu)
+                  .ok());
+  device_->EvictAll();
+  device_->ResetCost();
+  Sq8hIndex::SearchStats milvus_style;
+  ASSERT_TRUE(sq8h_
+                  ->Search(queries_.data.data(), 40, SearchOpts(10, 32),
+                           &results, &milvus_style, ExecutionMode::kAuto)
+                  .ok());
+  ASSERT_EQ(milvus_style.mode_used, ExecutionMode::kPureGpu);
+  EXPECT_LT(milvus_style.gpu.transfer_seconds,
+            faiss_style.gpu.transfer_seconds);
+  EXPECT_LT(milvus_style.gpu.dma_operations, faiss_style.gpu.dma_operations);
+}
+
+}  // namespace
+}  // namespace gpusim
+}  // namespace vectordb

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "benchsupport/dataset.h"
+#include "db/vector_db.h"
+#include "storage/filesystem.h"
+
+namespace vectordb {
+namespace db {
+namespace {
+
+CollectionSchema MakeSchema() {
+  CollectionSchema schema;
+  schema.name = "items";
+  schema.vector_fields = {{"v", 8}};
+  schema.attributes = {"a"};
+  schema.index_params.nlist = 4;
+  return schema;
+}
+
+Entity MakeEntity(RowId id, float fill) {
+  Entity entity;
+  entity.id = id;
+  entity.vectors.push_back(std::vector<float>(8, fill));
+  entity.attributes = {static_cast<double>(id)};
+  return entity;
+}
+
+class VectorDbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    options_.fs = storage::NewMemoryFileSystem();
+    options_.memtable_flush_rows = 1u << 20;
+    options_.background_interval_ms = 50;
+    db_ = std::make_unique<VectorDb>(options_);
+  }
+
+  DbOptions options_;
+  std::unique_ptr<VectorDb> db_;
+};
+
+TEST_F(VectorDbTest, CollectionLifecycle) {
+  auto created = db_->CreateCollection(MakeSchema());
+  ASSERT_TRUE(created.ok());
+  EXPECT_NE(db_->GetCollection("items"), nullptr);
+  EXPECT_EQ(db_->ListCollections(), std::vector<std::string>{"items"});
+  EXPECT_TRUE(db_->CreateCollection(MakeSchema()).status().IsAlreadyExists());
+  ASSERT_TRUE(db_->DropCollection("items").ok());
+  EXPECT_EQ(db_->GetCollection("items"), nullptr);
+  EXPECT_TRUE(db_->DropCollection("items").IsNotFound());
+}
+
+TEST_F(VectorDbTest, DropCollectionRemovesFiles) {
+  ASSERT_TRUE(db_->CreateCollection(MakeSchema()).ok());
+  Collection* c = db_->GetCollection("items");
+  ASSERT_TRUE(c->Insert(MakeEntity(1, 0.5f)).ok());
+  ASSERT_TRUE(c->Flush().ok());
+  ASSERT_TRUE(db_->DropCollection("items").ok());
+  auto listed = options_.fs->List("db/items/");
+  ASSERT_TRUE(listed.ok());
+  EXPECT_TRUE(listed.value().empty());
+}
+
+TEST_F(VectorDbTest, AsyncInsertVisibleAfterFlushBarrier) {
+  ASSERT_TRUE(db_->CreateCollection(MakeSchema()).ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(db_->InsertAsync("items", MakeEntity(i, 0.1f * i)).ok());
+  }
+  // Sec 5.1: flush() blocks incoming requests until all pending operations
+  // are processed — after it, every row is searchable.
+  ASSERT_TRUE(db_->Flush("items").ok());
+  EXPECT_EQ(db_->QueueDepth(), 0u);
+  Collection* c = db_->GetCollection("items");
+  EXPECT_EQ(c->NumLiveRows(), 100u);
+}
+
+TEST_F(VectorDbTest, AsyncDeleteAppliedInOrder) {
+  ASSERT_TRUE(db_->CreateCollection(MakeSchema()).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(db_->InsertAsync("items", MakeEntity(i, 1.0f)).ok());
+  }
+  ASSERT_TRUE(db_->DeleteAsync("items", 4).ok());
+  ASSERT_TRUE(db_->Flush("items").ok());
+  Collection* c = db_->GetCollection("items");
+  EXPECT_EQ(c->NumLiveRows(), 9u);
+  EXPECT_TRUE(c->Get(4).status().IsNotFound());
+}
+
+TEST_F(VectorDbTest, AsyncOpsToUnknownCollectionRejected) {
+  EXPECT_TRUE(db_->InsertAsync("ghost", MakeEntity(1, 1.0f)).IsNotFound());
+  EXPECT_TRUE(db_->DeleteAsync("ghost", 1).IsNotFound());
+  EXPECT_TRUE(db_->Flush("ghost").IsNotFound());
+}
+
+TEST_F(VectorDbTest, MaintenancePassFlushesMergesAndBuilds) {
+  options_.memtable_flush_rows = 10;
+  options_.merge_policy.merge_factor = 2;
+  options_.index_build_threshold_rows = 50;
+  db_ = std::make_unique<VectorDb>(options_);
+  ASSERT_TRUE(db_->CreateCollection(MakeSchema()).ok());
+  Collection* c = db_->GetCollection("items");
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(c->Insert(MakeEntity(i, 0.01f * i)).ok());
+    if (i % 50 == 49) ASSERT_TRUE(db_->RunMaintenancePass().ok());
+  }
+  ASSERT_TRUE(db_->RunMaintenancePass().ok());
+  EXPECT_EQ(c->pending_rows(), 0u);
+  EXPECT_EQ(c->NumLiveRows(), 200u);
+  EXPECT_LE(c->NumSegments(), 3u);  // Merged down.
+}
+
+TEST_F(VectorDbTest, BackgroundThreadEventuallyFlushes) {
+  ASSERT_TRUE(db_->CreateCollection(MakeSchema()).ok());
+  db_->StartBackground();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(db_->InsertAsync("items", MakeEntity(i, 1.0f)).ok());
+  }
+  Collection* c = db_->GetCollection("items");
+  // Background tick (50ms) flushes pending rows; poll up to ~2s.
+  for (int tries = 0; tries < 200 && c->NumLiveRows() < 20; ++tries) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(c->NumLiveRows(), 20u);
+  db_->StopBackground();
+}
+
+TEST_F(VectorDbTest, OpenCollectionRecoversFromStorage) {
+  ASSERT_TRUE(db_->CreateCollection(MakeSchema()).ok());
+  Collection* c = db_->GetCollection("items");
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(c->Insert(MakeEntity(i, 0.5f)).ok());
+  }
+  ASSERT_TRUE(c->Flush().ok());
+
+  // New instance over the same storage (restart simulation).
+  auto db2 = std::make_unique<VectorDb>(options_);
+  auto opened = db2->OpenCollection("items");
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ(opened.value()->NumLiveRows(), 30u);
+}
+
+}  // namespace
+}  // namespace db
+}  // namespace vectordb
