@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bigk_rounds.dir/ablation_bigk_rounds.cc.o"
+  "CMakeFiles/ablation_bigk_rounds.dir/ablation_bigk_rounds.cc.o.d"
+  "ablation_bigk_rounds"
+  "ablation_bigk_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bigk_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_buffer_pool.dir/ablation_buffer_pool.cc.o"
+  "CMakeFiles/ablation_buffer_pool.dir/ablation_buffer_pool.cc.o.d"
+  "ablation_buffer_pool"
+  "ablation_buffer_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_buffer_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_cache_aware.dir/fig11_cache_aware.cc.o"
+  "CMakeFiles/fig11_cache_aware.dir/fig11_cache_aware.cc.o.d"
+  "fig11_cache_aware"
+  "fig11_cache_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cache_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

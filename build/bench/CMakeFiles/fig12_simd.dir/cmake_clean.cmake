@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_simd.dir/fig12_simd.cc.o"
+  "CMakeFiles/fig12_simd.dir/fig12_simd.cc.o.d"
+  "fig12_simd"
+  "fig12_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_gpu_hybrid.dir/fig13_gpu_hybrid.cc.o"
+  "CMakeFiles/fig13_gpu_hybrid.dir/fig13_gpu_hybrid.cc.o.d"
+  "fig13_gpu_hybrid"
+  "fig13_gpu_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_gpu_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_attr_strategies.dir/fig14_attr_strategies.cc.o"
+  "CMakeFiles/fig14_attr_strategies.dir/fig14_attr_strategies.cc.o.d"
+  "fig14_attr_strategies"
+  "fig14_attr_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_attr_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

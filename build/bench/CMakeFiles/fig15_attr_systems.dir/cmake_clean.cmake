@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_attr_systems.dir/fig15_attr_systems.cc.o"
+  "CMakeFiles/fig15_attr_systems.dir/fig15_attr_systems.cc.o.d"
+  "fig15_attr_systems"
+  "fig15_attr_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_attr_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

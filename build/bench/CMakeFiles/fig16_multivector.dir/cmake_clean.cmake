@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_multivector.dir/fig16_multivector.cc.o"
+  "CMakeFiles/fig16_multivector.dir/fig16_multivector.cc.o.d"
+  "fig16_multivector"
+  "fig16_multivector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_multivector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_ivf_systems.dir/fig8_ivf_systems.cc.o"
+  "CMakeFiles/fig8_ivf_systems.dir/fig8_ivf_systems.cc.o.d"
+  "fig8_ivf_systems"
+  "fig8_ivf_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_ivf_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_hnsw_systems.dir/fig9_hnsw_systems.cc.o"
+  "CMakeFiles/fig9_hnsw_systems.dir/fig9_hnsw_systems.cc.o.d"
+  "fig9_hnsw_systems"
+  "fig9_hnsw_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_hnsw_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_distances.dir/micro_distances.cc.o"
+  "CMakeFiles/micro_distances.dir/micro_distances.cc.o.d"
+  "micro_distances"
+  "micro_distances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_distances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

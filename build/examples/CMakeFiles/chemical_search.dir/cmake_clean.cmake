@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chemical_search.dir/chemical_search.cc.o"
+  "CMakeFiles/chemical_search.dir/chemical_search.cc.o.d"
+  "chemical_search"
+  "chemical_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chemical_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recipe_search.dir/recipe_search.cc.o"
+  "CMakeFiles/recipe_search.dir/recipe_search.cc.o.d"
+  "recipe_search"
+  "recipe_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recipe_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

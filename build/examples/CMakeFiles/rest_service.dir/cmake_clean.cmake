@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rest_service.dir/rest_service.cc.o"
+  "CMakeFiles/rest_service.dir/rest_service.cc.o.d"
+  "rest_service"
+  "rest_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rest_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

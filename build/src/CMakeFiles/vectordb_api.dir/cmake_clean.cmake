@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vectordb_api.dir/api/json.cc.o"
+  "CMakeFiles/vectordb_api.dir/api/json.cc.o.d"
+  "CMakeFiles/vectordb_api.dir/api/rest_handler.cc.o"
+  "CMakeFiles/vectordb_api.dir/api/rest_handler.cc.o.d"
+  "CMakeFiles/vectordb_api.dir/api/sdk.cc.o"
+  "CMakeFiles/vectordb_api.dir/api/sdk.cc.o.d"
+  "libvectordb_api.a"
+  "libvectordb_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vectordb_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

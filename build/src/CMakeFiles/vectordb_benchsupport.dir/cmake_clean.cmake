@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vectordb_benchsupport.dir/benchsupport/dataset.cc.o"
+  "CMakeFiles/vectordb_benchsupport.dir/benchsupport/dataset.cc.o.d"
+  "CMakeFiles/vectordb_benchsupport.dir/benchsupport/ground_truth.cc.o"
+  "CMakeFiles/vectordb_benchsupport.dir/benchsupport/ground_truth.cc.o.d"
+  "CMakeFiles/vectordb_benchsupport.dir/benchsupport/reporter.cc.o"
+  "CMakeFiles/vectordb_benchsupport.dir/benchsupport/reporter.cc.o.d"
+  "libvectordb_benchsupport.a"
+  "libvectordb_benchsupport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vectordb_benchsupport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vectordb_cluster.dir/cluster/kmeans.cc.o"
+  "CMakeFiles/vectordb_cluster.dir/cluster/kmeans.cc.o.d"
+  "libvectordb_cluster.a"
+  "libvectordb_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vectordb_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/vectordb_common.dir/common/config.cc.o" "gcc" "src/CMakeFiles/vectordb_common.dir/common/config.cc.o.d"
+  "/root/repo/src/common/logger.cc" "src/CMakeFiles/vectordb_common.dir/common/logger.cc.o" "gcc" "src/CMakeFiles/vectordb_common.dir/common/logger.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/vectordb_common.dir/common/status.cc.o" "gcc" "src/CMakeFiles/vectordb_common.dir/common/status.cc.o.d"
+  "/root/repo/src/common/sysinfo.cc" "src/CMakeFiles/vectordb_common.dir/common/sysinfo.cc.o" "gcc" "src/CMakeFiles/vectordb_common.dir/common/sysinfo.cc.o.d"
+  "/root/repo/src/common/threadpool.cc" "src/CMakeFiles/vectordb_common.dir/common/threadpool.cc.o" "gcc" "src/CMakeFiles/vectordb_common.dir/common/threadpool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vectordb_common.dir/common/config.cc.o"
+  "CMakeFiles/vectordb_common.dir/common/config.cc.o.d"
+  "CMakeFiles/vectordb_common.dir/common/logger.cc.o"
+  "CMakeFiles/vectordb_common.dir/common/logger.cc.o.d"
+  "CMakeFiles/vectordb_common.dir/common/status.cc.o"
+  "CMakeFiles/vectordb_common.dir/common/status.cc.o.d"
+  "CMakeFiles/vectordb_common.dir/common/sysinfo.cc.o"
+  "CMakeFiles/vectordb_common.dir/common/sysinfo.cc.o.d"
+  "CMakeFiles/vectordb_common.dir/common/threadpool.cc.o"
+  "CMakeFiles/vectordb_common.dir/common/threadpool.cc.o.d"
+  "libvectordb_common.a"
+  "libvectordb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vectordb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvectordb_common.a"
+)

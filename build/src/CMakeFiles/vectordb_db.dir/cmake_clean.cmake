@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vectordb_db.dir/db/collection.cc.o"
+  "CMakeFiles/vectordb_db.dir/db/collection.cc.o.d"
+  "CMakeFiles/vectordb_db.dir/db/schema.cc.o"
+  "CMakeFiles/vectordb_db.dir/db/schema.cc.o.d"
+  "CMakeFiles/vectordb_db.dir/db/vector_db.cc.o"
+  "CMakeFiles/vectordb_db.dir/db/vector_db.cc.o.d"
+  "libvectordb_db.a"
+  "libvectordb_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vectordb_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

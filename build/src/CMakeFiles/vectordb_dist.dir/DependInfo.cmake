@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/cluster.cc" "src/CMakeFiles/vectordb_dist.dir/dist/cluster.cc.o" "gcc" "src/CMakeFiles/vectordb_dist.dir/dist/cluster.cc.o.d"
+  "/root/repo/src/dist/coordinator.cc" "src/CMakeFiles/vectordb_dist.dir/dist/coordinator.cc.o" "gcc" "src/CMakeFiles/vectordb_dist.dir/dist/coordinator.cc.o.d"
+  "/root/repo/src/dist/hash_ring.cc" "src/CMakeFiles/vectordb_dist.dir/dist/hash_ring.cc.o" "gcc" "src/CMakeFiles/vectordb_dist.dir/dist/hash_ring.cc.o.d"
+  "/root/repo/src/dist/node.cc" "src/CMakeFiles/vectordb_dist.dir/dist/node.cc.o" "gcc" "src/CMakeFiles/vectordb_dist.dir/dist/node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vectordb_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vectordb_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vectordb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vectordb_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vectordb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vectordb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vectordb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vectordb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vectordb_simd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

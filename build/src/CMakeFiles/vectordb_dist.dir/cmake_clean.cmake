@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vectordb_dist.dir/dist/cluster.cc.o"
+  "CMakeFiles/vectordb_dist.dir/dist/cluster.cc.o.d"
+  "CMakeFiles/vectordb_dist.dir/dist/coordinator.cc.o"
+  "CMakeFiles/vectordb_dist.dir/dist/coordinator.cc.o.d"
+  "CMakeFiles/vectordb_dist.dir/dist/hash_ring.cc.o"
+  "CMakeFiles/vectordb_dist.dir/dist/hash_ring.cc.o.d"
+  "CMakeFiles/vectordb_dist.dir/dist/node.cc.o"
+  "CMakeFiles/vectordb_dist.dir/dist/node.cc.o.d"
+  "libvectordb_dist.a"
+  "libvectordb_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vectordb_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/batch_searcher.cc" "src/CMakeFiles/vectordb_engine.dir/engine/batch_searcher.cc.o" "gcc" "src/CMakeFiles/vectordb_engine.dir/engine/batch_searcher.cc.o.d"
+  "/root/repo/src/engine/query_per_thread_searcher.cc" "src/CMakeFiles/vectordb_engine.dir/engine/query_per_thread_searcher.cc.o" "gcc" "src/CMakeFiles/vectordb_engine.dir/engine/query_per_thread_searcher.cc.o.d"
+  "/root/repo/src/engine/search.cc" "src/CMakeFiles/vectordb_engine.dir/engine/search.cc.o" "gcc" "src/CMakeFiles/vectordb_engine.dir/engine/search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vectordb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vectordb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vectordb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vectordb_simd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

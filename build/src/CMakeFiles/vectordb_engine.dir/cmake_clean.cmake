@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vectordb_engine.dir/engine/batch_searcher.cc.o"
+  "CMakeFiles/vectordb_engine.dir/engine/batch_searcher.cc.o.d"
+  "CMakeFiles/vectordb_engine.dir/engine/query_per_thread_searcher.cc.o"
+  "CMakeFiles/vectordb_engine.dir/engine/query_per_thread_searcher.cc.o.d"
+  "CMakeFiles/vectordb_engine.dir/engine/search.cc.o"
+  "CMakeFiles/vectordb_engine.dir/engine/search.cc.o.d"
+  "libvectordb_engine.a"
+  "libvectordb_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vectordb_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

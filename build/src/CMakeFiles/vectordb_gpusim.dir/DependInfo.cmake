@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/gpu_device.cc" "src/CMakeFiles/vectordb_gpusim.dir/gpusim/gpu_device.cc.o" "gcc" "src/CMakeFiles/vectordb_gpusim.dir/gpusim/gpu_device.cc.o.d"
+  "/root/repo/src/gpusim/gpu_topk.cc" "src/CMakeFiles/vectordb_gpusim.dir/gpusim/gpu_topk.cc.o" "gcc" "src/CMakeFiles/vectordb_gpusim.dir/gpusim/gpu_topk.cc.o.d"
+  "/root/repo/src/gpusim/segment_scheduler.cc" "src/CMakeFiles/vectordb_gpusim.dir/gpusim/segment_scheduler.cc.o" "gcc" "src/CMakeFiles/vectordb_gpusim.dir/gpusim/segment_scheduler.cc.o.d"
+  "/root/repo/src/gpusim/sq8h_index.cc" "src/CMakeFiles/vectordb_gpusim.dir/gpusim/sq8h_index.cc.o" "gcc" "src/CMakeFiles/vectordb_gpusim.dir/gpusim/sq8h_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vectordb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vectordb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vectordb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vectordb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vectordb_simd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vectordb_gpusim.dir/gpusim/gpu_device.cc.o"
+  "CMakeFiles/vectordb_gpusim.dir/gpusim/gpu_device.cc.o.d"
+  "CMakeFiles/vectordb_gpusim.dir/gpusim/gpu_topk.cc.o"
+  "CMakeFiles/vectordb_gpusim.dir/gpusim/gpu_topk.cc.o.d"
+  "CMakeFiles/vectordb_gpusim.dir/gpusim/segment_scheduler.cc.o"
+  "CMakeFiles/vectordb_gpusim.dir/gpusim/segment_scheduler.cc.o.d"
+  "CMakeFiles/vectordb_gpusim.dir/gpusim/sq8h_index.cc.o"
+  "CMakeFiles/vectordb_gpusim.dir/gpusim/sq8h_index.cc.o.d"
+  "libvectordb_gpusim.a"
+  "libvectordb_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vectordb_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/annoy_index.cc" "src/CMakeFiles/vectordb_index.dir/index/annoy_index.cc.o" "gcc" "src/CMakeFiles/vectordb_index.dir/index/annoy_index.cc.o.d"
+  "/root/repo/src/index/binary_flat_index.cc" "src/CMakeFiles/vectordb_index.dir/index/binary_flat_index.cc.o" "gcc" "src/CMakeFiles/vectordb_index.dir/index/binary_flat_index.cc.o.d"
+  "/root/repo/src/index/binary_ivf_index.cc" "src/CMakeFiles/vectordb_index.dir/index/binary_ivf_index.cc.o" "gcc" "src/CMakeFiles/vectordb_index.dir/index/binary_ivf_index.cc.o.d"
+  "/root/repo/src/index/flat_index.cc" "src/CMakeFiles/vectordb_index.dir/index/flat_index.cc.o" "gcc" "src/CMakeFiles/vectordb_index.dir/index/flat_index.cc.o.d"
+  "/root/repo/src/index/hnsw_index.cc" "src/CMakeFiles/vectordb_index.dir/index/hnsw_index.cc.o" "gcc" "src/CMakeFiles/vectordb_index.dir/index/hnsw_index.cc.o.d"
+  "/root/repo/src/index/index.cc" "src/CMakeFiles/vectordb_index.dir/index/index.cc.o" "gcc" "src/CMakeFiles/vectordb_index.dir/index/index.cc.o.d"
+  "/root/repo/src/index/index_factory.cc" "src/CMakeFiles/vectordb_index.dir/index/index_factory.cc.o" "gcc" "src/CMakeFiles/vectordb_index.dir/index/index_factory.cc.o.d"
+  "/root/repo/src/index/ivf_flat_index.cc" "src/CMakeFiles/vectordb_index.dir/index/ivf_flat_index.cc.o" "gcc" "src/CMakeFiles/vectordb_index.dir/index/ivf_flat_index.cc.o.d"
+  "/root/repo/src/index/ivf_index.cc" "src/CMakeFiles/vectordb_index.dir/index/ivf_index.cc.o" "gcc" "src/CMakeFiles/vectordb_index.dir/index/ivf_index.cc.o.d"
+  "/root/repo/src/index/ivf_pq_index.cc" "src/CMakeFiles/vectordb_index.dir/index/ivf_pq_index.cc.o" "gcc" "src/CMakeFiles/vectordb_index.dir/index/ivf_pq_index.cc.o.d"
+  "/root/repo/src/index/ivf_sq8_index.cc" "src/CMakeFiles/vectordb_index.dir/index/ivf_sq8_index.cc.o" "gcc" "src/CMakeFiles/vectordb_index.dir/index/ivf_sq8_index.cc.o.d"
+  "/root/repo/src/index/nsg_index.cc" "src/CMakeFiles/vectordb_index.dir/index/nsg_index.cc.o" "gcc" "src/CMakeFiles/vectordb_index.dir/index/nsg_index.cc.o.d"
+  "/root/repo/src/index/product_quantizer.cc" "src/CMakeFiles/vectordb_index.dir/index/product_quantizer.cc.o" "gcc" "src/CMakeFiles/vectordb_index.dir/index/product_quantizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vectordb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vectordb_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vectordb_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vectordb_index.dir/index/annoy_index.cc.o"
+  "CMakeFiles/vectordb_index.dir/index/annoy_index.cc.o.d"
+  "CMakeFiles/vectordb_index.dir/index/binary_flat_index.cc.o"
+  "CMakeFiles/vectordb_index.dir/index/binary_flat_index.cc.o.d"
+  "CMakeFiles/vectordb_index.dir/index/binary_ivf_index.cc.o"
+  "CMakeFiles/vectordb_index.dir/index/binary_ivf_index.cc.o.d"
+  "CMakeFiles/vectordb_index.dir/index/flat_index.cc.o"
+  "CMakeFiles/vectordb_index.dir/index/flat_index.cc.o.d"
+  "CMakeFiles/vectordb_index.dir/index/hnsw_index.cc.o"
+  "CMakeFiles/vectordb_index.dir/index/hnsw_index.cc.o.d"
+  "CMakeFiles/vectordb_index.dir/index/index.cc.o"
+  "CMakeFiles/vectordb_index.dir/index/index.cc.o.d"
+  "CMakeFiles/vectordb_index.dir/index/index_factory.cc.o"
+  "CMakeFiles/vectordb_index.dir/index/index_factory.cc.o.d"
+  "CMakeFiles/vectordb_index.dir/index/ivf_flat_index.cc.o"
+  "CMakeFiles/vectordb_index.dir/index/ivf_flat_index.cc.o.d"
+  "CMakeFiles/vectordb_index.dir/index/ivf_index.cc.o"
+  "CMakeFiles/vectordb_index.dir/index/ivf_index.cc.o.d"
+  "CMakeFiles/vectordb_index.dir/index/ivf_pq_index.cc.o"
+  "CMakeFiles/vectordb_index.dir/index/ivf_pq_index.cc.o.d"
+  "CMakeFiles/vectordb_index.dir/index/ivf_sq8_index.cc.o"
+  "CMakeFiles/vectordb_index.dir/index/ivf_sq8_index.cc.o.d"
+  "CMakeFiles/vectordb_index.dir/index/nsg_index.cc.o"
+  "CMakeFiles/vectordb_index.dir/index/nsg_index.cc.o.d"
+  "CMakeFiles/vectordb_index.dir/index/product_quantizer.cc.o"
+  "CMakeFiles/vectordb_index.dir/index/product_quantizer.cc.o.d"
+  "libvectordb_index.a"
+  "libvectordb_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vectordb_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/attribute_index.cc" "src/CMakeFiles/vectordb_query.dir/query/attribute_index.cc.o" "gcc" "src/CMakeFiles/vectordb_query.dir/query/attribute_index.cc.o.d"
+  "/root/repo/src/query/categorical_index.cc" "src/CMakeFiles/vectordb_query.dir/query/categorical_index.cc.o" "gcc" "src/CMakeFiles/vectordb_query.dir/query/categorical_index.cc.o.d"
+  "/root/repo/src/query/cost_model.cc" "src/CMakeFiles/vectordb_query.dir/query/cost_model.cc.o" "gcc" "src/CMakeFiles/vectordb_query.dir/query/cost_model.cc.o.d"
+  "/root/repo/src/query/filter_strategies.cc" "src/CMakeFiles/vectordb_query.dir/query/filter_strategies.cc.o" "gcc" "src/CMakeFiles/vectordb_query.dir/query/filter_strategies.cc.o.d"
+  "/root/repo/src/query/multi_vector.cc" "src/CMakeFiles/vectordb_query.dir/query/multi_vector.cc.o" "gcc" "src/CMakeFiles/vectordb_query.dir/query/multi_vector.cc.o.d"
+  "/root/repo/src/query/partition_manager.cc" "src/CMakeFiles/vectordb_query.dir/query/partition_manager.cc.o" "gcc" "src/CMakeFiles/vectordb_query.dir/query/partition_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vectordb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vectordb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vectordb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vectordb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vectordb_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vectordb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vectordb_query.dir/query/attribute_index.cc.o"
+  "CMakeFiles/vectordb_query.dir/query/attribute_index.cc.o.d"
+  "CMakeFiles/vectordb_query.dir/query/categorical_index.cc.o"
+  "CMakeFiles/vectordb_query.dir/query/categorical_index.cc.o.d"
+  "CMakeFiles/vectordb_query.dir/query/cost_model.cc.o"
+  "CMakeFiles/vectordb_query.dir/query/cost_model.cc.o.d"
+  "CMakeFiles/vectordb_query.dir/query/filter_strategies.cc.o"
+  "CMakeFiles/vectordb_query.dir/query/filter_strategies.cc.o.d"
+  "CMakeFiles/vectordb_query.dir/query/multi_vector.cc.o"
+  "CMakeFiles/vectordb_query.dir/query/multi_vector.cc.o.d"
+  "CMakeFiles/vectordb_query.dir/query/partition_manager.cc.o"
+  "CMakeFiles/vectordb_query.dir/query/partition_manager.cc.o.d"
+  "libvectordb_query.a"
+  "libvectordb_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vectordb_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

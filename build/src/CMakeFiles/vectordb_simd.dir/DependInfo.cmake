@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simd/cpu_features.cc" "src/CMakeFiles/vectordb_simd.dir/simd/cpu_features.cc.o" "gcc" "src/CMakeFiles/vectordb_simd.dir/simd/cpu_features.cc.o.d"
+  "/root/repo/src/simd/distances.cc" "src/CMakeFiles/vectordb_simd.dir/simd/distances.cc.o" "gcc" "src/CMakeFiles/vectordb_simd.dir/simd/distances.cc.o.d"
+  "/root/repo/src/simd/distances_avx2.cc" "src/CMakeFiles/vectordb_simd.dir/simd/distances_avx2.cc.o" "gcc" "src/CMakeFiles/vectordb_simd.dir/simd/distances_avx2.cc.o.d"
+  "/root/repo/src/simd/distances_avx512.cc" "src/CMakeFiles/vectordb_simd.dir/simd/distances_avx512.cc.o" "gcc" "src/CMakeFiles/vectordb_simd.dir/simd/distances_avx512.cc.o.d"
+  "/root/repo/src/simd/distances_scalar.cc" "src/CMakeFiles/vectordb_simd.dir/simd/distances_scalar.cc.o" "gcc" "src/CMakeFiles/vectordb_simd.dir/simd/distances_scalar.cc.o.d"
+  "/root/repo/src/simd/distances_sse.cc" "src/CMakeFiles/vectordb_simd.dir/simd/distances_sse.cc.o" "gcc" "src/CMakeFiles/vectordb_simd.dir/simd/distances_sse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

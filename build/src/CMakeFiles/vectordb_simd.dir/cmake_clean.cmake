@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vectordb_simd.dir/simd/cpu_features.cc.o"
+  "CMakeFiles/vectordb_simd.dir/simd/cpu_features.cc.o.d"
+  "CMakeFiles/vectordb_simd.dir/simd/distances.cc.o"
+  "CMakeFiles/vectordb_simd.dir/simd/distances.cc.o.d"
+  "CMakeFiles/vectordb_simd.dir/simd/distances_avx2.cc.o"
+  "CMakeFiles/vectordb_simd.dir/simd/distances_avx2.cc.o.d"
+  "CMakeFiles/vectordb_simd.dir/simd/distances_avx512.cc.o"
+  "CMakeFiles/vectordb_simd.dir/simd/distances_avx512.cc.o.d"
+  "CMakeFiles/vectordb_simd.dir/simd/distances_scalar.cc.o"
+  "CMakeFiles/vectordb_simd.dir/simd/distances_scalar.cc.o.d"
+  "CMakeFiles/vectordb_simd.dir/simd/distances_sse.cc.o"
+  "CMakeFiles/vectordb_simd.dir/simd/distances_sse.cc.o.d"
+  "libvectordb_simd.a"
+  "libvectordb_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vectordb_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,4 @@
+src/CMakeFiles/vectordb_simd.dir/simd/cpu_features.cc.o: \
+ /root/repo/src/simd/cpu_features.cc /usr/include/stdc-predef.h \
+ /root/repo/src/simd/cpu_features.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/cpuid.h

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/vectordb_storage.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/vectordb_storage.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/filesystem.cc" "src/CMakeFiles/vectordb_storage.dir/storage/filesystem.cc.o" "gcc" "src/CMakeFiles/vectordb_storage.dir/storage/filesystem.cc.o.d"
+  "/root/repo/src/storage/local_filesystem.cc" "src/CMakeFiles/vectordb_storage.dir/storage/local_filesystem.cc.o" "gcc" "src/CMakeFiles/vectordb_storage.dir/storage/local_filesystem.cc.o.d"
+  "/root/repo/src/storage/memory_filesystem.cc" "src/CMakeFiles/vectordb_storage.dir/storage/memory_filesystem.cc.o" "gcc" "src/CMakeFiles/vectordb_storage.dir/storage/memory_filesystem.cc.o.d"
+  "/root/repo/src/storage/memtable.cc" "src/CMakeFiles/vectordb_storage.dir/storage/memtable.cc.o" "gcc" "src/CMakeFiles/vectordb_storage.dir/storage/memtable.cc.o.d"
+  "/root/repo/src/storage/merge_policy.cc" "src/CMakeFiles/vectordb_storage.dir/storage/merge_policy.cc.o" "gcc" "src/CMakeFiles/vectordb_storage.dir/storage/merge_policy.cc.o.d"
+  "/root/repo/src/storage/object_store.cc" "src/CMakeFiles/vectordb_storage.dir/storage/object_store.cc.o" "gcc" "src/CMakeFiles/vectordb_storage.dir/storage/object_store.cc.o.d"
+  "/root/repo/src/storage/segment.cc" "src/CMakeFiles/vectordb_storage.dir/storage/segment.cc.o" "gcc" "src/CMakeFiles/vectordb_storage.dir/storage/segment.cc.o.d"
+  "/root/repo/src/storage/snapshot.cc" "src/CMakeFiles/vectordb_storage.dir/storage/snapshot.cc.o" "gcc" "src/CMakeFiles/vectordb_storage.dir/storage/snapshot.cc.o.d"
+  "/root/repo/src/storage/wal.cc" "src/CMakeFiles/vectordb_storage.dir/storage/wal.cc.o" "gcc" "src/CMakeFiles/vectordb_storage.dir/storage/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vectordb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vectordb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vectordb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vectordb_simd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

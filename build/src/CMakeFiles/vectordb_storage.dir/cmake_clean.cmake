@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vectordb_storage.dir/storage/buffer_pool.cc.o"
+  "CMakeFiles/vectordb_storage.dir/storage/buffer_pool.cc.o.d"
+  "CMakeFiles/vectordb_storage.dir/storage/filesystem.cc.o"
+  "CMakeFiles/vectordb_storage.dir/storage/filesystem.cc.o.d"
+  "CMakeFiles/vectordb_storage.dir/storage/local_filesystem.cc.o"
+  "CMakeFiles/vectordb_storage.dir/storage/local_filesystem.cc.o.d"
+  "CMakeFiles/vectordb_storage.dir/storage/memory_filesystem.cc.o"
+  "CMakeFiles/vectordb_storage.dir/storage/memory_filesystem.cc.o.d"
+  "CMakeFiles/vectordb_storage.dir/storage/memtable.cc.o"
+  "CMakeFiles/vectordb_storage.dir/storage/memtable.cc.o.d"
+  "CMakeFiles/vectordb_storage.dir/storage/merge_policy.cc.o"
+  "CMakeFiles/vectordb_storage.dir/storage/merge_policy.cc.o.d"
+  "CMakeFiles/vectordb_storage.dir/storage/object_store.cc.o"
+  "CMakeFiles/vectordb_storage.dir/storage/object_store.cc.o.d"
+  "CMakeFiles/vectordb_storage.dir/storage/segment.cc.o"
+  "CMakeFiles/vectordb_storage.dir/storage/segment.cc.o.d"
+  "CMakeFiles/vectordb_storage.dir/storage/snapshot.cc.o"
+  "CMakeFiles/vectordb_storage.dir/storage/snapshot.cc.o.d"
+  "CMakeFiles/vectordb_storage.dir/storage/wal.cc.o"
+  "CMakeFiles/vectordb_storage.dir/storage/wal.cc.o.d"
+  "libvectordb_storage.a"
+  "libvectordb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vectordb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

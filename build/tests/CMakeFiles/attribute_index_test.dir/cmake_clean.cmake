@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attribute_index_test.dir/attribute_index_test.cc.o"
+  "CMakeFiles/attribute_index_test.dir/attribute_index_test.cc.o.d"
+  "attribute_index_test"
+  "attribute_index_test.pdb"
+  "attribute_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attribute_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binary_ivf_test.dir/binary_ivf_test.cc.o"
+  "CMakeFiles/binary_ivf_test.dir/binary_ivf_test.cc.o.d"
+  "binary_ivf_test"
+  "binary_ivf_test.pdb"
+  "binary_ivf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binary_ivf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

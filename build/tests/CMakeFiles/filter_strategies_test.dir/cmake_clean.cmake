@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_strategies_test.dir/filter_strategies_test.cc.o"
+  "CMakeFiles/filter_strategies_test.dir/filter_strategies_test.cc.o.d"
+  "filter_strategies_test"
+  "filter_strategies_test.pdb"
+  "filter_strategies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_strategies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

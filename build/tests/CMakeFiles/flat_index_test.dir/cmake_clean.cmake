@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flat_index_test.dir/flat_index_test.cc.o"
+  "CMakeFiles/flat_index_test.dir/flat_index_test.cc.o.d"
+  "flat_index_test"
+  "flat_index_test.pdb"
+  "flat_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flat_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph_tree_index_test.cc" "tests/CMakeFiles/graph_tree_index_test.dir/graph_tree_index_test.cc.o" "gcc" "tests/CMakeFiles/graph_tree_index_test.dir/graph_tree_index_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vectordb_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vectordb_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vectordb_benchsupport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vectordb_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vectordb_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vectordb_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vectordb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vectordb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vectordb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vectordb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vectordb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vectordb_simd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

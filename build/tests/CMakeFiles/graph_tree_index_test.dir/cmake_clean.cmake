@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_tree_index_test.dir/graph_tree_index_test.cc.o"
+  "CMakeFiles/graph_tree_index_test.dir/graph_tree_index_test.cc.o.d"
+  "graph_tree_index_test"
+  "graph_tree_index_test.pdb"
+  "graph_tree_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_tree_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

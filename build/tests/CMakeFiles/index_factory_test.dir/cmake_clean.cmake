@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_factory_test.dir/index_factory_test.cc.o"
+  "CMakeFiles/index_factory_test.dir/index_factory_test.cc.o.d"
+  "index_factory_test"
+  "index_factory_test.pdb"
+  "index_factory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_factory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivf_index_test.dir/ivf_index_test.cc.o"
+  "CMakeFiles/ivf_index_test.dir/ivf_index_test.cc.o.d"
+  "ivf_index_test"
+  "ivf_index_test.pdb"
+  "ivf_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivf_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memtable_merge_test.dir/memtable_merge_test.cc.o"
+  "CMakeFiles/memtable_merge_test.dir/memtable_merge_test.cc.o.d"
+  "memtable_merge_test"
+  "memtable_merge_test.pdb"
+  "memtable_merge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memtable_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

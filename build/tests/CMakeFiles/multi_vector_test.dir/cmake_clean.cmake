@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_vector_test.dir/multi_vector_test.cc.o"
+  "CMakeFiles/multi_vector_test.dir/multi_vector_test.cc.o.d"
+  "multi_vector_test"
+  "multi_vector_test.pdb"
+  "multi_vector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rest_api_test.dir/rest_api_test.cc.o"
+  "CMakeFiles/rest_api_test.dir/rest_api_test.cc.o.d"
+  "rest_api_test"
+  "rest_api_test.pdb"
+  "rest_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rest_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

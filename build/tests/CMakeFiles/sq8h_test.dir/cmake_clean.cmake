@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sq8h_test.dir/sq8h_test.cc.o"
+  "CMakeFiles/sq8h_test.dir/sq8h_test.cc.o.d"
+  "sq8h_test"
+  "sq8h_test.pdb"
+  "sq8h_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sq8h_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

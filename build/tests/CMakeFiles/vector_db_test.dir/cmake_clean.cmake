@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vector_db_test.dir/vector_db_test.cc.o"
+  "CMakeFiles/vector_db_test.dir/vector_db_test.cc.o.d"
+  "vector_db_test"
+  "vector_db_test.pdb"
+  "vector_db_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vector_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
