@@ -1,6 +1,18 @@
 #include "common/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace vectordb {
+
+namespace internal {
+void DieInvalidResultAccess(const Status& status) {
+  std::fprintf(stderr, "FATAL: Result::value() called on non-OK status: %s\n",
+               status.ToString().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+}  // namespace internal
 
 namespace {
 const char* CodeName(Status::Code code) {

@@ -72,6 +72,15 @@ class Status {
   }
   bool IsUnavailable() const { return code_ == Code::kUnavailable; }
 
+  /// Failures a retry may cure: the operation was sound but the world was
+  /// temporarily unhealthy. Corruption, missing objects, and logic errors
+  /// are permanent — retrying them cannot help and (for corruption of an
+  /// append) can actively make recovery harder.
+  bool IsTransient() const {
+    return code_ == Code::kUnavailable || code_ == Code::kIOError ||
+           code_ == Code::kResourceExhausted;
+  }
+
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }
 
@@ -90,7 +99,15 @@ class Status {
     if (!_s.ok()) return _s;               \
   } while (0)
 
-/// Value-or-status result. `status()` must be OK before `value()` is used.
+namespace internal {
+/// Aborts the process with `status` printed; accessing the value of a
+/// failed Result is a programming error, not a recoverable condition.
+[[noreturn]] void DieInvalidResultAccess(const Status& status);
+}  // namespace internal
+
+/// Value-or-status result. `status()` must be OK before `value()` is used;
+/// accessing `value()` on a failed Result aborts (it used to silently
+/// return a default-constructed T, which masked storage failures).
 template <typename T>
 class Result {
  public:
@@ -99,11 +116,34 @@ class Result {
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
-  const T& value() const& { return value_; }
-  T& value() & { return value_; }
-  T&& value() && { return std::move(value_); }
+  const T& value() const& {
+    CheckOk();
+    return value_;
+  }
+  T& value() & {
+    CheckOk();
+    return value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(value_);
+  }
+
+  /// Status-returning accessor: never aborts.
+  Status MoveValue(T* out) {
+    if (!status_.ok()) return status_;
+    *out = std::move(value_);
+    return Status::OK();
+  }
+
+  /// The value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const& { return ok() ? value_ : std::move(fallback); }
 
  private:
+  void CheckOk() const {
+    if (!status_.ok()) internal::DieInvalidResultAccess(status_);
+  }
+
   Status status_;
   T value_{};
 };

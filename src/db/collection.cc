@@ -1,9 +1,11 @@
 #include "db/collection.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <unordered_set>
 
 #include "common/binary_io.h"
+#include "common/crc32.h"
 #include "common/result_heap.h"
 #include "engine/batch_searcher.h"
 #include "index/index_factory.h"
@@ -16,12 +18,42 @@ namespace db {
 
 namespace {
 constexpr uint32_t kManifestMagic = 0x464E4D56;  // "VMNF"
+// Envelope magics for CRC-framed objects ([magic][crc32(body)][body]).
+// Bodies written before this framing existed start directly with
+// kManifestMagic (manifests) or arbitrary bytes (segments) and are still
+// readable.
+constexpr uint32_t kManifestEnvMagic = 0x32464D56;  // "VMF2"
+constexpr uint32_t kSegmentEnvMagic = 0x32474553;   // "SEG2"
 
 std::string EncodeDeletePayload(RowId row_id) {
   std::string payload;
   BinaryWriter writer(&payload);
   writer.PutI64(row_id);
   return payload;
+}
+
+/// Wrap `body` in a CRC envelope.
+std::string EncodeEnvelope(uint32_t magic, const std::string& body) {
+  std::string frame;
+  BinaryWriter writer(&frame);
+  writer.PutU32(magic);
+  writer.PutU32(Crc32(body));
+  frame += body;
+  return frame;
+}
+
+/// Unwrap a CRC envelope; fails on magic mismatch or checksum mismatch.
+Status DecodeEnvelope(uint32_t magic, const std::string& frame,
+                      std::string* body) {
+  BinaryReader reader(frame);
+  uint32_t got_magic, crc;
+  if (!reader.GetU32(&got_magic) || !reader.GetU32(&crc)) {
+    return Status::Corruption("truncated envelope");
+  }
+  if (got_magic != magic) return Status::Corruption("bad envelope magic");
+  body->assign(frame, 8, frame.size() - 8);
+  if (Crc32(*body) != crc) return Status::Corruption("envelope CRC mismatch");
+  return Status::OK();
 }
 }  // namespace
 
@@ -48,6 +80,14 @@ std::string Collection::ManifestPath() const {
   return options_.data_prefix + schema_.name + "/MANIFEST";
 }
 
+std::string Collection::ManifestPathFor(uint64_t seq) const {
+  return ManifestPath() + "-" + std::to_string(seq);
+}
+
+std::string Collection::CurrentPath() const {
+  return options_.data_prefix + schema_.name + "/CURRENT";
+}
+
 std::string Collection::WalPath() const {
   return options_.data_prefix + schema_.name + "/WAL";
 }
@@ -59,10 +99,13 @@ Result<std::unique_ptr<Collection>> Collection::Create(
     return Status::InvalidArgument("a FileSystem is required");
   }
   std::unique_ptr<Collection> collection(new Collection(schema, options));
-  auto exists = options.fs->Exists(collection->ManifestPath());
-  if (!exists.ok()) return exists.status();
-  if (exists.value()) {
-    return Status::AlreadyExists("collection exists: " + schema.name);
+  for (const std::string& marker :
+       {collection->CurrentPath(), collection->ManifestPath()}) {
+    auto exists = options.fs->Exists(marker);
+    if (!exists.ok()) return exists.status();
+    if (exists.value()) {
+      return Status::AlreadyExists("collection exists: " + schema.name);
+    }
   }
   VDB_RETURN_NOT_OK(collection->PersistManifest());
   return collection;
@@ -106,12 +149,94 @@ Status Collection::PersistManifest() {
   }
   writer.PutVector(tombstone_rows);
   writer.PutVector(tombstone_marks);
-  return options_.fs->Write(ManifestPath(), out);
+
+  // Atomic commit protocol (LevelDB CURRENT-style, object-store friendly):
+  // write MANIFEST-<seq> framed with a CRC, read it back to verify, then
+  // flip the CURRENT pointer. A crash at any point leaves CURRENT naming
+  // the previous fully-verified manifest, so recovery never parses a
+  // half-written one.
+  const std::string frame = EncodeEnvelope(kManifestEnvMagic, out);
+  const uint64_t seq = next_manifest_seq_.fetch_add(1);
+  const std::string path = ManifestPathFor(seq);
+  VDB_RETURN_NOT_OK(options_.fs->Write(path, frame));
+  std::string verify;
+  VDB_RETURN_NOT_OK(options_.fs->Read(path, &verify));
+  std::string verified_body;
+  if (!DecodeEnvelope(kManifestEnvMagic, verify, &verified_body).ok() ||
+      verified_body != out) {
+    return Status::Corruption("manifest verify-after-write failed: " + path);
+  }
+  VDB_RETURN_NOT_OK(options_.fs->Write(CurrentPath(), path));
+  // Committed; older manifests are garbage now (best-effort cleanup).
+  if (seq > 1) (void)options_.fs->Delete(ManifestPathFor(seq - 1));
+  (void)options_.fs->Delete(ManifestPath());  // Legacy single-file layout.
+  return Status::OK();
+}
+
+Result<std::string> Collection::ResolveManifestBody() {
+  // 1) Follow CURRENT. 2) If CURRENT is missing, torn, or names a missing/
+  // corrupt manifest, scan for the newest MANIFEST-<seq> that passes its
+  // CRC. 3) Fall back to the legacy unframed MANIFEST object.
+  auto try_load = [&](const std::string& path) -> Result<std::string> {
+    std::string frame;
+    VDB_RETURN_NOT_OK(options_.fs->Read(path, &frame));
+    std::string body;
+    VDB_RETURN_NOT_OK(DecodeEnvelope(kManifestEnvMagic, frame, &body));
+    return body;
+  };
+
+  std::string current;
+  Status current_status = options_.fs->Read(CurrentPath(), &current);
+  if (current_status.ok()) {
+    auto loaded = try_load(current);
+    if (loaded.ok()) {
+      // Resume sequence numbering after the committed manifest.
+      const std::string prefix = ManifestPath() + "-";
+      if (current.compare(0, prefix.size(), prefix) == 0) {
+        const uint64_t seq = std::strtoull(
+            current.c_str() + prefix.size(), nullptr, 10);
+        uint64_t expected = next_manifest_seq_.load();
+        while (seq + 1 > expected &&
+               !next_manifest_seq_.compare_exchange_weak(expected, seq + 1)) {
+        }
+      }
+      return loaded;
+    }
+  }
+
+  auto listed = options_.fs->List(ManifestPath() + "-");
+  if (listed.ok()) {
+    std::vector<std::pair<uint64_t, std::string>> candidates;
+    const size_t prefix_len = ManifestPath().size() + 1;
+    for (const std::string& path : listed.value()) {
+      candidates.emplace_back(
+          std::strtoull(path.c_str() + prefix_len, nullptr, 10), path);
+    }
+    std::sort(candidates.rbegin(), candidates.rend());
+    for (const auto& [seq, path] : candidates) {
+      auto loaded = try_load(path);
+      if (!loaded.ok()) continue;
+      uint64_t expected = next_manifest_seq_.load();
+      while (seq + 1 > expected &&
+             !next_manifest_seq_.compare_exchange_weak(expected, seq + 1)) {
+      }
+      return loaded;
+    }
+  }
+
+  std::string legacy;
+  Status legacy_status = options_.fs->Read(ManifestPath(), &legacy);
+  if (legacy_status.ok()) return legacy;
+  if (!current_status.ok() && !current_status.IsNotFound()) {
+    return current_status;  // e.g. transient storage failure, not absence.
+  }
+  return Status::NotFound("no committed manifest for " + schema_.name);
 }
 
 Status Collection::RecoverFromStorage() {
-  std::string manifest;
-  VDB_RETURN_NOT_OK(options_.fs->Read(ManifestPath(), &manifest));
+  auto resolved = ResolveManifestBody();
+  if (!resolved.ok()) return resolved.status();
+  const std::string manifest = std::move(resolved).value();
   BinaryReader reader(manifest);
   uint32_t magic;
   if (!reader.GetU32(&magic) || magic != kManifestMagic) {
@@ -197,13 +322,33 @@ Status Collection::RecoverFromStorage() {
 Status Collection::PersistSegment(const storage::SegmentPtr& segment) {
   std::string blob;
   VDB_RETURN_NOT_OK(segment->Serialize(&blob));
-  return options_.fs->Write(SegmentPath(segment->id()), blob);
+  const std::string path = SegmentPath(segment->id());
+  VDB_RETURN_NOT_OK(
+      options_.fs->Write(path, EncodeEnvelope(kSegmentEnvMagic, blob)));
+  // Verify-after-write: a torn or bit-flipped segment write surfaces as a
+  // flush error now instead of silent corruption at query time.
+  std::string verify;
+  VDB_RETURN_NOT_OK(options_.fs->Read(path, &verify));
+  std::string body;
+  if (!DecodeEnvelope(kSegmentEnvMagic, verify, &body).ok() ||
+      Crc32(body) != Crc32(blob)) {
+    return Status::Corruption("segment verify-after-write failed: " + path);
+  }
+  return Status::OK();
 }
 
 Result<storage::SegmentPtr> Collection::LoadSegment(SegmentId id) const {
   return buffer_pool_.Fetch(id, [&]() -> Result<storage::SegmentPtr> {
     std::string blob;
     VDB_RETURN_NOT_OK(options_.fs->Read(SegmentPath(id), &blob));
+    // CRC-framed since the fault-injection work; bare blobs are legacy.
+    BinaryReader probe(blob);
+    uint32_t magic;
+    if (probe.GetU32(&magic) && magic == kSegmentEnvMagic) {
+      std::string body;
+      VDB_RETURN_NOT_OK(DecodeEnvelope(kSegmentEnvMagic, blob, &body));
+      return storage::Segment::Deserialize(body);
+    }
     return storage::Segment::Deserialize(blob);
   });
 }

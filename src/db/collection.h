@@ -140,12 +140,18 @@ class Collection {
 
   std::string SegmentPath(SegmentId id) const;
   std::string ManifestPath() const;
+  std::string ManifestPathFor(uint64_t seq) const;
+  std::string CurrentPath() const;
   std::string WalPath() const;
 
   Status PersistSegment(const storage::SegmentPtr& segment);
   Result<storage::SegmentPtr> LoadSegment(SegmentId id) const;
   Status PersistManifest();
   Status RecoverFromStorage();
+  /// Locate and CRC-verify the newest committed manifest: CURRENT pointer
+  /// first, then a directory scan, then the legacy single-file layout.
+  /// Returns the decoded manifest body and refreshes next_manifest_seq_.
+  Result<std::string> ResolveManifestBody();
 
   /// Search one segment into `heap` (hits carry global row ids).
   void SearchSegment(const storage::Segment& segment, size_t field,
@@ -163,6 +169,7 @@ class Collection {
   mutable std::mutex write_mu_;
   std::atomic<uint64_t> next_segment_id_{1};
   std::atomic<uint64_t> next_row_id_{0};
+  std::atomic<uint64_t> next_manifest_seq_{1};
 };
 
 }  // namespace db

@@ -63,17 +63,21 @@ Collection* VectorDb::GetCollection(const std::string& name) {
 }
 
 Status VectorDb::DropCollection(const std::string& name) {
+  bool known;
   {
     std::lock_guard<std::mutex> lock(collections_mu_);
-    if (collections_.erase(name) == 0) {
-      return Status::NotFound("unknown collection: " + name);
-    }
+    known = collections_.erase(name) > 0;
   }
-  // Remove every object under the collection prefix.
+  // Remove every object under the collection prefix. A collection written
+  // by a previous process is droppable without opening it first: the
+  // on-disk objects are the source of truth, not this process's map.
   auto listed = options_.fs->List(options_.data_prefix + name + "/");
   if (!listed.ok()) return listed.status();
   for (const std::string& path : listed.value()) {
     (void)options_.fs->Delete(path);
+  }
+  if (!known && listed.value().empty()) {
+    return Status::NotFound("unknown collection: " + name);
   }
   return Status::OK();
 }

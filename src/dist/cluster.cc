@@ -1,6 +1,7 @@
 #include "dist/cluster.h"
 
 #include <algorithm>
+#include <set>
 
 #include "common/result_heap.h"
 #include "common/timer.h"
@@ -59,10 +60,22 @@ Status Cluster::Delete(const std::string& collection, RowId row_id) {
 }
 
 Status Cluster::PublishToReaders(const std::string& collection) {
+  // Push the new manifest to every reader even if some fail: a reader whose
+  // refresh failed keeps serving its previous (stale but consistent)
+  // snapshot and catches up on the next publish. Only a total publish
+  // failure is surfaced to the caller.
+  Status first_error;
+  size_t failures = 0;
   for (auto& [name, reader] : readers_) {
     rpc_count_.fetch_add(1, std::memory_order_relaxed);
-    VDB_RETURN_NOT_OK(reader->Refresh(collection));
+    Status status = reader->Refresh(collection);
+    if (!status.ok()) {
+      ++failures;
+      publish_failures_.fetch_add(1, std::memory_order_relaxed);
+      if (first_error.ok()) first_error = status;
+    }
   }
+  if (!readers_.empty() && failures == readers_.size()) return first_error;
   return Status::OK();
 }
 
@@ -90,7 +103,12 @@ Result<std::vector<HitList>> Cluster::Search(const std::string& collection,
   if (readers_.empty()) return Status::Unavailable("no readers");
 
   // Scatter: each reader searches the segments the shard map assigns it.
+  // A reader failing mid-scatter does not abort the query: its shards are
+  // re-assigned to the survivors for one retry round, so the merged top-k
+  // stays complete (the query is merely counted as degraded).
   std::vector<std::vector<HitList>> partials;
+  std::vector<std::string> failed;
+  std::vector<std::string> survivors;
   double makespan = 0.0;
   for (auto& [name, reader] : readers_) {
     rpc_count_.fetch_add(1, std::memory_order_relaxed);
@@ -109,8 +127,43 @@ Result<std::vector<HitList>> Cluster::Search(const std::string& collection,
           return owned;
         });
     makespan = std::max(makespan, reader_timer.ElapsedSeconds());
-    if (!result.ok()) return result.status();
+    if (!result.ok()) {
+      failed.push_back(reader_name);
+      continue;
+    }
+    survivors.push_back(reader_name);
     partials.push_back(std::move(result).value());
+  }
+
+  if (!failed.empty()) {
+    degraded_queries_.fetch_add(1, std::memory_order_relaxed);
+    if (survivors.empty()) {
+      return Status::Unavailable("all readers failed mid-scatter");
+    }
+    // Retry round: survivor i covers the failed readers' segments whose id
+    // hashes to it (deterministic split, one extra RPC per survivor).
+    const std::set<std::string> failed_set(failed.begin(), failed.end());
+    const size_t num_survivors = survivors.size();
+    for (size_t si = 0; si < num_survivors; ++si) {
+      auto& reader = readers_[survivors[si]];
+      rpc_count_.fetch_add(1, std::memory_order_relaxed);
+      Timer reader_timer;
+      auto result = reader->Search(
+          collection, field, queries, nq, options,
+          [this, &failed_set, si, num_survivors](SegmentId id) {
+            if (failed_set.count(coordinator_->OwnerOfSegment(id)) == 0) {
+              return false;
+            }
+            return static_cast<size_t>(id) % num_survivors == si;
+          });
+      makespan = std::max(makespan, reader_timer.ElapsedSeconds());
+      if (!result.ok()) {
+        // Second failure within one query: give up rather than loop.
+        return Status::Unavailable("scatter retry round failed: " +
+                                   result.status().message());
+      }
+      partials.push_back(std::move(result).value());
+    }
   }
   last_makespan_ = makespan;
 
@@ -129,6 +182,13 @@ Result<std::vector<HitList>> Cluster::Search(const std::string& collection,
     merged[q] = heap.TakeSorted();
   }
   return merged;
+}
+
+Status Cluster::InjectReaderSearchFaults(const std::string& name, size_t n) {
+  auto it = readers_.find(name);
+  if (it == readers_.end()) return Status::NotFound(name);
+  it->second->InjectSearchFaults(n);
+  return Status::OK();
 }
 
 Status Cluster::AddReader() {

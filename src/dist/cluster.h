@@ -69,12 +69,23 @@ class Cluster {
   Status CrashWriter();
   /// Replace the writer (K8s-style): recovery replays the WAL.
   Status RestartWriter();
+  /// Make the next `n` scatter RPCs to reader `name` fail (chaos testing);
+  /// Search degrades gracefully by re-assigning that reader's shards.
+  Status InjectReaderSearchFaults(const std::string& name, size_t n);
 
   size_t num_live_readers() const { return readers_.size(); }
   bool writer_alive() const { return writer_ != nullptr; }
 
   /// Scatter/gather RPCs issued so far (simulated network accounting).
   size_t rpc_count() const { return rpc_count_.load(); }
+
+  /// Queries that lost at least one reader mid-scatter and were answered
+  /// via shard re-assignment instead of failing.
+  size_t degraded_queries() const { return degraded_queries_.load(); }
+
+  /// Reader refresh failures absorbed by PublishToReaders (those readers
+  /// serve stale snapshots until the next successful publish).
+  size_t publish_failures() const { return publish_failures_.load(); }
 
   /// Slowest reader's scatter time in the last Search call — the wall time
   /// an actually-parallel deployment would observe (readers here execute
@@ -93,6 +104,8 @@ class Cluster {
   std::vector<std::string> collections_;
   size_t next_reader_id_ = 0;
   std::atomic<size_t> rpc_count_{0};
+  std::atomic<size_t> degraded_queries_{0};
+  std::atomic<size_t> publish_failures_{0};
   double last_makespan_ = 0.0;
 };
 

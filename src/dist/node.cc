@@ -33,6 +33,13 @@ Result<std::vector<HitList>> ReaderNode::Search(
     const std::string& collection, const std::string& field,
     const float* queries, size_t nq, const db::QueryOptions& options,
     const std::function<bool(SegmentId)>& owns) const {
+  size_t pending = injected_search_faults_.load();
+  while (pending > 0 && !injected_search_faults_.compare_exchange_weak(
+                            pending, pending - 1)) {
+  }
+  if (pending > 0) {
+    return Status::Unavailable("injected scatter fault on reader " + name_);
+  }
   auto it = collections_.find(collection);
   if (it == collections_.end()) {
     return Status::NotFound("collection not loaded on reader " + name_);

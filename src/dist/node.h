@@ -1,6 +1,7 @@
 #ifndef VECTORDB_DIST_NODE_H_
 #define VECTORDB_DIST_NODE_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -71,10 +72,20 @@ class ReaderNode {
       const float* queries, size_t nq, const db::QueryOptions& options,
       const std::function<bool(SegmentId)>& owns) const;
 
+  /// Chaos hook: the next `n` Search calls fail with Unavailable, as if the
+  /// scatter RPC to this reader timed out mid-query (the in-process analog
+  /// of a pod dying between shard-map lookup and response). Deterministic,
+  /// so degraded-query tests are reproducible.
+  void InjectSearchFaults(size_t n) { injected_search_faults_.store(n); }
+  size_t pending_search_faults() const {
+    return injected_search_faults_.load();
+  }
+
  private:
   std::string name_;
   db::CollectionOptions collection_options_;
   std::map<std::string, std::unique_ptr<db::Collection>> collections_;
+  mutable std::atomic<size_t> injected_search_faults_{0};
 };
 
 }  // namespace dist

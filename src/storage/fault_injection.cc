@@ -1,0 +1,304 @@
+#include "storage/fault_injection.h"
+
+#include <algorithm>
+
+namespace vectordb {
+namespace storage {
+
+size_t FaultInjectionFileSystem::AddRule(const FaultRule& rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.push_back(RuleState{rule});
+  return rules_.size() - 1;
+}
+
+void FaultInjectionFileSystem::RemoveRule(size_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < rules_.size()) rules_[id].removed = true;
+}
+
+void FaultInjectionFileSystem::ClearRules() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.clear();
+}
+
+size_t FaultInjectionFileSystem::TriggerCount(size_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return id < rules_.size() ? rules_[id].triggers : 0;
+}
+
+void FaultInjectionFileSystem::set_track_unsynced_appends(bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  track_unsynced_ = on;
+  if (!on) unsynced_bytes_.clear();
+}
+
+void FaultInjectionFileSystem::SyncAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  unsynced_bytes_.clear();
+}
+
+bool FaultInjectionFileSystem::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+Status FaultInjectionFileSystem::Crash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CrashLocked();
+}
+
+void FaultInjectionFileSystem::Restart() {
+  std::lock_guard<std::mutex> lock(mu_);
+  crashed_ = false;
+}
+
+Status FaultInjectionFileSystem::CrashLocked() {
+  // Un-synced appended bytes never made it out of the page cache: truncate
+  // each file back to its last durable length.
+  for (const auto& [path, dropped] : unsynced_bytes_) {
+    std::string data;
+    Status status = inner_->Read(path, &data);
+    if (status.IsNotFound()) continue;
+    VDB_RETURN_NOT_OK(status);
+    data.resize(data.size() >= dropped ? data.size() - dropped : 0);
+    VDB_RETURN_NOT_OK(inner_->Write(path, data));
+  }
+  unsynced_bytes_.clear();
+  crashed_ = true;
+  return Status::OK();
+}
+
+void FaultInjectionFileSystem::FlipBit(std::string* data, size_t bit) {
+  if (data->empty()) return;
+  const size_t byte = (bit / 8) % data->size();
+  (*data)[byte] = static_cast<char>((*data)[byte] ^ (1u << (bit % 8)));
+}
+
+FaultInjectionFileSystem::Firing FaultInjectionFileSystem::EvaluateLocked(
+    uint32_t op, const std::string& path) {
+  stats_.ops_seen.fetch_add(1, std::memory_order_relaxed);
+  Firing firing;
+  for (RuleState& state : rules_) {
+    if (state.removed) continue;
+    const FaultRule& rule = state.rule;
+    if ((rule.ops & op) == 0) continue;
+    if (path.compare(0, rule.path_prefix.size(), rule.path_prefix) != 0) {
+      continue;
+    }
+    ++state.matches;
+    bool fire;
+    if (rule.nth > 0) {
+      fire = state.matches == rule.nth;
+    } else {
+      // Draw even when saturated so the RNG stream — and therefore every
+      // later probabilistic rule — is independent of trigger history.
+      fire = rng_.NextDouble() < rule.probability;
+    }
+    if (fire && state.triggers < rule.max_triggers && !firing.fired) {
+      ++state.triggers;
+      firing.fired = true;
+      firing.effect = rule.effect;
+      firing.rule = rule;
+      stats_.faults_injected.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return firing;
+}
+
+Status FaultInjectionFileSystem::Write(const std::string& path,
+                                       const std::string& data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::Unavailable("store crashed: " + path);
+  const Firing firing = EvaluateLocked(kOpWrite, path);
+  if (!firing.fired) return inner_->Write(path, data);
+  switch (firing.effect) {
+    case FaultEffect::kTransient:
+      stats_.transient.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable(firing.rule.message + ": " + path);
+    case FaultEffect::kIOError:
+      stats_.io_errors.fetch_add(1, std::memory_order_relaxed);
+      return Status::IOError(firing.rule.message + ": " + path);
+    case FaultEffect::kCorruption:
+      stats_.corruptions.fetch_add(1, std::memory_order_relaxed);
+      return Status::Corruption(firing.rule.message + ": " + path);
+    case FaultEffect::kBitFlip: {
+      stats_.bit_flips.fetch_add(1, std::memory_order_relaxed);
+      std::string corrupted = data;
+      FlipBit(&corrupted, firing.rule.flip_bit);
+      return inner_->Write(path, corrupted);
+    }
+    case FaultEffect::kCrash: {
+      stats_.crashes.fetch_add(1, std::memory_order_relaxed);
+      Status status = CrashLocked();
+      if (!status.ok()) return status;
+      return Status::Unavailable(firing.rule.message + " (crash): " + path);
+    }
+    case FaultEffect::kTornAppend:
+      // A tear is only meaningful for appends; degrade to an IO error.
+      stats_.io_errors.fetch_add(1, std::memory_order_relaxed);
+      return Status::IOError(firing.rule.message + ": " + path);
+  }
+  return Status::Internal("unreachable");
+}
+
+Status FaultInjectionFileSystem::Read(const std::string& path,
+                                      std::string* data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::Unavailable("store crashed: " + path);
+  const Firing firing = EvaluateLocked(kOpRead, path);
+  if (!firing.fired) return inner_->Read(path, data);
+  switch (firing.effect) {
+    case FaultEffect::kTransient:
+      stats_.transient.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable(firing.rule.message + ": " + path);
+    case FaultEffect::kIOError:
+      stats_.io_errors.fetch_add(1, std::memory_order_relaxed);
+      return Status::IOError(firing.rule.message + ": " + path);
+    case FaultEffect::kCorruption:
+      stats_.corruptions.fetch_add(1, std::memory_order_relaxed);
+      return Status::Corruption(firing.rule.message + ": " + path);
+    case FaultEffect::kBitFlip: {
+      VDB_RETURN_NOT_OK(inner_->Read(path, data));
+      stats_.bit_flips.fetch_add(1, std::memory_order_relaxed);
+      FlipBit(data, firing.rule.flip_bit);
+      return Status::OK();
+    }
+    case FaultEffect::kCrash: {
+      stats_.crashes.fetch_add(1, std::memory_order_relaxed);
+      Status status = CrashLocked();
+      if (!status.ok()) return status;
+      return Status::Unavailable(firing.rule.message + " (crash): " + path);
+    }
+    case FaultEffect::kTornAppend:
+      stats_.io_errors.fetch_add(1, std::memory_order_relaxed);
+      return Status::IOError(firing.rule.message + ": " + path);
+  }
+  return Status::Internal("unreachable");
+}
+
+Status FaultInjectionFileSystem::Append(const std::string& path,
+                                        const std::string& data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::Unavailable("store crashed: " + path);
+  const Firing firing = EvaluateLocked(kOpAppend, path);
+  if (!firing.fired) {
+    VDB_RETURN_NOT_OK(inner_->Append(path, data));
+    if (track_unsynced_) unsynced_bytes_[path] += data.size();
+    return Status::OK();
+  }
+  switch (firing.effect) {
+    case FaultEffect::kTransient:
+      stats_.transient.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable(firing.rule.message + ": " + path);
+    case FaultEffect::kIOError:
+      stats_.io_errors.fetch_add(1, std::memory_order_relaxed);
+      return Status::IOError(firing.rule.message + ": " + path);
+    case FaultEffect::kCorruption:
+      stats_.corruptions.fetch_add(1, std::memory_order_relaxed);
+      return Status::Corruption(firing.rule.message + ": " + path);
+    case FaultEffect::kBitFlip: {
+      stats_.bit_flips.fetch_add(1, std::memory_order_relaxed);
+      std::string corrupted = data;
+      FlipBit(&corrupted, firing.rule.flip_bit);
+      VDB_RETURN_NOT_OK(inner_->Append(path, corrupted));
+      if (track_unsynced_) unsynced_bytes_[path] += corrupted.size();
+      return Status::OK();
+    }
+    case FaultEffect::kTornAppend: {
+      stats_.torn_appends.fetch_add(1, std::memory_order_relaxed);
+      const size_t keep = static_cast<size_t>(
+          static_cast<double>(data.size()) * firing.rule.torn_fraction);
+      if (keep > 0) {
+        VDB_RETURN_NOT_OK(inner_->Append(path, data.substr(0, keep)));
+        if (track_unsynced_) unsynced_bytes_[path] += keep;
+      }
+      return Status::Corruption(firing.rule.message + " (torn): " + path);
+    }
+    case FaultEffect::kCrash: {
+      stats_.crashes.fetch_add(1, std::memory_order_relaxed);
+      Status status = CrashLocked();
+      if (!status.ok()) return status;
+      return Status::Unavailable(firing.rule.message + " (crash): " + path);
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<bool> FaultInjectionFileSystem::Exists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::Unavailable("store crashed: " + path);
+  const Firing firing = EvaluateLocked(kOpExists, path);
+  if (!firing.fired) return inner_->Exists(path);
+  switch (firing.effect) {
+    case FaultEffect::kTransient:
+      stats_.transient.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable(firing.rule.message + ": " + path);
+    case FaultEffect::kCorruption:
+      stats_.corruptions.fetch_add(1, std::memory_order_relaxed);
+      return Status::Corruption(firing.rule.message + ": " + path);
+    case FaultEffect::kCrash: {
+      stats_.crashes.fetch_add(1, std::memory_order_relaxed);
+      Status status = CrashLocked();
+      if (!status.ok()) return status;
+      return Status::Unavailable(firing.rule.message + " (crash): " + path);
+    }
+    default:
+      stats_.io_errors.fetch_add(1, std::memory_order_relaxed);
+      return Status::IOError(firing.rule.message + ": " + path);
+  }
+}
+
+Status FaultInjectionFileSystem::Delete(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::Unavailable("store crashed: " + path);
+  const Firing firing = EvaluateLocked(kOpDelete, path);
+  if (!firing.fired) {
+    unsynced_bytes_.erase(path);
+    return inner_->Delete(path);
+  }
+  switch (firing.effect) {
+    case FaultEffect::kTransient:
+      stats_.transient.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable(firing.rule.message + ": " + path);
+    case FaultEffect::kCorruption:
+      stats_.corruptions.fetch_add(1, std::memory_order_relaxed);
+      return Status::Corruption(firing.rule.message + ": " + path);
+    case FaultEffect::kCrash: {
+      stats_.crashes.fetch_add(1, std::memory_order_relaxed);
+      Status status = CrashLocked();
+      if (!status.ok()) return status;
+      return Status::Unavailable(firing.rule.message + " (crash): " + path);
+    }
+    default:
+      stats_.io_errors.fetch_add(1, std::memory_order_relaxed);
+      return Status::IOError(firing.rule.message + ": " + path);
+  }
+}
+
+Result<std::vector<std::string>> FaultInjectionFileSystem::List(
+    const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::Unavailable("store crashed: " + prefix);
+  const Firing firing = EvaluateLocked(kOpList, prefix);
+  if (!firing.fired) return inner_->List(prefix);
+  switch (firing.effect) {
+    case FaultEffect::kTransient:
+      stats_.transient.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable(firing.rule.message + ": " + prefix);
+    case FaultEffect::kCorruption:
+      stats_.corruptions.fetch_add(1, std::memory_order_relaxed);
+      return Status::Corruption(firing.rule.message + ": " + prefix);
+    case FaultEffect::kCrash: {
+      stats_.crashes.fetch_add(1, std::memory_order_relaxed);
+      Status status = CrashLocked();
+      if (!status.ok()) return status;
+      return Status::Unavailable(firing.rule.message + " (crash): " + prefix);
+    }
+    default:
+      stats_.io_errors.fetch_add(1, std::memory_order_relaxed);
+      return Status::IOError(firing.rule.message + ": " + prefix);
+  }
+}
+
+}  // namespace storage
+}  // namespace vectordb

@@ -1,0 +1,171 @@
+#ifndef VECTORDB_STORAGE_FAULT_INJECTION_H_
+#define VECTORDB_STORAGE_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/filesystem.h"
+
+namespace vectordb {
+namespace storage {
+
+/// Bitmask of FileSystem operations a fault rule matches.
+enum FaultOp : uint32_t {
+  kOpRead = 1u << 0,
+  kOpWrite = 1u << 1,
+  kOpAppend = 1u << 2,
+  kOpExists = 1u << 3,
+  kOpDelete = 1u << 4,
+  kOpList = 1u << 5,
+  kOpAll = 0x3F,
+};
+
+/// What happens when a rule fires.
+enum class FaultEffect {
+  /// Status::Unavailable; the operation is NOT applied to the inner store.
+  kTransient,
+  /// Status::IOError; the operation is NOT applied. Like kTransient this is
+  /// retry-safe: no bytes reach the inner store.
+  kIOError,
+  /// Status::Corruption; the operation is NOT applied. Permanent by the
+  /// Status::IsTransient() classification — retry layers must give up.
+  kCorruption,
+  /// The operation IS applied but with one bit of the payload flipped
+  /// (writes/appends corrupt what lands on storage; reads corrupt what the
+  /// caller sees while storage stays intact). Returns OK — silent corruption.
+  kBitFlip,
+  /// Append only: a prefix of the data reaches the inner store, then the
+  /// call fails with Status::Corruption (a crash mid-append leaves a torn
+  /// frame; retrying would stack a duplicate after unreadable garbage, so
+  /// the status is classified permanent).
+  kTornAppend,
+  /// Process-death simulation: all un-synced appended bytes are dropped,
+  /// the store enters the crashed state (every op fails Unavailable) until
+  /// Restart() is called, and this op fails Unavailable.
+  kCrash,
+};
+
+/// One programmable fault. A rule counts the operations it matches
+/// (op-type bitmask + path prefix) and fires either on the exact `nth`
+/// match (1-based, deterministic) or per-match with `probability` drawn
+/// from the injector's seeded RNG (reproducible given a fixed seed and op
+/// sequence). `max_triggers` bounds how many times it can fire in total.
+struct FaultRule {
+  uint32_t ops = kOpAll;
+  std::string path_prefix;  ///< Empty matches every path.
+  FaultEffect effect = FaultEffect::kTransient;
+  /// If > 0, fire on exactly the nth matching op; else use `probability`.
+  size_t nth = 0;
+  double probability = 1.0;
+  size_t max_triggers = SIZE_MAX;
+  /// kTornAppend: fraction of the appended bytes that land before the tear.
+  double torn_fraction = 0.5;
+  /// kBitFlip: which bit of the payload to flip (wrapped modulo size).
+  size_t flip_bit = 7;
+  std::string message = "injected fault";
+};
+
+/// Injection counters, by effect.
+struct FaultStats {
+  std::atomic<size_t> ops_seen{0};
+  std::atomic<size_t> faults_injected{0};
+  std::atomic<size_t> transient{0};
+  std::atomic<size_t> io_errors{0};
+  std::atomic<size_t> corruptions{0};
+  std::atomic<size_t> bit_flips{0};
+  std::atomic<size_t> torn_appends{0};
+  std::atomic<size_t> crashes{0};
+};
+
+/// FileSystem decorator that injects storage faults according to a
+/// programmable, seeded plan (same decorator shape as ObjectStoreFileSystem,
+/// so it stacks under or over the simulated S3 layer). All randomness comes
+/// from one seeded RNG: a fixed seed plus a fixed operation sequence yields
+/// a bit-identical fault sequence, which is what makes the recovery tests
+/// deterministic.
+///
+/// Crash-point model: with `set_track_unsynced_appends(true)`, bytes that
+/// reach the store via Append are considered volatile (page cache) until
+/// SyncAll() is called. Crash() atomically truncates every file back to its
+/// last synced length — simulating process death mid-write — and fails all
+/// subsequent operations until Restart(). By default appends are durable on
+/// acknowledgement, matching the WAL's contract.
+class FaultInjectionFileSystem : public FileSystem {
+ public:
+  explicit FaultInjectionFileSystem(FileSystemPtr inner, uint64_t seed = 42)
+      : inner_(std::move(inner)), rng_(seed) {}
+
+  /// Install a rule; returns its id. Rules are evaluated in insertion
+  /// order and the first one that fires wins.
+  size_t AddRule(const FaultRule& rule);
+  void RemoveRule(size_t id);
+  void ClearRules();
+
+  /// How many times rule `id` has fired so far.
+  size_t TriggerCount(size_t id) const;
+
+  // ----- crash-point controls -----
+
+  void set_track_unsynced_appends(bool on);
+  /// Mark all appended bytes durable (fsync barrier).
+  void SyncAll();
+  /// Drop un-synced appends and enter the crashed state.
+  Status Crash();
+  /// Leave the crashed state (the replacement process attaches).
+  void Restart();
+  bool crashed() const;
+
+  const FaultStats& stats() const { return stats_; }
+
+  // ----- FileSystem -----
+
+  Status Write(const std::string& path, const std::string& data) override;
+  Status Read(const std::string& path, std::string* data) override;
+  Status Append(const std::string& path, const std::string& data) override;
+  Result<bool> Exists(const std::string& path) override;
+  Status Delete(const std::string& path) override;
+  Result<std::vector<std::string>> List(const std::string& prefix) override;
+  std::string name() const override {
+    return "faulty(" + inner_->name() + ")";
+  }
+
+ private:
+  struct RuleState {
+    FaultRule rule;
+    size_t matches = 0;
+    size_t triggers = 0;
+    bool removed = false;
+  };
+
+  struct Firing {
+    bool fired = false;
+    FaultEffect effect = FaultEffect::kTransient;
+    FaultRule rule;
+  };
+
+  /// Evaluate the rule list for one operation; updates match/trigger
+  /// counters and consumes RNG draws for probabilistic rules.
+  Firing EvaluateLocked(uint32_t op, const std::string& path);
+  Status CrashLocked();
+  static void FlipBit(std::string* data, size_t bit);
+
+  FileSystemPtr inner_;
+  mutable std::mutex mu_;
+  Rng rng_;
+  std::vector<RuleState> rules_;
+  bool crashed_ = false;
+  bool track_unsynced_ = false;
+  /// path -> appended-but-unsynced byte count.
+  std::map<std::string, size_t> unsynced_bytes_;
+  FaultStats stats_;
+};
+
+}  // namespace storage
+}  // namespace vectordb
+
+#endif  // VECTORDB_STORAGE_FAULT_INJECTION_H_

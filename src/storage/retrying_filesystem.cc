@@ -1,0 +1,95 @@
+#include "storage/retrying_filesystem.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace vectordb {
+namespace storage {
+
+uint64_t RetryingFileSystem::NextBackoffMicros(size_t attempt) {
+  const double base =
+      static_cast<double>(options_.initial_backoff_us) *
+      std::pow(options_.backoff_multiplier, static_cast<double>(attempt - 1));
+  double factor = 1.0;
+  if (options_.jitter > 0.0) {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    factor = 1.0 - options_.jitter + 2.0 * options_.jitter * rng_.NextDouble();
+  }
+  const double capped =
+      std::min(base, static_cast<double>(options_.max_backoff_us));
+  return static_cast<uint64_t>(capped * factor);
+}
+
+template <typename Op>
+Status RetryingFileSystem::RunWithRetries(const Op& op) {
+  stats_.operations.fetch_add(1, std::memory_order_relaxed);
+  Status status;
+  for (size_t attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    stats_.attempts.fetch_add(1, std::memory_order_relaxed);
+    status = op();
+    if (status.ok()) return status;
+    if (!status.IsTransient()) {
+      stats_.permanent_failures.fetch_add(1, std::memory_order_relaxed);
+      return status;
+    }
+    if (attempt == options_.max_attempts) break;
+    stats_.retries.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t backoff = NextBackoffMicros(attempt);
+    stats_.backoff_micros.fetch_add(backoff, std::memory_order_relaxed);
+    if (options_.sleep_for_backoff) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+    }
+  }
+  stats_.exhausted.fetch_add(1, std::memory_order_relaxed);
+  return status;
+}
+
+Status RetryingFileSystem::Write(const std::string& path,
+                                 const std::string& data) {
+  return RunWithRetries([&] { return inner_->Write(path, data); });
+}
+
+Status RetryingFileSystem::Read(const std::string& path, std::string* data) {
+  return RunWithRetries([&] { return inner_->Read(path, data); });
+}
+
+Status RetryingFileSystem::Append(const std::string& path,
+                                  const std::string& data) {
+  // Safe to retry because transient failures never apply partial bytes;
+  // partial appends surface as kCorruption, which is not retried.
+  return RunWithRetries([&] { return inner_->Append(path, data); });
+}
+
+Result<bool> RetryingFileSystem::Exists(const std::string& path) {
+  bool exists = false;
+  Status status = RunWithRetries([&]() -> Status {
+    auto result = inner_->Exists(path);
+    if (!result.ok()) return result.status();
+    exists = result.value();
+    return Status::OK();
+  });
+  if (!status.ok()) return status;
+  return exists;
+}
+
+Status RetryingFileSystem::Delete(const std::string& path) {
+  return RunWithRetries([&] { return inner_->Delete(path); });
+}
+
+Result<std::vector<std::string>> RetryingFileSystem::List(
+    const std::string& prefix) {
+  std::vector<std::string> out;
+  Status status = RunWithRetries([&]() -> Status {
+    auto result = inner_->List(prefix);
+    if (!result.ok()) return result.status();
+    out = std::move(result).value();
+    return Status::OK();
+  });
+  if (!status.ok()) return status;
+  return out;
+}
+
+}  // namespace storage
+}  // namespace vectordb

@@ -1,0 +1,85 @@
+#ifndef VECTORDB_STORAGE_RETRYING_FILESYSTEM_H_
+#define VECTORDB_STORAGE_RETRYING_FILESYSTEM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/rng.h"
+#include "storage/filesystem.h"
+
+namespace vectordb {
+namespace storage {
+
+/// Backoff policy for RetryingFileSystem.
+struct RetryOptions {
+  /// Total tries per operation (1 = no retries).
+  size_t max_attempts = 4;
+  /// Backoff before retry i is initial * multiplier^(i-1), capped.
+  uint64_t initial_backoff_us = 1000;
+  double backoff_multiplier = 2.0;
+  uint64_t max_backoff_us = 100000;
+  /// Uniform jitter: each backoff is scaled by a factor drawn from
+  /// [1 - jitter, 1 + jitter] using the seeded RNG.
+  double jitter = 0.25;
+  uint64_t seed = 42;
+  /// When false (default) backoff is only *accounted* in the stats, not
+  /// slept — tests stay fast while still asserting the schedule. When true
+  /// the calling thread really sleeps.
+  bool sleep_for_backoff = false;
+};
+
+/// Per-op retry accounting.
+struct RetryStats {
+  std::atomic<size_t> operations{0};
+  std::atomic<size_t> attempts{0};
+  std::atomic<size_t> retries{0};
+  /// Transient failures that survived every attempt.
+  std::atomic<size_t> exhausted{0};
+  /// Non-transient failures returned without any retry.
+  std::atomic<size_t> permanent_failures{0};
+  std::atomic<uint64_t> backoff_micros{0};
+};
+
+/// FileSystem decorator that retries transient failures (per
+/// Status::IsTransient(): kUnavailable, kIOError, kResourceExhausted) with
+/// bounded exponential backoff + jitter. Permanent failures — kCorruption,
+/// kNotFound, argument errors — are returned immediately: retrying an op
+/// whose bytes are already corrupt can only make things worse (a torn
+/// append retried would bury a valid frame behind unreadable garbage,
+/// which is why the fault injector classifies tears as kCorruption).
+class RetryingFileSystem : public FileSystem {
+ public:
+  explicit RetryingFileSystem(FileSystemPtr inner, RetryOptions options = {})
+      : inner_(std::move(inner)), options_(options), rng_(options.seed) {}
+
+  const RetryStats& stats() const { return stats_; }
+
+  Status Write(const std::string& path, const std::string& data) override;
+  Status Read(const std::string& path, std::string* data) override;
+  Status Append(const std::string& path, const std::string& data) override;
+  Result<bool> Exists(const std::string& path) override;
+  Status Delete(const std::string& path) override;
+  Result<std::vector<std::string>> List(const std::string& prefix) override;
+  std::string name() const override {
+    return "retrying(" + inner_->name() + ")";
+  }
+
+ private:
+  /// Run `op` (returning Status) under the retry policy.
+  template <typename Op>
+  Status RunWithRetries(const Op& op);
+  uint64_t NextBackoffMicros(size_t attempt);
+
+  FileSystemPtr inner_;
+  RetryOptions options_;
+  std::mutex rng_mu_;
+  Rng rng_;
+  RetryStats stats_;
+};
+
+}  // namespace storage
+}  // namespace vectordb
+
+#endif  // VECTORDB_STORAGE_RETRYING_FILESYSTEM_H_

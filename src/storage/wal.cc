@@ -42,6 +42,7 @@ Status WriteAheadLog::RecoverLsnLocked() {
   if (status.IsNotFound()) return Status::OK();
   VDB_RETURN_NOT_OK(status);
   BinaryReader reader(data);
+  size_t valid_end = 0;  // Byte offset just past the last intact record.
   while (reader.Remaining() >= 8) {
     uint32_t len, crc;
     if (!reader.GetU32(&len) || !reader.GetU32(&crc)) break;
@@ -51,6 +52,12 @@ Status WriteAheadLog::RecoverLsnLocked() {
     WalRecord record;
     if (!DecodeBody(body, &record)) break;
     next_lsn_ = record.lsn + 1;
+    valid_end = data.size() - reader.Remaining();
+  }
+  if (valid_end < data.size()) {
+    // Torn/corrupt tail from a crash mid-append: truncate it so new
+    // appends are not buried behind unreadable garbage.
+    VDB_RETURN_NOT_OK(fs_->Write(path_, data.substr(0, valid_end)));
   }
   return Status::OK();
 }

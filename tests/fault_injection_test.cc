@@ -1,0 +1,435 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "storage/fault_injection.h"
+#include "storage/filesystem.h"
+#include "storage/retrying_filesystem.h"
+#include "storage/wal.h"
+
+namespace vectordb {
+namespace storage {
+namespace {
+
+// ------------------------------------------------------------------ status --
+
+TEST(StatusTransientTest, ClassifiesCodes) {
+  EXPECT_TRUE(Status::Unavailable("x").IsTransient());
+  EXPECT_TRUE(Status::IOError("x").IsTransient());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsTransient());
+  EXPECT_FALSE(Status::Corruption("x").IsTransient());
+  EXPECT_FALSE(Status::NotFound("x").IsTransient());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsTransient());
+  EXPECT_FALSE(Status::OK().IsTransient());
+}
+
+TEST(ResultGuardTest, ValueOnErrorAborts) {
+  Result<int> failed(Status::IOError("disk gone"));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_DEATH({ (void)failed.value(); }, "non-OK status");
+}
+
+TEST(ResultGuardTest, StatusReturningAccessors) {
+  Result<int> failed(Status::IOError("disk gone"));
+  int out = 7;
+  EXPECT_TRUE(failed.MoveValue(&out).IsIOError());
+  EXPECT_EQ(out, 7);  // Untouched on failure.
+  EXPECT_EQ(failed.value_or(42), 42);
+
+  Result<int> good(5);
+  EXPECT_TRUE(good.MoveValue(&out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_EQ(good.value_or(42), 5);
+}
+
+// ---------------------------------------------------------------- injector --
+
+TEST(FaultInjectionTest, PassesThroughWithoutRules) {
+  FaultInjectionFileSystem fs(NewMemoryFileSystem());
+  ASSERT_TRUE(fs.Write("a", "hello").ok());
+  std::string data;
+  ASSERT_TRUE(fs.Read("a", &data).ok());
+  EXPECT_EQ(data, "hello");
+  EXPECT_EQ(fs.stats().faults_injected.load(), 0u);
+}
+
+TEST(FaultInjectionTest, FailsNthMatchingOp) {
+  FaultInjectionFileSystem fs(NewMemoryFileSystem());
+  FaultRule rule;
+  rule.ops = kOpRead;
+  rule.nth = 2;
+  rule.effect = FaultEffect::kTransient;
+  fs.AddRule(rule);
+  ASSERT_TRUE(fs.Write("a", "x").ok());  // Writes unaffected.
+  std::string data;
+  EXPECT_TRUE(fs.Read("a", &data).ok());           // 1st read ok.
+  EXPECT_TRUE(fs.Read("a", &data).IsUnavailable());  // 2nd fails.
+  EXPECT_TRUE(fs.Read("a", &data).ok());           // 3rd ok again.
+  EXPECT_EQ(fs.stats().transient.load(), 1u);
+}
+
+TEST(FaultInjectionTest, PathPrefixScopesRule) {
+  FaultInjectionFileSystem fs(NewMemoryFileSystem());
+  FaultRule rule;
+  rule.ops = kOpWrite;
+  rule.path_prefix = "data/segments/";
+  rule.probability = 1.0;
+  rule.effect = FaultEffect::kIOError;
+  fs.AddRule(rule);
+  EXPECT_TRUE(fs.Write("data/MANIFEST", "m").ok());
+  EXPECT_TRUE(fs.Write("data/segments/1.seg", "s").IsIOError());
+}
+
+TEST(FaultInjectionTest, ProbabilisticFaultsAreSeedDeterministic) {
+  auto run = [](uint64_t seed) {
+    FaultInjectionFileSystem fs(NewMemoryFileSystem(), seed);
+    FaultRule rule;
+    rule.ops = kOpWrite;
+    rule.probability = 0.5;
+    rule.effect = FaultEffect::kTransient;
+    fs.AddRule(rule);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 64; ++i) {
+      outcomes.push_back(fs.Write("k" + std::to_string(i), "v").ok());
+    }
+    return outcomes;
+  };
+  const auto a = run(7);
+  const auto b = run(7);
+  const auto c = run(8);
+  EXPECT_EQ(a, b);  // Same seed, same op sequence -> identical faults.
+  EXPECT_NE(a, c);  // Different seed -> different plan.
+  // The 0.5 plan actually fires sometimes and passes sometimes.
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), false), 0);
+}
+
+TEST(FaultInjectionTest, MaxTriggersBoundsFiring) {
+  FaultInjectionFileSystem fs(NewMemoryFileSystem());
+  FaultRule rule;
+  rule.ops = kOpWrite;
+  rule.probability = 1.0;
+  rule.max_triggers = 2;
+  const size_t id = fs.AddRule(rule);
+  EXPECT_FALSE(fs.Write("a", "1").ok());
+  EXPECT_FALSE(fs.Write("a", "2").ok());
+  EXPECT_TRUE(fs.Write("a", "3").ok());  // Rule exhausted.
+  EXPECT_EQ(fs.TriggerCount(id), 2u);
+}
+
+TEST(FaultInjectionTest, BitFlipCorruptsReadNotStorage) {
+  FaultInjectionFileSystem fs(NewMemoryFileSystem());
+  ASSERT_TRUE(fs.Write("a", "hello").ok());
+  FaultRule rule;
+  rule.ops = kOpRead;
+  rule.nth = 1;
+  rule.effect = FaultEffect::kBitFlip;
+  rule.flip_bit = 0;
+  fs.AddRule(rule);
+  std::string corrupted, clean;
+  ASSERT_TRUE(fs.Read("a", &corrupted).ok());  // Silent corruption.
+  ASSERT_TRUE(fs.Read("a", &clean).ok());
+  EXPECT_NE(corrupted, clean);
+  EXPECT_EQ(clean, "hello");
+  EXPECT_EQ(corrupted.size(), clean.size());
+}
+
+TEST(FaultInjectionTest, BitFlipOnWriteCorruptsStoredBytes) {
+  FaultInjectionFileSystem fs(NewMemoryFileSystem());
+  FaultRule rule;
+  rule.ops = kOpWrite;
+  rule.nth = 1;
+  rule.effect = FaultEffect::kBitFlip;
+  fs.AddRule(rule);
+  ASSERT_TRUE(fs.Write("a", "hello").ok());
+  std::string data;
+  ASSERT_TRUE(fs.Read("a", &data).ok());
+  EXPECT_NE(data, "hello");
+}
+
+TEST(FaultInjectionTest, TornAppendWritesPrefixAndFailsPermanently) {
+  FaultInjectionFileSystem fs(NewMemoryFileSystem());
+  ASSERT_TRUE(fs.Append("log", "0123456789").ok());
+  FaultRule rule;
+  rule.ops = kOpAppend;
+  rule.nth = 1;
+  rule.effect = FaultEffect::kTornAppend;
+  rule.torn_fraction = 0.5;
+  fs.AddRule(rule);
+  Status torn = fs.Append("log", "ABCDEFGHIJ");
+  EXPECT_TRUE(torn.IsCorruption());  // Never retried by the retry layer.
+  std::string data;
+  ASSERT_TRUE(fs.Read("log", &data).ok());
+  EXPECT_EQ(data, "0123456789ABCDE");  // Half the second append landed.
+}
+
+TEST(FaultInjectionTest, CrashDropsUnsyncedAppends) {
+  auto inner = NewMemoryFileSystem();
+  FaultInjectionFileSystem fs(inner);
+  fs.set_track_unsynced_appends(true);
+  ASSERT_TRUE(fs.Append("log", "durable|").ok());
+  fs.SyncAll();
+  ASSERT_TRUE(fs.Append("log", "volatile1|").ok());
+  ASSERT_TRUE(fs.Append("log", "volatile2|").ok());
+  ASSERT_TRUE(fs.Crash().ok());
+  EXPECT_TRUE(fs.crashed());
+  std::string data;
+  EXPECT_TRUE(fs.Read("log", &data).IsUnavailable());  // Dead process.
+  fs.Restart();
+  ASSERT_TRUE(fs.Read("log", &data).ok());
+  EXPECT_EQ(data, "durable|");  // Un-fsynced tail gone.
+}
+
+TEST(FaultInjectionTest, CrashEffectFiresFromRule) {
+  FaultInjectionFileSystem fs(NewMemoryFileSystem());
+  fs.set_track_unsynced_appends(true);
+  ASSERT_TRUE(fs.Append("wal", "acked-but-unsynced").ok());
+  FaultRule rule;
+  rule.ops = kOpWrite;
+  rule.path_prefix = "MANIFEST";
+  rule.nth = 1;
+  rule.effect = FaultEffect::kCrash;
+  fs.AddRule(rule);
+  EXPECT_TRUE(fs.Write("MANIFEST", "new state").IsUnavailable());
+  EXPECT_TRUE(fs.crashed());
+  EXPECT_EQ(fs.stats().crashes.load(), 1u);
+  fs.Restart();
+  std::string data;
+  // The manifest write never applied; the unsynced WAL bytes were dropped.
+  EXPECT_TRUE(fs.Read("MANIFEST", &data).IsNotFound());
+  ASSERT_TRUE(fs.Read("wal", &data).ok());
+  EXPECT_TRUE(data.empty());
+}
+
+// ------------------------------------------------------------- retry layer --
+
+TEST(RetryingFileSystemTest, RetriesTransientUntilSuccess) {
+  auto faulty = std::make_shared<FaultInjectionFileSystem>(
+      NewMemoryFileSystem());
+  FaultRule rule;
+  rule.ops = kOpWrite;
+  rule.probability = 1.0;
+  rule.max_triggers = 2;  // Fail twice, then succeed.
+  rule.effect = FaultEffect::kTransient;
+  faulty->AddRule(rule);
+
+  RetryOptions options;
+  options.max_attempts = 4;
+  RetryingFileSystem fs(faulty, options);
+  ASSERT_TRUE(fs.Write("a", "v").ok());
+  EXPECT_EQ(fs.stats().attempts.load(), 3u);  // 2 failures + 1 success.
+  EXPECT_EQ(fs.stats().retries.load(), 2u);
+  EXPECT_EQ(fs.stats().exhausted.load(), 0u);
+  EXPECT_GT(fs.stats().backoff_micros.load(), 0u);
+}
+
+TEST(RetryingFileSystemTest, GivesUpAfterMaxAttempts) {
+  auto faulty = std::make_shared<FaultInjectionFileSystem>(
+      NewMemoryFileSystem());
+  FaultRule rule;
+  rule.ops = kOpRead;
+  rule.probability = 1.0;  // Always down.
+  rule.effect = FaultEffect::kTransient;
+  faulty->AddRule(rule);
+
+  RetryOptions options;
+  options.max_attempts = 3;
+  RetryingFileSystem fs(faulty, options);
+  std::string data;
+  EXPECT_TRUE(fs.Read("a", &data).IsUnavailable());
+  EXPECT_EQ(fs.stats().attempts.load(), 3u);
+  EXPECT_EQ(fs.stats().retries.load(), 2u);
+  EXPECT_EQ(fs.stats().exhausted.load(), 1u);
+}
+
+TEST(RetryingFileSystemTest, NeverRetriesCorruption) {
+  auto faulty = std::make_shared<FaultInjectionFileSystem>(
+      NewMemoryFileSystem());
+  FaultRule rule;
+  rule.ops = kOpRead;
+  rule.probability = 1.0;
+  rule.effect = FaultEffect::kCorruption;
+  faulty->AddRule(rule);
+
+  RetryingFileSystem fs(faulty);
+  std::string data;
+  EXPECT_TRUE(fs.Read("a", &data).IsCorruption());
+  EXPECT_EQ(fs.stats().attempts.load(), 1u);  // Exactly one try.
+  EXPECT_EQ(fs.stats().retries.load(), 0u);
+  EXPECT_EQ(fs.stats().permanent_failures.load(), 1u);
+}
+
+TEST(RetryingFileSystemTest, NotFoundIsNotRetried) {
+  RetryingFileSystem fs(NewMemoryFileSystem());
+  std::string data;
+  EXPECT_TRUE(fs.Read("missing", &data).IsNotFound());
+  EXPECT_EQ(fs.stats().attempts.load(), 1u);
+  auto exists = fs.Exists("missing");
+  ASSERT_TRUE(exists.ok());
+  EXPECT_FALSE(exists.value());
+}
+
+TEST(RetryingFileSystemTest, BackoffIsBoundedAndGrows) {
+  auto faulty = std::make_shared<FaultInjectionFileSystem>(
+      NewMemoryFileSystem());
+  FaultRule rule;
+  rule.ops = kOpWrite;
+  rule.probability = 1.0;
+  rule.effect = FaultEffect::kTransient;
+  faulty->AddRule(rule);
+
+  RetryOptions options;
+  options.max_attempts = 6;
+  options.initial_backoff_us = 100;
+  options.backoff_multiplier = 2.0;
+  options.max_backoff_us = 400;
+  options.jitter = 0.0;  // Exact schedule: 100 + 200 + 400 + 400 + 400.
+  RetryingFileSystem fs(faulty, options);
+  EXPECT_FALSE(fs.Write("a", "v").ok());
+  EXPECT_EQ(fs.stats().backoff_micros.load(), 1500u);
+}
+
+TEST(RetryingFileSystemTest, JitterIsSeedDeterministic) {
+  auto total_backoff = [](uint64_t seed) {
+    auto faulty = std::make_shared<FaultInjectionFileSystem>(
+        NewMemoryFileSystem());
+    FaultRule rule;
+    rule.ops = kOpWrite;
+    rule.probability = 1.0;
+    rule.effect = FaultEffect::kTransient;
+    faulty->AddRule(rule);
+    RetryOptions options;
+    options.max_attempts = 5;
+    options.seed = seed;
+    RetryingFileSystem fs(faulty, options);
+    (void)fs.Write("a", "v");
+    return fs.stats().backoff_micros.load();
+  };
+  EXPECT_EQ(total_backoff(3), total_backoff(3));
+  EXPECT_NE(total_backoff(3), total_backoff(4));
+}
+
+TEST(RetryingFileSystemTest, ResultOpsRetryToo) {
+  auto faulty = std::make_shared<FaultInjectionFileSystem>(
+      NewMemoryFileSystem());
+  ASSERT_TRUE(faulty->Write("p/a", "1").ok());
+  ASSERT_TRUE(faulty->Write("p/b", "2").ok());
+  FaultRule rule;
+  rule.ops = kOpList | kOpExists;
+  rule.nth = 1;
+  rule.effect = FaultEffect::kTransient;
+  faulty->AddRule(rule);
+
+  RetryingFileSystem fs(faulty);
+  auto listed = fs.List("p/");
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(listed.value().size(), 2u);
+  EXPECT_EQ(fs.stats().retries.load(), 1u);
+  auto exists = fs.Exists("p/a");
+  ASSERT_TRUE(exists.ok());
+  EXPECT_TRUE(exists.value());
+}
+
+// ------------------------------------------------- WAL over the injector --
+
+TEST(WalFaultTest, TornAppendReplayAndLsnRecovery) {
+  auto faulty = std::make_shared<FaultInjectionFileSystem>(
+      NewMemoryFileSystem());
+  WriteAheadLog wal(faulty, "wal");
+  for (int i = 0; i < 3; ++i) {
+    WalRecord r{0, WalOpType::kInsert, "c", "payload" + std::to_string(i)};
+    ASSERT_TRUE(wal.Append(&r).ok());
+  }
+  // The 4th append tears mid-frame (crash during write).
+  FaultRule rule;
+  rule.ops = kOpAppend;
+  rule.nth = 1;
+  rule.effect = FaultEffect::kTornAppend;
+  rule.torn_fraction = 0.4;
+  faulty->AddRule(rule);
+  WalRecord torn{0, WalOpType::kInsert, "c", "lost-to-the-tear"};
+  EXPECT_TRUE(wal.Append(&torn).IsCorruption());
+
+  // Replay stops cleanly at the first bad record.
+  std::vector<uint64_t> lsns;
+  ASSERT_TRUE(wal.Replay([&](const WalRecord& r) {
+                   lsns.push_back(r.lsn);
+                   return Status::OK();
+                 })
+                  .ok());
+  EXPECT_EQ(lsns, (std::vector<uint64_t>{1, 2, 3}));
+
+  // A reopened log (the restarted process) recovers the right LSN,
+  // truncates the torn tail, and appends land readable.
+  WriteAheadLog reopened(faulty, "wal");
+  EXPECT_EQ(reopened.last_lsn(), 3u);
+  WalRecord next{0, WalOpType::kInsert, "c", "after-recovery"};
+  ASSERT_TRUE(reopened.Append(&next).ok());
+  EXPECT_EQ(next.lsn, 4u);
+  lsns.clear();
+  ASSERT_TRUE(reopened.Replay([&](const WalRecord& r) {
+                     lsns.push_back(r.lsn);
+                     return Status::OK();
+                   })
+                  .ok());
+  EXPECT_EQ(lsns, (std::vector<uint64_t>{1, 2, 3, 4}));
+}
+
+TEST(WalFaultTest, CrashDropsUnsyncedRecordsAndLsnResumes) {
+  auto faulty = std::make_shared<FaultInjectionFileSystem>(
+      NewMemoryFileSystem());
+  faulty->set_track_unsynced_appends(true);
+  WriteAheadLog wal(faulty, "wal");
+  for (int i = 0; i < 2; ++i) {
+    WalRecord r{0, WalOpType::kInsert, "c", "synced"};
+    ASSERT_TRUE(wal.Append(&r).ok());
+  }
+  faulty->SyncAll();
+  WalRecord volatile_rec{0, WalOpType::kInsert, "c", "in-page-cache"};
+  ASSERT_TRUE(wal.Append(&volatile_rec).ok());
+  ASSERT_TRUE(faulty->Crash().ok());
+  faulty->Restart();
+
+  WriteAheadLog reopened(faulty, "wal");
+  EXPECT_EQ(reopened.last_lsn(), 2u);  // Record 3 died with the process.
+  size_t replayed = 0;
+  ASSERT_TRUE(reopened.Replay([&](const WalRecord&) {
+                     ++replayed;
+                     return Status::OK();
+                   })
+                  .ok());
+  EXPECT_EQ(replayed, 2u);
+}
+
+TEST(WalFaultTest, TransientAppendFaultsRetriedTransparently) {
+  auto faulty = std::make_shared<FaultInjectionFileSystem>(
+      NewMemoryFileSystem());
+  FaultRule rule;
+  rule.ops = kOpAppend;
+  rule.probability = 0.3;  // Flaky store.
+  rule.effect = FaultEffect::kTransient;
+  faulty->AddRule(rule);
+  RetryOptions retry_options;
+  retry_options.max_attempts = 8;
+  auto retrying = std::make_shared<RetryingFileSystem>(faulty, retry_options);
+
+  WriteAheadLog wal(retrying, "wal");
+  for (int i = 0; i < 50; ++i) {
+    WalRecord r{0, WalOpType::kInsert, "c", std::to_string(i)};
+    ASSERT_TRUE(wal.Append(&r).ok()) << "append " << i;
+  }
+  EXPECT_GT(retrying->stats().retries.load(), 0u);
+  size_t replayed = 0;
+  ASSERT_TRUE(wal.Replay([&](const WalRecord&) {
+                   ++replayed;
+                   return Status::OK();
+                 })
+                  .ok());
+  EXPECT_EQ(replayed, 50u);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace vectordb

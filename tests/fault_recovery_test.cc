@@ -1,0 +1,360 @@
+// End-to-end fault/recovery suite: deterministic storage faults injected at
+// the FileSystem boundary, and the distributed layer's graceful degradation
+// on scatter failures. Every scenario is verified against a fault-free twin
+// run, so "recovered" means bit-identical query results, not just "no error".
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchsupport/dataset.h"
+#include "dist/cluster.h"
+#include "storage/fault_injection.h"
+#include "storage/retrying_filesystem.h"
+
+namespace vectordb {
+namespace dist {
+namespace {
+
+db::CollectionSchema MakeSchema() {
+  db::CollectionSchema schema;
+  schema.name = "vecs";
+  schema.vector_fields = {{"v", 16}};
+  schema.attributes = {};
+  schema.index_params.nlist = 4;
+  return schema;
+}
+
+bench::Dataset MakeData() {
+  bench::DatasetSpec spec;
+  spec.num_vectors = 250;
+  spec.dim = 16;
+  return bench::MakeSiftLike(spec);
+}
+
+Status InsertRange(Cluster* cluster, const bench::Dataset& data, size_t begin,
+                   size_t end) {
+  for (size_t i = begin; i < end; ++i) {
+    db::Entity entity;
+    entity.id = static_cast<RowId>(i);
+    entity.vectors.emplace_back(data.vector(i), data.vector(i) + 16);
+    VDB_RETURN_NOT_OK(cluster->Insert("vecs", entity));
+  }
+  return Status::OK();
+}
+
+void ExpectSameHits(const std::vector<HitList>& got,
+                    const std::vector<HitList>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t q = 0; q < got.size(); ++q) {
+    ASSERT_EQ(got[q].size(), want[q].size()) << "query " << q;
+    for (size_t i = 0; i < got[q].size(); ++i) {
+      EXPECT_EQ(got[q][i].id, want[q][i].id) << "query " << q << " hit " << i;
+      EXPECT_FLOAT_EQ(got[q][i].score, want[q][i].score)
+          << "query " << q << " hit " << i;
+    }
+  }
+}
+
+// ------------------------------------------------ scatter degradation -----
+
+class ScatterFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    faulty_ = std::make_shared<storage::FaultInjectionFileSystem>(
+        storage::NewMemoryFileSystem(), /*seed=*/1234);
+    ClusterOptions options;
+    options.shared_fs = faulty_;
+    options.num_readers = 3;
+    // Segments stay flat-searched: exact scores, so degraded and fault-free
+    // runs are comparable hit-for-hit.
+    options.index_build_threshold_rows = 1000;
+    cluster_ = std::make_unique<Cluster>(options);
+    data_ = MakeData();
+    ASSERT_TRUE(cluster_->CreateCollection(MakeSchema()).ok());
+    ASSERT_TRUE(InsertRange(cluster_.get(), data_, 0, 100).ok());
+    ASSERT_TRUE(cluster_->Flush("vecs").ok());
+    ASSERT_TRUE(InsertRange(cluster_.get(), data_, 100, 200).ok());
+    ASSERT_TRUE(cluster_->Flush("vecs").ok());
+  }
+
+  std::shared_ptr<storage::FaultInjectionFileSystem> faulty_;
+  std::unique_ptr<Cluster> cluster_;
+  bench::Dataset data_;
+};
+
+TEST_F(ScatterFaultTest, ReaderKilledMidScatterStillYieldsCorrectTopK) {
+  db::QueryOptions options;
+  options.k = 5;
+  const size_t nq = 8;
+
+  auto baseline = cluster_->Search("vecs", "v", data_.vector(0), nq, options);
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_EQ(cluster_->degraded_queries(), 0u);
+
+  // Kill each reader in turn mid-scatter; the query must degrade, not die,
+  // and the merged top-k must match the no-fault run exactly.
+  const auto readers = cluster_->coordinator().Readers();
+  ASSERT_EQ(readers.size(), 3u);
+  for (size_t r = 0; r < readers.size(); ++r) {
+    ASSERT_TRUE(cluster_->InjectReaderSearchFaults(readers[r], 1).ok());
+    auto degraded =
+        cluster_->Search("vecs", "v", data_.vector(0), nq, options);
+    ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+    ExpectSameHits(degraded.value(), baseline.value());
+    EXPECT_EQ(cluster_->degraded_queries(), r + 1);
+  }
+
+  // With the faults drained, queries are no longer counted degraded.
+  auto healthy = cluster_->Search("vecs", "v", data_.vector(0), nq, options);
+  ASSERT_TRUE(healthy.ok());
+  EXPECT_EQ(cluster_->degraded_queries(), readers.size());
+}
+
+TEST_F(ScatterFaultTest, TwoReadersDownStillYieldsCorrectTopK) {
+  db::QueryOptions options;
+  options.k = 5;
+  const size_t nq = 8;
+  auto baseline = cluster_->Search("vecs", "v", data_.vector(0), nq, options);
+  ASSERT_TRUE(baseline.ok());
+
+  const auto readers = cluster_->coordinator().Readers();
+  ASSERT_TRUE(cluster_->InjectReaderSearchFaults(readers[0], 1).ok());
+  ASSERT_TRUE(cluster_->InjectReaderSearchFaults(readers[2], 1).ok());
+  auto degraded = cluster_->Search("vecs", "v", data_.vector(0), nq, options);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  ExpectSameHits(degraded.value(), baseline.value());
+  EXPECT_EQ(cluster_->degraded_queries(), 1u);
+}
+
+TEST_F(ScatterFaultTest, AllReadersDownFailsTheQuery) {
+  for (const auto& name : cluster_->coordinator().Readers()) {
+    ASSERT_TRUE(cluster_->InjectReaderSearchFaults(name, 1).ok());
+  }
+  db::QueryOptions options;
+  options.k = 3;
+  auto result = cluster_->Search("vecs", "v", data_.vector(0), 1, options);
+  EXPECT_TRUE(result.status().IsUnavailable());
+  EXPECT_EQ(cluster_->degraded_queries(), 1u);
+}
+
+TEST_F(ScatterFaultTest, UnknownReaderFaultInjectionIsRejected) {
+  EXPECT_TRUE(cluster_->InjectReaderSearchFaults("no-such", 1).IsNotFound());
+}
+
+TEST_F(ScatterFaultTest, PublishSurvivesSingleReaderRefreshFailure) {
+  // Flush 50 fresh rows, then make exactly the first reader's refresh fail:
+  // its CURRENT read, its MANIFEST listing fallback, and its legacy-manifest
+  // read all die. nth counts dodge the writer's own verify-after-write read
+  // of MANIFEST-<seq>, which is the only other manifest read in the window.
+  ASSERT_TRUE(InsertRange(cluster_.get(), data_, 200, 250).ok());
+  storage::FaultRule current_rule;
+  current_rule.ops = storage::kOpRead;
+  current_rule.path_prefix = "cluster/data/vecs/CURRENT";
+  current_rule.nth = 1;
+  current_rule.effect = storage::FaultEffect::kTransient;
+  faulty_->AddRule(current_rule);
+  storage::FaultRule list_rule;
+  list_rule.ops = storage::kOpList;
+  list_rule.path_prefix = "cluster/data/vecs/MANIFEST";
+  list_rule.nth = 1;
+  list_rule.effect = storage::FaultEffect::kTransient;
+  faulty_->AddRule(list_rule);
+  storage::FaultRule legacy_rule;
+  legacy_rule.ops = storage::kOpRead;
+  legacy_rule.path_prefix = "cluster/data/vecs/MANIFEST";
+  legacy_rule.nth = 2;  // #1 is the writer's read-back verification.
+  legacy_rule.effect = storage::FaultEffect::kTransient;
+  faulty_->AddRule(legacy_rule);
+
+  ASSERT_TRUE(cluster_->Flush("vecs").ok());  // Publish absorbs the failure.
+  EXPECT_EQ(cluster_->publish_failures(), 1u);
+
+  // Rows from the pre-fault flushes are on every reader's snapshot, stale
+  // or not, so queries for them still come back exact.
+  db::QueryOptions options;
+  options.k = 1;
+  auto old_row = cluster_->Search("vecs", "v", data_.vector(7), 1, options);
+  ASSERT_TRUE(old_row.ok());
+  ASSERT_FALSE(old_row.value()[0].empty());
+  EXPECT_EQ(old_row.value()[0][0].id, 7);
+
+  // The stale reader catches up on the next publish; the new rows then
+  // resolve no matter which reader owns their segment.
+  faulty_->ClearRules();
+  ASSERT_TRUE(cluster_->Flush("vecs").ok());
+  EXPECT_EQ(cluster_->publish_failures(), 1u);
+  auto new_row = cluster_->Search("vecs", "v", data_.vector(230), 1, options);
+  ASSERT_TRUE(new_row.ok());
+  ASSERT_FALSE(new_row.value()[0].empty());
+  EXPECT_EQ(new_row.value()[0][0].id, 230);
+}
+
+// ----------------------------------------------- crash/recovery matrix ----
+
+/// Drives the same workload through a faulty cluster and a fault-free twin:
+/// setup (100 rows flushed), then 30 more rows, then a flush that dies at
+/// `rule`'s fault point. The writer is replaced (K8s-style), recovery
+/// replays manifest + WAL, and the reflushed state must answer queries
+/// bit-identically to the twin that never saw a fault.
+void RunCrashScenario(storage::FaultRule rule, bool expect_fs_crash) {
+  const bench::Dataset data = MakeData();
+  db::QueryOptions options;
+  options.k = 5;
+  const size_t nq = 8;
+
+  // Twin: no faults, same workload.
+  ClusterOptions twin_options;
+  twin_options.shared_fs = storage::NewMemoryFileSystem();
+  twin_options.num_readers = 2;
+  twin_options.index_build_threshold_rows = 1000;
+  Cluster twin(twin_options);
+  ASSERT_TRUE(twin.CreateCollection(MakeSchema()).ok());
+  ASSERT_TRUE(InsertRange(&twin, data, 0, 100).ok());
+  ASSERT_TRUE(twin.Flush("vecs").ok());
+  ASSERT_TRUE(InsertRange(&twin, data, 100, 130).ok());
+  ASSERT_TRUE(twin.Flush("vecs").ok());
+  auto want = twin.Search("vecs", "v", data.vector(0), nq, options);
+  ASSERT_TRUE(want.ok());
+
+  // Faulty run.
+  auto faulty = std::make_shared<storage::FaultInjectionFileSystem>(
+      storage::NewMemoryFileSystem(), /*seed=*/99);
+  ClusterOptions cluster_options;
+  cluster_options.shared_fs = faulty;
+  cluster_options.num_readers = 2;
+  cluster_options.index_build_threshold_rows = 1000;
+  Cluster cluster(cluster_options);
+  ASSERT_TRUE(cluster.CreateCollection(MakeSchema()).ok());
+  ASSERT_TRUE(InsertRange(&cluster, data, 0, 100).ok());
+  ASSERT_TRUE(cluster.Flush("vecs").ok());
+  auto pre_crash = cluster.Search("vecs", "v", data.vector(0), nq, options);
+  ASSERT_TRUE(pre_crash.ok());
+
+  ASSERT_TRUE(InsertRange(&cluster, data, 100, 130).ok());
+  faulty->AddRule(rule);
+  EXPECT_FALSE(cluster.Flush("vecs").ok());  // Dies at the fault point.
+  EXPECT_EQ(faulty->crashed(), expect_fs_crash);
+  EXPECT_GE(faulty->stats().faults_injected.load(), 1u);
+
+  if (expect_fs_crash) {
+    // While the store is down the readers keep serving their in-memory
+    // snapshots: exactly the pre-crash results.
+    auto during = cluster.Search("vecs", "v", data.vector(0), nq, options);
+    ASSERT_TRUE(during.ok());
+    ExpectSameHits(during.value(), pre_crash.value());
+    faulty->Restart();
+  }
+  faulty->ClearRules();
+
+  // Replace the writer; manifest + WAL replay reconstruct the lost rows,
+  // and the reflush deterministically overwrites any orphan objects the
+  // failed commit left behind.
+  ASSERT_TRUE(cluster.CrashWriter().ok());
+  ASSERT_TRUE(cluster.RestartWriter().ok());
+  ASSERT_TRUE(cluster.Flush("vecs").ok());
+
+  auto recovered = cluster.Search("vecs", "v", data.vector(0), nq, options);
+  ASSERT_TRUE(recovered.ok());
+  ExpectSameHits(recovered.value(), want.value());
+}
+
+TEST(CrashRecoveryTest, CrashWhileWritingCurrentPointer) {
+  // The new MANIFEST-<seq> is fully written and verified, but the store
+  // dies before the CURRENT pointer flips: the commit must not be visible.
+  storage::FaultRule rule;
+  rule.ops = storage::kOpWrite;
+  rule.path_prefix = "cluster/data/vecs/CURRENT";
+  rule.nth = 1;
+  rule.effect = storage::FaultEffect::kCrash;
+  RunCrashScenario(rule, /*expect_fs_crash=*/true);
+}
+
+TEST(CrashRecoveryTest, CrashWhileWritingManifest) {
+  storage::FaultRule rule;
+  rule.ops = storage::kOpWrite;
+  rule.path_prefix = "cluster/data/vecs/MANIFEST-";
+  rule.nth = 1;
+  rule.effect = storage::FaultEffect::kCrash;
+  RunCrashScenario(rule, /*expect_fs_crash=*/true);
+}
+
+TEST(CrashRecoveryTest, CrashWhileWritingSegment) {
+  storage::FaultRule rule;
+  rule.ops = storage::kOpWrite;
+  rule.path_prefix = "cluster/data/vecs/segments/";
+  rule.nth = 1;
+  rule.effect = storage::FaultEffect::kCrash;
+  RunCrashScenario(rule, /*expect_fs_crash=*/true);
+}
+
+TEST(CrashRecoveryTest, BitFlippedManifestWriteIsCaughtAndRecovered) {
+  // Verify-after-write catches the corruption, the flush fails without a
+  // store outage, and writer replacement recovers from WAL + old manifest.
+  storage::FaultRule rule;
+  rule.ops = storage::kOpWrite;
+  rule.path_prefix = "cluster/data/vecs/MANIFEST-";
+  rule.nth = 1;
+  rule.effect = storage::FaultEffect::kBitFlip;
+  RunCrashScenario(rule, /*expect_fs_crash=*/false);
+}
+
+TEST(CrashRecoveryTest, BitFlippedSegmentWriteIsCaughtAndRecovered) {
+  storage::FaultRule rule;
+  rule.ops = storage::kOpWrite;
+  rule.path_prefix = "cluster/data/vecs/segments/";
+  rule.nth = 1;
+  rule.effect = storage::FaultEffect::kBitFlip;
+  RunCrashScenario(rule, /*expect_fs_crash=*/false);
+}
+
+TEST(CrashRecoveryTest, FlakyStoreBehindRetriesIsInvisible) {
+  // The whole cluster runs over a store where 20% of ops fail transiently;
+  // the retry layer absorbs every fault and results match the clean twin.
+  const bench::Dataset data = MakeData();
+  db::QueryOptions options;
+  options.k = 5;
+  const size_t nq = 8;
+
+  ClusterOptions twin_options;
+  twin_options.shared_fs = storage::NewMemoryFileSystem();
+  twin_options.num_readers = 2;
+  twin_options.index_build_threshold_rows = 1000;
+  Cluster twin(twin_options);
+  ASSERT_TRUE(twin.CreateCollection(MakeSchema()).ok());
+  ASSERT_TRUE(InsertRange(&twin, data, 0, 130).ok());
+  ASSERT_TRUE(twin.Flush("vecs").ok());
+  auto want = twin.Search("vecs", "v", data.vector(0), nq, options);
+  ASSERT_TRUE(want.ok());
+
+  auto faulty = std::make_shared<storage::FaultInjectionFileSystem>(
+      storage::NewMemoryFileSystem(), /*seed=*/2024);
+  storage::FaultRule rule;
+  rule.probability = 0.2;
+  rule.effect = storage::FaultEffect::kTransient;
+  faulty->AddRule(rule);
+  storage::RetryOptions retry_options;
+  retry_options.max_attempts = 10;
+  auto retrying =
+      std::make_shared<storage::RetryingFileSystem>(faulty, retry_options);
+
+  ClusterOptions cluster_options;
+  cluster_options.shared_fs = retrying;
+  cluster_options.num_readers = 2;
+  cluster_options.index_build_threshold_rows = 1000;
+  Cluster cluster(cluster_options);
+  ASSERT_TRUE(cluster.CreateCollection(MakeSchema()).ok());
+  ASSERT_TRUE(InsertRange(&cluster, data, 0, 130).ok());
+  ASSERT_TRUE(cluster.Flush("vecs").ok());
+  auto got = cluster.Search("vecs", "v", data.vector(0), nq, options);
+  ASSERT_TRUE(got.ok());
+  ExpectSameHits(got.value(), want.value());
+  EXPECT_GT(retrying->stats().retries.load(), 0u);
+  EXPECT_EQ(retrying->stats().exhausted.load(), 0u);
+}
+
+}  // namespace
+}  // namespace dist
+}  // namespace vectordb
