@@ -22,6 +22,7 @@ RestResponse FromStatus(const Status& status) {
   if (status.IsInvalidArgument() || status.IsNotSupported()) {
     return Error(400, status.ToString());
   }
+  if (status.IsAborted()) return Error(504, status.ToString());  // Deadline.
   return Error(500, status.ToString());
 }
 
@@ -75,6 +76,21 @@ Json HitsToJson(const HitList& hits) {
     rows.Append(std::move(row));
   }
   return rows;
+}
+
+Json StatsToJson(const exec::QueryStats& stats) {
+  Json out = Json::Object();
+  out.Set("segments_scanned", Json(static_cast<int64_t>(stats.segments_scanned)));
+  out.Set("segments_skipped", Json(static_cast<int64_t>(stats.segments_skipped)));
+  out.Set("segments_indexed", Json(static_cast<int64_t>(stats.segments_indexed)));
+  out.Set("segments_flat", Json(static_cast<int64_t>(stats.segments_flat)));
+  out.Set("index_fallbacks", Json(static_cast<int64_t>(stats.index_fallbacks)));
+  out.Set("rows_filtered", Json(static_cast<int64_t>(stats.rows_filtered)));
+  out.Set("view_cache_hits", Json(static_cast<int64_t>(stats.view_cache_hits)));
+  out.Set("view_cache_misses",
+          Json(static_cast<int64_t>(stats.view_cache_misses)));
+  out.Set("total_seconds", Json(stats.total_seconds));
+  return out;
 }
 
 }  // namespace
@@ -269,6 +285,12 @@ RestResponse RestHandler::Search(const std::string& name, const Json& body) {
   if (body["ef_search"].is_number()) {
     options.ef_search = static_cast<size_t>(body["ef_search"].as_number());
   }
+  if (body["theta"].is_number()) {
+    options.theta = body["theta"].as_number();
+  }
+  if (body["timeout_seconds"].is_number()) {
+    options.timeout_seconds = body["timeout_seconds"].as_number();
+  }
 
   // Multi-vector query: "vectors": [[...], [...]] (+ optional weights).
   if (body["vectors"].is_array()) {
@@ -285,10 +307,12 @@ RestResponse RestHandler::Search(const std::string& name, const Json& body) {
     for (size_t i = 0; w.is_array() && i < w.size(); ++i) {
       weights.push_back(static_cast<float>(w.at(i).as_number()));
     }
-    auto result = c->MultiVectorSearch(query, weights, options);
+    exec::QueryStats stats;
+    auto result = c->MultiVectorSearch(query, weights, options, &stats);
     if (!result.ok()) return FromStatus(result.status());
     RestResponse response;
     response.body.Set("hits", HitsToJson(result.value()));
+    response.body.Set("stats", StatsToJson(stats));
     return response;
   }
 
@@ -309,19 +333,23 @@ RestResponse RestHandler::Search(const std::string& name, const Json& body) {
         !filter["hi"].is_number()) {
       return Error(400, "filter requires 'attribute', 'lo', 'hi'");
     }
+    exec::QueryStats stats;
     auto result = c->SearchFiltered(
         field, query.data(), filter["attribute"].as_string(),
-        {filter["lo"].as_number(), filter["hi"].as_number()}, options);
+        {filter["lo"].as_number(), filter["hi"].as_number()}, options, &stats);
     if (!result.ok()) return FromStatus(result.status());
     RestResponse response;
     response.body.Set("hits", HitsToJson(result.value()));
+    response.body.Set("stats", StatsToJson(stats));
     return response;
   }
 
-  auto result = c->Search(field, query.data(), 1, options);
+  exec::QueryStats stats;
+  auto result = c->Search(field, query.data(), 1, options, &stats);
   if (!result.ok()) return FromStatus(result.status());
   RestResponse response;
   response.body.Set("hits", HitsToJson(result.value()[0]));
+  response.body.Set("stats", StatsToJson(stats));
   return response;
 }
 

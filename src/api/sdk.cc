@@ -81,13 +81,16 @@ std::vector<SearchResultRow> Client::SearchBuilder::Run(
           ? c->schema().vector_fields[0].name
           : field_;
 
+  client_->last_query_stats_ = exec::QueryStats{};
   if (!where_attribute_.empty()) {
     auto result = c->SearchFiltered(field, query.data(), where_attribute_,
-                                    range_, options_);
+                                    range_, options_,
+                                    &client_->last_query_stats_);
     if (!client_->Record(result.status())) return {};
     return ToRows(result.value(), c, fetch_attributes_);
   }
-  auto result = c->Search(field, query.data(), 1, options_);
+  auto result =
+      c->Search(field, query.data(), 1, options_, &client_->last_query_stats_);
   if (!client_->Record(result.status())) return {};
   return ToRows(result.value()[0], c, fetch_attributes_);
 }
@@ -103,7 +106,9 @@ std::vector<SearchResultRow> Client::SearchBuilder::RunMulti(
   std::vector<const float*> query;
   query.reserve(query_fields.size());
   for (const auto& q : query_fields) query.push_back(q.data());
-  auto result = c->MultiVectorSearch(query, weights, options_);
+  client_->last_query_stats_ = exec::QueryStats{};
+  auto result = c->MultiVectorSearch(query, weights, options_,
+                                     &client_->last_query_stats_);
   if (!client_->Record(result.status())) return {};
   return ToRows(result.value(), c, fetch_attributes_);
 }

@@ -40,6 +40,12 @@ class Client {
   /// succeeded).
   const std::string& last_error() const { return last_error_; }
 
+  /// Execution counters of the last SearchBuilder::Run/RunMulti call:
+  /// segments scanned vs skipped, index vs flat, cache reuse, timings.
+  const exec::QueryStats& last_query_stats() const {
+    return last_query_stats_;
+  }
+
   // ----- collection DDL -----
 
   class CollectionBuilder {
@@ -114,6 +120,17 @@ class Client {
       options_.ef_search = ef;
       return *this;
     }
+    /// Strategy C over-fetch factor for filtered search (must be > 1).
+    SearchBuilder& Theta(double theta) {
+      options_.theta = theta;
+      return *this;
+    }
+    /// Per-query deadline; 0 = none. An expired query fails with an
+    /// Aborted error rather than returning a partial top-k.
+    SearchBuilder& TimeoutSeconds(double seconds) {
+      options_.timeout_seconds = seconds;
+      return *this;
+    }
     /// Attribute filter: attribute in [lo, hi].
     SearchBuilder& Where(const std::string& attribute, double lo, double hi) {
       where_attribute_ = attribute;
@@ -161,6 +178,7 @@ class Client {
 
   db::VectorDb* db_;
   std::string last_error_;
+  exec::QueryStats last_query_stats_;
 };
 
 }  // namespace api

@@ -1,17 +1,16 @@
 #include "db/collection.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstdlib>
+#include <thread>
 #include <unordered_set>
 
 #include "common/binary_io.h"
 #include "common/crc32.h"
 #include "common/result_heap.h"
-#include "engine/batch_searcher.h"
+#include "exec/segment_executor.h"
 #include "index/index_factory.h"
-#include "index/ivf_index.h"
-#include "query/cost_model.h"
-#include "simd/distances.h"
 
 namespace vectordb {
 namespace db {
@@ -55,6 +54,12 @@ Status DecodeEnvelope(uint32_t magic, const std::string& frame,
   if (Crc32(*body) != crc) return Status::Corruption("envelope CRC mismatch");
   return Status::OK();
 }
+
+size_t ResolveQueryThreads(size_t configured) {
+  if (configured != 0) return configured;
+  const size_t hw = std::thread::hardware_concurrency();
+  return std::min<size_t>(hw == 0 ? 1 : hw, 8);
+}
 }  // namespace
 
 Collection::Collection(CollectionSchema schema,
@@ -65,6 +70,10 @@ Collection::Collection(CollectionSchema schema,
   wal_ = std::make_unique<storage::WriteAheadLog>(options_.fs, WalPath());
   memtable_ =
       std::make_unique<storage::MemTable>(schema_.ToSegmentSchema());
+  const size_t query_threads = ResolveQueryThreads(options_.query_threads);
+  if (query_threads > 1) {
+    query_pool_ = std::make_unique<ThreadPool>(query_threads);
+  }
   snapshot_manager_.SetDropHandler([this](SegmentId id) {
     buffer_pool_.Invalidate(id);
     (void)options_.fs->Delete(SegmentPath(id));
@@ -278,6 +287,9 @@ Status Collection::RecoverFromStorage() {
       (*tombs)[tombstone_rows[i]] = tombstone_marks[i];
     }
     snap->tombstones = std::move(tombs);
+    // One full scan seeds the incremental live-row counter; every write
+    // path from here on maintains it in O(1)-ish per operation.
+    snap->live_rows = snap->CountLiveRowsSlow();
   });
 
   // Replay the WAL tail (operations after the last manifest persist).
@@ -301,16 +313,7 @@ Status Collection::RecoverFromStorage() {
         if (!payload.GetI64(&row_id)) {
           return Status::Corruption("bad delete payload");
         }
-        if (!memtable_->Delete(row_id)) {
-          const SegmentId watermark = next_segment_id_.load();
-          snapshot_manager_.Commit([&](storage::Snapshot* snap) {
-            auto tombs =
-                std::make_shared<storage::TombstoneMap>(*snap->tombstones);
-            SegmentId& mark = (*tombs)[row_id];
-            mark = std::max(mark, watermark);
-            snap->tombstones = std::move(tombs);
-          });
-        }
+        if (!memtable_->Delete(row_id)) ApplyTombstoneLocked(row_id);
         return Status::OK();
       }
       default:
@@ -420,16 +423,24 @@ Status Collection::Delete(RowId row_id) {
   VDB_RETURN_NOT_OK(wal_->Append(&record));
 
   if (memtable_->Delete(row_id)) return Status::OK();  // Never flushed.
+  ApplyTombstoneLocked(row_id);
+  return Status::OK();
+}
+
+void Collection::ApplyTombstoneLocked(RowId row_id) {
   // Every physical copy currently on disk lives in a segment with id below
   // the watermark; a later re-insert flushes above it and stays visible.
   const SegmentId watermark = next_segment_id_.load();
   snapshot_manager_.Commit([&](storage::Snapshot* snap) {
+    // Copies visible under the old map all fall below the new watermark,
+    // so they leave the live set together (0 on a repeated delete).
+    const size_t killed = snap->CountVisibleCopies(row_id);
+    snap->live_rows -= std::min(snap->live_rows, killed);
     auto tombs = std::make_shared<storage::TombstoneMap>(*snap->tombstones);
     SegmentId& mark = (*tombs)[row_id];
     mark = std::max(mark, watermark);
     snap->tombstones = std::move(tombs);
   });
-  return Status::OK();
 }
 
 Status Collection::Update(const Entity& entity) {
@@ -466,6 +477,9 @@ Status Collection::Flush() {
   VDB_RETURN_NOT_OK(PersistSegment(segment));
   snapshot_manager_.Commit([&](storage::Snapshot* snap) {
     snap->segments.push_back(segment);
+    // A fresh segment's id is above every existing watermark, so all of
+    // its rows are visible.
+    snap->live_rows += segment->num_rows();
   });
   VDB_RETURN_NOT_OK(PersistManifest());
   return wal_->Reset();  // All logged operations are now durable as state.
@@ -531,8 +545,21 @@ Status Collection::RunMergeOnce(size_t* merges_done) {
     }
     VDB_RETURN_NOT_OK(PersistSegment(merged));
 
+    std::unordered_set<RowId> applied_set(applied_tombstones.begin(),
+                                          applied_tombstones.end());
     snapshot_manager_.Commit([&](storage::Snapshot* snap) {
       auto& segs = snap->segments;
+      // Live rows the source segments contribute under the current map —
+      // the merged segment replaces exactly these.
+      size_t source_live = 0;
+      for (const auto& s : segs) {
+        if (std::find(group.begin(), group.end(), s->id()) == group.end()) {
+          continue;
+        }
+        for (size_t pos = 0; pos < s->num_rows(); ++pos) {
+          if (!snap->IsDeleted(s->row_id_at(pos), s->id())) ++source_live;
+        }
+      }
       segs.erase(std::remove_if(segs.begin(), segs.end(),
                                 [&](const storage::SegmentPtr& s) {
                                   return std::find(group.begin(), group.end(),
@@ -540,12 +567,28 @@ Status Collection::RunMergeOnce(size_t* merges_done) {
                                 }),
                  segs.end());
       segs.push_back(merged);
-      if (!applied_tombstones.empty()) {
+      size_t resurrected = 0;
+      if (!applied_set.empty()) {
         auto tombs =
             std::make_shared<storage::TombstoneMap>(*snap->tombstones);
-        for (RowId id : applied_tombstones) tombs->erase(id);
+        for (RowId id : applied_set) {
+          auto it = tombs->find(id);
+          if (it == tombs->end()) continue;
+          // Dropping the tombstone revives stale copies of the row that
+          // still sit below its watermark in segments outside this merge.
+          const SegmentId watermark = it->second;
+          for (const auto& s : segs) {
+            if (s->id() >= watermark) continue;
+            const auto& ids = s->row_ids();
+            const auto range = std::equal_range(ids.begin(), ids.end(), id);
+            resurrected += static_cast<size_t>(range.second - range.first);
+          }
+          tombs->erase(it);
+        }
         snap->tombstones = std::move(tombs);
       }
+      snap->live_rows += merged->num_rows() + resurrected;
+      snap->live_rows -= std::min(snap->live_rows, source_live);
     });
     if (merges_done != nullptr) ++(*merges_done);
   }
@@ -600,237 +643,76 @@ size_t Collection::CollectGarbage() {
 
 size_t Collection::NumLiveRows() const {
   const storage::SnapshotPtr snapshot = snapshot_manager_.Acquire();
-  size_t rows = 0;
-  for (const auto& segment : snapshot->segments) {
-    for (size_t pos = 0; pos < segment->num_rows(); ++pos) {
-      if (!snapshot->IsDeleted(segment->row_id_at(pos), segment->id())) {
-        ++rows;
-      }
-    }
-  }
-  return rows;
+#ifndef NDEBUG
+  // Debug builds cross-check the incremental counter against a full scan;
+  // a mismatch means some write path forgot to maintain it.
+  assert(snapshot->live_rows == snapshot->CountLiveRowsSlow());
+#endif
+  return snapshot->live_rows;
 }
 
 size_t Collection::NumSegments() const {
   return snapshot_manager_.Acquire()->segments.size();
 }
 
-void Collection::SearchSegment(const storage::Segment& segment, size_t field,
-                               const float* query, const QueryOptions& options,
-                               size_t k, const storage::Snapshot& snapshot,
-                               ResultHeap* heap) const {
-  // Tombstone allow-filter over local positions (only when needed).
-  Bitset allowed;
-  const Bitset* filter = nullptr;
-  if (snapshot.tombstones != nullptr && !snapshot.tombstones->empty()) {
-    bool any_deleted = false;
-    allowed.Resize(segment.num_rows(), true);
-    for (const auto& [dead, watermark] : *snapshot.tombstones) {
-      if (segment.id() >= watermark) continue;  // Newer re-inserted copy.
-      if (auto pos = segment.PositionOf(dead)) {
-        allowed.Clear(*pos);
-        any_deleted = true;
-      }
-    }
-    if (any_deleted) filter = &allowed;
-  }
-
-  const size_t dim = schema_.vector_fields[field].dim;
-  const index::VectorIndex* idx = segment.GetIndex(field);
-  if (idx != nullptr) {
-    index::SearchOptions idx_options;
-    idx_options.k = k;
-    idx_options.nprobe = options.nprobe;
-    idx_options.ef_search = std::max(options.ef_search, k);
-    idx_options.filter = filter;
-    std::vector<HitList> results;
-    if (idx->Search(query, 1, idx_options, &results).ok()) {
-      for (const SearchHit& hit : results[0]) {
-        heap->Push(segment.row_id_at(static_cast<size_t>(hit.id)), hit.score);
-      }
-      return;
-    }
-  }
-  // Flat scan fallback for small / index-less segments.
-  for (size_t pos = 0; pos < segment.num_rows(); ++pos) {
-    if (filter != nullptr && !filter->Test(pos)) continue;
-    const float score = simd::ComputeFloatScore(
-        schema_.metric, query, segment.vector(field, pos), dim);
-    heap->Push(segment.row_id_at(pos), score);
-  }
-}
-
 Result<std::vector<HitList>> Collection::Search(
     const std::string& field, const float* queries, size_t nq,
-    const QueryOptions& options) const {
-  return SearchScoped(field, queries, nq, options,
-                      [](SegmentId) { return true; });
+    const QueryOptions& options, exec::QueryStats* stats) const {
+  return SearchScoped(field, queries, nq, options, nullptr, stats);
 }
 
 Result<std::vector<HitList>> Collection::SearchScoped(
     const std::string& field, const float* queries, size_t nq,
-    const QueryOptions& options,
-    const std::function<bool(SegmentId)>& owns) const {
+    const QueryOptions& options, const std::function<bool(SegmentId)>& owns,
+    exec::QueryStats* stats) const {
   const int f = schema_.FieldIndex(field);
   if (f < 0) return Status::NotFound("unknown vector field: " + field);
+  VDB_RETURN_NOT_OK(exec::ValidateQueryOptions(options, nq));
   const storage::SnapshotPtr snapshot = snapshot_manager_.Acquire();
 
-  // Resolve the shard predicate once per call, not per (segment, query).
-  std::vector<const storage::Segment*> owned;
-  owned.reserve(snapshot->segments.size());
-  for (const auto& segment : snapshot->segments) {
-    if (owns(segment->id())) owned.push_back(segment.get());
-  }
-
-  const size_t dim = schema_.vector_fields[f].dim;
-  std::vector<ResultHeap> heaps;
-  heaps.reserve(nq);
-  for (size_t q = 0; q < nq; ++q) {
-    heaps.push_back(ResultHeap::ForMetric(options.k, schema_.metric));
-  }
-
-  for (const storage::Segment* segment : owned) {
-    // Index-less segments with a multi-query batch go through the
-    // cache-aware blocked searcher (Sec 3.2.1) — tombstoned segments and
-    // indexed segments take the per-query path in SearchSegment.
-    const bool has_tombstones_here = [&] {
-      if (snapshot->tombstones == nullptr) return false;
-      for (const auto& [dead, watermark] : *snapshot->tombstones) {
-        if (segment->id() < watermark && segment->PositionOf(dead)) {
-          return true;
-        }
-      }
-      return false;
-    }();
-    if (nq > 1 && segment->GetIndex(f) == nullptr && !has_tombstones_here) {
-      engine::BatchSearchSpec spec;
-      spec.metric = schema_.metric;
-      spec.dim = dim;
-      spec.k = options.k;
-      engine::CacheAwareBatchSearcher searcher(nullptr);
-      std::vector<HitList> results;
-      if (searcher
-              .Search(segment->vectors(f), segment->num_rows(), queries, nq,
-                      spec, &results)
-              .ok()) {
-        for (size_t q = 0; q < nq; ++q) {
-          for (const SearchHit& hit : results[q]) {
-            heaps[q].Push(segment->row_id_at(static_cast<size_t>(hit.id)),
-                          hit.score);
-          }
-        }
-        continue;
-      }
-    }
-    for (size_t q = 0; q < nq; ++q) {
-      SearchSegment(*segment, static_cast<size_t>(f), queries + q * dim,
-                    options, options.k, *snapshot, &heaps[q]);
-    }
-  }
-
-  std::vector<HitList> out(nq);
-  for (size_t q = 0; q < nq; ++q) out[q] = heaps[q].TakeSorted();
-  return out;
+  exec::QueryContext ctx(options);
+  if (owns) ctx.SetShardPredicate(owns);
+  exec::VectorSearchPlan plan;
+  plan.field = static_cast<size_t>(f);
+  plan.dim = schema_.vector_fields[f].dim;
+  plan.metric = schema_.metric;
+  plan.queries = queries;
+  plan.nq = nq;
+  plan.k = options.k;
+  exec::SegmentExecutor executor(query_pool_.get());
+  auto result = executor.SearchVectors(*snapshot, plan, &ctx);
+  if (stats != nullptr) *stats = ctx.stats();
+  return result;
 }
 
 Result<HitList> Collection::SearchFiltered(
     const std::string& field, const float* query, const std::string& attribute,
-    const query::AttrRange& range, const QueryOptions& options) const {
+    const query::AttrRange& range, const QueryOptions& options,
+    exec::QueryStats* stats) const {
   const int f = schema_.FieldIndex(field);
   if (f < 0) return Status::NotFound("unknown vector field: " + field);
   const int a = schema_.AttributeIdx(attribute);
   if (a < 0) return Status::NotFound("unknown attribute: " + attribute);
+  VDB_RETURN_NOT_OK(exec::ValidateQueryOptions(options, 1));
   const storage::SnapshotPtr snapshot = snapshot_manager_.Acquire();
 
-  const size_t dim = schema_.vector_fields[f].dim;
-  ResultHeap heap = ResultHeap::ForMetric(options.k, schema_.metric);
-
-  for (const auto& segment : snapshot->segments) {
-    const auto& column = segment->attribute(static_cast<size_t>(a));
-    const size_t passing = column.CountInRange(range.lo, range.hi);
-    if (passing == 0) continue;
-
-    // Per-segment cost-based strategy (Sec 4.1 strategy D).
-    query::CostModelInputs inputs;
-    inputs.n = segment->num_rows();
-    inputs.dim = dim;
-    inputs.k = options.k;
-    inputs.pass_fraction =
-        static_cast<double>(passing) / static_cast<double>(segment->num_rows());
-    inputs.theta = options.theta;
-    const index::VectorIndex* idx = segment->GetIndex(f);
-    if (const auto* ivf = dynamic_cast<const index::IvfIndex*>(idx)) {
-      inputs.nlist = ivf->nlist();
-      inputs.nprobe = options.nprobe;
-    }
-    query::FilterStrategy strategy =
-        idx == nullptr ? query::FilterStrategy::kA
-                       : query::ChooseStrategy(inputs);
-
-    switch (strategy) {
-      case query::FilterStrategy::kA: {
-        std::vector<RowId> candidates;
-        column.CollectInRange(range.lo, range.hi, &candidates);
-        for (RowId row_id : candidates) {
-          if (snapshot->IsDeleted(row_id, segment->id())) continue;
-          const auto pos = segment->PositionOf(row_id);
-          if (!pos) continue;
-          heap.Push(row_id, simd::ComputeFloatScore(
-                                schema_.metric, query,
-                                segment->vector(f, *pos), dim));
-        }
-        break;
-      }
-      case query::FilterStrategy::kC: {
-        const size_t fetch = std::max<size_t>(
-            options.k, static_cast<size_t>(options.theta * options.k));
-        index::SearchOptions idx_options;
-        idx_options.k = fetch;
-        idx_options.nprobe = options.nprobe;
-        idx_options.ef_search = std::max(options.ef_search, fetch);
-        std::vector<HitList> results;
-        VDB_RETURN_NOT_OK(idx->Search(query, 1, idx_options, &results));
-        size_t taken = 0;
-        for (const SearchHit& hit : results[0]) {
-          const size_t pos = static_cast<size_t>(hit.id);
-          const RowId row_id = segment->row_id_at(pos);
-          if (snapshot->IsDeleted(row_id, segment->id())) continue;
-          const double value = column.ValueAt(pos);
-          if (value < range.lo || value > range.hi) continue;
-          heap.Push(row_id, hit.score);
-          if (++taken == options.k) break;
-        }
-        break;
-      }
-      default: {  // Strategy B.
-        std::vector<RowId> candidates;
-        column.CollectInRange(range.lo, range.hi, &candidates);
-        Bitset allowed(segment->num_rows());
-        for (RowId row_id : candidates) {
-          if (snapshot->IsDeleted(row_id, segment->id())) continue;
-          if (auto pos = segment->PositionOf(row_id)) allowed.Set(*pos);
-        }
-        index::SearchOptions idx_options;
-        idx_options.k = options.k;
-        idx_options.nprobe = options.nprobe;
-        idx_options.ef_search = std::max(options.ef_search, options.k);
-        idx_options.filter = &allowed;
-        std::vector<HitList> results;
-        VDB_RETURN_NOT_OK(idx->Search(query, 1, idx_options, &results));
-        for (const SearchHit& hit : results[0]) {
-          heap.Push(segment->row_id_at(static_cast<size_t>(hit.id)),
-                    hit.score);
-        }
-        break;
-      }
-    }
-  }
-  return heap.TakeSorted();
+  exec::QueryContext ctx(options);
+  exec::FilteredSearchPlan plan;
+  plan.field = static_cast<size_t>(f);
+  plan.dim = schema_.vector_fields[f].dim;
+  plan.metric = schema_.metric;
+  plan.query = query;
+  plan.attribute = static_cast<size_t>(a);
+  plan.range = range;
+  exec::SegmentExecutor executor(query_pool_.get());
+  auto result = executor.SearchFiltered(*snapshot, plan, &ctx);
+  if (stats != nullptr) *stats = ctx.stats();
+  return result;
 }
 
 Result<HitList> Collection::MultiVectorSearch(
     const std::vector<const float*>& query, const std::vector<float>& weights,
-    const QueryOptions& options) const {
+    const QueryOptions& options, exec::QueryStats* stats) const {
   const size_t mu = schema_.vector_fields.size();
   if (query.size() != mu) {
     return Status::InvalidArgument("one query vector per field required");
@@ -838,27 +720,26 @@ Result<HitList> Collection::MultiVectorSearch(
   if (!weights.empty() && weights.size() != mu) {
     return Status::InvalidArgument("one weight per field required");
   }
+  VDB_RETURN_NOT_OK(exec::ValidateQueryOptions(options, 1));
   auto weight = [&](size_t f) { return weights.empty() ? 1.0f : weights[f]; };
   const storage::SnapshotPtr snapshot = snapshot_manager_.Acquire();
   const bool keep_largest = MetricIsSimilarity(schema_.metric);
 
+  // One context (and so one deadline and one cumulative stats block) spans
+  // all iterative-merge rounds; the views resolve once and every per-field
+  // round afterwards hits the snapshot's view cache.
+  exec::QueryContext ctx(options);
+  exec::SegmentExecutor executor(query_pool_.get());
+  const std::vector<exec::SegmentViewPtr> views =
+      exec::SegmentExecutor::ResolveViews(*snapshot, &ctx);
+  std::vector<size_t> dims;
+  dims.reserve(mu);
+  for (size_t f = 0; f < mu; ++f) dims.push_back(schema_.vector_fields[f].dim);
+
   // Random-access exact aggregated score of one entity.
   auto exact_score = [&](RowId row_id, float* out) -> bool {
-    for (const auto& segment : snapshot->segments) {
-      if (snapshot->IsDeleted(row_id, segment->id())) continue;
-      const auto pos = segment->PositionOf(row_id);
-      if (!pos) continue;
-      float total = 0.0f;
-      for (size_t f = 0; f < mu; ++f) {
-        total += weight(f) * simd::ComputeFloatScore(
-                                 schema_.metric, query[f],
-                                 segment->vector(f, *pos),
-                                 schema_.vector_fields[f].dim);
-      }
-      *out = total;
-      return true;
-    }
-    return false;
+    return exec::SegmentExecutor::ScoreEntity(views, query, weights, dims,
+                                              schema_.metric, row_id, out);
   };
 
   // Iterative merging (Algorithm 2) across segments: per-field top-k' with
@@ -867,18 +748,25 @@ Result<HitList> Collection::MultiVectorSearch(
   size_t k_prime = options.k;
   const size_t total_rows = snapshot->TotalRows();
   HitList best;
+  Status round_status = Status::OK();
   while (true) {
     std::vector<HitList> lists(mu);
-    QueryOptions field_options = options;
-    field_options.k = k_prime;
     bool exhausted = true;
     for (size_t f = 0; f < mu; ++f) {
-      auto result = Search(schema_.vector_fields[f].name, query[f], 1,
-                           field_options);
-      if (!result.ok()) return result.status();
+      exec::VectorSearchPlan plan;
+      plan.field = f;
+      plan.dim = dims[f];
+      plan.metric = schema_.metric;
+      plan.queries = query[f];
+      plan.nq = 1;
+      plan.k = k_prime;
+      auto result = executor.SearchVectors(*snapshot, plan, &ctx);
+      if (!result.ok()) round_status = result.status();
+      if (!round_status.ok()) break;
       lists[f] = std::move(result.value()[0]);
       if (lists[f].size() >= k_prime) exhausted = false;
     }
+    if (!round_status.ok()) break;
 
     // Frontier bound: the best aggregate any unseen entity could have.
     float bound = 0.0f;
@@ -914,28 +802,29 @@ Result<HitList> Collection::MultiVectorSearch(
     }
     k_prime *= 2;
   }
+  if (stats != nullptr) *stats = ctx.stats();
+  if (!round_status.ok()) return round_status;
   return best;
 }
 
 Result<Entity> Collection::Get(RowId row_id) const {
   const storage::SnapshotPtr snapshot = snapshot_manager_.Acquire();
-  for (const auto& segment : snapshot->segments) {
-    if (snapshot->IsDeleted(row_id, segment->id())) continue;
-    const auto pos = segment->PositionOf(row_id);
-    if (!pos) continue;
-    Entity entity;
-    entity.id = row_id;
-    for (size_t f = 0; f < schema_.vector_fields.size(); ++f) {
-      const size_t dim = schema_.vector_fields[f].dim;
-      const float* vec = segment->vector(f, *pos);
-      entity.vectors.emplace_back(vec, vec + dim);
-    }
-    for (size_t a = 0; a < schema_.attributes.size(); ++a) {
-      entity.attributes.push_back(segment->attribute(a).ValueAt(*pos));
-    }
-    return entity;
+  size_t pos = 0;
+  const storage::Segment* segment = snapshot->FindLive(row_id, &pos);
+  if (segment == nullptr) {
+    return Status::NotFound("row not found (or not yet flushed)");
   }
-  return Status::NotFound("row not found (or not yet flushed)");
+  Entity entity;
+  entity.id = row_id;
+  for (size_t f = 0; f < schema_.vector_fields.size(); ++f) {
+    const size_t dim = schema_.vector_fields[f].dim;
+    const float* vec = segment->vector(f, pos);
+    entity.vectors.emplace_back(vec, vec + dim);
+  }
+  for (size_t a = 0; a < schema_.attributes.size(); ++a) {
+    entity.attributes.push_back(segment->attribute(a).ValueAt(pos));
+  }
+  return entity;
 }
 
 }  // namespace db

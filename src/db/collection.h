@@ -7,8 +7,9 @@
 #include <string>
 #include <vector>
 
-#include "common/result_heap.h"
+#include "common/threadpool.h"
 #include "db/schema.h"
+#include "exec/query_context.h"
 #include "query/filter_strategies.h"
 #include "storage/buffer_pool.h"
 #include "storage/filesystem.h"
@@ -32,16 +33,16 @@ struct CollectionOptions {
   size_t index_build_threshold_rows = 4096;
   storage::MergePolicyOptions merge_policy;
   size_t buffer_pool_bytes = size_t{256} << 20;
+  /// Worker threads for the per-segment query fan-out. 0 = auto (bounded
+  /// hardware concurrency); 1 = fully sequential on the calling thread.
+  /// Results are identical either way — only wall-clock changes.
+  size_t query_threads = 0;
 };
 
-/// Query-time knobs shared by all collection search entry points.
-struct QueryOptions {
-  size_t k = 10;
-  size_t nprobe = 16;
-  size_t ef_search = 64;
-  /// Strategy C over-fetch factor for filtered search.
-  double theta = 2.0;
-};
+/// Query-time knobs shared by all collection search entry points — the
+/// exec layer's options struct, so the SDK, REST handler, db layer, and
+/// distributed scatter path all speak one type.
+using QueryOptions = exec::QueryOptions;
 
 /// A collection of entities: the LSM write path (WAL → MemTable → immutable
 /// segments → tiered merges), snapshot-isolated reads, automatic index
@@ -93,29 +94,34 @@ class Collection {
 
   // ----- reads (snapshot isolated) -----
 
-  /// Vector query (Sec 2.1): top-k per query over one vector field.
+  /// Vector query (Sec 2.1): top-k per query over one vector field. All
+  /// search entry points accept an optional `stats` out-param filled with
+  /// the per-query execution counters (exec::QueryStats).
   Result<std::vector<HitList>> Search(const std::string& field,
                                       const float* queries, size_t nq,
-                                      const QueryOptions& options) const;
+                                      const QueryOptions& options,
+                                      exec::QueryStats* stats = nullptr) const;
 
   /// Like Search, but restricted to segments for which `owns` returns true —
   /// the reader-node sharding hook of the distributed layer (Sec 5.3).
   Result<std::vector<HitList>> SearchScoped(
       const std::string& field, const float* queries, size_t nq,
-      const QueryOptions& options,
-      const std::function<bool(SegmentId)>& owns) const;
+      const QueryOptions& options, const std::function<bool(SegmentId)>& owns,
+      exec::QueryStats* stats = nullptr) const;
 
   /// Attribute filtering (Sec 4.1): per-segment cost-based strategy.
   Result<HitList> SearchFiltered(const std::string& field, const float* query,
                                  const std::string& attribute,
                                  const query::AttrRange& range,
-                                 const QueryOptions& options) const;
+                                 const QueryOptions& options,
+                                 exec::QueryStats* stats = nullptr) const;
 
   /// Multi-vector query (Sec 4.2): iterative merging across segments with
   /// weighted-sum aggregation (weights empty = all 1).
   Result<HitList> MultiVectorSearch(const std::vector<const float*>& query,
                                     const std::vector<float>& weights,
-                                    const QueryOptions& options) const;
+                                    const QueryOptions& options,
+                                    exec::QueryStats* stats = nullptr) const;
 
   /// Point lookup over flushed data.
   Result<Entity> Get(RowId row_id) const;
@@ -153,11 +159,9 @@ class Collection {
   /// Returns the decoded manifest body and refreshes next_manifest_seq_.
   Result<std::string> ResolveManifestBody();
 
-  /// Search one segment into `heap` (hits carry global row ids).
-  void SearchSegment(const storage::Segment& segment, size_t field,
-                     const float* query, const QueryOptions& options, size_t k,
-                     const storage::Snapshot& snapshot,
-                     ResultHeap* heap) const;
+  /// Record a tombstone for `row_id` at the current watermark and keep the
+  /// snapshot's live-row counter in sync. Caller holds write_mu_.
+  void ApplyTombstoneLocked(RowId row_id);
 
   CollectionSchema schema_;
   CollectionOptions options_;
@@ -165,6 +169,8 @@ class Collection {
   std::unique_ptr<storage::MemTable> memtable_;
   storage::SnapshotManager snapshot_manager_;
   mutable storage::BufferPool buffer_pool_;
+  /// Workers for the per-segment query fan-out; nullptr = sequential.
+  std::unique_ptr<ThreadPool> query_pool_;
 
   mutable std::mutex write_mu_;
   std::atomic<uint64_t> next_segment_id_{1};

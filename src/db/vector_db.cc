@@ -29,6 +29,7 @@ CollectionOptions VectorDb::MakeCollectionOptions() const {
   copts.index_build_threshold_rows = options_.index_build_threshold_rows;
   copts.merge_policy = options_.merge_policy;
   copts.buffer_pool_bytes = options_.buffer_pool_bytes;
+  copts.query_threads = options_.query_threads;
   return copts;
 }
 

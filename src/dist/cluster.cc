@@ -25,6 +25,7 @@ db::DbOptions Cluster::MakeWriterOptions() const {
   opts.data_prefix = "cluster/data/";
   opts.memtable_flush_rows = options_.memtable_flush_rows;
   opts.index_build_threshold_rows = options_.index_build_threshold_rows;
+  opts.query_threads = options_.query_threads;
   return opts;
 }
 
@@ -34,6 +35,7 @@ db::CollectionOptions Cluster::MakeReaderOptions() const {
   opts.data_prefix = "cluster/data/";
   opts.index_build_threshold_rows = options_.index_build_threshold_rows;
   opts.buffer_pool_bytes = options_.reader_buffer_pool_bytes;
+  opts.query_threads = options_.query_threads;
   return opts;
 }
 
@@ -110,6 +112,7 @@ Result<std::vector<HitList>> Cluster::Search(const std::string& collection,
   std::vector<std::string> failed;
   std::vector<std::string> survivors;
   double makespan = 0.0;
+  last_query_stats_ = exec::QueryStats{};
   for (auto& [name, reader] : readers_) {
     rpc_count_.fetch_add(1, std::memory_order_relaxed);
     const std::string reader_name = name;
@@ -117,6 +120,7 @@ Result<std::vector<HitList>> Cluster::Search(const std::string& collection,
     // per scatter, not per (segment, query).
     auto owner_cache = std::make_shared<std::map<SegmentId, bool>>();
     Timer reader_timer;
+    exec::QueryStats reader_stats;
     auto result = reader->Search(
         collection, field, queries, nq, options,
         [this, reader_name, owner_cache](SegmentId id) {
@@ -125,12 +129,14 @@ Result<std::vector<HitList>> Cluster::Search(const std::string& collection,
           const bool owned = coordinator_->OwnerOfSegment(id) == reader_name;
           (*owner_cache)[id] = owned;
           return owned;
-        });
+        },
+        &reader_stats);
     makespan = std::max(makespan, reader_timer.ElapsedSeconds());
     if (!result.ok()) {
       failed.push_back(reader_name);
       continue;
     }
+    last_query_stats_.MergeFrom(reader_stats);
     survivors.push_back(reader_name);
     partials.push_back(std::move(result).value());
   }
@@ -148,6 +154,7 @@ Result<std::vector<HitList>> Cluster::Search(const std::string& collection,
       auto& reader = readers_[survivors[si]];
       rpc_count_.fetch_add(1, std::memory_order_relaxed);
       Timer reader_timer;
+      exec::QueryStats retry_stats;
       auto result = reader->Search(
           collection, field, queries, nq, options,
           [this, &failed_set, si, num_survivors](SegmentId id) {
@@ -155,13 +162,15 @@ Result<std::vector<HitList>> Cluster::Search(const std::string& collection,
               return false;
             }
             return static_cast<size_t>(id) % num_survivors == si;
-          });
+          },
+          &retry_stats);
       makespan = std::max(makespan, reader_timer.ElapsedSeconds());
       if (!result.ok()) {
         // Second failure within one query: give up rather than loop.
         return Status::Unavailable("scatter retry round failed: " +
                                    result.status().message());
       }
+      last_query_stats_.MergeFrom(retry_stats);
       partials.push_back(std::move(result).value());
     }
   }

@@ -22,6 +22,8 @@ struct ClusterOptions {
   /// Per-reader local cache ("buffer memory ... to reduce accesses to the
   /// shared storage").
   size_t reader_buffer_pool_bytes = size_t{64} << 20;
+  /// Query fan-out workers per node (see db::CollectionOptions).
+  size_t query_threads = 0;
 };
 
 /// In-process distributed deployment (Sec 5.3, Figure 5): a shared-storage,
@@ -92,6 +94,12 @@ class Cluster {
   /// serially in one process).
   double last_scatter_makespan() const { return last_makespan_; }
 
+  /// Execution counters of the last Search call, merged across every
+  /// reader that answered (including the degraded retry round).
+  const exec::QueryStats& last_query_stats() const {
+    return last_query_stats_;
+  }
+
  private:
   db::DbOptions MakeWriterOptions() const;
   db::CollectionOptions MakeReaderOptions() const;
@@ -107,6 +115,7 @@ class Cluster {
   std::atomic<size_t> degraded_queries_{0};
   std::atomic<size_t> publish_failures_{0};
   double last_makespan_ = 0.0;
+  exec::QueryStats last_query_stats_;
 };
 
 }  // namespace dist

@@ -32,7 +32,8 @@ Status ReaderNode::Refresh(const std::string& collection) {
 Result<std::vector<HitList>> ReaderNode::Search(
     const std::string& collection, const std::string& field,
     const float* queries, size_t nq, const db::QueryOptions& options,
-    const std::function<bool(SegmentId)>& owns) const {
+    const std::function<bool(SegmentId)>& owns,
+    exec::QueryStats* stats) const {
   size_t pending = injected_search_faults_.load();
   while (pending > 0 && !injected_search_faults_.compare_exchange_weak(
                             pending, pending - 1)) {
@@ -44,7 +45,7 @@ Result<std::vector<HitList>> ReaderNode::Search(
   if (it == collections_.end()) {
     return Status::NotFound("collection not loaded on reader " + name_);
   }
-  return it->second->SearchScoped(field, queries, nq, options, owns);
+  return it->second->SearchScoped(field, queries, nq, options, owns, stats);
 }
 
 }  // namespace dist

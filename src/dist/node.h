@@ -66,11 +66,13 @@ class ReaderNode {
   }
 
   /// Scatter leg of a distributed query: search only the segments this
-  /// reader owns under the shard map.
+  /// reader owns under the shard map. `stats` (optional) receives this
+  /// reader's per-query execution counters for the gather side to merge.
   Result<std::vector<HitList>> Search(
       const std::string& collection, const std::string& field,
       const float* queries, size_t nq, const db::QueryOptions& options,
-      const std::function<bool(SegmentId)>& owns) const;
+      const std::function<bool(SegmentId)>& owns,
+      exec::QueryStats* stats = nullptr) const;
 
   /// Chaos hook: the next `n` Search calls fail with Unavailable, as if the
   /// scatter RPC to this reader timed out mid-query (the in-process analog

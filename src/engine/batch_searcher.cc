@@ -57,6 +57,7 @@ Status CacheAwareBatchSearcher::Search(const float* data, size_t n,
     auto scan_slice = [&](size_t r) {
       ResultHeap* thread_heaps = heaps.data() + r * block_size;
       for (size_t row = slice[r]; row < slice[r + 1]; ++row) {
+        if (spec.filter != nullptr && !spec.filter->Test(row)) continue;
         const float* vec = data + row * dim;
         // `vec` is now in cache; reuse it for every query in the block.
         for (size_t j = 0; j < block_size; ++j) {

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 
+#include "common/bitset.h"
 #include "common/status.h"
 #include "common/types.h"
 
@@ -22,6 +23,10 @@ struct BatchSearchSpec {
   size_t l3_cache_bytes = 0;
   /// Query block size override; 0 = compute via Eq. (1).
   size_t query_block = 0;
+  /// Optional allow-list over data positions [0, n): rows whose bit is 0
+  /// are skipped. Lets tombstoned segments use the blocked batch path
+  /// instead of falling back to a naive per-query scan.
+  const Bitset* filter = nullptr;
 };
 
 /// Equation (1) of the paper: the number of queries s whose vectors and

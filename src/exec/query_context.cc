@@ -1,0 +1,40 @@
+#include "exec/query_context.h"
+
+namespace vectordb {
+namespace exec {
+
+Status ValidateQueryOptions(const QueryOptions& options, size_t nq) {
+  if (options.k == 0) {
+    return Status::InvalidArgument("k must be > 0");
+  }
+  if (nq == 0) {
+    return Status::InvalidArgument("at least one query vector is required");
+  }
+  if (options.theta <= 1.0) {
+    return Status::InvalidArgument(
+        "theta must be > 1 (strategy C over-fetch factor)");
+  }
+  if (options.timeout_seconds < 0.0) {
+    return Status::InvalidArgument("timeout_seconds must be >= 0");
+  }
+  return Status::OK();
+}
+
+void QueryStats::MergeFrom(const QueryStats& other) {
+  queries += other.queries;
+  segments_scanned += other.segments_scanned;
+  segments_skipped += other.segments_skipped;
+  segments_indexed += other.segments_indexed;
+  segments_flat += other.segments_flat;
+  index_fallbacks += other.index_fallbacks;
+  rows_filtered += other.rows_filtered;
+  view_cache_hits += other.view_cache_hits;
+  view_cache_misses += other.view_cache_misses;
+  plan_seconds += other.plan_seconds;
+  search_seconds += other.search_seconds;
+  merge_seconds += other.merge_seconds;
+  total_seconds += other.total_seconds;
+}
+
+}  // namespace exec
+}  // namespace vectordb

@@ -1,0 +1,117 @@
+#ifndef VECTORDB_EXEC_QUERY_CONTEXT_H_
+#define VECTORDB_EXEC_QUERY_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace vectordb {
+namespace exec {
+
+/// Query-time knobs shared by every search entry point (SDK, REST, db,
+/// dist). Lives in the exec layer so the executor, the collection entry
+/// points, and the distributed scatter path all speak one options type
+/// (`db::QueryOptions` is an alias of this struct).
+struct QueryOptions {
+  size_t k = 10;
+  size_t nprobe = 16;
+  size_t ef_search = 64;
+  /// Strategy C over-fetch factor for filtered search (must be > 1).
+  double theta = 2.0;
+  /// Per-query deadline in seconds; 0 = no deadline. When the deadline
+  /// passes before every owned segment was scanned the query fails with
+  /// Status::Aborted rather than returning a silently partial top-k.
+  double timeout_seconds = 0.0;
+};
+
+/// Reject out-of-domain options before any work is scheduled: k = 0 and
+/// nq = 0 used to yield silent-empty results, theta <= 1 made strategy C
+/// under-fetch (UB in the cost model's feasibility test).
+Status ValidateQueryOptions(const QueryOptions& options, size_t nq);
+
+/// Per-query execution counters and stage timings, carried from the SDK
+/// down to the per-segment scans and surfaced back through SDK/REST
+/// responses. Counters are cumulative over one logical query (a
+/// multi-vector query accumulates across its per-field rounds).
+struct QueryStats {
+  uint64_t queries = 0;            ///< Query vectors executed (nq summed).
+  uint64_t segments_scanned = 0;   ///< Segments actually searched.
+  uint64_t segments_skipped = 0;   ///< Pruned (empty / no attribute match).
+  uint64_t segments_indexed = 0;   ///< Answered through a vector index.
+  uint64_t segments_flat = 0;      ///< Answered by flat/batch scan.
+  uint64_t index_fallbacks = 0;    ///< Index search failed → flat rescue.
+  uint64_t rows_filtered = 0;      ///< Rows suppressed by tombstone bitsets.
+  uint64_t view_cache_hits = 0;    ///< SegmentViews reused from the snapshot.
+  uint64_t view_cache_misses = 0;  ///< SegmentViews built by this query.
+  // Per-stage wall-clock timings (seconds).
+  double plan_seconds = 0.0;    ///< Snapshot pin + view resolution.
+  double search_seconds = 0.0;  ///< Per-segment fan-out.
+  double merge_seconds = 0.0;   ///< Global top-k merge.
+  double total_seconds = 0.0;
+
+  /// Accumulate another stats block (per-segment partials, per-reader
+  /// scatter results, per-field multi-vector rounds).
+  void MergeFrom(const QueryStats& other);
+};
+
+/// Everything one query carries through the execution pipeline: the knobs,
+/// an optional deadline, the shard predicate of the distributed scatter
+/// path, and the stats block. One QueryContext spans one logical query —
+/// a multi-vector query reuses its context across iterative-merge rounds
+/// so stats and the deadline are cumulative.
+class QueryContext {
+ public:
+  explicit QueryContext(const QueryOptions& options)
+      : options_(options),
+        deadline_(options.timeout_seconds > 0.0
+                      ? Clock::now() + std::chrono::duration_cast<
+                                           Clock::duration>(
+                            std::chrono::duration<double>(
+                                options.timeout_seconds))
+                      : Clock::time_point::max()) {}
+
+  const QueryOptions& options() const { return options_; }
+
+  /// Shard predicate: which segments this execution owns (dist scatter
+  /// path). Unset = all segments.
+  void SetShardPredicate(std::function<bool(SegmentId)> owns) {
+    owns_ = std::move(owns);
+  }
+  bool Owns(SegmentId id) const { return !owns_ || owns_(id); }
+
+  bool HasDeadline() const {
+    return deadline_ != Clock::time_point::max();
+  }
+  bool Expired() const {
+    return HasDeadline() && Clock::now() >= deadline_;
+  }
+
+  QueryStats& stats() { return stats_; }
+  const QueryStats& stats() const { return stats_; }
+
+  /// Log-once guard for index fallbacks: the first failing segment logs a
+  /// warning, subsequent failures within the same query only count.
+  bool TakeIndexFallbackLogToken() {
+    return !index_fallback_logged_.exchange(true);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  QueryOptions options_;
+  std::function<bool(SegmentId)> owns_;
+  Clock::time_point deadline_;
+  QueryStats stats_;
+  std::atomic<bool> index_fallback_logged_{false};
+};
+
+}  // namespace exec
+}  // namespace vectordb
+
+#endif  // VECTORDB_EXEC_QUERY_CONTEXT_H_

@@ -1,0 +1,356 @@
+#include "exec/segment_executor.h"
+
+#include <algorithm>
+
+#include "common/logger.h"
+#include "common/result_heap.h"
+#include "common/timer.h"
+#include "engine/batch_searcher.h"
+#include "index/ivf_index.h"
+#include "query/cost_model.h"
+#include "simd/distances.h"
+
+namespace vectordb {
+namespace exec {
+
+namespace {
+
+constexpr const char* kDeadlineMessage = "query deadline exceeded";
+
+/// One segment task's output: per-query partial top-k plus the counters it
+/// accumulated. Tasks never touch shared state — stats and hits are merged
+/// on the calling thread in fixed segment order, which is what makes the
+/// fan-out deterministic across worker counts.
+struct SegmentPartial {
+  std::vector<HitList> lists;
+  QueryStats stats;
+  Status status;
+};
+
+/// Translate index/scan hits (local offsets) to global row ids.
+HitList ToRowIds(const storage::Segment& segment, const HitList& offsets) {
+  HitList out;
+  out.reserve(offsets.size());
+  for (const SearchHit& hit : offsets) {
+    out.push_back(
+        {segment.row_id_at(static_cast<size_t>(hit.id)), hit.score});
+  }
+  return out;
+}
+
+/// Flat/batch scan of one segment: the cache-aware blocked searcher in
+/// single-threaded mode (parallelism lives at the segment level; nesting
+/// pools would oversubscribe and break determinism).
+Status FlatScan(const SegmentView& view, const VectorSearchPlan& plan,
+                SegmentPartial* out) {
+  engine::BatchSearchSpec spec;
+  spec.metric = plan.metric;
+  spec.dim = plan.dim;
+  spec.k = plan.k;
+  spec.filter = view.allow();
+  engine::CacheAwareBatchSearcher searcher(nullptr);
+  std::vector<HitList> results;
+  VDB_RETURN_NOT_OK(searcher.Search(view.segment().vectors(plan.field),
+                                    view.segment().num_rows(), plan.queries,
+                                    plan.nq, spec, &results));
+  ++out->stats.segments_flat;
+  for (size_t q = 0; q < plan.nq; ++q) {
+    out->lists[q] = ToRowIds(view.segment(), results[q]);
+  }
+  return Status::OK();
+}
+
+/// Execute one segment of a vector search: indexed path when the segment
+/// carries an index for the field, flat scan otherwise. A failing index is
+/// surfaced (counted + logged once per query) and rescued by the flat scan
+/// instead of being silently swallowed.
+Status SearchOneSegment(const SegmentView& view, const VectorSearchPlan& plan,
+                        QueryContext* ctx, SegmentPartial* out) {
+  if (ctx->Expired()) return Status::Aborted(kDeadlineMessage);
+  const storage::Segment& segment = view.segment();
+  out->lists.assign(plan.nq, HitList{});
+  if (segment.num_rows() == 0) {
+    ++out->stats.segments_skipped;
+    return Status::OK();
+  }
+  ++out->stats.segments_scanned;
+  out->stats.rows_filtered += view.tombstoned_rows();
+
+  if (const index::VectorIndex* idx = view.index(plan.field)) {
+    index::SearchOptions idx_options;
+    idx_options.k = plan.k;
+    idx_options.nprobe = ctx->options().nprobe;
+    idx_options.ef_search = std::max(ctx->options().ef_search, plan.k);
+    idx_options.filter = view.allow();
+    std::vector<HitList> results;
+    const Status status = idx->Search(plan.queries, plan.nq, idx_options,
+                                      &results);
+    if (status.ok()) {
+      ++out->stats.segments_indexed;
+      for (size_t q = 0; q < plan.nq; ++q) {
+        out->lists[q] = ToRowIds(segment, results[q]);
+      }
+      return Status::OK();
+    }
+    ++out->stats.index_fallbacks;
+    if (ctx->TakeIndexFallbackLogToken()) {
+      VDB_WARN << "index search failed on segment " << segment.id() << ": "
+               << status.ToString() << "; falling back to flat scan";
+    }
+  }
+  return FlatScan(view, plan, out);
+}
+
+/// Strategy A on one segment view: attribute index → exact distance on
+/// every qualifying live row. Also the rescue path when B/C lose their
+/// vector index mid-flight.
+void StrategyAScan(const SegmentView& view, const FilteredSearchPlan& plan,
+                   size_t k, ResultHeap* heap) {
+  const storage::Segment& segment = view.segment();
+  const auto& column = segment.attribute(plan.attribute);
+  std::vector<RowId> candidates;
+  column.CollectInRange(plan.range.lo, plan.range.hi, &candidates);
+  for (RowId row_id : candidates) {
+    const auto pos = segment.PositionOf(row_id);
+    if (!pos || !view.IsLive(*pos)) continue;
+    heap->Push(row_id,
+               simd::ComputeFloatScore(plan.metric, plan.query,
+                                       segment.vector(plan.field, *pos),
+                                       plan.dim));
+  }
+}
+
+/// Execute one segment of a filtered search with the cost-model strategy
+/// (Sec 4.1 strategy D), consuming the view's shared allow-bitset instead
+/// of re-resolving tombstones per row.
+Status FilterOneSegment(const SegmentView& view, const FilteredSearchPlan& plan,
+                        QueryContext* ctx, SegmentPartial* out) {
+  if (ctx->Expired()) return Status::Aborted(kDeadlineMessage);
+  const storage::Segment& segment = view.segment();
+  out->lists.assign(1, HitList{});
+  const auto& column = segment.attribute(plan.attribute);
+  const size_t passing =
+      segment.num_rows() == 0
+          ? 0
+          : column.CountInRange(plan.range.lo, plan.range.hi);
+  if (passing == 0) {
+    ++out->stats.segments_skipped;
+    return Status::OK();
+  }
+  ++out->stats.segments_scanned;
+  out->stats.rows_filtered += view.tombstoned_rows();
+
+  const QueryOptions& options = ctx->options();
+  query::CostModelInputs inputs;
+  inputs.n = segment.num_rows();
+  inputs.dim = plan.dim;
+  inputs.k = options.k;
+  inputs.pass_fraction =
+      static_cast<double>(passing) / static_cast<double>(segment.num_rows());
+  inputs.theta = options.theta;
+  const index::VectorIndex* idx = view.index(plan.field);
+  if (const auto* ivf = dynamic_cast<const index::IvfIndex*>(idx)) {
+    inputs.nlist = ivf->nlist();
+    inputs.nprobe = options.nprobe;
+  }
+  query::FilterStrategy strategy = idx == nullptr
+                                       ? query::FilterStrategy::kA
+                                       : query::ChooseStrategy(inputs);
+
+  ResultHeap heap = ResultHeap::ForMetric(options.k, plan.metric);
+  auto rescue = [&](const Status& status) {
+    ++out->stats.index_fallbacks;
+    if (ctx->TakeIndexFallbackLogToken()) {
+      VDB_WARN << "index search failed on segment " << segment.id() << ": "
+               << status.ToString() << "; falling back to exact filter scan";
+    }
+    StrategyAScan(view, plan, options.k, &heap);
+  };
+
+  switch (strategy) {
+    case query::FilterStrategy::kA: {
+      StrategyAScan(view, plan, options.k, &heap);
+      break;
+    }
+    case query::FilterStrategy::kC: {
+      const size_t fetch = std::max<size_t>(
+          options.k, static_cast<size_t>(options.theta *
+                                         static_cast<double>(options.k)));
+      index::SearchOptions idx_options;
+      idx_options.k = fetch;
+      idx_options.nprobe = options.nprobe;
+      idx_options.ef_search = std::max(options.ef_search, fetch);
+      idx_options.filter = view.allow();
+      std::vector<HitList> results;
+      const Status status = idx->Search(plan.query, 1, idx_options, &results);
+      if (!status.ok()) {
+        rescue(status);
+        break;
+      }
+      ++out->stats.segments_indexed;
+      size_t taken = 0;
+      for (const SearchHit& hit : results[0]) {
+        const size_t pos = static_cast<size_t>(hit.id);
+        const double value = column.ValueAt(pos);
+        if (value < plan.range.lo || value > plan.range.hi) continue;
+        heap.Push(segment.row_id_at(pos), hit.score);
+        if (++taken == options.k) break;
+      }
+      break;
+    }
+    default: {  // Strategy B: attribute bitmap ∧ tombstone bitset.
+      std::vector<RowId> candidates;
+      column.CollectInRange(plan.range.lo, plan.range.hi, &candidates);
+      Bitset allowed(segment.num_rows());
+      for (RowId row_id : candidates) {
+        if (auto pos = segment.PositionOf(row_id)) {
+          if (view.IsLive(*pos)) allowed.Set(*pos);
+        }
+      }
+      index::SearchOptions idx_options;
+      idx_options.k = options.k;
+      idx_options.nprobe = options.nprobe;
+      idx_options.ef_search = std::max(options.ef_search, options.k);
+      idx_options.filter = &allowed;
+      std::vector<HitList> results;
+      const Status status = idx->Search(plan.query, 1, idx_options, &results);
+      if (!status.ok()) {
+        rescue(status);
+        break;
+      }
+      ++out->stats.segments_indexed;
+      for (const SearchHit& hit : results[0]) {
+        heap.Push(segment.row_id_at(static_cast<size_t>(hit.id)), hit.score);
+      }
+      break;
+    }
+  }
+  out->lists[0] = heap.TakeSorted();
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<SegmentViewPtr> SegmentExecutor::ResolveViews(
+    const storage::Snapshot& snapshot, QueryContext* ctx) {
+  Timer timer;
+  std::vector<SegmentViewPtr> views;
+  views.reserve(snapshot.segments.size());
+  for (const storage::SegmentPtr& segment : snapshot.segments) {
+    if (!ctx->Owns(segment->id())) continue;
+    bool built = false;
+    auto erased = snapshot.view_cache->GetOrCreate(
+        segment->id(),
+        [&]() { return SegmentView::Make(snapshot, segment); }, &built);
+    if (built) {
+      ++ctx->stats().view_cache_misses;
+    } else {
+      ++ctx->stats().view_cache_hits;
+    }
+    views.push_back(std::static_pointer_cast<const SegmentView>(erased));
+  }
+  ctx->stats().plan_seconds += timer.ElapsedSeconds();
+  return views;
+}
+
+Result<std::vector<HitList>> SegmentExecutor::SearchVectors(
+    const storage::Snapshot& snapshot, const VectorSearchPlan& plan,
+    QueryContext* ctx) const {
+  Timer total;
+  if (ctx->Expired()) return Status::Aborted(kDeadlineMessage);
+  const std::vector<SegmentViewPtr> views = ResolveViews(snapshot, ctx);
+  ctx->stats().queries += plan.nq;
+
+  Timer search_timer;
+  std::vector<SegmentPartial> partials(views.size());
+  auto run_segment = [&](size_t i) {
+    partials[i].status = SearchOneSegment(*views[i], plan, ctx, &partials[i]);
+  };
+  if (pool_ != nullptr && views.size() > 1) {
+    pool_->ParallelFor(views.size(), run_segment);
+  } else {
+    for (size_t i = 0; i < views.size(); ++i) run_segment(i);
+  }
+  ctx->stats().search_seconds += search_timer.ElapsedSeconds();
+
+  // Merge in fixed segment order on the calling thread: results do not
+  // depend on worker count or scheduling.
+  Timer merge_timer;
+  for (SegmentPartial& partial : partials) {
+    if (!partial.status.ok()) return partial.status;
+    ctx->stats().MergeFrom(partial.stats);
+  }
+  std::vector<HitList> out(plan.nq);
+  for (size_t q = 0; q < plan.nq; ++q) {
+    ResultHeap heap = ResultHeap::ForMetric(plan.k, plan.metric);
+    for (const SegmentPartial& partial : partials) {
+      for (const SearchHit& hit : partial.lists[q]) {
+        heap.Push(hit.id, hit.score);
+      }
+    }
+    out[q] = heap.TakeSorted();
+  }
+  ctx->stats().merge_seconds += merge_timer.ElapsedSeconds();
+  ctx->stats().total_seconds += total.ElapsedSeconds();
+  return out;
+}
+
+Result<HitList> SegmentExecutor::SearchFiltered(
+    const storage::Snapshot& snapshot, const FilteredSearchPlan& plan,
+    QueryContext* ctx) const {
+  Timer total;
+  if (ctx->Expired()) return Status::Aborted(kDeadlineMessage);
+  const std::vector<SegmentViewPtr> views = ResolveViews(snapshot, ctx);
+  ctx->stats().queries += 1;
+
+  Timer search_timer;
+  std::vector<SegmentPartial> partials(views.size());
+  auto run_segment = [&](size_t i) {
+    partials[i].status = FilterOneSegment(*views[i], plan, ctx, &partials[i]);
+  };
+  if (pool_ != nullptr && views.size() > 1) {
+    pool_->ParallelFor(views.size(), run_segment);
+  } else {
+    for (size_t i = 0; i < views.size(); ++i) run_segment(i);
+  }
+  ctx->stats().search_seconds += search_timer.ElapsedSeconds();
+
+  Timer merge_timer;
+  ResultHeap heap = ResultHeap::ForMetric(ctx->options().k, plan.metric);
+  for (SegmentPartial& partial : partials) {
+    if (!partial.status.ok()) return partial.status;
+    ctx->stats().MergeFrom(partial.stats);
+    for (const SearchHit& hit : partial.lists[0]) {
+      heap.Push(hit.id, hit.score);
+    }
+  }
+  HitList out = heap.TakeSorted();
+  ctx->stats().merge_seconds += merge_timer.ElapsedSeconds();
+  ctx->stats().total_seconds += total.ElapsedSeconds();
+  return out;
+}
+
+bool SegmentExecutor::ScoreEntity(const std::vector<SegmentViewPtr>& views,
+                                  const std::vector<const float*>& queries,
+                                  const std::vector<float>& weights,
+                                  const std::vector<size_t>& dims,
+                                  MetricType metric, RowId row_id,
+                                  float* out) {
+  for (const SegmentViewPtr& view : views) {
+    const auto pos = view->segment().PositionOf(row_id);
+    if (!pos || !view->IsLive(*pos)) continue;
+    float total = 0.0f;
+    for (size_t f = 0; f < queries.size(); ++f) {
+      const float weight = weights.empty() ? 1.0f : weights[f];
+      total += weight * simd::ComputeFloatScore(
+                            metric, queries[f],
+                            view->segment().vector(f, *pos), dims[f]);
+    }
+    *out = total;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace exec
+}  // namespace vectordb

@@ -1,0 +1,83 @@
+#ifndef VECTORDB_EXEC_SEGMENT_EXECUTOR_H_
+#define VECTORDB_EXEC_SEGMENT_EXECUTOR_H_
+
+#include <vector>
+
+#include "common/threadpool.h"
+#include "exec/query_context.h"
+#include "exec/segment_view.h"
+#include "query/filter_strategies.h"
+
+namespace vectordb {
+namespace exec {
+
+/// What to run for a plain (or scoped, or multi-vector-round) vector query:
+/// one field, nq query vectors, top-k per query. `k` is the *effective*
+/// fetch depth — the multi-vector iterative-merge rounds pass their doubling
+/// k' here while the user-facing k stays in QueryContext::options().
+struct VectorSearchPlan {
+  size_t field = 0;
+  size_t dim = 0;
+  MetricType metric = MetricType::kL2;
+  const float* queries = nullptr;
+  size_t nq = 0;
+  size_t k = 0;
+};
+
+/// One attribute-filtered query (Sec 4.1): per-segment cost-based strategy
+/// selection over the shared tombstone allow-bitset.
+struct FilteredSearchPlan {
+  size_t field = 0;
+  size_t dim = 0;
+  MetricType metric = MetricType::kL2;
+  const float* query = nullptr;
+  size_t attribute = 0;
+  query::AttrRange range;
+};
+
+/// The one segment-fan-out engine behind every collection read path
+/// (Sec 3.3 / 5.2: snapshot → per-segment execution scheduled across cores
+/// → global merge). Each owned segment becomes one task producing its own
+/// per-query partial top-k; tasks run across the pool (or inline when the
+/// pool is null), and the calling thread merges partials in fixed segment
+/// order — results are therefore bit-identical no matter how many workers
+/// run or how the scheduler interleaves them.
+class SegmentExecutor {
+ public:
+  /// @param pool worker pool for inter-segment parallelism; nullptr runs
+  ///   every segment sequentially on the calling thread.
+  explicit SegmentExecutor(ThreadPool* pool) : pool_(pool) {}
+
+  /// Resolve the views of every segment the context owns, through the
+  /// snapshot's view cache (records cache hits/misses and plan time).
+  static std::vector<SegmentViewPtr> ResolveViews(
+      const storage::Snapshot& snapshot, QueryContext* ctx);
+
+  /// Top-k of each query vector over all owned segments.
+  Result<std::vector<HitList>> SearchVectors(const storage::Snapshot& snapshot,
+                                             const VectorSearchPlan& plan,
+                                             QueryContext* ctx) const;
+
+  /// Attribute-filtered top-k (strategy A/B/C chosen per segment by the
+  /// cost model; index failures degrade to the exact strategy A).
+  Result<HitList> SearchFiltered(const storage::Snapshot& snapshot,
+                                 const FilteredSearchPlan& plan,
+                                 QueryContext* ctx) const;
+
+  /// Exact weighted-sum aggregate score of one entity across resolved
+  /// views (the random-access leg of multi-vector iterative merging).
+  /// False when the row is absent or tombstoned. Empty weights = all 1.
+  static bool ScoreEntity(const std::vector<SegmentViewPtr>& views,
+                          const std::vector<const float*>& queries,
+                          const std::vector<float>& weights,
+                          const std::vector<size_t>& dims, MetricType metric,
+                          RowId row_id, float* out);
+
+ private:
+  ThreadPool* pool_;
+};
+
+}  // namespace exec
+}  // namespace vectordb
+
+#endif  // VECTORDB_EXEC_SEGMENT_EXECUTOR_H_

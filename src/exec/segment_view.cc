@@ -1,0 +1,31 @@
+#include "exec/segment_view.h"
+
+namespace vectordb {
+namespace exec {
+
+std::shared_ptr<const SegmentView> SegmentView::Make(
+    const storage::Snapshot& snapshot, const storage::SegmentPtr& segment) {
+  std::shared_ptr<SegmentView> view(new SegmentView(segment));
+  if (snapshot.tombstones == nullptr || snapshot.tombstones->empty()) {
+    return view;
+  }
+  // Watermark semantics: a copy in this segment is dead iff the segment id
+  // is below the watermark recorded at delete time (a re-inserted copy
+  // lands in a higher-id segment and stays visible).
+  bool any_deleted = false;
+  view->allow_.Resize(segment->num_rows(), true);
+  for (const auto& [dead, watermark] : *snapshot.tombstones) {
+    if (segment->id() >= watermark) continue;
+    if (auto pos = segment->PositionOf(dead)) {
+      view->allow_.Clear(*pos);
+      ++view->tombstoned_rows_;
+      any_deleted = true;
+    }
+  }
+  view->has_tombstones_ = any_deleted;
+  if (!any_deleted) view->allow_ = Bitset();  // Drop the unused bitmap.
+  return view;
+}
+
+}  // namespace exec
+}  // namespace vectordb

@@ -1,0 +1,63 @@
+#ifndef VECTORDB_EXEC_SEGMENT_VIEW_H_
+#define VECTORDB_EXEC_SEGMENT_VIEW_H_
+
+#include <memory>
+
+#include "common/bitset.h"
+#include "storage/snapshot.h"
+
+namespace vectordb {
+namespace exec {
+
+/// Immutable per-(snapshot, segment) execution view. Construction resolves
+/// everything a scan needs to know about the segment under that snapshot —
+/// most importantly the tombstone allow-bitset, which the old read path
+/// recomputed for every (query, segment) pair. Views are cached on the
+/// snapshot (storage::SegmentViewCache), so N queries against one snapshot
+/// pay the tombstone resolution once per segment, total.
+class SegmentView {
+ public:
+  /// Resolve `segment` under `snapshot`'s tombstones. Cheap when the
+  /// snapshot has no tombstones; otherwise one PositionOf per tombstone.
+  static std::shared_ptr<const SegmentView> Make(
+      const storage::Snapshot& snapshot, const storage::SegmentPtr& segment);
+
+  const storage::Segment& segment() const { return *segment_; }
+  const storage::SegmentPtr& segment_ptr() const { return segment_; }
+
+  /// Allow-bitset over local positions, or nullptr when every row is
+  /// visible (the common case — scans skip the per-row test entirely).
+  const Bitset* allow() const {
+    return has_tombstones_ ? &allow_ : nullptr;
+  }
+
+  bool IsLive(size_t position) const {
+    return !has_tombstones_ || allow_.Test(position);
+  }
+
+  /// Rows of this segment suppressed by tombstones under this snapshot.
+  size_t tombstoned_rows() const { return tombstoned_rows_; }
+
+  /// The vector index serving `field` in this segment, or nullptr (flat
+  /// scan). Stable for the snapshot's lifetime: index builds publish a new
+  /// segment version into a new snapshot.
+  const index::VectorIndex* index(size_t field) const {
+    return segment_->GetIndex(field);
+  }
+
+ private:
+  explicit SegmentView(storage::SegmentPtr segment)
+      : segment_(std::move(segment)) {}
+
+  storage::SegmentPtr segment_;
+  Bitset allow_;
+  bool has_tombstones_ = false;
+  size_t tombstoned_rows_ = 0;
+};
+
+using SegmentViewPtr = std::shared_ptr<const SegmentView>;
+
+}  // namespace exec
+}  // namespace vectordb
+
+#endif  // VECTORDB_EXEC_SEGMENT_VIEW_H_

@@ -47,10 +47,12 @@ Status FilteredDataset::BuildIndex(index::IndexType type,
 }
 
 HitList FilteredDataset::ExactSearch(const float* query, size_t k,
-                                     const AttrRange& range) const {
+                                     const AttrRange& range,
+                                     const Bitset* allow) const {
   ResultHeap heap = ResultHeap::ForMetric(k, metric_);
   for (size_t row = 0; row < n_; ++row) {
     if (!range.Contains(attr_.ValueOfRow(row))) continue;
+    if (allow != nullptr && !allow->Test(row)) continue;
     heap.Push(static_cast<RowId>(row),
               simd::ComputeFloatScore(metric_, query,
                                       vectors_.data() + row * dim_, dim_));
@@ -65,6 +67,10 @@ HitList FilteredDataset::StrategyA(const float* query,
   attr_.CollectInRange(options.range.lo, options.range.hi, &candidates);
   ResultHeap heap = ResultHeap::ForMetric(options.k, metric_);
   for (RowId row : candidates) {
+    if (options.allow != nullptr &&
+        !options.allow->Test(static_cast<size_t>(row))) {
+      continue;
+    }
     heap.Push(row, simd::ComputeFloatScore(
                        metric_, query,
                        vectors_.data() + static_cast<size_t>(row) * dim_,
@@ -80,6 +86,8 @@ HitList FilteredDataset::StrategyB(const float* query,
   attr_.CollectInRange(options.range.lo, options.range.hi, &candidates);
   Bitset allowed(n_);
   for (RowId row : candidates) allowed.Set(static_cast<size_t>(row));
+  // The shared tombstone allow-bitset folds directly into the bitmap.
+  if (options.allow != nullptr) allowed &= *options.allow;
 
   index::SearchOptions idx_options;
   idx_options.k = options.k;
@@ -104,6 +112,7 @@ HitList FilteredDataset::StrategyC(const float* query,
   idx_options.k = fetch;
   idx_options.nprobe = options.nprobe;
   idx_options.ef_search = std::max(options.ef_search, fetch);
+  idx_options.filter = options.allow;
   std::vector<HitList> results;
   if (index_ == nullptr ||
       !index_->Search(query, 1, idx_options, &results).ok()) {

@@ -44,6 +44,10 @@ struct FilteredSearchOptions {
   size_t ef_search = 64;
   /// Strategy C over-fetch factor θ (> 1).
   double theta = 2.0;
+  /// Optional shared allow-bitset over row positions (deletion tombstones,
+  /// resolved once per snapshot by the exec layer). Rows whose bit is 0 are
+  /// excluded by every strategy on top of the attribute range.
+  const Bitset* allow = nullptr;
 };
 
 /// One searchable dataset: flat vectors (rows are dense positions), one
@@ -72,8 +76,11 @@ class FilteredDataset {
   Result<HitList> Search(const float* query, const FilteredSearchOptions& options,
                          FilterStrategy strategy) const;
 
-  /// Exact filtered top-k (ground truth for recall measurements).
-  HitList ExactSearch(const float* query, size_t k, const AttrRange& range) const;
+  /// Exact filtered top-k (ground truth for recall measurements). An
+  /// optional allow-bitset restricts the scan the same way the strategy
+  /// options' `allow` does.
+  HitList ExactSearch(const float* query, size_t k, const AttrRange& range,
+                      const Bitset* allow = nullptr) const;
 
   // Individual strategies (public for tests and the cost model).
   HitList StrategyA(const float* query, const FilteredSearchOptions& options) const;

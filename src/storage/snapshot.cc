@@ -5,6 +5,38 @@
 namespace vectordb {
 namespace storage {
 
+const Segment* Snapshot::FindLive(RowId row_id, size_t* position) const {
+  for (const auto& segment : segments) {
+    if (IsDeleted(row_id, segment->id())) continue;
+    const auto pos = segment->PositionOf(row_id);
+    if (!pos) continue;
+    if (position != nullptr) *position = *pos;
+    return segment.get();
+  }
+  return nullptr;
+}
+
+size_t Snapshot::CountVisibleCopies(RowId row_id) const {
+  size_t copies = 0;
+  for (const auto& segment : segments) {
+    if (IsDeleted(row_id, segment->id())) continue;
+    const auto& ids = segment->row_ids();
+    const auto range = std::equal_range(ids.begin(), ids.end(), row_id);
+    copies += static_cast<size_t>(range.second - range.first);
+  }
+  return copies;
+}
+
+size_t Snapshot::CountLiveRowsSlow() const {
+  size_t rows = 0;
+  for (const auto& segment : segments) {
+    for (size_t pos = 0; pos < segment->num_rows(); ++pos) {
+      if (!IsDeleted(segment->row_id_at(pos), segment->id())) ++rows;
+    }
+  }
+  return rows;
+}
+
 SnapshotManager::SnapshotManager() {
   auto initial = std::make_shared<Snapshot>();
   initial->version = 0;
@@ -27,6 +59,9 @@ uint64_t SnapshotManager::Commit(
   std::lock_guard<std::mutex> lock(mu_);
   auto next = std::make_shared<Snapshot>(*current_);
   next->version = current_->version + 1;
+  // The copy must not share cached segment views with the old version: a
+  // view bakes in the old tombstone state. Every version starts cold.
+  next->view_cache = std::make_shared<SegmentViewCache>();
   edit(next.get());
 
   // Any segment present before but absent now awaits GC.

@@ -1,6 +1,7 @@
 #ifndef VECTORDB_STORAGE_SNAPSHOT_H_
 #define VECTORDB_STORAGE_SNAPSHOT_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -11,6 +12,48 @@
 
 namespace vectordb {
 namespace storage {
+
+/// Per-snapshot cache of execution-layer segment views (the exec layer's
+/// SegmentView: tombstone allow-bitset + dispatch decision, computed once
+/// per (snapshot, segment) pair no matter how many queries run against the
+/// snapshot). Values are type-erased so storage does not depend on exec;
+/// the exec layer casts back to its concrete view type.
+///
+/// The builder runs under the cache lock, guaranteeing exactly-once
+/// construction per segment even when many queries race on a cold cache.
+class SegmentViewCache {
+ public:
+  using ViewPtr = std::shared_ptr<const void>;
+  using Builder = std::function<ViewPtr()>;
+
+  /// Return the cached view for `id`, building it via `builder` on a miss.
+  /// `*built` reports whether this call constructed the view.
+  ViewPtr GetOrCreate(SegmentId id, const Builder& builder, bool* built) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = views_.find(id);
+    if (it != views_.end()) {
+      if (built != nullptr) *built = false;
+      return it->second;
+    }
+    ViewPtr view = builder();
+    ++builds_;
+    views_.emplace(id, view);
+    if (built != nullptr) *built = true;
+    return view;
+  }
+
+  /// Total views ever built by this cache (test hook: asserting that N
+  /// queries against one snapshot build at most one view per segment).
+  uint64_t builds() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return builds_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<SegmentId, ViewPtr> views_;
+  uint64_t builds_ = 0;
+};
 
 /// Deletion markers: row id → segment-id watermark. The physical copy of a
 /// row inside a segment is deleted iff that segment's id is *below* the
@@ -27,6 +70,14 @@ struct Snapshot {
   std::vector<SegmentPtr> segments;
   /// Rows deleted but still physically present in some segment.
   std::shared_ptr<const TombstoneMap> tombstones;
+  /// Visible rows across all segments (TotalRows minus tombstoned copies),
+  /// maintained incrementally by the commit edits in the db layer so
+  /// NumLiveRows is O(1) instead of O(rows × map lookups).
+  size_t live_rows = 0;
+  /// Lazily-populated exec-layer views; every snapshot version gets a fresh
+  /// cache (SnapshotManager::Commit resets it on the copy).
+  std::shared_ptr<SegmentViewCache> view_cache =
+      std::make_shared<SegmentViewCache>();
 
   /// Is the copy of `row_id` living in segment `segment_id` deleted?
   bool IsDeleted(RowId row_id, SegmentId segment_id) const {
@@ -40,6 +91,19 @@ struct Snapshot {
     for (const auto& s : segments) rows += s->num_rows();
     return rows;
   }
+
+  /// The segment holding the visible copy of `row_id` (and its position),
+  /// or nullptr when the row is absent or fully tombstoned.
+  const Segment* FindLive(RowId row_id, size_t* position) const;
+
+  /// Number of currently-visible physical copies of `row_id` (counts
+  /// duplicate positions within one segment too, matching what a full
+  /// scan would see). Used to maintain live_rows across deletes.
+  size_t CountVisibleCopies(RowId row_id) const;
+
+  /// O(rows) recount of live_rows — the recovery seed and the debug-assert
+  /// path behind the incremental counter.
+  size_t CountLiveRowsSlow() const;
 };
 
 using SnapshotPtr = std::shared_ptr<const Snapshot>;

@@ -1,0 +1,419 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "api/rest_handler.h"
+#include "api/sdk.h"
+#include "benchsupport/dataset.h"
+#include "common/result_heap.h"
+#include "db/collection.h"
+#include "db/vector_db.h"
+#include "exec/query_context.h"
+#include "exec/segment_view.h"
+#include "simd/distances.h"
+#include "storage/filesystem.h"
+
+namespace vectordb {
+namespace db {
+namespace {
+
+constexpr size_t kDim = 16;
+
+CollectionSchema MakeSchema() {
+  CollectionSchema schema;
+  schema.name = "exec_things";
+  schema.vector_fields = {{"embedding", kDim}};
+  schema.attributes = {"price"};
+  schema.metric = MetricType::kL2;
+  schema.default_index = index::IndexType::kIvfFlat;
+  schema.index_params.nlist = 8;
+  return schema;
+}
+
+Entity MakeEntity(RowId id, const float* vec, double price) {
+  Entity entity;
+  entity.id = id;
+  entity.vectors.emplace_back(vec, vec + kDim);
+  entity.attributes = {price};
+  return entity;
+}
+
+/// A VectorIndex whose Search always fails — stands in for a corrupt or
+/// mid-rebuild index so the rescue path is exercised deterministically.
+class FailingIndex : public index::VectorIndex {
+ public:
+  FailingIndex(size_t dim, MetricType metric)
+      : index::VectorIndex(index::IndexType::kFlat, dim, metric) {}
+
+  Status Add(const float*, size_t n) override {
+    n_ += n;
+    return Status::OK();
+  }
+  Status Search(const float*, size_t, const index::SearchOptions&,
+                std::vector<HitList>*) const override {
+    return Status::Corruption("injected index failure");
+  }
+  size_t Size() const override { return n_; }
+  size_t MemoryBytes() const override { return 0; }
+  Status Serialize(std::string*) const override { return Status::OK(); }
+  Status Deserialize(const std::string&) override { return Status::OK(); }
+
+ private:
+  size_t n_ = 0;
+};
+
+class ExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fs_ = storage::NewMemoryFileSystem();
+    options_.fs = fs_;
+    options_.memtable_flush_rows = 1u << 20;  // Manual flushes only.
+    // Segments stay flat unless a test asks for indexes explicitly.
+    options_.index_build_threshold_rows = 1u << 20;
+
+    bench::DatasetSpec spec;
+    spec.num_vectors = 600;
+    spec.dim = kDim;
+    data_ = bench::MakeSiftLike(spec);
+
+    auto created = Collection::Create(MakeSchema(), options_);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    collection_ = std::move(created).value();
+  }
+
+  /// `count` segments of `rows` entities each, ids assigned consecutively.
+  void BuildSegments(size_t count, size_t rows) {
+    size_t next = 0;
+    for (size_t s = 0; s < count; ++s) {
+      for (size_t i = 0; i < rows; ++i, ++next) {
+        ASSERT_TRUE(collection_
+                        ->Insert(MakeEntity(static_cast<RowId>(next),
+                                            data_.vector(next), next * 10.0))
+                        .ok());
+      }
+      ASSERT_TRUE(collection_->Flush().ok());
+    }
+  }
+
+  /// The pre-refactor sequential algorithm, reimplemented as ground truth:
+  /// one heap per query, every live row of every segment pushed in snapshot
+  /// order. The executor must match this bit-for-bit.
+  std::vector<HitList> ReferenceSearch(const float* queries, size_t nq,
+                                       size_t k) const {
+    const storage::SnapshotPtr snapshot = collection_->snapshots().Acquire();
+    std::vector<HitList> out(nq);
+    for (size_t q = 0; q < nq; ++q) {
+      ResultHeap heap = ResultHeap::ForMetric(k, MetricType::kL2);
+      for (const auto& segment : snapshot->segments) {
+        for (size_t pos = 0; pos < segment->num_rows(); ++pos) {
+          const RowId row_id = segment->row_id_at(pos);
+          if (snapshot->IsDeleted(row_id, segment->id())) continue;
+          heap.Push(row_id,
+                    simd::ComputeFloatScore(MetricType::kL2,
+                                            queries + q * kDim,
+                                            segment->vector(0, pos), kDim));
+        }
+      }
+      out[q] = heap.TakeSorted();
+    }
+    return out;
+  }
+
+  storage::FileSystemPtr fs_;
+  CollectionOptions options_;
+  bench::Dataset data_;
+  std::unique_ptr<Collection> collection_;
+};
+
+TEST_F(ExecTest, GoldenTwinMatchesSequentialReference) {
+  BuildSegments(5, 80);
+  // Tombstones in several segments.
+  for (RowId id : {3, 7, 41, 160, 161, 399}) {
+    ASSERT_TRUE(collection_->Delete(id).ok());
+  }
+
+  const size_t nq = 3, k = 10;
+  const float* queries = data_.vector(500);  // Vectors not in the collection.
+  const std::vector<HitList> expected = ReferenceSearch(queries, nq, k);
+
+  QueryOptions options;
+  options.k = k;
+  exec::QueryStats stats;
+  auto result = collection_->Search("embedding", queries, nq, options, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().size(), nq);
+  for (size_t q = 0; q < nq; ++q) {
+    ASSERT_EQ(result.value()[q].size(), expected[q].size()) << "query " << q;
+    for (size_t i = 0; i < expected[q].size(); ++i) {
+      EXPECT_EQ(result.value()[q][i].id, expected[q][i].id)
+          << "query " << q << " rank " << i;
+      EXPECT_FLOAT_EQ(result.value()[q][i].score, expected[q][i].score);
+    }
+  }
+  EXPECT_EQ(stats.queries, nq);
+  EXPECT_EQ(stats.segments_scanned, 5u);
+  EXPECT_EQ(stats.segments_flat, 5u);
+  EXPECT_GT(stats.rows_filtered, 0u);
+
+  // The tombstone allow-bitset is computed at most once per (snapshot,
+  // segment): repeat queries hit the snapshot's view cache.
+  auto again = collection_->Search("embedding", queries, nq, options, &stats);
+  ASSERT_TRUE(again.ok());
+  const storage::SnapshotPtr snapshot = collection_->snapshots().Acquire();
+  EXPECT_EQ(snapshot->view_cache->builds(), snapshot->segments.size());
+  EXPECT_EQ(stats.view_cache_hits, snapshot->segments.size());
+  EXPECT_EQ(stats.view_cache_misses, 0u);
+}
+
+TEST_F(ExecTest, FilteredSearchMatchesExactReference) {
+  BuildSegments(4, 60);
+  for (RowId id : {10, 100, 150}) {
+    ASSERT_TRUE(collection_->Delete(id).ok());
+  }
+  const query::AttrRange range{200.0, 1600.0};  // price = id * 10.
+  const float* query = data_.vector(520);
+
+  // Exact reference: every live row whose price passes the range.
+  const storage::SnapshotPtr snapshot = collection_->snapshots().Acquire();
+  QueryOptions options;
+  options.k = 8;
+  ResultHeap heap = ResultHeap::ForMetric(options.k, MetricType::kL2);
+  for (const auto& segment : snapshot->segments) {
+    for (size_t pos = 0; pos < segment->num_rows(); ++pos) {
+      const RowId row_id = segment->row_id_at(pos);
+      if (snapshot->IsDeleted(row_id, segment->id())) continue;
+      const double price = segment->attribute(0).ValueAt(pos);
+      if (!range.Contains(price)) continue;
+      heap.Push(row_id, simd::ComputeFloatScore(MetricType::kL2, query,
+                                                segment->vector(0, pos), kDim));
+    }
+  }
+  const HitList expected = heap.TakeSorted();
+
+  exec::QueryStats stats;
+  auto result = collection_->SearchFiltered("embedding", query, "price", range,
+                                            options, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(result.value()[i].id, expected[i].id) << "rank " << i;
+    EXPECT_FLOAT_EQ(result.value()[i].score, expected[i].score);
+  }
+  EXPECT_GT(stats.segments_scanned + stats.segments_skipped, 0u);
+}
+
+TEST_F(ExecTest, DeterministicAcrossWorkerCounts) {
+  BuildSegments(5, 60);  // >= 4 index-less segments.
+  for (RowId id : {5, 77, 130, 250}) {
+    ASSERT_TRUE(collection_->Delete(id).ok());
+  }
+  collection_.reset();  // Deletes sit in the WAL; reopen replays them.
+
+  const size_t nq = 4, k = 12;
+  const float* queries = data_.vector(540);
+  std::vector<std::vector<HitList>> per_thread_count;
+  for (size_t threads : {1u, 2u, 8u}) {
+    CollectionOptions opts = options_;
+    opts.query_threads = threads;
+    auto opened = Collection::Open("exec_things", opts);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    QueryOptions options;
+    options.k = k;
+    auto result =
+        opened.value()->Search("embedding", queries, nq, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    per_thread_count.push_back(std::move(result).value());
+  }
+  for (size_t v = 1; v < per_thread_count.size(); ++v) {
+    ASSERT_EQ(per_thread_count[v].size(), per_thread_count[0].size());
+    for (size_t q = 0; q < nq; ++q) {
+      ASSERT_EQ(per_thread_count[v][q].size(), per_thread_count[0][q].size());
+      for (size_t i = 0; i < per_thread_count[0][q].size(); ++i) {
+        EXPECT_EQ(per_thread_count[v][q][i].id, per_thread_count[0][q][i].id);
+        EXPECT_EQ(per_thread_count[v][q][i].score,
+                  per_thread_count[0][q][i].score);
+      }
+    }
+  }
+}
+
+TEST_F(ExecTest, ValidatesQueryOptionsAtEveryEntryPoint) {
+  BuildSegments(1, 50);
+  const float* query = data_.vector(0);
+
+  QueryOptions zero_k;
+  zero_k.k = 0;
+  EXPECT_TRUE(collection_->Search("embedding", query, 1, zero_k)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(collection_
+                  ->SearchFiltered("embedding", query, "price", {0.0, 100.0},
+                                   zero_k)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(collection_->MultiVectorSearch({query}, {}, zero_k)
+                  .status()
+                  .IsInvalidArgument());
+
+  QueryOptions ok;
+  EXPECT_TRUE(collection_->Search("embedding", query, 0, ok)
+                  .status()
+                  .IsInvalidArgument());  // nq = 0.
+
+  QueryOptions bad_theta;
+  bad_theta.theta = 1.0;
+  EXPECT_TRUE(collection_
+                  ->SearchFiltered("embedding", query, "price", {0.0, 100.0},
+                                   bad_theta)
+                  .status()
+                  .IsInvalidArgument());
+
+  QueryOptions bad_timeout;
+  bad_timeout.timeout_seconds = -1.0;
+  EXPECT_TRUE(collection_->Search("embedding", query, 1, bad_timeout)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(ExecTest, DeadlineAbortsInsteadOfPartialResults) {
+  BuildSegments(3, 60);
+  QueryOptions options;
+  options.timeout_seconds = 1e-9;
+  auto result = collection_->Search("embedding", data_.vector(0), 1, options);
+  EXPECT_TRUE(result.status().IsAborted()) << result.status().ToString();
+}
+
+TEST_F(ExecTest, IndexFailureIsCountedAndRescuedByFlatScan) {
+  BuildSegments(3, 60);
+  const size_t nq = 2, k = 10;
+  const float* queries = data_.vector(560);
+  const std::vector<HitList> expected = ReferenceSearch(queries, nq, k);
+
+  // Poison one segment with an index whose Search always fails.
+  {
+    const storage::SnapshotPtr snapshot = collection_->snapshots().Acquire();
+    auto failing = std::make_unique<FailingIndex>(kDim, MetricType::kL2);
+    ASSERT_TRUE(
+        failing->Build(snapshot->segments[1]->vectors(0),
+                       snapshot->segments[1]->num_rows())
+            .ok());
+    snapshot->segments[1]->SetIndex(0, std::move(failing));
+  }
+
+  QueryOptions options;
+  options.k = k;
+  exec::QueryStats stats;
+  auto result = collection_->Search("embedding", queries, nq, options, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(stats.index_fallbacks, 1u);  // Counted, not swallowed.
+  EXPECT_EQ(stats.segments_flat, 3u);    // The failing segment was rescued.
+  for (size_t q = 0; q < nq; ++q) {
+    ASSERT_EQ(result.value()[q].size(), expected[q].size());
+    for (size_t i = 0; i < expected[q].size(); ++i) {
+      EXPECT_EQ(result.value()[q][i].id, expected[q][i].id);
+    }
+  }
+}
+
+TEST_F(ExecTest, LiveRowCounterTracksWritesAndSurvivesReopen) {
+  EXPECT_EQ(collection_->NumLiveRows(), 0u);
+  BuildSegments(4, 50);
+  EXPECT_EQ(collection_->NumLiveRows(), 200u);
+
+  for (RowId id : {1, 2, 3, 60, 199}) {
+    ASSERT_TRUE(collection_->Delete(id).ok());
+  }
+  EXPECT_EQ(collection_->NumLiveRows(), 195u);
+  ASSERT_TRUE(collection_->Delete(1).ok());  // Repeat delete: no change.
+  EXPECT_EQ(collection_->NumLiveRows(), 195u);
+
+  // Re-insert one deleted id; visible again after flush.
+  ASSERT_TRUE(
+      collection_->Insert(MakeEntity(2, data_.vector(2), 20.0)).ok());
+  ASSERT_TRUE(collection_->Flush().ok());
+  EXPECT_EQ(collection_->NumLiveRows(), 196u);
+
+  // Merging drops tombstoned rows physically; the live count is unchanged.
+  size_t merges = 0;
+  ASSERT_TRUE(collection_->RunMergeOnce(&merges).ok());
+  EXPECT_GT(merges, 0u);
+  EXPECT_EQ(collection_->NumLiveRows(), 196u);
+
+  collection_.reset();
+  auto reopened = Collection::Open("exec_things", options_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value()->NumLiveRows(), 196u);
+}
+
+TEST_F(ExecTest, MultiVectorSearchReusesViewsAcrossRounds) {
+  // Two-field schema on a fresh collection.
+  CollectionSchema schema;
+  schema.name = "exec_multi";
+  schema.vector_fields = {{"a", kDim}, {"b", kDim}};
+  schema.metric = MetricType::kL2;
+  auto created = Collection::Create(schema, options_);
+  ASSERT_TRUE(created.ok());
+  auto c = std::move(created).value();
+  for (size_t i = 0; i < 120; ++i) {
+    Entity entity;
+    entity.id = static_cast<RowId>(i);
+    entity.vectors.emplace_back(data_.vector(i), data_.vector(i) + kDim);
+    entity.vectors.emplace_back(data_.vector(i + 120),
+                                data_.vector(i + 120) + kDim);
+    ASSERT_TRUE(c->Insert(entity).ok());
+    if (i % 40 == 39) {
+      ASSERT_TRUE(c->Flush().ok());
+    }
+  }
+
+  QueryOptions options;
+  options.k = 5;
+  exec::QueryStats stats;
+  auto result = c->MultiVectorSearch({data_.vector(300), data_.vector(301)},
+                                     {}, options, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().size(), 5u);
+  EXPECT_GE(stats.queries, 2u);  // One per field per round.
+  // Views were built once up front; every per-field round hit the cache.
+  EXPECT_EQ(stats.view_cache_misses, 3u);
+  EXPECT_GE(stats.view_cache_hits, 6u);
+}
+
+TEST_F(ExecTest, SdkAndRestSurfaceQueryStats) {
+  DbOptions db_options;
+  db_options.fs = storage::NewMemoryFileSystem();
+  VectorDb db(db_options);
+  api::Client client(&db);
+  ASSERT_TRUE(client.Collection("items")
+                  .WithVectorField("v", 4)
+                  .WithAttribute("price")
+                  .Create());
+  for (RowId i = 0; i < 20; ++i) {
+    const float vec[4] = {static_cast<float>(i), 0.f, 0.f, 0.f};
+    ASSERT_NE(client.Insert("items", i, {{vec, vec + 4}}, {i * 1.0}),
+              kInvalidRowId);
+  }
+  ASSERT_TRUE(client.Flush("items"));
+
+  auto rows = client.Search("items").Field("v").TopK(3).Run({1.f, 0, 0, 0});
+  ASSERT_EQ(rows.size(), 3u) << client.last_error();
+  EXPECT_EQ(client.last_query_stats().queries, 1u);
+  EXPECT_EQ(client.last_query_stats().segments_scanned, 1u);
+
+  api::RestHandler handler(&db);
+  auto response = handler.Handle("POST", "/collections/items/search",
+                                 R"({"vector":[1,0,0,0],"k":3})");
+  ASSERT_TRUE(response.ok()) << response.body.Dump();
+  ASSERT_TRUE(response.body["stats"].is_object());
+  EXPECT_EQ(response.body["stats"]["segments_scanned"].as_number(), 1.0);
+
+  // An unreasonable option set comes back as 400, not a crash or empty hits.
+  auto bad = handler.Handle("POST", "/collections/items/search",
+                            R"({"vector":[1,0,0,0],"k":0})");
+  EXPECT_EQ(bad.status, 400);
+}
+
+}  // namespace
+}  // namespace db
+}  // namespace vectordb
