@@ -2,13 +2,14 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace vectordb {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_write_mu;
+Mutex g_write_mu;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -34,7 +35,7 @@ void Logger::set_level(LogLevel level) {
 }
 
 void Logger::Write(LogLevel level, const std::string& msg) {
-  std::lock_guard<std::mutex> lock(g_write_mu);
+  MutexLock lock(&g_write_mu);
   std::fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());
 }
 

@@ -1,0 +1,183 @@
+#ifndef VECTORDB_COMMON_MUTEX_H_
+#define VECTORDB_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// Clang Thread Safety Analysis (-Wthread-safety) attribute macros, no-ops on
+// other compilers. Every mutex in src/ must be one of the wrappers below so
+// lock discipline is checked at compile time: fields carry VDB_GUARDED_BY,
+// private *Locked() helpers carry VDB_REQUIRES, and a Clang build with
+// -DVDB_WERROR_THREAD_SAFETY=ON turns any violation into a build error.
+// tools/lint/vdb_lint.py enforces the "no naked std::mutex" invariant.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define VDB_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef VDB_THREAD_ANNOTATION
+#define VDB_THREAD_ANNOTATION(x)  // Non-Clang: annotations compile away.
+#endif
+
+#define VDB_CAPABILITY(x) VDB_THREAD_ANNOTATION(capability(x))
+#define VDB_SCOPED_CAPABILITY VDB_THREAD_ANNOTATION(scoped_lockable)
+#define VDB_GUARDED_BY(x) VDB_THREAD_ANNOTATION(guarded_by(x))
+#define VDB_PT_GUARDED_BY(x) VDB_THREAD_ANNOTATION(pt_guarded_by(x))
+#define VDB_ACQUIRED_BEFORE(...) \
+  VDB_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define VDB_ACQUIRED_AFTER(...) \
+  VDB_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define VDB_REQUIRES(...) \
+  VDB_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define VDB_REQUIRES_SHARED(...) \
+  VDB_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define VDB_ACQUIRE(...) \
+  VDB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define VDB_ACQUIRE_SHARED(...) \
+  VDB_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define VDB_RELEASE(...) \
+  VDB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define VDB_RELEASE_SHARED(...) \
+  VDB_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define VDB_TRY_ACQUIRE(...) \
+  VDB_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define VDB_EXCLUDES(...) VDB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define VDB_ASSERT_CAPABILITY(x) \
+  VDB_THREAD_ANNOTATION(assert_capability(x))
+#define VDB_RETURN_CAPABILITY(x) VDB_THREAD_ANNOTATION(lock_returned(x))
+#define VDB_NO_THREAD_SAFETY_ANALYSIS \
+  VDB_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace vectordb {
+
+class CondVar;
+
+/// Annotated exclusive mutex. Prefer the scoped MutexLock; Lock()/Unlock()
+/// exist for the rare hand-over-hand or conditional-release patterns.
+class VDB_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() VDB_ACQUIRE() { mu_.lock(); }
+  void Unlock() VDB_RELEASE() { mu_.unlock(); }
+  bool TryLock() VDB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Tell the analysis this thread holds the lock (runtime no-op) — for
+  /// callees reached only from under the lock through an unannotatable path.
+  void AssertHeld() VDB_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Annotated reader/writer mutex.
+class VDB_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() VDB_ACQUIRE() { mu_.lock(); }
+  void Unlock() VDB_RELEASE() { mu_.unlock(); }
+  void LockShared() VDB_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() VDB_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool TryLock() VDB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void AssertHeld() VDB_ASSERT_CAPABILITY(this) {}
+  void AssertReaderHeld() VDB_THREAD_ANNOTATION(assert_shared_capability(this)) {}
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock over Mutex (the std::lock_guard replacement).
+class VDB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) VDB_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() VDB_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// RAII exclusive lock over SharedMutex.
+class VDB_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) VDB_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterMutexLock() VDB_RELEASE() { mu_->Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// RAII shared (reader) lock over SharedMutex.
+class VDB_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) VDB_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->LockShared();
+  }
+  ~ReaderMutexLock() VDB_RELEASE() { mu_->UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// Condition variable bound to one Mutex at construction (LevelDB port
+/// style): binding the mutex up front lets Wait() carry VDB_REQUIRES(mu_),
+/// so waiting without the lock is a compile error under Clang.
+///
+/// Waits deliberately take no predicate: the caller re-checks its condition
+/// in a `while` loop inside the annotated critical section, which keeps the
+/// guarded reads visible to the analysis (a predicate lambda would hide
+/// them behind an unannotated call boundary).
+class CondVar {
+ public:
+  explicit CondVar(Mutex* mu) : mu_(mu) {}
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release the bound mutex, block, and reacquire before
+  /// returning. Spurious wakeups happen; always wait in a loop.
+  void Wait() VDB_REQUIRES(mu_) {
+    std::unique_lock<std::mutex> lock(mu_->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  /// Wait until notified or `deadline` passes. Returns false on timeout.
+  bool WaitUntil(std::chrono::steady_clock::time_point deadline)
+      VDB_REQUIRES(mu_) {
+    std::unique_lock<std::mutex> lock(mu_->mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+  Mutex* const mu_;
+};
+
+}  // namespace vectordb
+
+#endif  // VECTORDB_COMMON_MUTEX_H_

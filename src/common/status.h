@@ -7,8 +7,11 @@
 namespace vectordb {
 
 /// RocksDB-style status object returned by every fallible operation.
-/// Exceptions are not used across module boundaries.
-class Status {
+/// Exceptions are not used across module boundaries. [[nodiscard]] makes
+/// silently dropping a Status a compile warning (-Werror in CI); the only
+/// sanctioned ways to discard are IgnoreError() in src/ best-effort paths
+/// and an explicit (void) cast in tests.
+class [[nodiscard]] Status {
  public:
   enum class Code {
     kOk = 0,
@@ -84,6 +87,12 @@ class Status {
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }
 
+  /// Explicitly discard this status. For best-effort paths only (e.g.
+  /// deleting an already-superseded manifest) where failure is benign by
+  /// design — the call documents the decision and greps trivially, unlike
+  /// a (void) cast (which tools/lint/vdb_lint.py rejects in src/).
+  void IgnoreError() const {}
+
   /// "OK" or "<code>: <message>".
   std::string ToString() const;
 
@@ -109,7 +118,7 @@ namespace internal {
 /// accessing `value()` on a failed Result aborts (it used to silently
 /// return a default-constructed T, which masked storage failures).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
   Result(Status status) : status_(std::move(status)) {}  // NOLINT

@@ -1,5 +1,6 @@
 #include "common/threadpool.h"
 
+#include <algorithm>
 #include <atomic>
 
 namespace vectordb {
@@ -14,10 +15,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.SignalAll();
   for (auto& t : workers_) t.join();
 }
 
@@ -25,8 +26,8 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait();
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -34,9 +35,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --active_;
-      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+      if (queue_.empty() && active_ == 0) idle_cv_.SignalAll();
     }
   }
 }
@@ -64,8 +65,8 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(&mu_);
+  while (!queue_.empty() || active_ != 0) idle_cv_.Wait();
 }
 
 }  // namespace vectordb

@@ -1,15 +1,14 @@
 #ifndef VECTORDB_COMMON_THREADPOOL_H_
 #define VECTORDB_COMMON_THREADPOOL_H_
 
-#include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace vectordb {
 
@@ -34,10 +33,10 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       queue_.emplace_back([task] { (*task)(); });
     }
-    cv_.notify_one();
+    cv_.Signal();
     return fut;
   }
 
@@ -52,13 +51,13 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  size_t active_ = 0;
-  bool stop_ = false;
+  std::vector<std::thread> workers_;  ///< Immutable after construction.
+  Mutex mu_;
+  CondVar cv_{&mu_};
+  CondVar idle_cv_{&mu_};
+  std::deque<std::function<void()>> queue_ VDB_GUARDED_BY(mu_);
+  size_t active_ VDB_GUARDED_BY(mu_) = 0;
+  bool stop_ VDB_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace vectordb

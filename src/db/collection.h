@@ -3,10 +3,10 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/threadpool.h"
 #include "db/schema.h"
 #include "exec/query_context.h"
@@ -160,8 +160,8 @@ class Collection {
   Result<std::string> ResolveManifestBody();
 
   /// Record a tombstone for `row_id` at the current watermark and keep the
-  /// snapshot's live-row counter in sync. Caller holds write_mu_.
-  void ApplyTombstoneLocked(RowId row_id);
+  /// snapshot's live-row counter in sync.
+  void ApplyTombstoneLocked(RowId row_id) VDB_REQUIRES(write_mu_);
 
   CollectionSchema schema_;
   CollectionOptions options_;
@@ -172,7 +172,11 @@ class Collection {
   /// Workers for the per-segment query fan-out; nullptr = sequential.
   std::unique_ptr<ThreadPool> query_pool_;
 
-  mutable std::mutex write_mu_;
+  /// Serializes the write path (Insert/Delete/Flush/merge/recovery). The
+  /// guarded state lives behind set-once pointers (wal_, memtable_) and the
+  /// snapshot manager, which have their own internal locking — write_mu_
+  /// provides the op-level ordering on top.
+  mutable Mutex write_mu_;
   std::atomic<uint64_t> next_segment_id_{1};
   std::atomic<uint64_t> next_row_id_{0};
   std::atomic<uint64_t> next_manifest_seq_{1};

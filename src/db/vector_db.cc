@@ -14,10 +14,10 @@ VectorDb::VectorDb(DbOptions options) : options_(std::move(options)) {
 
 VectorDb::~VectorDb() {
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(&queue_mu_);
     running_.store(false);
   }
-  queue_cv_.notify_all();
+  queue_cv_.SignalAll();
   if (worker_.joinable()) worker_.join();
 }
 
@@ -37,7 +37,7 @@ Result<Collection*> VectorDb::CreateCollection(
     const CollectionSchema& schema) {
   auto created = Collection::Create(schema, MakeCollectionOptions());
   if (!created.ok()) return created.status();
-  std::lock_guard<std::mutex> lock(collections_mu_);
+  MutexLock lock(&collections_mu_);
   auto [it, inserted] =
       collections_.emplace(schema.name, std::move(created).value());
   if (!inserted) return Status::AlreadyExists(schema.name);
@@ -46,19 +46,19 @@ Result<Collection*> VectorDb::CreateCollection(
 
 Result<Collection*> VectorDb::OpenCollection(const std::string& name) {
   {
-    std::lock_guard<std::mutex> lock(collections_mu_);
+    MutexLock lock(&collections_mu_);
     auto it = collections_.find(name);
     if (it != collections_.end()) return it->second.get();
   }
   auto opened = Collection::Open(name, MakeCollectionOptions());
   if (!opened.ok()) return opened.status();
-  std::lock_guard<std::mutex> lock(collections_mu_);
+  MutexLock lock(&collections_mu_);
   auto [it, inserted] = collections_.emplace(name, std::move(opened).value());
   return it->second.get();
 }
 
 Collection* VectorDb::GetCollection(const std::string& name) {
-  std::lock_guard<std::mutex> lock(collections_mu_);
+  MutexLock lock(&collections_mu_);
   auto it = collections_.find(name);
   return it == collections_.end() ? nullptr : it->second.get();
 }
@@ -66,7 +66,7 @@ Collection* VectorDb::GetCollection(const std::string& name) {
 Status VectorDb::DropCollection(const std::string& name) {
   bool known;
   {
-    std::lock_guard<std::mutex> lock(collections_mu_);
+    MutexLock lock(&collections_mu_);
     known = collections_.erase(name) > 0;
   }
   // Remove every object under the collection prefix. A collection written
@@ -75,7 +75,9 @@ Status VectorDb::DropCollection(const std::string& name) {
   auto listed = options_.fs->List(options_.data_prefix + name + "/");
   if (!listed.ok()) return listed.status();
   for (const std::string& path : listed.value()) {
-    (void)options_.fs->Delete(path);
+    // Best-effort cleanup: a leftover object is harmless and will be
+    // overwritten if the collection name is reused.
+    options_.fs->Delete(path).IgnoreError();
   }
   if (!known && listed.value().empty()) {
     return Status::NotFound("unknown collection: " + name);
@@ -84,7 +86,7 @@ Status VectorDb::DropCollection(const std::string& name) {
 }
 
 std::vector<std::string> VectorDb::ListCollections() const {
-  std::lock_guard<std::mutex> lock(collections_mu_);
+  MutexLock lock(&collections_mu_);
   std::vector<std::string> names;
   names.reserve(collections_.size());
   for (const auto& [name, _] : collections_) names.push_back(name);
@@ -96,14 +98,14 @@ Status VectorDb::InsertAsync(const std::string& collection, Entity entity) {
     return Status::NotFound("unknown collection: " + collection);
   }
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(&queue_mu_);
     PendingOp op;
     op.kind = PendingOp::Kind::kInsert;
     op.collection = collection;
     op.entity = std::move(entity);
     queue_.push_back(std::move(op));
   }
-  queue_cv_.notify_one();
+  queue_cv_.Signal();
   return Status::OK();
 }
 
@@ -112,14 +114,14 @@ Status VectorDb::DeleteAsync(const std::string& collection, RowId row_id) {
     return Status::NotFound("unknown collection: " + collection);
   }
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(&queue_mu_);
     PendingOp op;
     op.kind = PendingOp::Kind::kDelete;
     op.collection = collection;
     op.row_id = row_id;
     queue_.push_back(std::move(op));
   }
-  queue_cv_.notify_one();
+  queue_cv_.Signal();
   return Status::OK();
 }
 
@@ -141,10 +143,13 @@ void VectorDb::WorkerLoop() {
     PendingOp op;
     bool have_op = false;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait_for(
-          lock, std::chrono::milliseconds(options_.background_interval_ms),
-          [this] { return !queue_.empty() || !running_.load(); });
+      MutexLock lock(&queue_mu_);
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(options_.background_interval_ms);
+      while (queue_.empty() && running_.load()) {
+        if (!queue_cv_.WaitUntil(deadline)) break;  // Timed out: tick.
+      }
       if (!running_.load() && queue_.empty()) return;
       if (!queue_.empty()) {
         op = std::move(queue_.front());
@@ -158,9 +163,9 @@ void VectorDb::WorkerLoop() {
       if (!status.ok()) {
         VDB_WARN << "async op failed: " << status.ToString();
       }
-      std::lock_guard<std::mutex> lock(queue_mu_);
+      MutexLock lock(&queue_mu_);
       queue_busy_ = false;
-      if (queue_.empty()) drained_cv_.notify_all();
+      if (queue_.empty()) drained_cv_.SignalAll();
       continue;  // Drain writes before doing maintenance.
     }
     if (background_enabled_.load()) {
@@ -178,8 +183,8 @@ void VectorDb::WorkerLoop() {
 }
 
 void VectorDb::DrainQueue() {
-  std::unique_lock<std::mutex> lock(queue_mu_);
-  drained_cv_.wait(lock, [this] { return queue_.empty() && !queue_busy_; });
+  MutexLock lock(&queue_mu_);
+  while (!queue_.empty() || queue_busy_) drained_cv_.Wait();
 }
 
 Status VectorDb::Flush(const std::string& collection) {
@@ -193,7 +198,7 @@ Status VectorDb::FlushAll() {
   DrainQueue();
   std::vector<Collection*> all;
   {
-    std::lock_guard<std::mutex> lock(collections_mu_);
+    MutexLock lock(&collections_mu_);
     for (auto& [_, c] : collections_) all.push_back(c.get());
   }
   for (Collection* c : all) VDB_RETURN_NOT_OK(c->Flush());
@@ -201,7 +206,7 @@ Status VectorDb::FlushAll() {
 }
 
 size_t VectorDb::QueueDepth() const {
-  std::lock_guard<std::mutex> lock(queue_mu_);
+  MutexLock lock(&queue_mu_);
   return queue_.size() + (queue_busy_ ? 1 : 0);
 }
 
@@ -211,7 +216,7 @@ void VectorDb::StopBackground() { background_enabled_.store(false); }
 Status VectorDb::RunMaintenancePass() {
   std::vector<Collection*> all;
   {
-    std::lock_guard<std::mutex> lock(collections_mu_);
+    MutexLock lock(&collections_mu_);
     for (auto& [_, c] : collections_) all.push_back(c.get());
   }
   for (Collection* c : all) {

@@ -1,15 +1,14 @@
 #ifndef VECTORDB_DB_VECTOR_DB_H_
 #define VECTORDB_DB_VECTOR_DB_H_
 
-#include <condition_variable>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "db/collection.h"
 
 namespace vectordb {
@@ -88,14 +87,15 @@ class VectorDb {
 
   DbOptions options_;
 
-  mutable std::mutex collections_mu_;
-  std::map<std::string, std::unique_ptr<Collection>> collections_;
+  mutable Mutex collections_mu_;
+  std::map<std::string, std::unique_ptr<Collection>> collections_
+      VDB_GUARDED_BY(collections_mu_);
 
-  mutable std::mutex queue_mu_;
-  std::condition_variable queue_cv_;    ///< Signals new work.
-  std::condition_variable drained_cv_;  ///< Signals an empty queue.
-  std::deque<PendingOp> queue_;
-  bool queue_busy_ = false;
+  mutable Mutex queue_mu_;
+  CondVar queue_cv_{&queue_mu_};    ///< Signals new work.
+  CondVar drained_cv_{&queue_mu_};  ///< Signals an empty queue.
+  std::deque<PendingOp> queue_ VDB_GUARDED_BY(queue_mu_);
+  bool queue_busy_ VDB_GUARDED_BY(queue_mu_) = false;
 
   std::thread worker_;
   std::atomic<bool> running_{false};

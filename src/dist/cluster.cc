@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "common/logger.h"
 #include "common/result_heap.h"
 #include "common/timer.h"
 
@@ -12,10 +13,18 @@ namespace dist {
 Cluster::Cluster(const ClusterOptions& options) : options_(options) {
   coordinator_ = std::make_unique<Coordinator>(options_.shared_fs,
                                                "cluster/coordinator.meta");
-  (void)coordinator_->Recover();
+  const Status recovered = coordinator_->Recover();
+  if (!recovered.ok()) {
+    // Not fatal: the coordinator starts empty and readers re-register, but
+    // a corrupt meta object deserves a trace.
+    VDB_WARN << "coordinator recovery: " << recovered.ToString();
+  }
   writer_ = std::make_unique<WriterNode>("writer-0", MakeWriterOptions());
   for (size_t i = 0; i < options_.num_readers; ++i) {
-    (void)AddReader();
+    const Status added = AddReader();
+    if (!added.ok()) {
+      VDB_WARN << "failed to add reader " << i << ": " << added.ToString();
+    }
   }
 }
 

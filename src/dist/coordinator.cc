@@ -9,7 +9,7 @@ namespace dist {
 
 Status Coordinator::RegisterReader(const std::string& name) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (ring_.HasNode(name)) {
       return Status::AlreadyExists("reader registered: " + name);
     }
@@ -20,7 +20,7 @@ Status Coordinator::RegisterReader(const std::string& name) {
 
 Status Coordinator::UnregisterReader(const std::string& name) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!ring_.RemoveNode(name)) {
       return Status::NotFound("unknown reader: " + name);
     }
@@ -29,18 +29,18 @@ Status Coordinator::UnregisterReader(const std::string& name) {
 }
 
 std::vector<std::string> Coordinator::Readers() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return ring_.nodes();
 }
 
 size_t Coordinator::num_readers() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return ring_.num_nodes();
 }
 
 Status Coordinator::RegisterCollection(const std::string& name) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (std::find(collections_.begin(), collections_.end(), name) !=
         collections_.end()) {
       return Status::AlreadyExists("collection registered: " + name);
@@ -51,19 +51,19 @@ Status Coordinator::RegisterCollection(const std::string& name) {
 }
 
 std::vector<std::string> Coordinator::Collections() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return collections_;
 }
 
 std::string Coordinator::OwnerOfSegment(SegmentId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return ring_.NodeFor("segment/" + std::to_string(id));
 }
 
 Status Coordinator::Persist() const {
   std::string out;
   BinaryWriter writer(&out);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto readers = ring_.nodes();
   writer.PutU64(readers.size());
   for (const auto& reader : readers) writer.PutString(reader);
@@ -82,7 +82,7 @@ Status Coordinator::Recover() {
   if (!reader.GetU64(&num_readers)) {
     return Status::Corruption("truncated coordinator meta");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ring_ = ConsistentHashRing(256);
   for (uint64_t i = 0; i < num_readers; ++i) {
     std::string name;

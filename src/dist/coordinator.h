@@ -1,10 +1,10 @@
 #ifndef VECTORDB_DIST_COORDINATOR_H_
 #define VECTORDB_DIST_COORDINATOR_H_
 
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "dist/hash_ring.h"
@@ -43,11 +43,11 @@ class Coordinator {
  private:
   storage::FileSystemPtr fs_;
   std::string meta_path_;
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   /// 256 virtual nodes per reader keep per-node shard counts within a few
   /// percent of uniform even at 12 readers.
-  ConsistentHashRing ring_{256};
-  std::vector<std::string> collections_;
+  ConsistentHashRing ring_ VDB_GUARDED_BY(mu_){256};
+  std::vector<std::string> collections_ VDB_GUARDED_BY(mu_);
 };
 
 }  // namespace dist

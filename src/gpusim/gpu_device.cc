@@ -3,8 +3,15 @@
 namespace vectordb {
 namespace gpusim {
 
+size_t GpuDevice::memory_used() const {
+  // Previously an unguarded read racing Upload/Evict on other threads —
+  // surfaced by VDB_GUARDED_BY(mu_) under -Wthread-safety.
+  MutexLock lock(&mu_);
+  return memory_used_;
+}
+
 bool GpuDevice::IsResident(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = resident_.find(key);
   if (it == resident_.end()) return false;
   lru_.splice(lru_.begin(), lru_, it->second.first);
@@ -16,7 +23,7 @@ Status GpuDevice::Upload(const std::string& key, size_t bytes,
   if (bytes > options_.memory_bytes) {
     return Status::ResourceExhausted("buffer exceeds device memory: " + key);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = resident_.find(key);
   if (it != resident_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second.first);
@@ -40,7 +47,7 @@ Status GpuDevice::RegisterResident(const std::string& key, size_t bytes) {
   if (bytes > options_.memory_bytes) {
     return Status::ResourceExhausted("buffer exceeds device memory: " + key);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = resident_.find(key);
   if (it != resident_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second.first);
@@ -56,7 +63,7 @@ Status GpuDevice::RegisterResident(const std::string& key, size_t bytes) {
 }
 
 void GpuDevice::Evict(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = resident_.find(key);
   if (it == resident_.end()) return;
   memory_used_ -= it->second.second;
@@ -65,7 +72,7 @@ void GpuDevice::Evict(const std::string& key) {
 }
 
 void GpuDevice::EvictAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   resident_.clear();
   lru_.clear();
   memory_used_ = 0;
@@ -87,14 +94,14 @@ void GpuDevice::RunKernel(const std::function<void()>& fn) {
   Timer timer;
   fn();
   const double host_seconds = timer.ElapsedSeconds();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   cost_.kernel_seconds +=
       host_seconds / options_.kernel_speedup + options_.kernel_launch_overhead;
   ++cost_.kernel_launches;
 }
 
 void GpuDevice::ChargeTransfer(size_t bytes, size_t num_chunks) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (num_chunks == 0) num_chunks = 1;
   cost_.transfer_seconds +=
       static_cast<double>(num_chunks) * options_.dma_latency +
@@ -103,12 +110,12 @@ void GpuDevice::ChargeTransfer(size_t bytes, size_t num_chunks) {
 }
 
 GpuCost GpuDevice::cost() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return cost_;
 }
 
 void GpuDevice::ResetCost() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   cost_ = GpuCost{};
 }
 

@@ -4,10 +4,10 @@
 #include <cstddef>
 #include <functional>
 #include <list>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/timer.h"
 
@@ -62,7 +62,7 @@ class GpuDevice {
 
   const std::string& name() const { return name_; }
   const Options& options() const { return options_; }
-  size_t memory_used() const { return memory_used_; }
+  size_t memory_used() const;
 
   /// True if `key` is resident in device memory (refreshes LRU position).
   bool IsResident(const std::string& key);
@@ -91,19 +91,19 @@ class GpuDevice {
   void ResetCost();
 
  private:
-  void EvictLruLocked(size_t needed);
+  void EvictLruLocked(size_t needed) VDB_REQUIRES(mu_);
 
   std::string name_;
   Options options_;
 
-  mutable std::mutex mu_;
-  GpuCost cost_;
-  size_t memory_used_ = 0;
+  mutable Mutex mu_;
+  GpuCost cost_ VDB_GUARDED_BY(mu_);
+  size_t memory_used_ VDB_GUARDED_BY(mu_) = 0;
   /// LRU list, most recent at front; map key → (list iterator, bytes).
-  std::list<std::string> lru_;
+  std::list<std::string> lru_ VDB_GUARDED_BY(mu_);
   std::unordered_map<std::string, std::pair<std::list<std::string>::iterator,
                                             size_t>>
-      resident_;
+      resident_ VDB_GUARDED_BY(mu_);
 };
 
 }  // namespace gpusim

@@ -6,12 +6,12 @@ namespace vectordb {
 namespace gpusim {
 
 void SegmentScheduler::AddDevice(std::shared_ptr<GpuDevice> device) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   devices_.push_back(std::move(device));
 }
 
 bool SegmentScheduler::RemoveDevice(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = std::find_if(
       devices_.begin(), devices_.end(),
       [&](const std::shared_ptr<GpuDevice>& d) { return d->name() == name; });
@@ -21,7 +21,7 @@ bool SegmentScheduler::RemoveDevice(const std::string& name) {
 }
 
 size_t SegmentScheduler::num_devices() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return devices_.size();
 }
 
@@ -29,7 +29,7 @@ Result<std::vector<SegmentScheduler::TaskReport>> SegmentScheduler::RunTasks(
     const std::vector<SegmentTask>& tasks) {
   std::vector<std::shared_ptr<GpuDevice>> devices;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     devices = devices_;
   }
   if (devices.empty()) {
@@ -48,7 +48,7 @@ Result<std::vector<SegmentScheduler::TaskReport>> SegmentScheduler::RunTasks(
     reports.push_back({devices[dev]->name(), cost.TotalSeconds()});
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     last_makespan_ = *std::max_element(busy.begin(), busy.end());
   }
   return reports;

@@ -3,10 +3,10 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "gpusim/gpu_device.h"
 
@@ -51,12 +51,17 @@ class SegmentScheduler {
 
   /// Idealized parallel makespan of the last RunTasks call: the maximum
   /// simulated busy time across devices.
-  double LastMakespanSeconds() const { return last_makespan_; }
+  double LastMakespanSeconds() const {
+    // Previously an unguarded read racing RunTasks' locked write — surfaced
+    // by VDB_GUARDED_BY(mu_) under -Wthread-safety.
+    MutexLock lock(&mu_);
+    return last_makespan_;
+  }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::shared_ptr<GpuDevice>> devices_;
-  double last_makespan_ = 0.0;
+  mutable Mutex mu_;
+  std::vector<std::shared_ptr<GpuDevice>> devices_ VDB_GUARDED_BY(mu_);
+  double last_makespan_ VDB_GUARDED_BY(mu_) = 0.0;
 };
 
 }  // namespace gpusim

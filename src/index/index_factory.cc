@@ -1,8 +1,9 @@
 #include "index/index_factory.h"
 
+#include <cassert>
 #include <map>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "index/annoy_index.h"
 #include "index/binary_flat_index.h"
 #include "index/binary_ivf_index.h"
@@ -17,8 +18,8 @@ namespace vectordb {
 namespace index {
 
 struct IndexFactory::Impl {
-  mutable std::mutex mu;
-  std::map<std::string, Creator> creators;
+  mutable Mutex mu;
+  std::map<std::string, Creator> creators VDB_GUARDED_BY(mu);
 };
 
 IndexFactory& IndexFactory::Instance() {
@@ -30,7 +31,9 @@ IndexFactory::IndexFactory() : impl_(new Impl) {
   // Built-in index types (Sec 2.2). Registration uses the same public
   // interface third-party indexes would.
   auto reg = [this](const std::string& name, Creator creator) {
-    (void)Register(name, std::move(creator));
+    const Status status = Register(name, std::move(creator));
+    assert(status.ok());  // The registry is empty here; duplicates impossible.
+    status.IgnoreError();
   };
   reg("FLAT", [](size_t dim, MetricType metric, const IndexBuildParams&)
           -> Result<IndexPtr> {
@@ -81,7 +84,7 @@ IndexFactory::IndexFactory() : impl_(new Impl) {
 }
 
 Status IndexFactory::Register(const std::string& name, Creator creator) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   auto [it, inserted] = impl_->creators.emplace(name, std::move(creator));
   if (!inserted) {
     return Status::AlreadyExists("index type already registered: " + name);
@@ -94,7 +97,7 @@ Result<IndexPtr> IndexFactory::Create(const std::string& name, size_t dim,
                                       const IndexBuildParams& params) const {
   Creator creator;
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(&impl_->mu);
     auto it = impl_->creators.find(name);
     if (it == impl_->creators.end()) {
       return Status::NotFound("unknown index type: " + name);
@@ -112,7 +115,7 @@ Result<IndexPtr> IndexFactory::Create(IndexType type, size_t dim,
 }
 
 std::vector<std::string> IndexFactory::RegisteredNames() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   std::vector<std::string> names;
   names.reserve(impl_->creators.size());
   for (const auto& [name, _] : impl_->creators) names.push_back(name);

@@ -45,18 +45,18 @@ Status NsgIndex::Add(const float* data, size_t n) {
   }
   vectors_.insert(vectors_.end(), data, data + n * dim_);
   num_vectors_ += n;
-  BuildGraph();
+  VDB_RETURN_NOT_OK(BuildGraph());
   built_ = true;
   return Status::OK();
 }
 
-void NsgIndex::BuildGraph() {
+Status NsgIndex::BuildGraph() {
   const uint32_t n = static_cast<uint32_t>(num_vectors_);
   graph_.assign(n, {});
-  if (n == 0) return;
+  if (n == 0) return Status::OK();
   if (n == 1) {
     nav_node_ = 0;
-    return;
+    return Status::OK();
   }
 
   // 1. Approximate kNN graph via a scratch HNSW (stand-in for nn-descent).
@@ -65,7 +65,7 @@ void NsgIndex::BuildGraph() {
   hnsw_params.ef_construction = candidate_pool_;
   hnsw_params.seed = seed_;
   HnswIndex knn_helper(dim_, metric_, hnsw_params);
-  (void)knn_helper.Add(vectors_.data(), n);
+  VDB_RETURN_NOT_OK(knn_helper.Add(vectors_.data(), n));
 
   // 2. Navigating node = point closest to the dataset centroid.
   std::vector<float> centroid(dim_, 0.0f);
@@ -79,7 +79,7 @@ void NsgIndex::BuildGraph() {
     opts.k = 1;
     opts.ef_search = candidate_pool_;
     std::vector<HitList> res;
-    (void)knn_helper.Search(centroid.data(), 1, opts, &res);
+    VDB_RETURN_NOT_OK(knn_helper.Search(centroid.data(), 1, opts, &res));
     nav_node_ = res[0].empty() ? 0 : static_cast<uint32_t>(res[0][0].id);
   }
 
@@ -90,7 +90,7 @@ void NsgIndex::BuildGraph() {
   pool_opts.ef_search = candidate_pool_;
   for (uint32_t i = 0; i < n; ++i) {
     std::vector<HitList> res;
-    (void)knn_helper.Search(VectorAt(i), 1, pool_opts, &res);
+    VDB_RETURN_NOT_OK(knn_helper.Search(VectorAt(i), 1, pool_opts, &res));
     std::vector<std::pair<float, uint32_t>> pool;
     pool.reserve(res[0].size());
     for (const auto& hit : res[0]) {
@@ -193,6 +193,7 @@ void NsgIndex::BuildGraph() {
       }
     }
   }
+  return Status::OK();
 }
 
 std::vector<std::pair<float, uint32_t>> NsgIndex::BeamSearch(

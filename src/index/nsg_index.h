@@ -40,7 +40,7 @@ class NsgIndex : public VectorIndex {
   std::vector<std::pair<float, uint32_t>> BeamSearch(const float* query,
                                                      size_t ef) const;
 
-  void BuildGraph();
+  Status BuildGraph();
 
   size_t out_degree_;
   size_t candidate_pool_;

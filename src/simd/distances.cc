@@ -9,8 +9,8 @@
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "simd/cpu_features.h"
 #include "simd/kernels.h"
 
@@ -24,9 +24,13 @@ struct Hooks {
   SimdLevel level;
 };
 
-std::mutex g_hook_mu;
+Mutex g_hook_mu;
 std::atomic<bool> g_initialized{false};
-Hooks g_hooks;  // Guarded by g_hook_mu for writes; hot path reads after init.
+// Deliberately NOT VDB_GUARDED_BY(g_hook_mu): writes happen under the lock,
+// but the hot-path kernels read g_hooks lock-free after observing the
+// g_initialized acquire fence. Annotating it would force every distance call
+// through the mutex (or through false-positive suppressions).
+Hooks g_hooks;
 
 FloatKernels KernelsForLevel(SimdLevel level) {
   switch (level) {
@@ -72,7 +76,7 @@ bool ParseLevel(const char* name, SimdLevel* out) {
   return true;
 }
 
-void InstallLevelLocked(SimdLevel level) {
+void InstallLevelLocked(SimdLevel level) VDB_REQUIRES(g_hook_mu) {
   g_hooks.kernels = KernelsForLevel(level);
   g_hooks.level = level;
   g_initialized.store(true, std::memory_order_release);
@@ -80,7 +84,7 @@ void InstallLevelLocked(SimdLevel level) {
 
 void EnsureInit() {
   if (g_initialized.load(std::memory_order_acquire)) return;
-  std::lock_guard<std::mutex> lock(g_hook_mu);
+  MutexLock lock(&g_hook_mu);
   if (g_initialized.load(std::memory_order_relaxed)) return;
   SimdLevel level = HighestSupportedLevel();
   if (const char* env = std::getenv("VECTORDB_SIMD")) {
@@ -161,7 +165,7 @@ SimdLevel ActiveLevel() {
 
 bool SetLevel(SimdLevel level) {
   if (!LevelSupported(level)) return false;
-  std::lock_guard<std::mutex> lock(g_hook_mu);
+  MutexLock lock(&g_hook_mu);
   InstallLevelLocked(level);
   return true;
 }

@@ -5,7 +5,7 @@ namespace storage {
 
 Result<SegmentPtr> BufferPool::Fetch(SegmentId id, const Loader& loader) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = cache_.find(id);
     if (it != cache_.end()) {
       ++stats_.hits;
@@ -23,7 +23,7 @@ Result<SegmentPtr> BufferPool::Fetch(SegmentId id, const Loader& loader) {
   if (segment == nullptr) return Status::NotFound("loader returned null");
   const size_t bytes = segment->MemoryBytes();
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (bytes > capacity_bytes_) return segment;  // Too big to cache.
   auto it = cache_.find(id);
   if (it != cache_.end()) return it->second.segment;  // Raced; reuse.
@@ -52,7 +52,7 @@ void BufferPool::EvictLruLocked(size_t needed) {
 }
 
 void BufferPool::Invalidate(SegmentId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = cache_.find(id);
   if (it == cache_.end()) return;
   stats_.resident_bytes -= it->second.bytes;
@@ -62,7 +62,7 @@ void BufferPool::Invalidate(SegmentId id) {
 }
 
 void BufferPool::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   cache_.clear();
   lru_.clear();
   stats_.resident_bytes = 0;
@@ -70,7 +70,7 @@ void BufferPool::Clear() {
 }
 
 BufferPool::Stats BufferPool::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 

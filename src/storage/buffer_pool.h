@@ -3,9 +3,9 @@
 
 #include <functional>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "storage/segment.h"
 
 namespace vectordb {
@@ -41,18 +41,18 @@ class BufferPool {
   Stats stats() const;
 
  private:
-  void EvictLruLocked(size_t needed);
+  void EvictLruLocked(size_t needed) VDB_REQUIRES(mu_);
 
-  size_t capacity_bytes_;
-  mutable std::mutex mu_;
-  Stats stats_;
-  std::list<SegmentId> lru_;  // Most recent at front.
+  const size_t capacity_bytes_;
+  mutable Mutex mu_;
+  Stats stats_ VDB_GUARDED_BY(mu_);
+  std::list<SegmentId> lru_ VDB_GUARDED_BY(mu_);  // Most recent at front.
   struct Entry {
     SegmentPtr segment;
     std::list<SegmentId>::iterator lru_it;
     size_t bytes;
   };
-  std::unordered_map<SegmentId, Entry> cache_;
+  std::unordered_map<SegmentId, Entry> cache_ VDB_GUARDED_BY(mu_);
 };
 
 }  // namespace storage

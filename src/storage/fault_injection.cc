@@ -6,49 +6,49 @@ namespace vectordb {
 namespace storage {
 
 size_t FaultInjectionFileSystem::AddRule(const FaultRule& rule) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   rules_.push_back(RuleState{rule});
   return rules_.size() - 1;
 }
 
 void FaultInjectionFileSystem::RemoveRule(size_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (id < rules_.size()) rules_[id].removed = true;
 }
 
 void FaultInjectionFileSystem::ClearRules() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   rules_.clear();
 }
 
 size_t FaultInjectionFileSystem::TriggerCount(size_t id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return id < rules_.size() ? rules_[id].triggers : 0;
 }
 
 void FaultInjectionFileSystem::set_track_unsynced_appends(bool on) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   track_unsynced_ = on;
   if (!on) unsynced_bytes_.clear();
 }
 
 void FaultInjectionFileSystem::SyncAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   unsynced_bytes_.clear();
 }
 
 bool FaultInjectionFileSystem::crashed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return crashed_;
 }
 
 Status FaultInjectionFileSystem::Crash() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return CrashLocked();
 }
 
 void FaultInjectionFileSystem::Restart() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   crashed_ = false;
 }
 
@@ -107,7 +107,7 @@ FaultInjectionFileSystem::Firing FaultInjectionFileSystem::EvaluateLocked(
 
 Status FaultInjectionFileSystem::Write(const std::string& path,
                                        const std::string& data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (crashed_) return Status::Unavailable("store crashed: " + path);
   const Firing firing = EvaluateLocked(kOpWrite, path);
   if (!firing.fired) return inner_->Write(path, data);
@@ -143,7 +143,7 @@ Status FaultInjectionFileSystem::Write(const std::string& path,
 
 Status FaultInjectionFileSystem::Read(const std::string& path,
                                       std::string* data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (crashed_) return Status::Unavailable("store crashed: " + path);
   const Firing firing = EvaluateLocked(kOpRead, path);
   if (!firing.fired) return inner_->Read(path, data);
@@ -178,7 +178,7 @@ Status FaultInjectionFileSystem::Read(const std::string& path,
 
 Status FaultInjectionFileSystem::Append(const std::string& path,
                                         const std::string& data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (crashed_) return Status::Unavailable("store crashed: " + path);
   const Firing firing = EvaluateLocked(kOpAppend, path);
   if (!firing.fired) {
@@ -225,7 +225,7 @@ Status FaultInjectionFileSystem::Append(const std::string& path,
 }
 
 Result<bool> FaultInjectionFileSystem::Exists(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (crashed_) return Status::Unavailable("store crashed: " + path);
   const Firing firing = EvaluateLocked(kOpExists, path);
   if (!firing.fired) return inner_->Exists(path);
@@ -249,7 +249,7 @@ Result<bool> FaultInjectionFileSystem::Exists(const std::string& path) {
 }
 
 Status FaultInjectionFileSystem::Delete(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (crashed_) return Status::Unavailable("store crashed: " + path);
   const Firing firing = EvaluateLocked(kOpDelete, path);
   if (!firing.fired) {
@@ -277,7 +277,7 @@ Status FaultInjectionFileSystem::Delete(const std::string& path) {
 
 Result<std::vector<std::string>> FaultInjectionFileSystem::List(
     const std::string& prefix) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (crashed_) return Status::Unavailable("store crashed: " + prefix);
   const Firing firing = EvaluateLocked(kOpList, prefix);
   if (!firing.fired) return inner_->List(prefix);

@@ -4,10 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "storage/filesystem.h"
 
@@ -150,19 +150,20 @@ class FaultInjectionFileSystem : public FileSystem {
 
   /// Evaluate the rule list for one operation; updates match/trigger
   /// counters and consumes RNG draws for probabilistic rules.
-  Firing EvaluateLocked(uint32_t op, const std::string& path);
-  Status CrashLocked();
+  Firing EvaluateLocked(uint32_t op, const std::string& path)
+      VDB_REQUIRES(mu_);
+  Status CrashLocked() VDB_REQUIRES(mu_);
   static void FlipBit(std::string* data, size_t bit);
 
   FileSystemPtr inner_;
-  mutable std::mutex mu_;
-  Rng rng_;
-  std::vector<RuleState> rules_;
-  bool crashed_ = false;
-  bool track_unsynced_ = false;
+  mutable Mutex mu_;
+  Rng rng_ VDB_GUARDED_BY(mu_);
+  std::vector<RuleState> rules_ VDB_GUARDED_BY(mu_);
+  bool crashed_ VDB_GUARDED_BY(mu_) = false;
+  bool track_unsynced_ VDB_GUARDED_BY(mu_) = false;
   /// path -> appended-but-unsynced byte count.
-  std::map<std::string, size_t> unsynced_bytes_;
-  FaultStats stats_;
+  std::map<std::string, size_t> unsynced_bytes_ VDB_GUARDED_BY(mu_);
+  FaultStats stats_;  ///< Atomic counters; no lock needed.
 };
 
 }  // namespace storage

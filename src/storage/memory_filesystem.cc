@@ -1,6 +1,6 @@
 #include <map>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "storage/filesystem.h"
 
 namespace vectordb {
@@ -11,13 +11,13 @@ namespace {
 class MemoryFileSystem : public FileSystem {
  public:
   Status Write(const std::string& path, const std::string& data) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     files_[path] = data;
     return Status::OK();
   }
 
   Status Read(const std::string& path, std::string* data) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = files_.find(path);
     if (it == files_.end()) return Status::NotFound(path);
     *data = it->second;
@@ -25,24 +25,24 @@ class MemoryFileSystem : public FileSystem {
   }
 
   Status Append(const std::string& path, const std::string& data) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     files_[path] += data;
     return Status::OK();
   }
 
   Result<bool> Exists(const std::string& path) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return files_.count(path) != 0;
   }
 
   Status Delete(const std::string& path) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (files_.erase(path) == 0) return Status::NotFound(path);
     return Status::OK();
   }
 
   Result<std::vector<std::string>> List(const std::string& prefix) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     std::vector<std::string> out;
     for (auto it = files_.lower_bound(prefix);
          it != files_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
@@ -55,8 +55,8 @@ class MemoryFileSystem : public FileSystem {
   std::string name() const override { return "memory"; }
 
  private:
-  std::mutex mu_;
-  std::map<std::string, std::string> files_;
+  Mutex mu_;
+  std::map<std::string, std::string> files_ VDB_GUARDED_BY(mu_);
 };
 
 }  // namespace

@@ -18,26 +18,26 @@ Status MemTable::Insert(RowId row_id,
                        field_vectors[f] + schema_.vector_dims[f]);
   }
   row.attributes = attribute_values;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto [it, inserted] = rows_.emplace(row_id, std::move(row));
   if (!inserted) return Status::AlreadyExists("row id already buffered");
   return Status::OK();
 }
 
 bool MemTable::Delete(RowId row_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return rows_.erase(row_id) != 0;
 }
 
 size_t MemTable::num_rows() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return rows_.size();
 }
 
 Result<SegmentPtr> MemTable::Flush(SegmentId segment_id) {
   std::map<RowId, PendingRow> drained;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     drained.swap(rows_);
   }
   if (drained.empty()) return SegmentPtr{};

@@ -2,9 +2,9 @@
 #define VECTORDB_STORAGE_MEMTABLE_H_
 
 #include <map>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "storage/segment.h"
 
 namespace vectordb {
@@ -43,8 +43,8 @@ class MemTable {
   };
 
   SegmentSchema schema_;
-  mutable std::mutex mu_;
-  std::map<RowId, PendingRow> rows_;
+  mutable Mutex mu_;
+  std::map<RowId, PendingRow> rows_ VDB_GUARDED_BY(mu_);
 };
 
 }  // namespace storage

@@ -14,7 +14,7 @@ uint64_t RetryingFileSystem::NextBackoffMicros(size_t attempt) {
       std::pow(options_.backoff_multiplier, static_cast<double>(attempt - 1));
   double factor = 1.0;
   if (options_.jitter > 0.0) {
-    std::lock_guard<std::mutex> lock(rng_mu_);
+    MutexLock lock(&rng_mu_);
     factor = 1.0 - options_.jitter + 2.0 * options_.jitter * rng_.NextDouble();
   }
   const double capped =

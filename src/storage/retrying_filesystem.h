@@ -3,9 +3,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "storage/filesystem.h"
 
@@ -74,9 +74,9 @@ class RetryingFileSystem : public FileSystem {
 
   FileSystemPtr inner_;
   RetryOptions options_;
-  std::mutex rng_mu_;
-  Rng rng_;
-  RetryStats stats_;
+  Mutex rng_mu_;
+  Rng rng_ VDB_GUARDED_BY(rng_mu_);
+  RetryStats stats_;  ///< Atomic counters; no lock needed.
 };
 
 }  // namespace storage

@@ -45,18 +45,18 @@ SnapshotManager::SnapshotManager() {
 }
 
 SnapshotPtr SnapshotManager::Acquire() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return current_;
 }
 
 uint64_t SnapshotManager::current_version() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return current_->version;
 }
 
 uint64_t SnapshotManager::Commit(
     const std::function<void(Snapshot*)>& edit) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto next = std::make_shared<Snapshot>(*current_);
   next->version = current_->version + 1;
   // The copy must not share cached segment views with the old version: a
@@ -77,7 +77,7 @@ uint64_t SnapshotManager::Commit(
 
 void SnapshotManager::SetDropHandler(
     std::function<void(SegmentId)> handler) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   drop_handler_ = std::move(handler);
 }
 
@@ -85,7 +85,7 @@ size_t SnapshotManager::CollectGarbage() {
   std::vector<SegmentPtr> collectable;
   std::function<void(SegmentId)> handler;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     handler = drop_handler_;
     auto it = pending_gc_.begin();
     while (it != pending_gc_.end()) {
@@ -106,7 +106,7 @@ size_t SnapshotManager::CollectGarbage() {
 }
 
 size_t SnapshotManager::pending_gc() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return pending_gc_.size();
 }
 

@@ -4,10 +4,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "storage/segment.h"
 
 namespace vectordb {
@@ -29,7 +29,7 @@ class SegmentViewCache {
   /// Return the cached view for `id`, building it via `builder` on a miss.
   /// `*built` reports whether this call constructed the view.
   ViewPtr GetOrCreate(SegmentId id, const Builder& builder, bool* built) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = views_.find(id);
     if (it != views_.end()) {
       if (built != nullptr) *built = false;
@@ -45,14 +45,14 @@ class SegmentViewCache {
   /// Total views ever built by this cache (test hook: asserting that N
   /// queries against one snapshot build at most one view per segment).
   uint64_t builds() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return builds_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<SegmentId, ViewPtr> views_;
-  uint64_t builds_ = 0;
+  mutable Mutex mu_;
+  std::unordered_map<SegmentId, ViewPtr> views_ VDB_GUARDED_BY(mu_);
+  uint64_t builds_ VDB_GUARDED_BY(mu_) = 0;
 };
 
 /// Deletion markers: row id → segment-id watermark. The physical copy of a
@@ -138,10 +138,10 @@ class SnapshotManager {
   size_t pending_gc() const;
 
  private:
-  mutable std::mutex mu_;
-  SnapshotPtr current_;
-  std::vector<SegmentPtr> pending_gc_;
-  std::function<void(SegmentId)> drop_handler_;
+  mutable Mutex mu_;
+  SnapshotPtr current_ VDB_GUARDED_BY(mu_);
+  std::vector<SegmentPtr> pending_gc_ VDB_GUARDED_BY(mu_);
+  std::function<void(SegmentId)> drop_handler_ VDB_GUARDED_BY(mu_);
 };
 
 }  // namespace storage

@@ -2,6 +2,7 @@
 
 #include "common/binary_io.h"
 #include "common/crc32.h"
+#include "common/logger.h"
 
 namespace vectordb {
 namespace storage {
@@ -63,7 +64,7 @@ Status WriteAheadLog::RecoverLsnLocked() {
 }
 
 Status WriteAheadLog::Append(WalRecord* record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   VDB_RETURN_NOT_OK(RecoverLsnLocked());
   record->lsn = next_lsn_++;
   const std::string body = EncodeBody(*record);
@@ -110,15 +111,20 @@ Status WriteAheadLog::ReplayFrom(
 }
 
 Status WriteAheadLog::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Status status = fs_->Delete(path_);
   if (status.IsNotFound()) return Status::OK();
   return status;
 }
 
 uint64_t WriteAheadLog::last_lsn() {
-  std::lock_guard<std::mutex> lock(mu_);
-  (void)RecoverLsnLocked();
+  MutexLock lock(&mu_);
+  const Status status = RecoverLsnLocked();
+  if (!status.ok()) {
+    // Recovery failures surface on the Append/Replay paths; this accessor
+    // reports whatever LSN state is known so far.
+    VDB_WARN << "WAL lsn recovery failed: " << status.ToString();
+  }
   return next_lsn_ - 1;
 }
 

@@ -3,9 +3,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "storage/filesystem.h"
 
@@ -57,11 +57,11 @@ class WriteAheadLog {
  private:
   FileSystemPtr fs_;
   std::string path_;
-  mutable std::mutex mu_;
-  uint64_t next_lsn_ = 1;
-  bool recovered_ = false;
+  mutable Mutex mu_;
+  uint64_t next_lsn_ VDB_GUARDED_BY(mu_) = 1;
+  bool recovered_ VDB_GUARDED_BY(mu_) = false;
 
-  Status RecoverLsnLocked();
+  Status RecoverLsnLocked() VDB_REQUIRES(mu_);
 };
 
 }  // namespace storage

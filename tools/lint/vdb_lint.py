@@ -1,0 +1,273 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter for the vectordb tree.
+
+Machine-checkable conventions that the compiler cannot (portably) enforce:
+
+  naked-mutex      src/ must use the annotated wrappers from common/mutex.h;
+                   raw std::mutex / std::shared_mutex / std::lock_guard /
+                   std::unique_lock / std::scoped_lock / std::shared_lock /
+                   std::condition_variable are banned outside common/mutex.h.
+  sleep            std::this_thread::sleep_for / sleep_until are banned in
+                   src/ except in the layers whose job is waiting (backoff,
+                   fault injection). Sleeping anywhere else is a latent
+                   flaky-test generator.
+  void-cast        `(void)` casts are banned in src/ — discarded Status must
+                   say so via Status::IgnoreError(). Tests may use (void).
+  header-guard     Headers use VECTORDB_<PATH>_H_ include guards; #pragma
+                   once is banned for consistency.
+  banned-random    rand()/srand()/random_device/random_shuffle are banned in
+                   src/ — all randomness flows through the seeded common/rng.h
+                   so every run is reproducible.
+
+Usage:
+  tools/lint/vdb_lint.py [--root DIR]    lint DIR (default: repo root)
+  tools/lint/vdb_lint.py --self-test     run the linter against synthetic
+                                         bad inputs and exit nonzero on any
+                                         rule that fails to fire.
+
+Exit status: 0 = clean, 1 = findings (or self-test failure).
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+# Files whose whole purpose is to wrap or schedule the banned primitive.
+MUTEX_ALLOWLIST = {"src/common/mutex.h"}
+SLEEP_ALLOWLIST = {
+    "src/storage/retrying_filesystem.cc",  # real backoff sleeps (opt-in)
+    "src/storage/object_store.cc",         # simulated object-store latency
+}
+RANDOM_ALLOWLIST = {"src/common/rng.h"}  # the one sanctioned RNG wrapper
+
+NAKED_MUTEX_RE = re.compile(
+    r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|lock_guard|"
+    r"unique_lock|scoped_lock|shared_lock|condition_variable)\b")
+SLEEP_RE = re.compile(r"std::this_thread::sleep_(for|until)\b")
+VOID_CAST_RE = re.compile(r"\(\s*void\s*\)\s*[A-Za-z_(]")
+PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\b")
+BANNED_RANDOM_RE = re.compile(
+    r"(?<![\w:])(rand|srand|random_shuffle)\s*\(|std::random_device\b")
+LINE_COMMENT_RE = re.compile(r"//.*$")
+
+
+def _strip_comments_and_strings(line, in_block_comment):
+    """Crude but effective: drop string/char literals, // and /* */ spans."""
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        if in_block_comment:
+            end = line.find("*/", i)
+            if end < 0:
+                return "".join(out), True
+            i = end + 2
+            in_block_comment = False
+            continue
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c == "/" and i + 1 < n and line[i + 1] == "*":
+            in_block_comment = True
+            i += 2
+            continue
+        if c in "\"'":
+            quote = c
+            out.append(" ")
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    i += 1
+                    break
+                i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out), in_block_comment
+
+
+def expected_guard(rel_path):
+    """src/storage/wal.h -> VECTORDB_STORAGE_WAL_H_"""
+    without_src = rel_path[len("src/"):] if rel_path.startswith("src/") else \
+        rel_path
+    token = re.sub(r"[^A-Za-z0-9]", "_", without_src).upper()
+    return "VECTORDB_" + token + "_"
+
+
+def lint_file(root, rel_path, findings):
+    path = os.path.join(root, rel_path)
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            raw_lines = f.read().splitlines()
+    except OSError as err:
+        findings.append((rel_path, 0, "io", str(err)))
+        return
+
+    is_header = rel_path.endswith(".h")
+    guard = expected_guard(rel_path) if is_header else None
+    saw_guard = False
+    in_block_comment = False
+
+    for lineno, raw in enumerate(raw_lines, start=1):
+        line, in_block_comment = _strip_comments_and_strings(
+            raw, in_block_comment)
+
+        if PRAGMA_ONCE_RE.search(line):
+            findings.append((rel_path, lineno, "header-guard",
+                             "#pragma once is banned; use an include guard"))
+        if guard and guard in raw:
+            saw_guard = True
+
+        if rel_path not in MUTEX_ALLOWLIST and NAKED_MUTEX_RE.search(line):
+            findings.append(
+                (rel_path, lineno, "naked-mutex",
+                 "use the annotated wrappers from common/mutex.h"))
+        if rel_path not in SLEEP_ALLOWLIST and SLEEP_RE.search(line):
+            findings.append(
+                (rel_path, lineno, "sleep",
+                 "sleeping in src/ is reserved for the backoff/fault layers"))
+        if VOID_CAST_RE.search(line):
+            findings.append(
+                (rel_path, lineno, "void-cast",
+                 "discarding a value with (void) is banned in src/; "
+                 "use Status::IgnoreError() or handle the result"))
+        if rel_path not in RANDOM_ALLOWLIST and BANNED_RANDOM_RE.search(line):
+            findings.append(
+                (rel_path, lineno, "banned-random",
+                 "unseeded randomness is banned; use common/rng.h"))
+
+    if is_header and not saw_guard:
+        findings.append((rel_path, 1, "header-guard",
+                         "expected include guard " + guard))
+
+
+def collect_sources(root):
+    sources = []
+    src_dir = os.path.join(root, "src")
+    for dirpath, _, filenames in os.walk(src_dir):
+        for name in sorted(filenames):
+            if name.endswith((".h", ".cc")):
+                full = os.path.join(dirpath, name)
+                sources.append(os.path.relpath(full, root))
+    return sorted(sources)
+
+
+def run_lint(root):
+    findings = []
+    sources = collect_sources(root)
+    if not sources:
+        print("vdb_lint: no sources found under %s/src" % root,
+              file=sys.stderr)
+        return 1
+    for rel_path in sources:
+        lint_file(root, rel_path, findings)
+    for rel_path, lineno, rule, message in findings:
+        print("%s:%d: [%s] %s" % (rel_path, lineno, rule, message))
+    if findings:
+        print("vdb_lint: %d finding(s) in %d file(s) scanned" %
+              (len(findings), len(sources)))
+        return 1
+    print("vdb_lint: OK (%d files scanned)" % len(sources))
+    return 0
+
+
+# ----------------------------------------------------------------------------
+# Self-test: synthesize a tiny bad tree and check every rule fires, then a
+# clean tree and check nothing fires.
+# ----------------------------------------------------------------------------
+
+BAD_HEADER = """\
+#pragma once
+#include <mutex>
+struct Bad {
+  std::mutex mu;
+};
+"""
+
+BAD_SOURCE = """\
+#include <thread>
+void f() {
+  std::this_thread::sleep_for(std::chrono::seconds(1));
+  (void)g();
+  int x = rand();
+  std::lock_guard<std::mutex> lock(mu);
+}
+"""
+
+CLEAN_HEADER = """\
+#ifndef VECTORDB_GOOD_H_
+#define VECTORDB_GOOD_H_
+// A comment mentioning std::mutex does not count.
+/* neither does a block comment: (void)ignored */
+inline const char* kName = "string with (void)f() and std::mutex inside";
+#endif  // VECTORDB_GOOD_H_
+"""
+
+
+def self_test():
+    failures = []
+
+    def expect(findings, rule, path):
+        hits = [f for f in findings if f[2] == rule and f[0] == path]
+        if not hits:
+            failures.append("rule '%s' did not fire on %s" % (rule, path))
+
+    with tempfile.TemporaryDirectory(prefix="vdb_lint_selftest_") as tmp:
+        os.makedirs(os.path.join(tmp, "src"))
+        with open(os.path.join(tmp, "src", "bad.h"), "w") as f:
+            f.write(BAD_HEADER)
+        with open(os.path.join(tmp, "src", "bad.cc"), "w") as f:
+            f.write(BAD_SOURCE)
+
+        findings = []
+        for rel in collect_sources(tmp):
+            lint_file(tmp, rel, findings)
+
+        expect(findings, "header-guard", "src/bad.h")   # pragma once + no guard
+        expect(findings, "naked-mutex", "src/bad.h")
+        expect(findings, "sleep", "src/bad.cc")
+        expect(findings, "void-cast", "src/bad.cc")
+        expect(findings, "banned-random", "src/bad.cc")
+        expect(findings, "naked-mutex", "src/bad.cc")
+
+    with tempfile.TemporaryDirectory(prefix="vdb_lint_selftest_") as tmp:
+        os.makedirs(os.path.join(tmp, "src"))
+        with open(os.path.join(tmp, "src", "good.h"), "w") as f:
+            f.write(CLEAN_HEADER)
+        findings = []
+        for rel in collect_sources(tmp):
+            lint_file(tmp, rel, findings)
+        if findings:
+            failures.append("clean tree produced findings: %r" % (findings,))
+
+    if failures:
+        for failure in failures:
+            print("self-test FAILED: " + failure, file=sys.stderr)
+        return 1
+    print("vdb_lint self-test: OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: two levels up)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="exercise every rule on synthetic input")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = args.root or os.path.normpath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", ".."))
+    return run_lint(root)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
