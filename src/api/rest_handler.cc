@@ -1,10 +1,23 @@
 #include "api/rest_handler.h"
 
 #include <cstdlib>
+#include <utility>
 #include <vector>
+
+#include "obs/catalog.h"
+#include "obs/metrics.h"
 
 namespace vectordb {
 namespace api {
+
+int HttpStatusFor(const Status& status) {
+  if (status.ok()) return 200;
+  if (status.IsNotFound()) return 404;
+  if (status.IsAlreadyExists()) return 409;
+  if (status.IsInvalidArgument() || status.IsNotSupported()) return 400;
+  if (status.IsAborted()) return 504;  // Query deadline expired.
+  return 500;
+}
 
 namespace {
 
@@ -17,13 +30,7 @@ RestResponse Error(int status, const std::string& message) {
 
 RestResponse FromStatus(const Status& status) {
   if (status.ok()) return RestResponse{};
-  if (status.IsNotFound()) return Error(404, status.ToString());
-  if (status.IsAlreadyExists()) return Error(409, status.ToString());
-  if (status.IsInvalidArgument() || status.IsNotSupported()) {
-    return Error(400, status.ToString());
-  }
-  if (status.IsAborted()) return Error(504, status.ToString());  // Deadline.
-  return Error(500, status.ToString());
+  return Error(HttpStatusFor(status), status.ToString());
 }
 
 /// Split "/collections/foo/entities/7" into path segments.
@@ -93,12 +100,42 @@ Json StatsToJson(const exec::QueryStats& stats) {
   return out;
 }
 
+Json SamplesToJson(const std::vector<obs::Sample>& samples) {
+  Json out = Json::Array();
+  for (const obs::Sample& sample : samples) {
+    Json s = Json::Object();
+    s.Set("name", sample.name);
+    switch (sample.kind) {
+      case obs::MetricKind::kCounter:
+        s.Set("kind", "counter");
+        s.Set("value", Json(sample.value));
+        break;
+      case obs::MetricKind::kGauge:
+        s.Set("kind", "gauge");
+        s.Set("value", Json(sample.value));
+        break;
+      case obs::MetricKind::kHistogram:
+        s.Set("kind", "histogram");
+        s.Set("count", Json(sample.value));
+        s.Set("sum", Json(sample.sum));
+        break;
+    }
+    out.Append(std::move(s));
+  }
+  return out;
+}
+
 }  // namespace
 
 RestResponse RestHandler::Handle(const std::string& method,
                                  const std::string& path,
                                  const std::string& body) {
-  const auto segments = SplitPath(path);
+  auto segments = SplitPath(path);
+  // Versioned route table: /v1/... is canonical; the unversioned legacy
+  // paths stay valid through this one rewrite.
+  if (!segments.empty() && segments[0] == "v1") {
+    segments.erase(segments.begin());
+  }
   Json parsed = Json::Object();
   if (!body.empty()) {
     auto result = Json::Parse(body);
@@ -106,6 +143,10 @@ RestResponse RestHandler::Handle(const std::string& method,
     parsed = std::move(result).value();
   }
 
+  if (segments.size() == 1 && segments[0] == "metrics") {
+    if (method == "GET") return Metrics();
+    return Error(405, "method not allowed");
+  }
   if (segments.empty() || segments[0] != "collections") {
     return Error(404, "unknown route: " + path);
   }
@@ -135,6 +176,16 @@ RestResponse RestHandler::Handle(const std::string& method,
   if (verb == "flush" && method == "POST") return Flush(name);
   if (verb == "search" && method == "POST") return Search(name, parsed);
   return Error(404, "unknown route: " + path);
+}
+
+RestResponse RestHandler::Metrics() {
+  // Force-register every catalog family so a scrape against an idle process
+  // still exposes the full set (gauges at 0 rather than absent).
+  obs::TouchAll();
+  RestResponse response;
+  response.text = obs::MetricsRegistry::Global().RenderPrometheus();
+  response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  return response;
 }
 
 RestResponse RestHandler::ListCollections() {
@@ -206,6 +257,11 @@ RestResponse RestHandler::CollectionStats(const std::string& name) {
     fields.Append(std::move(f));
   }
   response.body.Set("fields", std::move(fields));
+  // This collection's slice of the process-wide registry (the series
+  // labeled {collection="<name>"}).
+  response.body.Set("metrics",
+                    SamplesToJson(obs::MetricsRegistry::Global().Collect(
+                        "collection", name)));
   return response;
 }
 

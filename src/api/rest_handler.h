@@ -9,29 +9,41 @@
 namespace vectordb {
 namespace api {
 
-/// A REST response: HTTP-style status code plus a JSON body.
+/// A REST response: HTTP-style status code plus either a JSON body (the
+/// default) or a raw text body with an explicit content type (used by the
+/// Prometheus /metrics exposition).
 struct RestResponse {
   int status = 200;
   Json body = Json::Object();
+  /// Non-empty iff the response is plain text rather than JSON.
+  std::string text;
+  std::string content_type = "application/json";
 
   bool ok() const { return status >= 200 && status < 300; }
 };
 
+/// The single Status -> HTTP status mapping used by every route:
+///   OK → 200, NotFound → 404, AlreadyExists → 409, InvalidArgument /
+///   NotSupported → 400, Aborted (query deadline) → 504, else → 500.
+int HttpStatusFor(const Status& status);
+
 /// Transport-agnostic RESTful request router (Sec 2.1: "Milvus also
 /// supports RESTful APIs for web applications"). Any HTTP server can
 /// delegate `(method, path, body)` here; tests and embedded callers invoke
-/// it directly. Routes:
+/// it directly. Routes are versioned under /v1; the unversioned legacy
+/// paths are accepted via a single rewrite and serve the same table.
 ///
-///   GET    /collections                          → list collections
-///   POST   /collections                          → create (schema in body)
-///   DELETE /collections/{name}                   → drop
-///   GET    /collections/{name}                   → stats
-///   POST   /collections/{name}/entities          → insert one entity
-///   DELETE /collections/{name}/entities/{id}     → delete by id
-///   GET    /collections/{name}/entities/{id}     → point lookup
-///   POST   /collections/{name}/flush             → flush
-///   POST   /collections/{name}/search            → vector / filtered /
-///                                                  multi-vector search
+///   GET    /v1/metrics                              → Prometheus exposition
+///   GET    /v1/collections                          → list collections
+///   POST   /v1/collections                          → create (schema in body)
+///   DELETE /v1/collections/{name}                   → drop
+///   GET    /v1/collections/{name}                   → stats + metric slice
+///   POST   /v1/collections/{name}/entities          → insert one entity
+///   DELETE /v1/collections/{name}/entities/{id}     → delete by id
+///   GET    /v1/collections/{name}/entities/{id}     → point lookup
+///   POST   /v1/collections/{name}/flush             → flush
+///   POST   /v1/collections/{name}/search            → vector / filtered /
+///                                                     multi-vector search
 class RestHandler {
  public:
   explicit RestHandler(db::VectorDb* db) : db_(db) {}
@@ -40,6 +52,7 @@ class RestHandler {
                       const std::string& body);
 
  private:
+  RestResponse Metrics();
   RestResponse ListCollections();
   RestResponse CreateCollection(const Json& body);
   RestResponse DropCollection(const std::string& name);

@@ -19,20 +19,24 @@ std::vector<std::string> Client::ListCollections() {
   return db_->ListCollections();
 }
 
-RowId Client::Insert(const std::string& collection, RowId id,
-                     const std::vector<std::vector<float>>& vectors,
-                     const std::vector<double>& attributes) {
+InsertOutcome Client::Insert(const std::string& collection, RowId id,
+                             const std::vector<std::vector<float>>& vectors,
+                             const std::vector<double>& attributes) {
+  InsertOutcome outcome;
   db::Collection* c = db_->GetCollection(collection);
   if (c == nullptr) {
-    Record(Status::NotFound("unknown collection: " + collection));
-    return kInvalidRowId;
+    outcome.status = Status::NotFound("unknown collection: " + collection);
+    Record(outcome.status);
+    return outcome;
   }
   db::Entity entity;
   entity.id = id == kInvalidRowId ? c->AllocateRowIds(1) : id;
   entity.vectors = vectors;
   entity.attributes = attributes;
-  if (!Record(c->Insert(entity))) return kInvalidRowId;
-  return entity.id;
+  outcome.status = c->Insert(entity);
+  Record(outcome.status);
+  if (outcome.ok()) outcome.id = entity.id;
+  return outcome;
 }
 
 bool Client::Delete(const std::string& collection, RowId id) {
@@ -69,48 +73,58 @@ std::vector<SearchResultRow> ToRows(const HitList& hits,
 
 }  // namespace
 
-std::vector<SearchResultRow> Client::SearchBuilder::Run(
-    const std::vector<float>& query) {
+SearchOutcome Client::SearchBuilder::Run(const std::vector<float>& query) {
+  SearchOutcome outcome;
   db::Collection* c = client_->db_->GetCollection(collection_);
   if (c == nullptr) {
-    client_->Record(Status::NotFound("unknown collection: " + collection_));
-    return {};
+    outcome.status = Status::NotFound("unknown collection: " + collection_);
+    client_->RecordSearch(outcome);
+    return outcome;
   }
   const std::string field =
       field_.empty() && !c->schema().vector_fields.empty()
           ? c->schema().vector_fields[0].name
           : field_;
 
-  client_->last_query_stats_ = exec::QueryStats{};
   if (!where_attribute_.empty()) {
     auto result = c->SearchFiltered(field, query.data(), where_attribute_,
-                                    range_, options_,
-                                    &client_->last_query_stats_);
-    if (!client_->Record(result.status())) return {};
-    return ToRows(result.value(), c, fetch_attributes_);
+                                    range_, options_, &outcome.stats);
+    outcome.status = result.status();
+    if (outcome.ok()) {
+      outcome.rows = ToRows(result.value(), c, fetch_attributes_);
+    }
+  } else {
+    auto result = c->Search(field, query.data(), 1, options_, &outcome.stats);
+    outcome.status = result.status();
+    if (outcome.ok()) {
+      outcome.rows = ToRows(result.value()[0], c, fetch_attributes_);
+    }
   }
-  auto result =
-      c->Search(field, query.data(), 1, options_, &client_->last_query_stats_);
-  if (!client_->Record(result.status())) return {};
-  return ToRows(result.value()[0], c, fetch_attributes_);
+  client_->RecordSearch(outcome);
+  return outcome;
 }
 
-std::vector<SearchResultRow> Client::SearchBuilder::RunMulti(
+SearchOutcome Client::SearchBuilder::RunMulti(
     const std::vector<std::vector<float>>& query_fields,
     const std::vector<float>& weights) {
+  SearchOutcome outcome;
   db::Collection* c = client_->db_->GetCollection(collection_);
   if (c == nullptr) {
-    client_->Record(Status::NotFound("unknown collection: " + collection_));
-    return {};
+    outcome.status = Status::NotFound("unknown collection: " + collection_);
+    client_->RecordSearch(outcome);
+    return outcome;
   }
   std::vector<const float*> query;
   query.reserve(query_fields.size());
   for (const auto& q : query_fields) query.push_back(q.data());
-  client_->last_query_stats_ = exec::QueryStats{};
-  auto result = c->MultiVectorSearch(query, weights, options_,
-                                     &client_->last_query_stats_);
-  if (!client_->Record(result.status())) return {};
-  return ToRows(result.value(), c, fetch_attributes_);
+  auto result =
+      c->MultiVectorSearch(query, weights, options_, &outcome.stats);
+  outcome.status = result.status();
+  if (outcome.ok()) {
+    outcome.rows = ToRows(result.value(), c, fetch_attributes_);
+  }
+  client_->RecordSearch(outcome);
+  return outcome;
 }
 
 }  // namespace api

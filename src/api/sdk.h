@@ -3,8 +3,10 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "db/vector_db.h"
 
 namespace vectordb {
@@ -18,11 +20,32 @@ struct SearchResultRow {
   std::vector<double> attributes;
 };
 
+/// Everything one search produced, returned by value so concurrent callers
+/// sharing a Client never race on shared mutable state: the rows, the
+/// execution counters for exactly this query, and the status.
+struct SearchOutcome {
+  std::vector<SearchResultRow> rows;
+  exec::QueryStats stats;
+  Status status = Status::OK();
+
+  bool ok() const { return status.ok(); }
+};
+
+/// Result of Client::Insert. Separates "insert failed" from "inserted with
+/// some id": the legacy RowId return could not distinguish a failure from
+/// a caller-supplied kInvalidRowId.
+struct InsertOutcome {
+  RowId id = kInvalidRowId;
+  Status status = Status::OK();
+
+  bool ok() const { return status.ok(); }
+};
+
 /// Fluent client facade in the style of the paper's SDKs (Sec 2.1:
 /// "easy-to-use SDK interfaces ... in Python, Java, Go, and C++"). This is
-/// the C++ SDK: a thin, typed veneer over VectorDb that hides Status
-/// plumbing behind a per-call error string and bundles common patterns
-/// (insert+flush, search+fetch-attributes).
+/// the C++ SDK: a thin, typed veneer over VectorDb that bundles common
+/// patterns (insert+flush, search+fetch-attributes) and returns per-call
+/// outcomes, so a single Client may be shared across threads.
 ///
 ///   api::Client client(db);
 ///   client.Collection("products")
@@ -30,19 +53,29 @@ struct SearchResultRow {
 ///         .WithAttribute("price")
 ///         .Create();
 ///   client.Insert("products", id, {vec}, {9.99});
-///   auto rows = client.Search("products").Field("embedding")
-///                     .TopK(5).NProbe(16).Run(query);
+///   auto outcome = client.Search("products").Field("embedding")
+///                        .TopK(5).NProbe(16).Run(query);
+///   if (outcome.ok()) { ... outcome.rows ... outcome.stats ... }
 class Client {
  public:
   explicit Client(db::VectorDb* db) : db_(db) {}
 
-  /// Error message of the last failed call ("" when the last call
-  /// succeeded).
-  const std::string& last_error() const { return last_error_; }
+  /// DEPRECATED: error message of the last failed call on this Client (""
+  /// when the last call succeeded). Prefer the Status carried inside the
+  /// returned SearchOutcome/InsertOutcome: this accessor reports the most
+  /// recent call on *any* thread, so under sharing it can describe someone
+  /// else's query. Kept as a shim for pre-outcome callers; returns by value
+  /// under a lock so the read itself is race-free.
+  std::string last_error() const VDB_EXCLUDES(shim_mu_) {
+    MutexLock lock(&shim_mu_);
+    return last_error_;
+  }
 
-  /// Execution counters of the last SearchBuilder::Run/RunMulti call:
-  /// segments scanned vs skipped, index vs flat, cache reuse, timings.
-  const exec::QueryStats& last_query_stats() const {
+  /// DEPRECATED: execution counters of the last SearchBuilder::Run/RunMulti
+  /// call on this Client. Prefer SearchOutcome::stats, which is pinned to
+  /// one query. Same caveat and locking discipline as last_error().
+  exec::QueryStats last_query_stats() const VDB_EXCLUDES(shim_mu_) {
+    MutexLock lock(&shim_mu_);
     return last_query_stats_;
   }
 
@@ -89,11 +122,12 @@ class Client {
 
   // ----- data plane -----
 
-  /// Insert one entity; id = kInvalidRowId auto-assigns. Returns the row
-  /// id, or kInvalidRowId on failure.
-  RowId Insert(const std::string& collection, RowId id,
-               const std::vector<std::vector<float>>& vectors,
-               const std::vector<double>& attributes = {});
+  /// Insert one entity; id = kInvalidRowId auto-assigns. The outcome
+  /// carries the assigned row id and the status, so failure is never
+  /// conflated with an id value.
+  InsertOutcome Insert(const std::string& collection, RowId id,
+                       const std::vector<std::vector<float>>& vectors,
+                       const std::vector<double>& attributes = {});
   bool Delete(const std::string& collection, RowId id);
   /// Sec 5.1 flush(): blocks until all pending writes are searchable.
   bool Flush(const std::string& collection);
@@ -144,10 +178,10 @@ class Client {
     }
 
     /// Single-vector query (vector query or attribute filtering).
-    std::vector<SearchResultRow> Run(const std::vector<float>& query);
+    SearchOutcome Run(const std::vector<float>& query);
 
     /// Multi-vector query over all fields with the given weights.
-    std::vector<SearchResultRow> RunMulti(
+    SearchOutcome RunMulti(
         const std::vector<std::vector<float>>& query_fields,
         const std::vector<float>& weights = {});
 
@@ -171,14 +205,27 @@ class Client {
   friend class CollectionBuilder;
   friend class SearchBuilder;
 
-  bool Record(const Status& status) {
+  /// Mirror a call's status into the deprecated last_error() shim.
+  bool Record(const Status& status) VDB_EXCLUDES(shim_mu_) {
+    MutexLock lock(&shim_mu_);
     last_error_ = status.ok() ? "" : status.ToString();
     return status.ok();
   }
 
+  /// Mirror a finished search's outcome into both deprecated shims.
+  void RecordSearch(const SearchOutcome& outcome) VDB_EXCLUDES(shim_mu_) {
+    MutexLock lock(&shim_mu_);
+    last_error_ = outcome.status.ok() ? "" : outcome.status.ToString();
+    last_query_stats_ = outcome.stats;
+  }
+
   db::VectorDb* db_;
-  std::string last_error_;
-  exec::QueryStats last_query_stats_;
+  // Deprecated last-call shims: outcomes are authoritative; these exist so
+  // pre-outcome callers keep working, and only ever hold what some recent
+  // call produced.
+  mutable Mutex shim_mu_;
+  std::string last_error_ VDB_GUARDED_BY(shim_mu_);
+  exec::QueryStats last_query_stats_ VDB_GUARDED_BY(shim_mu_);
 };
 
 }  // namespace api

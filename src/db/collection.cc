@@ -8,9 +8,12 @@
 
 #include "common/binary_io.h"
 #include "common/crc32.h"
+#include "common/logger.h"
 #include "common/result_heap.h"
+#include "common/timer.h"
 #include "exec/segment_executor.h"
 #include "index/index_factory.h"
+#include "obs/catalog.h"
 
 namespace vectordb {
 namespace db {
@@ -80,6 +83,34 @@ Collection::Collection(CollectionSchema schema,
     // the next GC pass retries.
     options_.fs->Delete(SegmentPath(id)).IgnoreError();
   });
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const obs::Labels labels = {{"collection", schema_.name}};
+  queries_total_ = registry.GetCounter(
+      "vdb_db_queries_total", "Query vectors executed per collection.",
+      labels);
+  query_seconds_total_ = registry.GetGauge(
+      "vdb_db_query_seconds_total",
+      "Cumulative query wall-clock seconds per collection.", labels);
+  slow_queries_total_ = registry.GetCounter(
+      "vdb_db_slow_queries_total",
+      "Queries over the slow-query-log threshold per collection.", labels);
+}
+
+void Collection::FinishQuery(const exec::QueryContext& ctx,
+                             const Status& status, const char* op) const {
+  const exec::QueryStats& stats = ctx.stats();
+  exec::RecordQueryMetrics(stats, status);
+  queries_total_->Inc(stats.queries);
+  query_seconds_total_->Add(stats.total_seconds);
+  const double threshold = options_.slow_query_log_seconds;
+  if (threshold > 0.0 && stats.total_seconds >= threshold) {
+    slow_queries_total_->Inc();
+    obs::Exec().slow_queries->Inc();
+    VDB_WARN << "slow query: collection=" << schema_.name << " op=" << op
+             << " total=" << stats.total_seconds << "s (threshold="
+             << threshold << "s) status=" << status.ToString() << "\n"
+             << ctx.trace().Dump();
+  }
 }
 
 std::string Collection::SegmentPath(SegmentId id) const {
@@ -466,7 +497,13 @@ Status Collection::Update(const Entity& entity) {
 Status Collection::Flush() {
   MutexLock lock(&write_mu_);
   if (memtable_->num_rows() == 0) return Status::OK();
+  Timer flush_timer;
+  const Status status = FlushLocked();
+  obs::Storage().flush_seconds->Observe(flush_timer.ElapsedSeconds());
+  return status;
+}
 
+Status Collection::FlushLocked() {
   const SegmentId segment_id = next_segment_id_.fetch_add(1);
   auto flushed = memtable_->Flush(segment_id);
   if (!flushed.ok()) return flushed.status();
@@ -509,6 +546,7 @@ Status Collection::RunMergeOnce(size_t* merges_done) {
   }
   const auto groups = PickMerges(infos, options_.merge_policy);
   if (groups.empty()) return Status::OK();
+  Timer merge_timer;
 
   for (const storage::MergeGroup& group : groups) {
     std::vector<storage::SegmentPtr> sources;
@@ -604,7 +642,9 @@ Status Collection::RunMergeOnce(size_t* merges_done) {
     });
     if (merges_done != nullptr) ++(*merges_done);
   }
-  return PersistManifest();
+  const Status status = PersistManifest();
+  obs::Storage().merge_seconds->Observe(merge_timer.ElapsedSeconds());
+  return status;
 }
 
 Status Collection::BuildIndexes(size_t* built) {
@@ -692,7 +732,13 @@ Result<std::vector<HitList>> Collection::SearchScoped(
   plan.nq = nq;
   plan.k = options.k;
   exec::SegmentExecutor executor(query_pool_.get());
-  auto result = executor.SearchVectors(*snapshot, plan, &ctx);
+  auto result = [&] {
+    obs::TraceSpan root(&ctx.trace(), "search");
+    ctx.set_root_span(&root);
+    return executor.SearchVectors(*snapshot, plan, &ctx);
+  }();
+  ctx.set_root_span(nullptr);
+  FinishQuery(ctx, result.ok() ? Status::OK() : result.status(), "search");
   if (stats != nullptr) *stats = ctx.stats();
   return result;
 }
@@ -717,7 +763,14 @@ Result<HitList> Collection::SearchFiltered(
   plan.attribute = static_cast<size_t>(a);
   plan.range = range;
   exec::SegmentExecutor executor(query_pool_.get());
-  auto result = executor.SearchFiltered(*snapshot, plan, &ctx);
+  auto result = [&] {
+    obs::TraceSpan root(&ctx.trace(), "filtered_search");
+    ctx.set_root_span(&root);
+    return executor.SearchFiltered(*snapshot, plan, &ctx);
+  }();
+  ctx.set_root_span(nullptr);
+  FinishQuery(ctx, result.ok() ? Status::OK() : result.status(),
+              "filtered_search");
   if (stats != nullptr) *stats = ctx.stats();
   return result;
 }
@@ -742,6 +795,11 @@ Result<HitList> Collection::MultiVectorSearch(
   // round afterwards hits the snapshot's view cache.
   exec::QueryContext ctx(options);
   exec::SegmentExecutor executor(query_pool_.get());
+  HitList best;
+  Status round_status = Status::OK();
+  {
+  obs::TraceSpan root(&ctx.trace(), "multi_vector_search");
+  ctx.set_root_span(&root);
   const std::vector<exec::SegmentViewPtr> views =
       exec::SegmentExecutor::ResolveViews(*snapshot, &ctx);
   std::vector<size_t> dims;
@@ -759,8 +817,6 @@ Result<HitList> Collection::MultiVectorSearch(
   // the frontier bound of unseen entities.
   size_t k_prime = options.k;
   const size_t total_rows = snapshot->TotalRows();
-  HitList best;
-  Status round_status = Status::OK();
   while (true) {
     std::vector<HitList> lists(mu);
     bool exhausted = true;
@@ -814,6 +870,9 @@ Result<HitList> Collection::MultiVectorSearch(
     }
     k_prime *= 2;
   }
+  }  // close the multi_vector_search root span before the epilogue
+  ctx.set_root_span(nullptr);
+  FinishQuery(ctx, round_status, "multi_vector_search");
   if (stats != nullptr) *stats = ctx.stats();
   if (!round_status.ok()) return round_status;
   return best;

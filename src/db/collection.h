@@ -10,6 +10,7 @@
 #include "common/threadpool.h"
 #include "db/schema.h"
 #include "exec/query_context.h"
+#include "obs/metrics.h"
 #include "query/filter_strategies.h"
 #include "storage/buffer_pool.h"
 #include "storage/filesystem.h"
@@ -37,6 +38,9 @@ struct CollectionOptions {
   /// hardware concurrency); 1 = fully sequential on the calling thread.
   /// Results are identical either way — only wall-clock changes.
   size_t query_threads = 0;
+  /// Queries slower than this (seconds) log their span trace at WARN and
+  /// count into vdb_exec_slow_queries_total. 0 = disabled.
+  double slow_query_log_seconds = 0.0;
 };
 
 /// Query-time knobs shared by all collection search entry points — the
@@ -143,6 +147,13 @@ class Collection {
 
   Status ValidateEntity(const Entity& entity) const;
   Status LogAndApplyInsert(const Entity& entity);
+  Status FlushLocked() VDB_REQUIRES(write_mu_);
+
+  /// One-stop query epilogue: fold the context into the process-wide exec
+  /// metrics and this collection's labeled series, and emit the slow-query
+  /// log (with the span trace) when the threshold is exceeded.
+  void FinishQuery(const exec::QueryContext& ctx, const Status& status,
+                   const char* op) const;
 
   std::string SegmentPath(SegmentId id) const;
   std::string ManifestPath() const;
@@ -176,6 +187,12 @@ class Collection {
   /// guarded state lives behind set-once pointers (wal_, memtable_) and the
   /// snapshot manager, which have their own internal locking — write_mu_
   /// provides the op-level ordering on top.
+  /// Per-collection metric series ({collection="<name>"}), owned by the
+  /// global registry; pointers are process-lifetime stable.
+  obs::Counter* queries_total_;
+  obs::Gauge* query_seconds_total_;
+  obs::Counter* slow_queries_total_;
+
   mutable Mutex write_mu_;
   std::atomic<uint64_t> next_segment_id_{1};
   std::atomic<uint64_t> next_row_id_{0};

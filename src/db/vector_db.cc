@@ -30,6 +30,7 @@ CollectionOptions VectorDb::MakeCollectionOptions() const {
   copts.merge_policy = options_.merge_policy;
   copts.buffer_pool_bytes = options_.buffer_pool_bytes;
   copts.query_threads = options_.query_threads;
+  copts.slow_query_log_seconds = options_.slow_query_log_seconds;
   return copts;
 }
 

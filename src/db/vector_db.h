@@ -24,6 +24,8 @@ struct DbOptions {
   size_t buffer_pool_bytes = size_t{256} << 20;
   /// Per-collection query fan-out workers (see CollectionOptions).
   size_t query_threads = 0;
+  /// Slow-query log threshold in seconds (see CollectionOptions); 0 = off.
+  double slow_query_log_seconds = 0.0;
   /// Background maintenance tick — the "once every second" flush leg of
   /// Sec 2.3 plus merging, index building, and snapshot GC.
   size_t background_interval_ms = 1000;

@@ -6,6 +6,7 @@
 #include "common/logger.h"
 #include "common/result_heap.h"
 #include "common/timer.h"
+#include "obs/catalog.h"
 
 namespace vectordb {
 namespace dist {
@@ -60,13 +61,13 @@ Status Cluster::CreateCollection(const db::CollectionSchema& schema) {
 Status Cluster::Insert(const std::string& collection,
                        const db::Entity& entity) {
   if (writer_ == nullptr) return Status::Unavailable("writer down");
-  rpc_count_.fetch_add(1, std::memory_order_relaxed);
+  CountRpc();
   return writer_->Insert(collection, entity);
 }
 
 Status Cluster::Delete(const std::string& collection, RowId row_id) {
   if (writer_ == nullptr) return Status::Unavailable("writer down");
-  rpc_count_.fetch_add(1, std::memory_order_relaxed);
+  CountRpc();
   return writer_->Delete(collection, row_id);
 }
 
@@ -78,11 +79,12 @@ Status Cluster::PublishToReaders(const std::string& collection) {
   Status first_error;
   size_t failures = 0;
   for (auto& [name, reader] : readers_) {
-    rpc_count_.fetch_add(1, std::memory_order_relaxed);
+    CountRpc();
     Status status = reader->Refresh(collection);
     if (!status.ok()) {
       ++failures;
-      publish_failures_.fetch_add(1, std::memory_order_relaxed);
+      publish_failures_.Inc();
+      obs::Dist().publish_failures->Inc();
       if (first_error.ok()) first_error = status;
     }
   }
@@ -121,9 +123,11 @@ Result<std::vector<HitList>> Cluster::Search(const std::string& collection,
   std::vector<std::string> failed;
   std::vector<std::string> survivors;
   double makespan = 0.0;
+  size_t readers_contacted = 0;
   last_query_stats_ = exec::QueryStats{};
   for (auto& [name, reader] : readers_) {
-    rpc_count_.fetch_add(1, std::memory_order_relaxed);
+    CountRpc();
+    ++readers_contacted;
     const std::string reader_name = name;
     // Memoize shard-map lookups: one coordinator round-trip per segment
     // per scatter, not per (segment, query).
@@ -151,7 +155,8 @@ Result<std::vector<HitList>> Cluster::Search(const std::string& collection,
   }
 
   if (!failed.empty()) {
-    degraded_queries_.fetch_add(1, std::memory_order_relaxed);
+    degraded_queries_.Inc();
+    obs::Dist().degraded_queries->Inc();
     if (survivors.empty()) {
       return Status::Unavailable("all readers failed mid-scatter");
     }
@@ -161,7 +166,8 @@ Result<std::vector<HitList>> Cluster::Search(const std::string& collection,
     const size_t num_survivors = survivors.size();
     for (size_t si = 0; si < num_survivors; ++si) {
       auto& reader = readers_[survivors[si]];
-      rpc_count_.fetch_add(1, std::memory_order_relaxed);
+      CountRpc();
+      ++readers_contacted;
       Timer reader_timer;
       exec::QueryStats retry_stats;
       auto result = reader->Search(
@@ -184,6 +190,8 @@ Result<std::vector<HitList>> Cluster::Search(const std::string& collection,
     }
   }
   last_makespan_ = makespan;
+  obs::Dist().scatter_fanout->Observe(static_cast<double>(readers_contacted));
+  obs::Dist().scatter_makespan_seconds->Set(makespan);
 
   // Gather: merge per-reader top-k lists.
   const db::Collection* any = nullptr;
@@ -200,6 +208,11 @@ Result<std::vector<HitList>> Cluster::Search(const std::string& collection,
     merged[q] = heap.TakeSorted();
   }
   return merged;
+}
+
+void Cluster::CountRpc() {
+  rpc_count_.Inc();
+  obs::Dist().rpcs->Inc();
 }
 
 Status Cluster::InjectReaderSearchFaults(const std::string& name, size_t n) {

@@ -1,7 +1,6 @@
 #ifndef VECTORDB_DIST_CLUSTER_H_
 #define VECTORDB_DIST_CLUSTER_H_
 
-#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -9,6 +8,7 @@
 
 #include "dist/coordinator.h"
 #include "dist/node.h"
+#include "obs/metrics.h"
 
 namespace vectordb {
 namespace dist {
@@ -79,15 +79,15 @@ class Cluster {
   bool writer_alive() const { return writer_ != nullptr; }
 
   /// Scatter/gather RPCs issued so far (simulated network accounting).
-  size_t rpc_count() const { return rpc_count_.load(); }
+  size_t rpc_count() const { return rpc_count_.Value(); }
 
   /// Queries that lost at least one reader mid-scatter and were answered
   /// via shard re-assignment instead of failing.
-  size_t degraded_queries() const { return degraded_queries_.load(); }
+  size_t degraded_queries() const { return degraded_queries_.Value(); }
 
   /// Reader refresh failures absorbed by PublishToReaders (those readers
   /// serve stale snapshots until the next successful publish).
-  size_t publish_failures() const { return publish_failures_.load(); }
+  size_t publish_failures() const { return publish_failures_.Value(); }
 
   /// Slowest reader's scatter time in the last Search call — the wall time
   /// an actually-parallel deployment would observe (readers here execute
@@ -105,15 +105,21 @@ class Cluster {
   db::CollectionOptions MakeReaderOptions() const;
   Status PublishToReaders(const std::string& collection);
 
+  /// Count one simulated RPC on the per-instance counter and the
+  /// process-wide vdb_dist_rpcs_total.
+  void CountRpc();
+
   ClusterOptions options_;
   std::unique_ptr<Coordinator> coordinator_;
   std::unique_ptr<WriterNode> writer_;
   std::map<std::string, std::unique_ptr<ReaderNode>> readers_;
   std::vector<std::string> collections_;
   size_t next_reader_id_ = 0;
-  std::atomic<size_t> rpc_count_{0};
-  std::atomic<size_t> degraded_queries_{0};
-  std::atomic<size_t> publish_failures_{0};
+  // Per-instance counters (obs::Counter so test clusters start from zero);
+  // every increment is mirrored into the vdb_dist_* registry families.
+  obs::Counter rpc_count_;
+  obs::Counter degraded_queries_;
+  obs::Counter publish_failures_;
   double last_makespan_ = 0.0;
   exec::QueryStats last_query_stats_;
 };

@@ -1,5 +1,7 @@
 #include "exec/query_context.h"
 
+#include "obs/catalog.h"
+
 namespace vectordb {
 namespace exec {
 
@@ -34,6 +36,20 @@ void QueryStats::MergeFrom(const QueryStats& other) {
   search_seconds += other.search_seconds;
   merge_seconds += other.merge_seconds;
   total_seconds += other.total_seconds;
+}
+
+void RecordQueryMetrics(const QueryStats& stats, const Status& status) {
+  obs::ExecMetrics& m = obs::Exec();
+  m.queries->Inc(stats.queries);
+  m.index_fallbacks->Inc(stats.index_fallbacks);
+  m.view_cache_hits->Inc(stats.view_cache_hits);
+  m.view_cache_misses->Inc(stats.view_cache_misses);
+  m.last_query_seconds->Set(stats.total_seconds);
+  m.query_seconds->Observe(stats.total_seconds);
+  m.fanout_segments->Observe(static_cast<double>(stats.segments_scanned));
+  if (!status.ok() && status.IsAborted()) {
+    m.deadline_aborts->Inc();
+  }
 }
 
 }  // namespace exec

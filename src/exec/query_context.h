@@ -10,6 +10,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/trace.h"
 
 namespace vectordb {
 namespace exec {
@@ -95,6 +96,14 @@ class QueryContext {
   QueryStats& stats() { return stats_; }
   const QueryStats& stats() const { return stats_; }
 
+  /// Per-query span trace (obs layer). The entry point opens a root span
+  /// and parks it here so executor stages can nest under it; per-segment
+  /// spans record from pool workers (Trace::Record is thread-safe).
+  obs::Trace& trace() { return trace_; }
+  const obs::Trace& trace() const { return trace_; }
+  void set_root_span(const obs::TraceSpan* root) { root_span_ = root; }
+  const obs::TraceSpan* root_span() const { return root_span_; }
+
   /// Log-once guard for index fallbacks: the first failing segment logs a
   /// warning, subsequent failures within the same query only count.
   bool TakeIndexFallbackLogToken() {
@@ -108,8 +117,16 @@ class QueryContext {
   std::function<bool(SegmentId)> owns_;
   Clock::time_point deadline_;
   QueryStats stats_;
+  obs::Trace trace_;
+  const obs::TraceSpan* root_span_ = nullptr;
   std::atomic<bool> index_fallback_logged_{false};
 };
+
+/// Fold one finished logical query into the process-wide exec metrics
+/// (latency/fan-out histograms, fallback and view-cache counters, deadline
+/// aborts). Entry points call this exactly once per logical query, after
+/// the root span closed.
+void RecordQueryMetrics(const QueryStats& stats, const Status& status);
 
 }  // namespace exec
 }  // namespace vectordb

@@ -1,6 +1,7 @@
 #include "exec/segment_executor.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/logger.h"
 #include "common/result_heap.h"
@@ -234,6 +235,7 @@ Status FilterOneSegment(const SegmentView& view, const FilteredSearchPlan& plan,
 std::vector<SegmentViewPtr> SegmentExecutor::ResolveViews(
     const storage::Snapshot& snapshot, QueryContext* ctx) {
   Timer timer;
+  obs::TraceSpan span(&ctx->trace(), "resolve_views", ctx->root_span());
   std::vector<SegmentViewPtr> views;
   views.reserve(snapshot.segments.size());
   for (const storage::SegmentPtr& segment : snapshot.segments) {
@@ -263,19 +265,28 @@ Result<std::vector<HitList>> SegmentExecutor::SearchVectors(
 
   Timer search_timer;
   std::vector<SegmentPartial> partials(views.size());
-  auto run_segment = [&](size_t i) {
-    partials[i].status = SearchOneSegment(*views[i], plan, ctx, &partials[i]);
-  };
-  if (pool_ != nullptr && views.size() > 1) {
-    pool_->ParallelFor(views.size(), run_segment);
-  } else {
-    for (size_t i = 0; i < views.size(); ++i) run_segment(i);
+  {
+    obs::TraceSpan scan_span(&ctx->trace(), "scan_segments",
+                             ctx->root_span());
+    auto run_segment = [&](size_t i) {
+      obs::TraceSpan segment_span(
+          &ctx->trace(),
+          "segment:" + std::to_string(views[i]->segment().id()), &scan_span);
+      partials[i].status =
+          SearchOneSegment(*views[i], plan, ctx, &partials[i]);
+    };
+    if (pool_ != nullptr && views.size() > 1) {
+      pool_->ParallelFor(views.size(), run_segment);
+    } else {
+      for (size_t i = 0; i < views.size(); ++i) run_segment(i);
+    }
   }
   ctx->stats().search_seconds += search_timer.ElapsedSeconds();
 
   // Merge in fixed segment order on the calling thread: results do not
   // depend on worker count or scheduling.
   Timer merge_timer;
+  obs::TraceSpan merge_span(&ctx->trace(), "merge", ctx->root_span());
   for (SegmentPartial& partial : partials) {
     if (!partial.status.ok()) return partial.status;
     ctx->stats().MergeFrom(partial.stats);
@@ -305,17 +316,26 @@ Result<HitList> SegmentExecutor::SearchFiltered(
 
   Timer search_timer;
   std::vector<SegmentPartial> partials(views.size());
-  auto run_segment = [&](size_t i) {
-    partials[i].status = FilterOneSegment(*views[i], plan, ctx, &partials[i]);
-  };
-  if (pool_ != nullptr && views.size() > 1) {
-    pool_->ParallelFor(views.size(), run_segment);
-  } else {
-    for (size_t i = 0; i < views.size(); ++i) run_segment(i);
+  {
+    obs::TraceSpan scan_span(&ctx->trace(), "scan_segments",
+                             ctx->root_span());
+    auto run_segment = [&](size_t i) {
+      obs::TraceSpan segment_span(
+          &ctx->trace(),
+          "segment:" + std::to_string(views[i]->segment().id()), &scan_span);
+      partials[i].status =
+          FilterOneSegment(*views[i], plan, ctx, &partials[i]);
+    };
+    if (pool_ != nullptr && views.size() > 1) {
+      pool_->ParallelFor(views.size(), run_segment);
+    } else {
+      for (size_t i = 0; i < views.size(); ++i) run_segment(i);
+    }
   }
   ctx->stats().search_seconds += search_timer.ElapsedSeconds();
 
   Timer merge_timer;
+  obs::TraceSpan merge_span(&ctx->trace(), "merge", ctx->root_span());
   ResultHeap heap = ResultHeap::ForMetric(ctx->options().k, plan.metric);
   for (SegmentPartial& partial : partials) {
     if (!partial.status.ok()) return partial.status;

@@ -1,5 +1,7 @@
 #include "gpusim/gpu_device.h"
 
+#include "obs/catalog.h"
+
 namespace vectordb {
 namespace gpusim {
 
@@ -33,10 +35,13 @@ Status GpuDevice::Upload(const std::string& key, size_t bytes,
     EvictLruLocked(memory_used_ + bytes - options_.memory_bytes);
   }
   if (num_chunks == 0) num_chunks = 1;
-  cost_.transfer_seconds +=
+  const double transfer =
       static_cast<double>(num_chunks) * options_.dma_latency +
       static_cast<double>(bytes) / options_.pcie_bandwidth;
+  cost_.transfer_seconds += transfer;
   cost_.dma_operations += num_chunks;
+  obs::Gpusim().transfer_seconds_total->Add(transfer);
+  obs::Gpusim().dma_operations->Inc(num_chunks);
   lru_.push_front(key);
   resident_[key] = {lru_.begin(), bytes};
   memory_used_ += bytes;
@@ -95,18 +100,24 @@ void GpuDevice::RunKernel(const std::function<void()>& fn) {
   fn();
   const double host_seconds = timer.ElapsedSeconds();
   MutexLock lock(&mu_);
-  cost_.kernel_seconds +=
+  const double kernel_seconds =
       host_seconds / options_.kernel_speedup + options_.kernel_launch_overhead;
+  cost_.kernel_seconds += kernel_seconds;
   ++cost_.kernel_launches;
+  obs::Gpusim().kernel_seconds_total->Add(kernel_seconds);
+  obs::Gpusim().kernel_launches->Inc();
 }
 
 void GpuDevice::ChargeTransfer(size_t bytes, size_t num_chunks) {
   MutexLock lock(&mu_);
   if (num_chunks == 0) num_chunks = 1;
-  cost_.transfer_seconds +=
+  const double transfer =
       static_cast<double>(num_chunks) * options_.dma_latency +
       static_cast<double>(bytes) / options_.pcie_bandwidth;
+  cost_.transfer_seconds += transfer;
   cost_.dma_operations += num_chunks;
+  obs::Gpusim().transfer_seconds_total->Add(transfer);
+  obs::Gpusim().dma_operations->Inc(num_chunks);
 }
 
 GpuCost GpuDevice::cost() const {

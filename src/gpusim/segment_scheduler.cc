@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/catalog.h"
+
 namespace vectordb {
 namespace gpusim {
 
@@ -46,10 +48,14 @@ Result<std::vector<SegmentScheduler::TaskReport>> SegmentScheduler::RunTasks(
     const GpuCost cost = task(devices[dev].get());
     busy[dev] += cost.TotalSeconds();
     reports.push_back({devices[dev]->name(), cost.TotalSeconds()});
+    obs::Gpusim().task_seconds->Observe(cost.TotalSeconds());
   }
+  obs::Gpusim().scheduler_tasks->Inc(tasks.size());
+  const double makespan = *std::max_element(busy.begin(), busy.end());
+  obs::Gpusim().scheduler_makespan_seconds->Set(makespan);
   {
     MutexLock lock(&mu_);
-    last_makespan_ = *std::max_element(busy.begin(), busy.end());
+    last_makespan_ = makespan;
   }
   return reports;
 }

@@ -1,0 +1,116 @@
+#include "obs/catalog.h"
+
+namespace vectordb {
+namespace obs {
+
+namespace {
+MetricsRegistry& R() { return MetricsRegistry::Global(); }
+}  // namespace
+
+ExecMetrics& Exec() {
+  static ExecMetrics* m = new ExecMetrics{
+      R().GetCounter("vdb_exec_queries_total", "Query vectors executed."),
+      R().GetCounter("vdb_exec_deadline_aborts_total",
+                     "Queries aborted because the deadline expired."),
+      R().GetCounter("vdb_exec_index_fallbacks_total",
+                     "Index search failures rescued by a flat scan."),
+      R().GetCounter("vdb_exec_view_cache_hits_total",
+                     "Snapshot segment-view cache hits."),
+      R().GetCounter("vdb_exec_view_cache_misses_total",
+                     "Snapshot segment-view cache misses (views built)."),
+      R().GetCounter("vdb_exec_slow_queries_total",
+                     "Queries exceeding the slow-query-log threshold."),
+      R().GetGauge("vdb_exec_last_query_seconds",
+                   "Latency of the most recent query in seconds."),
+      R().GetHistogram("vdb_exec_query_seconds",
+                       "End-to-end per-query latency in seconds.",
+                       HistogramBuckets::Exponential(1e-4, 4.0, 10)),
+      R().GetHistogram("vdb_exec_fanout_segments",
+                       "Segments scanned per query.",
+                       HistogramBuckets::Exponential(1.0, 2.0, 12)),
+  };
+  return *m;
+}
+
+StorageMetrics& Storage() {
+  static StorageMetrics* m = new StorageMetrics{
+      R().GetCounter("vdb_storage_wal_appends_total", "WAL records appended."),
+      R().GetCounter("vdb_storage_wal_append_bytes_total",
+                     "Bytes framed into the WAL."),
+      R().GetCounter("vdb_storage_wal_fsyncs_total",
+                     "Durable WAL write-throughs."),
+      R().GetCounter("vdb_storage_wal_resets_total",
+                     "WAL truncations after a successful flush."),
+      R().GetCounter("vdb_storage_buffer_pool_hits_total",
+                     "Segment fetches served from the buffer pool."),
+      R().GetCounter("vdb_storage_buffer_pool_misses_total",
+                     "Segment fetches that went to storage."),
+      R().GetCounter("vdb_storage_buffer_pool_evictions_total",
+                     "Segments evicted from the buffer pool."),
+      R().GetGauge("vdb_storage_buffer_pool_resident_bytes",
+                   "Bytes currently resident in the buffer pool."),
+      R().GetCounter("vdb_storage_retry_attempts_total",
+                     "Filesystem operation attempts (including first tries)."),
+      R().GetCounter("vdb_storage_retry_retries_total",
+                     "Transient-failure retries at the storage boundary."),
+      R().GetCounter("vdb_storage_retry_exhausted_total",
+                     "Operations that exhausted their retry budget."),
+      R().GetCounter("vdb_storage_faults_injected_total",
+                     "Deterministic fault-injection rule firings."),
+      R().GetHistogram("vdb_storage_flush_seconds",
+                       "Memtable-to-segment flush duration in seconds.",
+                       HistogramBuckets::Exponential(1e-3, 4.0, 10)),
+      R().GetHistogram("vdb_storage_merge_seconds",
+                       "Segment merge pass duration in seconds.",
+                       HistogramBuckets::Exponential(1e-3, 4.0, 10)),
+  };
+  return *m;
+}
+
+GpusimMetrics& Gpusim() {
+  static GpusimMetrics* m = new GpusimMetrics{
+      R().GetCounter("vdb_gpusim_dma_operations_total",
+                     "Host/device transfer chunks issued."),
+      R().GetCounter("vdb_gpusim_kernel_launches_total",
+                     "Simulated kernel launches."),
+      R().GetCounter("vdb_gpusim_scheduler_tasks_total",
+                     "Tasks placed by the segment scheduler."),
+      R().GetGauge("vdb_gpusim_transfer_seconds_total",
+                   "Cumulative simulated PCIe transfer time in seconds."),
+      R().GetGauge("vdb_gpusim_kernel_seconds_total",
+                   "Cumulative simulated kernel execution time in seconds."),
+      R().GetGauge("vdb_gpusim_scheduler_makespan_seconds",
+                   "Makespan of the most recent scheduler run."),
+      R().GetHistogram("vdb_gpusim_task_seconds",
+                       "Per-task simulated cost in seconds.",
+                       HistogramBuckets::Exponential(1e-5, 4.0, 12)),
+  };
+  return *m;
+}
+
+DistMetrics& Dist() {
+  static DistMetrics* m = new DistMetrics{
+      R().GetCounter("vdb_dist_rpcs_total",
+                     "Simulated coordinator-to-reader RPCs."),
+      R().GetCounter("vdb_dist_degraded_queries_total",
+                     "Scatter queries that needed the degraded retry round."),
+      R().GetCounter("vdb_dist_publish_failures_total",
+                     "Snapshot publishes a reader failed to apply."),
+      R().GetGauge("vdb_dist_scatter_makespan_seconds",
+                   "Makespan of the most recent scatter."),
+      R().GetHistogram("vdb_dist_scatter_fanout",
+                       "Readers contacted per scatter query.",
+                       HistogramBuckets::Exponential(1.0, 2.0, 8)),
+  };
+  return *m;
+}
+
+void TouchAll() {
+  Exec();
+  Storage();
+  Gpusim();
+  Dist();
+}
+
+}  // namespace obs
+}  // namespace vectordb

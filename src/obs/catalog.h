@@ -1,0 +1,74 @@
+#ifndef VECTORDB_OBS_CATALOG_H_
+#define VECTORDB_OBS_CATALOG_H_
+
+#include "obs/metrics.h"
+
+// Central catalog of the process-wide metric families each subsystem records
+// into. Every name is defined exactly once here (docs/observability.md is the
+// human-readable mirror); subsystems grab their struct via the accessor and
+// record through cached pointers — no string lookups on hot paths. TouchAll()
+// forces registration of every family so a /metrics scrape is complete even
+// before a subsystem has seen traffic.
+
+namespace vectordb {
+namespace obs {
+
+struct ExecMetrics {
+  Counter* queries;            // query vectors executed
+  Counter* deadline_aborts;    // queries aborted at the deadline
+  Counter* index_fallbacks;    // index search failures rescued by flat scan
+  Counter* view_cache_hits;    // snapshot view-cache hits
+  Counter* view_cache_misses;  // snapshot view-cache misses (views built)
+  Counter* slow_queries;       // queries over the slow-query-log threshold
+  Gauge* last_query_seconds;   // latency of the most recent query
+  Histogram* query_seconds;    // end-to-end per-query latency
+  Histogram* fanout_segments;  // segments scanned per query
+};
+ExecMetrics& Exec();
+
+struct StorageMetrics {
+  Counter* wal_appends;           // WAL records appended
+  Counter* wal_append_bytes;      // bytes framed into the WAL
+  Counter* wal_fsyncs;            // durable WAL write-throughs
+  Counter* wal_resets;            // WAL truncations after flush
+  Counter* buffer_pool_hits;      // segment fetches served from the pool
+  Counter* buffer_pool_misses;    // segment fetches that hit storage
+  Counter* buffer_pool_evictions;
+  Gauge* buffer_pool_resident_bytes;
+  Counter* retry_attempts;        // filesystem ops tried (incl. first try)
+  Counter* retry_retries;         // transient-failure retries
+  Counter* retry_exhausted;       // ops that ran out of retry budget
+  Counter* faults_injected;       // deterministic fault-injection firings
+  Histogram* flush_seconds;       // memtable -> segment flush duration
+  Histogram* merge_seconds;       // merge pass duration
+};
+StorageMetrics& Storage();
+
+struct GpusimMetrics {
+  Counter* dma_operations;        // host<->device transfer chunks
+  Counter* kernel_launches;
+  Counter* scheduler_tasks;       // tasks placed by SegmentScheduler
+  Gauge* transfer_seconds_total;  // simulated PCIe transfer time
+  Gauge* kernel_seconds_total;    // simulated kernel execution time
+  Gauge* scheduler_makespan_seconds;  // last RunTasks makespan
+  Histogram* task_seconds;        // per-task simulated cost
+};
+GpusimMetrics& Gpusim();
+
+struct DistMetrics {
+  Counter* rpcs;               // simulated coordinator->reader RPCs
+  Counter* degraded_queries;   // scatters that needed the degraded retry
+  Counter* publish_failures;   // snapshot publishes a reader failed to apply
+  Gauge* scatter_makespan_seconds;
+  Histogram* scatter_fanout;   // readers contacted per scatter
+};
+DistMetrics& Dist();
+
+/// Force-register every family above (a /metrics scrape calls this first so
+/// idle subsystems still appear with zeroed series).
+void TouchAll();
+
+}  // namespace obs
+}  // namespace vectordb
+
+#endif  // VECTORDB_OBS_CATALOG_H_

@@ -1,0 +1,272 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logger.h"
+
+namespace vectordb {
+namespace obs {
+
+namespace {
+
+// Subsystems sanctioned by the vdb_<subsystem>_<name> convention; keep in
+// sync with METRIC_SUBSYSTEMS in tools/lint/vdb_lint.py.
+constexpr const char* kSubsystems[] = {"exec", "storage", "gpusim", "dist",
+                                       "db",   "api",     "obs",    "index"};
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::string EncodeLabels(const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const auto& [key, value] : sorted) {
+    if (!out.empty()) out += ',';
+    out += key;
+    out += "=\"";
+    out += EscapeLabelValue(value);
+    out += '"';
+  }
+  return out;
+}
+
+Histogram::Histogram(const HistogramBuckets& buckets) {
+  double bound = buckets.first_bound;
+  bounds_.reserve(buckets.count);
+  for (size_t i = 0; i < buckets.count; ++i) {
+    bounds_.push_back(bound);
+    bound *= buckets.growth;
+  }
+  counts_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+uint64_t Histogram::TotalCount() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    total += counts_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+bool MetricsRegistry::ValidName(const std::string& name) {
+  for (const char* subsystem : kSubsystems) {
+    const std::string prefix = std::string("vdb_") + subsystem + "_";
+    if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix))
+      continue;
+    for (size_t i = prefix.size(); i < name.size(); ++i) {
+      const char c = name[i];
+      if (!(c == '_' || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9'))) {
+        return false;
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+MetricsRegistry::Instrument* MetricsRegistry::GetOrCreate(
+    const std::string& name, const std::string& help, MetricKind kind,
+    const Labels& labels, const HistogramBuckets* buckets) {
+  if (!ValidName(name)) {
+    VDB_WARN << "metric name '" << name
+             << "' violates the vdb_<subsystem>_<name> convention";
+  }
+  const std::string series_key = EncodeLabels(labels);
+  MutexLock lock(&mu_);
+  Family& family = families_[name];
+  if (family.series.empty()) {
+    family.kind = kind;
+    family.help = help;
+  } else if (family.kind != kind) {
+    // Kind clash: the first registration wins. Hand back a detached,
+    // process-lifetime instrument so callers never get a type-punned pointer.
+    VDB_WARN << "metric '" << name << "' re-registered as " << KindName(kind)
+             << " (was " << KindName(family.kind) << "); returning detached";
+    static Family* detached = new Family();
+    Instrument& orphan = detached->series[name + "\x1f" + series_key];
+    if (!orphan.counter) {
+      orphan.labels = labels;
+      orphan.counter = std::make_unique<Counter>();
+      orphan.gauge = std::make_unique<Gauge>();
+      orphan.histogram =
+          std::make_unique<Histogram>(buckets ? *buckets : HistogramBuckets{});
+    }
+    return &orphan;
+  }
+  Instrument& instrument = family.series[series_key];
+  if (!instrument.counter && !instrument.gauge && !instrument.histogram) {
+    instrument.labels = labels;
+    switch (kind) {
+      case MetricKind::kCounter:
+        instrument.counter = std::make_unique<Counter>();
+        break;
+      case MetricKind::kGauge:
+        instrument.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricKind::kHistogram:
+        instrument.histogram = std::make_unique<Histogram>(
+            buckets ? *buckets : HistogramBuckets{});
+        break;
+    }
+  }
+  return &instrument;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help,
+                                     const Labels& labels) {
+  return GetOrCreate(name, help, MetricKind::kCounter, labels, nullptr)
+      ->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help,
+                                 const Labels& labels) {
+  return GetOrCreate(name, help, MetricKind::kGauge, labels, nullptr)
+      ->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         const HistogramBuckets& buckets,
+                                         const Labels& labels) {
+  return GetOrCreate(name, help, MetricKind::kHistogram, labels, &buckets)
+      ->histogram.get();
+}
+
+size_t MetricsRegistry::NumFamilies() const {
+  MutexLock lock(&mu_);
+  return families_.size();
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::ostringstream out;
+  MutexLock lock(&mu_);
+  for (const auto& [name, family] : families_) {
+    out << "# HELP " << name << ' ' << family.help << '\n';
+    out << "# TYPE " << name << ' ' << KindName(family.kind) << '\n';
+    for (const auto& [label_string, instrument] : family.series) {
+      if (family.kind == MetricKind::kHistogram) {
+        const Histogram& h = *instrument.histogram;
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < h.num_buckets(); ++i) {
+          cumulative += h.BucketCount(i);
+          out << name << "_bucket{" << label_string
+              << (label_string.empty() ? "" : ",") << "le=\""
+              << FormatDouble(h.UpperBound(i)) << "\"} " << cumulative << '\n';
+        }
+        cumulative += h.BucketCount(h.num_buckets());
+        out << name << "_bucket{" << label_string
+            << (label_string.empty() ? "" : ",") << "le=\"+Inf\"} "
+            << cumulative << '\n';
+        out << name << "_sum";
+        if (!label_string.empty()) out << '{' << label_string << '}';
+        out << ' ' << FormatDouble(h.Sum()) << '\n';
+        out << name << "_count";
+        if (!label_string.empty()) out << '{' << label_string << '}';
+        out << ' ' << cumulative << '\n';
+        continue;
+      }
+      out << name;
+      if (!label_string.empty()) out << '{' << label_string << '}';
+      if (family.kind == MetricKind::kCounter) {
+        out << ' ' << instrument.counter->Value() << '\n';
+      } else {
+        out << ' ' << FormatDouble(instrument.gauge->Value()) << '\n';
+      }
+    }
+  }
+  return out.str();
+}
+
+std::vector<Sample> MetricsRegistry::Collect(const std::string& label_key,
+                                             const std::string& label_value)
+    const {
+  std::vector<Sample> samples;
+  MutexLock lock(&mu_);
+  for (const auto& [name, family] : families_) {
+    for (const auto& [label_string, instrument] : family.series) {
+      if (!label_key.empty()) {
+        bool matched = false;
+        for (const auto& [key, value] : instrument.labels) {
+          if (key == label_key && value == label_value) {
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) continue;
+      }
+      Sample sample;
+      sample.name = name;
+      sample.kind = family.kind;
+      sample.labels = instrument.labels;
+      switch (family.kind) {
+        case MetricKind::kCounter:
+          sample.value = static_cast<double>(instrument.counter->Value());
+          break;
+        case MetricKind::kGauge:
+          sample.value = instrument.gauge->Value();
+          break;
+        case MetricKind::kHistogram:
+          sample.value =
+              static_cast<double>(instrument.histogram->TotalCount());
+          sample.sum = instrument.histogram->Sum();
+          break;
+      }
+      samples.push_back(std::move(sample));
+    }
+  }
+  return samples;
+}
+
+}  // namespace obs
+}  // namespace vectordb

@@ -1,0 +1,211 @@
+#ifndef VECTORDB_OBS_METRICS_H_
+#define VECTORDB_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.h"
+
+// Process-wide metrics: counters, gauges, and fixed-bucket exponential
+// histograms, cheap enough to leave on in production (one relaxed atomic
+// increment per event on the fast path; the registry mutex is only taken at
+// registration and scrape time). Names follow `vdb_<subsystem>_<name>`
+// (enforced by tools/lint/vdb_lint.py); the full catalog lives in
+// docs/observability.md.
+//
+// Compile with -DVDB_OBS_DISABLED (cmake -DVDB_DISABLE_METRICS=ON) to turn
+// every recording call into a no-op — the baseline for the documented
+// overhead measurement.
+
+namespace vectordb {
+namespace obs {
+
+/// Sorted key/value label pairs identifying one series within a family,
+/// e.g. {{"collection", "products"}}.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Inc(uint64_t n = 1) {
+#ifndef VDB_OBS_DISABLED
+    value_.fetch_add(n, std::memory_order_relaxed);
+#endif
+  }
+
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins floating point level (resident bytes, makespan, ...).
+/// Add() exists for accumulating time totals; it is a CAS loop, still
+/// lock-free and wait-free in practice at our event rates.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double v) {
+#ifndef VDB_OBS_DISABLED
+    value_.store(v, std::memory_order_relaxed);
+#endif
+  }
+
+  void Add(double delta) {
+#ifndef VDB_OBS_DISABLED
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+#endif
+  }
+
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Bucket layout for Histogram: `count` finite buckets with upper bounds
+/// first_bound * growth^i, plus an implicit +Inf bucket.
+struct HistogramBuckets {
+  double first_bound = 1e-4;
+  double growth = 4.0;
+  size_t count = 10;
+
+  static HistogramBuckets Exponential(double first_bound, double growth,
+                                      size_t count) {
+    return HistogramBuckets{first_bound, growth, count};
+  }
+};
+
+/// Fixed-bucket histogram. Observe() is two relaxed increments plus a short
+/// branch-predictable scan over <= ~16 precomputed bounds; no locks.
+class Histogram {
+ public:
+  explicit Histogram(const HistogramBuckets& buckets);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value) {
+#ifndef VDB_OBS_DISABLED
+    size_t i = 0;
+    while (i < bounds_.size() && value > bounds_[i]) ++i;
+    counts_[i].fetch_add(1, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + value,
+                                       std::memory_order_relaxed)) {
+    }
+#endif
+  }
+
+  /// Number of finite buckets (the +Inf bucket is index num_buckets()).
+  size_t num_buckets() const { return bounds_.size(); }
+  double UpperBound(size_t i) const { return bounds_[i]; }
+
+  /// Non-cumulative count of observations in bucket i; i == num_buckets()
+  /// addresses the +Inf overflow bucket.
+  uint64_t BucketCount(size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+
+  uint64_t TotalCount() const;
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;  // size bounds_+1 (+Inf)
+  std::atomic<double> sum_{0.0};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One scraped series, produced by Collect()/VisitSlice(). For histograms
+/// `value` carries the observation count and `sum` the observation sum;
+/// cumulative buckets are only materialized by RenderPrometheus().
+struct Sample {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  Labels labels;
+  double value = 0.0;
+  double sum = 0.0;  // histograms only
+};
+
+/// Process-wide registry. Get-or-create keyed on (family name, label set);
+/// returned pointers are stable for the process lifetime (metrics are never
+/// deleted), so hot paths cache them once and record lock-free thereafter.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      const Labels& labels = {});
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  const Labels& labels = {});
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          const HistogramBuckets& buckets,
+                          const Labels& labels = {});
+
+  /// Prometheus text exposition format 0.0.4 (# HELP / # TYPE / samples,
+  /// histograms as cumulative _bucket{le=...}/_sum/_count).
+  std::string RenderPrometheus() const;
+
+  /// Snapshot every series whose label set contains label_key == label_value
+  /// (empty key matches everything). Used for the per-collection stats slice.
+  std::vector<Sample> Collect(const std::string& label_key = "",
+                              const std::string& label_value = "") const;
+
+  size_t NumFamilies() const;
+
+  /// True iff `name` matches vdb_<subsystem>_<name> with a known subsystem
+  /// ([a-z0-9_] tail). Registration VDB_CHECK-logs violations but proceeds;
+  /// the lint rule makes them CI failures.
+  static bool ValidName(const std::string& name);
+
+ private:
+  struct Instrument {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    MetricKind kind = MetricKind::kCounter;
+    std::string help;
+    // Keyed by the canonical rendered label string so lookup is one map find.
+    std::map<std::string, Instrument> series;
+  };
+
+  Instrument* GetOrCreate(const std::string& name, const std::string& help,
+                          MetricKind kind, const Labels& labels,
+                          const HistogramBuckets* buckets)
+      VDB_EXCLUDES(mu_);
+
+  mutable Mutex mu_;
+  std::map<std::string, Family> families_ VDB_GUARDED_BY(mu_);
+};
+
+/// Canonical `key="value",...` encoding (sorted by key, values escaped) used
+/// both as the series map key and in the rendered exposition.
+std::string EncodeLabels(const Labels& labels);
+
+}  // namespace obs
+}  // namespace vectordb
+
+#endif  // VECTORDB_OBS_METRICS_H_

@@ -1,0 +1,33 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace vectordb {
+namespace obs {
+
+void Trace::Record(Span span) {
+  MutexLock lock(&mu_);
+  spans_.push_back(std::move(span));
+}
+
+std::vector<Trace::Span> Trace::spans() const {
+  MutexLock lock(&mu_);
+  return spans_;
+}
+
+std::string Trace::Dump() const {
+  std::ostringstream out;
+  char buf[64];
+  for (const Span& span : spans()) {
+    for (uint32_t i = 0; i < span.depth; ++i) out << "  ";
+    out << span.name;
+    std::snprintf(buf, sizeof(buf), "  start=%.6fs dur=%.6fs",
+                  span.start_seconds, span.duration_seconds);
+    out << buf << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace vectordb

@@ -1,0 +1,84 @@
+#ifndef VECTORDB_OBS_TRACE_H_
+#define VECTORDB_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/timer.h"
+
+// Per-query tracing: a Trace collects nested TraceSpan records (generalizing
+// the flat QueryStats stage timings from the exec layer) and renders an
+// indented dump for the slow-query log. Spans may close on any thread — the
+// segment fan-out runs on pool workers — so Record() is mutex-guarded and
+// nesting is expressed through explicit parent pointers, not thread-locals.
+
+namespace vectordb {
+namespace obs {
+
+class TraceSpan;
+
+/// Owner of one query's span records. Cheap to construct; recording one span
+/// is one mutex acquisition plus a vector push.
+class Trace {
+ public:
+  struct Span {
+    std::string name;
+    uint32_t depth = 0;
+    double start_seconds = 0.0;     // offset from trace start
+    double duration_seconds = 0.0;
+  };
+
+  Trace() = default;
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  void Record(Span span);
+  std::vector<Span> spans() const;
+  double SecondsSinceStart() const { return timer_.ElapsedSeconds(); }
+
+  /// Indented text dump, one line per span in completion order:
+  ///   `  scan_segments  start=0.000012s dur=0.001934s`
+  std::string Dump() const;
+
+ private:
+  Timer timer_;
+  mutable Mutex mu_;
+  std::vector<Span> spans_ VDB_GUARDED_BY(mu_);
+};
+
+/// RAII span: records itself into the trace on destruction. Pass the parent
+/// span to nest; a null trace makes the span a no-op so instrumented code
+/// paths need no "is tracing on" branches.
+class TraceSpan {
+ public:
+  TraceSpan(Trace* trace, std::string name, const TraceSpan* parent = nullptr)
+      : trace_(trace),
+        name_(std::move(name)),
+        depth_(parent ? parent->depth_ + 1 : 0),
+        start_seconds_(trace ? trace->SecondsSinceStart() : 0.0) {}
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+    if (trace_ == nullptr) return;
+    trace_->Record({std::move(name_), depth_, start_seconds_,
+                    trace_->SecondsSinceStart() - start_seconds_});
+  }
+
+  uint32_t depth() const { return depth_; }
+
+ private:
+  Trace* const trace_;
+  std::string name_;
+  const uint32_t depth_;
+  const double start_seconds_;
+};
+
+}  // namespace obs
+}  // namespace vectordb
+
+#endif  // VECTORDB_OBS_TRACE_H_

@@ -1,5 +1,7 @@
 #include "storage/buffer_pool.h"
 
+#include "obs/catalog.h"
+
 namespace vectordb {
 namespace storage {
 
@@ -9,10 +11,12 @@ Result<SegmentPtr> BufferPool::Fetch(SegmentId id, const Loader& loader) {
     auto it = cache_.find(id);
     if (it != cache_.end()) {
       ++stats_.hits;
+      obs::Storage().buffer_pool_hits->Inc();
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);
       return it->second.segment;
     }
     ++stats_.misses;
+    obs::Storage().buffer_pool_misses->Inc();
   }
 
   // Load outside the lock; concurrent loads of the same segment are benign
@@ -34,6 +38,8 @@ Result<SegmentPtr> BufferPool::Fetch(SegmentId id, const Loader& loader) {
   cache_[id] = {segment, lru_.begin(), bytes};
   stats_.resident_bytes += bytes;
   stats_.resident_segments = cache_.size();
+  // The gauge is process-wide (every pool sums into it), so record deltas.
+  obs::Storage().buffer_pool_resident_bytes->Add(static_cast<double>(bytes));
   return segment;
 }
 
@@ -47,8 +53,10 @@ void BufferPool::EvictLruLocked(size_t needed) {
     stats_.resident_bytes -= it->second.bytes;
     cache_.erase(it);
     ++stats_.evictions;
+    obs::Storage().buffer_pool_evictions->Inc();
   }
   stats_.resident_segments = cache_.size();
+  obs::Storage().buffer_pool_resident_bytes->Add(-static_cast<double>(freed));
 }
 
 void BufferPool::Invalidate(SegmentId id) {
@@ -56,6 +64,8 @@ void BufferPool::Invalidate(SegmentId id) {
   auto it = cache_.find(id);
   if (it == cache_.end()) return;
   stats_.resident_bytes -= it->second.bytes;
+  obs::Storage().buffer_pool_resident_bytes->Add(
+      -static_cast<double>(it->second.bytes));
   lru_.erase(it->second.lru_it);
   cache_.erase(it);
   stats_.resident_segments = cache_.size();
@@ -65,6 +75,8 @@ void BufferPool::Clear() {
   MutexLock lock(&mu_);
   cache_.clear();
   lru_.clear();
+  obs::Storage().buffer_pool_resident_bytes->Add(
+      -static_cast<double>(stats_.resident_bytes));
   stats_.resident_bytes = 0;
   stats_.resident_segments = 0;
 }

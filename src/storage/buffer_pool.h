@@ -29,6 +29,8 @@ class BufferPool {
 
   explicit BufferPool(size_t capacity_bytes)
       : capacity_bytes_(capacity_bytes) {}
+  ~BufferPool() { Clear(); }  // Releases this pool's share of the
+                              // process-wide resident-bytes gauge.
 
   /// Get the segment, loading it on a miss. A segment larger than the whole
   /// pool is returned but not cached.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/catalog.h"
+
 namespace vectordb {
 namespace storage {
 
@@ -100,6 +102,7 @@ FaultInjectionFileSystem::Firing FaultInjectionFileSystem::EvaluateLocked(
       firing.effect = rule.effect;
       firing.rule = rule;
       stats_.faults_injected.fetch_add(1, std::memory_order_relaxed);
+      obs::Storage().faults_injected->Inc();
     }
   }
   return firing;

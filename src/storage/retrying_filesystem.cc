@@ -5,6 +5,8 @@
 #include <cmath>
 #include <thread>
 
+#include "obs/catalog.h"
+
 namespace vectordb {
 namespace storage {
 
@@ -28,6 +30,7 @@ Status RetryingFileSystem::RunWithRetries(const Op& op) {
   Status status;
   for (size_t attempt = 1; attempt <= options_.max_attempts; ++attempt) {
     stats_.attempts.fetch_add(1, std::memory_order_relaxed);
+    obs::Storage().retry_attempts->Inc();
     status = op();
     if (status.ok()) return status;
     if (!status.IsTransient()) {
@@ -36,6 +39,7 @@ Status RetryingFileSystem::RunWithRetries(const Op& op) {
     }
     if (attempt == options_.max_attempts) break;
     stats_.retries.fetch_add(1, std::memory_order_relaxed);
+    obs::Storage().retry_retries->Inc();
     const uint64_t backoff = NextBackoffMicros(attempt);
     stats_.backoff_micros.fetch_add(backoff, std::memory_order_relaxed);
     if (options_.sleep_for_backoff) {
@@ -43,6 +47,7 @@ Status RetryingFileSystem::RunWithRetries(const Op& op) {
     }
   }
   stats_.exhausted.fetch_add(1, std::memory_order_relaxed);
+  obs::Storage().retry_exhausted->Inc();
   return status;
 }
 

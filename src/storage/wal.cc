@@ -3,6 +3,7 @@
 #include "common/binary_io.h"
 #include "common/crc32.h"
 #include "common/logger.h"
+#include "obs/catalog.h"
 
 namespace vectordb {
 namespace storage {
@@ -73,7 +74,16 @@ Status WriteAheadLog::Append(WalRecord* record) {
   writer.PutU32(static_cast<uint32_t>(body.size()));
   writer.PutU32(Crc32(body));
   frame += body;
-  return fs_->Append(path_, frame);
+  const Status status = fs_->Append(path_, frame);
+  if (status.ok()) {
+    obs::StorageMetrics& m = obs::Storage();
+    m.wal_appends->Inc();
+    m.wal_append_bytes->Inc(frame.size());
+    // Every append is written through before acknowledgement (Sec 5.1), so
+    // one append == one durable sync against the backing filesystem.
+    m.wal_fsyncs->Inc();
+  }
+  return status;
 }
 
 Status WriteAheadLog::Replay(
@@ -112,6 +122,7 @@ Status WriteAheadLog::ReplayFrom(
 
 Status WriteAheadLog::Reset() {
   MutexLock lock(&mu_);
+  obs::Storage().wal_resets->Inc();
   Status status = fs_->Delete(path_);
   if (status.IsNotFound()) return Status::OK();
   return status;

@@ -391,14 +391,15 @@ TEST_F(ExecTest, SdkAndRestSurfaceQueryStats) {
                   .Create());
   for (RowId i = 0; i < 20; ++i) {
     const float vec[4] = {static_cast<float>(i), 0.f, 0.f, 0.f};
-    ASSERT_NE(client.Insert("items", i, {{vec, vec + 4}}, {i * 1.0}),
-              kInvalidRowId);
+    ASSERT_TRUE(client.Insert("items", i, {{vec, vec + 4}}, {i * 1.0}).ok());
   }
   ASSERT_TRUE(client.Flush("items"));
 
-  auto rows = client.Search("items").Field("v").TopK(3).Run({1.f, 0, 0, 0});
-  ASSERT_EQ(rows.size(), 3u) << client.last_error();
-  EXPECT_EQ(client.last_query_stats().queries, 1u);
+  auto outcome =
+      client.Search("items").Field("v").TopK(3).Run({1.f, 0, 0, 0});
+  ASSERT_EQ(outcome.rows.size(), 3u) << outcome.status.ToString();
+  EXPECT_EQ(outcome.stats.queries, 1u);
+  EXPECT_EQ(outcome.stats.segments_scanned, 1u);
   EXPECT_EQ(client.last_query_stats().segments_scanned, 1u);
 
   api::RestHandler handler(&db);

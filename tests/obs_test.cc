@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/sdk.h"
+#include "obs/catalog.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "storage/filesystem.h"
+
+namespace vectordb {
+namespace obs {
+namespace {
+
+TEST(ObsMetricsTest, CounterAndGaugeBasics) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Inc();
+  c.Inc(9);
+  EXPECT_EQ(c.Value(), 10u);
+
+  Gauge g;
+  g.Set(3.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 3.5);
+  g.Add(1.5);
+  g.Add(-2.0);
+  EXPECT_DOUBLE_EQ(g.Value(), 3.0);
+}
+
+TEST(ObsMetricsTest, HistogramBucketGoldenValues) {
+  // Bounds: 1, 2, 4, 8, plus the +Inf overflow bucket at index 4.
+  Histogram h(HistogramBuckets::Exponential(1.0, 2.0, 4));
+  ASSERT_EQ(h.num_buckets(), 4u);
+  EXPECT_DOUBLE_EQ(h.UpperBound(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.UpperBound(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.UpperBound(2), 4.0);
+  EXPECT_DOUBLE_EQ(h.UpperBound(3), 8.0);
+
+  h.Observe(0.5);   // bucket 0
+  h.Observe(1.0);   // bucket 0 (le-inclusive upper bounds)
+  h.Observe(1.5);   // bucket 1
+  h.Observe(3.0);   // bucket 2
+  h.Observe(8.0);   // bucket 3
+  h.Observe(100.0); // +Inf
+
+  EXPECT_EQ(h.BucketCount(0), 2u);
+  EXPECT_EQ(h.BucketCount(1), 1u);
+  EXPECT_EQ(h.BucketCount(2), 1u);
+  EXPECT_EQ(h.BucketCount(3), 1u);
+  EXPECT_EQ(h.BucketCount(4), 1u);  // +Inf
+  EXPECT_EQ(h.TotalCount(), 6u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 114.0);
+}
+
+TEST(ObsMetricsTest, RegistryPointersAreStable) {
+  MetricsRegistry& r = MetricsRegistry::Global();
+  Counter* a = r.GetCounter("vdb_obs_pointer_stability_total", "test");
+  Counter* b = r.GetCounter("vdb_obs_pointer_stability_total", "test");
+  EXPECT_EQ(a, b);
+  // Distinct label sets are distinct series in the same family.
+  Counter* l1 = r.GetCounter("vdb_obs_labeled_total", "test", {{"k", "1"}});
+  Counter* l2 = r.GetCounter("vdb_obs_labeled_total", "test", {{"k", "2"}});
+  EXPECT_NE(l1, l2);
+  EXPECT_EQ(l1, r.GetCounter("vdb_obs_labeled_total", "test", {{"k", "1"}}));
+}
+
+TEST(ObsMetricsTest, KindClashReturnsDetachedInstrument) {
+  MetricsRegistry& r = MetricsRegistry::Global();
+  Counter* c = r.GetCounter("vdb_obs_kind_clash_total", "test");
+  ASSERT_NE(c, nullptr);
+  // Asking for the same family under a different kind must not type-pun the
+  // stored instrument; the caller gets a detached, safe-to-use metric.
+  Gauge* g = r.GetGauge("vdb_obs_kind_clash_total", "test");
+  ASSERT_NE(g, nullptr);
+  g->Set(1.0);
+  c->Inc();
+  EXPECT_EQ(c->Value(), 1u);
+}
+
+TEST(ObsMetricsTest, ValidNameEnforcesSubsystemPrefix) {
+  EXPECT_TRUE(MetricsRegistry::ValidName("vdb_exec_queries_total"));
+  EXPECT_TRUE(MetricsRegistry::ValidName("vdb_storage_flush_seconds"));
+  EXPECT_FALSE(MetricsRegistry::ValidName("queries_total"));
+  EXPECT_FALSE(MetricsRegistry::ValidName("vdb_nosuch_queries_total"));
+  EXPECT_FALSE(MetricsRegistry::ValidName("vdb_exec_BadCase"));
+  EXPECT_FALSE(MetricsRegistry::ValidName("vdb_exec_"));
+}
+
+TEST(ObsMetricsTest, EncodeLabelsSortsAndEscapes) {
+  EXPECT_EQ(EncodeLabels({}), "");
+  EXPECT_EQ(EncodeLabels({{"b", "2"}, {"a", "1"}}), "a=\"1\",b=\"2\"");
+  EXPECT_EQ(EncodeLabels({{"k", "a\"b\nc\\d"}}), "k=\"a\\\"b\\nc\\\\d\"");
+}
+
+TEST(ObsMetricsTest, RenderPrometheusIncludesHistogramSeries) {
+  MetricsRegistry& r = MetricsRegistry::Global();
+  Histogram* h = r.GetHistogram("vdb_obs_render_seconds", "render test",
+                                HistogramBuckets::Exponential(1.0, 2.0, 2));
+  h->Observe(0.5);
+  h->Observe(10.0);
+  const std::string text = r.RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE vdb_obs_render_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("vdb_obs_render_seconds_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("vdb_obs_render_seconds_count"), std::string::npos);
+  EXPECT_NE(text.find("vdb_obs_render_seconds_sum"), std::string::npos);
+}
+
+TEST(ObsMetricsTest, CollectFiltersByLabel) {
+  MetricsRegistry& r = MetricsRegistry::Global();
+  r.GetCounter("vdb_obs_sliced_total", "test", {{"collection", "alpha"}})
+      ->Inc(3);
+  r.GetCounter("vdb_obs_sliced_total", "test", {{"collection", "beta"}})
+      ->Inc(5);
+  const auto slice = r.Collect("collection", "alpha");
+  double alpha_value = -1.0;
+  for (const Sample& sample : slice) {
+    EXPECT_NE(EncodeLabels(sample.labels).find("collection=\"alpha\""),
+              std::string::npos);
+    if (sample.name == "vdb_obs_sliced_total") alpha_value = sample.value;
+  }
+  EXPECT_DOUBLE_EQ(alpha_value, 3.0);
+}
+
+TEST(ObsMetricsTest, ConcurrentRegistrationAndRecording) {
+  // Hammer get-or-create and the lock-free recording paths from many
+  // threads; run under TSan via the `obs` ctest label.
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  MetricsRegistry& r = MetricsRegistry::Global();
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&r] {
+      for (int i = 0; i < kIters; ++i) {
+        r.GetCounter("vdb_obs_stress_total", "stress")->Inc();
+        r.GetGauge("vdb_obs_stress_gauge", "stress")->Add(1.0);
+        r.GetHistogram("vdb_obs_stress_seconds", "stress",
+                       HistogramBuckets::Exponential(1e-4, 4.0, 8))
+            ->Observe(1e-3);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(r.GetCounter("vdb_obs_stress_total", "stress")->Value(),
+            static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_DOUBLE_EQ(r.GetGauge("vdb_obs_stress_gauge", "stress")->Value(),
+                   static_cast<double>(kThreads) * kIters);
+  EXPECT_EQ(r.GetHistogram("vdb_obs_stress_seconds", "stress",
+                           HistogramBuckets::Exponential(1e-4, 4.0, 8))
+                ->TotalCount(),
+            static_cast<uint64_t>(kThreads) * kIters);
+}
+
+TEST(ObsTraceTest, SpansNestAndRecordOnClose) {
+  Trace trace;
+  {
+    TraceSpan root(&trace, "root");
+    {
+      TraceSpan child(&trace, "child", &root);
+      TraceSpan grandchild(&trace, "leaf", &child);
+      EXPECT_EQ(grandchild.depth(), 2u);
+    }
+    EXPECT_EQ(trace.spans().size(), 2u);  // Children closed, root still open.
+  }
+  const auto spans = trace.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  // Completion order: deepest first.
+  EXPECT_EQ(spans[0].name, "leaf");
+  EXPECT_EQ(spans[0].depth, 2u);
+  EXPECT_EQ(spans[1].name, "child");
+  EXPECT_EQ(spans[1].depth, 1u);
+  EXPECT_EQ(spans[2].name, "root");
+  EXPECT_EQ(spans[2].depth, 0u);
+  const std::string dump = trace.Dump();
+  EXPECT_NE(dump.find("root"), std::string::npos);
+  EXPECT_NE(dump.find("    leaf"), std::string::npos);  // 2 levels indented.
+}
+
+TEST(ObsTraceTest, NullTraceSpanIsNoOp) {
+  TraceSpan span(nullptr, "ignored");
+  EXPECT_EQ(span.depth(), 0u);
+}
+
+TEST(ObsTraceTest, SpansRecordedAcrossThreads) {
+  Trace trace;
+  {
+    TraceSpan root(&trace, "scatter");
+    std::vector<std::thread> workers;
+    for (int i = 0; i < 4; ++i) {
+      workers.emplace_back([&trace, &root, i] {
+        TraceSpan worker_span(&trace, "segment:" + std::to_string(i), &root);
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  const auto spans = trace.spans();
+  ASSERT_EQ(spans.size(), 5u);
+  EXPECT_EQ(spans.back().name, "scatter");
+}
+
+// The SearchOutcome redesign exists so one Client can be shared across
+// threads: each query's rows/stats/status travel by value, and the
+// deprecated last_* shims are mutex-guarded. TSan (label `obs`) verifies.
+TEST(ObsSdkTest, SharedClientIsThreadSafe) {
+  db::DbOptions options;
+  options.fs = storage::NewMemoryFileSystem();
+  db::VectorDb db(options);
+  api::Client client(&db);
+  index::IndexBuildParams params;
+  params.nlist = 4;
+  ASSERT_TRUE(client.Collection("shared")
+                  .WithVectorField("v", 4)
+                  .WithIndex(index::IndexType::kIvfFlat, params)
+                  .Create());
+  for (int i = 0; i < 32; ++i) {
+    const std::vector<float> vec = {static_cast<float>(i), 0, 0, 0};
+    ASSERT_TRUE(client.Insert("shared", i, {vec}).ok());
+  }
+  ASSERT_TRUE(client.Flush("shared"));
+
+  constexpr int kThreads = 4;
+  constexpr int kQueries = 25;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&client, &failures, t] {
+      for (int q = 0; q < kQueries; ++q) {
+        const float target = static_cast<float>((t * kQueries + q) % 32);
+        auto outcome = client.Search("shared")
+                           .TopK(1)
+                           .NProbe(4)
+                           .Run({target, 0, 0, 0});
+        if (!outcome.ok() || outcome.rows.size() != 1 ||
+            outcome.rows[0].id != static_cast<RowId>(target) ||
+            outcome.stats.queries != 1) {
+          ++failures[t];
+        }
+        // The shims must stay data-race-free even under contention; their
+        // values describe *some* recent query, so only read, not assert.
+        (void)client.last_error();
+        (void)client.last_query_stats();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0) << t;
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace vectordb

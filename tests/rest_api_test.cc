@@ -1,11 +1,133 @@
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include "api/rest_handler.h"
 #include "storage/filesystem.h"
 
 namespace vectordb {
 namespace api {
 namespace {
+
+/// Minimal Prometheus text-format 0.0.4 parser used to validate the
+/// /metrics exposition: every line must be a well-formed comment or
+/// `name{labels} value` sample, and every sample must belong to a family
+/// announced by a preceding # TYPE line.
+struct Exposition {
+  std::map<std::string, std::string> family_type;  // family -> counter/...
+  struct ParsedSample {
+    std::string name;
+    std::string labels;  // raw text between { and }, "" if none
+    double value = 0.0;
+  };
+  std::vector<ParsedSample> samples;
+  std::string error;  // "" iff the whole body parsed
+
+  static bool ValidMetricName(const std::string& name) {
+    if (name.empty()) return false;
+    for (char c : name) {
+      if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+            c == ':')) {
+        return false;
+      }
+    }
+    return !std::isdigit(static_cast<unsigned char>(name[0]));
+  }
+
+  static Exposition Parse(const std::string& body) {
+    Exposition out;
+    std::istringstream lines(body);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.empty()) continue;
+      if (line[0] == '#') {
+        std::istringstream comment(line);
+        std::string hash, keyword, family;
+        comment >> hash >> keyword >> family;
+        if (keyword != "HELP" && keyword != "TYPE") {
+          out.error = "unknown comment keyword: " + line;
+          return out;
+        }
+        if (!ValidMetricName(family)) {
+          out.error = "bad family name: " + line;
+          return out;
+        }
+        if (keyword == "TYPE") {
+          std::string kind;
+          comment >> kind;
+          if (kind != "counter" && kind != "gauge" && kind != "histogram") {
+            out.error = "bad TYPE: " + line;
+            return out;
+          }
+          out.family_type[family] = kind;
+        }
+        continue;
+      }
+      ParsedSample sample;
+      size_t name_end = line.find_first_of("{ ");
+      if (name_end == std::string::npos) {
+        out.error = "sample without value: " + line;
+        return out;
+      }
+      sample.name = line.substr(0, name_end);
+      size_t value_begin = name_end;
+      if (line[name_end] == '{') {
+        const size_t close = line.find('}', name_end);
+        if (close == std::string::npos) {
+          out.error = "unterminated labels: " + line;
+          return out;
+        }
+        sample.labels = line.substr(name_end + 1, close - name_end - 1);
+        value_begin = close + 1;
+      }
+      if (!ValidMetricName(sample.name)) {
+        out.error = "bad sample name: " + line;
+        return out;
+      }
+      const std::string value_text = line.substr(value_begin);
+      char* end = nullptr;
+      sample.value = std::strtod(value_text.c_str(), &end);
+      const bool is_inf = value_text.find("+Inf") != std::string::npos;
+      if (!is_inf && (end == value_text.c_str() || *end != '\0')) {
+        out.error = "unparseable value: " + line;
+        return out;
+      }
+      // Histogram series render as <family>_bucket/_sum/_count.
+      std::string family = sample.name;
+      for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+        const std::string s = suffix;
+        if (family.size() > s.size() &&
+            family.compare(family.size() - s.size(), s.size(), s) == 0 &&
+            out.family_type.count(family.substr(0, family.size() - s.size()))) {
+          family = family.substr(0, family.size() - s.size());
+          break;
+        }
+      }
+      if (out.family_type.count(family) == 0) {
+        out.error = "sample without # TYPE: " + line;
+        return out;
+      }
+      out.samples.push_back(std::move(sample));
+    }
+    return out;
+  }
+
+  /// Kinds of families seen under a `vdb_<subsystem>_` prefix.
+  std::set<std::string> KindsForSubsystem(const std::string& subsystem) const {
+    std::set<std::string> kinds;
+    const std::string prefix = "vdb_" + subsystem + "_";
+    for (const auto& [family, kind] : family_type) {
+      if (family.compare(0, prefix.size(), prefix) == 0) kinds.insert(kind);
+    }
+    return kinds;
+  }
+};
 
 class RestApiTest : public ::testing::Test {
  protected:
@@ -161,6 +283,103 @@ TEST_F(RestApiTest, InsertValidation) {
                              R"({"attributes":[1]})")
                 .status,
             400);
+}
+
+TEST_F(RestApiTest, VersionedRoutesAreEquivalent) {
+  // The /v1 prefix and the legacy unversioned paths serve the same table.
+  auto created = handler_->Handle(
+      "POST", "/v1/collections",
+      R"({"name":"items","fields":[{"name":"v","dim":4}],)"
+      R"("attributes":["price"],"nlist":4})");
+  ASSERT_EQ(created.status, 201) << created.body.Dump();
+
+  auto v1_list = handler_->Handle("GET", "/v1/collections", "");
+  auto legacy_list = handler_->Handle("GET", "/collections", "");
+  ASSERT_TRUE(v1_list.ok());
+  ASSERT_TRUE(legacy_list.ok());
+  EXPECT_EQ(v1_list.body.Dump(), legacy_list.body.Dump());
+
+  InsertAndFlush(5);
+  auto v1_search = handler_->Handle("POST", "/v1/collections/items/search",
+                                    R"({"vector":[3,0,0,0],"k":1})");
+  ASSERT_TRUE(v1_search.ok()) << v1_search.body.Dump();
+  EXPECT_EQ(v1_search.body["hits"].at(0)["id"].as_number(), 3.0);
+
+  // Unknown routes 404 under both prefixes.
+  EXPECT_EQ(handler_->Handle("GET", "/v1/nope", "").status, 404);
+}
+
+TEST_F(RestApiTest, MetricsExpositionParsesAndCoversSubsystems) {
+  ASSERT_EQ(CreateDefaultCollection().status, 201);
+  InsertAndFlush(10);
+  // Drive one search so exec/storage families have observations (gpusim and
+  // dist are force-registered by the scrape even when idle).
+  ASSERT_TRUE(handler_->Handle("POST", "/collections/items/search",
+                               R"({"vector":[3,0,0,0],"k":2})")
+                  .ok());
+
+  auto response = handler_->Handle("GET", "/v1/metrics", "");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.content_type, "text/plain; version=0.0.4; charset=utf-8");
+  ASSERT_FALSE(response.text.empty());
+
+  const Exposition parsed = Exposition::Parse(response.text);
+  ASSERT_EQ(parsed.error, "");
+  EXPECT_FALSE(parsed.samples.empty());
+  for (const std::string subsystem : {"exec", "storage", "gpusim", "dist"}) {
+    const auto kinds = parsed.KindsForSubsystem(subsystem);
+    EXPECT_TRUE(kinds.count("counter")) << subsystem;
+    EXPECT_TRUE(kinds.count("gauge")) << subsystem;
+    EXPECT_TRUE(kinds.count("histogram")) << subsystem;
+  }
+
+  // The driven query left visible marks: a nonzero exec query counter and
+  // cumulative latency buckets ending in +Inf == _count.
+  double queries = -1.0, bucket_inf = -1.0, count = -1.0;
+  for (const auto& sample : parsed.samples) {
+    if (sample.name == "vdb_exec_queries_total") queries = sample.value;
+    if (sample.name == "vdb_exec_query_seconds_bucket" &&
+        sample.labels.find("le=\"+Inf\"") != std::string::npos) {
+      bucket_inf = sample.value;
+    }
+    if (sample.name == "vdb_exec_query_seconds_count") count = sample.value;
+  }
+  EXPECT_GE(queries, 1.0);
+  EXPECT_GE(count, 1.0);
+  EXPECT_EQ(bucket_inf, count);
+
+  // Legacy path answers the same scrape.
+  EXPECT_TRUE(handler_->Handle("GET", "/metrics", "").ok());
+  EXPECT_EQ(handler_->Handle("POST", "/metrics", "").status, 405);
+}
+
+TEST_F(RestApiTest, CollectionStatsIncludeMetricsSlice) {
+  ASSERT_EQ(CreateDefaultCollection().status, 201);
+  InsertAndFlush(10);
+  ASSERT_TRUE(handler_->Handle("POST", "/collections/items/search",
+                               R"({"vector":[3,0,0,0],"k":2})")
+                  .ok());
+  auto stats = handler_->Handle("GET", "/v1/collections/items", "");
+  ASSERT_TRUE(stats.ok());
+  const Json& metrics = stats.body["metrics"];
+  ASSERT_TRUE(metrics.is_array());
+  double collection_queries = -1.0;
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    if (metrics.at(i)["name"].as_string() == "vdb_db_queries_total") {
+      collection_queries = metrics.at(i)["value"].as_number();
+    }
+  }
+  EXPECT_GE(collection_queries, 1.0);
+}
+
+TEST_F(RestApiTest, HttpStatusMapping) {
+  EXPECT_EQ(HttpStatusFor(Status::OK()), 200);
+  EXPECT_EQ(HttpStatusFor(Status::NotFound("x")), 404);
+  EXPECT_EQ(HttpStatusFor(Status::AlreadyExists("x")), 409);
+  EXPECT_EQ(HttpStatusFor(Status::InvalidArgument("x")), 400);
+  EXPECT_EQ(HttpStatusFor(Status::NotSupported("x")), 400);
+  EXPECT_EQ(HttpStatusFor(Status::Aborted("deadline")), 504);
+  EXPECT_EQ(HttpStatusFor(Status::IOError("x")), 500);
 }
 
 }  // namespace

@@ -29,8 +29,7 @@ class SdkTest : public ::testing::Test {
   void InsertProducts(int count) {
     for (int i = 0; i < count; ++i) {
       const std::vector<float> vec = {static_cast<float>(i), 0, 0, 0};
-      ASSERT_NE(client_->Insert("products", i, {vec}, {i * 10.0}),
-                kInvalidRowId);
+      ASSERT_TRUE(client_->Insert("products", i, {vec}, {i * 10.0}).ok());
     }
     ASSERT_TRUE(client_->Flush("products"));
   }
@@ -59,43 +58,74 @@ TEST_F(SdkTest, CreateFailureSetsLastError) {
 TEST_F(SdkTest, InsertAutoAssignsIds) {
   ASSERT_TRUE(CreateProducts());
   const std::vector<float> vec = {1, 2, 3, 4};
-  const RowId a = client_->Insert("products", kInvalidRowId, {vec}, {1.0});
-  const RowId b = client_->Insert("products", kInvalidRowId, {vec2_}, {2.0});
-  EXPECT_NE(a, kInvalidRowId);
-  EXPECT_EQ(b, a + 1);
+  const InsertOutcome a =
+      client_->Insert("products", kInvalidRowId, {vec}, {1.0});
+  const InsertOutcome b =
+      client_->Insert("products", kInvalidRowId, {vec2_}, {2.0});
+  ASSERT_TRUE(a.ok()) << a.status.ToString();
+  ASSERT_TRUE(b.ok()) << b.status.ToString();
+  EXPECT_NE(a.id, kInvalidRowId);
+  EXPECT_EQ(b.id, a.id + 1);
+}
+
+TEST_F(SdkTest, InsertFailureIsUnambiguous) {
+  ASSERT_TRUE(CreateProducts());
+  const std::vector<float> vec = {1, 2, 3, 4};
+  ASSERT_TRUE(client_->Insert("products", 7, {vec}, {1.0}).ok());
+  // Duplicate id: the outcome carries the failure and never an id, where
+  // the legacy RowId return was ambiguous for caller-supplied sentinels.
+  const InsertOutcome dup = client_->Insert("products", 7, {vec}, {1.0});
+  EXPECT_FALSE(dup.ok());
+  EXPECT_TRUE(dup.status.IsAlreadyExists()) << dup.status.ToString();
+  EXPECT_EQ(dup.id, kInvalidRowId);
 }
 
 TEST_F(SdkTest, SearchBuilderReturnsNeighbors) {
   ASSERT_TRUE(CreateProducts());
   InsertProducts(20);
   const std::vector<float> query = {7, 0, 0, 0};
-  auto rows =
+  auto outcome =
       client_->Search("products").Field("embedding").TopK(3).NProbe(4).Run(
           query);
-  ASSERT_EQ(rows.size(), 3u);
-  EXPECT_EQ(rows[0].id, 7);
+  ASSERT_TRUE(outcome.ok()) << outcome.status.ToString();
+  ASSERT_EQ(outcome.rows.size(), 3u);
+  EXPECT_EQ(outcome.rows[0].id, 7);
+}
+
+TEST_F(SdkTest, OutcomeCarriesPerQueryStats) {
+  ASSERT_TRUE(CreateProducts());
+  InsertProducts(20);
+  const std::vector<float> query = {7, 0, 0, 0};
+  auto outcome = client_->Search("products").TopK(3).NProbe(4).Run(query);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.stats.queries, 1u);
+  EXPECT_GE(outcome.stats.segments_scanned, 1u);
+  // The deprecated last-call shims mirror the outcome.
+  EXPECT_EQ(client_->last_query_stats().segments_scanned,
+            outcome.stats.segments_scanned);
+  EXPECT_EQ(client_->last_error(), "");
 }
 
 TEST_F(SdkTest, DefaultFieldIsFirstVectorField) {
   ASSERT_TRUE(CreateProducts());
   InsertProducts(10);
   const std::vector<float> query = {3, 0, 0, 0};
-  auto rows = client_->Search("products").TopK(1).NProbe(4).Run(query);
-  ASSERT_EQ(rows.size(), 1u);
-  EXPECT_EQ(rows[0].id, 3);
+  auto outcome = client_->Search("products").TopK(1).NProbe(4).Run(query);
+  ASSERT_EQ(outcome.rows.size(), 1u);
+  EXPECT_EQ(outcome.rows[0].id, 3);
 }
 
 TEST_F(SdkTest, WhereClauseFilters) {
   ASSERT_TRUE(CreateProducts());
   InsertProducts(20);
   const std::vector<float> query = {7, 0, 0, 0};
-  auto rows = client_->Search("products")
-                  .TopK(5)
-                  .NProbe(4)
-                  .Where("price", 100, 150)  // ids 10..15.
-                  .Run(query);
-  ASSERT_FALSE(rows.empty());
-  for (const auto& row : rows) {
+  auto outcome = client_->Search("products")
+                     .TopK(5)
+                     .NProbe(4)
+                     .Where("price", 100, 150)  // ids 10..15.
+                     .Run(query);
+  ASSERT_FALSE(outcome.rows.empty());
+  for (const auto& row : outcome.rows) {
     EXPECT_GE(row.id, 10);
     EXPECT_LE(row.id, 15);
   }
@@ -105,14 +135,14 @@ TEST_F(SdkTest, FetchAttributesPopulatesRows) {
   ASSERT_TRUE(CreateProducts());
   InsertProducts(10);
   const std::vector<float> query = {4, 0, 0, 0};
-  auto rows = client_->Search("products")
-                  .TopK(1)
-                  .NProbe(4)
-                  .FetchAttributes()
-                  .Run(query);
-  ASSERT_EQ(rows.size(), 1u);
-  ASSERT_EQ(rows[0].attributes.size(), 1u);
-  EXPECT_EQ(rows[0].attributes[0], 40.0);
+  auto outcome = client_->Search("products")
+                     .TopK(1)
+                     .NProbe(4)
+                     .FetchAttributes()
+                     .Run(query);
+  ASSERT_EQ(outcome.rows.size(), 1u);
+  ASSERT_EQ(outcome.rows[0].attributes.size(), 1u);
+  EXPECT_EQ(outcome.rows[0].attributes[0], 40.0);
 }
 
 TEST_F(SdkTest, DeleteThenSearchExcludesRow) {
@@ -120,8 +150,8 @@ TEST_F(SdkTest, DeleteThenSearchExcludesRow) {
   InsertProducts(10);
   ASSERT_TRUE(client_->Delete("products", 4));
   const std::vector<float> query = {4, 0, 0, 0};
-  auto rows = client_->Search("products").TopK(10).NProbe(4).Run(query);
-  for (const auto& row : rows) EXPECT_NE(row.id, 4);
+  auto outcome = client_->Search("products").TopK(10).NProbe(4).Run(query);
+  for (const auto& row : outcome.rows) EXPECT_NE(row.id, 4);
 }
 
 TEST_F(SdkTest, MultiVectorSearchViaSdk) {
@@ -135,19 +165,25 @@ TEST_F(SdkTest, MultiVectorSearchViaSdk) {
   for (int i = 0; i < 10; ++i) {
     const std::vector<float> face = {static_cast<float>(i), 1};
     const std::vector<float> body = {static_cast<float>(i), 2};
-    ASSERT_NE(client_->Insert("faces", i, {face, body}), kInvalidRowId);
+    ASSERT_TRUE(client_->Insert("faces", i, {face, body}).ok());
   }
   ASSERT_TRUE(client_->Flush("faces"));
-  auto rows = client_->Search("faces").TopK(2).RunMulti(
+  auto outcome = client_->Search("faces").TopK(2).RunMulti(
       {{6, 1}, {6, 2}}, {0.5f, 0.5f});
-  ASSERT_FALSE(rows.empty());
-  EXPECT_EQ(rows[0].id, 6);
+  ASSERT_TRUE(outcome.ok()) << outcome.status.ToString();
+  ASSERT_FALSE(outcome.rows.empty());
+  EXPECT_EQ(outcome.rows[0].id, 6);
 }
 
 TEST_F(SdkTest, UnknownCollectionFailsGracefully) {
-  EXPECT_EQ(client_->Insert("ghost", 1, {{1.0f}}), kInvalidRowId);
+  const InsertOutcome insert = client_->Insert("ghost", 1, {{1.0f}});
+  EXPECT_FALSE(insert.ok());
+  EXPECT_TRUE(insert.status.IsNotFound());
   EXPECT_FALSE(client_->Delete("ghost", 1));
-  EXPECT_TRUE(client_->Search("ghost").Run({1.0f}).empty());
+  auto outcome = client_->Search("ghost").Run({1.0f});
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_TRUE(outcome.status.IsNotFound());
+  EXPECT_TRUE(outcome.rows.empty());
   EXPECT_NE(client_->last_error(), "");
 }
 

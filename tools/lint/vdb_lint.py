@@ -18,6 +18,16 @@ Machine-checkable conventions that the compiler cannot (portably) enforce:
   banned-random    rand()/srand()/random_device/random_shuffle are banned in
                    src/ — all randomness flows through the seeded common/rng.h
                    so every run is reproducible.
+  metric-name      "vdb_..." string literals must follow the
+                   vdb_<subsystem>_<name> convention with a known subsystem
+                   and a [a-z0-9_] tail (mirrors obs::MetricsRegistry::
+                   ValidName, so bad names fail CI instead of just warning
+                   at registration).
+  adhoc-atomic     numeric std::atomic<...> members outside src/obs/ are
+                   banned — ad-hoc counters belong in the metrics registry
+                   (obs::Counter/Gauge) so they show up on /metrics.
+                   std::atomic<bool>/enum flags are fine; pre-registry stats
+                   structs are allowlisted.
 
 Usage:
   tools/lint/vdb_lint.py [--root DIR]    lint DIR (default: repo root)
@@ -41,6 +51,20 @@ SLEEP_ALLOWLIST = {
     "src/storage/object_store.cc",         # simulated object-store latency
 }
 RANDOM_ALLOWLIST = {"src/common/rng.h"}  # the one sanctioned RNG wrapper
+# Pre-registry stats structs whose numeric atomics are part of a published
+# API (their values are mirrored into the registry where it matters).
+ATOMIC_ALLOWLIST = {
+    "src/common/threadpool.cc",         # work-stealing cursor, not a metric
+    "src/db/collection.h",              # id/sequence allocators
+    "src/dist/node.h",                  # fault-injection budget
+    "src/storage/object_store.h",       # ObjectStoreStats
+    "src/storage/fault_injection.h",    # FaultStats
+    "src/storage/retrying_filesystem.h",  # RetryStats
+}
+
+# Keep in sync with kSubsystems in src/obs/metrics.cc.
+METRIC_SUBSYSTEMS = ("exec", "storage", "gpusim", "dist", "db", "api", "obs",
+                     "index")
 
 NAKED_MUTEX_RE = re.compile(
     r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|lock_guard|"
@@ -51,6 +75,14 @@ PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\b")
 BANNED_RANDOM_RE = re.compile(
     r"(?<![\w:])(rand|srand|random_shuffle)\s*\(|std::random_device\b")
 LINE_COMMENT_RE = re.compile(r"//.*$")
+# Scanned against the RAW line (string literals survive stripping nowhere
+# else): any double-quoted literal that starts with vdb_.
+METRIC_LITERAL_RE = re.compile(r'"(vdb_[A-Za-z0-9_]+)"')
+METRIC_NAME_RE = re.compile(
+    r"vdb_(?:%s)_[a-z0-9_]+\Z" % "|".join(METRIC_SUBSYSTEMS))
+ADHOC_ATOMIC_RE = re.compile(
+    r"std::atomic<\s*(?:unsigned|signed|short|int|long|size_t|float|double|"
+    r"u?int(?:8|16|32|64|ptr)?_t)\b")
 
 
 def _strip_comments_and_strings(line, in_block_comment):
@@ -140,6 +172,19 @@ def lint_file(root, rel_path, findings):
             findings.append(
                 (rel_path, lineno, "banned-random",
                  "unseeded randomness is banned; use common/rng.h"))
+        for name in METRIC_LITERAL_RE.findall(raw):
+            if not METRIC_NAME_RE.match(name):
+                findings.append(
+                    (rel_path, lineno, "metric-name",
+                     "'%s' violates vdb_<subsystem>_<name> (subsystems: %s)"
+                     % (name, ", ".join(METRIC_SUBSYSTEMS))))
+        if (not rel_path.startswith("src/obs/")
+                and rel_path not in ATOMIC_ALLOWLIST
+                and ADHOC_ATOMIC_RE.search(line)):
+            findings.append(
+                (rel_path, lineno, "adhoc-atomic",
+                 "numeric std::atomic outside src/obs/ is an ad-hoc "
+                 "counter; use obs::Counter/Gauge from the registry"))
 
     if is_header and not saw_guard:
         findings.append((rel_path, 1, "header-guard",
@@ -191,6 +236,9 @@ struct Bad {
 
 BAD_SOURCE = """\
 #include <thread>
+std::atomic<uint64_t> g_requests{0};
+const char* kBadMetric = "vdb_bogus_requests_total";
+const char* kBadTail = "vdb_exec_BadCase";
 void f() {
   std::this_thread::sleep_for(std::chrono::seconds(1));
   (void)g();
@@ -205,6 +253,8 @@ CLEAN_HEADER = """\
 // A comment mentioning std::mutex does not count.
 /* neither does a block comment: (void)ignored */
 inline const char* kName = "string with (void)f() and std::mutex inside";
+inline const char* kMetric = "vdb_exec_queries_total";  // valid metric name
+inline std::atomic<bool> g_flag{false};  // bool flags are not counters
 #endif  // VECTORDB_GOOD_H_
 """
 
@@ -234,6 +284,13 @@ def self_test():
         expect(findings, "void-cast", "src/bad.cc")
         expect(findings, "banned-random", "src/bad.cc")
         expect(findings, "naked-mutex", "src/bad.cc")
+        expect(findings, "metric-name", "src/bad.cc")
+        expect(findings, "adhoc-atomic", "src/bad.cc")
+        bad_names = [f for f in findings if f[2] == "metric-name"]
+        if len(bad_names) != 2:
+            failures.append(
+                "metric-name should fire twice on src/bad.cc, got %d"
+                % len(bad_names))
 
     with tempfile.TemporaryDirectory(prefix="vdb_lint_selftest_") as tmp:
         os.makedirs(os.path.join(tmp, "src"))
