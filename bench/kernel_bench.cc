@@ -1,0 +1,351 @@
+// Kernel benchmark harness: measures every scan kernel at every supported
+// SIMD dispatch level and writes BENCH_kernels.json — the first artifact of
+// the repo's recorded perf trajectory (ROADMAP item 1).
+//
+// The JSON reports ns/vector plus two machine-normalized ratios:
+//   speedup_vs_scalar  same kernel at the scalar level (dispatch win);
+//   speedup_vs_legacy  the pre-fastscan path at the same level — SQ8
+//                      decode-then-compare, PQ scalar table walk.
+// tools/bench_gate.py compares the normalized ratios against the committed
+// baseline so CI fails when a kernel regresses.
+//
+// Usage: kernel_bench [--quick] [--out PATH]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "api/json.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "simd/distances.h"
+
+namespace vectordb {
+namespace {
+
+struct BenchConfig {
+  bool quick = false;
+  std::string out_path = "BENCH_kernels.json";
+};
+
+struct Result {
+  std::string kernel;
+  std::string level;
+  size_t dim;
+  double ns_per_vector;
+  double speedup_vs_scalar = 0.0;  // filled after all levels are measured
+  double speedup_vs_legacy = 0.0;  // fused kernels only
+};
+
+/// Best-of-3 timing of `fn` (which scans `rows` vectors per call), repeated
+/// until each sample exceeds the minimum window so short kernels are not
+/// noise-dominated.
+template <typename Fn>
+double MeasureNsPerVector(size_t rows, double min_seconds, Fn&& fn) {
+  double best = -1.0;
+  for (int sample = 0; sample < 3; ++sample) {
+    size_t iters = 1;
+    for (;;) {
+      Timer timer;
+      for (size_t it = 0; it < iters; ++it) fn();
+      const double elapsed = timer.ElapsedSeconds();
+      if (elapsed >= min_seconds) {
+        const double ns =
+            elapsed * 1e9 / (static_cast<double>(iters) * rows);
+        if (best < 0 || ns < best) best = ns;
+        break;
+      }
+      iters = elapsed <= 0 ? iters * 8 : iters * 2;
+    }
+  }
+  return best;
+}
+
+/// Keeps checksums alive so the optimizer cannot drop the measured work.
+volatile float g_sink = 0.0f;
+
+void SinkAll(const float* scores, size_t n) {
+  float s = 0.0f;
+  for (size_t i = 0; i < n; ++i) s += scores[i];
+  g_sink = g_sink + s;
+}
+
+class KernelBench {
+ public:
+  explicit KernelBench(const BenchConfig& config)
+      : config_(config),
+        rows_(config.quick ? 1024 : 4096),
+        min_seconds_(config.quick ? 0.02 : 0.15) {}
+
+  void RunLevel(simd::SimdLevel level) {
+    if (!simd::SetLevel(level)) return;
+    const char* name = simd::SimdLevelName(level);
+    std::fprintf(stderr, "== level %s ==\n", name);
+
+    for (size_t dim : Dims()) {
+      BenchFloat(name, dim);
+      BenchSq8(name, dim);
+    }
+    // PQ geometries: dim 128 as m=16 sub-quantizers of 8 dims each, with
+    // the register-resident LUT shape (ksub=16) and the classic 8-bit
+    // codebook (ksub=256).
+    BenchPq(name, /*m=*/16, /*ksub=*/16);
+    BenchPq(name, /*m=*/16, /*ksub=*/256);
+    simd::SetLevel(simd::HighestSupportedLevel());
+  }
+
+  void Normalize() {
+    for (Result& r : results_) {
+      const Result* scalar = Find(r.kernel, "scalar", r.dim);
+      if (scalar != nullptr && r.ns_per_vector > 0) {
+        r.speedup_vs_scalar = scalar->ns_per_vector / r.ns_per_vector;
+      }
+      const std::string legacy = LegacyFor(r.kernel);
+      if (!legacy.empty()) {
+        const Result* base = Find(legacy, r.level, r.dim);
+        if (base != nullptr && r.ns_per_vector > 0) {
+          r.speedup_vs_legacy = base->ns_per_vector / r.ns_per_vector;
+        }
+      }
+    }
+  }
+
+  int WriteJson() const {
+    api::Json root = api::Json::Object();
+    root.Set("schema", "vdb-kernel-bench-v1");
+    root.Set("quick", config_.quick);
+    root.Set("simd_highest",
+             simd::SimdLevelName(simd::HighestSupportedLevel()));
+    api::Json rows = api::Json::Array();
+    for (const Result& r : results_) {
+      api::Json row = api::Json::Object();
+      row.Set("kernel", r.kernel);
+      row.Set("level", r.level);
+      row.Set("dim", r.dim);
+      row.Set("ns_per_vector", r.ns_per_vector);
+      if (r.speedup_vs_scalar > 0) {
+        row.Set("speedup_vs_scalar", r.speedup_vs_scalar);
+      }
+      if (r.speedup_vs_legacy > 0) {
+        row.Set("speedup_vs_legacy", r.speedup_vs_legacy);
+      }
+      rows.Append(std::move(row));
+    }
+    root.Set("results", std::move(rows));
+
+    std::FILE* f = std::fopen(config_.out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", config_.out_path.c_str());
+      return 1;
+    }
+    const std::string text = root.Dump();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %zu results to %s\n", results_.size(),
+                 config_.out_path.c_str());
+    return 0;
+  }
+
+  void PrintSummary() const {
+    std::printf("%-18s %-8s %5s %14s %10s %10s\n", "kernel", "level", "dim",
+                "ns/vector", "vs_scalar", "vs_legacy");
+    for (const Result& r : results_) {
+      std::printf("%-18s %-8s %5zu %14.2f %10.2f %10.2f\n", r.kernel.c_str(),
+                  r.level.c_str(), r.dim, r.ns_per_vector,
+                  r.speedup_vs_scalar, r.speedup_vs_legacy);
+    }
+  }
+
+ private:
+  std::vector<size_t> Dims() const {
+    if (config_.quick) return {128};
+    return {32, 128, 960};
+  }
+
+  const Result* Find(const std::string& kernel, const std::string& level,
+                     size_t dim) const {
+    for (const Result& r : results_) {
+      if (r.kernel == kernel && r.level == level && r.dim == dim) return &r;
+    }
+    return nullptr;
+  }
+
+  static std::string LegacyFor(const std::string& kernel) {
+    if (kernel == "sq8_l2_fused") return "sq8_l2_legacy";
+    if (kernel == "sq8_ip_fused") return "sq8_ip_legacy";
+    if (kernel == "pq_scan_lut16") return "pq_legacy_lut16";
+    if (kernel == "pq_scan_k256") return "pq_legacy_k256";
+    if (kernel == "l2_sqr_batch") return "l2_sqr";
+    if (kernel == "inner_product_batch") return "inner_product";
+    return "";
+  }
+
+  void Record(const char* kernel, const char* level, size_t dim, double ns) {
+    results_.push_back(Result{kernel, level, dim, ns});
+    std::fprintf(stderr, "  %-18s dim=%-4zu %9.2f ns/vector\n", kernel, dim,
+                 ns);
+  }
+
+  void BenchFloat(const char* level, size_t dim) {
+    Rng rng(21);
+    std::vector<float> query(dim);
+    for (auto& x : query) x = rng.NextGaussian();
+    std::vector<float> base(rows_ * dim);
+    for (auto& x : base) x = rng.NextGaussian();
+    std::vector<float> scores(rows_);
+
+    Record("l2_sqr", level, dim,
+           MeasureNsPerVector(rows_, min_seconds_, [&] {
+             for (size_t i = 0; i < rows_; ++i) {
+               scores[i] = simd::L2Sqr(query.data(), base.data() + i * dim,
+                                       dim);
+             }
+             SinkAll(scores.data(), rows_);
+           }));
+    Record("inner_product", level, dim,
+           MeasureNsPerVector(rows_, min_seconds_, [&] {
+             for (size_t i = 0; i < rows_; ++i) {
+               scores[i] = simd::InnerProduct(query.data(),
+                                              base.data() + i * dim, dim);
+             }
+             SinkAll(scores.data(), rows_);
+           }));
+    Record("l2_sqr_batch", level, dim,
+           MeasureNsPerVector(rows_, min_seconds_, [&] {
+             simd::L2SqrBatch(query.data(), base.data(), rows_, dim,
+                              scores.data());
+             SinkAll(scores.data(), rows_);
+           }));
+    Record("inner_product_batch", level, dim,
+           MeasureNsPerVector(rows_, min_seconds_, [&] {
+             simd::InnerProductBatch(query.data(), base.data(), rows_, dim,
+                                     scores.data());
+             SinkAll(scores.data(), rows_);
+           }));
+  }
+
+  void BenchSq8(const char* level, size_t dim) {
+    Rng rng(22);
+    std::vector<float> query(dim), vmin(dim), vdiff(dim), scale(dim);
+    for (auto& x : query) x = rng.NextGaussian();
+    for (size_t d = 0; d < dim; ++d) {
+      vmin[d] = -3.0f;
+      vdiff[d] = 6.0f;
+      scale[d] = vdiff[d] / 255.0f;
+    }
+    std::vector<uint8_t> codes(rows_ * dim);
+    for (auto& b : codes) b = static_cast<uint8_t>(rng.NextUint64(256));
+    std::vector<float> scores(rows_);
+
+    Record("sq8_l2_fused", level, dim,
+           MeasureNsPerVector(rows_, min_seconds_, [&] {
+             simd::Sq8ScanL2(query.data(), vmin.data(), scale.data(),
+                             codes.data(), rows_, dim, scores.data());
+             SinkAll(scores.data(), rows_);
+           }));
+    Record("sq8_ip_fused", level, dim,
+           MeasureNsPerVector(rows_, min_seconds_, [&] {
+             simd::Sq8ScanIp(query.data(), vmin.data(), scale.data(),
+                             codes.data(), rows_, dim, scores.data());
+             SinkAll(scores.data(), rows_);
+           }));
+
+    // Pre-PR scanner: decode each code into a buffer, then run the float
+    // kernel over the decoded vector (what Sq8Scanner did before fusion).
+    std::vector<float> decoded(dim);
+    Record("sq8_l2_legacy", level, dim,
+           MeasureNsPerVector(rows_, min_seconds_, [&] {
+             for (size_t i = 0; i < rows_; ++i) {
+               const uint8_t* code = codes.data() + i * dim;
+               for (size_t d = 0; d < dim; ++d) {
+                 decoded[d] =
+                     vmin[d] + vdiff[d] * (code[d] * (1.0f / 255.0f));
+               }
+               scores[i] = simd::L2Sqr(query.data(), decoded.data(), dim);
+             }
+             SinkAll(scores.data(), rows_);
+           }));
+    Record("sq8_ip_legacy", level, dim,
+           MeasureNsPerVector(rows_, min_seconds_, [&] {
+             for (size_t i = 0; i < rows_; ++i) {
+               const uint8_t* code = codes.data() + i * dim;
+               for (size_t d = 0; d < dim; ++d) {
+                 decoded[d] =
+                     vmin[d] + vdiff[d] * (code[d] * (1.0f / 255.0f));
+               }
+               scores[i] =
+                   simd::InnerProduct(query.data(), decoded.data(), dim);
+             }
+             SinkAll(scores.data(), rows_);
+           }));
+  }
+
+  void BenchPq(const char* level, size_t m, size_t ksub) {
+    Rng rng(23);
+    std::vector<float> table(m * ksub);
+    for (auto& x : table) x = rng.NextGaussian();
+    std::vector<uint8_t> codes(rows_ * m);
+    for (auto& b : codes) b = static_cast<uint8_t>(rng.NextUint64(ksub));
+    std::vector<float> scores(rows_);
+
+    const std::string scan_name =
+        ksub == 16 ? "pq_scan_lut16" : "pq_scan_k256";
+    const std::string legacy_name =
+        ksub == 16 ? "pq_legacy_lut16" : "pq_legacy_k256";
+
+    Record(scan_name.c_str(), level, m,
+           MeasureNsPerVector(rows_, min_seconds_, [&] {
+             simd::PqAdcScan(table.data(), m, ksub, codes.data(), rows_,
+                             scores.data());
+             SinkAll(scores.data(), rows_);
+           }));
+    // Pre-PR scanner: scalar table walk per code (ProductQuantizer::
+    // AdcScore), identical at every level.
+    Record(legacy_name.c_str(), level, m,
+           MeasureNsPerVector(rows_, min_seconds_, [&] {
+             for (size_t i = 0; i < rows_; ++i) {
+               const uint8_t* code = codes.data() + i * m;
+               float sum = 0.0f;
+               for (size_t j = 0; j < m; ++j) {
+                 sum += table[j * ksub + code[j]];
+               }
+               scores[i] = sum;
+             }
+             SinkAll(scores.data(), rows_);
+           }));
+  }
+
+  BenchConfig config_;
+  size_t rows_;
+  double min_seconds_;
+  std::vector<Result> results_;
+};
+
+}  // namespace
+}  // namespace vectordb
+
+int main(int argc, char** argv) {
+  vectordb::BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      config.quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      config.out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  vectordb::KernelBench bench(config);
+  using vectordb::simd::SimdLevel;
+  for (SimdLevel level : {SimdLevel::kScalar, SimdLevel::kSse,
+                          SimdLevel::kAvx2, SimdLevel::kAvx512}) {
+    bench.RunLevel(level);
+  }
+  bench.Normalize();
+  bench.PrintSummary();
+  return bench.WriteJson();
+}

@@ -56,6 +56,76 @@ void BM_InnerProduct(benchmark::State& state) {
 }
 BENCHMARK(BM_InnerProduct)->ArgsProduct({{0, 1, 2, 3}, {128}});
 
+void BM_L2SqrBatch(benchmark::State& state) {
+  const auto level = static_cast<simd::SimdLevel>(state.range(0));
+  if (!simd::SetLevel(level)) {
+    state.SkipWithError("SIMD level unsupported on this CPU");
+    return;
+  }
+  const size_t dim = static_cast<size_t>(state.range(1));
+  const size_t n = simd::kScanBlock;
+  const auto query = RandomVector(dim, 6);
+  const auto base = RandomVector(n * dim, 7);
+  std::vector<float> scores(n);
+  for (auto _ : state) {
+    simd::L2SqrBatch(query.data(), base.data(), n, dim, scores.data());
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetLabel(simd::SimdLevelName(level));
+  state.SetItemsProcessed(int64_t(state.iterations()) * n);
+  simd::SetLevel(simd::HighestSupportedLevel());
+}
+BENCHMARK(BM_L2SqrBatch)->ArgsProduct({{0, 1, 2, 3}, {128, 960}});
+
+void BM_Sq8ScanL2(benchmark::State& state) {
+  const auto level = static_cast<simd::SimdLevel>(state.range(0));
+  if (!simd::SetLevel(level)) {
+    state.SkipWithError("SIMD level unsupported on this CPU");
+    return;
+  }
+  const size_t dim = static_cast<size_t>(state.range(1));
+  const size_t n = simd::kScanBlock;
+  const auto query = RandomVector(dim, 8);
+  std::vector<float> vmin(dim, -3.0f), scale(dim, 6.0f / 255.0f);
+  Rng rng(9);
+  std::vector<uint8_t> codes(n * dim);
+  for (auto& b : codes) b = static_cast<uint8_t>(rng.NextUint64(256));
+  std::vector<float> scores(n);
+  for (auto _ : state) {
+    simd::Sq8ScanL2(query.data(), vmin.data(), scale.data(), codes.data(), n,
+                    dim, scores.data());
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetLabel(simd::SimdLevelName(level));
+  state.SetItemsProcessed(int64_t(state.iterations()) * n);
+  simd::SetLevel(simd::HighestSupportedLevel());
+}
+BENCHMARK(BM_Sq8ScanL2)->ArgsProduct({{0, 1, 2, 3}, {128, 960}});
+
+void BM_PqAdcScan(benchmark::State& state) {
+  const auto level = static_cast<simd::SimdLevel>(state.range(0));
+  if (!simd::SetLevel(level)) {
+    state.SkipWithError("SIMD level unsupported on this CPU");
+    return;
+  }
+  const size_t m = 16;
+  const size_t ksub = static_cast<size_t>(state.range(1));
+  const size_t n = simd::kScanBlock;
+  const auto table = RandomVector(m * ksub, 10);
+  Rng rng(11);
+  std::vector<uint8_t> codes(n * m);
+  for (auto& b : codes) b = static_cast<uint8_t>(rng.NextUint64(ksub));
+  std::vector<float> scores(n);
+  for (auto _ : state) {
+    simd::PqAdcScan(table.data(), m, ksub, codes.data(), n, scores.data());
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetLabel(simd::SimdLevelName(level));
+  state.SetItemsProcessed(int64_t(state.iterations()) * n);
+  simd::SetLevel(simd::HighestSupportedLevel());
+}
+BENCHMARK(BM_PqAdcScan)->ArgsProduct({{0, 1, 2, 3}, {16, 256}});
+
 void BM_BinaryHamming(benchmark::State& state) {
   const size_t bytes = static_cast<size_t>(state.range(0));
   std::vector<uint8_t> x(bytes, 0xA5), y(bytes, 0x5A);

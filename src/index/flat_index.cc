@@ -1,5 +1,7 @@
 #include "index/flat_index.h"
 
+#include <algorithm>
+
 #include "common/binary_io.h"
 #include "common/result_heap.h"
 #include "simd/distances.h"
@@ -24,11 +26,29 @@ Status FlatIndex::Search(const float* queries, size_t nq,
   for (size_t q = 0; q < nq; ++q) {
     const float* query = queries + q * dim_;
     ResultHeap heap = ResultHeap::ForMetric(options.k, metric_);
-    for (size_t i = 0; i < num_vectors_; ++i) {
-      if (options.filter != nullptr && !options.filter->Test(i)) continue;
-      const float score =
-          simd::ComputeFloatScore(metric_, query, vector(i), dim_);
-      heap.Push(static_cast<RowId>(i), score);
+    if (metric_ == MetricType::kCosine) {
+      // Cosine needs per-row norms; stay on the one-pair kernel.
+      for (size_t i = 0; i < num_vectors_; ++i) {
+        if (options.filter != nullptr && !options.filter->Test(i)) continue;
+        heap.Push(static_cast<RowId>(i),
+                  simd::ComputeFloatScore(metric_, query, vector(i), dim_));
+      }
+    } else {
+      float scores[simd::kScanBlock];
+      for (size_t start = 0; start < num_vectors_;
+           start += simd::kScanBlock) {
+        const size_t bn = std::min(simd::kScanBlock, num_vectors_ - start);
+        if (metric_ == MetricType::kL2) {
+          simd::L2SqrBatch(query, vector(start), bn, dim_, scores);
+        } else {
+          simd::InnerProductBatch(query, vector(start), bn, dim_, scores);
+        }
+        for (size_t j = 0; j < bn; ++j) {
+          const size_t i = start + j;
+          if (options.filter != nullptr && !options.filter->Test(i)) continue;
+          heap.Push(static_cast<RowId>(i), scores[j]);
+        }
+      }
     }
     (*results)[q] = heap.TakeSorted();
   }

@@ -1,5 +1,6 @@
 #include "index/ivf_flat_index.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "simd/distances.h"
@@ -16,15 +17,36 @@ class FlatScanner : public IvfIndex::QueryScanner {
 
   void ScanList(size_t /*list_id*/, const InvertedList& list,
                 const Bitset* filter, ResultHeap* heap) const override {
-    const float* codes = reinterpret_cast<const float*>(list.codes.data());
-    for (size_t j = 0; j < list.size(); ++j) {
-      const RowId id = list.ids[j];
-      if (filter != nullptr && !filter->Test(static_cast<size_t>(id))) {
-        continue;
+    const float* rows = reinterpret_cast<const float*>(list.codes.data());
+    const size_t n = list.size();
+    if (metric_ == MetricType::kCosine) {
+      // Cosine needs per-row norms; stay on the one-pair kernel.
+      for (size_t j = 0; j < n; ++j) {
+        const RowId id = list.ids[j];
+        if (filter != nullptr && !filter->Test(static_cast<size_t>(id))) {
+          continue;
+        }
+        heap->Push(id, simd::ComputeFloatScore(metric_, query_,
+                                               rows + j * dim_, dim_));
       }
-      const float score =
-          simd::ComputeFloatScore(metric_, query_, codes + j * dim_, dim_);
-      heap->Push(id, score);
+      return;
+    }
+    float scores[simd::kScanBlock];
+    for (size_t start = 0; start < n; start += simd::kScanBlock) {
+      const size_t bn = std::min(simd::kScanBlock, n - start);
+      if (metric_ == MetricType::kL2) {
+        simd::L2SqrBatch(query_, rows + start * dim_, bn, dim_, scores);
+      } else {
+        simd::InnerProductBatch(query_, rows + start * dim_, bn, dim_,
+                                scores);
+      }
+      for (size_t j = 0; j < bn; ++j) {
+        const RowId id = list.ids[start + j];
+        if (filter != nullptr && !filter->Test(static_cast<size_t>(id))) {
+          continue;
+        }
+        heap->Push(id, scores[j]);
+      }
     }
   }
 

@@ -11,16 +11,25 @@ namespace index {
 namespace {
 
 /// Residual ADC scanner: for each probed bucket, build the lookup table for
-/// the residual query (q - centroid). For inner product the per-bucket
-/// constant ip(q, centroid) is added to every score.
+/// the residual query (q - centroid), then accumulate it over the bucket's
+/// codes with the dispatched fastscan kernel (simd::PqAdcScan) in blocks of
+/// simd::kScanBlock. For inner product the per-bucket constant
+/// ip(q, centroid) is added to every score.
+///
+/// The scanner itself holds only immutable per-query state (the IP table is
+/// built once in the constructor); per-bucket scratch lives on the ScanList
+/// stack, so a single index instance is safe under concurrent queries.
 class PqScanner : public IvfIndex::QueryScanner {
  public:
   PqScanner(const float* query, const IvfPqIndex& index)
-      : query_(query),
-        index_(index),
-        pq_(index.pq()),
-        residual_(index.dim()),
-        table_(pq_.m() * pq_.ksub()) {}
+      : query_(query), index_(index), pq_(index.pq()) {
+    if (index.metric() == MetricType::kInnerProduct) {
+      // ip(q, c + r̂) = ip(q, c) + ip(q, r̂): the table over the original
+      // query is bucket-independent — build it once per query.
+      ip_table_.resize(pq_.m() * pq_.ksub());
+      pq_.ComputeAdcTable(query_, MetricType::kInnerProduct, ip_table_.data());
+    }
+  }
 
   void ScanList(size_t list_id, const InvertedList& list, const Bitset* filter,
                 ResultHeap* heap) const override {
@@ -29,29 +38,36 @@ class PqScanner : public IvfIndex::QueryScanner {
     const MetricType metric = index_.metric();
 
     float bias = 0.0f;
+    const float* table = ip_table_.data();
+    std::vector<float> scratch;
     if (metric == MetricType::kInnerProduct) {
-      // ip(q, c + r̂) = ip(q, c) + ip(q, r̂): table over the original query
-      // is bucket-independent — build it once per query, not per bucket.
-      if (!ip_table_ready_) {
-        pq_.ComputeAdcTable(query_, metric, table_.data());
-        ip_table_ready_ = true;
-      }
       bias = simd::InnerProduct(query_, centroid, dim);
     } else {
-      // ||q - (c + r̂)||² = ||(q - c) - r̂||²: table over the residual query.
-      for (size_t d = 0; d < dim; ++d) residual_[d] = query_[d] - centroid[d];
-      pq_.ComputeAdcTable(residual_.data(), metric, table_.data());
+      // ||q - (c + r̂)||² = ||(q - c) - r̂||²: table over the residual query,
+      // rebuilt per bucket (one scratch block: residual + table; building
+      // the table costs dim × ksub FLOPs, which dwarfs the allocation).
+      scratch.resize(dim + pq_.m() * pq_.ksub());
+      float* residual = scratch.data();
+      float* l2_table = scratch.data() + dim;
+      for (size_t d = 0; d < dim; ++d) residual[d] = query_[d] - centroid[d];
+      pq_.ComputeAdcTable(residual, metric, l2_table);
+      table = l2_table;
     }
 
     const size_t csize = pq_.code_size();
-    for (size_t j = 0; j < list.size(); ++j) {
-      const RowId id = list.ids[j];
-      if (filter != nullptr && !filter->Test(static_cast<size_t>(id))) {
-        continue;
+    const size_t n = list.size();
+    float scores[simd::kScanBlock];
+    for (size_t start = 0; start < n; start += simd::kScanBlock) {
+      const size_t bn = std::min(simd::kScanBlock, n - start);
+      simd::PqAdcScan(table, pq_.m(), pq_.ksub(),
+                      list.codes.data() + start * csize, bn, scores);
+      for (size_t j = 0; j < bn; ++j) {
+        const RowId id = list.ids[start + j];
+        if (filter != nullptr && !filter->Test(static_cast<size_t>(id))) {
+          continue;
+        }
+        heap->Push(id, bias + scores[j]);
       }
-      const float score =
-          bias + pq_.AdcScore(table_.data(), list.codes.data() + j * csize);
-      heap->Push(id, score);
     }
   }
 
@@ -59,9 +75,7 @@ class PqScanner : public IvfIndex::QueryScanner {
   const float* query_;
   const IvfPqIndex& index_;
   const ProductQuantizer& pq_;
-  mutable std::vector<float> residual_;
-  mutable std::vector<float> table_;
-  mutable bool ip_table_ready_ = false;
+  std::vector<float> ip_table_;  ///< Built once in ctor; empty for L2.
 };
 
 }  // namespace

@@ -10,41 +10,83 @@ namespace index {
 
 namespace {
 
+/// Fused SQ8 scanner: codes are scored directly through the dispatched
+/// decode+distance kernels in blocks of simd::kScanBlock; no decoded vector
+/// is ever materialized. The scanner holds no mutable scratch, so one index
+/// instance (and even one scanner) is safe under concurrent queries — block
+/// scores live on the ScanList stack.
 class Sq8Scanner : public IvfIndex::QueryScanner {
  public:
   Sq8Scanner(const float* query, size_t dim, MetricType metric,
-             const std::vector<float>& vmin, const std::vector<float>& vdiff)
+             const std::vector<float>& vmin, const std::vector<float>& scale)
       : query_(query),
         dim_(dim),
         metric_(metric),
         vmin_(vmin),
-        vdiff_(vdiff),
-        decoded_(dim) {}
+        scale_(scale),
+        query_norm_(metric == MetricType::kCosine
+                        ? std::sqrt(simd::NormSqr(query, dim))
+                        : 0.0f) {}
 
   void ScanList(size_t /*list_id*/, const InvertedList& list,
                 const Bitset* filter, ResultHeap* heap) const override {
-    for (size_t j = 0; j < list.size(); ++j) {
-      const RowId id = list.ids[j];
-      if (filter != nullptr && !filter->Test(static_cast<size_t>(id))) {
-        continue;
+    float scores[simd::kScanBlock];
+    const size_t n = list.size();
+    for (size_t start = 0; start < n; start += simd::kScanBlock) {
+      const size_t bn = std::min(simd::kScanBlock, n - start);
+      const uint8_t* codes = list.codes.data() + start * dim_;
+      switch (metric_) {
+        case MetricType::kL2:
+          simd::Sq8ScanL2(query_, vmin_.data(), scale_.data(), codes, bn,
+                          dim_, scores);
+          break;
+        case MetricType::kInnerProduct:
+          simd::Sq8ScanIp(query_, vmin_.data(), scale_.data(), codes, bn,
+                          dim_, scores);
+          break;
+        case MetricType::kCosine:
+          CosineBlock(codes, bn, scores);
+          break;
+        default:
+          return;
       }
-      const uint8_t* code = list.codes.data() + j * dim_;
-      for (size_t d = 0; d < dim_; ++d) {
-        decoded_[d] = vmin_[d] + vdiff_[d] * (code[d] * (1.0f / 255.0f));
+      for (size_t j = 0; j < bn; ++j) {
+        const RowId id = list.ids[start + j];
+        if (filter != nullptr && !filter->Test(static_cast<size_t>(id))) {
+          continue;
+        }
+        heap->Push(id, scores[j]);
       }
-      const float score =
-          simd::ComputeFloatScore(metric_, query_, decoded_.data(), dim_);
-      heap->Push(id, score);
     }
   }
 
  private:
+  /// cos(q, v) = <q, v> / (|q| |v|): the numerator comes from the fused IP
+  /// kernel; the row norm is a scalar fused self-product (still decode-free).
+  void CosineBlock(const uint8_t* codes, size_t bn, float* scores) const {
+    simd::Sq8ScanIp(query_, vmin_.data(), scale_.data(), codes, bn, dim_,
+                    scores);
+    for (size_t j = 0; j < bn; ++j) {
+      const uint8_t* code = codes + j * dim_;
+      float norm_sqr = 0.0f;
+      for (size_t d = 0; d < dim_; ++d) {
+        const float v = vmin_[d] + scale_[d] * static_cast<float>(code[d]);
+        norm_sqr += v * v;
+      }
+      if (norm_sqr == 0.0f || query_norm_ == 0.0f) {
+        scores[j] = 0.0f;
+      } else {
+        scores[j] /= query_norm_ * std::sqrt(norm_sqr);
+      }
+    }
+  }
+
   const float* query_;
   size_t dim_;
   MetricType metric_;
   const std::vector<float>& vmin_;
-  const std::vector<float>& vdiff_;
-  mutable std::vector<float> decoded_;
+  const std::vector<float>& scale_;
+  float query_norm_;
 };
 
 }  // namespace
@@ -63,7 +105,13 @@ Status IvfSq8Index::TrainFine(const float* data, size_t n) {
   for (size_t d = 0; d < dim_; ++d) {
     vdiff_[d] = std::max(vmax[d] - vmin_[d], 1e-20f);
   }
+  RebuildScale();
   return Status::OK();
+}
+
+void IvfSq8Index::RebuildScale() {
+  scale_.resize(dim_);
+  for (size_t d = 0; d < dim_; ++d) scale_[d] = vdiff_[d] * (1.0f / 255.0f);
 }
 
 void IvfSq8Index::Encode(const float* vec, size_t /*list_id*/,
@@ -77,13 +125,13 @@ void IvfSq8Index::Encode(const float* vec, size_t /*list_id*/,
 
 void IvfSq8Index::Decode(const uint8_t* code, float* out) const {
   for (size_t d = 0; d < dim_; ++d) {
-    out[d] = vmin_[d] + vdiff_[d] * (code[d] * (1.0f / 255.0f));
+    out[d] = vmin_[d] + scale_[d] * static_cast<float>(code[d]);
   }
 }
 
 std::unique_ptr<IvfIndex::QueryScanner> IvfSq8Index::MakeScanner(
     const float* query) const {
-  return std::make_unique<Sq8Scanner>(query, dim_, metric_, vmin_, vdiff_);
+  return std::make_unique<Sq8Scanner>(query, dim_, metric_, vmin_, scale_);
 }
 
 void IvfSq8Index::SerializeFine(BinaryWriter* writer) const {
@@ -95,6 +143,7 @@ Status IvfSq8Index::DeserializeFine(BinaryReader* reader) {
   if (!reader->GetVector(&vmin_) || !reader->GetVector(&vdiff_)) {
     return Status::Corruption("truncated SQ8 ranges");
   }
+  RebuildScale();
   return Status::OK();
 }
 

@@ -25,6 +25,10 @@ class IvfSq8Index : public IvfIndex {
   const std::vector<float>& vmin() const { return vmin_; }
   const std::vector<float>& vdiff() const { return vdiff_; }
 
+  /// Per-dimension vdiff / 255, the multiplier the fused scan kernels apply
+  /// to raw code bytes (see simd::Sq8ScanL2).
+  const std::vector<float>& scale() const { return scale_; }
+
   /// Decode one stored code back to floats (used by tests and the GPU sim).
   void Decode(const uint8_t* code, float* out) const;
 
@@ -41,8 +45,12 @@ class IvfSq8Index : public IvfIndex {
   Status DeserializeFine(BinaryReader* reader) override;
 
  private:
+  /// Recompute scale_ from vdiff_ (after train or deserialize).
+  void RebuildScale();
+
   std::vector<float> vmin_;   ///< Per-dimension minimum.
   std::vector<float> vdiff_;  ///< Per-dimension (max - min), >= epsilon.
+  std::vector<float> scale_;  ///< vdiff_ / 255, derived (not serialized).
 };
 
 }  // namespace index

@@ -61,17 +61,23 @@ void ProductQuantizer::Decode(const uint8_t* code, float* out) const {
 
 void ProductQuantizer::ComputeAdcTable(const float* query, MetricType metric,
                                        float* table) const {
+  // Each sub-codebook is ksub_ contiguous rows of dsub_ floats — exactly the
+  // shape of the batched one-query-vs-N kernels.
   for (size_t j = 0; j < m_; ++j) {
     const float* subquery = query + j * dsub_;
     const float* codebook = codebooks_.data() + j * ksub_ * dsub_;
     float* row = table + j * ksub_;
-    for (size_t c = 0; c < ksub_; ++c) {
-      const float* codeword = codebook + c * dsub_;
-      row[c] = metric == MetricType::kInnerProduct
-                   ? simd::InnerProduct(subquery, codeword, dsub_)
-                   : simd::L2Sqr(subquery, codeword, dsub_);
+    if (metric == MetricType::kInnerProduct) {
+      simd::InnerProductBatch(subquery, codebook, ksub_, dsub_, row);
+    } else {
+      simd::L2SqrBatch(subquery, codebook, ksub_, dsub_, row);
     }
   }
+}
+
+void ProductQuantizer::AdcScoreBatch(const float* table, const uint8_t* codes,
+                                     size_t n, float* out) const {
+  simd::PqAdcScan(table, m_, ksub_, codes, n, out);
 }
 
 void ProductQuantizer::Serialize(BinaryWriter* writer) const {

@@ -45,12 +45,18 @@ class ProductQuantizer {
   void ComputeAdcTable(const float* query, MetricType metric,
                        float* table) const;
 
-  /// ADC score of one code given a precomputed table.
+  /// ADC score of one code given a precomputed table (scalar table walk;
+  /// the reference the SIMD fastscan path must match bitwise).
   float AdcScore(const float* table, const uint8_t* code) const {
     float score = 0.0f;
     for (size_t j = 0; j < m_; ++j) score += table[j * ksub_ + code[j]];
     return score;
   }
+
+  /// ADC scores of n contiguous codes via the dispatched fastscan kernel;
+  /// out[i] == AdcScore(table, codes + i * m) exactly at every SIMD level.
+  void AdcScoreBatch(const float* table, const uint8_t* codes, size_t n,
+                     float* out) const;
 
   void Serialize(BinaryWriter* writer) const;
   Status Deserialize(BinaryReader* reader);

@@ -194,6 +194,36 @@ float CosineSimilarity(const float* x, const float* y, size_t dim) {
   return ip / (std::sqrt(nx) * std::sqrt(ny));
 }
 
+void L2SqrBatch(const float* query, const float* base, size_t n, size_t dim,
+                float* out) {
+  EnsureInit();
+  g_hooks.kernels.l2_sqr_batch(query, base, n, dim, out);
+}
+
+void InnerProductBatch(const float* query, const float* base, size_t n,
+                       size_t dim, float* out) {
+  EnsureInit();
+  g_hooks.kernels.inner_product_batch(query, base, n, dim, out);
+}
+
+void Sq8ScanL2(const float* query, const float* vmin, const float* scale,
+               const uint8_t* codes, size_t n, size_t dim, float* out) {
+  EnsureInit();
+  g_hooks.kernels.sq8_scan_l2(query, vmin, scale, codes, n, dim, out);
+}
+
+void Sq8ScanIp(const float* query, const float* vmin, const float* scale,
+               const uint8_t* codes, size_t n, size_t dim, float* out) {
+  EnsureInit();
+  g_hooks.kernels.sq8_scan_ip(query, vmin, scale, codes, n, dim, out);
+}
+
+void PqAdcScan(const float* table, size_t m, size_t ksub,
+               const uint8_t* codes, size_t n, float* out) {
+  EnsureInit();
+  g_hooks.kernels.pq_scan(table, m, ksub, codes, n, out);
+}
+
 uint32_t HammingDistance(const uint8_t* x, const uint8_t* y, size_t bytes) {
   uint64_t count = 0;
   size_t i = 0;

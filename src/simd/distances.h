@@ -42,6 +42,37 @@ float NormSqr(const float* x, size_t dim);
 /// Cosine similarity (0 when either vector is all-zero).
 float CosineSimilarity(const float* x, const float* y, size_t dim);
 
+/// --- Scan kernels (dispatched): one query vs N contiguous rows ---------
+///
+/// Scanners process lists in blocks of kScanBlock rows through these,
+/// writing scores to a caller-owned scratch array. Keeping the scratch on
+/// the caller's stack (not in shared scanner state) is what makes a single
+/// index instance safe under concurrent queries.
+inline constexpr size_t kScanBlock = 256;
+
+/// out[i] = L2Sqr(query, base + i*dim) for i in [0, n).
+void L2SqrBatch(const float* query, const float* base, size_t n, size_t dim,
+                float* out);
+
+/// out[i] = InnerProduct(query, base + i*dim) for i in [0, n).
+void InnerProductBatch(const float* query, const float* base, size_t n,
+                       size_t dim, float* out);
+
+/// Fused SQ8 decode+distance over n codes of `dim` bytes each: row d of
+/// code i decodes to vmin[d] + scale[d] * code[d] (scale = vdiff / 255).
+/// The decoded vector is never materialized.
+void Sq8ScanL2(const float* query, const float* vmin, const float* scale,
+               const uint8_t* codes, size_t n, size_t dim, float* out);
+void Sq8ScanIp(const float* query, const float* vmin, const float* scale,
+               const uint8_t* codes, size_t n, size_t dim, float* out);
+
+/// PQ ADC over n codes of m bytes each against a precomputed m × ksub
+/// table: out[i] = Σ_j table[j*ksub + codes[i*m + j]]. Every dispatch level
+/// accumulates in the same order, so results are bitwise identical to the
+/// scalar table walk at any level.
+void PqAdcScan(const float* table, size_t m, size_t ksub,
+               const uint8_t* codes, size_t n, float* out);
+
 /// --- Binary kernels (scalar popcount; bytes = packed bit length / 8) ---
 
 uint32_t HammingDistance(const uint8_t* x, const uint8_t* y, size_t bytes);

@@ -1,7 +1,19 @@
 // AVX2+FMA kernels. This translation unit is the only one compiled with
 // -mavx2 -mfma (Sec 3.2.2).
+//
+// Scan kernels (Faiss-library-paper style, arXiv 2401.08281):
+//  - batch float: 4 rows per pass so each query chunk is loaded once.
+//  - SQ8 fused: codes widen u8→f32 in-register and the affine decode feeds
+//    the distance FMA directly — the decoded vector never hits memory.
+//  - PQ ADC: blocks of 8 codes are transposed to sub-quantizer-major order;
+//    for ksub == 16 the whole table row is register-resident (2×ymm) and
+//    looked up with permutevar8x32 + blend, otherwise a vpgatherdps walks
+//    the table. Per-lane accumulation runs in j = 0..m-1 order, bitwise
+//    identical to the scalar table walk.
 
 #include <immintrin.h>
+
+#include <cstring>
 
 #include "simd/kernels.h"
 
@@ -9,6 +21,10 @@ namespace vectordb {
 namespace simd {
 
 namespace {
+
+/// PQ blocks with more sub-quantizers than this fall back to the scalar
+/// walk (transpose scratch is stack-allocated).
+constexpr size_t kMaxPqM = 256;
 
 inline float HorizontalSum256(__m256 v) {
   __m128 low = _mm256_castps256_ps128(v);
@@ -55,10 +71,256 @@ float NormSqrAvx2(const float* x, size_t dim) {
   return InnerProductAvx2(x, x, dim);
 }
 
+void L2SqrBatchAvx2(const float* query, const float* base, size_t n,
+                    size_t dim, float* out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float* r0 = base + i * dim;
+    const float* r1 = r0 + dim;
+    const float* r2 = r1 + dim;
+    const float* r3 = r2 + dim;
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    __m256 acc2 = _mm256_setzero_ps();
+    __m256 acc3 = _mm256_setzero_ps();
+    size_t d = 0;
+    for (; d + 8 <= dim; d += 8) {
+      __m256 vq = _mm256_loadu_ps(query + d);
+      __m256 d0 = _mm256_sub_ps(vq, _mm256_loadu_ps(r0 + d));
+      __m256 d1 = _mm256_sub_ps(vq, _mm256_loadu_ps(r1 + d));
+      __m256 d2 = _mm256_sub_ps(vq, _mm256_loadu_ps(r2 + d));
+      __m256 d3 = _mm256_sub_ps(vq, _mm256_loadu_ps(r3 + d));
+      acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+      acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+      acc2 = _mm256_fmadd_ps(d2, d2, acc2);
+      acc3 = _mm256_fmadd_ps(d3, d3, acc3);
+    }
+    float s0 = HorizontalSum256(acc0);
+    float s1 = HorizontalSum256(acc1);
+    float s2 = HorizontalSum256(acc2);
+    float s3 = HorizontalSum256(acc3);
+    for (; d < dim; ++d) {
+      const float q = query[d];
+      const float e0 = q - r0[d];
+      const float e1 = q - r1[d];
+      const float e2 = q - r2[d];
+      const float e3 = q - r3[d];
+      s0 += e0 * e0;
+      s1 += e1 * e1;
+      s2 += e2 * e2;
+      s3 += e3 * e3;
+    }
+    out[i] = s0;
+    out[i + 1] = s1;
+    out[i + 2] = s2;
+    out[i + 3] = s3;
+  }
+  for (; i < n; ++i) out[i] = L2SqrAvx2(query, base + i * dim, dim);
+}
+
+void InnerProductBatchAvx2(const float* query, const float* base, size_t n,
+                           size_t dim, float* out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float* r0 = base + i * dim;
+    const float* r1 = r0 + dim;
+    const float* r2 = r1 + dim;
+    const float* r3 = r2 + dim;
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    __m256 acc2 = _mm256_setzero_ps();
+    __m256 acc3 = _mm256_setzero_ps();
+    size_t d = 0;
+    for (; d + 8 <= dim; d += 8) {
+      __m256 vq = _mm256_loadu_ps(query + d);
+      acc0 = _mm256_fmadd_ps(vq, _mm256_loadu_ps(r0 + d), acc0);
+      acc1 = _mm256_fmadd_ps(vq, _mm256_loadu_ps(r1 + d), acc1);
+      acc2 = _mm256_fmadd_ps(vq, _mm256_loadu_ps(r2 + d), acc2);
+      acc3 = _mm256_fmadd_ps(vq, _mm256_loadu_ps(r3 + d), acc3);
+    }
+    float s0 = HorizontalSum256(acc0);
+    float s1 = HorizontalSum256(acc1);
+    float s2 = HorizontalSum256(acc2);
+    float s3 = HorizontalSum256(acc3);
+    for (; d < dim; ++d) {
+      const float q = query[d];
+      s0 += q * r0[d];
+      s1 += q * r1[d];
+      s2 += q * r2[d];
+      s3 += q * r3[d];
+    }
+    out[i] = s0;
+    out[i + 1] = s1;
+    out[i + 2] = s2;
+    out[i + 3] = s3;
+  }
+  for (; i < n; ++i) out[i] = InnerProductAvx2(query, base + i * dim, dim);
+}
+
+/// Eight code bytes widened to floats.
+inline __m256 LoadCode8(const uint8_t* code) {
+  uint64_t raw;
+  std::memcpy(&raw, code, sizeof(raw));
+  const __m128i bytes = _mm_cvtsi64_si128(static_cast<int64_t>(raw));
+  return _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(bytes));
+}
+
+void Sq8ScanL2Avx2(const float* query, const float* vmin, const float* scale,
+                   const uint8_t* codes, size_t n, size_t dim, float* out) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t* code = codes + i * dim;
+    __m256 acc = _mm256_setzero_ps();
+    size_t d = 0;
+    for (; d + 8 <= dim; d += 8) {
+      __m256 decoded = _mm256_fmadd_ps(_mm256_loadu_ps(scale + d),
+                                       LoadCode8(code + d),
+                                       _mm256_loadu_ps(vmin + d));
+      __m256 diff = _mm256_sub_ps(_mm256_loadu_ps(query + d), decoded);
+      acc = _mm256_fmadd_ps(diff, diff, acc);
+    }
+    float sum = HorizontalSum256(acc);
+    for (; d < dim; ++d) {
+      const float decoded = vmin[d] + scale[d] * static_cast<float>(code[d]);
+      const float diff = query[d] - decoded;
+      sum += diff * diff;
+    }
+    out[i] = sum;
+  }
+}
+
+void Sq8ScanIpAvx2(const float* query, const float* vmin, const float* scale,
+                   const uint8_t* codes, size_t n, size_t dim, float* out) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t* code = codes + i * dim;
+    __m256 acc = _mm256_setzero_ps();
+    size_t d = 0;
+    for (; d + 8 <= dim; d += 8) {
+      __m256 decoded = _mm256_fmadd_ps(_mm256_loadu_ps(scale + d),
+                                       LoadCode8(code + d),
+                                       _mm256_loadu_ps(vmin + d));
+      acc = _mm256_fmadd_ps(_mm256_loadu_ps(query + d), decoded, acc);
+    }
+    float sum = HorizontalSum256(acc);
+    for (; d < dim; ++d) {
+      const float decoded = vmin[d] + scale[d] * static_cast<float>(code[d]);
+      sum += query[d] * decoded;
+    }
+    out[i] = sum;
+  }
+}
+
+void PqScanScalarTail(const float* table, size_t m, size_t ksub,
+                      const uint8_t* codes, size_t n, float* out) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t* code = codes + i * m;
+    float sum = 0.0f;
+    for (size_t j = 0; j < m; ++j) sum += table[j * ksub + code[j]];
+    out[i] = sum;
+  }
+}
+
+/// Transposes a 16x16 byte tile: out[t] is byte t of each of the 16 source
+/// rows (row i starts at src + i * stride). Each unpack round with pairing
+/// (i, i+8) -> (2i, 2i+1) rotates the combined (row, byte) index bits left
+/// by one; four rounds swap the two 4-bit halves, i.e. transpose.
+inline void TransposeTile16(const uint8_t* src, size_t stride,
+                            __m128i out[16]) {
+  __m128i a[16];
+  __m128i b[16];
+#pragma GCC unroll 16
+  for (int i = 0; i < 16; ++i) {
+    std::memcpy(&a[i], src + static_cast<size_t>(i) * stride, sizeof(a[i]));
+  }
+#pragma GCC unroll 2
+  for (int round = 0; round < 2; ++round) {
+#pragma GCC unroll 8
+    for (int i = 0; i < 8; ++i) {
+      b[2 * i] = _mm_unpacklo_epi8(a[i], a[i + 8]);
+      b[2 * i + 1] = _mm_unpackhi_epi8(a[i], a[i + 8]);
+    }
+#pragma GCC unroll 8
+    for (int i = 0; i < 8; ++i) {
+      a[2 * i] = _mm_unpacklo_epi8(b[i], b[i + 8]);
+      a[2 * i + 1] = _mm_unpackhi_epi8(b[i], b[i + 8]);
+    }
+  }
+#pragma GCC unroll 16
+  for (int i = 0; i < 16; ++i) out[i] = a[i];
+}
+
+/// One ADC lookup of sub-quantizer j for the 8 codes in idx's lanes.
+inline __m256 PqLookup8(const float* table, size_t ksub, size_t j,
+                        __m256i idx, __m256i seven) {
+  if (ksub == 16) {
+    // Register-resident LUT: row j is 16 floats held in two ymm; codes
+    // select lanes via permutevar8x32 (low 3 bits) + high-bit blend.
+    const __m256 lo = _mm256_loadu_ps(table + j * 16);
+    const __m256 hi = _mm256_loadu_ps(table + j * 16 + 8);
+    const __m256 vlo = _mm256_permutevar8x32_ps(lo, idx);
+    const __m256 vhi = _mm256_permutevar8x32_ps(hi, idx);
+    const __m256 take_hi = _mm256_castsi256_ps(_mm256_cmpgt_epi32(idx, seven));
+    return _mm256_blendv_ps(vlo, vhi, take_hi);
+  }
+  return _mm256_i32gather_ps(table + j * ksub, idx, sizeof(float));
+}
+
+void PqScanAvx2(const float* table, size_t m, size_t ksub,
+                const uint8_t* codes, size_t n, float* out) {
+  const __m256i seven = _mm256_set1_epi32(7);
+  size_t i = 0;
+  if (m % 16 == 0) {
+    // Fast path: the code block is a stack of 16x16 byte tiles, transposed
+    // entirely with byte unpacks — no scalar shuffling anywhere. Lanes are
+    // split across two ymm accumulators (codes 0-7 and 8-15).
+    for (; i + 16 <= n; i += 16) {
+      __m256 acc_lo = _mm256_setzero_ps();
+      __m256 acc_hi = _mm256_setzero_ps();
+      for (size_t c = 0; c < m; c += 16) {
+        __m128i cols[16];
+        TransposeTile16(codes + i * m + c, m, cols);
+#pragma GCC unroll 16
+        for (size_t t = 0; t < 16; ++t) {
+          const __m256i idx_lo = _mm256_cvtepu8_epi32(cols[t]);
+          const __m256i idx_hi =
+              _mm256_cvtepu8_epi32(_mm_srli_si128(cols[t], 8));
+          acc_lo = _mm256_add_ps(
+              acc_lo, PqLookup8(table, ksub, c + t, idx_lo, seven));
+          acc_hi = _mm256_add_ps(
+              acc_hi, PqLookup8(table, ksub, c + t, idx_hi, seven));
+        }
+      }
+      _mm256_storeu_ps(out + i, acc_lo);
+      _mm256_storeu_ps(out + i + 8, acc_hi);
+    }
+  } else if (m <= kMaxPqM) {
+    uint8_t tbuf[kMaxPqM * 8];
+    for (; i + 8 <= n; i += 8) {
+      // Transpose the block to sub-quantizer-major so the inner loop does
+      // one contiguous 8-byte load per j.
+      for (size_t k = 0; k < 8; ++k) {
+        const uint8_t* code = codes + (i + k) * m;
+        for (size_t j = 0; j < m; ++j) tbuf[j * 8 + k] = code[j];
+      }
+      __m256 acc = _mm256_setzero_ps();
+      for (size_t j = 0; j < m; ++j) {
+        uint64_t raw;
+        std::memcpy(&raw, tbuf + j * 8, 8);
+        const __m256i idx =
+            _mm256_cvtepu8_epi32(_mm_cvtsi64_si128(static_cast<int64_t>(raw)));
+        acc = _mm256_add_ps(acc, PqLookup8(table, ksub, j, idx, seven));
+      }
+      _mm256_storeu_ps(out + i, acc);
+    }
+  }
+  PqScanScalarTail(table, m, ksub, codes + i * m, n - i, out + i);
+}
+
 }  // namespace
 
 FloatKernels GetAvx2Kernels() {
-  return {&L2SqrAvx2, &InnerProductAvx2, &NormSqrAvx2};
+  return {&L2SqrAvx2,      &InnerProductAvx2,      &NormSqrAvx2,
+          &L2SqrBatchAvx2, &InnerProductBatchAvx2, &Sq8ScanL2Avx2,
+          &Sq8ScanIpAvx2,  &PqScanAvx2};
 }
 
 }  // namespace simd

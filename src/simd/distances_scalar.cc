@@ -1,5 +1,7 @@
 // Scalar reference kernels. Compiled without any SIMD flags; also the
-// correctness oracle the SIMD variants are tested against.
+// correctness oracle the SIMD variants are tested against. The scan-shaped
+// kernels (batch / SQ8-fused / PQ-ADC) define the reference accumulation
+// order the vector variants must reproduce (exactly, for pq_scan).
 
 #include "simd/kernels.h"
 
@@ -29,10 +31,63 @@ float NormSqrScalar(const float* x, size_t dim) {
   return sum;
 }
 
+void L2SqrBatchScalar(const float* query, const float* base, size_t n,
+                      size_t dim, float* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = L2SqrScalar(query, base + i * dim, dim);
+  }
+}
+
+void InnerProductBatchScalar(const float* query, const float* base, size_t n,
+                             size_t dim, float* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = InnerProductScalar(query, base + i * dim, dim);
+  }
+}
+
+void Sq8ScanL2Scalar(const float* query, const float* vmin, const float* scale,
+                     const uint8_t* codes, size_t n, size_t dim, float* out) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t* code = codes + i * dim;
+    float sum = 0.0f;
+    for (size_t d = 0; d < dim; ++d) {
+      const float decoded = vmin[d] + scale[d] * static_cast<float>(code[d]);
+      const float diff = query[d] - decoded;
+      sum += diff * diff;
+    }
+    out[i] = sum;
+  }
+}
+
+void Sq8ScanIpScalar(const float* query, const float* vmin, const float* scale,
+                     const uint8_t* codes, size_t n, size_t dim, float* out) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t* code = codes + i * dim;
+    float sum = 0.0f;
+    for (size_t d = 0; d < dim; ++d) {
+      const float decoded = vmin[d] + scale[d] * static_cast<float>(code[d]);
+      sum += query[d] * decoded;
+    }
+    out[i] = sum;
+  }
+}
+
+void PqScanScalar(const float* table, size_t m, size_t ksub,
+                  const uint8_t* codes, size_t n, float* out) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t* code = codes + i * m;
+    float sum = 0.0f;
+    for (size_t j = 0; j < m; ++j) sum += table[j * ksub + code[j]];
+    out[i] = sum;
+  }
+}
+
 }  // namespace
 
 FloatKernels GetScalarKernels() {
-  return {&L2SqrScalar, &InnerProductScalar, &NormSqrScalar};
+  return {&L2SqrScalar,     &InnerProductScalar,      &NormSqrScalar,
+          &L2SqrBatchScalar, &InnerProductBatchScalar, &Sq8ScanL2Scalar,
+          &Sq8ScanIpScalar, &PqScanScalar};
 }
 
 }  // namespace simd

@@ -1,7 +1,13 @@
 // SSE4.2 kernels. This translation unit is the only one compiled with
 // -msse4.2; no other file may include SSE intrinsics (Sec 3.2.2).
+//
+// The scan kernels here are 4-lane versions of the scalar references; the
+// PQ ADC scan stays on the scalar table walk (SSE has no gather, and the
+// scalar walk is already load-bound at 128-bit width).
 
 #include <nmmintrin.h>
+
+#include <cstring>
 
 #include "simd/kernels.h"
 
@@ -52,10 +58,120 @@ float NormSqrSse(const float* x, size_t dim) {
   return InnerProductSse(x, x, dim);
 }
 
+void L2SqrBatchSse(const float* query, const float* base, size_t n,
+                   size_t dim, float* out) {
+  // Two rows per iteration: the query chunk is loaded once per two rows.
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float* r0 = base + i * dim;
+    const float* r1 = r0 + dim;
+    __m128 acc0 = _mm_setzero_ps();
+    __m128 acc1 = _mm_setzero_ps();
+    size_t d = 0;
+    for (; d + 4 <= dim; d += 4) {
+      __m128 vq = _mm_loadu_ps(query + d);
+      __m128 d0 = _mm_sub_ps(vq, _mm_loadu_ps(r0 + d));
+      __m128 d1 = _mm_sub_ps(vq, _mm_loadu_ps(r1 + d));
+      acc0 = _mm_add_ps(acc0, _mm_mul_ps(d0, d0));
+      acc1 = _mm_add_ps(acc1, _mm_mul_ps(d1, d1));
+    }
+    float s0 = HorizontalSum(acc0);
+    float s1 = HorizontalSum(acc1);
+    for (; d < dim; ++d) {
+      const float e0 = query[d] - r0[d];
+      const float e1 = query[d] - r1[d];
+      s0 += e0 * e0;
+      s1 += e1 * e1;
+    }
+    out[i] = s0;
+    out[i + 1] = s1;
+  }
+  for (; i < n; ++i) out[i] = L2SqrSse(query, base + i * dim, dim);
+}
+
+void InnerProductBatchSse(const float* query, const float* base, size_t n,
+                          size_t dim, float* out) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float* r0 = base + i * dim;
+    const float* r1 = r0 + dim;
+    __m128 acc0 = _mm_setzero_ps();
+    __m128 acc1 = _mm_setzero_ps();
+    size_t d = 0;
+    for (; d + 4 <= dim; d += 4) {
+      __m128 vq = _mm_loadu_ps(query + d);
+      acc0 = _mm_add_ps(acc0, _mm_mul_ps(vq, _mm_loadu_ps(r0 + d)));
+      acc1 = _mm_add_ps(acc1, _mm_mul_ps(vq, _mm_loadu_ps(r1 + d)));
+    }
+    float s0 = HorizontalSum(acc0);
+    float s1 = HorizontalSum(acc1);
+    for (; d < dim; ++d) {
+      s0 += query[d] * r0[d];
+      s1 += query[d] * r1[d];
+    }
+    out[i] = s0;
+    out[i + 1] = s1;
+  }
+  for (; i < n; ++i) out[i] = InnerProductSse(query, base + i * dim, dim);
+}
+
+/// Four code bytes widened to floats (SSE4.1 cvtepu8).
+inline __m128 LoadCode4(const uint8_t* code) {
+  int raw;
+  std::memcpy(&raw, code, sizeof(raw));
+  return _mm_cvtepi32_ps(_mm_cvtepu8_epi32(_mm_cvtsi32_si128(raw)));
+}
+
+void Sq8ScanL2Sse(const float* query, const float* vmin, const float* scale,
+                  const uint8_t* codes, size_t n, size_t dim, float* out) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t* code = codes + i * dim;
+    __m128 acc = _mm_setzero_ps();
+    size_t d = 0;
+    for (; d + 4 <= dim; d += 4) {
+      __m128 decoded = _mm_add_ps(
+          _mm_loadu_ps(vmin + d),
+          _mm_mul_ps(_mm_loadu_ps(scale + d), LoadCode4(code + d)));
+      __m128 diff = _mm_sub_ps(_mm_loadu_ps(query + d), decoded);
+      acc = _mm_add_ps(acc, _mm_mul_ps(diff, diff));
+    }
+    float sum = HorizontalSum(acc);
+    for (; d < dim; ++d) {
+      const float decoded = vmin[d] + scale[d] * static_cast<float>(code[d]);
+      const float diff = query[d] - decoded;
+      sum += diff * diff;
+    }
+    out[i] = sum;
+  }
+}
+
+void Sq8ScanIpSse(const float* query, const float* vmin, const float* scale,
+                  const uint8_t* codes, size_t n, size_t dim, float* out) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t* code = codes + i * dim;
+    __m128 acc = _mm_setzero_ps();
+    size_t d = 0;
+    for (; d + 4 <= dim; d += 4) {
+      __m128 decoded = _mm_add_ps(
+          _mm_loadu_ps(vmin + d),
+          _mm_mul_ps(_mm_loadu_ps(scale + d), LoadCode4(code + d)));
+      acc = _mm_add_ps(acc, _mm_mul_ps(_mm_loadu_ps(query + d), decoded));
+    }
+    float sum = HorizontalSum(acc);
+    for (; d < dim; ++d) {
+      const float decoded = vmin[d] + scale[d] * static_cast<float>(code[d]);
+      sum += query[d] * decoded;
+    }
+    out[i] = sum;
+  }
+}
+
 }  // namespace
 
 FloatKernels GetSseKernels() {
-  return {&L2SqrSse, &InnerProductSse, &NormSqrSse};
+  return {&L2SqrSse,      &InnerProductSse,      &NormSqrSse,
+          &L2SqrBatchSse, &InnerProductBatchSse, &Sq8ScanL2Sse,
+          &Sq8ScanIpSse,  GetScalarKernels().pq_scan};
 }
 
 }  // namespace simd

@@ -7,14 +7,48 @@
 namespace vectordb {
 namespace simd {
 
-/// Set of float distance kernels implemented at one SIMD level. Each level
-/// lives in its own translation unit compiled with the matching ISA flags
+/// Set of distance kernels implemented at one SIMD level. Each level lives
+/// in its own translation unit compiled with the matching ISA flags
 /// (Sec 3.2.2); the active set is selected at runtime via hooking.
+///
+/// Beyond the original one-pair float kernels there are three scan-shaped
+/// families, all "one query vs N contiguous rows":
+///
+///   *_batch        float rows packed back to back (n × dim floats).
+///   sq8_scan_*     fused decode+distance over SQ8 codes (n × dim bytes);
+///                  row d is reconstructed as vmin[d] + scale[d] * code[d]
+///                  where scale[d] = vdiff[d] / 255. No decoded buffer is
+///                  materialized.
+///   pq_scan        ADC accumulation of a precomputed m × ksub float table
+///                  over PQ codes (n × m bytes). Implementations MUST
+///                  accumulate each row in sub-quantizer order j = 0..m-1 so
+///                  every level is bitwise identical to the scalar table
+///                  walk (the PQ parity tests assert exact equality).
 struct FloatKernels {
   float (*l2_sqr)(const float* x, const float* y, size_t dim);
   float (*inner_product)(const float* x, const float* y, size_t dim);
   /// Squared L2 of a single vector against itself (norm²), used by cosine.
   float (*norm_sqr)(const float* x, size_t dim);
+
+  /// out[i] = L2Sqr(query, base + i * dim) for i in [0, n).
+  void (*l2_sqr_batch)(const float* query, const float* base, size_t n,
+                       size_t dim, float* out);
+  /// out[i] = InnerProduct(query, base + i * dim) for i in [0, n).
+  void (*inner_product_batch)(const float* query, const float* base, size_t n,
+                              size_t dim, float* out);
+
+  /// out[i] = ||query - decode(codes + i * dim)||² (fused, no decode buffer).
+  void (*sq8_scan_l2)(const float* query, const float* vmin,
+                      const float* scale, const uint8_t* codes, size_t n,
+                      size_t dim, float* out);
+  /// out[i] = <query, decode(codes + i * dim)> (fused, no decode buffer).
+  void (*sq8_scan_ip)(const float* query, const float* vmin,
+                      const float* scale, const uint8_t* codes, size_t n,
+                      size_t dim, float* out);
+
+  /// out[i] = Σ_j table[j * ksub + codes[i * m + j]] for i in [0, n).
+  void (*pq_scan)(const float* table, size_t m, size_t ksub,
+                  const uint8_t* codes, size_t n, float* out);
 };
 
 FloatKernels GetScalarKernels();

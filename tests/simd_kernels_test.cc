@@ -1,0 +1,393 @@
+// Exhaustive parity suite for the scan-shaped SIMD kernels (batched float,
+// fused SQ8, PQ ADC fastscan): every supported dispatch level must match the
+// scalar reference across a dim sweep, unaligned pointers, and remainder
+// tails — plus the quantized-path property tests and a concurrent-search
+// race check (run under TSan via the `simd` ctest label).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/ivf_pq_index.h"
+#include "index/ivf_sq8_index.h"
+#include "index/product_quantizer.h"
+#include "simd/distances.h"
+#include "simd/kernels.h"
+
+namespace vectordb {
+namespace simd {
+namespace {
+
+// The dim sweep from the issue: every tail length mod 4/8/16, the SIMD
+// widths themselves, one odd mid-size, and two realistic sizes.
+const size_t kDims[] = {1,  2,  3,  4,  5,  6,  7,   8,   9,  10, 11, 12,
+                        13, 14, 15, 16, 17, 31, 32,  33,  100, 128, 960};
+
+std::vector<float> RandomVector(size_t n, Rng* rng) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng->NextGaussian();
+  return v;
+}
+
+std::vector<uint8_t> RandomBytes(size_t n, Rng* rng) {
+  std::vector<uint8_t> v(n);
+  for (auto& b : v) b = static_cast<uint8_t>(rng->NextUint64(256));
+  return v;
+}
+
+/// Accumulated-float tolerance: each of `terms` additions can lose one ULP
+/// relative to the running magnitude, so bound by terms × eps × scale.
+float Tol(size_t terms, float scale) {
+  return static_cast<float>(terms) * 1.2e-7f * scale + 1e-6f;
+}
+
+float AbsSumL2(const float* x, const float* y, size_t dim) {
+  float s = 0.0f;
+  for (size_t i = 0; i < dim; ++i) s += (x[i] - y[i]) * (x[i] - y[i]);
+  return s;
+}
+
+float AbsSumIp(const float* x, const float* y, size_t dim) {
+  float s = 0.0f;
+  for (size_t i = 0; i < dim; ++i) s += std::abs(x[i] * y[i]);
+  return s;
+}
+
+/// Parametrized over dispatch level; scalar results are captured per-case
+/// before hooking the level under test.
+class KernelParityTest : public ::testing::TestWithParam<SimdLevel> {
+ protected:
+  void SetUp() override {
+    if (!SetLevel(GetParam())) {
+      GTEST_SKIP() << "CPU does not support " << SimdLevelName(GetParam());
+    }
+  }
+  void TearDown() override { SetLevel(HighestSupportedLevel()); }
+};
+
+TEST_P(KernelParityTest, PairKernelsMatchScalarAcrossDims) {
+  const FloatKernels scalar = GetScalarKernels();
+  Rng rng(101);
+  for (size_t dim : kDims) {
+    // +1 float offsets exercise unaligned loads at every level.
+    const auto xs = RandomVector(dim + 1, &rng);
+    const auto ys = RandomVector(dim + 1, &rng);
+    for (size_t off : {size_t{0}, size_t{1}}) {
+      const float* x = xs.data() + off;
+      const float* y = ys.data() + off;
+      EXPECT_NEAR(L2Sqr(x, y, dim), scalar.l2_sqr(x, y, dim),
+                  Tol(dim, AbsSumL2(x, y, dim)))
+          << "dim=" << dim << " off=" << off;
+      EXPECT_NEAR(InnerProduct(x, y, dim), scalar.inner_product(x, y, dim),
+                  Tol(dim, AbsSumIp(x, y, dim)))
+          << "dim=" << dim << " off=" << off;
+      EXPECT_NEAR(NormSqr(x, dim), scalar.norm_sqr(x, dim),
+                  Tol(dim, AbsSumIp(x, x, dim)))
+          << "dim=" << dim << " off=" << off;
+    }
+  }
+}
+
+TEST_P(KernelParityTest, BatchKernelsMatchScalarAcrossDims) {
+  const FloatKernels scalar = GetScalarKernels();
+  Rng rng(102);
+  // Row counts around the unroll widths (2/4) and the block tail.
+  for (size_t n : {size_t{1}, size_t{3}, size_t{4}, size_t{5}, size_t{17}}) {
+    for (size_t dim : kDims) {
+      const auto qs = RandomVector(dim + 1, &rng);
+      const auto rows = RandomVector(n * dim + 1, &rng);
+      for (size_t off : {size_t{0}, size_t{1}}) {
+        const float* q = qs.data() + off;
+        const float* base = rows.data() + off;
+        std::vector<float> got(n), want(n);
+
+        scalar.l2_sqr_batch(q, base, n, dim, want.data());
+        L2SqrBatch(q, base, n, dim, got.data());
+        for (size_t i = 0; i < n; ++i) {
+          EXPECT_NEAR(got[i], want[i],
+                      Tol(dim, AbsSumL2(q, base + i * dim, dim)))
+              << "n=" << n << " dim=" << dim << " off=" << off << " i=" << i;
+        }
+
+        scalar.inner_product_batch(q, base, n, dim, want.data());
+        InnerProductBatch(q, base, n, dim, got.data());
+        for (size_t i = 0; i < n; ++i) {
+          EXPECT_NEAR(got[i], want[i],
+                      Tol(dim, AbsSumIp(q, base + i * dim, dim)))
+              << "n=" << n << " dim=" << dim << " off=" << off << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(KernelParityTest, Sq8FusedMatchesScalarAcrossDims) {
+  const FloatKernels scalar = GetScalarKernels();
+  Rng rng(103);
+  for (size_t n : {size_t{1}, size_t{2}, size_t{7}}) {
+    for (size_t dim : kDims) {
+      const auto qs = RandomVector(dim + 1, &rng);
+      auto vmin = RandomVector(dim, &rng);
+      std::vector<float> scale(dim);
+      for (auto& s : scale) s = rng.NextFloat() * (4.0f / 255.0f);
+      // +1 byte offset: codes are not even 4-byte aligned.
+      const auto codes = RandomBytes(n * dim + 1, &rng);
+      for (size_t coff : {size_t{0}, size_t{1}}) {
+        const float* q = qs.data();
+        const uint8_t* c = codes.data() + coff;
+        std::vector<float> got(n), want(n);
+
+        scalar.sq8_scan_l2(q, vmin.data(), scale.data(), c, n, dim,
+                           want.data());
+        Sq8ScanL2(q, vmin.data(), scale.data(), c, n, dim, got.data());
+        for (size_t i = 0; i < n; ++i) {
+          // Decoded values are O(|vmin| + 4), squared then summed.
+          EXPECT_NEAR(got[i], want[i], Tol(2 * dim, want[i] + dim))
+              << "n=" << n << " dim=" << dim << " coff=" << coff;
+        }
+
+        scalar.sq8_scan_ip(q, vmin.data(), scale.data(), c, n, dim,
+                           want.data());
+        Sq8ScanIp(q, vmin.data(), scale.data(), c, n, dim, got.data());
+        for (size_t i = 0; i < n; ++i) {
+          EXPECT_NEAR(got[i], want[i], Tol(2 * dim, std::abs(want[i]) + dim))
+              << "n=" << n << " dim=" << dim << " coff=" << coff;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(KernelParityTest, PqScanBitwiseEqualsScalarTableWalk) {
+  const FloatKernels scalar = GetScalarKernels();
+  Rng rng(104);
+  // ksub = 16 hits the register-resident LUT path, 256 the gather path;
+  // n sweeps block boundaries (8 for AVX2, 16 for AVX-512) and tails.
+  for (size_t ksub : {size_t{16}, size_t{256}}) {
+    for (size_t m : {size_t{1}, size_t{4}, size_t{8}, size_t{16},
+                     size_t{33}}) {
+      const auto table = RandomVector(m * ksub, &rng);
+      for (size_t n : {size_t{1}, size_t{7}, size_t{8}, size_t{9}, size_t{15},
+                       size_t{16}, size_t{17}, size_t{100}}) {
+        auto codes = RandomBytes(n * m + 1, &rng);
+        for (auto& b : codes) b = static_cast<uint8_t>(b % ksub);
+        for (size_t coff : {size_t{0}, size_t{1}}) {
+          const uint8_t* c = codes.data() + coff;
+          std::vector<float> got(n), want(n);
+          scalar.pq_scan(table.data(), m, ksub, c, n, want.data());
+          PqAdcScan(table.data(), m, ksub, c, n, got.data());
+          for (size_t i = 0; i < n; ++i) {
+            // Bitwise: every level accumulates in the same order.
+            EXPECT_EQ(got[i], want[i])
+                << "ksub=" << ksub << " m=" << m << " n=" << n
+                << " coff=" << coff << " i=" << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLevels, KernelParityTest,
+                         ::testing::Values(SimdLevel::kScalar, SimdLevel::kSse,
+                                           SimdLevel::kAvx2,
+                                           SimdLevel::kAvx512),
+                         [](const auto& info) {
+                           return SimdLevelName(info.param);
+                         });
+
+// ------------------------------------------------ quantized-path properties
+
+/// SQ8 fused distance equals decode-then-ComputeFloatScore within tolerance.
+TEST(Sq8PropertyTest, FusedEqualsDecodeThenCompare) {
+  constexpr size_t kDim = 96;
+  constexpr size_t kN = 300;
+  Rng rng(105);
+  const auto data = RandomVector(kN * kDim, &rng);
+
+  index::IndexBuildParams params;
+  params.nlist = 4;
+  index::IvfSq8Index idx(kDim, MetricType::kL2, params);
+  ASSERT_TRUE(idx.Train(data.data(), kN).ok());
+
+  std::vector<uint8_t> codes(kN * kDim);
+  for (size_t i = 0; i < kN; ++i) {
+    idx.EncodeVector(data.data() + i * kDim, codes.data() + i * kDim);
+  }
+  const auto query = RandomVector(kDim, &rng);
+
+  std::vector<float> fused(kN);
+  Sq8ScanL2(query.data(), idx.vmin().data(), idx.scale().data(), codes.data(),
+            kN, kDim, fused.data());
+  std::vector<float> decoded(kDim);
+  for (size_t i = 0; i < kN; ++i) {
+    idx.Decode(codes.data() + i * kDim, decoded.data());
+    const float want = ComputeFloatScore(MetricType::kL2, query.data(),
+                                         decoded.data(), kDim);
+    EXPECT_NEAR(fused[i], want, 1e-3f * (1.0f + want)) << "i=" << i;
+  }
+}
+
+/// PQ fastscan top-k equals the scalar table-walk ADC top-k exactly.
+TEST(PqPropertyTest, FastscanTopKEqualsTableWalkTopK) {
+  constexpr size_t kDim = 32;
+  constexpr size_t kM = 8;
+  constexpr size_t kN = 500;
+  constexpr size_t kK = 10;
+  Rng rng(106);
+  const auto data = RandomVector(kN * kDim, &rng);
+
+  index::ProductQuantizer pq(kDim, kM, /*nbits=*/8);
+  ASSERT_TRUE(pq.Train(data.data(), kN, /*seed=*/7, /*kmeans_iters=*/5).ok());
+
+  std::vector<uint8_t> codes(kN * kM);
+  for (size_t i = 0; i < kN; ++i) {
+    pq.Encode(data.data() + i * kDim, codes.data() + i * kM);
+  }
+  const auto query = RandomVector(kDim, &rng);
+  std::vector<float> table(kM * pq.ksub());
+  pq.ComputeAdcTable(query.data(), MetricType::kL2, table.data());
+
+  ResultHeap walk_heap(kK, /*keep_largest=*/false);
+  for (size_t i = 0; i < kN; ++i) {
+    walk_heap.Push(static_cast<RowId>(i),
+                   pq.AdcScore(table.data(), codes.data() + i * kM));
+  }
+  ResultHeap scan_heap(kK, /*keep_largest=*/false);
+  std::vector<float> scores(kN);
+  pq.AdcScoreBatch(table.data(), codes.data(), kN, scores.data());
+  for (size_t i = 0; i < kN; ++i) {
+    scan_heap.Push(static_cast<RowId>(i), scores[i]);
+  }
+
+  const HitList walk = walk_heap.TakeSorted();
+  const HitList scan = scan_heap.TakeSorted();
+  ASSERT_EQ(walk.size(), scan.size());
+  for (size_t i = 0; i < walk.size(); ++i) {
+    EXPECT_EQ(walk[i].id, scan[i].id) << "rank " << i;
+    EXPECT_EQ(walk[i].score, scan[i].score) << "rank " << i;
+  }
+}
+
+/// End-to-end: IVF_PQ search results are identical at every SIMD level
+/// (the per-level pq_scan implementations are bitwise-equal by design).
+TEST(PqPropertyTest, IvfPqSearchIdenticalAcrossLevels) {
+  constexpr size_t kDim = 32;
+  constexpr size_t kN = 400;
+  Rng rng(107);
+  const auto data = RandomVector(kN * kDim, &rng);
+
+  index::IndexBuildParams params;
+  params.nlist = 8;
+  params.pq_m = 8;
+  index::IvfPqIndex idx(kDim, MetricType::kL2, params);
+  ASSERT_TRUE(idx.Train(data.data(), kN).ok());
+  ASSERT_TRUE(idx.Add(data.data(), kN).ok());
+
+  const auto query = RandomVector(kDim, &rng);
+  index::SearchOptions options;
+  options.k = 10;
+  options.nprobe = 4;
+
+  ASSERT_TRUE(SetLevel(SimdLevel::kScalar));
+  std::vector<HitList> base;
+  ASSERT_TRUE(idx.Search(query.data(), 1, options, &base).ok());
+
+  for (SimdLevel level : {SimdLevel::kSse, SimdLevel::kAvx2,
+                          SimdLevel::kAvx512}) {
+    if (!SetLevel(level)) continue;
+    std::vector<HitList> got;
+    ASSERT_TRUE(idx.Search(query.data(), 1, options, &got).ok());
+    ASSERT_EQ(got[0].size(), base[0].size()) << SimdLevelName(level);
+    for (size_t i = 0; i < base[0].size(); ++i) {
+      EXPECT_EQ(got[0][i].id, base[0][i].id) << SimdLevelName(level);
+      // Scores differ only through SelectProbes' float kernels; the ADC
+      // part is bitwise. Allow kernel-level tolerance on the score.
+      EXPECT_NEAR(got[0][i].score, base[0][i].score,
+                  1e-3f * (1.0f + std::abs(base[0][i].score)))
+          << SimdLevelName(level);
+    }
+  }
+  SetLevel(HighestSupportedLevel());
+}
+
+// ----------------------------------------------------- concurrency (TSan) --
+
+/// One index instance, many concurrent queries: the scanners must not share
+/// mutable scratch (this is the latent race the exec pool could hit with the
+/// old per-scanner decoded_ buffer). Run under TSan via `ctest -L simd`.
+template <typename IndexT>
+void ConcurrentSearchMatchesSerial(IndexT* idx, size_t dim, size_t nq) {
+  Rng rng(108);
+  std::vector<float> queries(nq * dim);
+  for (auto& x : queries) x = rng.NextGaussian();
+
+  index::SearchOptions options;
+  options.k = 5;
+  options.nprobe = 4;
+
+  std::vector<HitList> want;
+  ASSERT_TRUE(idx->Search(queries.data(), nq, options, &want).ok());
+
+  constexpr size_t kThreads = 8;
+  std::vector<std::vector<HitList>> got(kThreads);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Every thread searches the full query set against the shared index.
+      idx->Search(queries.data(), nq, options, &got[t]).IgnoreError();
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (size_t t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(got[t].size(), want.size());
+    for (size_t q = 0; q < nq; ++q) {
+      ASSERT_EQ(got[t][q].size(), want[q].size()) << "t=" << t << " q=" << q;
+      for (size_t i = 0; i < want[q].size(); ++i) {
+        EXPECT_EQ(got[t][q][i].id, want[q][i].id) << "t=" << t << " q=" << q;
+        EXPECT_EQ(got[t][q][i].score, want[q][i].score)
+            << "t=" << t << " q=" << q;
+      }
+    }
+  }
+}
+
+TEST(ConcurrentScanTest, Sq8IndexSafeUnderConcurrentQueries) {
+  constexpr size_t kDim = 48;
+  constexpr size_t kN = 600;
+  Rng rng(109);
+  std::vector<float> data(kN * kDim);
+  for (auto& x : data) x = rng.NextGaussian();
+
+  index::IndexBuildParams params;
+  params.nlist = 8;
+  index::IvfSq8Index idx(kDim, MetricType::kL2, params);
+  ASSERT_TRUE(idx.Train(data.data(), kN).ok());
+  ASSERT_TRUE(idx.Add(data.data(), kN).ok());
+  ConcurrentSearchMatchesSerial(&idx, kDim, /*nq=*/16);
+}
+
+TEST(ConcurrentScanTest, PqIndexSafeUnderConcurrentQueries) {
+  constexpr size_t kDim = 32;
+  constexpr size_t kN = 600;
+  Rng rng(110);
+  std::vector<float> data(kN * kDim);
+  for (auto& x : data) x = rng.NextGaussian();
+
+  index::IndexBuildParams params;
+  params.nlist = 8;
+  params.pq_m = 8;
+  index::IvfPqIndex idx(kDim, MetricType::kL2, params);
+  ASSERT_TRUE(idx.Train(data.data(), kN).ok());
+  ASSERT_TRUE(idx.Add(data.data(), kN).ok());
+  ConcurrentSearchMatchesSerial(&idx, kDim, /*nq=*/16);
+}
+
+}  // namespace
+}  // namespace simd
+}  // namespace vectordb

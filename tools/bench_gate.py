@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Kernel benchmark regression gate.
+
+Compares a fresh kernel-bench run (bench/kernel_bench --quick) against the
+committed baseline BENCH_kernels.json and fails if any kernel's
+machine-normalized speedup (speedup_vs_scalar) regressed by more than the
+threshold. Raw ns/vector is NOT compared — it varies across machines; the
+ratio to the same-machine scalar run is what the trajectory tracks.
+
+Only rows present in BOTH files are compared, so a quick-mode run (dim 128
+only) gates against the full committed baseline. A minimum-coverage check
+guards against the intersection silently shrinking to nothing.
+
+Usage:
+  bench_gate.py --baseline BENCH_kernels.json --current fresh.json
+  bench_gate.py --self-test
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_THRESHOLD = 0.15
+MIN_COMPARED_ROWS = 8
+
+
+def load_rows(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "vdb-kernel-bench-v1":
+        raise ValueError(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return doc["results"]
+
+
+def index_rows(rows):
+    out = {}
+    for row in rows:
+        key = (row["kernel"], row["level"], int(row["dim"]))
+        if "speedup_vs_scalar" in row:
+            out[key] = float(row["speedup_vs_scalar"])
+    return out
+
+
+def compare(baseline, current, threshold):
+    """Returns (compared_count, list of failure strings)."""
+    failures = []
+    compared = 0
+    for key, cur in sorted(current.items()):
+        base = baseline.get(key)
+        if base is None:
+            continue  # new kernel/dim: no baseline yet, nothing to gate
+        compared += 1
+        if cur < base * (1.0 - threshold):
+            kernel, level, dim = key
+            failures.append(
+                f"{kernel} [{level}, dim={dim}]: speedup_vs_scalar "
+                f"{cur:.2f} < baseline {base:.2f} "
+                f"(-{(1.0 - cur / base) * 100.0:.0f}%)"
+            )
+    return compared, failures
+
+
+def run_gate(baseline_path, current_path, threshold):
+    baseline = index_rows(load_rows(baseline_path))
+    current = index_rows(load_rows(current_path))
+    compared, failures = compare(baseline, current, threshold)
+    if compared < MIN_COMPARED_ROWS:
+        print(
+            f"bench_gate: only {compared} rows overlap between baseline and "
+            f"current (need >= {MIN_COMPARED_ROWS}); kernel coverage shrank",
+            file=sys.stderr,
+        )
+        return 1
+    if failures:
+        print(
+            f"bench_gate: {len(failures)} kernel(s) regressed more than "
+            f"{threshold * 100:.0f}% vs baseline:",
+            file=sys.stderr,
+        )
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"bench_gate: OK ({compared} kernel rows within threshold)")
+    return 0
+
+
+def self_test():
+    def rows(speedups):
+        return {
+            ("k" + str(i), "avx2", 128): s for i, s in enumerate(speedups)
+        }
+
+    base = rows([4.0] * 10)
+
+    # Identical run passes.
+    compared, failures = compare(base, rows([4.0] * 10), DEFAULT_THRESHOLD)
+    assert compared == 10 and not failures, (compared, failures)
+
+    # A 10% dip is within the 15% threshold.
+    compared, failures = compare(base, rows([3.6] * 10), DEFAULT_THRESHOLD)
+    assert compared == 10 and not failures, (compared, failures)
+
+    # A 30% dip on one kernel fails, and names it.
+    current = rows([4.0] * 10)
+    current[("k3", "avx2", 128)] = 2.8
+    compared, failures = compare(base, current, DEFAULT_THRESHOLD)
+    assert len(failures) == 1 and "k3" in failures[0], failures
+
+    # Rows missing from baseline (new kernels) are not gated.
+    current = rows([4.0] * 10)
+    current[("brand_new", "avx2", 128)] = 0.1
+    compared, failures = compare(base, current, DEFAULT_THRESHOLD)
+    assert compared == 10 and not failures, (compared, failures)
+
+    # Disjoint keys -> zero overlap, which run_gate treats as failure.
+    compared, failures = compare(base, {("other", "sse", 32): 1.0},
+                                 DEFAULT_THRESHOLD)
+    assert compared == 0, compared
+    assert compared < MIN_COMPARED_ROWS
+
+    print("bench_gate: self-test OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", help="committed BENCH_kernels.json")
+    parser.add_argument("--current", help="freshly produced bench JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="max allowed fractional regression (default 0.15)",
+    )
+    parser.add_argument("--self-test", action="store_true",
+                        help="run built-in unit checks and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        parser.error("--baseline and --current are required")
+    return run_gate(args.baseline, args.current, args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,10 @@ Machine-checkable conventions that the compiler cannot (portably) enforce:
                    (obs::Counter/Gauge) so they show up on /metrics.
                    std::atomic<bool>/enum flags are fine; pre-registry stats
                    structs are allowlisted.
+  simd-include     x86 intrinsic headers (<immintrin.h> and friends) are
+                   banned outside src/simd/ — every other layer must go
+                   through the dispatched kernels in simd/distances.h so
+                   per-ISA code stays behind the per-TU compile flags.
 
 Usage:
   tools/lint/vdb_lint.py [--root DIR]    lint DIR (default: repo root)
@@ -80,6 +84,7 @@ LINE_COMMENT_RE = re.compile(r"//.*$")
 METRIC_LITERAL_RE = re.compile(r'"(vdb_[A-Za-z0-9_]+)"')
 METRIC_NAME_RE = re.compile(
     r"vdb_(?:%s)_[a-z0-9_]+\Z" % "|".join(METRIC_SUBSYSTEMS))
+SIMD_INCLUDE_RE = re.compile(r"#\s*include\s*<\w*intrin\.h>")
 ADHOC_ATOMIC_RE = re.compile(
     r"std::atomic<\s*(?:unsigned|signed|short|int|long|size_t|float|double|"
     r"u?int(?:8|16|32|64|ptr)?_t)\b")
@@ -178,6 +183,12 @@ def lint_file(root, rel_path, findings):
                     (rel_path, lineno, "metric-name",
                      "'%s' violates vdb_<subsystem>_<name> (subsystems: %s)"
                      % (name, ", ".join(METRIC_SUBSYSTEMS))))
+        if (not rel_path.startswith("src/simd/")
+                and SIMD_INCLUDE_RE.search(line)):
+            findings.append(
+                (rel_path, lineno, "simd-include",
+                 "x86 intrinsic headers are restricted to src/simd/; "
+                 "call the dispatched kernels in simd/distances.h"))
         if (not rel_path.startswith("src/obs/")
                 and rel_path not in ATOMIC_ALLOWLIST
                 and ADHOC_ATOMIC_RE.search(line)):
@@ -236,6 +247,7 @@ struct Bad {
 
 BAD_SOURCE = """\
 #include <thread>
+#include <immintrin.h>
 std::atomic<uint64_t> g_requests{0};
 const char* kBadMetric = "vdb_bogus_requests_total";
 const char* kBadTail = "vdb_exec_BadCase";
@@ -286,6 +298,7 @@ def self_test():
         expect(findings, "naked-mutex", "src/bad.cc")
         expect(findings, "metric-name", "src/bad.cc")
         expect(findings, "adhoc-atomic", "src/bad.cc")
+        expect(findings, "simd-include", "src/bad.cc")
         bad_names = [f for f in findings if f[2] == "metric-name"]
         if len(bad_names) != 2:
             failures.append(
@@ -293,9 +306,11 @@ def self_test():
                 % len(bad_names))
 
     with tempfile.TemporaryDirectory(prefix="vdb_lint_selftest_") as tmp:
-        os.makedirs(os.path.join(tmp, "src"))
+        os.makedirs(os.path.join(tmp, "src", "simd"))
         with open(os.path.join(tmp, "src", "good.h"), "w") as f:
             f.write(CLEAN_HEADER)
+        with open(os.path.join(tmp, "src", "simd", "kernels.cc"), "w") as f:
+            f.write("#include <immintrin.h>\n")  # allowed inside src/simd/
         findings = []
         for rel in collect_sources(tmp):
             lint_file(tmp, rel, findings)
