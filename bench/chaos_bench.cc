@@ -1,0 +1,173 @@
+// Chaos availability benchmark: runs the seeded multi-tenant chaos harness
+// (src/chaos/) twice with the same seed, checks the two deterministic
+// reports are identical, and writes BENCH_chaos.json. tools/bench_gate.py
+// gates CI on the recorded availability and on the zero-tolerance
+// invariants (no acked-write loss, no wrong results, no violations).
+//
+// Usage: chaos_bench [--quick] [--seed N] [--events N] [--collections N]
+//                    [--readers N] [--rf N] [--out PATH]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "api/json.h"
+#include "chaos/runner.h"
+
+namespace vectordb {
+namespace {
+
+struct BenchConfig {
+  chaos::ChaosRunnerOptions runner;
+  bool quick = false;
+  std::string out_path = "BENCH_chaos.json";
+};
+
+void FillJson(api::Json* root, const chaos::ChaosReport& report,
+              const BenchConfig& config) {
+  root->Set("schema", "vdb-chaos-bench-v1");
+  root->Set("quick", config.quick);
+  root->Set("seed", report.seed);
+  root->Set("events", report.events);
+  root->Set("collections", report.collections);
+  root->Set("replication_factor", report.replication_factor);
+  root->Set("availability", report.availability);
+  root->Set("searches_total", report.searches_total);
+  root->Set("searches_ok", report.searches_ok);
+  root->Set("searches_failed", report.searches_failed);
+  root->Set("searches_compared", report.searches_compared);
+  root->Set("wrong_results", report.wrong_result_queries);
+  root->Set("acked_rows_lost", report.acked_rows_lost);
+  root->Set("deleted_rows_resurrected", report.deleted_rows_resurrected);
+  root->Set("invariant_violations", report.invariant_violations);
+  root->Set("final_rows_checked", report.final_rows_checked);
+  root->Set("inserts_acked", report.inserts_acked);
+  root->Set("inserts_rejected", report.inserts_rejected);
+  root->Set("deletes_acked", report.deletes_acked);
+  root->Set("flushes_ok", report.flushes_ok);
+  root->Set("flushes_failed", report.flushes_failed);
+  root->Set("reader_crashes", report.reader_crashes);
+  root->Set("reader_restarts", report.reader_restarts);
+  root->Set("writer_crashes", report.writer_crashes);
+  root->Set("writer_restarts", report.writer_restarts);
+  root->Set("search_faults_injected", report.search_faults_injected);
+  root->Set("storage_fault_rules", report.storage_fault_rules);
+  root->Set("storage_faults_fired", report.storage_faults_fired);
+  root->Set("rpcs", report.rpcs);
+  root->Set("degraded_queries", report.degraded_queries);
+  root->Set("failover_rpcs", report.failover_rpcs);
+  root->Set("publish_failures", report.publish_failures);
+  root->Set("refresh_retries", report.refresh_retries);
+  root->Set("wall_seconds", report.wall_seconds);
+  api::Json violations = api::Json::Array();
+  for (const std::string& v : report.violations) violations.Append(v);
+  root->Set("violations", std::move(violations));
+}
+
+}  // namespace
+}  // namespace vectordb
+
+int main(int argc, char** argv) {
+  vectordb::BenchConfig config;
+  config.runner.num_events = 500;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      config.quick = true;
+      config.runner.num_events = 200;
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      config.runner.seed = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--events") == 0) {
+      config.runner.num_events = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--collections") == 0) {
+      config.runner.num_collections = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--readers") == 0) {
+      config.runner.num_readers = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--rf") == 0) {
+      config.runner.replication_factor = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      config.out_path = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--seed N] [--events N] "
+                   "[--collections N] [--readers N] [--rf N] [--out PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  using vectordb::chaos::ChaosReport;
+  using vectordb::chaos::ChaosRunner;
+
+  std::fprintf(stderr, "chaos run 1: seed=%llu events=%zu collections=%zu\n",
+               static_cast<unsigned long long>(config.runner.seed),
+               config.runner.num_events, config.runner.num_collections);
+  auto first = ChaosRunner(config.runner).Run();
+  if (!first.ok()) {
+    std::fprintf(stderr, "harness failure: %s\n",
+                 first.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "chaos run 2 (determinism check)\n");
+  auto second = ChaosRunner(config.runner).Run();
+  if (!second.ok()) {
+    std::fprintf(stderr, "harness failure: %s\n",
+                 second.status().ToString().c_str());
+    return 1;
+  }
+
+  const ChaosReport& report = first.value();
+  int exit_code = 0;
+  if (first.value().DeterministicFingerprint() !=
+      second.value().DeterministicFingerprint()) {
+    std::fprintf(stderr, "NON-DETERMINISTIC: identical seeds diverged\n%s\n%s\n",
+                 first.value().DeterministicFingerprint().c_str(),
+                 second.value().DeterministicFingerprint().c_str());
+    exit_code = 1;
+  }
+  if (report.invariant_violations != 0) {
+    std::fprintf(stderr, "INVARIANT VIOLATIONS: %zu\n",
+                 report.invariant_violations);
+    for (const std::string& v : report.violations) {
+      std::fprintf(stderr, "  - %s\n", v.c_str());
+    }
+    exit_code = 1;
+  }
+
+  std::printf(
+      "availability %.4f  (ok %zu / total %zu)\n"
+      "compared %zu  wrong %zu  rows_checked %zu  lost %zu  resurrected %zu\n"
+      "degraded %zu  failover_rpcs %zu  publish_failures %zu  "
+      "refresh_retries %zu\n"
+      "crashes: reader %zu writer %zu  faults: search %zu storage %zu "
+      "(fired %zu)\n",
+      report.availability, report.searches_ok, report.searches_total,
+      report.searches_compared, report.wrong_result_queries,
+      report.final_rows_checked, report.acked_rows_lost,
+      report.deleted_rows_resurrected, report.degraded_queries,
+      report.failover_rpcs, report.publish_failures, report.refresh_retries,
+      report.reader_crashes, report.writer_crashes,
+      report.search_faults_injected, report.storage_fault_rules,
+      report.storage_faults_fired);
+
+  vectordb::api::Json root = vectordb::api::Json::Object();
+  vectordb::FillJson(&root, report, config);
+  std::FILE* f = std::fopen(config.out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", config.out_path.c_str());
+    return 1;
+  }
+  const std::string text = root.Dump();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", config.out_path.c_str());
+  return exit_code;
+}

@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "dist/cluster.h"
 #include "obs/catalog.h"
 #include "obs/metrics.h"
 
@@ -147,6 +148,11 @@ RestResponse RestHandler::Handle(const std::string& method,
     if (method == "GET") return Metrics();
     return Error(405, "method not allowed");
   }
+  if (segments.size() == 2 && segments[0] == "cluster" &&
+      segments[1] == "health") {
+    if (method == "GET") return ClusterHealth();
+    return Error(405, "method not allowed");
+  }
   if (segments.empty() || segments[0] != "collections") {
     return Error(404, "unknown route: " + path);
   }
@@ -185,6 +191,56 @@ RestResponse RestHandler::Metrics() {
   RestResponse response;
   response.text = obs::MetricsRegistry::Global().RenderPrometheus();
   response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  return response;
+}
+
+RestResponse RestHandler::ClusterHealth() {
+  RestResponse response;
+  if (cluster_ == nullptr) {
+    // Embedded/standalone deployment: always healthy from the shard-map
+    // perspective, and probes don't need a different URL per deployment.
+    response.body.Set("mode", "standalone");
+    response.body.Set("healthy", Json(true));
+    return response;
+  }
+  const bool writer_alive = cluster_->writer_alive();
+  const std::vector<std::string> readers = cluster_->live_readers();
+  // Serving requires a writer for the data plane and a non-empty shard ring
+  // for the query plane; report 503 (probe-visible) when either is missing.
+  const bool healthy = writer_alive && !readers.empty();
+
+  response.status = healthy ? 200 : 503;
+  response.body.Set("mode", "cluster");
+  response.body.Set("healthy", Json(healthy));
+  response.body.Set("writer_alive", Json(writer_alive));
+  response.body.Set("replication_factor",
+                    Json(static_cast<int64_t>(cluster_->replication_factor())));
+  Json reader_names = Json::Array();
+  for (const std::string& name : readers) reader_names.Append(Json(name));
+  response.body.Set("live_readers", std::move(reader_names));
+  response.body.Set("num_live_readers",
+                    Json(static_cast<int64_t>(readers.size())));
+
+  // Readers pinned to a stale snapshot, per collection (0 = fully caught up).
+  Json stale = Json::Object();
+  for (const std::string& name : cluster_->coordinator().Collections()) {
+    stale.Set(name, Json(static_cast<int64_t>(cluster_->stale_readers(name))));
+  }
+  response.body.Set("stale_readers", std::move(stale));
+
+  // The vdb_dist availability counters, as this cluster instance counts
+  // them (process-wide series live under /v1/metrics).
+  Json counters = Json::Object();
+  counters.Set("rpcs", Json(static_cast<int64_t>(cluster_->rpc_count())));
+  counters.Set("degraded_queries",
+               Json(static_cast<int64_t>(cluster_->degraded_queries())));
+  counters.Set("failover_rpcs",
+               Json(static_cast<int64_t>(cluster_->failover_rpcs())));
+  counters.Set("publish_failures",
+               Json(static_cast<int64_t>(cluster_->publish_failures())));
+  counters.Set("refresh_retries",
+               Json(static_cast<int64_t>(cluster_->refresh_retries())));
+  response.body.Set("counters", std::move(counters));
   return response;
 }
 

@@ -7,6 +7,10 @@
 #include "db/vector_db.h"
 
 namespace vectordb {
+namespace dist {
+class Cluster;
+}  // namespace dist
+
 namespace api {
 
 /// A REST response: HTTP-style status code plus either a JSON body (the
@@ -34,6 +38,11 @@ int HttpStatusFor(const Status& status);
 /// paths are accepted via a single rewrite and serve the same table.
 ///
 ///   GET    /v1/metrics                              → Prometheus exposition
+///   GET    /v1/cluster/health                       → node liveness + the
+///                                                     vdb_dist availability
+///                                                     counters (503 while
+///                                                     the cluster cannot
+///                                                     serve)
 ///   GET    /v1/collections                          → list collections
 ///   POST   /v1/collections                          → create (schema in body)
 ///   DELETE /v1/collections/{name}                   → drop
@@ -48,11 +57,17 @@ class RestHandler {
  public:
   explicit RestHandler(db::VectorDb* db) : db_(db) {}
 
+  /// Attach a distributed deployment: /v1/cluster/health starts reporting
+  /// its liveness and availability counters. Without one the route answers
+  /// 200 {"mode": "standalone"} so probes work in both deployments.
+  void set_cluster(dist::Cluster* cluster) { cluster_ = cluster; }
+
   RestResponse Handle(const std::string& method, const std::string& path,
                       const std::string& body);
 
  private:
   RestResponse Metrics();
+  RestResponse ClusterHealth();
   RestResponse ListCollections();
   RestResponse CreateCollection(const Json& body);
   RestResponse DropCollection(const std::string& name);
@@ -64,6 +79,7 @@ class RestHandler {
   RestResponse Search(const std::string& name, const Json& body);
 
   db::VectorDb* db_;
+  dist::Cluster* cluster_ = nullptr;  ///< Optional; standalone when null.
 };
 
 }  // namespace api

@@ -1,0 +1,123 @@
+#include "chaos/invariants.h"
+
+#include <cmath>
+
+namespace vectordb {
+namespace chaos {
+
+namespace {
+
+constexpr size_t kMaxViolationMessages = 16;
+
+void AddViolation(std::vector<std::string>* violations, std::string message) {
+  if (violations->size() < kMaxViolationMessages) {
+    violations->push_back(std::move(message));
+  }
+}
+
+}  // namespace
+
+void InvariantChecker::RecordAckedInsert(const std::string& collection,
+                                         RowId id, std::vector<float> vector) {
+  CollectionModel& model = model_[collection];
+  model.deleted.erase(id);
+  model.live[id] = std::move(vector);
+}
+
+void InvariantChecker::RecordAckedDelete(const std::string& collection,
+                                         RowId id) {
+  CollectionModel& model = model_[collection];
+  auto it = model.live.find(id);
+  if (it == model.live.end()) return;
+  model.deleted[id] = std::move(it->second);
+  model.live.erase(it);
+}
+
+size_t InvariantChecker::num_live_rows(const std::string& collection) const {
+  auto it = model_.find(collection);
+  return it == model_.end() ? 0 : it->second.live.size();
+}
+
+std::optional<RowId> InvariantChecker::PickLiveRow(
+    const std::string& collection, Rng* rng) const {
+  auto it = model_.find(collection);
+  if (it == model_.end() || it->second.live.empty()) return std::nullopt;
+  size_t index = rng->NextUint64(it->second.live.size());
+  auto row = it->second.live.begin();
+  std::advance(row, index);
+  return row->first;
+}
+
+bool InvariantChecker::SameHits(const std::vector<HitList>& got,
+                                const std::vector<HitList>& want,
+                                std::string* diff) {
+  if (got.size() != want.size()) {
+    *diff = "query count " + std::to_string(got.size()) + " vs " +
+            std::to_string(want.size());
+    return false;
+  }
+  for (size_t q = 0; q < got.size(); ++q) {
+    if (got[q].size() != want[q].size()) {
+      *diff = "query " + std::to_string(q) + ": " +
+              std::to_string(got[q].size()) + " hits vs " +
+              std::to_string(want[q].size());
+      return false;
+    }
+    for (size_t i = 0; i < got[q].size(); ++i) {
+      if (got[q][i].id != want[q][i].id ||
+          got[q][i].score != want[q][i].score) {
+        *diff = "query " + std::to_string(q) + " hit " + std::to_string(i) +
+                ": id " + std::to_string(got[q][i].id) + " vs " +
+                std::to_string(want[q][i].id);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+FinalSweepStats InvariantChecker::VerifyFinalState(
+    dist::Cluster* cluster, const std::string& field,
+    std::vector<std::string>* violations) const {
+  FinalSweepStats stats;
+  db::QueryOptions options;
+  options.k = 1;
+  for (const auto& [collection, model] : model_) {
+    // Every acked live row must answer an exact self-probe: its own vector
+    // is at L2 distance zero, so any other top-1 means the row is gone.
+    for (const auto& [id, vector] : model.live) {
+      ++stats.rows_checked;
+      auto result = cluster->Search(collection, field, vector.data(), 1,
+                                    options);
+      const bool found = result.ok() && !result.value().empty() &&
+                         !result.value()[0].empty() &&
+                         result.value()[0][0].id == id;
+      if (!found) {
+        ++stats.acked_rows_lost;
+        AddViolation(violations, "acked row lost: " + collection + "/" +
+                                     std::to_string(id) +
+                                     (result.ok()
+                                          ? ""
+                                          : " (" + result.status().ToString() +
+                                                ")"));
+      }
+    }
+    // Acked deletes must stay deleted: a self-probe answered by the deleted
+    // id at distance ~0 means its tombstone was lost in recovery.
+    for (const auto& [id, vector] : model.deleted) {
+      auto result = cluster->Search(collection, field, vector.data(), 1,
+                                    options);
+      if (result.ok() && !result.value().empty() &&
+          !result.value()[0].empty() && result.value()[0][0].id == id &&
+          std::fabs(result.value()[0][0].score) < 1e-12f) {
+        ++stats.deleted_rows_resurrected;
+        AddViolation(violations, "deleted row resurrected: " + collection +
+                                     "/" + std::to_string(id));
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace chaos
+}  // namespace vectordb

@@ -1,0 +1,65 @@
+#ifndef VECTORDB_CHAOS_INVARIANTS_H_
+#define VECTORDB_CHAOS_INVARIANTS_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "dist/cluster.h"
+
+namespace vectordb {
+namespace chaos {
+
+/// Tally of the final durability sweep.
+struct FinalSweepStats {
+  size_t rows_checked = 0;
+  /// Acked, never-deleted rows that the healed cluster cannot find — the
+  /// zero-tolerance invariant.
+  size_t acked_rows_lost = 0;
+  /// Acked-deleted rows that reappeared after recovery (lost tombstones).
+  size_t deleted_rows_resurrected = 0;
+};
+
+/// The chaos run's source of truth: which writes the cluster acknowledged,
+/// with the exact vectors, so the healed cluster can be audited row by row.
+/// Only *acked* operations enter the model — an insert that failed under a
+/// fault owes the user nothing.
+class InvariantChecker {
+ public:
+  void RecordAckedInsert(const std::string& collection, RowId id,
+                         std::vector<float> vector);
+  void RecordAckedDelete(const std::string& collection, RowId id);
+
+  size_t num_live_rows(const std::string& collection) const;
+  /// Deterministic uniform pick among the collection's live rows.
+  std::optional<RowId> PickLiveRow(const std::string& collection,
+                                   Rng* rng) const;
+
+  /// Compare two merged top-k answers hit for hit. Returns true when equal;
+  /// otherwise writes a bounded description of the first difference.
+  static bool SameHits(const std::vector<HitList>& got,
+                       const std::vector<HitList>& want, std::string* diff);
+
+  /// Audit the healed, fully-flushed cluster: every acked live row must be
+  /// findable by an exact nearest-neighbor probe with its own vector, and
+  /// no acked-deleted row may answer such a probe with distance zero.
+  /// Violation messages (bounded) are appended to `violations`.
+  FinalSweepStats VerifyFinalState(dist::Cluster* cluster,
+                                   const std::string& field,
+                                   std::vector<std::string>* violations) const;
+
+ private:
+  struct CollectionModel {
+    std::map<RowId, std::vector<float>> live;
+    std::map<RowId, std::vector<float>> deleted;
+  };
+  std::map<std::string, CollectionModel> model_;
+};
+
+}  // namespace chaos
+}  // namespace vectordb
+
+#endif  // VECTORDB_CHAOS_INVARIANTS_H_

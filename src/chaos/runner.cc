@@ -1,0 +1,535 @@
+#include "chaos/runner.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/timer.h"
+
+namespace vectordb {
+namespace chaos {
+
+namespace {
+
+/// Both clusters keep every segment flat-scanned and never auto-flush:
+/// exact scores are segmentation-invariant, so chaos and twin answers are
+/// comparable bit for bit no matter how differently their LSM trees evolved,
+/// and visibility only ever advances at the runner's explicit flush events.
+constexpr size_t kNeverRows = size_t{1} << 30;
+
+}  // namespace
+
+std::string ChaosReport::DeterministicFingerprint() const {
+  std::string fp;
+  auto add = [&fp](const char* key, size_t value) {
+    fp += key;
+    fp += "=" + std::to_string(value) + ";";
+  };
+  add("seed", static_cast<size_t>(seed));
+  add("events", events);
+  add("collections", collections);
+  add("rf", replication_factor);
+  add("inserts_acked", inserts_acked);
+  add("inserts_rejected", inserts_rejected);
+  add("deletes_acked", deletes_acked);
+  add("deletes_rejected", deletes_rejected);
+  add("flushes_ok", flushes_ok);
+  add("flushes_failed", flushes_failed);
+  add("maintenance_ok", maintenance_ok);
+  add("maintenance_failed", maintenance_failed);
+  add("searches_total", searches_total);
+  add("searches_ok", searches_ok);
+  add("searches_failed", searches_failed);
+  add("searches_compared", searches_compared);
+  add("wrong_result_queries", wrong_result_queries);
+  add("reader_crashes", reader_crashes);
+  add("reader_restarts", reader_restarts);
+  add("reader_restart_failures", reader_restart_failures);
+  add("readers_added", readers_added);
+  add("readers_removed", readers_removed);
+  add("writer_crashes", writer_crashes);
+  add("writer_restarts", writer_restarts);
+  add("writer_restart_failures", writer_restart_failures);
+  add("search_faults_injected", search_faults_injected);
+  add("storage_fault_rules", storage_fault_rules);
+  add("storage_faults_fired", storage_faults_fired);
+  add("rpcs", rpcs);
+  add("degraded_queries", degraded_queries);
+  add("failover_rpcs", failover_rpcs);
+  add("publish_failures", publish_failures);
+  add("refresh_retries", refresh_retries);
+  add("final_rows_checked", final_rows_checked);
+  add("acked_rows_lost", acked_rows_lost);
+  add("deleted_rows_resurrected", deleted_rows_resurrected);
+  add("invariant_violations", invariant_violations);
+  char availability_text[32];
+  std::snprintf(availability_text, sizeof(availability_text), "%.9f",
+                availability);
+  fp += "availability=";
+  fp += availability_text;
+  fp += ";";
+  for (const std::string& v : violations) fp += "violation=" + v + ";";
+  return fp;
+}
+
+ChaosRunner::ChaosRunner(const ChaosRunnerOptions& options)
+    : options_(options),
+      rng_(options.seed ^ 0x9e3779b97f4a7c15ull),
+      query_rng_(options.seed ^ 0xc2b2ae3d27d4eb4full) {
+  report_.seed = options_.seed;
+  report_.events = options_.num_events;
+  report_.collections = options_.num_collections;
+  report_.replication_factor = options_.replication_factor;
+}
+
+std::string ChaosRunner::CollectionName(size_t index) const {
+  return "tenant-" + std::to_string(index);
+}
+
+std::vector<float> ChaosRunner::DrawVector() {
+  std::vector<float> vector(options_.dim);
+  for (float& x : vector) x = rng_.NextGaussian();
+  return vector;
+}
+
+void ChaosRunner::Violation(std::string message) {
+  ++report_.invariant_violations;
+  if (report_.violations.size() < 16) {
+    report_.violations.push_back(std::move(message));
+  }
+}
+
+Status ChaosRunner::SetupClusters() {
+  chaos_fs_ = std::make_shared<storage::FaultInjectionFileSystem>(
+      storage::NewMemoryFileSystem(), options_.seed + 1);
+
+  dist::ClusterOptions chaos_options;
+  chaos_options.shared_fs = chaos_fs_;
+  chaos_options.num_readers = options_.num_readers;
+  chaos_options.replication_factor = options_.replication_factor;
+  chaos_options.memtable_flush_rows = kNeverRows;
+  chaos_options.index_build_threshold_rows = kNeverRows;
+  chaos_ = std::make_unique<dist::Cluster>(chaos_options);
+
+  dist::ClusterOptions twin_options = chaos_options;
+  twin_options.shared_fs = storage::NewMemoryFileSystem();
+  twin_ = std::make_unique<dist::Cluster>(twin_options);
+
+  next_row_id_.assign(options_.num_collections, 0);
+  publish_pending_.assign(options_.num_collections, false);
+
+  for (size_t c = 0; c < options_.num_collections; ++c) {
+    db::CollectionSchema schema;
+    schema.name = CollectionName(c);
+    schema.vector_fields = {{"v", options_.dim}};
+    schema.attributes = {};
+    schema.index_params.nlist = 4;
+    VDB_RETURN_NOT_OK(chaos_->CreateCollection(schema));
+    VDB_RETURN_NOT_OK(twin_->CreateCollection(schema));
+  }
+  return Status::OK();
+}
+
+Status ChaosRunner::Warmup() {
+  for (size_t c = 0; c < options_.num_collections; ++c) {
+    const std::string name = CollectionName(c);
+    for (size_t i = 0; i < options_.warmup_rows; ++i) {
+      db::Entity entity;
+      entity.id = next_row_id_[c]++;
+      std::vector<float> vector = DrawVector();
+      entity.vectors.push_back(vector);
+      VDB_RETURN_NOT_OK(chaos_->Insert(name, entity));
+      VDB_RETURN_NOT_OK(twin_->Insert(name, entity));
+      checker_.RecordAckedInsert(name, entity.id, std::move(vector));
+    }
+    VDB_RETURN_NOT_OK(chaos_->Flush(name));
+    VDB_RETURN_NOT_OK(twin_->Flush(name));
+  }
+  return Status::OK();
+}
+
+void ChaosRunner::DoInsert(const ChaosEvent& event) {
+  const std::string name = CollectionName(event.collection);
+  const size_t batch = 1 + event.arg % 3;
+  for (size_t b = 0; b < batch; ++b) {
+    db::Entity entity;
+    entity.id = next_row_id_[event.collection]++;
+    std::vector<float> vector = DrawVector();
+    entity.vectors.push_back(vector);
+    const Status acked = chaos_->Insert(name, entity);
+    if (!acked.ok()) {
+      ++report_.inserts_rejected;
+      continue;
+    }
+    ++report_.inserts_acked;
+    const Status mirrored = twin_->Insert(name, entity);
+    if (!mirrored.ok()) {
+      Violation("twin rejected mirrored insert " + name + "/" +
+                std::to_string(entity.id) + ": " + mirrored.ToString());
+    }
+    checker_.RecordAckedInsert(name, entity.id, std::move(vector));
+  }
+}
+
+void ChaosRunner::DoDelete(const ChaosEvent& event) {
+  const std::string name = CollectionName(event.collection);
+  std::optional<RowId> target = checker_.PickLiveRow(name, &rng_);
+  if (!target.has_value()) return;  // Nothing acked to delete yet.
+  const Status acked = chaos_->Delete(name, *target);
+  if (std::getenv("VDB_CHAOS_TRACE") != nullptr) {
+    std::fprintf(stderr, "    delete %s/%lld -> %s\n", name.c_str(),
+                 static_cast<long long>(*target), acked.ToString().c_str());
+  }
+  if (!acked.ok()) {
+    ++report_.deletes_rejected;
+    return;
+  }
+  ++report_.deletes_acked;
+  const Status mirrored = twin_->Delete(name, *target);
+  if (!mirrored.ok()) {
+    Violation("twin rejected mirrored delete " + name + "/" +
+              std::to_string(*target) + ": " + mirrored.ToString());
+  }
+  checker_.RecordAckedDelete(name, *target);
+}
+
+void ChaosRunner::DoFlush(const ChaosEvent& event) {
+  const std::string name = CollectionName(event.collection);
+  // Split flush from publish: once the writer-side flush commits, the state
+  // is durable and the twin must mirror it even if no reader can be told.
+  const Status flushed = chaos_->FlushWriter(name);
+  if (!flushed.ok()) {
+    ++report_.flushes_failed;
+    return;
+  }
+  ++report_.flushes_ok;
+  const Status mirrored = twin_->Flush(name);
+  if (!mirrored.ok()) {
+    Violation("twin flush failed for " + name + ": " + mirrored.ToString());
+  }
+  publish_pending_[event.collection] = true;
+  const Status published = chaos_->Publish(name);
+  if (std::getenv("VDB_CHAOS_TRACE") != nullptr) {
+    std::fprintf(stderr, "    flush %s publish -> %s stale=%zu\n",
+                 name.c_str(), published.ToString().c_str(),
+                 chaos_->stale_readers(name));
+  }
+  publish_pending_[event.collection] = false;
+}
+
+void ChaosRunner::DoMaintenance(const ChaosEvent& event) {
+  const std::string name = CollectionName(event.collection);
+  // Same durability split as DoFlush: mirror the twin as soon as the
+  // writer-side flush commits, because merge or publish failing afterwards
+  // does not un-flush anything.
+  const Status flushed = chaos_->FlushWriter(name);
+  if (!flushed.ok()) {
+    ++report_.maintenance_failed;
+    return;
+  }
+  const Status mirrored = twin_->Flush(name);
+  if (!mirrored.ok()) {
+    Violation("twin flush failed for " + name + ": " + mirrored.ToString());
+  }
+  publish_pending_[event.collection] = true;
+  const Status maintained = chaos_->RunMaintenance(name);
+  if (maintained.ok()) {
+    ++report_.maintenance_ok;
+    publish_pending_[event.collection] = false;
+  } else {
+    // Merge/publish died somewhere; readers may have never seen the new
+    // manifest, so comparisons stay off until the next full publish.
+    ++report_.maintenance_failed;
+  }
+}
+
+bool ChaosRunner::ComparisonEligible(size_t collection) const {
+  return !publish_pending_[collection] &&
+         chaos_->stale_readers(CollectionName(collection)) == 0;
+}
+
+void ChaosRunner::DoSearch(const ChaosEvent& event) {
+  const std::string name = CollectionName(event.collection);
+  const size_t nq = options_.search_nq;
+  std::vector<float> queries(nq * options_.dim);
+  for (float& x : queries) x = query_rng_.NextGaussian();
+  db::QueryOptions query_options;
+  query_options.k = options_.search_k;
+
+  ++report_.searches_total;
+  auto got = chaos_->Search(name, "v", queries.data(), nq, query_options);
+  if (!got.ok()) {
+    ++report_.searches_failed;
+    return;
+  }
+  ++report_.searches_ok;
+
+  // Eligibility is checked *after* the search: a stale reader may have
+  // lazily healed at the start of its scatter leg, in which case this very
+  // answer is already fresh.
+  if (!ComparisonEligible(event.collection)) return;
+  auto want = twin_->Search(name, "v", queries.data(), nq, query_options);
+  if (!want.ok()) {
+    Violation("twin search failed for " + name + ": " +
+              want.status().ToString());
+    return;
+  }
+  ++report_.searches_compared;
+  std::string diff;
+  if (!InvariantChecker::SameHits(got.value(), want.value(), &diff)) {
+    ++report_.wrong_result_queries;
+    Violation("wrong result on " + name + ": " + diff);
+    if (std::getenv("VDB_CHAOS_TRACE") != nullptr) {
+      std::fprintf(stderr, "    WRONG %s: %s\n", name.c_str(), diff.c_str());
+      for (size_t q = 0; q < got.value().size(); ++q) {
+        std::fprintf(stderr, "      q%zu chaos:", q);
+        for (const auto& h : got.value()[q]) {
+          std::fprintf(stderr, " %lld:%.6f", static_cast<long long>(h.id),
+                       h.score);
+        }
+        std::fprintf(stderr, "\n      q%zu twin: ", q);
+        for (const auto& h : want.value()[q]) {
+          std::fprintf(stderr, " %lld:%.6f", static_cast<long long>(h.id),
+                       h.score);
+        }
+        std::fprintf(stderr, "\n");
+      }
+    }
+  } else if (std::getenv("VDB_CHAOS_TRACE") != nullptr) {
+    std::fprintf(stderr, "    compare ok %s\n", name.c_str());
+  }
+}
+
+void ChaosRunner::DoCrashReader() {
+  if (chaos_->num_live_readers() <= 1) return;  // Keep one shard server up.
+  const std::vector<std::string> live = chaos_->live_readers();
+  const std::string victim = live[rng_.NextUint64(live.size())];
+  if (chaos_->CrashReader(victim).ok()) {
+    crashed_readers_.push_back(victim);
+    ++report_.reader_crashes;
+  }
+}
+
+void ChaosRunner::DoRestartReader() {
+  if (crashed_readers_.empty()) return;
+  const size_t index = rng_.NextUint64(crashed_readers_.size());
+  const std::string name = crashed_readers_[index];
+  const Status restarted = chaos_->RestartReader(name);
+  if (restarted.ok()) {
+    crashed_readers_.erase(crashed_readers_.begin() +
+                           static_cast<ptrdiff_t>(index));
+    ++report_.reader_restarts;
+  } else {
+    ++report_.reader_restart_failures;  // Stays in the pool for a retry.
+  }
+}
+
+void ChaosRunner::DoAddReader() {
+  if (chaos_->num_live_readers() >= options_.max_readers) return;
+  if (chaos_->AddReader().ok()) ++report_.readers_added;
+}
+
+void ChaosRunner::DoRemoveReader() {
+  if (chaos_->num_live_readers() <= 2) return;
+  const std::vector<std::string> live = chaos_->live_readers();
+  const std::string victim = live[rng_.NextUint64(live.size())];
+  if (chaos_->RemoveReader(victim).ok()) ++report_.readers_removed;
+}
+
+void ChaosRunner::DoCrashWriter() {
+  if (!chaos_->writer_alive()) return;
+  if (chaos_->CrashWriter().ok()) ++report_.writer_crashes;
+}
+
+void ChaosRunner::DoRestartWriter() {
+  if (chaos_->writer_alive()) return;
+  const Status restarted = chaos_->RestartWriter();
+  if (restarted.ok()) {
+    ++report_.writer_restarts;
+  } else {
+    ++report_.writer_restart_failures;  // A later event retries.
+  }
+}
+
+void ChaosRunner::DoInjectSearchFault(const ChaosEvent& event) {
+  if (chaos_->num_live_readers() == 0) return;
+  const std::vector<std::string> live = chaos_->live_readers();
+  const std::string victim = live[rng_.NextUint64(live.size())];
+  const size_t faults = 1 + event.arg % 2;
+  if (chaos_->InjectReaderSearchFaults(victim, faults).ok()) {
+    ++report_.search_faults_injected;
+  }
+}
+
+void ChaosRunner::DoStorageFault(const ChaosEvent& event) {
+  if (!options_.storage_faults) return;
+  // One-shot rules scoped to the data tree. Bit flips only target READS:
+  // storage stays intact and CRC envelopes turn the flip into a loud leg
+  // failure. A bit flip on the WAL's append path would be undetectable at
+  // ack time and could silently void the zero-acked-loss invariant — that
+  // failure mode is out of the model (it needs end-to-end page checksums,
+  // not a serving-layer harness).
+  storage::FaultRule rule;
+  rule.path_prefix = "cluster/data/";
+  rule.nth = 1 + (event.arg >> 8) % 8;
+  rule.max_triggers = 1;
+  switch (event.arg % 4) {
+    case 0:
+      rule.ops = storage::kOpRead;
+      rule.effect = storage::FaultEffect::kTransient;
+      break;
+    case 1:
+      rule.ops = storage::kOpRead;
+      rule.effect = storage::FaultEffect::kBitFlip;
+      break;
+    case 2:
+      // Torn WAL append: a prefix lands, the call fails. The acked suffix
+      // stays safe because WriteAheadLog::Append heals the torn tail before
+      // acknowledging anything else.
+      rule.ops = storage::kOpAppend;
+      rule.effect = storage::FaultEffect::kTornAppend;
+      rule.torn_fraction = 0.5;
+      break;
+    default:
+      rule.ops = storage::kOpWrite;
+      rule.effect = storage::FaultEffect::kTransient;
+      break;
+  }
+  chaos_fs_->AddRule(rule);
+  ++report_.storage_fault_rules;
+}
+
+Status ChaosRunner::Heal() {
+  chaos_fs_->ClearRules();
+  for (const std::string& name : chaos_->live_readers()) {
+    chaos_->InjectReaderSearchFaults(name, 0).IgnoreError();
+  }
+  for (int attempt = 0; attempt < 5 && !chaos_->writer_alive(); ++attempt) {
+    const Status restarted = chaos_->RestartWriter();
+    if (!restarted.ok() && attempt == 4) return restarted;
+  }
+  while (!crashed_readers_.empty()) {
+    const std::string name = crashed_readers_.back();
+    VDB_RETURN_NOT_OK(chaos_->RestartReader(name));
+    crashed_readers_.pop_back();
+  }
+  if (chaos_->num_live_readers() == 0) {
+    VDB_RETURN_NOT_OK(chaos_->AddReader());
+  }
+  for (size_t c = 0; c < options_.num_collections; ++c) {
+    const std::string name = CollectionName(c);
+    VDB_RETURN_NOT_OK(chaos_->Flush(name));
+    VDB_RETURN_NOT_OK(twin_->Flush(name));
+    publish_pending_[c] = false;
+    if (chaos_->stale_readers(name) != 0) {
+      return Status::Internal("reader still stale after fault-free publish");
+    }
+  }
+  return Status::OK();
+}
+
+void ChaosRunner::FinalAudit() {
+  // Healed cluster vs twin, one last converged comparison per collection.
+  db::QueryOptions query_options;
+  query_options.k = options_.search_k;
+  for (size_t c = 0; c < options_.num_collections; ++c) {
+    const std::string name = CollectionName(c);
+    const size_t nq = options_.search_nq;
+    std::vector<float> queries(nq * options_.dim);
+    for (float& x : queries) x = query_rng_.NextGaussian();
+    auto got = chaos_->Search(name, "v", queries.data(), nq, query_options);
+    auto want = twin_->Search(name, "v", queries.data(), nq, query_options);
+    if (!got.ok() || !want.ok()) {
+      Violation("final comparison search failed for " + name);
+      continue;
+    }
+    ++report_.searches_compared;
+    std::string diff;
+    if (!InvariantChecker::SameHits(got.value(), want.value(), &diff)) {
+      ++report_.wrong_result_queries;
+      Violation("final wrong result on " + name + ": " + diff);
+    }
+  }
+
+  const FinalSweepStats sweep =
+      checker_.VerifyFinalState(chaos_.get(), "v", &report_.violations);
+  report_.final_rows_checked = sweep.rows_checked;
+  report_.acked_rows_lost = sweep.acked_rows_lost;
+  report_.deleted_rows_resurrected = sweep.deleted_rows_resurrected;
+  report_.invariant_violations +=
+      sweep.acked_rows_lost + sweep.deleted_rows_resurrected;
+}
+
+void ChaosRunner::CheckCounterConsistency() {
+  report_.rpcs = chaos_->rpc_count();
+  report_.degraded_queries = chaos_->degraded_queries();
+  report_.failover_rpcs = chaos_->failover_rpcs();
+  report_.publish_failures = chaos_->publish_failures();
+  report_.refresh_retries = chaos_->refresh_retries();
+  report_.storage_faults_fired = chaos_fs_->stats().faults_injected.load();
+
+  if (report_.searches_ok + report_.searches_failed !=
+      report_.searches_total) {
+    Violation("search counters do not add up");
+  }
+  if (report_.failover_rpcs > report_.rpcs) {
+    Violation("failover_rpcs exceeds total rpcs");
+  }
+  if (report_.degraded_queries > report_.searches_total) {
+    Violation("degraded_queries exceeds searches issued");
+  }
+  if (report_.searches_compared > report_.searches_ok +
+                                      options_.num_collections) {
+    Violation("compared more searches than succeeded");
+  }
+  report_.availability =
+      report_.searches_total == 0
+          ? 1.0
+          : static_cast<double>(report_.searches_ok) /
+                static_cast<double>(report_.searches_total);
+}
+
+Result<ChaosReport> ChaosRunner::Run() {
+  Timer timer;
+  VDB_RETURN_NOT_OK(SetupClusters());
+  VDB_RETURN_NOT_OK(Warmup());
+
+  ChaosScheduleOptions schedule_options;
+  schedule_options.seed = options_.seed;
+  schedule_options.num_events = options_.num_events;
+  schedule_options.num_collections = options_.num_collections;
+  const ChaosSchedule schedule = ChaosSchedule::Generate(schedule_options);
+
+  size_t trace_idx = 0;
+  for (const ChaosEvent& event : schedule.events()) {
+    if (std::getenv("VDB_CHAOS_TRACE") != nullptr) {
+      std::fprintf(stderr, "[%zu] %s c=%zu arg=%llu\n", trace_idx++,
+                   ChaosOpName(event.op), event.collection,
+                   static_cast<unsigned long long>(event.arg));
+    }
+    switch (event.op) {
+      case ChaosOp::kInsert: DoInsert(event); break;
+      case ChaosOp::kDelete: DoDelete(event); break;
+      case ChaosOp::kFlush: DoFlush(event); break;
+      case ChaosOp::kSearch: DoSearch(event); break;
+      case ChaosOp::kMaintenance: DoMaintenance(event); break;
+      case ChaosOp::kCrashReader: DoCrashReader(); break;
+      case ChaosOp::kRestartReader: DoRestartReader(); break;
+      case ChaosOp::kAddReader: DoAddReader(); break;
+      case ChaosOp::kRemoveReader: DoRemoveReader(); break;
+      case ChaosOp::kCrashWriter: DoCrashWriter(); break;
+      case ChaosOp::kRestartWriter: DoRestartWriter(); break;
+      case ChaosOp::kInjectSearchFault: DoInjectSearchFault(event); break;
+      case ChaosOp::kStorageFault: DoStorageFault(event); break;
+    }
+  }
+
+  VDB_RETURN_NOT_OK(Heal());
+  FinalAudit();
+  CheckCounterConsistency();
+  report_.wall_seconds = timer.ElapsedSeconds();
+  return report_;
+}
+
+}  // namespace chaos
+}  // namespace vectordb

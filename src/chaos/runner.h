@@ -1,0 +1,169 @@
+#ifndef VECTORDB_CHAOS_RUNNER_H_
+#define VECTORDB_CHAOS_RUNNER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chaos/invariants.h"
+#include "chaos/schedule.h"
+#include "common/rng.h"
+#include "dist/cluster.h"
+#include "storage/fault_injection.h"
+
+namespace vectordb {
+namespace chaos {
+
+struct ChaosRunnerOptions {
+  uint64_t seed = 42;
+  size_t num_events = 500;
+  size_t num_collections = 3;
+  size_t num_readers = 3;
+  size_t replication_factor = 2;
+  size_t dim = 8;
+  /// Reader-pool ceiling for kAddReader events.
+  size_t max_readers = 6;
+  size_t search_k = 5;
+  size_t search_nq = 2;
+  /// Rows inserted and flushed per collection before chaos begins, so the
+  /// first searches have something to serve.
+  size_t warmup_rows = 16;
+  /// Layer seeded FaultInjectionFileSystem rules (torn appends, bit-flipped
+  /// reads, transient errors) on the shared storage during the run.
+  bool storage_faults = true;
+};
+
+/// Outcome of a chaos run. Every field except `wall_seconds` is a pure
+/// function of the seed: two runs with identical options must produce
+/// identical DeterministicFingerprint() strings — that equality is itself
+/// one of the harness's invariants.
+struct ChaosReport {
+  uint64_t seed = 0;
+  size_t events = 0;
+  size_t collections = 0;
+  size_t replication_factor = 0;
+
+  // Data plane.
+  size_t inserts_acked = 0;
+  size_t inserts_rejected = 0;
+  size_t deletes_acked = 0;
+  size_t deletes_rejected = 0;
+  size_t flushes_ok = 0;
+  size_t flushes_failed = 0;
+  size_t maintenance_ok = 0;
+  size_t maintenance_failed = 0;
+  size_t searches_total = 0;
+  size_t searches_ok = 0;
+  size_t searches_failed = 0;
+  size_t searches_compared = 0;
+  size_t wrong_result_queries = 0;
+
+  // Control plane / injected chaos.
+  size_t reader_crashes = 0;
+  size_t reader_restarts = 0;
+  size_t reader_restart_failures = 0;
+  size_t readers_added = 0;
+  size_t readers_removed = 0;
+  size_t writer_crashes = 0;
+  size_t writer_restarts = 0;
+  size_t writer_restart_failures = 0;
+  size_t search_faults_injected = 0;
+  size_t storage_fault_rules = 0;
+  size_t storage_faults_fired = 0;
+
+  // Cluster availability accounting (per-instance counters).
+  size_t rpcs = 0;
+  size_t degraded_queries = 0;
+  size_t failover_rpcs = 0;
+  size_t publish_failures = 0;
+  size_t refresh_retries = 0;
+
+  // Final durability sweep.
+  size_t final_rows_checked = 0;
+  size_t acked_rows_lost = 0;
+  size_t deleted_rows_resurrected = 0;
+
+  /// searches_ok / searches_total (1.0 when no searches ran).
+  double availability = 1.0;
+  size_t invariant_violations = 0;
+  std::vector<std::string> violations;
+
+  /// Wall-clock time; the only field excluded from the fingerprint.
+  double wall_seconds = 0.0;
+
+  /// Canonical string over every deterministic field, for cross-run
+  /// equality checks.
+  std::string DeterministicFingerprint() const;
+};
+
+/// Drives a multi-tenant replicated Cluster through a seeded schedule of
+/// interleaved data-plane traffic, node churn, and storage faults, while a
+/// fault-free twin cluster mirrors every *acknowledged* write. Successful
+/// searches are compared hit-for-hit against the twin whenever every reader
+/// is on the latest published snapshot; at the end the cluster is healed and
+/// audited row by row against the acked-write model.
+class ChaosRunner {
+ public:
+  explicit ChaosRunner(const ChaosRunnerOptions& options);
+
+  /// Execute the full run. Returns the report; a non-OK status means the
+  /// harness itself could not run (setup failure), not that an invariant
+  /// failed — invariant failures are reported in the ChaosReport.
+  Result<ChaosReport> Run();
+
+ private:
+  std::string CollectionName(size_t index) const;
+  std::vector<float> DrawVector();
+  void Violation(std::string message);
+
+  // Event executors (mirroring acked ops into the twin).
+  void DoInsert(const ChaosEvent& event);
+  void DoDelete(const ChaosEvent& event);
+  void DoFlush(const ChaosEvent& event);
+  void DoSearch(const ChaosEvent& event);
+  void DoMaintenance(const ChaosEvent& event);
+  void DoCrashReader();
+  void DoRestartReader();
+  void DoAddReader();
+  void DoRemoveReader();
+  void DoCrashWriter();
+  void DoRestartWriter();
+  void DoInjectSearchFault(const ChaosEvent& event);
+  void DoStorageFault(const ChaosEvent& event);
+
+  Status SetupClusters();
+  Status Warmup();
+  /// Clear every fault source and bring all nodes back (end-of-run heal).
+  Status Heal();
+  void FinalAudit();
+  void CheckCounterConsistency();
+  /// True when `collection`'s readers all serve the latest published
+  /// snapshot, i.e. chaos results are comparable to the twin.
+  bool ComparisonEligible(size_t collection) const;
+
+  ChaosRunnerOptions options_;
+  ChaosReport report_;
+  InvariantChecker checker_;
+  /// Target/parameter draws; separate from the schedule's stream.
+  Rng rng_;
+  /// Query-vector draws; separate so search frequency doesn't shift write
+  /// payloads between configurations.
+  Rng query_rng_;
+
+  std::shared_ptr<storage::FaultInjectionFileSystem> chaos_fs_;
+  std::unique_ptr<dist::Cluster> chaos_;
+  std::unique_ptr<dist::Cluster> twin_;
+
+  std::vector<RowId> next_row_id_;
+  /// Per collection: the writer has flushed state the readers were never
+  /// offered (publish still pending), so chaos/twin comparison is off.
+  std::vector<bool> publish_pending_;
+  /// Names of crashed (restartable) readers, in crash order.
+  std::vector<std::string> crashed_readers_;
+};
+
+}  // namespace chaos
+}  // namespace vectordb
+
+#endif  // VECTORDB_CHAOS_RUNNER_H_

@@ -1,0 +1,95 @@
+#include "chaos/schedule.h"
+
+namespace vectordb {
+namespace chaos {
+
+namespace {
+
+struct Weighted {
+  ChaosOp op;
+  uint64_t weight;
+};
+
+/// Relative event weights. Data-plane ops dominate (~84%) so most events
+/// measure serving behavior; the rest is topology churn and fault injection.
+constexpr Weighted kWeights[] = {
+    {ChaosOp::kInsert, 36},       {ChaosOp::kSearch, 24},
+    {ChaosOp::kDelete, 8},        {ChaosOp::kFlush, 12},
+    {ChaosOp::kMaintenance, 4},   {ChaosOp::kCrashReader, 4},
+    {ChaosOp::kRestartReader, 4}, {ChaosOp::kAddReader, 1},
+    {ChaosOp::kRemoveReader, 1},  {ChaosOp::kCrashWriter, 2},
+    {ChaosOp::kRestartWriter, 3}, {ChaosOp::kInjectSearchFault, 3},
+    {ChaosOp::kStorageFault, 2},
+};
+
+uint64_t TotalWeight() {
+  uint64_t total = 0;
+  for (const Weighted& w : kWeights) total += w.weight;
+  return total;
+}
+
+}  // namespace
+
+const char* ChaosOpName(ChaosOp op) {
+  switch (op) {
+    case ChaosOp::kInsert: return "insert";
+    case ChaosOp::kDelete: return "delete";
+    case ChaosOp::kFlush: return "flush";
+    case ChaosOp::kSearch: return "search";
+    case ChaosOp::kMaintenance: return "maintenance";
+    case ChaosOp::kCrashReader: return "crash_reader";
+    case ChaosOp::kRestartReader: return "restart_reader";
+    case ChaosOp::kAddReader: return "add_reader";
+    case ChaosOp::kRemoveReader: return "remove_reader";
+    case ChaosOp::kCrashWriter: return "crash_writer";
+    case ChaosOp::kRestartWriter: return "restart_writer";
+    case ChaosOp::kInjectSearchFault: return "inject_search_fault";
+    case ChaosOp::kStorageFault: return "storage_fault";
+  }
+  return "unknown";
+}
+
+ChaosSchedule ChaosSchedule::Generate(const ChaosScheduleOptions& options) {
+  ChaosSchedule schedule;
+  schedule.events_.reserve(options.num_events);
+  Rng rng(options.seed);
+  const uint64_t total = TotalWeight();
+  const size_t collections =
+      options.num_collections == 0 ? 1 : options.num_collections;
+  for (size_t i = 0; i < options.num_events; ++i) {
+    ChaosEvent event;
+    uint64_t draw = rng.NextUint64(total);
+    for (const Weighted& w : kWeights) {
+      if (draw < w.weight) {
+        event.op = w.op;
+        break;
+      }
+      draw -= w.weight;
+    }
+    event.collection = rng.NextUint64(collections);
+    event.arg = rng.NextUint64(uint64_t{1} << 32);
+    schedule.events_.push_back(event);
+  }
+  return schedule;
+}
+
+size_t ChaosSchedule::CountOf(ChaosOp op) const {
+  size_t count = 0;
+  for (const ChaosEvent& event : events_) {
+    if (event.op == op) ++count;
+  }
+  return count;
+}
+
+std::string ChaosSchedule::Summary() const {
+  std::string out;
+  for (const Weighted& w : kWeights) {
+    if (!out.empty()) out += " ";
+    out += ChaosOpName(w.op);
+    out += "=" + std::to_string(CountOf(w.op));
+  }
+  return out;
+}
+
+}  // namespace chaos
+}  // namespace vectordb

@@ -1,0 +1,70 @@
+#ifndef VECTORDB_CHAOS_SCHEDULE_H_
+#define VECTORDB_CHAOS_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace vectordb {
+namespace chaos {
+
+/// Everything the chaos runner can do to the cluster. Data-plane ops
+/// interleave with control-plane churn and fault injection; the schedule
+/// only fixes the *kind* of each event — targets (which reader, which row)
+/// are resolved at execution time from the runner's seeded RNG, so the
+/// whole run stays a pure function of the seed.
+enum class ChaosOp {
+  kInsert,
+  kDelete,
+  kFlush,
+  kSearch,
+  kMaintenance,
+  kCrashReader,
+  kRestartReader,
+  kAddReader,
+  kRemoveReader,
+  kCrashWriter,
+  kRestartWriter,
+  kInjectSearchFault,
+  kStorageFault,
+};
+
+const char* ChaosOpName(ChaosOp op);
+
+struct ChaosEvent {
+  ChaosOp op = ChaosOp::kInsert;
+  /// Index of the tenant collection the event targets (data-plane ops).
+  size_t collection = 0;
+  /// Free-form randomness for the executor (batch sizes, fault kinds,
+  /// trigger offsets) so parameter draws don't perturb the main RNG stream.
+  uint64_t arg = 0;
+};
+
+struct ChaosScheduleOptions {
+  uint64_t seed = 42;
+  size_t num_events = 500;
+  size_t num_collections = 3;
+};
+
+/// Deterministic multi-tenant event stream: the same options always expand
+/// to the same event vector. Weighted toward data-plane traffic so the
+/// availability number reflects serving under churn, not churn itself.
+class ChaosSchedule {
+ public:
+  static ChaosSchedule Generate(const ChaosScheduleOptions& options);
+
+  const std::vector<ChaosEvent>& events() const { return events_; }
+  size_t CountOf(ChaosOp op) const;
+  /// Human-readable per-op histogram, for bench logs.
+  std::string Summary() const;
+
+ private:
+  std::vector<ChaosEvent> events_;
+};
+
+}  // namespace chaos
+}  // namespace vectordb
+
+#endif  // VECTORDB_CHAOS_SCHEDULE_H_

@@ -333,6 +333,8 @@ Status Collection::RecoverFromStorage() {
   });
 
   // Replay the WAL tail (operations after the last manifest persist).
+  // Read-only opens stop at the committed manifest instead.
+  if (!options_.replay_wal) return Status::OK();
   return wal_->Replay([this](const storage::WalRecord& record) -> Status {
     switch (record.type) {
       case storage::WalOpType::kInsert: {
@@ -471,6 +473,7 @@ Status Collection::Delete(RowId row_id) {
 }
 
 void Collection::ApplyTombstoneLocked(RowId row_id) {
+  manifest_dirty_ = true;
   // Every physical copy currently on disk lives in a segment with id below
   // the watermark; a later re-insert flushes above it and stays visible.
   const SegmentId watermark = next_segment_id_.load();
@@ -496,7 +499,7 @@ Status Collection::Update(const Entity& entity) {
 
 Status Collection::Flush() {
   MutexLock lock(&write_mu_);
-  if (memtable_->num_rows() == 0) return Status::OK();
+  if (memtable_->num_rows() == 0 && !manifest_dirty_) return Status::OK();
   Timer flush_timer;
   const Status status = FlushLocked();
   obs::Storage().flush_seconds->Observe(flush_timer.ElapsedSeconds());
@@ -504,34 +507,55 @@ Status Collection::Flush() {
 }
 
 Status Collection::FlushLocked() {
-  const SegmentId segment_id = next_segment_id_.fetch_add(1);
-  auto flushed = memtable_->Flush(segment_id);
-  if (!flushed.ok()) return flushed.status();
-  storage::SegmentPtr segment = std::move(flushed).value();
-  if (segment == nullptr) return Status::OK();
-
-  // Index large segments immediately; small ones stay flat (Sec 2.3).
-  if (segment->num_rows() >= options_.index_build_threshold_rows) {
-    for (size_t f = 0; f < schema_.vector_fields.size(); ++f) {
-      auto created = index::CreateIndex(schema_.default_index,
-                                        schema_.vector_fields[f].dim,
-                                        schema_.metric, schema_.index_params);
-      if (!created.ok()) return created.status();
-      index::IndexPtr idx = std::move(created).value();
-      VDB_RETURN_NOT_OK(idx->Build(segment->vectors(f), segment->num_rows()));
-      segment->SetIndex(f, std::move(idx));
-    }
+  storage::SegmentPtr segment;
+  if (memtable_->num_rows() > 0) {
+    const SegmentId segment_id = next_segment_id_.fetch_add(1);
+    auto flushed = memtable_->BuildSegment(segment_id);
+    if (!flushed.ok()) return flushed.status();
+    segment = std::move(flushed).value();
   }
+  if (segment != nullptr) {
+    // Index large segments immediately; small ones stay flat (Sec 2.3).
+    if (segment->num_rows() >= options_.index_build_threshold_rows) {
+      for (size_t f = 0; f < schema_.vector_fields.size(); ++f) {
+        auto created = index::CreateIndex(
+            schema_.default_index, schema_.vector_fields[f].dim,
+            schema_.metric, schema_.index_params);
+        if (!created.ok()) return created.status();
+        index::IndexPtr idx = std::move(created).value();
+        VDB_RETURN_NOT_OK(
+            idx->Build(segment->vectors(f), segment->num_rows()));
+        segment->SetIndex(f, std::move(idx));
+      }
+    }
 
-  VDB_RETURN_NOT_OK(PersistSegment(segment));
-  snapshot_manager_.Commit([&](storage::Snapshot* snap) {
-    snap->segments.push_back(segment);
-    // A fresh segment's id is above every existing watermark, so all of
-    // its rows are visible.
-    snap->live_rows += segment->num_rows();
-  });
+    VDB_RETURN_NOT_OK(PersistSegment(segment));
+    // Only now is it safe to drop the buffered rows: on a failed persist
+    // they stay in the MemTable, still covered by the WAL. Dropping them
+    // earlier would let a later successful flush Reset the WAL and silently
+    // lose acknowledged writes.
+    memtable_->Clear();
+    snapshot_manager_.Commit([&](storage::Snapshot* snap) {
+      snap->segments.push_back(segment);
+      // A fresh segment's id is above every existing watermark, so all of
+      // its rows are visible.
+      snap->live_rows += segment->num_rows();
+    });
+    // The snapshot is now ahead of the committed manifest; if the persist
+    // below fails, the next flush must not skip on an empty MemTable or
+    // the segment stays unpublished until an unrelated write forces it out.
+    manifest_dirty_ = true;
+  }
+  // Runs even with no segment to write: a dirty manifest (pending
+  // tombstones or a previously unpublished segment) must still be
+  // committed or acked operations stay invisible to readers.
   VDB_RETURN_NOT_OK(PersistManifest());
-  return wal_->Reset();  // All logged operations are now durable as state.
+  // The WAL reset gates the dirty flag too: records surviving past a
+  // manifest that already covers them would be re-applied on recovery,
+  // duplicating rows.
+  VDB_RETURN_NOT_OK(wal_->Reset());
+  manifest_dirty_ = false;
+  return Status::OK();
 }
 
 Status Collection::RunMergeOnce(size_t* merges_done) {
@@ -642,6 +666,8 @@ Status Collection::RunMergeOnce(size_t* merges_done) {
     });
     if (merges_done != nullptr) ++(*merges_done);
   }
+  // Note: manifest_dirty_ stays untouched here — it may also record a
+  // pending WAL reset, which only Flush can retire.
   const Status status = PersistManifest();
   obs::Storage().merge_seconds->Observe(merge_timer.ElapsedSeconds());
   return status;

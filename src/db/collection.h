@@ -41,6 +41,12 @@ struct CollectionOptions {
   /// Queries slower than this (seconds) log their span trace at WARN and
   /// count into vdb_exec_slow_queries_total. 0 = disabled.
   double slow_query_log_seconds = 0.0;
+  /// Replay the WAL tail into the MemTable on Open (crash recovery). The
+  /// writer needs this; read-only replicas must turn it off: the WAL is the
+  /// writer's private redo log, and a reader replaying it would see acked
+  /// but unpublished operations (especially deletes) ahead of every peer
+  /// that refreshed at the last publish.
+  bool replay_wal = true;
 };
 
 /// Query-time knobs shared by all collection search entry points — the
@@ -194,6 +200,14 @@ class Collection {
   obs::Counter* slow_queries_total_;
 
   mutable Mutex write_mu_;
+  /// True when durable/published state lags the in-memory snapshot: a
+  /// tombstone applied since the last manifest persist, a flushed segment
+  /// whose manifest write failed, or a WAL reset that has not landed.
+  /// Flush must run even with an empty MemTable while this is set —
+  /// otherwise acked operations stay invisible to readers (or WAL records
+  /// already covered by the manifest get replayed twice) until some
+  /// unrelated insert forces the next flush through.
+  bool manifest_dirty_ VDB_GUARDED_BY(write_mu_) = false;
   std::atomic<uint64_t> next_segment_id_{1};
   std::atomic<uint64_t> next_row_id_{0};
   std::atomic<uint64_t> next_manifest_seq_{1};

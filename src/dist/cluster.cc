@@ -11,9 +11,38 @@
 namespace vectordb {
 namespace dist {
 
+namespace {
+
+/// Per-query scatter bookkeeping shared by every leg's `owns` predicate.
+/// Predicates are evaluated synchronously on the calling thread (see
+/// SegmentExecutor::ResolveViews), so plain mutable state is safe here.
+struct ScatterState {
+  /// Full preference list per segment, fetched from the coordinator once
+  /// per query (memoized shard-map lookups).
+  std::map<SegmentId, std::vector<std::string>> pref;
+  /// Set when some shard's final assignment lies past the replica prefix —
+  /// every replica of that shard was unavailable (the degraded regime).
+  bool beyond_replicas = false;
+};
+
+constexpr size_t kUnassigned = static_cast<size_t>(-1);
+
+/// Index of the first node in `pref` not in `failed`; kUnassigned if the
+/// whole preference list is down.
+size_t AssignIndex(const std::vector<std::string>& pref,
+                   const std::set<std::string>& failed) {
+  for (size_t i = 0; i < pref.size(); ++i) {
+    if (failed.count(pref[i]) == 0) return i;
+  }
+  return kUnassigned;
+}
+
+}  // namespace
+
 Cluster::Cluster(const ClusterOptions& options) : options_(options) {
   coordinator_ = std::make_unique<Coordinator>(options_.shared_fs,
-                                               "cluster/coordinator.meta");
+                                               "cluster/coordinator.meta",
+                                               options_.replication_factor);
   const Status recovered = coordinator_->Recover();
   if (!recovered.ok()) {
     // Not fatal: the coordinator starts empty and readers re-register, but
@@ -46,7 +75,16 @@ db::CollectionOptions Cluster::MakeReaderOptions() const {
   opts.index_build_threshold_rows = options_.index_build_threshold_rows;
   opts.buffer_pool_bytes = options_.reader_buffer_pool_bytes;
   opts.query_threads = options_.query_threads;
+  // Readers serve the last published manifest; replaying the writer's WAL
+  // would leak acked-but-unpublished operations into whichever replica
+  // refreshed most recently, making replicas answer differently.
+  opts.replay_wal = false;
   return opts;
+}
+
+std::unique_ptr<ReaderNode> Cluster::MakeReader(const std::string& name) {
+  return std::make_unique<ReaderNode>(name, MakeReaderOptions(),
+                                      &refresh_retries_);
 }
 
 Status Cluster::CreateCollection(const db::CollectionSchema& schema) {
@@ -54,8 +92,9 @@ Status Cluster::CreateCollection(const db::CollectionSchema& schema) {
   auto created = writer_->CreateCollection(schema);
   if (!created.ok()) return created.status();
   collections_.push_back(schema.name);
+  collection_metrics_[schema.name] = schema.metric;
   VDB_RETURN_NOT_OK(coordinator_->RegisterCollection(schema.name));
-  return PublishToReaders(schema.name);
+  return Publish(schema.name);
 }
 
 Status Cluster::Insert(const std::string& collection,
@@ -71,11 +110,11 @@ Status Cluster::Delete(const std::string& collection, RowId row_id) {
   return writer_->Delete(collection, row_id);
 }
 
-Status Cluster::PublishToReaders(const std::string& collection) {
+Status Cluster::Publish(const std::string& collection) {
   // Push the new manifest to every reader even if some fail: a reader whose
   // refresh failed keeps serving its previous (stale but consistent)
-  // snapshot and catches up on the next publish. Only a total publish
-  // failure is surfaced to the caller.
+  // snapshot, is marked stale, and self-heals via lazy refresh on its next
+  // scatter legs. Only a total publish failure is surfaced to the caller.
   Status first_error;
   size_t failures = 0;
   for (auto& [name, reader] : readers_) {
@@ -83,6 +122,7 @@ Status Cluster::PublishToReaders(const std::string& collection) {
     Status status = reader->Refresh(collection);
     if (!status.ok()) {
       ++failures;
+      reader->MarkStale(collection);
       publish_failures_.Inc();
       obs::Dist().publish_failures->Inc();
       if (first_error.ok()) first_error = status;
@@ -92,10 +132,14 @@ Status Cluster::PublishToReaders(const std::string& collection) {
   return Status::OK();
 }
 
-Status Cluster::Flush(const std::string& collection) {
+Status Cluster::FlushWriter(const std::string& collection) {
   if (writer_ == nullptr) return Status::Unavailable("writer down");
-  VDB_RETURN_NOT_OK(writer_->Flush(collection));
-  return PublishToReaders(collection);
+  return writer_->Flush(collection);
+}
+
+Status Cluster::Flush(const std::string& collection) {
+  VDB_RETURN_NOT_OK(FlushWriter(collection));
+  return Publish(collection);
 }
 
 Status Cluster::RunMaintenance(const std::string& collection) {
@@ -106,98 +150,139 @@ Status Cluster::RunMaintenance(const std::string& collection) {
   VDB_RETURN_NOT_OK(c->RunMergeOnce());
   VDB_RETURN_NOT_OK(c->BuildIndexes());
   c->CollectGarbage();
-  return PublishToReaders(collection);
+  return Publish(collection);
 }
 
 Result<std::vector<HitList>> Cluster::Search(const std::string& collection,
                                              const std::string& field,
                                              const float* queries, size_t nq,
                                              const db::QueryOptions& options) {
-  if (readers_.empty()) return Status::Unavailable("no readers");
+  if (readers_.empty()) {
+    // Degenerate ring: no reader is registered, so no shard has any replica.
+    CountDegraded();
+    return Status::Unavailable(
+        "no live readers: the shard ring is empty, every shard is down");
+  }
 
-  // Scatter: each reader searches the segments the shard map assigns it.
-  // A reader failing mid-scatter does not abort the query: its shards are
-  // re-assigned to the survivors for one retry round, so the merged top-k
-  // stays complete (the query is merely counted as degraded).
-  std::vector<std::vector<HitList>> partials;
-  std::vector<std::string> failed;
-  std::vector<std::string> survivors;
+  last_query_stats_ = exec::QueryStats{};
+  const size_t factor = coordinator_->replication_factor();
+  auto state = std::make_shared<ScatterState>();
   double makespan = 0.0;
   size_t readers_contacted = 0;
-  last_query_stats_ = exec::QueryStats{};
-  for (auto& [name, reader] : readers_) {
-    CountRpc();
-    ++readers_contacted;
-    const std::string reader_name = name;
-    // Memoize shard-map lookups: one coordinator round-trip per segment
-    // per scatter, not per (segment, query).
-    auto owner_cache = std::make_shared<std::map<SegmentId, bool>>();
-    Timer reader_timer;
-    exec::QueryStats reader_stats;
-    auto result = reader->Search(
-        collection, field, queries, nq, options,
-        [this, reader_name, owner_cache](SegmentId id) {
-          auto it = owner_cache->find(id);
-          if (it != owner_cache->end()) return it->second;
-          const bool owned = coordinator_->OwnerOfSegment(id) == reader_name;
-          (*owner_cache)[id] = owned;
-          return owned;
-        },
-        &reader_stats);
-    makespan = std::max(makespan, reader_timer.ElapsedSeconds());
-    if (!result.ok()) {
-      failed.push_back(reader_name);
-      continue;
-    }
-    last_query_stats_.MergeFrom(reader_stats);
-    survivors.push_back(reader_name);
-    partials.push_back(std::move(result).value());
-  }
+  std::vector<std::vector<HitList>> partials;
 
-  if (!failed.empty()) {
-    degraded_queries_.Inc();
-    obs::Dist().degraded_queries->Inc();
-    if (survivors.empty()) {
-      return Status::Unavailable("all readers failed mid-scatter");
+  // Full preference list for a segment, memoized for the query.
+  auto pref_for = [this, state](SegmentId id) -> const std::vector<std::string>& {
+    auto it = state->pref.find(id);
+    if (it == state->pref.end()) {
+      it = state->pref.emplace(id, coordinator_->PreferenceForSegment(id))
+               .first;
     }
-    // Retry round: survivor i covers the failed readers' segments whose id
-    // hashes to it (deterministic split, one extra RPC per survivor).
-    const std::set<std::string> failed_set(failed.begin(), failed.end());
-    const size_t num_survivors = survivors.size();
-    for (size_t si = 0; si < num_survivors; ++si) {
-      auto& reader = readers_[survivors[si]];
+    return it->second;
+  };
+
+  // Scatter with in-query failover. Round 0 assigns every shard to its
+  // primary. If legs fail, round k+1 re-assigns exactly the shards whose
+  // round-k assignee newly failed to the next live node in their preference
+  // list — replicas rescue shards silently, and survivors that already
+  // answered are never re-asked for the same shard (no duplicate hits).
+  std::set<std::string> prev_failed;    // Assignment set of the previous round.
+  std::set<std::string> failed;         // Assignment set of this round.
+  std::set<std::string> newly_failed;   // failed - prev_failed.
+  std::vector<std::string> round_targets;
+  for (const auto& [name, reader] : readers_) round_targets.push_back(name);
+
+  for (size_t round = 0; !round_targets.empty(); ++round) {
+    std::set<std::string> discovered;
+    for (const std::string& reader_name : round_targets) {
+      ReaderNode* reader = readers_[reader_name].get();
       CountRpc();
       ++readers_contacted;
+      if (round > 0) {
+        failover_rpcs_.Inc();
+        obs::Dist().failover_rpcs->Inc();
+      }
+      auto owns = [state, &pref_for, &prev_failed, &failed, &newly_failed,
+                   reader_name, factor, round](SegmentId id) {
+        const std::vector<std::string>& pref = pref_for(id);
+        const size_t idx = AssignIndex(pref, failed);
+        if (idx == kUnassigned || pref[idx] != reader_name) return false;
+        if (round > 0) {
+          // Rescue only shards whose previous assignee just died; shards
+          // answered by a still-alive node must not be scanned twice.
+          const size_t prev_idx = AssignIndex(pref, prev_failed);
+          if (prev_idx == kUnassigned ||
+              newly_failed.count(pref[prev_idx]) == 0) {
+            return false;
+          }
+        }
+        if (idx >= std::min(factor, pref.size())) {
+          // Every replica of this shard is down; a spare node past the
+          // replica prefix is covering it. Sticky: assignment indices only
+          // grow across rounds, so once true it stays true.
+          state->beyond_replicas = true;
+        }
+        return true;
+      };
       Timer reader_timer;
-      exec::QueryStats retry_stats;
-      auto result = reader->Search(
-          collection, field, queries, nq, options,
-          [this, &failed_set, si, num_survivors](SegmentId id) {
-            if (failed_set.count(coordinator_->OwnerOfSegment(id)) == 0) {
-              return false;
-            }
-            return static_cast<size_t>(id) % num_survivors == si;
-          },
-          &retry_stats);
+      exec::QueryStats reader_stats;
+      auto result = reader->Search(collection, field, queries, nq, options,
+                                   owns, &reader_stats);
       makespan = std::max(makespan, reader_timer.ElapsedSeconds());
       if (!result.ok()) {
-        // Second failure within one query: give up rather than loop.
-        return Status::Unavailable("scatter retry round failed: " +
-                                   result.status().message());
+        discovered.insert(reader_name);
+        continue;
       }
-      last_query_stats_.MergeFrom(retry_stats);
+      last_query_stats_.MergeFrom(reader_stats);
       partials.push_back(std::move(result).value());
     }
+
+    if (discovered.empty()) break;  // Every leg answered; scatter complete.
+
+    // Re-plan: advance the failure sets and compute which nodes must run a
+    // rescue leg. At least one leg succeeded in some round iff state->pref
+    // is populated (a successful leg resolves every segment in the
+    // snapshot), so the walk below sees every shard that needs rescuing.
+    prev_failed = failed;
+    failed.insert(discovered.begin(), discovered.end());
+    newly_failed = std::move(discovered);
+    if (failed.size() >= readers_.size()) {
+      CountDegraded();
+      return Status::Unavailable("all readers failed mid-scatter");
+    }
+    std::set<std::string> targets;
+    for (const auto& [id, pref] : state->pref) {
+      const size_t prev_idx = AssignIndex(pref, prev_failed);
+      if (prev_idx == kUnassigned || newly_failed.count(pref[prev_idx]) == 0) {
+        continue;  // This shard's answer is already in `partials`.
+      }
+      const size_t idx = AssignIndex(pref, failed);
+      if (idx == kUnassigned) {
+        // The shard's whole preference list is down: the merged top-k would
+        // silently miss its rows, so fail loudly instead.
+        CountDegraded();
+        return Status::Unavailable(
+            "every replica of segment " + std::to_string(id) +
+            " is unavailable");
+      }
+      targets.insert(pref[idx]);
+    }
+    round_targets.assign(targets.begin(), targets.end());
   }
+
   last_makespan_ = makespan;
   obs::Dist().scatter_fanout->Observe(static_cast<double>(readers_contacted));
   obs::Dist().scatter_makespan_seconds->Set(makespan);
+  if (state->beyond_replicas) CountDegraded();
 
   // Gather: merge per-reader top-k lists.
-  const db::Collection* any = nullptr;
   MetricType metric = MetricType::kL2;
-  if (writer_ != nullptr && (any = writer_->collection(collection)) != nullptr) {
-    metric = any->schema().metric;
+  if (auto it = collection_metrics_.find(collection);
+      it != collection_metrics_.end()) {
+    metric = it->second;
+  } else if (writer_ != nullptr) {
+    const db::Collection* any = writer_->collection(collection);
+    if (any != nullptr) metric = any->schema().metric;
   }
   std::vector<HitList> merged(nq);
   for (size_t q = 0; q < nq; ++q) {
@@ -215,6 +300,11 @@ void Cluster::CountRpc() {
   obs::Dist().rpcs->Inc();
 }
 
+void Cluster::CountDegraded() {
+  degraded_queries_.Inc();
+  obs::Dist().degraded_queries->Inc();
+}
+
 Status Cluster::InjectReaderSearchFaults(const std::string& name, size_t n) {
   auto it = readers_.find(name);
   if (it == readers_.end()) return Status::NotFound(name);
@@ -222,11 +312,33 @@ Status Cluster::InjectReaderSearchFaults(const std::string& name, size_t n) {
   return Status::OK();
 }
 
+size_t Cluster::stale_readers(const std::string& collection) const {
+  size_t stale = 0;
+  for (const auto& [name, reader] : readers_) {
+    if (reader->IsStale(collection)) ++stale;
+  }
+  return stale;
+}
+
+std::vector<std::string> Cluster::live_readers() const {
+  std::vector<std::string> names;
+  names.reserve(readers_.size());
+  for (const auto& [name, reader] : readers_) names.push_back(name);
+  return names;
+}
+
 Status Cluster::AddReader() {
   const std::string name = "reader-" + std::to_string(next_reader_id_++);
-  auto reader = std::make_unique<ReaderNode>(name, MakeReaderOptions());
+  auto reader = MakeReader(name);
   for (const std::string& collection : collections_) {
-    VDB_RETURN_NOT_OK(reader->Refresh(collection));
+    Status status = reader->Refresh(collection);
+    if (!status.ok()) {
+      // Register the reader anyway: it serves what it could load and
+      // self-heals the rest lazily (same contract as a failed publish).
+      reader->MarkStale(collection);
+      publish_failures_.Inc();
+      obs::Dist().publish_failures->Inc();
+    }
   }
   readers_[name] = std::move(reader);
   return coordinator_->RegisterReader(name);
@@ -246,9 +358,14 @@ Status Cluster::CrashReader(const std::string& name) {
 
 Status Cluster::RestartReader(const std::string& name) {
   if (readers_.count(name) != 0) return Status::AlreadyExists(name);
-  auto reader = std::make_unique<ReaderNode>(name, MakeReaderOptions());
+  auto reader = MakeReader(name);
   for (const std::string& collection : collections_) {
-    VDB_RETURN_NOT_OK(reader->Refresh(collection));
+    Status status = reader->Refresh(collection);
+    if (!status.ok()) {
+      reader->MarkStale(collection);
+      publish_failures_.Inc();
+      obs::Dist().publish_failures->Inc();
+    }
   }
   readers_[name] = std::move(reader);
   return coordinator_->RegisterReader(name);
@@ -266,7 +383,12 @@ Status Cluster::RestartWriter() {
   for (const std::string& collection : collections_) {
     // Recovery: manifest + WAL replay reconstruct the exact pre-crash state.
     auto opened = writer_->OpenCollection(collection);
-    if (!opened.ok()) return opened.status();
+    if (!opened.ok()) {
+      // A half-recovered writer would ack writes against collections it
+      // never opened; drop it so a later RestartWriter retries from scratch.
+      writer_.reset();
+      return opened.status();
+    }
   }
   return Status::OK();
 }

@@ -17,6 +17,10 @@ struct ClusterOptions {
   /// Shared durable storage (simulated S3). Required.
   storage::FileSystemPtr shared_fs;
   size_t num_readers = 2;
+  /// Readers per shard (primary + replicas). A persisted coordinator meta
+  /// object overrides this on recovery, so a replacement cluster keeps the
+  /// factor it crashed with.
+  size_t replication_factor = 2;
   size_t memtable_flush_rows = 8192;
   size_t index_build_threshold_rows = 4096;
   /// Per-reader local cache ("buffer memory ... to reduce accesses to the
@@ -28,10 +32,17 @@ struct ClusterOptions {
 
 /// In-process distributed deployment (Sec 5.3, Figure 5): a shared-storage,
 /// storage/compute-separated cluster with one writer, N readers sharded by
-/// consistent hashing, and a coordinator holding the shard map. Node crash
-/// and restart are explicit APIs so tests and benches exercise recovery:
-/// compute is stateless — the WAL and segments on shared storage are the
-/// only durable state.
+/// consistent hashing with R-way replication, and a coordinator holding the
+/// shard map. Node crash and restart are explicit APIs so tests and benches
+/// exercise recovery: compute is stateless — the WAL and segments on shared
+/// storage are the only durable state.
+///
+/// Search scatters each shard to its primary and, when a leg fails
+/// mid-query, silently fails over to the next live replica in the shard's
+/// preference list (counted in failover_rpcs). A query is *degraded* only
+/// when every replica of some shard was unavailable and the shard had to run
+/// past the replica prefix — or could not run at all, which fails the query
+/// with Unavailable.
 class Cluster {
  public:
   explicit Cluster(const ClusterOptions& options);
@@ -48,6 +59,15 @@ class Cluster {
   /// layer only sends logs to the storage layer"; readers consume state
   /// from shared storage).
   Status Flush(const std::string& collection);
+
+  /// Flush on the writer only, without publishing to readers. Split out so
+  /// harnesses can distinguish "durable on shared storage" (this succeeded)
+  /// from "visible on every reader" (Publish also succeeded).
+  Status FlushWriter(const std::string& collection);
+
+  /// Push the current manifest to every reader. Readers that fail to apply
+  /// it are marked stale and self-heal on later queries.
+  Status Publish(const std::string& collection);
 
   /// Writer-side LSM maintenance (merge, index build, GC) + publish.
   Status RunMaintenance(const std::string& collection);
@@ -72,22 +92,42 @@ class Cluster {
   /// Replace the writer (K8s-style): recovery replays the WAL.
   Status RestartWriter();
   /// Make the next `n` scatter RPCs to reader `name` fail (chaos testing);
-  /// Search degrades gracefully by re-assigning that reader's shards.
+  /// Search fails over to the shard's replicas mid-query.
   Status InjectReaderSearchFaults(const std::string& name, size_t n);
 
+  // ----- health / introspection -----
+
   size_t num_live_readers() const { return readers_.size(); }
+  std::vector<std::string> live_readers() const;
+  /// Readers currently serving a stale snapshot of `collection` (their last
+  /// publish failed and lazy refresh has not healed them yet).
+  size_t stale_readers(const std::string& collection) const;
   bool writer_alive() const { return writer_ != nullptr; }
+  size_t replication_factor() const {
+    return coordinator_->replication_factor();
+  }
+  db::Collection* writer_collection(const std::string& name) {
+    return writer_ == nullptr ? nullptr : writer_->collection(name);
+  }
 
   /// Scatter/gather RPCs issued so far (simulated network accounting).
   size_t rpc_count() const { return rpc_count_.Value(); }
 
-  /// Queries that lost at least one reader mid-scatter and were answered
-  /// via shard re-assignment instead of failing.
+  /// Queries where every replica of some shard was unavailable — the shard
+  /// was served from beyond the replica prefix, or the query failed.
   size_t degraded_queries() const { return degraded_queries_.Value(); }
 
-  /// Reader refresh failures absorbed by PublishToReaders (those readers
-  /// serve stale snapshots until the next successful publish).
+  /// Mid-query rescue legs: a shard's assigned reader failed and a replica
+  /// silently took over within the same query.
+  size_t failover_rpcs() const { return failover_rpcs_.Value(); }
+
+  /// Reader refresh failures absorbed by Publish (those readers serve stale
+  /// snapshots until a lazy retry or the next publish heals them).
   size_t publish_failures() const { return publish_failures_.Value(); }
+
+  /// Lazy manifest refresh retries performed by stale readers at the start
+  /// of their scatter legs.
+  size_t refresh_retries() const { return refresh_retries_.Value(); }
 
   /// Slowest reader's scatter time in the last Search call — the wall time
   /// an actually-parallel deployment would observe (readers here execute
@@ -95,7 +135,7 @@ class Cluster {
   double last_scatter_makespan() const { return last_makespan_; }
 
   /// Execution counters of the last Search call, merged across every
-  /// reader that answered (including the degraded retry round).
+  /// reader that answered (including failover rescue rounds).
   const exec::QueryStats& last_query_stats() const {
     return last_query_stats_;
   }
@@ -103,23 +143,29 @@ class Cluster {
  private:
   db::DbOptions MakeWriterOptions() const;
   db::CollectionOptions MakeReaderOptions() const;
-  Status PublishToReaders(const std::string& collection);
+  std::unique_ptr<ReaderNode> MakeReader(const std::string& name);
 
   /// Count one simulated RPC on the per-instance counter and the
   /// process-wide vdb_dist_rpcs_total.
   void CountRpc();
+  void CountDegraded();
 
   ClusterOptions options_;
   std::unique_ptr<Coordinator> coordinator_;
   std::unique_ptr<WriterNode> writer_;
   std::map<std::string, std::unique_ptr<ReaderNode>> readers_;
   std::vector<std::string> collections_;
+  /// Metric per collection for the gather-side merge, cached at create time
+  /// so merging keeps working while the writer is down.
+  std::map<std::string, MetricType> collection_metrics_;
   size_t next_reader_id_ = 0;
   // Per-instance counters (obs::Counter so test clusters start from zero);
   // every increment is mirrored into the vdb_dist_* registry families.
   obs::Counter rpc_count_;
   obs::Counter degraded_queries_;
+  obs::Counter failover_rpcs_;
   obs::Counter publish_failures_;
+  obs::Counter refresh_retries_;
   double last_makespan_ = 0.0;
   exec::QueryStats last_query_stats_;
 };

@@ -3,9 +3,41 @@
 #include <algorithm>
 
 #include "common/binary_io.h"
+#include "common/crc32.h"
 
 namespace vectordb {
 namespace dist {
+
+namespace {
+
+// CRC envelope for the coordinator meta object ([magic][crc32(body)][body],
+// same framing as manifests/segments). Bodies written before this framing
+// existed start directly with a u64 reader count and are still readable.
+constexpr uint32_t kMetaEnvMagic = 0x32544D43;  // "CMT2"
+
+std::string EncodeEnvelope(uint32_t magic, const std::string& body) {
+  std::string frame;
+  BinaryWriter writer(&frame);
+  writer.PutU32(magic);
+  writer.PutU32(Crc32(body));
+  frame += body;
+  return frame;
+}
+
+Status DecodeEnvelope(uint32_t magic, const std::string& frame,
+                      std::string* body) {
+  BinaryReader reader(frame);
+  uint32_t got_magic, crc;
+  if (!reader.GetU32(&got_magic) || !reader.GetU32(&crc)) {
+    return Status::Corruption("truncated envelope");
+  }
+  if (got_magic != magic) return Status::Corruption("bad envelope magic");
+  body->assign(frame, 8, frame.size() - 8);
+  if (Crc32(*body) != crc) return Status::Corruption("envelope CRC mismatch");
+  return Status::OK();
+}
+
+}  // namespace
 
 Status Coordinator::RegisterReader(const std::string& name) {
   {
@@ -55,53 +87,112 @@ std::vector<std::string> Coordinator::Collections() const {
   return collections_;
 }
 
+size_t Coordinator::replication_factor() const {
+  MutexLock lock(&mu_);
+  return replication_factor_;
+}
+
+Status Coordinator::SetReplicationFactor(size_t r) {
+  if (r == 0) return Status::InvalidArgument("replication factor must be >= 1");
+  {
+    MutexLock lock(&mu_);
+    replication_factor_ = r;
+  }
+  return Persist();
+}
+
 std::string Coordinator::OwnerOfSegment(SegmentId id) const {
   MutexLock lock(&mu_);
-  return ring_.NodeFor("segment/" + std::to_string(id));
+  return ring_.NodeFor(KeyForSegment(id));
+}
+
+std::vector<std::string> Coordinator::ReplicasForSegment(SegmentId id) const {
+  MutexLock lock(&mu_);
+  return ring_.NodesFor(KeyForSegment(id), replication_factor_);
+}
+
+std::vector<std::string> Coordinator::PreferenceForSegment(SegmentId id) const {
+  MutexLock lock(&mu_);
+  return ring_.NodesFor(KeyForSegment(id), ring_.num_nodes());
+}
+
+bool Coordinator::meta_loaded() const {
+  MutexLock lock(&mu_);
+  return meta_loaded_;
 }
 
 Status Coordinator::Persist() const {
-  std::string out;
-  BinaryWriter writer(&out);
+  std::string body;
+  BinaryWriter writer(&body);
   MutexLock lock(&mu_);
   const auto readers = ring_.nodes();
   writer.PutU64(readers.size());
   for (const auto& reader : readers) writer.PutString(reader);
   writer.PutU64(collections_.size());
   for (const auto& name : collections_) writer.PutString(name);
-  return fs_->Write(meta_path_, out);
+  writer.PutU64(replication_factor_);
+  return fs_->Write(meta_path_, EncodeEnvelope(kMetaEnvMagic, body));
 }
 
 Status Coordinator::Recover() {
-  std::string data;
-  Status status = fs_->Read(meta_path_, &data);
+  std::string frame;
+  Status status = fs_->Read(meta_path_, &frame);
   if (status.IsNotFound()) return Status::OK();  // Fresh cluster.
   VDB_RETURN_NOT_OK(status);
-  BinaryReader reader(data);
+
+  // Unwrap the CRC envelope; legacy (pre-envelope) meta objects start
+  // directly with the reader count and carry no replication factor.
+  std::string body;
+  bool legacy = false;
+  {
+    BinaryReader probe(frame);
+    uint32_t magic = 0;
+    if (probe.GetU32(&magic) && magic == kMetaEnvMagic) {
+      VDB_RETURN_NOT_OK(DecodeEnvelope(kMetaEnvMagic, frame, &body));
+    } else {
+      body = frame;
+      legacy = true;
+    }
+  }
+
+  // Parse into locals first and swap at the end: recovery is atomic, so a
+  // truncated body can never leave a partially-populated shard map behind.
+  ConsistentHashRing ring(256);
+  std::vector<std::string> collections;
+  BinaryReader reader(body);
   uint64_t num_readers, num_collections;
   if (!reader.GetU64(&num_readers)) {
     return Status::Corruption("truncated coordinator meta");
   }
-  MutexLock lock(&mu_);
-  ring_ = ConsistentHashRing(256);
   for (uint64_t i = 0; i < num_readers; ++i) {
     std::string name;
     if (!reader.GetString(&name)) {
       return Status::Corruption("truncated coordinator meta");
     }
-    ring_.AddNode(name);
+    ring.AddNode(name);
   }
   if (!reader.GetU64(&num_collections)) {
     return Status::Corruption("truncated coordinator meta");
   }
-  collections_.clear();
   for (uint64_t i = 0; i < num_collections; ++i) {
     std::string name;
     if (!reader.GetString(&name)) {
       return Status::Corruption("truncated coordinator meta");
     }
-    collections_.push_back(name);
+    collections.push_back(name);
   }
+  uint64_t factor = 0;
+  if (!legacy) {
+    if (!reader.GetU64(&factor) || factor == 0) {
+      return Status::Corruption("truncated coordinator meta");
+    }
+  }
+
+  MutexLock lock(&mu_);
+  ring_ = std::move(ring);
+  collections_ = std::move(collections);
+  if (factor != 0) replication_factor_ = static_cast<size_t>(factor);
+  meta_loaded_ = true;
   return Status::OK();
 }
 

@@ -19,11 +19,20 @@ namespace dist {
 /// which is the property the HA deployment provides).
 ///
 /// Tracks registered reader nodes, maintains the consistent-hash shard map,
-/// and the registered collection names.
+/// the replication factor, and the registered collection names. The meta
+/// object is CRC-enveloped and recovery is all-or-nothing: a torn or
+/// bit-flipped meta file fails loudly (Status::Corruption) and leaves the
+/// in-memory view untouched — a replacement coordinator never serves a
+/// partial shard map.
 class Coordinator {
  public:
-  Coordinator(storage::FileSystemPtr shared_fs, std::string meta_path)
-      : fs_(std::move(shared_fs)), meta_path_(std::move(meta_path)) {}
+  Coordinator(storage::FileSystemPtr shared_fs, std::string meta_path,
+              size_t default_replication_factor = 2)
+      : fs_(std::move(shared_fs)),
+        meta_path_(std::move(meta_path)),
+        replication_factor_(default_replication_factor == 0
+                                ? 1
+                                : default_replication_factor) {}
 
   Status RegisterReader(const std::string& name);
   Status UnregisterReader(const std::string& name);
@@ -33,14 +42,38 @@ class Coordinator {
   Status RegisterCollection(const std::string& name);
   std::vector<std::string> Collections() const;
 
-  /// Reader responsible for a segment under the current shard map.
+  /// Number of readers each shard is served by (primary + backups).
+  size_t replication_factor() const;
+  /// Change the replication factor and persist it with the metadata.
+  Status SetReplicationFactor(size_t r);
+
+  /// Primary reader for a segment under the current shard map.
   std::string OwnerOfSegment(SegmentId id) const;
+
+  /// Ordered preference list for a segment, truncated to the replication
+  /// factor: element 0 is the primary, the rest are the replicas a query
+  /// fails over to (in order) when the primary is unavailable.
+  std::vector<std::string> ReplicasForSegment(SegmentId id) const;
+
+  /// Full preference list over every registered reader (the replication
+  /// list extended past the factor). A scatter that exhausts the replica
+  /// prefix continues down this list — that is the "degraded" regime.
+  std::vector<std::string> PreferenceForSegment(SegmentId id) const;
 
   /// Persist / recover the metadata (coordinator failover).
   Status Persist() const;
   Status Recover();
 
+  /// True once Recover() has loaded a meta object from storage (as opposed
+  /// to starting fresh). Lets the owner decide whether a configured
+  /// replication factor should override the persisted one.
+  bool meta_loaded() const;
+
  private:
+  static std::string KeyForSegment(SegmentId id) {
+    return "segment/" + std::to_string(id);
+  }
+
   storage::FileSystemPtr fs_;
   std::string meta_path_;
   mutable Mutex mu_;
@@ -48,6 +81,8 @@ class Coordinator {
   /// percent of uniform even at 12 readers.
   ConsistentHashRing ring_ VDB_GUARDED_BY(mu_){256};
   std::vector<std::string> collections_ VDB_GUARDED_BY(mu_);
+  size_t replication_factor_ VDB_GUARDED_BY(mu_);
+  bool meta_loaded_ VDB_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace dist

@@ -61,5 +61,30 @@ std::string ConsistentHashRing::NodeFor(uint64_t key) const {
   return NodeFor(std::to_string(key));
 }
 
+std::vector<std::string> ConsistentHashRing::NodesFor(const std::string& key,
+                                                      size_t r) const {
+  std::vector<std::string> preference;
+  if (ring_.empty() || r == 0) return preference;
+  const size_t want = std::min(r, nodes_.size());
+  preference.reserve(want);
+  auto it = ring_.lower_bound(Hash(key));
+  // One full lap over the virtual nodes visits every physical node at least
+  // once, so the walk below terminates with exactly `want` distinct names.
+  for (size_t visited = 0; preference.size() < want && visited < ring_.size();
+       ++visited, ++it) {
+    if (it == ring_.end()) it = ring_.begin();  // Wrap around.
+    if (std::find(preference.begin(), preference.end(), it->second) ==
+        preference.end()) {
+      preference.push_back(it->second);
+    }
+  }
+  return preference;
+}
+
+std::vector<std::string> ConsistentHashRing::NodesFor(uint64_t key,
+                                                      size_t r) const {
+  return NodesFor(std::to_string(key), r);
+}
+
 }  // namespace dist
 }  // namespace vectordb

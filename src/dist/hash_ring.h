@@ -27,6 +27,15 @@ class ConsistentHashRing {
   std::string NodeFor(const std::string& key) const;
   std::string NodeFor(uint64_t key) const;
 
+  /// Ordered preference list for a key: the first `r` *distinct* nodes
+  /// encountered walking the ring clockwise from the key's hash point.
+  /// Element 0 is NodeFor(key) (the primary); the rest are the replicas in
+  /// failover order. Returns min(r, num_nodes()) names; empty when the ring
+  /// is empty. Stable under node addition/removal the same way NodeFor is:
+  /// adding or removing a node only disturbs the lists it participates in.
+  std::vector<std::string> NodesFor(const std::string& key, size_t r) const;
+  std::vector<std::string> NodesFor(uint64_t key, size_t r) const;
+
  private:
   static uint64_t Hash(const std::string& value);
 

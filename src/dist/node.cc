@@ -1,5 +1,7 @@
 #include "dist/node.h"
 
+#include "obs/catalog.h"
+
 namespace vectordb {
 namespace dist {
 
@@ -26,20 +28,38 @@ Status ReaderNode::Refresh(const std::string& collection) {
   auto opened = db::Collection::Open(collection, collection_options_);
   if (!opened.ok()) return opened.status();
   collections_[collection] = std::move(opened).value();
+  stale_retry_budget_.erase(collection);  // Snapshot is current again.
   return Status::OK();
+}
+
+void ReaderNode::MarkStale(const std::string& collection) {
+  stale_retry_budget_[collection] = kMaxLazyRefreshRetries;
 }
 
 Result<std::vector<HitList>> ReaderNode::Search(
     const std::string& collection, const std::string& field,
     const float* queries, size_t nq, const db::QueryOptions& options,
-    const std::function<bool(SegmentId)>& owns,
-    exec::QueryStats* stats) const {
+    const std::function<bool(SegmentId)>& owns, exec::QueryStats* stats) {
   size_t pending = injected_search_faults_.load();
   while (pending > 0 && !injected_search_faults_.compare_exchange_weak(
                             pending, pending - 1)) {
   }
   if (pending > 0) {
     return Status::Unavailable("injected scatter fault on reader " + name_);
+  }
+  // Self-heal: a reader whose publish-time refresh failed retries here, on
+  // its next scatter leg, so shared storage recovering is enough to bring it
+  // back in sync — no writer re-publish needed. The budget bounds how long a
+  // persistently broken reader burns retries; once exhausted it serves its
+  // stale snapshot until the next publish re-arms it.
+  if (auto stale = stale_retry_budget_.find(collection);
+      stale != stale_retry_budget_.end() && stale->second > 0) {
+    --stale->second;
+    if (refresh_retry_counter_ != nullptr) refresh_retry_counter_->Inc();
+    obs::Dist().refresh_retries->Inc();
+    // A failed retry keeps the decremented budget: Refresh re-clears the
+    // stale entry only on success.
+    Refresh(collection).IgnoreError();
   }
   auto it = collections_.find(collection);
   if (it == collections_.end()) {

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "db/vector_db.h"
+#include "obs/metrics.h"
 
 namespace vectordb {
 namespace dist {
@@ -48,18 +49,38 @@ class WriterNode {
 /// A reader instance: opens collections from shared storage, caches
 /// segments in its local buffer pool (the paper's "buffer memory and SSDs
 /// to reduce accesses to the shared storage"), and serves queries for the
-/// segments the shard map assigns to it.
+/// segments the shard map assigns to it — as primary or as replica; the
+/// reader itself is shard-agnostic, the `owns` predicate decides per query.
 class ReaderNode {
  public:
-  ReaderNode(std::string name, db::CollectionOptions collection_options)
+  /// How many lazy refresh retries one stale marking buys. A reader whose
+  /// publish-time refresh failed retries on its next scatter legs until the
+  /// budget runs out, then keeps serving its stale (but consistent)
+  /// snapshot until the next publish re-arms it.
+  static constexpr size_t kMaxLazyRefreshRetries = 3;
+
+  /// `refresh_retry_counter` (optional) receives one increment per lazy
+  /// refresh attempt — the cluster points it at its own counter so retries
+  /// are visible in the health surface.
+  ReaderNode(std::string name, db::CollectionOptions collection_options,
+             obs::Counter* refresh_retry_counter = nullptr)
       : name_(std::move(name)),
-        collection_options_(std::move(collection_options)) {}
+        collection_options_(std::move(collection_options)),
+        refresh_retry_counter_(refresh_retry_counter) {}
 
   const std::string& name() const { return name_; }
 
   /// Load (or reload) a collection's manifest from shared storage —
-  /// invoked when the writer publishes new segments.
+  /// invoked when the writer publishes new segments. Success clears any
+  /// stale marking for the collection.
   Status Refresh(const std::string& collection);
+
+  /// Record that this reader failed to apply a publish for `collection`
+  /// and now serves a stale snapshot; re-arms the lazy refresh budget.
+  void MarkStale(const std::string& collection);
+  bool IsStale(const std::string& collection) const {
+    return stale_retry_budget_.count(collection) != 0;
+  }
 
   bool HasCollection(const std::string& collection) const {
     return collections_.count(collection) != 0;
@@ -68,11 +89,13 @@ class ReaderNode {
   /// Scatter leg of a distributed query: search only the segments this
   /// reader owns under the shard map. `stats` (optional) receives this
   /// reader's per-query execution counters for the gather side to merge.
+  /// A stale reader first attempts a bounded lazy re-refresh so it
+  /// converges to the published snapshot without writer action.
   Result<std::vector<HitList>> Search(
       const std::string& collection, const std::string& field,
       const float* queries, size_t nq, const db::QueryOptions& options,
       const std::function<bool(SegmentId)>& owns,
-      exec::QueryStats* stats = nullptr) const;
+      exec::QueryStats* stats = nullptr);
 
   /// Chaos hook: the next `n` Search calls fail with Unavailable, as if the
   /// scatter RPC to this reader timed out mid-query (the in-process analog
@@ -87,6 +110,9 @@ class ReaderNode {
   std::string name_;
   db::CollectionOptions collection_options_;
   std::map<std::string, std::unique_ptr<db::Collection>> collections_;
+  /// collection -> remaining lazy refresh attempts; presence == stale.
+  std::map<std::string, size_t> stale_retry_budget_;
+  obs::Counter* refresh_retry_counter_;
   mutable std::atomic<size_t> injected_search_faults_{0};
 };
 

@@ -93,9 +93,13 @@ DistMetrics& Dist() {
       R().GetCounter("vdb_dist_rpcs_total",
                      "Simulated coordinator-to-reader RPCs."),
       R().GetCounter("vdb_dist_degraded_queries_total",
-                     "Scatter queries that needed the degraded retry round."),
+                     "Queries where some shard ran past its replica list."),
+      R().GetCounter("vdb_dist_failover_rpcs_total",
+                     "Mid-query rescue legs served by a replica."),
       R().GetCounter("vdb_dist_publish_failures_total",
                      "Snapshot publishes a reader failed to apply."),
+      R().GetCounter("vdb_dist_refresh_retries_total",
+                     "Lazy manifest refresh retries by stale readers."),
       R().GetGauge("vdb_dist_scatter_makespan_seconds",
                    "Makespan of the most recent scatter."),
       R().GetHistogram("vdb_dist_scatter_fanout",

@@ -57,8 +57,10 @@ GpusimMetrics& Gpusim();
 
 struct DistMetrics {
   Counter* rpcs;               // simulated coordinator->reader RPCs
-  Counter* degraded_queries;   // scatters that needed the degraded retry
+  Counter* degraded_queries;   // queries where a shard ran past its replicas
+  Counter* failover_rpcs;      // rescue legs served by a replica mid-query
   Counter* publish_failures;   // snapshot publishes a reader failed to apply
+  Counter* refresh_retries;    // lazy refresh retries by stale readers
   Gauge* scatter_makespan_seconds;
   Histogram* scatter_fanout;   // readers contacted per scatter
 };

@@ -34,16 +34,12 @@ size_t MemTable::num_rows() const {
   return rows_.size();
 }
 
-Result<SegmentPtr> MemTable::Flush(SegmentId segment_id) {
-  std::map<RowId, PendingRow> drained;
-  {
-    MutexLock lock(&mu_);
-    drained.swap(rows_);
-  }
-  if (drained.empty()) return SegmentPtr{};
+Result<SegmentPtr> MemTable::BuildSegment(SegmentId segment_id) const {
+  MutexLock lock(&mu_);
+  if (rows_.empty()) return SegmentPtr{};
 
   SegmentBuilder builder(segment_id, schema_);
-  for (const auto& [row_id, row] : drained) {
+  for (const auto& [row_id, row] : rows_) {
     std::vector<const float*> fields;
     fields.reserve(schema_.vector_dims.size());
     size_t offset = 0;
@@ -54,6 +50,11 @@ Result<SegmentPtr> MemTable::Flush(SegmentId segment_id) {
     VDB_RETURN_NOT_OK(builder.AddRow(row_id, fields, row.attributes));
   }
   return builder.Finish();
+}
+
+void MemTable::Clear() {
+  MutexLock lock(&mu_);
+  rows_.clear();
 }
 
 }  // namespace storage

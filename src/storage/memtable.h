@@ -32,9 +32,16 @@ class MemTable {
 
   size_t num_rows() const;
 
-  /// Drain into an immutable segment with id `segment_id`; the MemTable is
-  /// left empty. Returns nullptr segment when empty.
-  Result<SegmentPtr> Flush(SegmentId segment_id);
+  /// Materialise the buffered rows as an immutable segment with id
+  /// `segment_id` WITHOUT draining the buffer. The caller clears the
+  /// MemTable (Clear()) only once the segment is durable on storage; a
+  /// failed persist leaves the rows buffered and still covered by the WAL.
+  /// Returns a nullptr segment when empty.
+  Result<SegmentPtr> BuildSegment(SegmentId segment_id) const;
+
+  /// Drop every buffered row. Call only after the segment built from the
+  /// current contents has been persisted.
+  void Clear();
 
  private:
   struct PendingRow {

@@ -34,15 +34,40 @@ bool DecodeBody(const std::string& body, WalRecord* record) {
   return true;
 }
 
+/// Read `path` until two consecutive attempts agree. Recovery must
+/// distinguish a *torn tail on storage* (truncate it) from a *transiently
+/// corrupted read* of intact storage (bit flip on the wire): acting on a
+/// single corrupted read would truncate acked records or silently cut a
+/// replay short. A flipped read cannot plausibly repeat bit-identically, so
+/// agreement of two reads pins down what is really on storage. Storage that
+/// keeps disagreeing with itself falls through with the last view.
+Status StableRead(FileSystem* fs, const std::string& path, std::string* data) {
+  VDB_RETURN_NOT_OK(fs->Read(path, data));
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    std::string confirm;
+    VDB_RETURN_NOT_OK(fs->Read(path, &confirm));
+    if (confirm == *data) return Status::OK();
+    *data = std::move(confirm);
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Status WriteAheadLog::RecoverLsnLocked() {
   if (recovered_) return Status::OK();
-  recovered_ = true;
   std::string data;
-  Status status = fs_->Read(path_, &data);
-  if (status.IsNotFound()) return Status::OK();
-  VDB_RETURN_NOT_OK(status);
+  Status status = StableRead(fs_.get(), path_, &data);
+  if (status.IsNotFound()) {
+    recovered_ = true;
+    return Status::OK();
+  }
+  if (!status.ok()) {
+    // Stay unrecovered: acting on an unknown LSN state could hand out
+    // duplicate LSNs; the next Append retries recovery first.
+    return status;
+  }
+  recovered_ = true;
   BinaryReader reader(data);
   size_t valid_end = 0;  // Byte offset just past the last intact record.
   while (reader.Remaining() >= 8) {
@@ -82,6 +107,18 @@ Status WriteAheadLog::Append(WalRecord* record) {
     // Every append is written through before acknowledgement (Sec 5.1), so
     // one append == one durable sync against the backing filesystem.
     m.wal_fsyncs->Inc();
+  } else if (!status.IsTransient()) {
+    // A torn append may have left a partial frame on storage. Heal the tail
+    // NOW, before the next append is acknowledged: a later record written
+    // behind the garbage would survive the fs but be silently dropped by
+    // the truncating recovery scan — an acked-write loss. If healing itself
+    // fails, stay unrecovered so the next Append retries it first.
+    recovered_ = false;
+    const Status healed = RecoverLsnLocked();
+    if (!healed.ok()) {
+      recovered_ = false;
+      VDB_WARN << "WAL tail heal after failed append: " << healed.ToString();
+    }
   }
   return status;
 }
@@ -95,7 +132,7 @@ Status WriteAheadLog::ReplayFrom(
     uint64_t after_lsn,
     const std::function<Status(const WalRecord&)>& callback) const {
   std::string data;
-  Status status = fs_->Read(path_, &data);
+  Status status = StableRead(fs_.get(), path_, &data);
   if (status.IsNotFound()) return Status::OK();  // Empty log.
   VDB_RETURN_NOT_OK(status);
 

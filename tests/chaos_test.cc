@@ -1,0 +1,95 @@
+// Seeded chaos harness tests: the harness's own meta-invariants. The run
+// must be a pure function of the seed (identical fingerprints across runs),
+// and no seed may ever lose an acked write, resurrect a deleted row, or
+// return a wrong result — those are the durability/consistency invariants
+// the harness exists to enforce.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "chaos/runner.h"
+
+namespace vectordb {
+namespace chaos {
+namespace {
+
+ChaosRunnerOptions QuickOptions(uint64_t seed) {
+  ChaosRunnerOptions options;
+  options.seed = seed;
+  options.num_events = 120;
+  options.num_collections = 2;
+  options.num_readers = 3;
+  options.replication_factor = 2;
+  return options;
+}
+
+void ExpectNoViolations(const ChaosReport& report) {
+  EXPECT_EQ(report.invariant_violations, 0u);
+  for (const auto& violation : report.violations) {
+    ADD_FAILURE() << "invariant violation: " << violation;
+  }
+  EXPECT_EQ(report.acked_rows_lost, 0u);
+  EXPECT_EQ(report.deleted_rows_resurrected, 0u);
+  EXPECT_EQ(report.wrong_result_queries, 0u);
+}
+
+TEST(ChaosTest, IdenticalSeedsProduceIdenticalRuns) {
+  auto first = ChaosRunner(QuickOptions(7)).Run();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = ChaosRunner(QuickOptions(7)).Run();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(first.value().DeterministicFingerprint(),
+            second.value().DeterministicFingerprint());
+  ExpectNoViolations(first.value());
+}
+
+TEST(ChaosTest, DifferentSeedsProduceDifferentSchedules) {
+  auto a = ChaosRunner(QuickOptions(7)).Run();
+  auto b = ChaosRunner(QuickOptions(8)).Run();
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a.value().DeterministicFingerprint(),
+            b.value().DeterministicFingerprint());
+  ExpectNoViolations(a.value());
+  ExpectNoViolations(b.value());
+}
+
+TEST(ChaosTest, SeedSweepHoldsInvariants) {
+  for (uint64_t seed : {1, 5, 99, 123}) {
+    ChaosRunnerOptions options = QuickOptions(seed);
+    options.num_events = 100;
+    auto report = ChaosRunner(options).Run();
+    ASSERT_TRUE(report.ok()) << "seed " << seed << ": "
+                             << report.status().ToString();
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ExpectNoViolations(report.value());
+  }
+}
+
+TEST(ChaosTest, AcceptanceScaleRunHoldsInvariants) {
+  // The ISSUE acceptance configuration: >=500 events, >=3 tenants, rf=2.
+  ChaosRunnerOptions options;
+  options.seed = 42;
+  options.num_events = 500;
+  options.num_collections = 3;
+  options.num_readers = 3;
+  options.replication_factor = 2;
+  auto result = ChaosRunner(options).Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const ChaosReport& report = result.value();
+  ExpectNoViolations(report);
+
+  // The run must actually exercise the machinery it claims to test.
+  EXPECT_GT(report.inserts_acked, 0u);
+  EXPECT_GT(report.deletes_acked, 0u);
+  EXPECT_GT(report.searches_compared, 0u);
+  EXPECT_GT(report.reader_crashes, 0u);
+  EXPECT_GT(report.writer_crashes, 0u);
+  EXPECT_GT(report.storage_faults_fired, 0u);
+  EXPECT_GT(report.final_rows_checked, 0u);
+  EXPECT_GT(report.availability, 0.9);
+}
+
+}  // namespace
+}  // namespace chaos
+}  // namespace vectordb

@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
+#include <set>
 
 #include "benchsupport/dataset.h"
 #include "dist/cluster.h"
 #include "dist/hash_ring.h"
+#include "storage/fault_injection.h"
 #include "storage/object_store.h"
 
 namespace vectordb {
@@ -66,6 +69,51 @@ TEST(HashRingTest, AddRemoveIdempotence) {
   EXPECT_TRUE(ring.RemoveNode("x"));
   EXPECT_FALSE(ring.RemoveNode("x"));
   EXPECT_EQ(ring.num_nodes(), 0u);
+}
+
+TEST(HashRingTest, NodesForYieldsDistinctOrderedPreferences) {
+  ConsistentHashRing ring(64);
+  ring.AddNode("a");
+  ring.AddNode("b");
+  ring.AddNode("c");
+  ring.AddNode("d");
+  for (uint64_t key = 0; key < 200; ++key) {
+    const auto pref = ring.NodesFor(key, 2);
+    ASSERT_EQ(pref.size(), 2u);
+    EXPECT_EQ(pref[0], ring.NodeFor(key));  // Primary leads the list.
+    EXPECT_NE(pref[0], pref[1]);
+    // Asking past the node count returns every node exactly once, and the
+    // shorter list is a strict prefix of the longer one.
+    const auto full = ring.NodesFor(key, 10);
+    ASSERT_EQ(full.size(), 4u);
+    EXPECT_EQ(std::set<std::string>(full.begin(), full.end()).size(), 4u);
+    EXPECT_EQ(full[0], pref[0]);
+    EXPECT_EQ(full[1], pref[1]);
+  }
+  EXPECT_TRUE(ring.NodesFor(uint64_t{7}, 0).empty());
+  ConsistentHashRing empty;
+  EXPECT_TRUE(empty.NodesFor(uint64_t{7}, 3).empty());
+}
+
+TEST(HashRingTest, NodesForStableUnderUnrelatedRemoval) {
+  ConsistentHashRing ring(64);
+  for (const char* n : {"a", "b", "c", "d", "e"}) ring.AddNode(n);
+  for (uint64_t key = 0; key < 100; ++key) {
+    const auto before = ring.NodesFor(key, 2);
+    ASSERT_EQ(before.size(), 2u);
+    // Remove a node outside this key's preference pair: the pair must not
+    // move (the consistent-hashing property, extended to replica lists).
+    std::string victim;
+    for (const char* n : {"a", "b", "c", "d", "e"}) {
+      if (n != before[0] && n != before[1]) {
+        victim = n;
+        break;
+      }
+    }
+    ASSERT_TRUE(ring.RemoveNode(victim));
+    EXPECT_EQ(ring.NodesFor(key, 2), before) << "key " << key;
+    ring.AddNode(victim);  // Virtual-node points depend only on the name.
+  }
 }
 
 // ----------------------------------------------------------------- cluster --
@@ -240,6 +288,136 @@ TEST_F(ClusterTest, RpcCountGrowsWithActivity) {
   options.k = 1;
   ASSERT_TRUE(cluster_->Search("vecs", "v", data_.vector(0), 1, options).ok());
   EXPECT_GT(cluster_->rpc_count(), before + 50);
+}
+
+TEST_F(ClusterTest, ShardsCarryReplicaPreferenceLists) {
+  ASSERT_TRUE(InsertAll(400).ok());
+  ASSERT_EQ(cluster_->replication_factor(), 2u);
+  for (SegmentId id = 1; id <= 4; ++id) {
+    const auto replicas = cluster_->coordinator().ReplicasForSegment(id);
+    ASSERT_EQ(replicas.size(), 2u);
+    EXPECT_EQ(replicas[0], cluster_->coordinator().OwnerOfSegment(id));
+    EXPECT_NE(replicas[0], replicas[1]);
+    // The replica list is the head of the full preference list — failover
+    // past it is exactly the degraded regime.
+    const auto pref = cluster_->coordinator().PreferenceForSegment(id);
+    ASSERT_EQ(pref.size(), 3u);
+    EXPECT_EQ(pref[0], replicas[0]);
+    EXPECT_EQ(pref[1], replicas[1]);
+  }
+}
+
+TEST_F(ClusterTest, EmptyRingFailsWithClearUnavailable) {
+  ASSERT_TRUE(InsertAll(100).ok());
+  const auto readers = cluster_->coordinator().Readers();
+  for (const auto& name : readers) {
+    ASSERT_TRUE(cluster_->CrashReader(name).ok());
+  }
+  ASSERT_EQ(cluster_->num_live_readers(), 0u);
+
+  const size_t degraded_before = cluster_->degraded_queries();
+  db::QueryOptions options;
+  options.k = 1;
+  auto result = cluster_->Search("vecs", "v", data_.vector(0), 1, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsUnavailable()) << result.status().ToString();
+  // The error names the condition — not a nullptr crash, not an empty hit
+  // list masquerading as "no matches".
+  EXPECT_NE(result.status().ToString().find("ring is empty"),
+            std::string::npos)
+      << result.status().ToString();
+  EXPECT_EQ(cluster_->degraded_queries(), degraded_before + 1);
+
+  // One reader coming back makes the cluster whole again.
+  ASSERT_TRUE(cluster_->RestartReader(readers[0]).ok());
+  auto healed = cluster_->Search("vecs", "v", data_.vector(7), 1, options);
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  ASSERT_FALSE(healed.value()[0].empty());
+  EXPECT_EQ(healed.value()[0][0].id, 7);
+}
+
+// ------------------------------------------- coordinator under storage faults
+
+class CoordinatorFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    faulty_fs_ = std::make_shared<storage::FaultInjectionFileSystem>(
+        storage::NewMemoryFileSystem(), /*seed=*/1234);
+    coordinator_ = std::make_unique<Coordinator>(faulty_fs_, kMetaPath);
+    ASSERT_TRUE(coordinator_->RegisterReader("reader-0").ok());
+    ASSERT_TRUE(coordinator_->RegisterReader("reader-1").ok());
+    ASSERT_TRUE(coordinator_->RegisterReader("reader-2").ok());
+    ASSERT_TRUE(coordinator_->RegisterCollection("vecs").ok());
+    ASSERT_TRUE(coordinator_->SetReplicationFactor(3).ok());
+  }
+
+  static constexpr const char* kMetaPath = "cluster/coordinator.meta";
+  std::shared_ptr<storage::FaultInjectionFileSystem> faulty_fs_;
+  std::unique_ptr<Coordinator> coordinator_;
+};
+
+TEST_F(CoordinatorFaultTest, BitFlippedMetaWriteFailsRecoveryLoudly) {
+  // The flipped bit lands silently (Write returns OK); the CRC envelope has
+  // to catch it when a replacement coordinator attaches.
+  storage::FaultRule rule;
+  rule.ops = storage::kOpWrite;
+  rule.path_prefix = kMetaPath;
+  rule.effect = storage::FaultEffect::kBitFlip;
+  rule.flip_bit = 64;  // Inside the body, past the magic/CRC header.
+  rule.nth = 1;
+  faulty_fs_->AddRule(rule);
+  ASSERT_TRUE(coordinator_->RegisterReader("reader-3").ok());
+  faulty_fs_->ClearRules();
+
+  Coordinator replacement(faulty_fs_, kMetaPath);
+  const Status status = replacement.Recover();
+  EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+  // All-or-nothing: the replacement never serves a partial shard map.
+  EXPECT_TRUE(replacement.Readers().empty());
+  EXPECT_FALSE(replacement.meta_loaded());
+  EXPECT_EQ(replacement.replication_factor(), 2u);  // Still the default.
+}
+
+TEST_F(CoordinatorFaultTest, TornMetaWriteFailsRecoveryLoudly) {
+  // Simulate a write torn mid-object: truncate the stored frame.
+  std::string frame;
+  ASSERT_TRUE(faulty_fs_->Read(kMetaPath, &frame).ok());
+  ASSERT_TRUE(faulty_fs_->Write(kMetaPath, frame.substr(0, frame.size() / 2))
+                  .ok());
+
+  Coordinator replacement(faulty_fs_, kMetaPath);
+  const Status status = replacement.Recover();
+  EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+  EXPECT_TRUE(replacement.Readers().empty());
+  EXPECT_FALSE(replacement.meta_loaded());
+}
+
+TEST_F(CoordinatorFaultTest, TransientMetaReadRetryRecoversIdenticalView) {
+  storage::FaultRule rule;
+  rule.ops = storage::kOpRead;
+  rule.path_prefix = kMetaPath;
+  rule.effect = storage::FaultEffect::kTransient;
+  rule.nth = 1;
+  faulty_fs_->AddRule(rule);
+
+  Coordinator replacement(faulty_fs_, kMetaPath);
+  const Status first = replacement.Recover();
+  EXPECT_TRUE(first.IsTransient()) << first.ToString();
+  EXPECT_TRUE(replacement.Readers().empty());  // View untouched on failure.
+  EXPECT_FALSE(replacement.meta_loaded());
+
+  // The retry (fault consumed) recovers the exact pre-crash view.
+  ASSERT_TRUE(replacement.Recover().ok());
+  EXPECT_TRUE(replacement.meta_loaded());
+  EXPECT_EQ(replacement.Readers(), coordinator_->Readers());
+  EXPECT_EQ(replacement.Collections(), coordinator_->Collections());
+  EXPECT_EQ(replacement.replication_factor(), 3u);
+  for (SegmentId id = 1; id <= 8; ++id) {
+    EXPECT_EQ(replacement.OwnerOfSegment(id),
+              coordinator_->OwnerOfSegment(id));
+    EXPECT_EQ(replacement.ReplicasForSegment(id),
+              coordinator_->ReplicasForSegment(id));
+  }
 }
 
 }  // namespace

@@ -94,23 +94,31 @@ TEST_F(ScatterFaultTest, ReaderKilledMidScatterStillYieldsCorrectTopK) {
   ASSERT_TRUE(baseline.ok());
   ASSERT_EQ(cluster_->degraded_queries(), 0u);
 
-  // Kill each reader in turn mid-scatter; the query must degrade, not die,
-  // and the merged top-k must match the no-fault run exactly.
+  // Kill each reader in turn mid-scatter. With replication_factor=2 every
+  // shard has a live replica, so the failure is rescued *silently*: the
+  // merged top-k matches the no-fault run, failover_rpcs records the rescue,
+  // and the query is NOT counted degraded (no shard lost all its replicas).
   const auto readers = cluster_->coordinator().Readers();
   ASSERT_EQ(readers.size(), 3u);
+  ASSERT_EQ(cluster_->replication_factor(), 2u);
   for (size_t r = 0; r < readers.size(); ++r) {
     ASSERT_TRUE(cluster_->InjectReaderSearchFaults(readers[r], 1).ok());
-    auto degraded =
+    auto rescued =
         cluster_->Search("vecs", "v", data_.vector(0), nq, options);
-    ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
-    ExpectSameHits(degraded.value(), baseline.value());
-    EXPECT_EQ(cluster_->degraded_queries(), r + 1);
+    ASSERT_TRUE(rescued.ok()) << rescued.status().ToString();
+    ExpectSameHits(rescued.value(), baseline.value());
+    EXPECT_EQ(cluster_->degraded_queries(), 0u);
   }
+  // At least one of the killed readers owned shards, so at least one rescue
+  // leg ran (a reader owning no shards needs no failover when it dies).
+  EXPECT_GT(cluster_->failover_rpcs(), 0u);
 
-  // With the faults drained, queries are no longer counted degraded.
+  // With the faults drained, no rescue legs are needed either.
+  const size_t failovers_after = cluster_->failover_rpcs();
   auto healthy = cluster_->Search("vecs", "v", data_.vector(0), nq, options);
   ASSERT_TRUE(healthy.ok());
-  EXPECT_EQ(cluster_->degraded_queries(), readers.size());
+  EXPECT_EQ(cluster_->degraded_queries(), 0u);
+  EXPECT_EQ(cluster_->failover_rpcs(), failovers_after);
 }
 
 TEST_F(ScatterFaultTest, TwoReadersDownStillYieldsCorrectTopK) {
@@ -120,13 +128,16 @@ TEST_F(ScatterFaultTest, TwoReadersDownStillYieldsCorrectTopK) {
   auto baseline = cluster_->Search("vecs", "v", data_.vector(0), nq, options);
   ASSERT_TRUE(baseline.ok());
 
+  // Two of three readers down with replication_factor=2: shards whose whole
+  // replica pair landed on the dead readers run past the replica prefix on
+  // the one survivor — degraded at most once, but still hit-for-hit exact.
   const auto readers = cluster_->coordinator().Readers();
   ASSERT_TRUE(cluster_->InjectReaderSearchFaults(readers[0], 1).ok());
   ASSERT_TRUE(cluster_->InjectReaderSearchFaults(readers[2], 1).ok());
   auto degraded = cluster_->Search("vecs", "v", data_.vector(0), nq, options);
   ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
   ExpectSameHits(degraded.value(), baseline.value());
-  EXPECT_EQ(cluster_->degraded_queries(), 1u);
+  EXPECT_LE(cluster_->degraded_queries(), 1u);
 }
 
 TEST_F(ScatterFaultTest, AllReadersDownFailsTheQuery) {
@@ -190,6 +201,51 @@ TEST_F(ScatterFaultTest, PublishSurvivesSingleReaderRefreshFailure) {
   ASSERT_TRUE(new_row.ok());
   ASSERT_FALSE(new_row.value()[0].empty());
   EXPECT_EQ(new_row.value()[0][0].id, 230);
+}
+
+TEST_F(ScatterFaultTest, StaleReaderSelfHealsOnNextScatterLeg) {
+  // Same fault plan as above: one reader misses the publish and is marked
+  // stale. But this time NO second publish happens — the reader must heal
+  // itself lazily, by retrying the manifest refresh at the start of its next
+  // scatter leg.
+  ASSERT_TRUE(InsertRange(cluster_.get(), data_, 200, 250).ok());
+  storage::FaultRule current_rule;
+  current_rule.ops = storage::kOpRead;
+  current_rule.path_prefix = "cluster/data/vecs/CURRENT";
+  current_rule.nth = 1;
+  current_rule.effect = storage::FaultEffect::kTransient;
+  faulty_->AddRule(current_rule);
+  storage::FaultRule list_rule;
+  list_rule.ops = storage::kOpList;
+  list_rule.path_prefix = "cluster/data/vecs/MANIFEST";
+  list_rule.nth = 1;
+  list_rule.effect = storage::FaultEffect::kTransient;
+  faulty_->AddRule(list_rule);
+  storage::FaultRule legacy_rule;
+  legacy_rule.ops = storage::kOpRead;
+  legacy_rule.path_prefix = "cluster/data/vecs/MANIFEST";
+  legacy_rule.nth = 2;  // #1 is the writer's read-back verification.
+  legacy_rule.effect = storage::FaultEffect::kTransient;
+  faulty_->AddRule(legacy_rule);
+
+  ASSERT_TRUE(cluster_->Flush("vecs").ok());
+  EXPECT_EQ(cluster_->publish_failures(), 1u);
+  EXPECT_EQ(cluster_->stale_readers("vecs"), 1u);
+
+  // Storage heals; the next query's scatter leg on the stale reader retries
+  // the refresh and serves the post-publish snapshot — rows flushed after
+  // the failed publish resolve on every reader without another Publish().
+  faulty_->ClearRules();
+  const size_t retries_before = cluster_->refresh_retries();
+  db::QueryOptions options;
+  options.k = 1;
+  auto row = cluster_->Search("vecs", "v", data_.vector(230), 1, options);
+  ASSERT_TRUE(row.ok()) << row.status().ToString();
+  ASSERT_FALSE(row.value()[0].empty());
+  EXPECT_EQ(row.value()[0][0].id, 230);
+  EXPECT_GT(cluster_->refresh_retries(), retries_before);
+  EXPECT_EQ(cluster_->stale_readers("vecs"), 0u);
+  EXPECT_EQ(cluster_->degraded_queries(), 0u);
 }
 
 // ----------------------------------------------- crash/recovery matrix ----

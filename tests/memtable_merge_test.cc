@@ -18,7 +18,7 @@ SegmentSchema SimpleSchema() {
 
 // --------------------------------------------------------------- memtable --
 
-TEST(MemTableTest, InsertAndFlushProducesSortedSegment) {
+TEST(MemTableTest, BuildSegmentProducesSortedSegmentAndKeepsRows) {
   MemTable mem(SimpleSchema());
   const float v[2] = {1, 2};
   ASSERT_TRUE(mem.Insert(30, {v}, {3.0}).ok());
@@ -26,12 +26,16 @@ TEST(MemTableTest, InsertAndFlushProducesSortedSegment) {
   ASSERT_TRUE(mem.Insert(20, {v}, {2.0}).ok());
   EXPECT_EQ(mem.num_rows(), 3u);
 
-  auto flushed = mem.Flush(1);
-  ASSERT_TRUE(flushed.ok());
-  const SegmentPtr segment = flushed.value();
+  auto built = mem.BuildSegment(1);
+  ASSERT_TRUE(built.ok());
+  const SegmentPtr segment = built.value();
   ASSERT_NE(segment, nullptr);
   EXPECT_EQ(segment->row_ids(), (std::vector<RowId>{10, 20, 30}));
-  EXPECT_EQ(mem.num_rows(), 0u);  // Drained.
+  // Rows stay buffered until the caller confirms the segment is durable —
+  // a failed persist must leave the MemTable (and its WAL cover) intact.
+  EXPECT_EQ(mem.num_rows(), 3u);
+  mem.Clear();
+  EXPECT_EQ(mem.num_rows(), 0u);
 }
 
 TEST(MemTableTest, DuplicateInsertRejected) {
@@ -50,11 +54,11 @@ TEST(MemTableTest, DeleteRemovesBufferedRow) {
   EXPECT_EQ(mem.num_rows(), 0u);
 }
 
-TEST(MemTableTest, FlushEmptyReturnsNull) {
+TEST(MemTableTest, BuildSegmentEmptyReturnsNull) {
   MemTable mem(SimpleSchema());
-  auto flushed = mem.Flush(1);
-  ASSERT_TRUE(flushed.ok());
-  EXPECT_EQ(flushed.value(), nullptr);
+  auto built = mem.BuildSegment(1);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built.value(), nullptr);
 }
 
 TEST(MemTableTest, SchemaValidation) {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "api/rest_handler.h"
+#include "dist/cluster.h"
 #include "storage/filesystem.h"
 
 namespace vectordb {
@@ -370,6 +371,52 @@ TEST_F(RestApiTest, CollectionStatsIncludeMetricsSlice) {
     }
   }
   EXPECT_GE(collection_queries, 1.0);
+}
+
+TEST_F(RestApiTest, ClusterHealthStandaloneWithoutCluster) {
+  auto health = handler_->Handle("GET", "/v1/cluster/health", "");
+  ASSERT_EQ(health.status, 200);
+  EXPECT_EQ(health.body["mode"].as_string(), "standalone");
+  EXPECT_TRUE(health.body["healthy"].as_bool());
+  EXPECT_EQ(handler_->Handle("POST", "/v1/cluster/health", "").status, 405);
+}
+
+TEST_F(RestApiTest, ClusterHealthReportsLivenessAndCounters) {
+  dist::ClusterOptions options;
+  options.shared_fs = storage::NewMemoryFileSystem();
+  options.num_readers = 3;
+  dist::Cluster cluster(options);
+  db::CollectionSchema schema;
+  schema.name = "vecs";
+  schema.vector_fields = {{"v", 4}};
+  ASSERT_TRUE(cluster.CreateCollection(schema).ok());
+  db::Entity entity;
+  entity.id = 1;
+  entity.vectors.push_back({1, 2, 3, 4});
+  ASSERT_TRUE(cluster.Insert("vecs", entity).ok());
+  ASSERT_TRUE(cluster.Flush("vecs").ok());
+  handler_->set_cluster(&cluster);
+
+  auto health = handler_->Handle("GET", "/v1/cluster/health", "");
+  ASSERT_EQ(health.status, 200) << health.body.Dump();
+  EXPECT_EQ(health.body["mode"].as_string(), "cluster");
+  EXPECT_TRUE(health.body["healthy"].as_bool());
+  EXPECT_TRUE(health.body["writer_alive"].as_bool());
+  EXPECT_EQ(health.body["num_live_readers"].as_number(), 3.0);
+  EXPECT_EQ(health.body["live_readers"].size(), 3u);
+  EXPECT_EQ(health.body["replication_factor"].as_number(), 2.0);
+  EXPECT_EQ(health.body["stale_readers"]["vecs"].as_number(), 0.0);
+  EXPECT_GE(health.body["counters"]["rpcs"].as_number(), 1.0);
+  EXPECT_EQ(health.body["counters"]["degraded_queries"].as_number(), 0.0);
+
+  // Health is probe-ready: losing the query plane turns the route 503.
+  for (const auto& name : cluster.coordinator().Readers()) {
+    ASSERT_TRUE(cluster.CrashReader(name).ok());
+  }
+  auto down = handler_->Handle("GET", "/v1/cluster/health", "");
+  EXPECT_EQ(down.status, 503);
+  EXPECT_FALSE(down.body["healthy"].as_bool());
+  EXPECT_EQ(down.body["num_live_readers"].as_number(), 0.0);
 }
 
 TEST_F(RestApiTest, HttpStatusMapping) {

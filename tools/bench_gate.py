@@ -1,18 +1,26 @@
 #!/usr/bin/env python3
-"""Kernel benchmark regression gate.
+"""Benchmark regression gate (kernel + chaos schemas).
 
-Compares a fresh kernel-bench run (bench/kernel_bench --quick) against the
-committed baseline BENCH_kernels.json and fails if any kernel's
-machine-normalized speedup (speedup_vs_scalar) regressed by more than the
-threshold. Raw ns/vector is NOT compared — it varies across machines; the
-ratio to the same-machine scalar run is what the trajectory tracks.
+Kernel mode (schema vdb-kernel-bench-v1): compares a fresh kernel-bench run
+(bench/kernel_bench --quick) against the committed baseline
+BENCH_kernels.json and fails if any kernel's machine-normalized speedup
+(speedup_vs_scalar) regressed by more than the threshold. Raw ns/vector is
+NOT compared — it varies across machines; the ratio to the same-machine
+scalar run is what the trajectory tracks.
 
 Only rows present in BOTH files are compared, so a quick-mode run (dim 128
 only) gates against the full committed baseline. A minimum-coverage check
 guards against the intersection silently shrinking to nothing.
 
+Chaos mode (schema vdb-chaos-bench-v1, selected automatically from the
+file): the durability invariants are absolute — any run with lost acked
+rows, resurrected deletes, wrong results, or invariant violations fails
+outright — and availability may not drop more than --availability-drop
+below the committed baseline.
+
 Usage:
   bench_gate.py --baseline BENCH_kernels.json --current fresh.json
+  bench_gate.py --baseline BENCH_chaos.json --current fresh_chaos.json
   bench_gate.py --self-test
 """
 
@@ -23,11 +31,30 @@ import sys
 DEFAULT_THRESHOLD = 0.15
 MIN_COMPARED_ROWS = 8
 
+KERNEL_SCHEMA = "vdb-kernel-bench-v1"
+CHAOS_SCHEMA = "vdb-chaos-bench-v1"
+DEFAULT_AVAILABILITY_DROP = 0.05
+# Fields that must be exactly zero in every chaos run: they are the
+# harness's correctness invariants, not performance numbers.
+CHAOS_ZERO_FIELDS = (
+    "invariant_violations",
+    "acked_rows_lost",
+    "deleted_rows_resurrected",
+    "wrong_results",
+)
 
-def load_rows(path):
+
+def load_doc(path):
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
-    if doc.get("schema") != "vdb-kernel-bench-v1":
+    if doc.get("schema") not in (KERNEL_SCHEMA, CHAOS_SCHEMA):
+        raise ValueError(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return doc
+
+
+def load_rows(path):
+    doc = load_doc(path)
+    if doc.get("schema") != KERNEL_SCHEMA:
         raise ValueError(f"{path}: unexpected schema {doc.get('schema')!r}")
     return doc["results"]
 
@@ -60,9 +87,57 @@ def compare(baseline, current, threshold):
     return compared, failures
 
 
-def run_gate(baseline_path, current_path, threshold):
-    baseline = index_rows(load_rows(baseline_path))
-    current = index_rows(load_rows(current_path))
+def chaos_compare(baseline_doc, current_doc, max_availability_drop):
+    """Returns a list of failure strings for a chaos-bench pair."""
+    failures = []
+    for field in CHAOS_ZERO_FIELDS:
+        value = current_doc.get(field)
+        if value is None:
+            failures.append(f"current run is missing required field {field!r}")
+        elif int(value) != 0:
+            failures.append(f"{field} = {value} (must be 0)")
+    base = float(baseline_doc.get("availability", 1.0))
+    cur = float(current_doc.get("availability", 0.0))
+    if cur < base - max_availability_drop:
+        failures.append(
+            f"availability {cur:.4f} < baseline {base:.4f} - "
+            f"{max_availability_drop:.2f} allowed drop"
+        )
+    return failures
+
+
+def run_chaos_gate(baseline_doc, current_doc, max_availability_drop):
+    failures = chaos_compare(baseline_doc, current_doc, max_availability_drop)
+    if failures:
+        print(
+            f"bench_gate: chaos run failed {len(failures)} check(s):",
+            file=sys.stderr,
+        )
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(
+        "bench_gate: OK (chaos invariants hold, availability "
+        f"{float(current_doc['availability']):.4f})"
+    )
+    return 0
+
+
+def run_gate(baseline_path, current_path, threshold, availability_drop):
+    baseline_doc = load_doc(baseline_path)
+    current_doc = load_doc(current_path)
+    if baseline_doc["schema"] != current_doc["schema"]:
+        print(
+            f"bench_gate: schema mismatch: baseline {baseline_doc['schema']} "
+            f"vs current {current_doc['schema']}",
+            file=sys.stderr,
+        )
+        return 1
+    if baseline_doc["schema"] == CHAOS_SCHEMA:
+        return run_chaos_gate(baseline_doc, current_doc, availability_drop)
+
+    baseline = index_rows(baseline_doc["results"])
+    current = index_rows(current_doc["results"])
     compared, failures = compare(baseline, current, threshold)
     if compared < MIN_COMPARED_ROWS:
         print(
@@ -118,6 +193,41 @@ def self_test():
     assert compared == 0, compared
     assert compared < MIN_COMPARED_ROWS
 
+    # ----- chaos mode -----
+
+    def chaos_doc(**overrides):
+        doc = {
+            "schema": CHAOS_SCHEMA,
+            "availability": 0.99,
+            "invariant_violations": 0,
+            "acked_rows_lost": 0,
+            "deleted_rows_resurrected": 0,
+            "wrong_results": 0,
+        }
+        doc.update(overrides)
+        return doc
+
+    # Clean run vs clean baseline passes, including a small availability dip.
+    assert not chaos_compare(chaos_doc(), chaos_doc(), 0.05)
+    assert not chaos_compare(chaos_doc(), chaos_doc(availability=0.96), 0.05)
+
+    # Availability below the allowed drop fails.
+    failures = chaos_compare(chaos_doc(), chaos_doc(availability=0.9), 0.05)
+    assert len(failures) == 1 and "availability" in failures[0], failures
+
+    # Any nonzero invariant field fails outright — even at availability 1.0.
+    for field in CHAOS_ZERO_FIELDS:
+        failures = chaos_compare(
+            chaos_doc(), chaos_doc(availability=1.0, **{field: 1}), 0.05
+        )
+        assert len(failures) == 1 and field in failures[0], (field, failures)
+
+    # A run that dropped an invariant field entirely must not pass silently.
+    missing = chaos_doc()
+    del missing["wrong_results"]
+    failures = chaos_compare(chaos_doc(), missing, 0.05)
+    assert len(failures) == 1 and "wrong_results" in failures[0], failures
+
     print("bench_gate: self-test OK")
     return 0
 
@@ -132,6 +242,13 @@ def main():
         default=DEFAULT_THRESHOLD,
         help="max allowed fractional regression (default 0.15)",
     )
+    parser.add_argument(
+        "--availability-drop",
+        type=float,
+        default=DEFAULT_AVAILABILITY_DROP,
+        help="chaos mode: max absolute availability drop vs baseline "
+        "(default 0.05)",
+    )
     parser.add_argument("--self-test", action="store_true",
                         help="run built-in unit checks and exit")
     args = parser.parse_args()
@@ -140,7 +257,8 @@ def main():
         return self_test()
     if not args.baseline or not args.current:
         parser.error("--baseline and --current are required")
-    return run_gate(args.baseline, args.current, args.threshold)
+    return run_gate(args.baseline, args.current, args.threshold,
+                    args.availability_drop)
 
 
 if __name__ == "__main__":
