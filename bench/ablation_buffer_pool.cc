@@ -42,9 +42,9 @@ int main() {
   size_t segment_bytes = 0;
   for (SegmentId id = 0; id < num_segments; ++id) {
     auto segment = MakeSegment(id, rows, dim, data);
-    segment_bytes = segment->MemoryBytes();
+    segment_bytes = segment->DataBytes();
     std::string blob;
-    (void)segment->Serialize(&blob);
+    (void)segment->SerializeData(&blob);
     (void)s3->Write("seg/" + std::to_string(id), blob);
   }
 
@@ -62,10 +62,12 @@ int main() {
     storage::BufferPool pool(capacity_segments * segment_bytes +
                              segment_bytes / 2);
     for (SegmentId id : accesses) {
-      (void)pool.Fetch(id, [&]() -> Result<storage::SegmentPtr> {
+      (void)pool.FetchData(id, [&]() -> Result<storage::SegmentDataPtr> {
         std::string blob;
         VDB_RETURN_NOT_OK(s3->Read("seg/" + std::to_string(id), &blob));
-        return storage::Segment::Deserialize(blob);
+        auto parsed = storage::Segment::DeserializeData(blob);
+        if (!parsed.ok()) return parsed.status();
+        return parsed.value()->AcquireData();
       });
     }
     const auto stats = pool.stats();

@@ -54,6 +54,10 @@ void FillJson(api::Json* root, const chaos::ChaosReport& report,
   root->Set("search_faults_injected", report.search_faults_injected);
   root->Set("storage_fault_rules", report.storage_fault_rules);
   root->Set("storage_faults_fired", report.storage_faults_fired);
+  root->Set("index_builds_ok", report.index_builds_ok);
+  root->Set("index_builds_failed", report.index_builds_failed);
+  root->Set("indexes_built", report.indexes_built);
+  root->Set("manifest_fault_rules", report.manifest_fault_rules);
   root->Set("rpcs", report.rpcs);
   root->Set("degraded_queries", report.degraded_queries);
   root->Set("failover_rpcs", report.failover_rpcs);
@@ -147,7 +151,8 @@ int main(int argc, char** argv) {
       "degraded %zu  failover_rpcs %zu  publish_failures %zu  "
       "refresh_retries %zu\n"
       "crashes: reader %zu writer %zu  faults: search %zu storage %zu "
-      "(fired %zu)\n",
+      "(fired %zu)\n"
+      "index builds: ok %zu failed %zu published %zu  manifest faults %zu\n",
       report.availability, report.searches_ok, report.searches_total,
       report.searches_compared, report.wrong_result_queries,
       report.final_rows_checked, report.acked_rows_lost,
@@ -155,7 +160,9 @@ int main(int argc, char** argv) {
       report.failover_rpcs, report.publish_failures, report.refresh_retries,
       report.reader_crashes, report.writer_crashes,
       report.search_faults_injected, report.storage_fault_rules,
-      report.storage_faults_fired);
+      report.storage_faults_fired, report.index_builds_ok,
+      report.index_builds_failed, report.indexes_built,
+      report.manifest_fault_rules);
 
   vectordb::api::Json root = vectordb::api::Json::Object();
   vectordb::FillJson(&root, report, config);

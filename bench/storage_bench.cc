@@ -1,0 +1,275 @@
+// Tiered-storage benchmark for the split segment format. Measures what the
+// data/index artifact split buys: bytes a demand-page of the data tier must
+// move (v1 inline-index format vs v2 data-only .seg), cold-start first
+// search latency through a tiny buffer pool, and sustained throughput under
+// eviction churn — while cross-checking every demand-paged answer against a
+// fully resident collection. tools/bench_gate.py gates CI on the recorded
+// reduction and on zero wrong results.
+//
+// Usage: storage_bench [--quick] [--out PATH]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/json.h"
+#include "benchsupport/dataset.h"
+#include "common/timer.h"
+#include "db/collection.h"
+#include "storage/filesystem.h"
+
+namespace vectordb {
+namespace {
+
+struct BenchConfig {
+  bool quick = false;
+  size_t num_segments = 8;
+  size_t rows_per_segment = 1000;
+  size_t dim = 64;
+  size_t num_queries = 64;
+  size_t churn_rounds = 3;
+  std::string out_path = "BENCH_storage.json";
+};
+
+struct ArtifactBytes {
+  size_t data_bytes = 0;
+  size_t index_bytes = 0;
+  size_t data_files = 0;
+  size_t index_files = 0;
+};
+
+ArtifactBytes MeasureArtifacts(const storage::FileSystemPtr& fs,
+                               const std::string& prefix) {
+  ArtifactBytes out;
+  auto listed = fs->List(prefix);
+  if (!listed.ok()) return out;
+  auto has_suffix = [](const std::string& path, const char* suffix) {
+    const size_t n = std::strlen(suffix);
+    return path.size() >= n &&
+           path.compare(path.size() - n, n, suffix) == 0;
+  };
+  for (const std::string& path : listed.value()) {
+    std::string blob;
+    if (!fs->Read(path, &blob).ok()) continue;
+    if (has_suffix(path, ".seg")) {
+      out.data_bytes += blob.size();
+      ++out.data_files;
+    } else if (has_suffix(path, ".idx")) {
+      out.index_bytes += blob.size();
+      ++out.index_files;
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<db::Collection> BuildCollection(
+    const BenchConfig& config, const bench::Dataset& data,
+    const storage::FileSystemPtr& fs, size_t pool_bytes) {
+  db::CollectionSchema schema;
+  schema.name = "store";
+  schema.vector_fields = {{"v", config.dim}};
+  schema.default_index = index::IndexType::kFlat;
+  db::CollectionOptions options;
+  options.fs = fs;
+  options.memtable_flush_rows = 1u << 30;
+  options.index_build_threshold_rows = config.rows_per_segment / 2;
+  options.buffer_pool_bytes = pool_bytes;
+  auto created = db::Collection::Create(schema, options);
+  if (!created.ok()) {
+    std::fprintf(stderr, "create failed: %s\n",
+                 created.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto collection = std::move(created).value();
+  for (size_t s = 0; s < config.num_segments; ++s) {
+    for (size_t i = 0; i < config.rows_per_segment; ++i) {
+      const size_t row = s * config.rows_per_segment + i;
+      db::Entity entity;
+      entity.id = static_cast<RowId>(row);
+      entity.vectors.emplace_back(data.vector(row),
+                                  data.vector(row) + config.dim);
+      if (!collection->Insert(entity).ok()) std::exit(1);
+    }
+    if (!collection->Flush().ok()) std::exit(1);
+  }
+  size_t built = 0;
+  if (!collection->BuildIndexes(&built).ok() ||
+      built != config.num_segments) {
+    std::fprintf(stderr, "index build failed (built=%zu)\n", built);
+    std::exit(1);
+  }
+  return collection;
+}
+
+}  // namespace
+}  // namespace vectordb
+
+int main(int argc, char** argv) {
+  vectordb::BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      config.quick = true;
+      config.num_segments = 4;
+      config.rows_per_segment = 512;
+      config.num_queries = 32;
+      config.churn_rounds = 2;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      config.out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  using vectordb::Timer;
+  namespace bench = vectordb::bench;
+  namespace db = vectordb::db;
+
+  Timer wall;
+  const size_t total_rows = config.num_segments * config.rows_per_segment;
+  bench::DatasetSpec spec;
+  spec.num_vectors = total_rows;
+  spec.dim = config.dim;
+  const auto data = bench::MakeSiftLike(spec);
+  const auto queries = bench::MakeQueries(spec, config.num_queries);
+
+  db::QueryOptions qopts;
+  qopts.k = 10;
+
+  // Fully resident reference: pool far larger than the collection.
+  auto roomy_fs = vectordb::storage::NewMemoryFileSystem();
+  auto roomy =
+      vectordb::BuildCollection(config, data, roomy_fs, size_t{256} << 20);
+
+  const auto artifacts =
+      vectordb::MeasureArtifacts(roomy_fs, "store/segments/");
+  if (artifacts.data_files != config.num_segments ||
+      artifacts.index_files != config.num_segments) {
+    std::fprintf(stderr, "unexpected artifact census: %zu .seg / %zu .idx\n",
+                 artifacts.data_files, artifacts.index_files);
+    return 1;
+  }
+  // v1 shipped the index inline in the segment file, so paging a segment's
+  // data tier cost data+index bytes; v2 pages the .seg alone.
+  const double bytes_per_vector_v1 =
+      static_cast<double>(artifacts.data_bytes + artifacts.index_bytes) /
+      static_cast<double>(total_rows);
+  const double bytes_per_vector_v2 =
+      static_cast<double>(artifacts.data_bytes) /
+      static_cast<double>(total_rows);
+  const double v2_bytes_reduction =
+      1.0 - bytes_per_vector_v2 / bytes_per_vector_v1;
+
+  // Reference answers + warm-pool throughput on the roomy collection.
+  std::vector<vectordb::HitList> reference(config.num_queries);
+  Timer timer;
+  for (size_t q = 0; q < config.num_queries; ++q) {
+    auto result = roomy->Search("v", queries.vector(q), 1, qopts);
+    if (!result.ok()) {
+      std::fprintf(stderr, "warm search failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    reference[q] = std::move(result).value()[0];
+  }
+  const double warm_qps =
+      static_cast<double>(config.num_queries) / timer.ElapsedSeconds();
+
+  // Demand-paged collection: the pool holds ~1.5 segments' worth of
+  // artifacts, so serving the whole collection forces eviction churn.
+  const size_t pool_bytes =
+      (artifacts.data_bytes + artifacts.index_bytes) * 3 /
+      (config.num_segments * 2);
+  auto tiny_fs = vectordb::storage::NewMemoryFileSystem();
+  auto tiny = vectordb::BuildCollection(config, data, tiny_fs, pool_bytes);
+
+  // Cold start: drop everything the build warmed, then time the first
+  // search, which has to page both tiers back in.
+  tiny->mutable_buffer_pool().Clear();
+  timer.Reset();
+  auto cold = tiny->Search("v", queries.vector(0), 1, qopts);
+  const double cold_first_search_ms = timer.ElapsedMillis();
+  if (!cold.ok()) {
+    std::fprintf(stderr, "cold search failed: %s\n",
+                 cold.status().ToString().c_str());
+    return 1;
+  }
+
+  // Eviction churn: sweep the whole query set repeatedly through the tiny
+  // pool, cross-checking every answer against the resident reference.
+  size_t wrong_results = 0;
+  size_t churn_queries = 0;
+  timer.Reset();
+  for (size_t round = 0; round < config.churn_rounds; ++round) {
+    for (size_t q = 0; q < config.num_queries; ++q) {
+      auto result = tiny->Search("v", queries.vector(q), 1, qopts);
+      if (!result.ok()) {
+        std::fprintf(stderr, "churn search failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      ++churn_queries;
+      if (result.value()[0] != reference[q]) ++wrong_results;
+    }
+  }
+  const double churn_qps =
+      static_cast<double>(churn_queries) / timer.ElapsedSeconds();
+  const auto pool_stats = tiny->buffer_pool().stats();
+
+  int exit_code = 0;
+  if (wrong_results != 0) {
+    std::fprintf(stderr, "DEMAND PAGING WRONG RESULTS: %zu\n", wrong_results);
+    exit_code = 1;
+  }
+  if (pool_stats.evictions == 0) {
+    std::fprintf(stderr, "pool never evicted — churn phase measured nothing\n");
+    exit_code = 1;
+  }
+
+  std::printf(
+      "artifacts: %zu .seg (%zu B)  %zu .idx (%zu B)\n"
+      "bytes/vector: v1 %.1f  v2 %.1f  reduction %.3f\n"
+      "warm %.0f qps  cold first search %.2f ms  churn %.0f qps\n"
+      "pool %zu B: hits %zu misses %zu evictions %zu  wrong %zu\n",
+      artifacts.data_files, artifacts.data_bytes, artifacts.index_files,
+      artifacts.index_bytes, bytes_per_vector_v1, bytes_per_vector_v2,
+      v2_bytes_reduction, warm_qps, cold_first_search_ms, churn_qps,
+      pool_bytes, pool_stats.hits, pool_stats.misses, pool_stats.evictions,
+      wrong_results);
+
+  vectordb::api::Json root = vectordb::api::Json::Object();
+  root.Set("schema", "vdb-storage-bench-v1");
+  root.Set("quick", config.quick);
+  root.Set("rows", total_rows);
+  root.Set("dim", config.dim);
+  root.Set("segments", config.num_segments);
+  root.Set("data_bytes", artifacts.data_bytes);
+  root.Set("index_bytes", artifacts.index_bytes);
+  root.Set("bytes_per_vector_v1", bytes_per_vector_v1);
+  root.Set("bytes_per_vector_v2", bytes_per_vector_v2);
+  root.Set("v2_bytes_reduction", v2_bytes_reduction);
+  root.Set("warm_search_qps", warm_qps);
+  root.Set("cold_first_search_ms", cold_first_search_ms);
+  root.Set("churn_qps", churn_qps);
+  root.Set("churn_queries", churn_queries);
+  root.Set("demand_paging_wrong_results", wrong_results);
+  root.Set("pool_bytes", pool_bytes);
+  root.Set("pool_hits", pool_stats.hits);
+  root.Set("pool_misses", pool_stats.misses);
+  root.Set("pool_evictions", pool_stats.evictions);
+  root.Set("wall_seconds", wall.ElapsedSeconds());
+  std::FILE* f = std::fopen(config.out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", config.out_path.c_str());
+    return 1;
+  }
+  const std::string text = root.Dump();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", config.out_path.c_str());
+  return exit_code;
+}

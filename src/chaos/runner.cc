@@ -53,6 +53,10 @@ std::string ChaosReport::DeterministicFingerprint() const {
   add("search_faults_injected", search_faults_injected);
   add("storage_fault_rules", storage_fault_rules);
   add("storage_faults_fired", storage_faults_fired);
+  add("index_builds_ok", index_builds_ok);
+  add("index_builds_failed", index_builds_failed);
+  add("indexes_built", indexes_built);
+  add("manifest_fault_rules", manifest_fault_rules);
   add("rpcs", rpcs);
   add("degraded_queries", degraded_queries);
   add("failover_rpcs", failover_rpcs);
@@ -108,11 +112,16 @@ Status ChaosRunner::SetupClusters() {
   chaos_options.num_readers = options_.num_readers;
   chaos_options.replication_factor = options_.replication_factor;
   chaos_options.memtable_flush_rows = kNeverRows;
-  chaos_options.index_build_threshold_rows = kNeverRows;
+  // kIndexBuild events publish kFlat indexes out of band; kFlat answers
+  // are bitwise-identical to the flat scan, so the twin (which never
+  // builds) stays comparable hit for hit.
+  chaos_options.index_build_threshold_rows =
+      options_.index_build_threshold_rows;
   chaos_ = std::make_unique<dist::Cluster>(chaos_options);
 
   dist::ClusterOptions twin_options = chaos_options;
   twin_options.shared_fs = storage::NewMemoryFileSystem();
+  twin_options.index_build_threshold_rows = kNeverRows;
   twin_ = std::make_unique<dist::Cluster>(twin_options);
 
   next_row_id_.assign(options_.num_collections, 0);
@@ -123,6 +132,7 @@ Status ChaosRunner::SetupClusters() {
     schema.name = CollectionName(c);
     schema.vector_fields = {{"v", options_.dim}};
     schema.attributes = {};
+    schema.default_index = index::IndexType::kFlat;
     schema.index_params.nlist = 4;
     VDB_RETURN_NOT_OK(chaos_->CreateCollection(schema));
     VDB_RETURN_NOT_OK(twin_->CreateCollection(schema));
@@ -223,6 +233,10 @@ void ChaosRunner::DoMaintenance(const ChaosEvent& event) {
   // writer-side flush commits, because merge or publish failing afterwards
   // does not un-flush anything.
   const Status flushed = chaos_->FlushWriter(name);
+  if (std::getenv("VDB_CHAOS_TRACE") != nullptr) {
+    std::fprintf(stderr, "    maintenance %s flush -> %s\n", name.c_str(),
+                 flushed.ToString().c_str());
+  }
   if (!flushed.ok()) {
     ++report_.maintenance_failed;
     return;
@@ -233,6 +247,10 @@ void ChaosRunner::DoMaintenance(const ChaosEvent& event) {
   }
   publish_pending_[event.collection] = true;
   const Status maintained = chaos_->RunMaintenance(name);
+  if (std::getenv("VDB_CHAOS_TRACE") != nullptr) {
+    std::fprintf(stderr, "    maintenance %s -> %s stale=%zu\n", name.c_str(),
+                 maintained.ToString().c_str(), chaos_->stale_readers(name));
+  }
   if (maintained.ok()) {
     ++report_.maintenance_ok;
     publish_pending_[event.collection] = false;
@@ -399,6 +417,78 @@ void ChaosRunner::DoStorageFault(const ChaosEvent& event) {
   ++report_.storage_fault_rules;
 }
 
+void ChaosRunner::DoIndexBuild(const ChaosEvent& event) {
+  const std::string name = CollectionName(event.collection);
+  // Builds only cover sealed segments, so drain the memtable first with the
+  // same durability split as DoMaintenance. The flush is also what keeps
+  // the twin comparable: publishing refreshes readers from shared storage
+  // including the WAL tail, so a publish over an unflushed memtable would
+  // leak rows the twin's readers cannot see yet.
+  const Status flushed = chaos_->FlushWriter(name);
+  if (std::getenv("VDB_CHAOS_TRACE") != nullptr) {
+    std::fprintf(stderr, "    index_build %s flush -> %s\n", name.c_str(),
+                 flushed.ToString().c_str());
+  }
+  if (!flushed.ok()) {
+    ++report_.index_builds_failed;
+    return;
+  }
+  const Status mirrored = twin_->Flush(name);
+  if (!mirrored.ok()) {
+    Violation("twin flush failed for " + name + ": " + mirrored.ToString());
+  }
+  // The build itself runs without the write lock; only the manifest flip
+  // at the end publishes. Readers that miss the publish keep serving the
+  // old (index-free) snapshot, which answers identically under kFlat.
+  publish_pending_[event.collection] = true;
+  size_t built = 0;
+  const Status status = chaos_->BuildIndexes(name, &built);
+  if (std::getenv("VDB_CHAOS_TRACE") != nullptr) {
+    std::fprintf(stderr, "    index_build %s -> %s built=%zu\n",
+                 name.c_str(), status.ToString().c_str(), built);
+  }
+  if (status.ok()) {
+    ++report_.index_builds_ok;
+    report_.indexes_built += built;
+    publish_pending_[event.collection] = false;
+  } else {
+    // Build or publish died; readers may be stale until the next
+    // successful publish, so comparisons stay off.
+    ++report_.index_builds_failed;
+  }
+}
+
+void ChaosRunner::DoManifestFault(const ChaosEvent& event) {
+  if (!options_.storage_faults) return;
+  // Target the commit point itself: one-shot faults scoped to this
+  // tenant's MANIFEST objects, followed immediately by a maintenance
+  // cycle that has to publish through them. Write faults must fail the
+  // publish atomically (readers keep the old manifest); read bit flips
+  // must be caught by the manifest CRC envelope on the next refresh.
+  storage::FaultRule rule;
+  rule.path_prefix = "cluster/data/" + CollectionName(event.collection) +
+                     "/MANIFEST";
+  rule.nth = 1;
+  rule.max_triggers = 1;
+  switch (event.arg % 3) {
+    case 0:
+      rule.ops = storage::kOpWrite;
+      rule.effect = storage::FaultEffect::kTransient;
+      break;
+    case 1:
+      rule.ops = storage::kOpRead;
+      rule.effect = storage::FaultEffect::kBitFlip;
+      break;
+    default:
+      rule.ops = storage::kOpRead;
+      rule.effect = storage::FaultEffect::kTransient;
+      break;
+  }
+  chaos_fs_->AddRule(rule);
+  ++report_.manifest_fault_rules;
+  DoMaintenance(event);
+}
+
 Status ChaosRunner::Heal() {
   chaos_fs_->ClearRules();
   for (const std::string& name : chaos_->live_readers()) {
@@ -521,6 +611,8 @@ Result<ChaosReport> ChaosRunner::Run() {
       case ChaosOp::kRestartWriter: DoRestartWriter(); break;
       case ChaosOp::kInjectSearchFault: DoInjectSearchFault(event); break;
       case ChaosOp::kStorageFault: DoStorageFault(event); break;
+      case ChaosOp::kIndexBuild: DoIndexBuild(event); break;
+      case ChaosOp::kManifestFault: DoManifestFault(event); break;
     }
   }
 

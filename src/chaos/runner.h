@@ -32,6 +32,11 @@ struct ChaosRunnerOptions {
   /// Layer seeded FaultInjectionFileSystem rules (torn appends, bit-flipped
   /// reads, transient errors) on the shared storage during the run.
   bool storage_faults = true;
+  /// Segment size at which kIndexBuild events publish an index. The chaos
+  /// cluster builds kFlat indexes (bitwise-identical answers to a flat
+  /// scan), so the index-free twin stays hit-for-hit comparable. Low enough
+  /// that even warmup-sized segments get covered.
+  size_t index_build_threshold_rows = 8;
 };
 
 /// Outcome of a chaos run. Every field except `wall_seconds` is a pure
@@ -71,6 +76,11 @@ struct ChaosReport {
   size_t search_faults_injected = 0;
   size_t storage_fault_rules = 0;
   size_t storage_faults_fired = 0;
+  size_t index_builds_ok = 0;
+  size_t index_builds_failed = 0;
+  /// Indexes actually published across all successful kIndexBuild events.
+  size_t indexes_built = 0;
+  size_t manifest_fault_rules = 0;
 
   // Cluster availability accounting (per-instance counters).
   size_t rpcs = 0;
@@ -131,6 +141,8 @@ class ChaosRunner {
   void DoRestartWriter();
   void DoInjectSearchFault(const ChaosEvent& event);
   void DoStorageFault(const ChaosEvent& event);
+  void DoIndexBuild(const ChaosEvent& event);
+  void DoManifestFault(const ChaosEvent& event);
 
   Status SetupClusters();
   Status Warmup();

@@ -19,7 +19,8 @@ constexpr Weighted kWeights[] = {
     {ChaosOp::kRestartReader, 4}, {ChaosOp::kAddReader, 1},
     {ChaosOp::kRemoveReader, 1},  {ChaosOp::kCrashWriter, 2},
     {ChaosOp::kRestartWriter, 3}, {ChaosOp::kInjectSearchFault, 3},
-    {ChaosOp::kStorageFault, 2},
+    {ChaosOp::kStorageFault, 2},  {ChaosOp::kIndexBuild, 3},
+    {ChaosOp::kManifestFault, 2},
 };
 
 uint64_t TotalWeight() {
@@ -45,6 +46,8 @@ const char* ChaosOpName(ChaosOp op) {
     case ChaosOp::kRestartWriter: return "restart_writer";
     case ChaosOp::kInjectSearchFault: return "inject_search_fault";
     case ChaosOp::kStorageFault: return "storage_fault";
+    case ChaosOp::kIndexBuild: return "index_build";
+    case ChaosOp::kManifestFault: return "manifest_fault";
   }
   return "unknown";
 }

@@ -29,6 +29,11 @@ enum class ChaosOp {
   kRestartWriter,
   kInjectSearchFault,
   kStorageFault,
+  /// Out-of-band index build + publish on one tenant's collection.
+  kIndexBuild,
+  /// One-shot fault rule scoped to a tenant's manifest, then a publish
+  /// attempt that has to survive (or cleanly fail) it.
+  kManifestFault,
 };
 
 const char* ChaosOpName(ChaosOp op);

@@ -20,42 +20,12 @@ namespace db {
 
 namespace {
 constexpr uint32_t kManifestMagic = 0x464E4D56;  // "VMNF"
-// Envelope magics for CRC-framed objects ([magic][crc32(body)][body]).
-// Bodies written before this framing existed start directly with
-// kManifestMagic (manifests) or arbitrary bytes (segments) and are still
-// readable.
-constexpr uint32_t kManifestEnvMagic = 0x32464D56;  // "VMF2"
-constexpr uint32_t kSegmentEnvMagic = 0x32474553;   // "SEG2"
 
 std::string EncodeDeletePayload(RowId row_id) {
   std::string payload;
   BinaryWriter writer(&payload);
   writer.PutI64(row_id);
   return payload;
-}
-
-/// Wrap `body` in a CRC envelope.
-std::string EncodeEnvelope(uint32_t magic, const std::string& body) {
-  std::string frame;
-  BinaryWriter writer(&frame);
-  writer.PutU32(magic);
-  writer.PutU32(Crc32(body));
-  frame += body;
-  return frame;
-}
-
-/// Unwrap a CRC envelope; fails on magic mismatch or checksum mismatch.
-Status DecodeEnvelope(uint32_t magic, const std::string& frame,
-                      std::string* body) {
-  BinaryReader reader(frame);
-  uint32_t got_magic, crc;
-  if (!reader.GetU32(&got_magic) || !reader.GetU32(&crc)) {
-    return Status::Corruption("truncated envelope");
-  }
-  if (got_magic != magic) return Status::Corruption("bad envelope magic");
-  body->assign(frame, 8, frame.size() - 8);
-  if (Crc32(*body) != crc) return Status::Corruption("envelope CRC mismatch");
-  return Status::OK();
 }
 
 size_t ResolveQueryThreads(size_t configured) {
@@ -69,19 +39,22 @@ Collection::Collection(CollectionSchema schema,
                        const CollectionOptions& options)
     : schema_(std::move(schema)),
       options_(options),
-      buffer_pool_(options.buffer_pool_bytes) {
+      buffer_pool_(
+          std::make_shared<storage::BufferPool>(options.buffer_pool_bytes)) {
   wal_ = std::make_unique<storage::WriteAheadLog>(options_.fs, WalPath());
   memtable_ =
       std::make_unique<storage::MemTable>(schema_.ToSegmentSchema());
+  segment_store_ =
+      std::make_shared<storage::SegmentStore>(options_.fs, SegmentsPrefix());
   const size_t query_threads = ResolveQueryThreads(options_.query_threads);
   if (query_threads > 1) {
     query_pool_ = std::make_unique<ThreadPool>(query_threads);
   }
   snapshot_manager_.SetDropHandler([this](SegmentId id) {
-    buffer_pool_.Invalidate(id);
-    // Best-effort: an undeleted segment file is unreferenced garbage that
-    // the next GC pass retries.
-    options_.fs->Delete(SegmentPath(id)).IgnoreError();
+    buffer_pool_->Invalidate(id);
+    // Best-effort: undeleted data/index artifacts are unreferenced garbage
+    // that the next GC pass retries.
+    segment_store_->DeleteSegmentArtifacts(id).IgnoreError();
   });
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   const obs::Labels labels = {{"collection", schema_.name}};
@@ -113,9 +86,8 @@ void Collection::FinishQuery(const exec::QueryContext& ctx,
   }
 }
 
-std::string Collection::SegmentPath(SegmentId id) const {
-  return options_.data_prefix + schema_.name + "/segments/" +
-         std::to_string(id) + ".seg";
+std::string Collection::SegmentsPrefix() const {
+  return options_.data_prefix + schema_.name + "/segments/";
 }
 
 std::string Collection::ManifestPath() const {
@@ -192,23 +164,56 @@ Status Collection::PersistManifest() {
   writer.PutVector(tombstone_rows);
   writer.PutVector(tombstone_marks);
 
+  // Index-version extension (manifest v2, reader-optional): the version
+  // stamp of every published index artifact, per segment, in the same
+  // order as the segment-id list above. Publishing an index IS this write:
+  // the .idx artifact exists on storage first, and the manifest flip makes
+  // it visible atomically. Old readers ignore the trailing bytes; old
+  // manifests simply stop before them.
+  writer.PutU64(next_index_version_.load());
+  for (const auto& segment : snapshot->segments) {
+    const auto entries = segment->IndexEntries();
+    writer.PutU64(entries.size());
+    for (const auto& [field, version] : entries) {
+      writer.PutU32(field);
+      writer.PutU64(version);
+    }
+  }
+
   // Atomic commit protocol (LevelDB CURRENT-style, object-store friendly):
   // write MANIFEST-<seq> framed with a CRC, read it back to verify, then
   // flip the CURRENT pointer. A crash at any point leaves CURRENT naming
   // the previous fully-verified manifest, so recovery never parses a
   // half-written one.
-  const std::string frame = EncodeEnvelope(kManifestEnvMagic, out);
+  const std::string frame =
+      storage::EncodeEnvelope(storage::kManifestEnvMagic, out);
   const uint64_t seq = next_manifest_seq_.fetch_add(1);
   const std::string path = ManifestPathFor(seq);
   VDB_RETURN_NOT_OK(options_.fs->Write(path, frame));
+  // Aborting the commit must also unwrite the manifest: recovery's scan
+  // fallback adopts the newest CRC-valid MANIFEST-<seq>, so a verified
+  // file left behind by a *failed* commit would let a later reader jump
+  // forward to state that was never published (and never mirrored to
+  // anyone else). Best-effort — a crash here leaves the orphan, but then
+  // the writer is gone and adopting its last fully-written manifest is the
+  // normal crash-recovery contract.
+  auto abort_commit = [&](Status status) {
+    options_.fs->Delete(path).IgnoreError();
+    return status;
+  };
   std::string verify;
-  VDB_RETURN_NOT_OK(options_.fs->Read(path, &verify));
+  Status read_back = options_.fs->Read(path, &verify);
+  if (!read_back.ok()) return abort_commit(std::move(read_back));
   std::string verified_body;
-  if (!DecodeEnvelope(kManifestEnvMagic, verify, &verified_body).ok() ||
+  if (!storage::DecodeEnvelope(storage::kManifestEnvMagic, verify,
+                               &verified_body)
+           .ok() ||
       verified_body != out) {
-    return Status::Corruption("manifest verify-after-write failed: " + path);
+    return abort_commit(
+        Status::Corruption("manifest verify-after-write failed: " + path));
   }
-  VDB_RETURN_NOT_OK(options_.fs->Write(CurrentPath(), path));
+  Status flipped = options_.fs->Write(CurrentPath(), path);
+  if (!flipped.ok()) return abort_commit(std::move(flipped));
   // Committed; older manifests are garbage now (best-effort cleanup).
   if (seq > 1) options_.fs->Delete(ManifestPathFor(seq - 1)).IgnoreError();
   // Legacy single-file layout.
@@ -224,7 +229,8 @@ Result<std::string> Collection::ResolveManifestBody() {
     std::string frame;
     VDB_RETURN_NOT_OK(options_.fs->Read(path, &frame));
     std::string body;
-    VDB_RETURN_NOT_OK(DecodeEnvelope(kManifestEnvMagic, frame, &body));
+    VDB_RETURN_NOT_OK(
+        storage::DecodeEnvelope(storage::kManifestEnvMagic, frame, &body));
     return body;
   };
 
@@ -302,16 +308,18 @@ Status Collection::RecoverFromStorage() {
   schema_ = std::move(schema).value();
   memtable_ =
       std::make_unique<storage::MemTable>(schema_.ToSegmentSchema());
+  // Open() constructs with a bootstrap schema, so the store built in the
+  // constructor points at the wrong prefix until the real name is known.
+  segment_store_ =
+      std::make_shared<storage::SegmentStore>(options_.fs, SegmentsPrefix());
   next_segment_id_.store(next_segment);
   next_row_id_.store(next_row);
 
-  std::vector<storage::SegmentPtr> segments;
+  std::vector<SegmentId> segment_ids;
   for (uint64_t i = 0; i < num_segments; ++i) {
     uint64_t id;
     if (!reader.GetU64(&id)) return Status::Corruption("truncated manifest");
-    auto loaded = LoadSegment(id);
-    if (!loaded.ok()) return loaded.status();
-    segments.push_back(std::move(loaded).value());
+    segment_ids.push_back(id);
   }
   std::vector<RowId> tombstone_rows;
   std::vector<SegmentId> tombstone_marks;
@@ -319,6 +327,40 @@ Status Collection::RecoverFromStorage() {
       !reader.GetVector(&tombstone_marks) ||
       tombstone_rows.size() != tombstone_marks.size()) {
     return Status::Corruption("truncated manifest tombstones");
+  }
+
+  // Optional index-version extension (manifest v2). Pre-split manifests end
+  // here: their segments carried inline indexes, which DeserializeData
+  // restores directly from the v1 segment file.
+  std::vector<std::vector<std::pair<uint32_t, uint64_t>>> index_entries(
+      segment_ids.size());
+  if (reader.Remaining() > 0) {
+    uint64_t next_index_version = 0;
+    if (!reader.GetU64(&next_index_version)) {
+      return Status::Corruption("truncated manifest index extension");
+    }
+    next_index_version_.store(std::max<uint64_t>(next_index_version, 1));
+    for (auto& entries : index_entries) {
+      uint64_t count;
+      if (!reader.GetU64(&count)) {
+        return Status::Corruption("truncated manifest index extension");
+      }
+      for (uint64_t e = 0; e < count; ++e) {
+        uint32_t field;
+        uint64_t version;
+        if (!reader.GetU32(&field) || !reader.GetU64(&version)) {
+          return Status::Corruption("truncated manifest index extension");
+        }
+        entries.emplace_back(field, version);
+      }
+    }
+  }
+
+  std::vector<storage::SegmentPtr> segments;
+  for (size_t i = 0; i < segment_ids.size(); ++i) {
+    auto loaded = LoadSegment(segment_ids[i], index_entries[i]);
+    if (!loaded.ok()) return loaded.status();
+    segments.push_back(std::move(loaded).value());
   }
   snapshot_manager_.Commit([&](storage::Snapshot* snap) {
     snap->segments = segments;
@@ -367,38 +409,62 @@ Status Collection::RecoverFromStorage() {
   });
 }
 
+void Collection::WireSegmentTiers(const storage::SegmentPtr& segment) const {
+  // Loaders capture the pool and store shared_ptrs by value: a SegmentPtr
+  // that outlives this Collection (held by a drained snapshot or a test)
+  // can still page its tiers in.
+  const SegmentId id = segment->id();
+  std::shared_ptr<storage::BufferPool> pool = buffer_pool_;
+  storage::SegmentStorePtr store = segment_store_;
+  segment->SetDataLoader([pool, store, id]() {
+    return pool->FetchData(id, [store, id]() { return store->ReadData(id); });
+  });
+  segment->SetIndexLoader([pool, store, id](size_t field, uint64_t version) {
+    return pool->FetchIndex(
+        id, field, [store, id, field, version]() -> Result<storage::IndexHandle> {
+          auto loaded = store->ReadIndex(id, field, version);
+          if (!loaded.ok() && loaded.status().IsCorruption()) {
+            // Quarantine the damaged artifact so the next out-of-band build
+            // can publish a fresh version; the data file is untouched and
+            // readers keep serving through the flat fallback meanwhile.
+            store->QuarantineIndex(id, field, version).IgnoreError();
+          }
+          return loaded;
+        });
+  });
+}
+
 Status Collection::PersistSegment(const storage::SegmentPtr& segment) {
-  std::string blob;
-  VDB_RETURN_NOT_OK(segment->Serialize(&blob));
-  const std::string path = SegmentPath(segment->id());
-  VDB_RETURN_NOT_OK(
-      options_.fs->Write(path, EncodeEnvelope(kSegmentEnvMagic, blob)));
-  // Verify-after-write: a torn or bit-flipped segment write surfaces as a
-  // flush error now instead of silent corruption at query time.
-  std::string verify;
-  VDB_RETURN_NOT_OK(options_.fs->Read(path, &verify));
-  std::string body;
-  if (!DecodeEnvelope(kSegmentEnvMagic, verify, &body).ok() ||
-      Crc32(body) != Crc32(blob)) {
-    return Status::Corruption("segment verify-after-write failed: " + path);
+  // Data artifact only — indexes are separate versioned files written by
+  // the out-of-band BuildIndexes pass (verify-after-write inside the store).
+  VDB_RETURN_NOT_OK(segment_store_->WriteData(*segment));
+  WireSegmentTiers(segment);
+  auto data = segment->AcquireData();
+  if (data.ok()) {
+    buffer_pool_->InsertData(segment->id(), data.value());
+    // Now that the artifact is durable and pool-resident, the pinned copy
+    // can drop to a weak reference: cold segments page back in on demand.
+    segment->MakeDataEvictable();
   }
   return Status::OK();
 }
 
-Result<storage::SegmentPtr> Collection::LoadSegment(SegmentId id) const {
-  return buffer_pool_.Fetch(id, [&]() -> Result<storage::SegmentPtr> {
-    std::string blob;
-    VDB_RETURN_NOT_OK(options_.fs->Read(SegmentPath(id), &blob));
-    // CRC-framed since the fault-injection work; bare blobs are legacy.
-    BinaryReader probe(blob);
-    uint32_t magic;
-    if (probe.GetU32(&magic) && magic == kSegmentEnvMagic) {
-      std::string body;
-      VDB_RETURN_NOT_OK(DecodeEnvelope(kSegmentEnvMagic, blob, &body));
-      return storage::Segment::Deserialize(body);
-    }
-    return storage::Segment::Deserialize(blob);
-  });
+Result<storage::SegmentPtr> Collection::LoadSegment(
+    SegmentId id,
+    const std::vector<std::pair<uint32_t, uint64_t>>& index_entries) const {
+  auto loaded = segment_store_->ReadSegment(id);
+  if (!loaded.ok()) return loaded.status();
+  storage::SegmentPtr segment = std::move(loaded).value();
+  for (const auto& [field, version] : index_entries) {
+    segment->RestoreIndexVersion(field, version);
+  }
+  WireSegmentTiers(segment);
+  auto data = segment->AcquireData();
+  if (data.ok()) {
+    buffer_pool_->InsertData(id, data.value());
+    segment->MakeDataEvictable();
+  }
+  return segment;
 }
 
 Status Collection::ValidateEntity(const Entity& entity) const {
@@ -515,20 +581,10 @@ Status Collection::FlushLocked() {
     segment = std::move(flushed).value();
   }
   if (segment != nullptr) {
-    // Index large segments immediately; small ones stay flat (Sec 2.3).
-    if (segment->num_rows() >= options_.index_build_threshold_rows) {
-      for (size_t f = 0; f < schema_.vector_fields.size(); ++f) {
-        auto created = index::CreateIndex(
-            schema_.default_index, schema_.vector_fields[f].dim,
-            schema_.metric, schema_.index_params);
-        if (!created.ok()) return created.status();
-        index::IndexPtr idx = std::move(created).value();
-        VDB_RETURN_NOT_OK(
-            idx->Build(segment->vectors(f), segment->num_rows()));
-        segment->SetIndex(f, std::move(idx));
-      }
-    }
-
+    // No inline index build: flush writes the data artifact only. Large
+    // segments get their indexes from the out-of-band BuildIndexes pass
+    // (Sec 2.3 builds asynchronously anyway); until then they serve
+    // correct results through the flat scan path.
     VDB_RETURN_NOT_OK(PersistSegment(segment));
     // Only now is it safe to drop the buffered rows: on a failed persist
     // they stay in the MemTable, still covered by the WAL. Dropping them
@@ -584,6 +640,11 @@ Status Collection::RunMergeOnce(size_t* merges_done) {
     storage::SegmentBuilder builder(merged_id, schema_.ToSegmentSchema());
     std::vector<RowId> applied_tombstones;
     for (const auto& source : sources) {
+      // Hold the data handle for the whole copy loop — the source may be
+      // cold (evicted) and this is its pin.
+      auto source_data = source->AcquireData();
+      if (!source_data.ok()) return source_data.status();
+      const storage::SegmentDataPtr& payload = source_data.value();
       for (size_t pos = 0; pos < source->num_rows(); ++pos) {
         const RowId row_id = source->row_id_at(pos);
         if (snapshot->IsDeleted(row_id, source->id())) {
@@ -593,7 +654,7 @@ Status Collection::RunMergeOnce(size_t* merges_done) {
         }
         std::vector<const float*> fields;
         for (size_t f = 0; f < schema_.vector_fields.size(); ++f) {
-          fields.push_back(source->vector(f, pos));
+          fields.push_back(payload->vector(f, pos));
         }
         std::vector<double> attrs;
         for (size_t a = 0; a < schema_.attributes.size(); ++a) {
@@ -605,18 +666,8 @@ Status Collection::RunMergeOnce(size_t* merges_done) {
     auto built = builder.Finish();
     if (!built.ok()) return built.status();
     storage::SegmentPtr merged = std::move(built).value();
-
-    if (merged->num_rows() >= options_.index_build_threshold_rows) {
-      for (size_t f = 0; f < schema_.vector_fields.size(); ++f) {
-        auto created = index::CreateIndex(
-            schema_.default_index, schema_.vector_fields[f].dim,
-            schema_.metric, schema_.index_params);
-        if (!created.ok()) return created.status();
-        index::IndexPtr idx = std::move(created).value();
-        VDB_RETURN_NOT_OK(idx->Build(merged->vectors(f), merged->num_rows()));
-        merged->SetIndex(f, std::move(idx));
-      }
-    }
+    // Merged segments start index-less too; the next out-of-band build
+    // picks them up. Merge no longer pays the index-build latency inline.
     VDB_RETURN_NOT_OK(PersistSegment(merged));
 
     std::unordered_set<RowId> applied_set(applied_tombstones.begin(),
@@ -674,44 +725,72 @@ Status Collection::RunMergeOnce(size_t* merges_done) {
 }
 
 Status Collection::BuildIndexes(size_t* built) {
-  MutexLock lock(&write_mu_);
   if (built != nullptr) *built = 0;
-  const storage::SnapshotPtr snapshot = snapshot_manager_.Acquire();
-  for (const auto& segment : snapshot->segments) {
-    if (segment->num_rows() < options_.index_build_threshold_rows) continue;
-    bool missing = false;
-    for (size_t f = 0; f < schema_.vector_fields.size(); ++f) {
-      if (!segment->HasIndex(f)) missing = true;
-    }
-    if (!missing) continue;
 
-    // Copy-on-write: a new version of the segment gets the index (Sec 5.2 —
-    // a new segment version whenever data or index changes).
-    std::string blob;
-    VDB_RETURN_NOT_OK(segment->Serialize(&blob));
-    auto copied = storage::Segment::Deserialize(blob);
-    if (!copied.ok()) return copied.status();
-    storage::SegmentPtr indexed = std::move(copied).value();
-    for (size_t f = 0; f < schema_.vector_fields.size(); ++f) {
-      if (indexed->HasIndex(f)) continue;
-      auto created = index::CreateIndex(schema_.default_index,
-                                        schema_.vector_fields[f].dim,
-                                        schema_.metric, schema_.index_params);
-      if (!created.ok()) return created.status();
-      index::IndexPtr idx = std::move(created).value();
-      VDB_RETURN_NOT_OK(
-          idx->Build(indexed->vectors(f), indexed->num_rows()));
-      indexed->SetIndex(f, std::move(idx));
-    }
-    VDB_RETURN_NOT_OK(PersistSegment(indexed));
-    buffer_pool_.Invalidate(indexed->id());
-    snapshot_manager_.Commit([&](storage::Snapshot* snap) {
-      for (auto& s : snap->segments) {
-        if (s->id() == indexed->id()) s = indexed;
+  // Phase 1 — build, without the write lock. Readers and writers proceed
+  // normally: we only read pinned snapshot data and write brand-new .idx
+  // artifacts nobody references yet. The data file is never rewritten.
+  struct PendingIndex {
+    storage::SegmentPtr segment;
+    size_t field = 0;
+    uint64_t version = 0;
+    storage::IndexHandle index;
+  };
+  std::vector<PendingIndex> pending;
+  {
+    const storage::SnapshotPtr snapshot = snapshot_manager_.Acquire();
+    for (const auto& segment : snapshot->segments) {
+      if (segment->num_rows() < options_.index_build_threshold_rows) continue;
+      for (size_t f = 0; f < schema_.vector_fields.size(); ++f) {
+        if (segment->HasIndex(f)) continue;
+        auto data = segment->AcquireData();
+        if (!data.ok()) return data.status();
+        auto created = index::CreateIndex(
+            schema_.default_index, schema_.vector_fields[f].dim,
+            schema_.metric, schema_.index_params);
+        if (!created.ok()) return created.status();
+        index::IndexPtr idx = std::move(created).value();
+        VDB_RETURN_NOT_OK(
+            idx->Build(data.value()->vectors(f), segment->num_rows()));
+        PendingIndex p;
+        p.segment = segment;
+        p.field = f;
+        p.version = next_index_version_.fetch_add(1);
+        p.index = storage::IndexHandle(std::move(idx));
+        // Durable (and verified) before publish: a crash from here to the
+        // manifest flip leaves an orphan artifact recovery never reads.
+        VDB_RETURN_NOT_OK(segment_store_->WriteIndex(
+            segment->id(), p.field, p.version, *p.index));
+        pending.push_back(std::move(p));
       }
-    });
-    if (built != nullptr) ++(*built);
+    }
   }
+  if (pending.empty()) return Status::OK();
+
+  // Phase 2 — publish, under the write lock: stamp the new versions into
+  // the live segments and commit them through one manifest write. Segments
+  // merged away while we were building get their orphan artifacts deleted.
+  MutexLock lock(&write_mu_);
+  const storage::SnapshotPtr current = snapshot_manager_.Acquire();
+  size_t published = 0;
+  for (PendingIndex& p : pending) {
+    bool still_live = false;
+    for (const auto& segment : current->segments) {
+      if (segment.get() == p.segment.get()) still_live = true;
+    }
+    if (!still_live) {
+      segment_store_->DeleteIndex(p.segment->id(), p.field, p.version)
+          .IgnoreError();
+      continue;
+    }
+    p.segment->PublishIndex(p.field, p.version, p.index);
+    buffer_pool_->InsertIndex(p.segment->id(), p.field, p.index);
+    ++published;
+  }
+  if (published > 0) {
+    VDB_RETURN_NOT_OK(PersistManifest());
+  }
+  if (built != nullptr) *built = published;
   return Status::OK();
 }
 
@@ -832,10 +911,16 @@ Result<HitList> Collection::MultiVectorSearch(
   dims.reserve(mu);
   for (size_t f = 0; f < mu; ++f) dims.push_back(schema_.vector_fields[f].dim);
 
-  // Random-access exact aggregated score of one entity.
+  // Random-access exact aggregated score of one entity. A tier-load
+  // failure aborts the whole query via round_status.
   auto exact_score = [&](RowId row_id, float* out) -> bool {
-    return exec::SegmentExecutor::ScoreEntity(views, query, weights, dims,
-                                              schema_.metric, row_id, out);
+    auto scored = exec::SegmentExecutor::ScoreEntity(
+        views, query, weights, dims, schema_.metric, row_id, out);
+    if (!scored.ok()) {
+      round_status = scored.status();
+      return false;
+    }
+    return scored.value();
   };
 
   // Iterative merging (Algorithm 2) across segments: per-field top-k' with
@@ -881,7 +966,9 @@ Result<HitList> Collection::MultiVectorSearch(
     for (RowId id : candidates) {
       float score;
       if (exact_score(id, &score)) heap.Push(id, score);
+      if (!round_status.ok()) break;
     }
+    if (!round_status.ok()) break;
     best = heap.TakeSorted();
 
     const bool determined =
@@ -913,9 +1000,11 @@ Result<Entity> Collection::Get(RowId row_id) const {
   }
   Entity entity;
   entity.id = row_id;
+  auto data = segment->AcquireData();
+  if (!data.ok()) return data.status();
   for (size_t f = 0; f < schema_.vector_fields.size(); ++f) {
     const size_t dim = schema_.vector_fields[f].dim;
-    const float* vec = segment->vector(f, pos);
+    const float* vec = data.value()->vector(f, pos);
     entity.vectors.emplace_back(vec, vec + dim);
   }
   for (size_t a = 0; a < schema_.attributes.size(); ++a) {

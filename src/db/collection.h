@@ -15,6 +15,7 @@
 #include "storage/buffer_pool.h"
 #include "storage/filesystem.h"
 #include "storage/memtable.h"
+#include "storage/segment_store.h"
 #include "storage/merge_policy.h"
 #include "storage/snapshot.h"
 #include "storage/wal.h"
@@ -95,8 +96,12 @@ class Collection {
   /// rows from merged segments. Reports how many merges ran.
   Status RunMergeOnce(size_t* merges_done = nullptr);
 
-  /// Build the default index for every index-less segment above the build
-  /// threshold. Reports how many indexes were built.
+  /// Out-of-band index build (decoupled-storage design): for every
+  /// index-less segment above the build threshold, build the default index
+  /// and write it as a separate versioned artifact, then publish the new
+  /// versions through one atomic manifest commit. The data file is never
+  /// rewritten, and readers are never blocked — the build phase runs
+  /// without the write lock. Reports how many indexes were published.
   Status BuildIndexes(size_t* built = nullptr);
 
   /// Drop unreferenced segment files (Sec 5.2's background GC step).
@@ -142,7 +147,8 @@ class Collection {
   size_t NumLiveRows() const;
   size_t NumSegments() const;
   storage::SnapshotManager& snapshots() { return snapshot_manager_; }
-  const storage::BufferPool& buffer_pool() const { return buffer_pool_; }
+  const storage::BufferPool& buffer_pool() const { return *buffer_pool_; }
+  storage::BufferPool& mutable_buffer_pool() { return *buffer_pool_; }
   uint64_t next_row_id() const;
 
   /// Reserve `count` consecutive row ids (auto-id allocation).
@@ -161,14 +167,22 @@ class Collection {
   void FinishQuery(const exec::QueryContext& ctx, const Status& status,
                    const char* op) const;
 
-  std::string SegmentPath(SegmentId id) const;
+  std::string SegmentsPrefix() const;
   std::string ManifestPath() const;
   std::string ManifestPathFor(uint64_t seq) const;
   std::string CurrentPath() const;
   std::string WalPath() const;
 
+  /// Install the demand-paging loaders on a segment: data through the
+  /// buffer pool + segment store, indexes at their published versions.
+  void WireSegmentTiers(const storage::SegmentPtr& segment) const;
+
+  /// Write the data artifact, wire the tiers, seed the pool, and make the
+  /// fresh segment's data evictable.
   Status PersistSegment(const storage::SegmentPtr& segment);
-  Result<storage::SegmentPtr> LoadSegment(SegmentId id) const;
+  Result<storage::SegmentPtr> LoadSegment(
+      SegmentId id,
+      const std::vector<std::pair<uint32_t, uint64_t>>& index_entries) const;
   Status PersistManifest();
   Status RecoverFromStorage();
   /// Locate and CRC-verify the newest committed manifest: CURRENT pointer
@@ -185,7 +199,10 @@ class Collection {
   std::unique_ptr<storage::WriteAheadLog> wal_;
   std::unique_ptr<storage::MemTable> memtable_;
   storage::SnapshotManager snapshot_manager_;
-  mutable storage::BufferPool buffer_pool_;
+  /// Shared (not direct members) so segment tier loaders can capture them
+  /// by value and stay valid for the life of any outstanding SegmentPtr.
+  std::shared_ptr<storage::BufferPool> buffer_pool_;
+  storage::SegmentStorePtr segment_store_;
   /// Workers for the per-segment query fan-out; nullptr = sequential.
   std::unique_ptr<ThreadPool> query_pool_;
 
@@ -211,6 +228,9 @@ class Collection {
   std::atomic<uint64_t> next_segment_id_{1};
   std::atomic<uint64_t> next_row_id_{0};
   std::atomic<uint64_t> next_manifest_seq_{1};
+  /// Monotonic stamp for index artifacts; every published index file gets
+  /// a fresh version so rebuilds never overwrite a file a reader may hold.
+  std::atomic<uint64_t> next_index_version_{1};
 };
 
 }  // namespace db

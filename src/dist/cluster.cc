@@ -153,6 +153,15 @@ Status Cluster::RunMaintenance(const std::string& collection) {
   return Publish(collection);
 }
 
+Status Cluster::BuildIndexes(const std::string& collection, size_t* built) {
+  if (built != nullptr) *built = 0;
+  if (writer_ == nullptr) return Status::Unavailable("writer down");
+  db::Collection* c = writer_->collection(collection);
+  if (c == nullptr) return Status::NotFound(collection);
+  VDB_RETURN_NOT_OK(c->BuildIndexes(built));
+  return Publish(collection);
+}
+
 Result<std::vector<HitList>> Cluster::Search(const std::string& collection,
                                              const std::string& field,
                                              const float* queries, size_t nq,

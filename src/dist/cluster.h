@@ -72,6 +72,10 @@ class Cluster {
   /// Writer-side LSM maintenance (merge, index build, GC) + publish.
   Status RunMaintenance(const std::string& collection);
 
+  /// Writer-side out-of-band index build + publish, without the rest of the
+  /// maintenance cycle. `built` reports how many indexes were published.
+  Status BuildIndexes(const std::string& collection, size_t* built = nullptr);
+
   // ----- reads (scatter/gather across readers) -----
 
   Result<std::vector<HitList>> Search(const std::string& collection,

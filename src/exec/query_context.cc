@@ -32,6 +32,8 @@ void QueryStats::MergeFrom(const QueryStats& other) {
   rows_filtered += other.rows_filtered;
   view_cache_hits += other.view_cache_hits;
   view_cache_misses += other.view_cache_misses;
+  data_tier_loads += other.data_tier_loads;
+  index_tier_loads += other.index_tier_loads;
   plan_seconds += other.plan_seconds;
   search_seconds += other.search_seconds;
   merge_seconds += other.merge_seconds;

@@ -50,6 +50,8 @@ struct QueryStats {
   uint64_t rows_filtered = 0;      ///< Rows suppressed by tombstone bitsets.
   uint64_t view_cache_hits = 0;    ///< SegmentViews reused from the snapshot.
   uint64_t view_cache_misses = 0;  ///< SegmentViews built by this query.
+  uint64_t data_tier_loads = 0;    ///< Cold data tiers demand-paged.
+  uint64_t index_tier_loads = 0;   ///< Cold index tiers demand-paged.
   // Per-stage wall-clock timings (seconds).
   double plan_seconds = 0.0;    ///< Snapshot pin + view resolution.
   double search_seconds = 0.0;  ///< Per-segment fan-out.

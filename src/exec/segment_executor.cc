@@ -44,6 +44,10 @@ HitList ToRowIds(const storage::Segment& segment, const HitList& offsets) {
 /// pools would oversubscribe and break determinism).
 Status FlatScan(const SegmentView& view, const VectorSearchPlan& plan,
                 SegmentPartial* out) {
+  bool loaded_now = false;
+  auto data = view.AcquireData(&loaded_now);
+  if (!data.ok()) return data.status();
+  if (loaded_now) ++out->stats.data_tier_loads;
   engine::BatchSearchSpec spec;
   spec.metric = plan.metric;
   spec.dim = plan.dim;
@@ -51,7 +55,9 @@ Status FlatScan(const SegmentView& view, const VectorSearchPlan& plan,
   spec.filter = view.allow();
   engine::CacheAwareBatchSearcher searcher(nullptr);
   std::vector<HitList> results;
-  VDB_RETURN_NOT_OK(searcher.Search(view.segment().vectors(plan.field),
+  // The handle pins the payload for the scan; eviction only drops the
+  // pool's reference.
+  VDB_RETURN_NOT_OK(searcher.Search(data.value()->vectors(plan.field),
                                     view.segment().num_rows(), plan.queries,
                                     plan.nq, spec, &results));
   ++out->stats.segments_flat;
@@ -77,7 +83,18 @@ Status SearchOneSegment(const SegmentView& view, const VectorSearchPlan& plan,
   ++out->stats.segments_scanned;
   out->stats.rows_filtered += view.tombstoned_rows();
 
-  if (const index::VectorIndex* idx = view.index(plan.field)) {
+  bool index_loaded = false;
+  auto acquired = view.AcquireIndex(plan.field, &index_loaded);
+  if (!acquired.ok()) {
+    // Published index exists but could not be paged in (transient storage
+    // error, or corruption — now quarantined). Rescue with the flat path.
+    ++out->stats.index_fallbacks;
+    if (ctx->TakeIndexFallbackLogToken()) {
+      VDB_WARN << "index tier load failed on segment " << segment.id() << ": "
+               << acquired.status().ToString() << "; falling back to flat scan";
+    }
+  } else if (const storage::IndexHandle idx = acquired.value()) {
+    if (index_loaded) ++out->stats.index_tier_loads;
     index::SearchOptions idx_options;
     idx_options.k = plan.k;
     idx_options.nprobe = ctx->options().nprobe;
@@ -104,9 +121,14 @@ Status SearchOneSegment(const SegmentView& view, const VectorSearchPlan& plan,
 
 /// Strategy A on one segment view: attribute index → exact distance on
 /// every qualifying live row. Also the rescue path when B/C lose their
-/// vector index mid-flight.
-void StrategyAScan(const SegmentView& view, const FilteredSearchPlan& plan,
-                   size_t k, ResultHeap* heap) {
+/// vector index mid-flight. Pages the data tier in (B/C proper run
+/// index-only and never touch it).
+Status StrategyAScan(const SegmentView& view, const FilteredSearchPlan& plan,
+                     SegmentPartial* out, ResultHeap* heap) {
+  bool loaded_now = false;
+  auto data = view.AcquireData(&loaded_now);
+  if (!data.ok()) return data.status();
+  if (loaded_now) ++out->stats.data_tier_loads;
   const storage::Segment& segment = view.segment();
   const auto& column = segment.attribute(plan.attribute);
   std::vector<RowId> candidates;
@@ -116,9 +138,10 @@ void StrategyAScan(const SegmentView& view, const FilteredSearchPlan& plan,
     if (!pos || !view.IsLive(*pos)) continue;
     heap->Push(row_id,
                simd::ComputeFloatScore(plan.metric, plan.query,
-                                       segment.vector(plan.field, *pos),
+                                       data.value()->vector(plan.field, *pos),
                                        plan.dim));
   }
+  return Status::OK();
 }
 
 /// Execute one segment of a filtered search with the cost-model strategy
@@ -149,7 +172,26 @@ Status FilterOneSegment(const SegmentView& view, const FilteredSearchPlan& plan,
   inputs.pass_fraction =
       static_cast<double>(passing) / static_cast<double>(segment.num_rows());
   inputs.theta = options.theta;
-  const index::VectorIndex* idx = view.index(plan.field);
+  storage::IndexHandle index_handle;
+  bool index_loaded = false;
+  {
+    auto acquired = view.AcquireIndex(plan.field, &index_loaded);
+    if (acquired.ok()) {
+      index_handle = acquired.value();
+      if (index_handle != nullptr && index_loaded) {
+        ++out->stats.index_tier_loads;
+      }
+    } else {
+      // Unloadable published index: degrade to the exact strategy A.
+      ++out->stats.index_fallbacks;
+      if (ctx->TakeIndexFallbackLogToken()) {
+        VDB_WARN << "index tier load failed on segment " << segment.id()
+                 << ": " << acquired.status().ToString()
+                 << "; falling back to exact filter scan";
+      }
+    }
+  }
+  const index::VectorIndex* idx = index_handle.get();
   if (const auto* ivf = dynamic_cast<const index::IvfIndex*>(idx)) {
     inputs.nlist = ivf->nlist();
     inputs.nprobe = options.nprobe;
@@ -159,18 +201,18 @@ Status FilterOneSegment(const SegmentView& view, const FilteredSearchPlan& plan,
                                        : query::ChooseStrategy(inputs);
 
   ResultHeap heap = ResultHeap::ForMetric(options.k, plan.metric);
-  auto rescue = [&](const Status& status) {
+  auto rescue = [&](const Status& status) -> Status {
     ++out->stats.index_fallbacks;
     if (ctx->TakeIndexFallbackLogToken()) {
       VDB_WARN << "index search failed on segment " << segment.id() << ": "
                << status.ToString() << "; falling back to exact filter scan";
     }
-    StrategyAScan(view, plan, options.k, &heap);
+    return StrategyAScan(view, plan, out, &heap);
   };
 
   switch (strategy) {
     case query::FilterStrategy::kA: {
-      StrategyAScan(view, plan, options.k, &heap);
+      VDB_RETURN_NOT_OK(StrategyAScan(view, plan, out, &heap));
       break;
     }
     case query::FilterStrategy::kC: {
@@ -185,7 +227,7 @@ Status FilterOneSegment(const SegmentView& view, const FilteredSearchPlan& plan,
       std::vector<HitList> results;
       const Status status = idx->Search(plan.query, 1, idx_options, &results);
       if (!status.ok()) {
-        rescue(status);
+        VDB_RETURN_NOT_OK(rescue(status));
         break;
       }
       ++out->stats.segments_indexed;
@@ -216,7 +258,7 @@ Status FilterOneSegment(const SegmentView& view, const FilteredSearchPlan& plan,
       std::vector<HitList> results;
       const Status status = idx->Search(plan.query, 1, idx_options, &results);
       if (!status.ok()) {
-        rescue(status);
+        VDB_RETURN_NOT_OK(rescue(status));
         break;
       }
       ++out->stats.segments_indexed;
@@ -350,21 +392,22 @@ Result<HitList> SegmentExecutor::SearchFiltered(
   return out;
 }
 
-bool SegmentExecutor::ScoreEntity(const std::vector<SegmentViewPtr>& views,
-                                  const std::vector<const float*>& queries,
-                                  const std::vector<float>& weights,
-                                  const std::vector<size_t>& dims,
-                                  MetricType metric, RowId row_id,
-                                  float* out) {
+Result<bool> SegmentExecutor::ScoreEntity(
+    const std::vector<SegmentViewPtr>& views,
+    const std::vector<const float*>& queries,
+    const std::vector<float>& weights, const std::vector<size_t>& dims,
+    MetricType metric, RowId row_id, float* out) {
   for (const SegmentViewPtr& view : views) {
     const auto pos = view->segment().PositionOf(row_id);
     if (!pos || !view->IsLive(*pos)) continue;
+    auto data = view->AcquireData();
+    if (!data.ok()) return data.status();
     float total = 0.0f;
     for (size_t f = 0; f < queries.size(); ++f) {
       const float weight = weights.empty() ? 1.0f : weights[f];
       total += weight * simd::ComputeFloatScore(
                             metric, queries[f],
-                            view->segment().vector(f, *pos), dims[f]);
+                            data.value()->vector(f, *pos), dims[f]);
     }
     *out = total;
     return true;

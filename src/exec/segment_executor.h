@@ -66,12 +66,13 @@ class SegmentExecutor {
 
   /// Exact weighted-sum aggregate score of one entity across resolved
   /// views (the random-access leg of multi-vector iterative merging).
-  /// False when the row is absent or tombstoned. Empty weights = all 1.
-  static bool ScoreEntity(const std::vector<SegmentViewPtr>& views,
-                          const std::vector<const float*>& queries,
-                          const std::vector<float>& weights,
-                          const std::vector<size_t>& dims, MetricType metric,
-                          RowId row_id, float* out);
+  /// False when the row is absent or tombstoned; an error when the owning
+  /// segment's data tier could not be paged in. Empty weights = all 1.
+  static Result<bool> ScoreEntity(const std::vector<SegmentViewPtr>& views,
+                                  const std::vector<const float*>& queries,
+                                  const std::vector<float>& weights,
+                                  const std::vector<size_t>& dims,
+                                  MetricType metric, RowId row_id, float* out);
 
  private:
   ThreadPool* pool_;

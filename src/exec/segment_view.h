@@ -38,11 +38,21 @@ class SegmentView {
   /// Rows of this segment suppressed by tombstones under this snapshot.
   size_t tombstoned_rows() const { return tombstoned_rows_; }
 
-  /// The vector index serving `field` in this segment, or nullptr (flat
-  /// scan). Stable for the snapshot's lifetime: index builds publish a new
-  /// segment version into a new snapshot.
-  const index::VectorIndex* index(size_t field) const {
-    return segment_->GetIndex(field);
+  /// Acquire the segment's vector payload for the duration of one scan,
+  /// demand-paging it on a cold miss (counted via `loaded_now`). Views hold
+  /// no persistent pin: the returned handle is the pin, scoped to the
+  /// caller.
+  Result<storage::SegmentDataPtr> AcquireData(bool* loaded_now = nullptr) const {
+    return segment_->AcquireData(loaded_now);
+  }
+
+  /// Acquire the vector index serving `field`, demand-paging it on a cold
+  /// miss. Null handle with OK status = no index (flat scan); an error
+  /// means the published index could not be loaded (callers count an
+  /// index_fallback and rescue with the flat path).
+  Result<storage::IndexHandle> AcquireIndex(size_t field,
+                                            bool* loaded_now = nullptr) const {
+    return segment_->AcquireIndex(field, loaded_now);
   }
 
  private:

@@ -63,6 +63,17 @@ StorageMetrics& Storage() {
       R().GetHistogram("vdb_storage_merge_seconds",
                        "Segment merge pass duration in seconds.",
                        HistogramBuckets::Exponential(1e-3, 4.0, 10)),
+      R().GetCounter("vdb_storage_data_tier_loads_total",
+                     "Cold data-tier pages loaded from storage."),
+      R().GetCounter("vdb_storage_index_tier_loads_total",
+                     "Cold index-tier pages loaded from storage."),
+      R().GetGauge("vdb_storage_data_resident_bytes",
+                   "Vector-payload bytes resident across buffer pools."),
+      R().GetGauge("vdb_storage_index_resident_bytes",
+                   "Index bytes resident across buffer pools."),
+      R().GetHistogram("vdb_storage_tier_load_seconds",
+                       "Demand-page latency for either tier in seconds.",
+                       HistogramBuckets::Exponential(1e-4, 4.0, 10)),
   };
   return *m;
 }

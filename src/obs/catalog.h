@@ -41,6 +41,11 @@ struct StorageMetrics {
   Counter* faults_injected;       // deterministic fault-injection firings
   Histogram* flush_seconds;       // memtable -> segment flush duration
   Histogram* merge_seconds;       // merge pass duration
+  Counter* data_tier_loads;       // cold data-tier pages from storage
+  Counter* index_tier_loads;      // cold index-tier pages from storage
+  Gauge* data_resident_bytes;     // pooled vector-payload residency
+  Gauge* index_resident_bytes;    // pooled index residency
+  Histogram* tier_load_seconds;   // demand-page latency (either tier)
 };
 StorageMetrics& Storage();
 

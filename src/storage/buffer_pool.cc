@@ -1,84 +1,214 @@
 #include "storage/buffer_pool.h"
 
+#include <utility>
+
+#include "common/timer.h"
 #include "obs/catalog.h"
 
 namespace vectordb {
 namespace storage {
 
-Result<SegmentPtr> BufferPool::Fetch(SegmentId id, const Loader& loader) {
+namespace {
+size_t DataBytesOf(const SegmentDataPtr& data) { return data->bytes(); }
+size_t IndexBytesOf(const IndexHandle& index) { return index->MemoryBytes(); }
+}  // namespace
+
+Result<SegmentDataPtr> BufferPool::FetchData(SegmentId id,
+                                             const DataLoader& loader) {
+  const Key key{id, 0, Tier::kData};
   {
     MutexLock lock(&mu_);
-    auto it = cache_.find(id);
+    auto it = cache_.find(key);
     if (it != cache_.end()) {
       ++stats_.hits;
       obs::Storage().buffer_pool_hits->Inc();
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-      return it->second.segment;
+      return std::static_pointer_cast<const SegmentData>(it->second.blob);
     }
     ++stats_.misses;
     obs::Storage().buffer_pool_misses->Inc();
   }
 
-  // Load outside the lock; concurrent loads of the same segment are benign
-  // (last one wins in the cache, both callers get valid segments).
+  // Load outside the lock; concurrent loads of the same tier are benign
+  // (first one wins in the cache, both callers get valid blobs).
+  Timer load_timer;
   auto loaded = loader();
   if (!loaded.ok()) return loaded.status();
-  SegmentPtr segment = std::move(loaded).value();
-  if (segment == nullptr) return Status::NotFound("loader returned null");
-  const size_t bytes = segment->MemoryBytes();
+  obs::Storage().data_tier_loads->Inc();
+  obs::Storage().tier_load_seconds->Observe(load_timer.ElapsedSeconds());
+  SegmentDataPtr data = std::move(loaded).value();
+  if (data == nullptr) return Status::NotFound("data loader returned null");
+  const size_t bytes = DataBytesOf(data);
 
   MutexLock lock(&mu_);
-  if (bytes > capacity_bytes_) return segment;  // Too big to cache.
-  auto it = cache_.find(id);
-  if (it != cache_.end()) return it->second.segment;  // Raced; reuse.
-  if (stats_.resident_bytes + bytes > capacity_bytes_) {
-    EvictLruLocked(stats_.resident_bytes + bytes - capacity_bytes_);
+  if (bytes > capacity_bytes_) return data;  // Too big to cache.
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    return std::static_pointer_cast<const SegmentData>(it->second.blob);
   }
-  lru_.push_front(id);
-  cache_[id] = {segment, lru_.begin(), bytes};
-  stats_.resident_bytes += bytes;
-  stats_.resident_segments = cache_.size();
-  // The gauge is process-wide (every pool sums into it), so record deltas.
-  obs::Storage().buffer_pool_resident_bytes->Add(static_cast<double>(bytes));
-  return segment;
+  InsertLocked(key, data, bytes);
+  return data;
 }
 
-void BufferPool::EvictLruLocked(size_t needed) {
-  size_t freed = 0;
-  while (freed < needed && !lru_.empty()) {
-    const SegmentId victim = lru_.back();
-    lru_.pop_back();
-    auto it = cache_.find(victim);
-    freed += it->second.bytes;
-    stats_.resident_bytes -= it->second.bytes;
-    cache_.erase(it);
+Result<IndexHandle> BufferPool::FetchIndex(SegmentId id, size_t field,
+                                           const IndexLoader& loader) {
+  const Key key{id, static_cast<uint32_t>(field), Tier::kIndex};
+  {
+    MutexLock lock(&mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++stats_.hits;
+      obs::Storage().buffer_pool_hits->Inc();
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return std::static_pointer_cast<const index::VectorIndex>(
+          it->second.blob);
+    }
+    ++stats_.misses;
+    obs::Storage().buffer_pool_misses->Inc();
+  }
+
+  Timer load_timer;
+  auto loaded = loader();
+  if (!loaded.ok()) return loaded.status();
+  obs::Storage().index_tier_loads->Inc();
+  obs::Storage().tier_load_seconds->Observe(load_timer.ElapsedSeconds());
+  IndexHandle index = std::move(loaded).value();
+  if (index == nullptr) return Status::NotFound("index loader returned null");
+  const size_t bytes = IndexBytesOf(index);
+
+  MutexLock lock(&mu_);
+  if (bytes > capacity_bytes_) return index;  // Too big to cache.
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    return std::static_pointer_cast<const index::VectorIndex>(it->second.blob);
+  }
+  InsertLocked(key, index, bytes);
+  return index;
+}
+
+void BufferPool::InsertData(SegmentId id, SegmentDataPtr data) {
+  if (data == nullptr) return;
+  const size_t bytes = DataBytesOf(data);
+  MutexLock lock(&mu_);
+  if (bytes > capacity_bytes_) return;
+  const Key key{id, 0, Tier::kData};
+  auto it = cache_.find(key);
+  if (it != cache_.end()) EraseLocked(it, /*count_eviction=*/false);
+  InsertLocked(key, std::move(data), bytes);
+}
+
+void BufferPool::InsertIndex(SegmentId id, size_t field, IndexHandle index) {
+  if (index == nullptr) return;
+  const size_t bytes = IndexBytesOf(index);
+  MutexLock lock(&mu_);
+  if (bytes > capacity_bytes_) return;
+  const Key key{id, static_cast<uint32_t>(field), Tier::kIndex};
+  auto it = cache_.find(key);
+  if (it != cache_.end()) EraseLocked(it, /*count_eviction=*/false);
+  InsertLocked(key, std::move(index), bytes);
+}
+
+void BufferPool::InsertLocked(const Key& key, std::shared_ptr<const void> blob,
+                              size_t bytes) {
+  if (stats_.data_resident_bytes + stats_.index_resident_bytes + bytes >
+      capacity_bytes_) {
+    EvictForLocked(stats_.data_resident_bytes + stats_.index_resident_bytes +
+                   bytes - capacity_bytes_);
+  }
+  lru_.push_front(key);
+  cache_[key] = {std::move(blob), lru_.begin(), bytes};
+  AddResidentLocked(key.tier, static_cast<double>(bytes));
+  stats_.resident_entries = cache_.size();
+}
+
+void BufferPool::EraseLocked(
+    std::unordered_map<Key, Entry, KeyHash>::iterator it,
+    bool count_eviction) {
+  AddResidentLocked(it->first.tier, -static_cast<double>(it->second.bytes));
+  lru_.erase(it->second.lru_it);
+  cache_.erase(it);
+  stats_.resident_entries = cache_.size();
+  if (count_eviction) {
     ++stats_.evictions;
     obs::Storage().buffer_pool_evictions->Inc();
   }
-  stats_.resident_segments = cache_.size();
-  obs::Storage().buffer_pool_resident_bytes->Add(-static_cast<double>(freed));
+}
+
+void BufferPool::EvictForLocked(size_t needed) {
+  size_t freed = 0;
+  // Index entries are rebuildable accelerators — drop them all (LRU order)
+  // before touching any data entry. Pinned segments are skipped in both
+  // passes.
+  for (Tier pass : {Tier::kIndex, Tier::kData}) {
+    auto it = lru_.end();
+    while (freed < needed && it != lru_.begin()) {
+      auto cur = std::prev(it);
+      if (cur->tier == pass && pinned_.count(cur->id) == 0) {
+        auto entry = cache_.find(*cur);
+        freed += entry->second.bytes;
+        EraseLocked(entry, /*count_eviction=*/true);  // `it` stays valid.
+      } else {
+        it = cur;
+      }
+    }
+    if (freed >= needed) return;
+  }
+}
+
+void BufferPool::AddResidentLocked(Tier tier, double delta) {
+  // The gauges are process-wide (every pool sums into them): record deltas.
+  if (tier == Tier::kData) {
+    stats_.data_resident_bytes += static_cast<ptrdiff_t>(delta);
+    obs::Storage().data_resident_bytes->Add(delta);
+  } else {
+    stats_.index_resident_bytes += static_cast<ptrdiff_t>(delta);
+    obs::Storage().index_resident_bytes->Add(delta);
+  }
+  obs::Storage().buffer_pool_resident_bytes->Add(delta);
+}
+
+void BufferPool::Pin(SegmentId id) {
+  MutexLock lock(&mu_);
+  pinned_.insert(id);
+}
+
+void BufferPool::Unpin(SegmentId id) {
+  MutexLock lock(&mu_);
+  pinned_.erase(id);
 }
 
 void BufferPool::Invalidate(SegmentId id) {
   MutexLock lock(&mu_);
-  auto it = cache_.find(id);
-  if (it == cache_.end()) return;
-  stats_.resident_bytes -= it->second.bytes;
-  obs::Storage().buffer_pool_resident_bytes->Add(
-      -static_cast<double>(it->second.bytes));
-  lru_.erase(it->second.lru_it);
-  cache_.erase(it);
-  stats_.resident_segments = cache_.size();
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (it->first.id == id) {
+      auto victim = it++;
+      EraseLocked(victim, /*count_eviction=*/false);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BufferPool::InvalidateIndex(SegmentId id, size_t field) {
+  MutexLock lock(&mu_);
+  auto it = cache_.find(Key{id, static_cast<uint32_t>(field), Tier::kIndex});
+  if (it != cache_.end()) EraseLocked(it, /*count_eviction=*/false);
 }
 
 void BufferPool::Clear() {
   MutexLock lock(&mu_);
+  obs::Storage().data_resident_bytes->Add(
+      -static_cast<double>(stats_.data_resident_bytes));
+  obs::Storage().index_resident_bytes->Add(
+      -static_cast<double>(stats_.index_resident_bytes));
+  obs::Storage().buffer_pool_resident_bytes->Add(-static_cast<double>(
+      stats_.data_resident_bytes + stats_.index_resident_bytes));
   cache_.clear();
   lru_.clear();
-  obs::Storage().buffer_pool_resident_bytes->Add(
-      -static_cast<double>(stats_.resident_bytes));
-  stats_.resident_bytes = 0;
-  stats_.resident_segments = 0;
+  pinned_.clear();
+  stats_.data_resident_bytes = 0;
+  stats_.index_resident_bytes = 0;
+  stats_.resident_entries = 0;
 }
 
 BufferPool::Stats BufferPool::stats() const {

@@ -3,7 +3,9 @@
 
 #include <functional>
 #include <list>
+#include <memory>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/mutex.h"
 #include "storage/segment.h"
@@ -11,51 +13,102 @@
 namespace vectordb {
 namespace storage {
 
-/// LRU buffer manager (Sec 2.4): the caching unit is a whole segment — the
-/// basic searching unit — not a page. Misses invoke the supplied loader
-/// (typically a FileSystem read + Segment::Deserialize), and eviction is by
-/// total resident bytes.
+/// Tiered LRU buffer manager (Sec 2.4, extended per the decoupled-storage
+/// design). The caching unit is one *tier* of one segment:
+///
+///  * a **data entry** (SegmentId) holds the segment's vector payload;
+///  * an **index entry** (SegmentId, field) holds one field's index.
+///
+/// Both tiers share one byte budget and one LRU list. Eviction drops the
+/// pool's strong reference; in-flight queries that already acquired a
+/// handle keep the blob alive until they finish (shared_ptr residency).
+/// Eviction is index-before-data: indexes are rebuildable accelerators and
+/// cheaper to lose than the raw vectors, so under pressure all unpinned
+/// index entries are considered before any data entry. Pinned segments
+/// (Pin/Unpin) are skipped entirely — the "hot segments pinnable" tier.
 class BufferPool {
  public:
-  using Loader = std::function<Result<SegmentPtr>()>;
+  enum class Tier { kData, kIndex };
+
+  using DataLoader = std::function<Result<SegmentDataPtr>()>;
+  using IndexLoader = std::function<Result<IndexHandle>()>;
 
   struct Stats {
     size_t hits = 0;
     size_t misses = 0;
     size_t evictions = 0;
-    size_t resident_bytes = 0;
-    size_t resident_segments = 0;
+    size_t data_resident_bytes = 0;
+    size_t index_resident_bytes = 0;
+    size_t resident_entries = 0;
   };
 
   explicit BufferPool(size_t capacity_bytes)
       : capacity_bytes_(capacity_bytes) {}
   ~BufferPool() { Clear(); }  // Releases this pool's share of the
-                              // process-wide resident-bytes gauge.
+                              // process-wide resident-bytes gauges.
 
-  /// Get the segment, loading it on a miss. A segment larger than the whole
-  /// pool is returned but not cached.
-  Result<SegmentPtr> Fetch(SegmentId id, const Loader& loader);
+  /// Get the segment's data tier, loading on a miss. A blob larger than
+  /// the whole pool is returned but not cached.
+  Result<SegmentDataPtr> FetchData(SegmentId id, const DataLoader& loader);
 
-  /// Drop a cached segment (after merges/GC).
+  /// Get one field's index tier, loading on a miss.
+  Result<IndexHandle> FetchIndex(SegmentId id, size_t field,
+                                 const IndexLoader& loader);
+
+  /// Install a blob that is already in memory (fresh flush, index publish,
+  /// recovery) without counting a miss. Replaces any existing entry.
+  void InsertData(SegmentId id, SegmentDataPtr data);
+  void InsertIndex(SegmentId id, size_t field, IndexHandle index);
+
+  /// Pinned segments are never evicted (either tier) until unpinned.
+  void Pin(SegmentId id);
+  void Unpin(SegmentId id);
+
+  /// Drop all cached tiers of a segment (after merges/GC).
   void Invalidate(SegmentId id);
+  /// Drop one field's cached index (republish at a new version).
+  void InvalidateIndex(SegmentId id, size_t field);
   void Clear();
 
   Stats stats() const;
 
  private:
-  void EvictLruLocked(size_t needed) VDB_REQUIRES(mu_);
+  struct Key {
+    SegmentId id;
+    uint32_t field;  // 0 for data entries.
+    Tier tier;
+    bool operator==(const Key& other) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      return std::hash<uint64_t>()(key.id * 1315423911u + key.field * 2654435761u +
+                                   (key.tier == Tier::kIndex ? 0x9e3779b9u : 0u));
+    }
+  };
+  struct Entry {
+    std::shared_ptr<const void> blob;
+    std::list<Key>::iterator lru_it;
+    size_t bytes;
+  };
+
+  void InsertLocked(const Key& key, std::shared_ptr<const void> blob,
+                    size_t bytes) VDB_REQUIRES(mu_);
+  void EraseLocked(std::unordered_map<Key, Entry, KeyHash>::iterator it,
+                   bool count_eviction) VDB_REQUIRES(mu_);
+  /// Frees >= `needed` bytes if possible: pass 1 evicts unpinned index
+  /// entries (LRU order), pass 2 unpinned data entries.
+  void EvictForLocked(size_t needed) VDB_REQUIRES(mu_);
+  void AddResidentLocked(Tier tier, double delta) VDB_REQUIRES(mu_);
 
   const size_t capacity_bytes_;
   mutable Mutex mu_;
   Stats stats_ VDB_GUARDED_BY(mu_);
-  std::list<SegmentId> lru_ VDB_GUARDED_BY(mu_);  // Most recent at front.
-  struct Entry {
-    SegmentPtr segment;
-    std::list<SegmentId>::iterator lru_it;
-    size_t bytes;
-  };
-  std::unordered_map<SegmentId, Entry> cache_ VDB_GUARDED_BY(mu_);
+  std::list<Key> lru_ VDB_GUARDED_BY(mu_);  // Most recent at front.
+  std::unordered_map<Key, Entry, KeyHash> cache_ VDB_GUARDED_BY(mu_);
+  std::unordered_set<SegmentId> pinned_ VDB_GUARDED_BY(mu_);
 };
+
+using BufferPoolPtr = std::shared_ptr<BufferPool>;
 
 }  // namespace storage
 }  // namespace vectordb

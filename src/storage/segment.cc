@@ -1,10 +1,12 @@
 #include "storage/segment.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/binary_io.h"
 #include "common/crc32.h"
+#include "common/logger.h"
 #include "index/index_factory.h"
 
 namespace vectordb {
@@ -12,7 +14,11 @@ namespace storage {
 
 namespace {
 constexpr uint32_t kSegmentMagic = 0x47455356;  // "VSEG"
-constexpr uint32_t kSegmentVersion = 1;
+// Format v1: spine + vector columns + inline per-field index blobs.
+// Format v2: spine + vector columns only; indexes live in separate
+// versioned artifacts (storage::SegmentStore).
+constexpr uint32_t kSegmentVersionV1 = 1;
+constexpr uint32_t kSegmentVersionV2 = 2;
 }  // namespace
 
 // ---------------------------------------------------------------- column --
@@ -76,34 +82,182 @@ std::optional<size_t> Segment::AttributeIndex(const std::string& name) const {
   return std::nullopt;
 }
 
-void Segment::SetIndex(size_t field, index::IndexPtr idx) {
-  if (indexes_.size() <= field) indexes_.resize(num_vector_fields());
-  indexes_[field] = std::move(idx);
-}
+// ------------------------------------------------------------- data tier --
 
-const index::VectorIndex* Segment::GetIndex(size_t field) const {
-  if (field >= indexes_.size()) return nullptr;
-  return indexes_[field].get();
-}
-
-size_t Segment::MemoryBytes() const {
-  size_t bytes = row_ids_.capacity() * sizeof(RowId);
-  for (const auto& data : vector_data_) {
-    bytes += data.capacity() * sizeof(float);
+Result<SegmentDataPtr> Segment::AcquireData(bool* loaded_now) const {
+  MutexLock lock(&tier_mu_);
+  if (data_pinned_ != nullptr) return data_pinned_;
+  if (SegmentDataPtr alive = data_cached_.lock()) return alive;
+  if (!data_loader_) {
+    return Status::Internal(
+        "segment data paged out and no data loader installed");
   }
+  // Load under tier_mu_ so concurrent cold misses collapse into one IO.
+  // Lock order is strictly tier_mu_ -> buffer pool: the pool never calls
+  // back into the segment under its own lock.
+  auto loaded = data_loader_();
+  if (!loaded.ok()) return loaded.status();
+  data_cached_ = loaded.value();
+  if (loaded_now != nullptr) *loaded_now = true;
+  return loaded;
+}
+
+bool Segment::DataResident() const {
+  MutexLock lock(&tier_mu_);
+  return data_pinned_ != nullptr || !data_cached_.expired();
+}
+
+void Segment::SetDataLoader(DataLoader loader) {
+  MutexLock lock(&tier_mu_);
+  data_loader_ = std::move(loader);
+}
+
+void Segment::MakeDataEvictable() {
+  MutexLock lock(&tier_mu_);
+  if (data_pinned_ == nullptr) return;
+  if (!data_loader_) {
+    VDB_WARN << "segment " << id_
+             << ": MakeDataEvictable without a data loader; keeping pinned";
+    return;
+  }
+  data_cached_ = data_pinned_;
+  data_pinned_.reset();
+}
+
+SegmentDataPtr Segment::ResidentDataOrDie() const {
+  MutexLock lock(&tier_mu_);
+  if (data_pinned_ != nullptr) return data_pinned_;
+  VDB_ERROR << "segment " << id_
+            << ": raw vector accessor on evictable data tier; callers must "
+               "hold an AcquireData() handle";
+  std::abort();
+}
+
+// ------------------------------------------------------------ index tier --
+
+void Segment::EnsureSlotsLocked(size_t field) const {
+  if (slots_.size() <= field) slots_.resize(num_vector_fields());
+}
+
+Result<IndexHandle> Segment::AcquireIndex(size_t field,
+                                          bool* loaded_now) const {
+  MutexLock lock(&tier_mu_);
+  if (field >= num_vector_fields()) return IndexHandle();
+  EnsureSlotsLocked(field);
+  IndexSlot& slot = slots_[field];
+  if (slot.pinned != nullptr) return slot.pinned;
+  if (IndexHandle alive = slot.cached.lock()) return alive;
+  if (slot.version == 0 || !index_loader_) return IndexHandle();
+  auto loaded = index_loader_(field, slot.version);
+  if (!loaded.ok()) {
+    if (loaded.status().IsCorruption()) {
+      // Quarantine: forget the bad artifact so HasIndex() goes false and
+      // the next out-of-band build republishes a fresh version.
+      slot.version = 0;
+      slot.cached.reset();
+      slot.pinned.reset();
+    }
+    return loaded.status();
+  }
+  slot.cached = loaded.value();
+  if (loaded_now != nullptr) *loaded_now = true;
+  return loaded;
+}
+
+void Segment::SetIndex(size_t field, index::IndexPtr idx) {
+  MutexLock lock(&tier_mu_);
+  EnsureSlotsLocked(field);
+  slots_[field].pinned = std::move(idx);
+  slots_[field].cached.reset();
+}
+
+void Segment::PublishIndex(size_t field, uint64_t version, IndexHandle idx) {
+  MutexLock lock(&tier_mu_);
+  EnsureSlotsLocked(field);
+  IndexSlot& slot = slots_[field];
+  slot.version = version;
+  slot.pinned.reset();
+  slot.cached = std::move(idx);
+}
+
+void Segment::RestoreIndexVersion(size_t field, uint64_t version) {
+  MutexLock lock(&tier_mu_);
+  EnsureSlotsLocked(field);
+  slots_[field].version = version;
+}
+
+std::vector<std::pair<uint32_t, uint64_t>> Segment::IndexEntries() const {
+  MutexLock lock(&tier_mu_);
+  std::vector<std::pair<uint32_t, uint64_t>> entries;
+  for (size_t f = 0; f < slots_.size(); ++f) {
+    if (slots_[f].version != 0) {
+      entries.emplace_back(static_cast<uint32_t>(f), slots_[f].version);
+    }
+  }
+  return entries;
+}
+
+bool Segment::HasIndex(size_t field) const {
+  MutexLock lock(&tier_mu_);
+  if (field >= slots_.size()) return false;
+  return slots_[field].pinned != nullptr || slots_[field].version != 0;
+}
+
+uint64_t Segment::IndexVersion(size_t field) const {
+  MutexLock lock(&tier_mu_);
+  if (field >= slots_.size()) return 0;
+  return slots_[field].version;
+}
+
+void Segment::SetIndexLoader(IndexLoader loader) {
+  MutexLock lock(&tier_mu_);
+  index_loader_ = std::move(loader);
+}
+
+// ------------------------------------------------------------- footprint --
+
+size_t Segment::SpineBytes() const {
+  size_t bytes = row_ids_.capacity() * sizeof(RowId);
   for (const auto& column : attributes_) {
     bytes += column.sorted_.capacity() * sizeof(std::pair<double, RowId>) +
              column.by_position_.capacity() * sizeof(double) +
              (column.page_min_.capacity() + column.page_max_.capacity()) *
                  sizeof(double);
   }
-  for (const auto& idx : indexes_) {
-    if (idx != nullptr) bytes += idx->MemoryBytes();
+  return bytes;
+}
+
+size_t Segment::DataBytes() const {
+  MutexLock lock(&tier_mu_);
+  if (data_pinned_ != nullptr) return data_pinned_->bytes();
+  if (SegmentDataPtr alive = data_cached_.lock()) return alive->bytes();
+  return 0;
+}
+
+size_t Segment::IndexBytes() const {
+  MutexLock lock(&tier_mu_);
+  size_t bytes = 0;
+  for (const auto& slot : slots_) {
+    if (slot.pinned != nullptr) {
+      bytes += slot.pinned->MemoryBytes();
+    } else if (IndexHandle alive = slot.cached.lock()) {
+      bytes += alive->MemoryBytes();
+    }
   }
   return bytes;
 }
 
-Status Segment::Serialize(std::string* out) const {
+size_t Segment::MemoryBytes() const {
+  return SpineBytes() + DataBytes() + IndexBytes();
+}
+
+// --------------------------------------------------------- serialization --
+
+Status Segment::SerializeData(std::string* out) const {
+  auto data = AcquireData();
+  if (!data.ok()) return data.status();
+  const SegmentData& payload = *data.value();
+
   std::string body;
   BinaryWriter writer(&body);
   writer.PutU64(id_);
@@ -112,7 +266,9 @@ Status Segment::Serialize(std::string* out) const {
   writer.PutU64(schema_.attribute_names.size());
   for (const auto& name : schema_.attribute_names) writer.PutString(name);
   writer.PutVector(row_ids_);
-  for (const auto& data : vector_data_) writer.PutVector(data);
+  for (size_t f = 0; f < payload.num_fields(); ++f) {
+    writer.PutVector(payload.field(f));
+  }
   for (const auto& column : attributes_) {
     // std::pair is not trivially copyable; split into parallel arrays.
     std::vector<double> values;
@@ -127,34 +283,24 @@ Status Segment::Serialize(std::string* out) const {
     writer.PutVector(ids);
     writer.PutVector(column.by_position_);
   }
-  // Per-field index blobs: (has_index, type, metric, blob).
-  for (size_t f = 0; f < num_vector_fields(); ++f) {
-    const index::VectorIndex* idx = GetIndex(f);
-    writer.PutU32(idx != nullptr ? 1 : 0);
-    if (idx != nullptr) {
-      writer.PutU32(static_cast<uint32_t>(idx->type()));
-      writer.PutU32(static_cast<uint32_t>(idx->metric()));
-      std::string blob;
-      VDB_RETURN_NOT_OK(idx->Serialize(&blob));
-      writer.PutString(blob);
-    }
-  }
 
   BinaryWriter header(out);
   header.PutU32(kSegmentMagic);
-  header.PutU32(kSegmentVersion);
+  header.PutU32(kSegmentVersionV2);
   header.PutU32(Crc32(body));
   out->append(body);
   return Status::OK();
 }
 
-Result<SegmentPtr> Segment::Deserialize(const std::string& in) {
+Result<SegmentPtr> Segment::DeserializeData(const std::string& in,
+                                            bool load_v1_indexes) {
   BinaryReader reader(in);
   uint32_t magic, version, crc;
   if (!reader.GetU32(&magic) || magic != kSegmentMagic) {
     return Status::Corruption("bad segment magic");
   }
-  if (!reader.GetU32(&version) || version != kSegmentVersion) {
+  if (!reader.GetU32(&version) ||
+      (version != kSegmentVersionV1 && version != kSegmentVersionV2)) {
     return Status::Corruption("unsupported segment version");
   }
   if (!reader.GetU32(&crc)) return Status::Corruption("truncated segment");
@@ -183,8 +329,8 @@ Result<SegmentPtr> Segment::Deserialize(const std::string& in) {
   if (!reader.GetVector(&segment->row_ids_)) {
     return Status::Corruption("truncated row ids");
   }
-  segment->vector_data_.resize(num_fields);
-  for (auto& data : segment->vector_data_) {
+  std::vector<std::vector<float>> fields(num_fields);
+  for (auto& data : fields) {
     if (!reader.GetVector(&data)) {
       return Status::Corruption("truncated vector data");
     }
@@ -205,25 +351,37 @@ Result<SegmentPtr> Segment::Deserialize(const std::string& in) {
     }
     column.Build(std::move(sorted), std::move(by_position));
   }
-  for (size_t f = 0; f < num_fields; ++f) {
-    uint32_t has_index;
-    if (!reader.GetU32(&has_index)) {
-      return Status::Corruption("truncated index flag");
+  {
+    MutexLock lock(&segment->tier_mu_);
+    segment->data_pinned_ = std::make_shared<const SegmentData>(
+        schema.vector_dims, std::move(fields));
+  }
+
+  // v1 trailer: inline per-field index blobs (has_index, type, metric,
+  // blob). Attached as pinned indexes — they have no durable artifact of
+  // their own until the next out-of-band build republishes them.
+  if (version == kSegmentVersionV1) {
+    for (size_t f = 0; f < num_fields; ++f) {
+      uint32_t has_index;
+      if (!reader.GetU32(&has_index)) {
+        return Status::Corruption("truncated index flag");
+      }
+      if (has_index == 0) continue;
+      uint32_t type, metric;
+      std::string blob;
+      if (!reader.GetU32(&type) || !reader.GetU32(&metric) ||
+          !reader.GetString(&blob)) {
+        return Status::Corruption("truncated index blob");
+      }
+      if (!load_v1_indexes) continue;
+      auto created = index::CreateIndex(static_cast<index::IndexType>(type),
+                                        schema.vector_dims[f],
+                                        static_cast<MetricType>(metric));
+      if (!created.ok()) return created.status();
+      index::IndexPtr idx = std::move(created).value();
+      VDB_RETURN_NOT_OK(idx->Deserialize(blob));
+      segment->SetIndex(f, std::move(idx));
     }
-    if (has_index == 0) continue;
-    uint32_t type, metric;
-    std::string blob;
-    if (!reader.GetU32(&type) || !reader.GetU32(&metric) ||
-        !reader.GetString(&blob)) {
-      return Status::Corruption("truncated index blob");
-    }
-    auto created = index::CreateIndex(static_cast<index::IndexType>(type),
-                                      schema.vector_dims[f],
-                                      static_cast<MetricType>(metric));
-    if (!created.ok()) return created.status();
-    index::IndexPtr idx = std::move(created).value();
-    VDB_RETURN_NOT_OK(idx->Deserialize(blob));
-    segment->SetIndex(f, std::move(idx));
   }
   return segment;
 }
@@ -269,17 +427,22 @@ Result<SegmentPtr> SegmentBuilder::Finish() {
   segment->row_ids_.reserve(rows_.size());
   for (const Row& row : rows_) segment->row_ids_.push_back(row.row_id);
 
-  segment->vector_data_.resize(schema_.vector_dims.size());
+  std::vector<std::vector<float>> fields(schema_.vector_dims.size());
   size_t field_offset = 0;
   for (size_t f = 0; f < schema_.vector_dims.size(); ++f) {
     const size_t dim = schema_.vector_dims[f];
-    auto& data = segment->vector_data_[f];
+    auto& data = fields[f];
     data.resize(rows_.size() * dim);
     for (size_t i = 0; i < rows_.size(); ++i) {
       std::memcpy(data.data() + i * dim,
                   rows_[i].vectors.data() + field_offset, dim * sizeof(float));
     }
     field_offset += dim;
+  }
+  {
+    MutexLock lock(&segment->tier_mu_);
+    segment->data_pinned_ = std::make_shared<const SegmentData>(
+        schema_.vector_dims, std::move(fields));
   }
 
   segment->attributes_.resize(schema_.attribute_names.size());

@@ -1,12 +1,15 @@
 #ifndef VECTORDB_STORAGE_SEGMENT_H_
 #define VECTORDB_STORAGE_SEGMENT_H_
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "index/index.h"
@@ -23,17 +26,59 @@ struct SegmentSchema {
   bool operator==(const SegmentSchema& other) const = default;
 };
 
+/// The demand-pageable vector payload of a segment: one contiguous buffer
+/// per vector field, ordered by row id. Immutable once built; shared
+/// between the owning Segment, the buffer pool, and in-flight queries via
+/// shared_ptr so eviction never invalidates a running scan.
+class SegmentData {
+ public:
+  SegmentData(std::vector<size_t> dims, std::vector<std::vector<float>> fields)
+      : dims_(std::move(dims)), fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const float* vectors(size_t field) const { return fields_[field].data(); }
+  const float* vector(size_t field, size_t position) const {
+    return fields_[field].data() + position * dims_[field];
+  }
+  const std::vector<float>& field(size_t f) const { return fields_[f]; }
+
+  size_t bytes() const {
+    size_t total = 0;
+    for (const auto& f : fields_) total += f.capacity() * sizeof(float);
+    return total;
+  }
+
+ private:
+  std::vector<size_t> dims_;
+  std::vector<std::vector<float>> fields_;
+};
+
+using SegmentDataPtr = std::shared_ptr<const SegmentData>;
+using IndexHandle = std::shared_ptr<const index::VectorIndex>;
+
 /// Immutable columnar segment (Sec 2.3/2.4) — the basic unit of searching,
-/// scheduling, and buffering:
+/// scheduling, and buffering.
 ///
-///  * Vectors of each field are stored contiguously, ordered by row id, so
-///    a row id resolves to its vector by position (no stored ids per
-///    vector). Multi-vector entities store field v0 of all rows, then v1 —
-///    the {A.v1, B.v1, C.v1, A.v2, ...} layout of Sec 2.4.
-///  * Each attribute is stored as an array of (value, row id) pairs sorted
-///    by value, with per-page min/max skip pointers (Snowflake-style).
-///  * A per-field vector index may be attached ("index and data are stored
-///    in the same segment").
+/// Format v2 decouples the segment into three residency tiers:
+///
+///  * The **spine** (row ids + attribute columns) is always resident: it is
+///    small, and snapshot bookkeeping (PositionOf, tombstones, live-row
+///    counting, attribute filters) runs against it without IO.
+///  * The **data tier** (SegmentData: the vector columns) is demand-paged.
+///    A freshly built segment pins its data; once persisted, the owner may
+///    call MakeDataEvictable() so residency is controlled by the buffer
+///    pool (which holds the strong reference) while the segment keeps only
+///    a weak one. AcquireData() revives or reloads it.
+///  * The **index tier** is a lazy per-field slot {version, handle}. v2
+///    segments never embed index bytes in the data artifact; indexes are
+///    separate versioned files published through the manifest, fetched on
+///    first use via AcquireIndex().
+///
+/// Vectors of each field are stored contiguously, ordered by row id, so a
+/// row id resolves to its vector by position (the {A.v1, B.v1, C.v1, A.v2,
+/// ...} layout of Sec 2.4). Each attribute is stored as an array of
+/// (value, row id) pairs sorted by value, with per-page min/max skip
+/// pointers (Snowflake-style).
 class Segment {
  public:
   /// Sorted-by-value attribute column with skip pointers.
@@ -71,6 +116,13 @@ class Segment {
     std::vector<double> by_position_;
   };
 
+  /// Loads the data tier from durable storage (typically routed through the
+  /// buffer pool so residency is accounted and evictable).
+  using DataLoader = std::function<Result<SegmentDataPtr>()>;
+  /// Loads one field's index artifact at a specific published version.
+  using IndexLoader =
+      std::function<Result<IndexHandle>(size_t field, uint64_t version)>;
+
   Segment(SegmentId id, SegmentSchema schema)
       : id_(id), schema_(std::move(schema)) {}
 
@@ -86,40 +138,131 @@ class Segment {
   /// ids are sorted).
   std::optional<size_t> PositionOf(RowId row_id) const;
 
-  /// Contiguous vector data of one field (num_rows × dim).
+  // ------------------------------------------------------------ data tier --
+
+  /// Returns the vector payload, loading it through the data loader if it
+  /// is not resident. The returned handle pins the data for the caller's
+  /// scope; eviction only drops the pool's reference. Sets `*loaded_now`
+  /// when this call had to page the tier in (stats attribution).
+  Result<SegmentDataPtr> AcquireData(bool* loaded_now = nullptr) const;
+
+  /// True when the data tier is resident (pinned or alive in the pool).
+  bool DataResident() const;
+
+  /// Installs the loader used to demand-page the data tier.
+  void SetDataLoader(DataLoader loader);
+
+  /// Drops the segment's strong data reference, keeping a weak one; after
+  /// this the buffer pool alone decides residency. Requires a data loader.
+  void MakeDataEvictable();
+
+  /// Contiguous vector data of one field (num_rows × dim). These raw
+  /// accessors require *pinned* data (builder-fresh or never made
+  /// evictable) and abort otherwise; pageable callers must AcquireData().
   const float* vectors(size_t field) const {
-    return vector_data_[field].data();
+    return ResidentDataOrDie()->vectors(field);
   }
   const float* vector(size_t field, size_t position) const {
-    return vector_data_[field].data() + position * schema_.vector_dims[field];
+    return ResidentDataOrDie()->vector(field, position);
   }
+
+  // ----------------------------------------------------------- attributes --
 
   size_t num_attributes() const { return attributes_.size(); }
   const AttributeColumn& attribute(size_t idx) const { return attributes_[idx]; }
   /// Index of the named attribute, or nullopt.
   std::optional<size_t> AttributeIndex(const std::string& name) const;
 
-  /// Attach / fetch a per-field vector index.
-  void SetIndex(size_t field, index::IndexPtr idx);
-  const index::VectorIndex* GetIndex(size_t field) const;
-  bool HasIndex(size_t field) const { return GetIndex(field) != nullptr; }
+  // ----------------------------------------------------------- index tier --
 
-  /// Approximate in-memory footprint (buffer-pool accounting unit).
+  /// Returns the field's index: the pinned handle, the pool-resident one,
+  /// or — when a published version exists but is cold — the result of the
+  /// index loader. A null handle with OK status means "no index; use the
+  /// flat path". A Corruption load failure quarantines the slot (version
+  /// reset to 0) so the next BuildIndexes() rebuilds it; transient failures
+  /// leave the slot intact for retry. Sets `*loaded_now` on a cold load.
+  Result<IndexHandle> AcquireIndex(size_t field,
+                                   bool* loaded_now = nullptr) const;
+
+  /// Attach an in-process index with no durable artifact (v1 segments and
+  /// tests). The handle is pinned: it never pages out.
+  void SetIndex(size_t field, index::IndexPtr idx);
+
+  /// Publish a durably written index artifact: records the version for the
+  /// manifest and caches the handle weakly (the buffer pool holds the
+  /// strong reference).
+  void PublishIndex(size_t field, uint64_t version, IndexHandle idx);
+
+  /// Recovery path: record a manifest-published version without loading.
+  void RestoreIndexVersion(size_t field, uint64_t version);
+
+  /// (field, version) pairs for every durably published index — what the
+  /// manifest records.
+  std::vector<std::pair<uint32_t, uint64_t>> IndexEntries() const;
+
+  /// True when the field has a usable index (pinned, or published at a
+  /// nonzero version — possibly cold).
+  bool HasIndex(size_t field) const;
+  /// Published version of the field's index artifact (0 = none).
+  uint64_t IndexVersion(size_t field) const;
+
+  /// Installs the loader used to demand-page published index artifacts.
+  void SetIndexLoader(IndexLoader loader);
+
+  // ------------------------------------------------------------ footprint --
+
+  /// Always-resident spine: row ids + attribute columns.
+  size_t SpineBytes() const;
+  /// Currently resident vector payload bytes (0 when paged out).
+  size_t DataBytes() const;
+  /// Currently resident index bytes across fields (0 when paged out).
+  size_t IndexBytes() const;
+  /// Total resident footprint = spine + data + index.
   size_t MemoryBytes() const;
 
-  Status Serialize(std::string* out) const;
-  static Result<std::shared_ptr<Segment>> Deserialize(const std::string& in);
+  // -------------------------------------------------------- serialization --
+
+  /// Serialize the data artifact (format v2): spine + vector columns, no
+  /// index bytes. All persistence must route through storage::SegmentStore
+  /// (enforced by the `segment-serialize` lint rule outside src/storage/).
+  Status SerializeData(std::string* out) const;
+
+  /// Parse a data artifact. Accepts format v2 and — for compatibility —
+  /// format v1, whose trailing inline index blobs are attached as pinned
+  /// indexes unless `load_v1_indexes` is false (the data-only reload path).
+  /// The returned segment has its data tier pinned.
+  static Result<std::shared_ptr<Segment>> DeserializeData(
+      const std::string& in, bool load_v1_indexes = true);
 
  private:
   friend class SegmentBuilder;
 
+  struct IndexSlot {
+    uint64_t version = 0;
+    IndexHandle pinned;
+    std::weak_ptr<const index::VectorIndex> cached;
+  };
+
+  /// Raw-accessor guard: returns pinned data or aborts loudly — evictable
+  /// segments must be read through AcquireData().
+  SegmentDataPtr ResidentDataOrDie() const;
+
+  void EnsureSlotsLocked(size_t field) const VDB_REQUIRES(tier_mu_);
+
   SegmentId id_;
   SegmentSchema schema_;
   std::vector<RowId> row_ids_;
-  /// One contiguous buffer per vector field.
-  std::vector<std::vector<float>> vector_data_;
   std::vector<AttributeColumn> attributes_;
-  std::vector<index::IndexPtr> indexes_;
+
+  /// Guards the residency state of both pageable tiers. Loaders run under
+  /// this lock (exactly-once per cold miss); they may take the buffer
+  /// pool's lock, so the order is strictly tier_mu_ -> pool.
+  mutable Mutex tier_mu_;
+  mutable SegmentDataPtr data_pinned_ VDB_GUARDED_BY(tier_mu_);
+  mutable std::weak_ptr<const SegmentData> data_cached_ VDB_GUARDED_BY(tier_mu_);
+  DataLoader data_loader_ VDB_GUARDED_BY(tier_mu_);
+  IndexLoader index_loader_ VDB_GUARDED_BY(tier_mu_);
+  mutable std::vector<IndexSlot> slots_ VDB_GUARDED_BY(tier_mu_);
 };
 
 using SegmentPtr = std::shared_ptr<Segment>;
@@ -136,7 +279,8 @@ class SegmentBuilder {
 
   size_t num_rows() const { return rows_.size(); }
 
-  /// Sort, columnarize, and build attribute skip pointers.
+  /// Sort, columnarize, and build attribute skip pointers. The returned
+  /// segment has its data tier pinned.
   Result<SegmentPtr> Finish();
 
  private:

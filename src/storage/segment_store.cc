@@ -1,0 +1,192 @@
+#include "storage/segment_store.h"
+
+#include <utility>
+
+#include "common/binary_io.h"
+#include "common/crc32.h"
+#include "index/index_factory.h"
+
+namespace vectordb {
+namespace storage {
+
+namespace {
+constexpr uint32_t kIndexMagic = 0x58444956;  // "VIDX"
+constexpr uint32_t kIndexFormatVersion = 1;
+}  // namespace
+
+std::string EncodeEnvelope(uint32_t magic, const std::string& body) {
+  std::string out;
+  BinaryWriter writer(&out);
+  writer.PutU32(magic);
+  writer.PutU32(Crc32(body));
+  out.append(body);
+  return out;
+}
+
+Status DecodeEnvelope(uint32_t magic, const std::string& frame,
+                      std::string* body) {
+  BinaryReader reader(frame);
+  uint32_t got_magic, crc;
+  if (!reader.GetU32(&got_magic) || got_magic != magic) {
+    return Status::Corruption("bad envelope magic");
+  }
+  if (!reader.GetU32(&crc)) return Status::Corruption("truncated envelope");
+  const size_t offset = reader.position();
+  if (Crc32(frame.data() + offset, frame.size() - offset) != crc) {
+    return Status::Corruption("envelope checksum mismatch");
+  }
+  body->assign(frame, offset, frame.size() - offset);
+  return Status::OK();
+}
+
+std::string SegmentStore::DataPath(SegmentId id) const {
+  return prefix_ + std::to_string(id) + ".seg";
+}
+
+std::string SegmentStore::IndexPath(SegmentId id, size_t field,
+                                    uint64_t version) const {
+  return prefix_ + std::to_string(id) + ".f" + std::to_string(field) + ".v" +
+         std::to_string(version) + ".idx";
+}
+
+Status SegmentStore::WriteData(const Segment& segment) {
+  std::string blob;
+  VDB_RETURN_NOT_OK(segment.SerializeData(&blob));
+  const std::string frame = EncodeEnvelope(kSegmentEnvMagic, blob);
+  const std::string path = DataPath(segment.id());
+  VDB_RETURN_NOT_OK(fs_->Write(path, frame));
+  // Verify-after-write: a store that acked a torn write must fail here,
+  // before the manifest ever references the artifact.
+  std::string readback;
+  VDB_RETURN_NOT_OK(fs_->Read(path, &readback));
+  std::string body;
+  VDB_RETURN_NOT_OK(DecodeEnvelope(kSegmentEnvMagic, readback, &body));
+  if (body != blob) {
+    return Status::Corruption("segment data verify-after-write mismatch");
+  }
+  return Status::OK();
+}
+
+Result<SegmentPtr> SegmentStore::ReadSegment(SegmentId id) const {
+  std::string frame;
+  VDB_RETURN_NOT_OK(fs_->Read(DataPath(id), &frame));
+  BinaryReader probe(frame);
+  uint32_t magic = 0;
+  std::string body;
+  if (probe.GetU32(&magic) && magic == kSegmentEnvMagic) {
+    VDB_RETURN_NOT_OK(DecodeEnvelope(kSegmentEnvMagic, frame, &body));
+    return Segment::DeserializeData(body);
+  }
+  // Legacy bare blob (pre-envelope v1 files).
+  return Segment::DeserializeData(frame);
+}
+
+Result<SegmentDataPtr> SegmentStore::ReadData(SegmentId id) const {
+  std::string frame;
+  VDB_RETURN_NOT_OK(fs_->Read(DataPath(id), &frame));
+  BinaryReader probe(frame);
+  uint32_t magic = 0;
+  std::string body;
+  if (probe.GetU32(&magic) && magic == kSegmentEnvMagic) {
+    VDB_RETURN_NOT_OK(DecodeEnvelope(kSegmentEnvMagic, frame, &body));
+  } else {
+    body = frame;  // Legacy bare blob.
+  }
+  auto parsed = Segment::DeserializeData(body, /*load_v1_indexes=*/false);
+  if (!parsed.ok()) return parsed.status();
+  return parsed.value()->AcquireData();
+}
+
+Status SegmentStore::WriteIndex(SegmentId id, size_t field, uint64_t version,
+                                const index::VectorIndex& index) {
+  std::string blob;
+  VDB_RETURN_NOT_OK(index.Serialize(&blob));
+  std::string body;
+  BinaryWriter writer(&body);
+  writer.PutU32(kIndexMagic);
+  writer.PutU32(kIndexFormatVersion);
+  writer.PutU64(id);
+  writer.PutU32(static_cast<uint32_t>(field));
+  writer.PutU64(version);
+  writer.PutU32(static_cast<uint32_t>(index.type()));
+  writer.PutU32(static_cast<uint32_t>(index.metric()));
+  writer.PutU64(index.dim());
+  writer.PutString(blob);
+
+  const std::string frame = EncodeEnvelope(kIndexEnvMagic, body);
+  const std::string path = IndexPath(id, field, version);
+  VDB_RETURN_NOT_OK(fs_->Write(path, frame));
+  std::string readback;
+  VDB_RETURN_NOT_OK(fs_->Read(path, &readback));
+  std::string verified;
+  VDB_RETURN_NOT_OK(DecodeEnvelope(kIndexEnvMagic, readback, &verified));
+  if (verified != body) {
+    return Status::Corruption("index verify-after-write mismatch");
+  }
+  return Status::OK();
+}
+
+Result<IndexHandle> SegmentStore::ReadIndex(SegmentId id, size_t field,
+                                            uint64_t version) const {
+  std::string frame;
+  VDB_RETURN_NOT_OK(fs_->Read(IndexPath(id, field, version), &frame));
+  std::string body;
+  VDB_RETURN_NOT_OK(DecodeEnvelope(kIndexEnvMagic, frame, &body));
+
+  BinaryReader reader(body);
+  uint32_t magic, format, got_field, type, metric;
+  uint64_t got_id, got_version, dim;
+  std::string blob;
+  if (!reader.GetU32(&magic) || magic != kIndexMagic) {
+    return Status::Corruption("bad index artifact magic");
+  }
+  if (!reader.GetU32(&format) || format != kIndexFormatVersion) {
+    return Status::Corruption("unsupported index artifact format");
+  }
+  if (!reader.GetU64(&got_id) || !reader.GetU32(&got_field) ||
+      !reader.GetU64(&got_version) || !reader.GetU32(&type) ||
+      !reader.GetU32(&metric) || !reader.GetU64(&dim) ||
+      !reader.GetString(&blob)) {
+    return Status::Corruption("truncated index artifact");
+  }
+  if (got_id != id || got_field != field || got_version != version) {
+    return Status::Corruption("index artifact stamp mismatch");
+  }
+  auto created = index::CreateIndex(static_cast<index::IndexType>(type), dim,
+                                    static_cast<MetricType>(metric));
+  if (!created.ok()) return created.status();
+  index::IndexPtr idx = std::move(created).value();
+  VDB_RETURN_NOT_OK(idx->Deserialize(blob));
+  return IndexHandle(std::move(idx));
+}
+
+Status SegmentStore::DeleteIndex(SegmentId id, size_t field,
+                                 uint64_t version) {
+  return fs_->Delete(IndexPath(id, field, version));
+}
+
+Status SegmentStore::QuarantineIndex(SegmentId id, size_t field,
+                                     uint64_t version) {
+  const std::string path = IndexPath(id, field, version);
+  std::string bytes;
+  Status read = fs_->Read(path, &bytes);
+  if (read.ok()) {
+    fs_->Write(path + ".quarantined", bytes).IgnoreError();
+  }
+  return fs_->Delete(path);
+}
+
+Status SegmentStore::DeleteSegmentArtifacts(SegmentId id) {
+  // The trailing '.' keeps the prefix exact: "1." never matches "10.seg".
+  auto listed = fs_->List(prefix_ + std::to_string(id) + ".");
+  if (!listed.ok()) return listed.status();
+  Status result = Status::OK();
+  for (const std::string& path : listed.value()) {
+    Status st = fs_->Delete(path);
+    if (!st.ok() && result.ok()) result = st;
+  }
+  return result;
+}
+
+}  // namespace storage
+}  // namespace vectordb

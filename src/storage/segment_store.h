@@ -1,0 +1,91 @@
+#ifndef VECTORDB_STORAGE_SEGMENT_STORE_H_
+#define VECTORDB_STORAGE_SEGMENT_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/filesystem.h"
+#include "storage/segment.h"
+
+namespace vectordb {
+namespace storage {
+
+// CRC envelope magics shared by every durable artifact. The envelope is
+// (magic, crc32(body), body); DecodeEnvelope verifies both before handing
+// the body back, so a torn or bit-flipped artifact fails loudly as
+// Corruption instead of parsing garbage.
+constexpr uint32_t kManifestEnvMagic = 0x32464D56;  // "VMF2"
+constexpr uint32_t kSegmentEnvMagic = 0x32474553;   // "SEG2"
+constexpr uint32_t kIndexEnvMagic = 0x32584449;     // "IDX2"
+
+std::string EncodeEnvelope(uint32_t magic, const std::string& body);
+Status DecodeEnvelope(uint32_t magic, const std::string& frame,
+                      std::string* body);
+
+/// Persistence gateway for the two segment artifacts of format v2:
+///
+///  * the **data file** `<prefix><id>.seg` — spine + vector columns, the
+///    output of Segment::SerializeData, immutable once written;
+///  * per-field **index files** `<prefix><id>.f<field>.v<version>.idx` —
+///    independently (re)buildable, versioned artifacts published through
+///    the manifest's atomic CURRENT commit.
+///
+/// All writes are verify-after-write: the artifact is read back and its
+/// envelope decoded before the call returns, so a store that acked a torn
+/// write is caught before the manifest ever references the artifact.
+/// Everything outside src/storage/ must persist segments through this
+/// class (enforced by the `segment-serialize` lint rule).
+class SegmentStore {
+ public:
+  SegmentStore(FileSystemPtr fs, std::string prefix)
+      : fs_(std::move(fs)), prefix_(std::move(prefix)) {}
+
+  const std::string& prefix() const { return prefix_; }
+
+  std::string DataPath(SegmentId id) const;
+  std::string IndexPath(SegmentId id, size_t field, uint64_t version) const;
+
+  /// Serialize + envelope + write + verify the data artifact.
+  Status WriteData(const Segment& segment);
+
+  /// Read the data artifact into a full Segment (spine + pinned data).
+  /// Accepts v2 envelopes, and legacy bare v1 blobs written before the
+  /// envelope existed.
+  Result<SegmentPtr> ReadSegment(SegmentId id) const;
+
+  /// Read only the vector payload — the demand-paging path. The spine is
+  /// parsed and discarded (IO dominates; the live segment already holds
+  /// its spine).
+  Result<SegmentDataPtr> ReadData(SegmentId id) const;
+
+  /// Serialize + envelope + write + verify one index artifact.
+  Status WriteIndex(SegmentId id, size_t field, uint64_t version,
+                    const index::VectorIndex& index);
+
+  /// Load and validate one index artifact; the stamped (segment, field,
+  /// version) triple must match the path-derived one.
+  Result<IndexHandle> ReadIndex(SegmentId id, size_t field,
+                                uint64_t version) const;
+
+  Status DeleteIndex(SegmentId id, size_t field, uint64_t version);
+
+  /// Move a corrupt index artifact aside (best effort) so rebuilds don't
+  /// collide with it and postmortems can inspect the bytes.
+  Status QuarantineIndex(SegmentId id, size_t field, uint64_t version);
+
+  /// Delete the data file and every index/quarantine artifact of `id`.
+  Status DeleteSegmentArtifacts(SegmentId id);
+
+ private:
+  FileSystemPtr fs_;
+  std::string prefix_;
+};
+
+using SegmentStorePtr = std::shared_ptr<SegmentStore>;
+
+}  // namespace storage
+}  // namespace vectordb
+
+#endif  // VECTORDB_STORAGE_SEGMENT_STORE_H_

@@ -1,109 +1,200 @@
 #include <gtest/gtest.h>
 
+#include "index/index_factory.h"
 #include "storage/buffer_pool.h"
 
 namespace vectordb {
 namespace storage {
 namespace {
 
-SegmentPtr MakeSegment(SegmentId id, size_t rows) {
-  SegmentSchema schema;
-  schema.vector_dims = {16};
-  SegmentBuilder builder(id, schema);
-  std::vector<float> v(16, 1.0f);
-  for (size_t i = 0; i < rows; ++i) {
-    EXPECT_TRUE(builder.AddRow(static_cast<RowId>(i), {v.data()}, {}).ok());
-  }
-  return builder.Finish().value();
+SegmentDataPtr MakeData(size_t rows) {
+  std::vector<std::vector<float>> fields(1);
+  fields[0].assign(rows * 16, 1.0f);
+  return std::make_shared<const SegmentData>(std::vector<size_t>{16},
+                                             std::move(fields));
 }
 
-TEST(BufferPoolTest, MissLoadsThenHits) {
+IndexHandle MakeIndex(size_t rows) {
+  std::vector<float> vectors(rows * 16, 1.0f);
+  auto idx = index::CreateIndex(index::IndexType::kFlat, 16, MetricType::kL2);
+  EXPECT_TRUE(idx.ok());
+  EXPECT_TRUE(idx.value()->Build(vectors.data(), rows).ok());
+  return IndexHandle(std::move(idx).value());
+}
+
+TEST(BufferPoolTest, DataMissLoadsThenHits) {
   BufferPool pool(1 << 20);
   size_t loads = 0;
-  auto loader = [&]() -> Result<SegmentPtr> {
+  auto loader = [&]() -> Result<SegmentDataPtr> {
     ++loads;
-    return MakeSegment(1, 10);
+    return MakeData(10);
   };
-  auto first = pool.Fetch(1, loader);
+  auto first = pool.FetchData(1, loader);
   ASSERT_TRUE(first.ok());
-  auto second = pool.Fetch(1, loader);
+  auto second = pool.FetchData(1, loader);
   ASSERT_TRUE(second.ok());
   EXPECT_EQ(loads, 1u);  // Second fetch served from cache.
   EXPECT_EQ(first.value().get(), second.value().get());
   const auto stats = pool.stats();
   EXPECT_EQ(stats.hits, 1u);
   EXPECT_EQ(stats.misses, 1u);
+  EXPECT_GT(stats.data_resident_bytes, 0u);
+  EXPECT_EQ(stats.index_resident_bytes, 0u);
+}
+
+TEST(BufferPoolTest, DataAndIndexAreSeparateEntries) {
+  BufferPool pool(1 << 20);
+  size_t data_loads = 0, index_loads = 0;
+  auto data_loader = [&]() -> Result<SegmentDataPtr> {
+    ++data_loads;
+    return MakeData(32);
+  };
+  auto index_loader = [&]() -> Result<IndexHandle> {
+    ++index_loads;
+    return MakeIndex(32);
+  };
+  ASSERT_TRUE(pool.FetchData(1, data_loader).ok());
+  ASSERT_TRUE(pool.FetchIndex(1, 0, index_loader).ok());
+  EXPECT_EQ(data_loads, 1u);
+  EXPECT_EQ(index_loads, 1u);
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.resident_entries, 2u);
+  EXPECT_GT(stats.data_resident_bytes, 0u);
+  EXPECT_GT(stats.index_resident_bytes, 0u);
+  // Dropping only the index leaves the data entry intact.
+  pool.InvalidateIndex(1, 0);
+  EXPECT_EQ(pool.stats().resident_entries, 1u);
+  EXPECT_EQ(pool.stats().index_resident_bytes, 0u);
+  EXPECT_GT(pool.stats().data_resident_bytes, 0u);
 }
 
 TEST(BufferPoolTest, EvictsLeastRecentlyUsed) {
-  // Pool sized for ~2 of the 3 segments.
-  const size_t seg_bytes = MakeSegment(0, 100)->MemoryBytes();
-  BufferPool pool(2 * seg_bytes + seg_bytes / 2);
-  auto loader_for = [&](SegmentId id) {
-    return [id]() -> Result<SegmentPtr> { return MakeSegment(id, 100); };
-  };
-  ASSERT_TRUE(pool.Fetch(1, loader_for(1)).ok());
-  ASSERT_TRUE(pool.Fetch(2, loader_for(2)).ok());
-  ASSERT_TRUE(pool.Fetch(1, loader_for(1)).ok());  // Touch 1: 2 becomes LRU.
-  ASSERT_TRUE(pool.Fetch(3, loader_for(3)).ok());  // Evicts 2.
-  const auto stats = pool.stats();
-  EXPECT_EQ(stats.evictions, 1u);
+  // Pool sized for ~2 of the 3 data blobs.
+  const size_t blob_bytes = MakeData(100)->bytes();
+  BufferPool pool(2 * blob_bytes + blob_bytes / 2);
+  auto loader = []() -> Result<SegmentDataPtr> { return MakeData(100); };
+  ASSERT_TRUE(pool.FetchData(1, loader).ok());
+  ASSERT_TRUE(pool.FetchData(2, loader).ok());
+  ASSERT_TRUE(pool.FetchData(1, loader).ok());  // Touch 1: 2 becomes LRU.
+  ASSERT_TRUE(pool.FetchData(3, loader).ok());  // Evicts 2.
+  EXPECT_EQ(pool.stats().evictions, 1u);
   // Segment 1 still cached, 2 needs a reload.
   size_t loads = 0;
-  auto counting = [&]() -> Result<SegmentPtr> {
+  auto counting = [&]() -> Result<SegmentDataPtr> {
     ++loads;
-    return MakeSegment(1, 100);
+    return MakeData(100);
   };
-  ASSERT_TRUE(pool.Fetch(1, counting).ok());
+  ASSERT_TRUE(pool.FetchData(1, counting).ok());
   EXPECT_EQ(loads, 0u);
-  auto counting2 = [&]() -> Result<SegmentPtr> {
-    ++loads;
-    return MakeSegment(2, 100);
-  };
-  ASSERT_TRUE(pool.Fetch(2, counting2).ok());
+  ASSERT_TRUE(pool.FetchData(2, counting).ok());
   EXPECT_EQ(loads, 1u);
 }
 
-TEST(BufferPoolTest, OversizedSegmentServedButNotCached) {
+TEST(BufferPoolTest, EvictionPrefersIndexEntriesOverData) {
+  const size_t blob_bytes = MakeData(100)->bytes();
+  const size_t index_bytes = MakeIndex(100)->MemoryBytes();
+  // Room for one data blob plus one index, with a little slack.
+  BufferPool pool(blob_bytes + index_bytes + blob_bytes / 4);
+  auto data_loader = []() -> Result<SegmentDataPtr> { return MakeData(100); };
+  auto index_loader = []() -> Result<IndexHandle> { return MakeIndex(100); };
+  // Index is older than data in LRU order, but also index-tier: either way
+  // it must go first. Make the *data* the LRU entry to prove the tier rule
+  // wins over recency.
+  ASSERT_TRUE(pool.FetchData(1, data_loader).ok());
+  ASSERT_TRUE(pool.FetchIndex(1, 0, index_loader).ok());
+  // Data of segment 1 is now least-recently-used. Inserting segment 2's
+  // data must evict the (more recent) index entry, not segment 1's data.
+  ASSERT_TRUE(pool.FetchData(2, data_loader).ok());
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.index_resident_bytes, 0u);
+  size_t loads = 0;
+  auto counting = [&]() -> Result<SegmentDataPtr> {
+    ++loads;
+    return MakeData(100);
+  };
+  ASSERT_TRUE(pool.FetchData(1, counting).ok());
+  EXPECT_EQ(loads, 0u);  // Data survived.
+}
+
+TEST(BufferPoolTest, PinnedSegmentsAreNotEvicted) {
+  const size_t blob_bytes = MakeData(100)->bytes();
+  BufferPool pool(2 * blob_bytes + blob_bytes / 2);
+  auto loader = []() -> Result<SegmentDataPtr> { return MakeData(100); };
+  ASSERT_TRUE(pool.FetchData(1, loader).ok());
+  pool.Pin(1);
+  ASSERT_TRUE(pool.FetchData(2, loader).ok());
+  ASSERT_TRUE(pool.FetchData(3, loader).ok());  // Would evict 1 as LRU.
+  size_t loads = 0;
+  auto counting = [&]() -> Result<SegmentDataPtr> {
+    ++loads;
+    return MakeData(100);
+  };
+  ASSERT_TRUE(pool.FetchData(1, counting).ok());
+  EXPECT_EQ(loads, 0u);  // Pin held it resident.
+  pool.Unpin(1);
+  ASSERT_TRUE(pool.FetchData(4, counting).ok());
+  ASSERT_TRUE(pool.FetchData(5, counting).ok());
+  loads = 0;
+  ASSERT_TRUE(pool.FetchData(1, counting).ok());
+  EXPECT_EQ(loads, 1u);  // Unpinned: evictable again.
+}
+
+TEST(BufferPoolTest, OversizedBlobServedButNotCached) {
   BufferPool pool(16);  // Tiny pool.
-  auto result = pool.Fetch(1, [] { return Result<SegmentPtr>(MakeSegment(1, 100)); });
+  auto result = pool.FetchData(
+      1, []() -> Result<SegmentDataPtr> { return MakeData(100); });
   ASSERT_TRUE(result.ok());
-  EXPECT_EQ(pool.stats().resident_segments, 0u);
+  EXPECT_EQ(pool.stats().resident_entries, 0u);
 }
 
 TEST(BufferPoolTest, LoaderFailurePropagates) {
   BufferPool pool(1 << 20);
-  auto result = pool.Fetch(
-      1, []() -> Result<SegmentPtr> { return Status::IOError("boom"); });
+  auto result = pool.FetchData(
+      1, []() -> Result<SegmentDataPtr> { return Status::IOError("boom"); });
   EXPECT_TRUE(result.status().IsIOError());
-  EXPECT_EQ(pool.stats().resident_segments, 0u);
+  EXPECT_EQ(pool.stats().resident_entries, 0u);
 }
 
-TEST(BufferPoolTest, InvalidateDropsEntry) {
+TEST(BufferPoolTest, InvalidateDropsBothTiers) {
   BufferPool pool(1 << 20);
-  ASSERT_TRUE(
-      pool.Fetch(1, [] { return Result<SegmentPtr>(MakeSegment(1, 10)); }).ok());
-  pool.Invalidate(1);
-  EXPECT_EQ(pool.stats().resident_segments, 0u);
-  size_t loads = 0;
-  ASSERT_TRUE(pool.Fetch(1, [&]() -> Result<SegmentPtr> {
-                    ++loads;
-                    return MakeSegment(1, 10);
+  ASSERT_TRUE(pool
+                  .FetchData(1, []() -> Result<SegmentDataPtr> {
+                    return MakeData(10);
                   })
+                  .ok());
+  ASSERT_TRUE(
+      pool.FetchIndex(1, 0,
+                      []() -> Result<IndexHandle> { return MakeIndex(10); })
+          .ok());
+  pool.Invalidate(1);
+  EXPECT_EQ(pool.stats().resident_entries, 0u);
+  size_t loads = 0;
+  ASSERT_TRUE(pool
+                  .FetchData(1,
+                             [&]() -> Result<SegmentDataPtr> {
+                               ++loads;
+                               return MakeData(10);
+                             })
                   .ok());
   EXPECT_EQ(loads, 1u);
 }
 
 TEST(BufferPoolTest, ClearResetsResidency) {
   BufferPool pool(1 << 20);
+  ASSERT_TRUE(pool
+                  .FetchData(1, []() -> Result<SegmentDataPtr> {
+                    return MakeData(10);
+                  })
+                  .ok());
   ASSERT_TRUE(
-      pool.Fetch(1, [] { return Result<SegmentPtr>(MakeSegment(1, 10)); }).ok());
-  ASSERT_TRUE(
-      pool.Fetch(2, [] { return Result<SegmentPtr>(MakeSegment(2, 10)); }).ok());
+      pool.FetchIndex(2, 0,
+                      []() -> Result<IndexHandle> { return MakeIndex(10); })
+          .ok());
   pool.Clear();
   const auto stats = pool.stats();
-  EXPECT_EQ(stats.resident_segments, 0u);
-  EXPECT_EQ(stats.resident_bytes, 0u);
+  EXPECT_EQ(stats.resident_entries, 0u);
+  EXPECT_EQ(stats.data_resident_bytes, 0u);
+  EXPECT_EQ(stats.index_resident_bytes, 0u);
 }
 
 }  // namespace

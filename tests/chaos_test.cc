@@ -86,6 +86,11 @@ TEST(ChaosTest, AcceptanceScaleRunHoldsInvariants) {
   EXPECT_GT(report.reader_crashes, 0u);
   EXPECT_GT(report.writer_crashes, 0u);
   EXPECT_GT(report.storage_faults_fired, 0u);
+  // Out-of-band index publishes and manifest-scoped faults must both have
+  // run — and survived — under the same churn.
+  EXPECT_GT(report.index_builds_ok, 0u);
+  EXPECT_GT(report.indexes_built, 0u);
+  EXPECT_GT(report.manifest_fault_rules, 0u);
   EXPECT_GT(report.final_rows_checked, 0u);
   EXPECT_GT(report.availability, 0.9);
 }

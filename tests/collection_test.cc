@@ -166,11 +166,19 @@ TEST_F(CollectionTest, SnapshotIsolationAcrossFlushes) {
 }
 
 TEST_F(CollectionTest, IndexBuiltOnlyForLargeSegments) {
-  // 100 rows < threshold 200: flat; 300 rows >= 200: indexed.
+  // Flush never builds indexes inline anymore — the out-of-band pass does,
+  // and only for segments at or above the threshold (200 rows here).
   ASSERT_TRUE(InsertRange(0, 100).ok());
   ASSERT_TRUE(collection_->Flush().ok());
   ASSERT_TRUE(InsertRange(100, 400).ok());
   ASSERT_TRUE(collection_->Flush().ok());
+
+  for (const auto& segment : collection_->snapshots().Acquire()->segments) {
+    EXPECT_FALSE(segment->HasIndex(0));  // Fresh from flush: data only.
+  }
+  size_t built = 0;
+  ASSERT_TRUE(collection_->BuildIndexes(&built).ok());
+  EXPECT_EQ(built, 1u);
 
   const auto snapshot = collection_->snapshots().Acquire();
   ASSERT_EQ(snapshot->segments.size(), 2u);
@@ -179,22 +187,24 @@ TEST_F(CollectionTest, IndexBuiltOnlyForLargeSegments) {
       EXPECT_FALSE(segment->HasIndex(0));
     } else {
       EXPECT_TRUE(segment->HasIndex(0));
+      EXPECT_GT(segment->IndexVersion(0), 0u);
     }
   }
 }
 
-TEST_F(CollectionTest, BuildIndexesUpgradesSmallSegments) {
-  options_.index_build_threshold_rows = 10;  // Not applied retroactively...
+TEST_F(CollectionTest, BuildIndexesIsIdempotentAndThresholded) {
   ASSERT_TRUE(InsertRange(0, 100).ok());
-  ASSERT_TRUE(collection_->Flush().ok());  // 100 < 200: flat at flush time.
+  ASSERT_TRUE(collection_->Flush().ok());  // 100 < 200: stays flat.
   size_t built = 0;
   ASSERT_TRUE(collection_->BuildIndexes(&built).ok());
-  EXPECT_EQ(built, 0u);  // Still below the collection's own threshold (200).
+  EXPECT_EQ(built, 0u);  // Below the collection's threshold (200).
 
   ASSERT_TRUE(InsertRange(100, 400).ok());
   ASSERT_TRUE(collection_->Flush().ok());
   ASSERT_TRUE(collection_->BuildIndexes(&built).ok());
-  EXPECT_EQ(built, 0u);  // Large segment already indexed at flush.
+  EXPECT_EQ(built, 1u);  // The 300-row segment gets its index.
+  ASSERT_TRUE(collection_->BuildIndexes(&built).ok());
+  EXPECT_EQ(built, 0u);  // Already published: nothing to do.
 }
 
 TEST_F(CollectionTest, MergeCompactsSegmentsAndAppliesTombstones) {

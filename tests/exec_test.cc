@@ -106,13 +106,14 @@ class ExecTest : public ::testing::Test {
     for (size_t q = 0; q < nq; ++q) {
       ResultHeap heap = ResultHeap::ForMetric(k, MetricType::kL2);
       for (const auto& segment : snapshot->segments) {
+        auto data = segment->AcquireData();
+        EXPECT_TRUE(data.ok());
         for (size_t pos = 0; pos < segment->num_rows(); ++pos) {
           const RowId row_id = segment->row_id_at(pos);
           if (snapshot->IsDeleted(row_id, segment->id())) continue;
-          heap.Push(row_id,
-                    simd::ComputeFloatScore(MetricType::kL2,
-                                            queries + q * kDim,
-                                            segment->vector(0, pos), kDim));
+          heap.Push(row_id, simd::ComputeFloatScore(
+                                MetricType::kL2, queries + q * kDim,
+                                data.value()->vector(0, pos), kDim));
         }
       }
       out[q] = heap.TakeSorted();
@@ -180,13 +181,16 @@ TEST_F(ExecTest, FilteredSearchMatchesExactReference) {
   options.k = 8;
   ResultHeap heap = ResultHeap::ForMetric(options.k, MetricType::kL2);
   for (const auto& segment : snapshot->segments) {
+    auto data = segment->AcquireData();
+    ASSERT_TRUE(data.ok());
     for (size_t pos = 0; pos < segment->num_rows(); ++pos) {
       const RowId row_id = segment->row_id_at(pos);
       if (snapshot->IsDeleted(row_id, segment->id())) continue;
       const double price = segment->attribute(0).ValueAt(pos);
       if (!range.Contains(price)) continue;
-      heap.Push(row_id, simd::ComputeFloatScore(MetricType::kL2, query,
-                                                segment->vector(0, pos), kDim));
+      heap.Push(row_id,
+                simd::ComputeFloatScore(MetricType::kL2, query,
+                                        data.value()->vector(0, pos), kDim));
     }
   }
   const HitList expected = heap.TakeSorted();
@@ -294,10 +298,12 @@ TEST_F(ExecTest, IndexFailureIsCountedAndRescuedByFlatScan) {
   {
     const storage::SnapshotPtr snapshot = collection_->snapshots().Acquire();
     auto failing = std::make_unique<FailingIndex>(kDim, MetricType::kL2);
-    ASSERT_TRUE(
-        failing->Build(snapshot->segments[1]->vectors(0),
-                       snapshot->segments[1]->num_rows())
-            .ok());
+    auto data = snapshot->segments[1]->AcquireData();
+    ASSERT_TRUE(data.ok());
+    ASSERT_TRUE(failing
+                    ->Build(data.value()->vectors(0),
+                            snapshot->segments[1]->num_rows())
+                    .ok());
     snapshot->segments[1]->SetIndex(0, std::move(failing));
   }
 

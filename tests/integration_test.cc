@@ -55,7 +55,10 @@ TEST_P(MetricIndexMatrixTest, EndToEndSelfRetrieval) {
     ASSERT_TRUE(collection->Insert(entity).ok());
   }
   ASSERT_TRUE(collection->Flush().ok());
-  // The flushed segment is over the build threshold → indexed.
+  // Flush writes data only; the out-of-band build publishes the index.
+  size_t built = 0;
+  ASSERT_TRUE(collection->BuildIndexes(&built).ok());
+  ASSERT_EQ(built, 1u);
   ASSERT_TRUE(collection->snapshots().Acquire()->segments[0]->HasIndex(0));
 
   QueryOptions qopts;

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include "benchsupport/dataset.h"
+#include "common/binary_io.h"
+#include "common/crc32.h"
 #include "common/rng.h"
 #include "index/index_factory.h"
 #include "storage/segment.h"
@@ -126,11 +128,11 @@ TEST(SegmentTest, SkipPointersMatchFullScanOnLargeColumn) {
   }
 }
 
-TEST(SegmentTest, SerializeRoundTripWithoutIndex) {
+TEST(SegmentTest, SerializeRoundTripDataOnly) {
   const auto segment = BuildSegment({2, 4, 6, 8});
   std::string blob;
-  ASSERT_TRUE(segment->Serialize(&blob).ok());
-  auto restored = Segment::Deserialize(blob);
+  ASSERT_TRUE(segment->SerializeData(&blob).ok());
+  auto restored = Segment::DeserializeData(blob);
   ASSERT_TRUE(restored.ok()) << restored.status().ToString();
   const auto& seg = *restored.value();
   EXPECT_EQ(seg.id(), 7u);
@@ -140,7 +142,9 @@ TEST(SegmentTest, SerializeRoundTripWithoutIndex) {
   EXPECT_EQ(seg.attribute(0).ValueAt(3), segment->attribute(0).ValueAt(3));
 }
 
-TEST(SegmentTest, SerializeRoundTripWithIndex) {
+TEST(SegmentTest, DataArtifactCarriesNoIndex) {
+  // The v2 data artifact must stay byte-identical whether or not indexes
+  // exist: index state lives in separate versioned artifacts.
   bench::DatasetSpec spec;
   spec.num_vectors = 300;
   spec.dim = 8;
@@ -153,36 +157,116 @@ TEST(SegmentTest, SerializeRoundTripWithIndex) {
         builder.AddRow(static_cast<RowId>(i), {data.vector(i)}, {}).ok());
   }
   auto segment = builder.Finish().value();
+  std::string before;
+  ASSERT_TRUE(segment->SerializeData(&before).ok());
+
   index::IndexBuildParams params;
   params.nlist = 4;
-  auto idx =
-      index::CreateIndex(index::IndexType::kIvfFlat, 8, MetricType::kL2,
-                         params);
+  auto idx = index::CreateIndex(index::IndexType::kIvfFlat, 8, MetricType::kL2,
+                                params);
   ASSERT_TRUE(idx.ok());
   ASSERT_TRUE(idx.value()->Build(segment->vectors(0), 300).ok());
   segment->SetIndex(0, std::move(idx).value());
+  ASSERT_TRUE(segment->HasIndex(0));
+
+  std::string after;
+  ASSERT_TRUE(segment->SerializeData(&after).ok());
+  EXPECT_EQ(before, after);
+
+  auto restored = Segment::DeserializeData(after);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_FALSE(restored.value()->HasIndex(0));
+}
+
+// Hand-crafted version-1 segment bytes (spine + vectors + inline index
+// trailer) — the format every pre-split deployment wrote. v2 code must load
+// it, including reviving the inline index as a pinned in-memory index.
+TEST(SegmentTest, DeserializeReadsV1FormatWithInlineIndex) {
+  constexpr uint32_t kMagic = 0x47455356;   // "VSEG"
+  constexpr size_t kDim = 8;
+  constexpr size_t kRows = 64;
+  bench::DatasetSpec spec;
+  spec.num_vectors = kRows;
+  spec.dim = kDim;
+  const auto data = bench::MakeSiftLike(spec);
+
+  std::vector<RowId> row_ids(kRows);
+  std::vector<float> vectors(kRows * kDim);
+  for (size_t i = 0; i < kRows; ++i) {
+    row_ids[i] = static_cast<RowId>(i);
+    std::copy(data.vector(i), data.vector(i) + kDim,
+              vectors.begin() + i * kDim);
+  }
+  auto flat = index::CreateIndex(index::IndexType::kFlat, kDim, MetricType::kL2);
+  ASSERT_TRUE(flat.ok());
+  ASSERT_TRUE(flat.value()->Build(vectors.data(), kRows).ok());
+  std::string index_blob;
+  ASSERT_TRUE(flat.value()->Serialize(&index_blob).ok());
+
+  std::string body;
+  BinaryWriter writer(&body);
+  writer.PutU64(21);         // segment id
+  writer.PutU64(1);          // one vector field
+  writer.PutU64(kDim);
+  writer.PutU64(0);          // no attributes
+  writer.PutVector(row_ids);
+  writer.PutVector(vectors);
+  // v1 inline index trailer: has_index, type, metric, blob.
+  writer.PutU32(1);
+  writer.PutU32(static_cast<uint32_t>(index::IndexType::kFlat));
+  writer.PutU32(static_cast<uint32_t>(MetricType::kL2));
+  writer.PutString(index_blob);
 
   std::string blob;
-  ASSERT_TRUE(segment->Serialize(&blob).ok());
-  auto restored = Segment::Deserialize(blob);
-  ASSERT_TRUE(restored.ok());
-  ASSERT_TRUE(restored.value()->HasIndex(0));
-  EXPECT_EQ(restored.value()->GetIndex(0)->Size(), 300u);
-  EXPECT_EQ(restored.value()->GetIndex(0)->type(), index::IndexType::kIvfFlat);
+  BinaryWriter header(&blob);
+  header.PutU32(kMagic);
+  header.PutU32(1);  // version 1
+  header.PutU32(Crc32(body));
+  blob += body;
+
+  auto restored = Segment::DeserializeData(blob);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  const auto& seg = *restored.value();
+  EXPECT_EQ(seg.id(), 21u);
+  ASSERT_EQ(seg.num_rows(), kRows);
+  EXPECT_EQ(seg.vector(0, 5)[3], data.vector(5)[3]);
+  ASSERT_TRUE(seg.HasIndex(0));
+  auto handle = seg.AcquireIndex(0);
+  ASSERT_TRUE(handle.ok());
+  ASSERT_NE(handle.value(), nullptr);
+  EXPECT_EQ(handle.value()->Size(), kRows);
+
+  // Data-plane-only loads (SegmentStore::ReadData) skip the inline index.
+  auto data_only = Segment::DeserializeData(blob, /*load_v1_indexes=*/false);
+  ASSERT_TRUE(data_only.ok());
+  EXPECT_FALSE(data_only.value()->HasIndex(0));
+  EXPECT_EQ(data_only.value()->num_rows(), kRows);
 }
 
 TEST(SegmentTest, DeserializeDetectsBitrot) {
   const auto segment = BuildSegment({1, 2, 3});
   std::string blob;
-  ASSERT_TRUE(segment->Serialize(&blob).ok());
+  ASSERT_TRUE(segment->SerializeData(&blob).ok());
   blob[blob.size() / 2] ^= 0x5A;
-  EXPECT_TRUE(Segment::Deserialize(blob).status().IsCorruption());
+  EXPECT_TRUE(Segment::DeserializeData(blob).status().IsCorruption());
 }
 
-TEST(SegmentTest, MemoryBytesReflectsPayload) {
+TEST(SegmentTest, SplitAccountingSeparatesTiers) {
   const auto small = BuildSegment({1});
   const auto large = BuildSegment({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
   EXPECT_GT(large->MemoryBytes(), small->MemoryBytes());
+  EXPECT_GT(large->DataBytes(), small->DataBytes());
+  EXPECT_GT(large->SpineBytes(), 0u);
+  EXPECT_EQ(large->IndexBytes(), 0u);  // No index attached.
+  EXPECT_EQ(large->MemoryBytes(),
+            large->SpineBytes() + large->DataBytes() + large->IndexBytes());
+
+  auto idx = index::CreateIndex(index::IndexType::kFlat, 4, MetricType::kL2);
+  ASSERT_TRUE(idx.ok());
+  ASSERT_TRUE(idx.value()->Build(large->vectors(0), large->num_rows()).ok());
+  auto mutable_large = large;
+  mutable_large->SetIndex(0, std::move(idx).value());
+  EXPECT_GT(mutable_large->IndexBytes(), 0u);
 }
 
 }  // namespace

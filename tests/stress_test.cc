@@ -158,12 +158,12 @@ TEST(StressTest, CorruptedArtifactsAreRejected) {
                     .ok());
   }
   std::string seg_blob;
-  ASSERT_TRUE(builder.Finish().value()->Serialize(&seg_blob).ok());
+  ASSERT_TRUE(builder.Finish().value()->SerializeData(&seg_blob).ok());
   Rng rng(99);
   for (int trial = 0; trial < 16; ++trial) {
     std::string corrupted = seg_blob;
     corrupted[12 + rng.NextUint64(corrupted.size() - 12)] ^= 0x01;
-    EXPECT_FALSE(storage::Segment::Deserialize(corrupted).ok())
+    EXPECT_FALSE(storage::Segment::DeserializeData(corrupted).ok())
         << "flip undetected at trial " << trial;
   }
 }
@@ -246,11 +246,14 @@ TEST(StressTest, PinnedSnapshotSurvivesManyMerges) {
     ASSERT_TRUE(collection->RunMergeOnce().ok());
     collection->CollectGarbage();
   }
-  // The pinned snapshot's segments must still be fully readable.
+  // The pinned snapshot's segments must still be fully readable — their
+  // data tier may have been evicted, but demand paging brings it back.
   EXPECT_EQ(pinned->TotalRows(), pinned_rows);
   for (const auto& segment : pinned->segments) {
     EXPECT_GT(segment->num_rows(), 0u);
-    EXPECT_EQ(segment->vector(0, 0)[0], segment->vector(0, 0)[0]);  // Alive.
+    auto data = segment->AcquireData();
+    ASSERT_TRUE(data.ok()) << data.status().ToString();
+    EXPECT_EQ(data.value()->vector(0, 0)[0], data.value()->vector(0, 0)[0]);
   }
 }
 

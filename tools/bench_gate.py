@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Benchmark regression gate (kernel + chaos schemas).
+"""Benchmark regression gate (kernel + chaos + storage schemas).
 
 Kernel mode (schema vdb-kernel-bench-v1): compares a fresh kernel-bench run
 (bench/kernel_bench --quick) against the committed baseline
@@ -18,9 +18,18 @@ rows, resurrected deletes, wrong results, or invariant violations fails
 outright — and availability may not drop more than --availability-drop
 below the committed baseline.
 
+Storage mode (schema vdb-storage-bench-v1): demand paging must be exact
+(demand_paging_wrong_results is zero-tolerance), the split format must keep
+paying for itself (a data-tier page must cost at most 95% of the inline-index
+format's bytes/vector), and the recorded byte reduction may not shrink more
+than --reduction-drop below the committed baseline. Timings (qps, cold-start
+latency) are recorded for the trajectory but not gated — they vary across
+machines.
+
 Usage:
   bench_gate.py --baseline BENCH_kernels.json --current fresh.json
   bench_gate.py --baseline BENCH_chaos.json --current fresh_chaos.json
+  bench_gate.py --baseline BENCH_storage.json --current fresh_storage.json
   bench_gate.py --self-test
 """
 
@@ -43,11 +52,18 @@ CHAOS_ZERO_FIELDS = (
     "wrong_results",
 )
 
+STORAGE_SCHEMA = "vdb-storage-bench-v1"
+DEFAULT_REDUCTION_DROP = 0.05
+# A data-tier page in the split format must cost at most this fraction of
+# the v1 inline-index format's bytes/vector, or the decoupling stopped
+# paying for itself.
+STORAGE_MAX_V2_RATIO = 0.95
+
 
 def load_doc(path):
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
-    if doc.get("schema") not in (KERNEL_SCHEMA, CHAOS_SCHEMA):
+    if doc.get("schema") not in (KERNEL_SCHEMA, CHAOS_SCHEMA, STORAGE_SCHEMA):
         raise ValueError(f"{path}: unexpected schema {doc.get('schema')!r}")
     return doc
 
@@ -123,7 +139,61 @@ def run_chaos_gate(baseline_doc, current_doc, max_availability_drop):
     return 0
 
 
-def run_gate(baseline_path, current_path, threshold, availability_drop):
+def storage_compare(baseline_doc, current_doc, max_reduction_drop):
+    """Returns a list of failure strings for a storage-bench pair."""
+    failures = []
+    wrong = current_doc.get("demand_paging_wrong_results")
+    if wrong is None:
+        failures.append(
+            "current run is missing required field "
+            "'demand_paging_wrong_results'"
+        )
+    elif int(wrong) != 0:
+        failures.append(
+            f"demand_paging_wrong_results = {wrong} (must be 0)"
+        )
+    v1 = float(current_doc.get("bytes_per_vector_v1", 0.0))
+    v2 = float(current_doc.get("bytes_per_vector_v2", 0.0))
+    if v1 <= 0.0 or v2 <= 0.0:
+        failures.append(
+            f"bytes_per_vector fields missing or non-positive "
+            f"(v1={v1}, v2={v2})"
+        )
+    elif v2 > v1 * STORAGE_MAX_V2_RATIO:
+        failures.append(
+            f"bytes_per_vector_v2 {v2:.1f} > "
+            f"{STORAGE_MAX_V2_RATIO:.2f} * v1 {v1:.1f}: data-tier pages "
+            f"no longer meaningfully cheaper than the inline-index format"
+        )
+    base = float(baseline_doc.get("v2_bytes_reduction", 0.0))
+    cur = float(current_doc.get("v2_bytes_reduction", 0.0))
+    if cur < base - max_reduction_drop:
+        failures.append(
+            f"v2_bytes_reduction {cur:.3f} < baseline {base:.3f} - "
+            f"{max_reduction_drop:.2f} allowed drop"
+        )
+    return failures
+
+
+def run_storage_gate(baseline_doc, current_doc, max_reduction_drop):
+    failures = storage_compare(baseline_doc, current_doc, max_reduction_drop)
+    if failures:
+        print(
+            f"bench_gate: storage run failed {len(failures)} check(s):",
+            file=sys.stderr,
+        )
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(
+        "bench_gate: OK (demand paging exact, v2_bytes_reduction "
+        f"{float(current_doc['v2_bytes_reduction']):.3f})"
+    )
+    return 0
+
+
+def run_gate(baseline_path, current_path, threshold, availability_drop,
+             reduction_drop=DEFAULT_REDUCTION_DROP):
     baseline_doc = load_doc(baseline_path)
     current_doc = load_doc(current_path)
     if baseline_doc["schema"] != current_doc["schema"]:
@@ -135,6 +205,8 @@ def run_gate(baseline_path, current_path, threshold, availability_drop):
         return 1
     if baseline_doc["schema"] == CHAOS_SCHEMA:
         return run_chaos_gate(baseline_doc, current_doc, availability_drop)
+    if baseline_doc["schema"] == STORAGE_SCHEMA:
+        return run_storage_gate(baseline_doc, current_doc, reduction_drop)
 
     baseline = index_rows(baseline_doc["results"])
     current = index_rows(current_doc["results"])
@@ -228,6 +300,54 @@ def self_test():
     failures = chaos_compare(chaos_doc(), missing, 0.05)
     assert len(failures) == 1 and "wrong_results" in failures[0], failures
 
+    # ----- storage mode -----
+
+    def storage_doc(**overrides):
+        doc = {
+            "schema": STORAGE_SCHEMA,
+            "bytes_per_vector_v1": 520.0,
+            "bytes_per_vector_v2": 264.0,
+            "v2_bytes_reduction": 0.49,
+            "demand_paging_wrong_results": 0,
+        }
+        doc.update(overrides)
+        return doc
+
+    # Clean run vs clean baseline passes, including a small reduction dip.
+    assert not storage_compare(storage_doc(), storage_doc(), 0.05)
+    assert not storage_compare(
+        storage_doc(), storage_doc(v2_bytes_reduction=0.45), 0.05
+    )
+
+    # Any wrong demand-paged result fails outright.
+    failures = storage_compare(
+        storage_doc(), storage_doc(demand_paging_wrong_results=1), 0.05
+    )
+    assert len(failures) == 1 and "demand_paging" in failures[0], failures
+
+    # Dropping the invariant field entirely must not pass silently.
+    missing = storage_doc()
+    del missing["demand_paging_wrong_results"]
+    failures = storage_compare(storage_doc(), missing, 0.05)
+    assert len(failures) == 1 and "demand_paging" in failures[0], failures
+
+    # A v2 page that costs nearly as much as v1 fails the absolute check
+    # even before any baseline comparison.
+    failures = storage_compare(
+        storage_doc(),
+        storage_doc(bytes_per_vector_v2=510.0, v2_bytes_reduction=0.49),
+        0.05,
+    )
+    assert any("no longer meaningfully cheaper" in f for f in failures), (
+        failures
+    )
+
+    # Reduction shrinking past the allowed drop fails and names the field.
+    failures = storage_compare(
+        storage_doc(), storage_doc(v2_bytes_reduction=0.40), 0.05
+    )
+    assert len(failures) == 1 and "v2_bytes_reduction" in failures[0], failures
+
     print("bench_gate: self-test OK")
     return 0
 
@@ -249,6 +369,13 @@ def main():
         help="chaos mode: max absolute availability drop vs baseline "
         "(default 0.05)",
     )
+    parser.add_argument(
+        "--reduction-drop",
+        type=float,
+        default=DEFAULT_REDUCTION_DROP,
+        help="storage mode: max absolute v2_bytes_reduction drop vs "
+        "baseline (default 0.05)",
+    )
     parser.add_argument("--self-test", action="store_true",
                         help="run built-in unit checks and exit")
     args = parser.parse_args()
@@ -258,7 +385,7 @@ def main():
     if not args.baseline or not args.current:
         parser.error("--baseline and --current are required")
     return run_gate(args.baseline, args.current, args.threshold,
-                    args.availability_drop)
+                    args.availability_drop, args.reduction_drop)
 
 
 if __name__ == "__main__":

@@ -32,6 +32,14 @@ Machine-checkable conventions that the compiler cannot (portably) enforce:
                    banned outside src/simd/ — every other layer must go
                    through the dispatched kernels in simd/distances.h so
                    per-ISA code stays behind the per-TU compile flags.
+  segment-serialize
+                   Segment::SerializeData / DeserializeData are the raw
+                   segment codec and are banned outside src/storage/ —
+                   every other layer persists segments through
+                   storage::SegmentStore, which owns the envelope framing
+                   (CRC + magic), artifact naming, and quarantine policy.
+                   Bypassing it writes unframed bytes that recovery cannot
+                   verify.
 
 Usage:
   tools/lint/vdb_lint.py [--root DIR]    lint DIR (default: repo root)
@@ -88,6 +96,8 @@ SIMD_INCLUDE_RE = re.compile(r"#\s*include\s*<\w*intrin\.h>")
 ADHOC_ATOMIC_RE = re.compile(
     r"std::atomic<\s*(?:unsigned|signed|short|int|long|size_t|float|double|"
     r"u?int(?:8|16|32|64|ptr)?_t)\b")
+SEGMENT_SERIALIZE_RE = re.compile(
+    r"\b(?:Segment::)?(?:SerializeData|DeserializeData)\s*\(")
 
 
 def _strip_comments_and_strings(line, in_block_comment):
@@ -196,6 +206,13 @@ def lint_file(root, rel_path, findings):
                 (rel_path, lineno, "adhoc-atomic",
                  "numeric std::atomic outside src/obs/ is an ad-hoc "
                  "counter; use obs::Counter/Gauge from the registry"))
+        if (not rel_path.startswith("src/storage/")
+                and SEGMENT_SERIALIZE_RE.search(line)):
+            findings.append(
+                (rel_path, lineno, "segment-serialize",
+                 "raw Segment::SerializeData/DeserializeData outside "
+                 "src/storage/; persist segments through "
+                 "storage::SegmentStore so framing and quarantine apply"))
 
     if is_header and not saw_guard:
         findings.append((rel_path, 1, "header-guard",
@@ -256,6 +273,8 @@ void f() {
   (void)g();
   int x = rand();
   std::lock_guard<std::mutex> lock(mu);
+  std::string blob;
+  segment.SerializeData(&blob);
 }
 """
 
@@ -299,6 +318,7 @@ def self_test():
         expect(findings, "metric-name", "src/bad.cc")
         expect(findings, "adhoc-atomic", "src/bad.cc")
         expect(findings, "simd-include", "src/bad.cc")
+        expect(findings, "segment-serialize", "src/bad.cc")
         bad_names = [f for f in findings if f[2] == "metric-name"]
         if len(bad_names) != 2:
             failures.append(
@@ -311,6 +331,10 @@ def self_test():
             f.write(CLEAN_HEADER)
         with open(os.path.join(tmp, "src", "simd", "kernels.cc"), "w") as f:
             f.write("#include <immintrin.h>\n")  # allowed inside src/simd/
+        os.makedirs(os.path.join(tmp, "src", "storage"))
+        with open(os.path.join(tmp, "src", "storage", "store.cc"), "w") as f:
+            # The raw segment codec is allowed inside src/storage/ itself.
+            f.write("void g() { segment.SerializeData(&blob); }\n")
         findings = []
         for rel in collect_sources(tmp):
             lint_file(tmp, rel, findings)
