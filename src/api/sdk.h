@@ -223,7 +223,7 @@ class Client {
   // Deprecated last-call shims: outcomes are authoritative; these exist so
   // pre-outcome callers keep working, and only ever hold what some recent
   // call produced.
-  mutable Mutex shim_mu_;
+  mutable Mutex shim_mu_{VDB_LOCK_RANK(kSdkShim)};
   std::string last_error_ VDB_GUARDED_BY(shim_mu_);
   exec::QueryStats last_query_stats_ VDB_GUARDED_BY(shim_mu_);
 };

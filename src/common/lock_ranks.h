@@ -1,0 +1,67 @@
+#ifndef VECTORDB_COMMON_LOCK_RANKS_H_
+#define VECTORDB_COMMON_LOCK_RANKS_H_
+
+// Central lock-rank table. Every Mutex/SharedMutex in src/ is constructed
+// with VDB_LOCK_RANK(<constant>) naming one entry below; a thread may only
+// acquire locks in strictly increasing rank order (lower rank = outer lock,
+// acquired first). The ordering is enforced twice:
+//
+//   * statically by tools/lint/vdb_lockorder.py, which extracts the
+//     acquired-before graph from lock nesting in src/ and fails on any edge
+//     that decreases rank, on cycles, and on unranked mutexes; and
+//   * dynamically by the debug checker in common/lockorder.h (cmake option
+//     VDB_LOCK_ORDER_CHECK), which keeps a per-thread held-lock stack and
+//     aborts the moment any acquisition violates the declared ranking.
+//
+// To add a mutex: pick the band matching its subsystem, choose an unused
+// value that places it after every lock held while it is acquired and
+// before every lock acquired while it is held, add the constant here, and
+// construct the mutex with VDB_LOCK_RANK(kYourConstant). Values must be
+// unique; gaps are deliberate so new locks can slot in without renumbering.
+// docs/lock_hierarchy.md is generated from this table by vdb_lockorder.py.
+
+namespace vectordb {
+namespace lock_rank {
+
+// -- db layer (outermost: these are held while calling into storage) --------
+inline constexpr int kVectorDbCollections = 10;  // VectorDb::collections_mu_
+inline constexpr int kVectorDbQueue = 20;        // VectorDb::queue_mu_
+inline constexpr int kCoordinator = 30;          // dist::Coordinator::mu_
+inline constexpr int kCollectionWrite = 40;      // Collection::write_mu_
+
+// -- storage layer ----------------------------------------------------------
+inline constexpr int kMemTable = 50;         // storage::MemTable::mu_
+inline constexpr int kWal = 55;              // storage::WriteAheadLog::mu_
+inline constexpr int kSnapshotManager = 60;  // storage::SnapshotManager::mu_
+inline constexpr int kSegmentViewCache = 65; // storage::SegmentViewCache::mu_
+inline constexpr int kSegmentTier = 70;      // storage::Segment::tier_mu_
+inline constexpr int kBufferPool = 80;       // storage::BufferPool::mu_
+inline constexpr int kIndexFactory = 90;     // index::IndexFactory::Impl::mu
+
+// -- filesystem stack (wrap order: retrying -> fault injection -> memory) ---
+inline constexpr int kFsRetryRng = 100;        // RetryingFileSystem::rng_mu_
+inline constexpr int kFsFaultInjection = 102;  // FaultInjectionFileSystem::mu_
+inline constexpr int kFsMemory = 104;          // MemoryFileSystem::mu_
+
+// -- gpu simulation ---------------------------------------------------------
+inline constexpr int kGpuScheduler = 110;  // gpusim::SegmentScheduler::mu_
+inline constexpr int kGpuDevice = 115;     // gpusim::GpuDevice::mu_
+
+// -- infrastructure leaves (safe to take from almost anywhere) --------------
+inline constexpr int kThreadPool = 120;       // ThreadPool::mu_
+inline constexpr int kMetricsRegistry = 130;  // obs::MetricsRegistry::mu_
+inline constexpr int kTrace = 135;            // obs::Trace::mu_
+inline constexpr int kSimdHooks = 140;        // simd g_hook_mu
+inline constexpr int kSdkShim = 145;          // CollectionHandle::shim_mu_
+// Logger is the innermost lock in the tree: code logs while holding
+// subsystem locks (e.g. Segment tier transitions), never the reverse.
+inline constexpr int kLogger = 150;  // logger.cc g_write_mu
+
+// -- test-only ranks (never used by src/) -----------------------------------
+inline constexpr int kTestOuter = 1000;
+inline constexpr int kTestInner = 1010;
+
+}  // namespace lock_rank
+}  // namespace vectordb
+
+#endif  // VECTORDB_COMMON_LOCK_RANKS_H_

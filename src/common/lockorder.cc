@@ -1,0 +1,161 @@
+#include "common/lockorder.h"
+
+#if defined(VDB_LOCK_ORDER_CHECK)
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vectordb {
+namespace lockorder {
+namespace {
+
+struct Held {
+  const void* mu;
+  int rank;
+  const char* name;
+  bool shared;
+};
+
+thread_local std::vector<Held> t_held;
+
+// Acquired-before edges observed at runtime, keyed by rank-constant name,
+// with the observing thread's held stack as a witness for abort messages.
+// Guarded by a raw std::mutex: the checker cannot use vectordb::Mutex
+// without recursing into its own hooks (lockorder.cc is allowlisted in
+// tools/lint/vdb_lint.py for exactly this reason). Leaked on purpose so
+// hooks stay valid during static destruction.
+std::mutex g_edges_mu;
+std::map<std::pair<std::string, std::string>, std::string>* g_edges = nullptr;
+
+std::string HeldStackString() {
+  std::string out;
+  for (size_t i = 0; i < t_held.size(); ++i) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "  #%zu %s (rank %d)%s\n", i,
+                  t_held[i].name, t_held[i].rank,
+                  t_held[i].shared ? " [shared]" : "");
+    out += line;
+  }
+  if (out.empty()) out = "  (none)\n";
+  return out;
+}
+
+void RecordEdge(const char* from, const char* to) {
+  std::lock_guard<std::mutex> lock(g_edges_mu);
+  if (g_edges == nullptr) {
+    g_edges = new std::map<std::pair<std::string, std::string>, std::string>();
+  }
+  auto key = std::make_pair(std::string(from), std::string(to));
+  if (g_edges->count(key) == 0) (*g_edges)[key] = HeldStackString();
+}
+
+std::string ReverseEdgeWitness(const char* held, const char* acquiring) {
+  std::lock_guard<std::mutex> lock(g_edges_mu);
+  if (g_edges == nullptr) return std::string();
+  auto it =
+      g_edges->find(std::make_pair(std::string(acquiring), std::string(held)));
+  return it == g_edges->end() ? std::string() : it->second;
+}
+
+[[noreturn]] void AbortViolation(const Held& blocker, int rank,
+                                 const char* name) {
+  std::fprintf(stderr,
+               "[lockorder] FATAL: lock-order violation: acquiring \"%s\" "
+               "(rank %d) while holding \"%s\" (rank %d)\n",
+               name, rank, blocker.name, blocker.rank);
+  std::fprintf(stderr,
+               "[lockorder] locks held by this thread (outermost first):\n%s",
+               HeldStackString().c_str());
+  const std::string witness = ReverseEdgeWitness(blocker.name, name);
+  if (!witness.empty()) {
+    std::fprintf(stderr,
+                 "[lockorder] conflicting order \"%s\" before \"%s\" was "
+                 "first observed with held stack:\n%s",
+                 name, blocker.name, witness.c_str());
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+[[noreturn]] void AbortRecursive(int rank, const char* name) {
+  std::fprintf(stderr,
+               "[lockorder] FATAL: recursive acquisition of \"%s\" (rank %d) "
+               "on the same thread\n",
+               name, rank);
+  std::fprintf(stderr,
+               "[lockorder] locks held by this thread (outermost first):\n%s",
+               HeldStackString().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+void CheckNotHeld(const void* mu, int rank, const char* name) {
+  for (const Held& h : t_held) {
+    if (h.mu == mu) AbortRecursive(rank, name);
+  }
+}
+
+}  // namespace
+
+void OnAcquire(const void* mu, int rank, const char* name, bool shared) {
+  if (rank < 0) return;  // Unranked locks are exempt.
+  CheckNotHeld(mu, rank, name);
+  for (const Held& h : t_held) {
+    if (h.rank >= rank) AbortViolation(h, rank, name);
+  }
+  if (!t_held.empty()) RecordEdge(t_held.back().name, name);
+  t_held.push_back(Held{mu, rank, name, shared});
+}
+
+void OnTryAcquire(const void* mu, int rank, const char* name, bool shared) {
+  if (rank < 0) return;
+  CheckNotHeld(mu, rank, name);
+  t_held.push_back(Held{mu, rank, name, shared});
+}
+
+void OnRelease(const void* mu) {
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->mu == mu) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+  // Unranked locks were never pushed; nothing to do.
+}
+
+void OnCondVarWait(const void* mu) {
+  if (!t_held.empty() && t_held.back().mu == mu) {
+    t_held.pop_back();
+    return;
+  }
+  for (const Held& h : t_held) {
+    if (h.mu == mu) {
+      std::fprintf(stderr,
+                   "[lockorder] FATAL: CondVar wait on \"%s\" (rank %d) while "
+                   "holding locks acquired after it — they would stay locked "
+                   "for the whole wait\n",
+                   h.name, h.rank);
+      std::fprintf(
+          stderr,
+          "[lockorder] locks held by this thread (outermost first):\n%s",
+          HeldStackString().c_str());
+      std::fflush(stderr);
+      std::abort();
+    }
+  }
+  // Bound mutex unranked: it was never tracked.
+}
+
+void OnCondVarWake(const void* mu, int rank, const char* name) {
+  OnAcquire(mu, rank, name, /*shared=*/false);
+}
+
+}  // namespace lockorder
+}  // namespace vectordb
+
+#endif  // VDB_LOCK_ORDER_CHECK

@@ -1,0 +1,88 @@
+#ifndef VECTORDB_COMMON_LOCKORDER_H_
+#define VECTORDB_COMMON_LOCKORDER_H_
+
+// Debug lock-order checker (cmake option VDB_LOCK_ORDER_CHECK). The Mutex /
+// SharedMutex wrappers in common/mutex.h call the hooks below on every
+// acquisition and release; the checker keeps a per-thread stack of held
+// locks plus a global acquired-before graph and aborts — printing the
+// current held stack and, when available, the witness stack of the
+// conflicting order — the moment any thread acquires a ranked lock whose
+// rank is not strictly greater than every rank it already holds. This turns
+// a potential deadlock (which TSan only reports when the fatal interleaving
+// actually fires) into a deterministic failure on any single test run that
+// exercises both acquisition paths, even on different threads.
+//
+// Ranks come from common/lock_ranks.h via VDB_LOCK_RANK. Unranked mutexes
+// (rank < 0, e.g. test-local scaffolding) are exempt from every check.
+// Without VDB_LOCK_ORDER_CHECK the hooks are empty inline functions and the
+// wrappers compile down to plain std::mutex operations.
+
+namespace vectordb {
+
+/// Rank tag attached to a Mutex/SharedMutex at construction. The name is
+/// the stringified rank constant so checker aborts read as e.g.
+/// `acquiring "kBufferPool" (rank 80) while holding "kFsMemory" (rank 104)`.
+struct LockRank {
+  int rank = -1;
+  const char* name = "unranked";
+};
+
+// Usage: Mutex mu_{VDB_LOCK_RANK(kBufferPool)}; — `sym` must be a constant
+// declared in common/lock_ranks.h.
+#define VDB_LOCK_RANK(sym) \
+  ::vectordb::LockRank { ::vectordb::lock_rank::sym, #sym }
+
+// Declares (at namespace scope) that the lock ranked `outer` is acquired
+// before the lock ranked `inner` on some real code path — documentation
+// for paths the static analyzer cannot trace (std::function, virtual
+// dispatch). tools/lint/vdb_lockorder.py validates the declared edge
+// against the rank table (outer must rank strictly below inner) and draws
+// it in docs/lock_hierarchy.*; at compile time it is just a static_assert
+// re-stating the same inequality, so a rank-table reshuffle that breaks a
+// declared order fails the build too.
+#define VDB_ACQUIRED_BEFORE(outer, inner)                      \
+  static_assert(::vectordb::lock_rank::outer <                 \
+                    ::vectordb::lock_rank::inner,              \
+                "lock-order declaration " #outer " -> " #inner \
+                " contradicts common/lock_ranks.h")
+
+namespace lockorder {
+
+#if defined(VDB_LOCK_ORDER_CHECK)
+
+/// Called before a blocking acquisition. Aborts on recursive acquisition or
+/// on a rank not strictly above every rank this thread already holds;
+/// otherwise records the acquired-before edge and pushes the lock.
+void OnAcquire(const void* mu, int rank, const char* name, bool shared);
+
+/// Called after a successful TryLock. Pushes without the ordering check: a
+/// try-acquisition cannot deadlock, so out-of-rank TryLock is legal, but the
+/// lock still participates as "held" for subsequent acquisitions.
+void OnTryAcquire(const void* mu, int rank, const char* name, bool shared);
+
+/// Called after releasing. Removes the lock from this thread's held stack.
+void OnRelease(const void* mu);
+
+/// Called by CondVar before blocking: pops the bound mutex (the wait
+/// releases it). Aborts if this thread holds locks acquired *after* the
+/// bound mutex — they would stay held across the whole wait.
+void OnCondVarWait(const void* mu);
+
+/// Called by CondVar after reacquiring on wakeup: re-push with the full
+/// ordering check against whatever the thread still holds.
+void OnCondVarWake(const void* mu, int rank, const char* name);
+
+#else
+
+inline void OnAcquire(const void*, int, const char*, bool) {}
+inline void OnTryAcquire(const void*, int, const char*, bool) {}
+inline void OnRelease(const void*) {}
+inline void OnCondVarWait(const void*) {}
+inline void OnCondVarWake(const void*, int, const char*) {}
+
+#endif  // VDB_LOCK_ORDER_CHECK
+
+}  // namespace lockorder
+}  // namespace vectordb
+
+#endif  // VECTORDB_COMMON_LOCKORDER_H_

@@ -9,7 +9,7 @@ namespace vectordb {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-Mutex g_write_mu;
+Mutex g_write_mu{VDB_LOCK_RANK(kLogger)};
 
 const char* LevelName(LogLevel level) {
   switch (level) {

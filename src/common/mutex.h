@@ -6,12 +6,22 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "common/lock_ranks.h"
+#include "common/lockorder.h"
+
 // Clang Thread Safety Analysis (-Wthread-safety) attribute macros, no-ops on
 // other compilers. Every mutex in src/ must be one of the wrappers below so
 // lock discipline is checked at compile time: fields carry VDB_GUARDED_BY,
 // private *Locked() helpers carry VDB_REQUIRES, and a Clang build with
 // -DVDB_WERROR_THREAD_SAFETY=ON turns any violation into a build error.
 // tools/lint/vdb_lint.py enforces the "no naked std::mutex" invariant.
+//
+// Lock ordering is a separate, orthogonal discipline: every mutex in src/
+// carries a VDB_LOCK_RANK from common/lock_ranks.h and may only be acquired
+// in strictly increasing rank order. tools/lint/vdb_lockorder.py checks the
+// ordering statically; the VDB_LOCK_ORDER_CHECK cmake option compiles in the
+// runtime checker from common/lockorder.h (the hook calls below are empty
+// inline functions otherwise).
 
 #if defined(__clang__) && defined(__has_attribute)
 #if __has_attribute(capability)
@@ -59,13 +69,27 @@ class CondVar;
 /// exist for the rare hand-over-hand or conditional-release patterns.
 class VDB_CAPABILITY("mutex") Mutex {
  public:
+  /// Unranked: exempt from lock-order checking. For test scaffolding only;
+  /// vdb_lockorder.py rejects unranked mutexes anywhere in src/.
   Mutex() = default;
+  /// Ranked: `Mutex mu_{VDB_LOCK_RANK(kBufferPool)};`.
+  explicit Mutex(LockRank rank) : rank_(rank) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() VDB_ACQUIRE() { mu_.lock(); }
-  void Unlock() VDB_RELEASE() { mu_.unlock(); }
-  bool TryLock() VDB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() VDB_ACQUIRE() {
+    lockorder::OnAcquire(this, rank_.rank, rank_.name, /*shared=*/false);
+    mu_.lock();
+  }
+  void Unlock() VDB_RELEASE() {
+    mu_.unlock();
+    lockorder::OnRelease(this);
+  }
+  bool TryLock() VDB_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    lockorder::OnTryAcquire(this, rank_.rank, rank_.name, /*shared=*/false);
+    return true;
+  }
 
   /// Tell the analysis this thread holds the lock (runtime no-op) — for
   /// callees reached only from under the lock through an unannotatable path.
@@ -74,26 +98,45 @@ class VDB_CAPABILITY("mutex") Mutex {
  private:
   friend class CondVar;
   std::mutex mu_;
+  LockRank rank_;
 };
 
 /// Annotated reader/writer mutex.
 class VDB_CAPABILITY("shared_mutex") SharedMutex {
  public:
   SharedMutex() = default;
+  explicit SharedMutex(LockRank rank) : rank_(rank) {}
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void Lock() VDB_ACQUIRE() { mu_.lock(); }
-  void Unlock() VDB_RELEASE() { mu_.unlock(); }
-  void LockShared() VDB_ACQUIRE_SHARED() { mu_.lock_shared(); }
-  void UnlockShared() VDB_RELEASE_SHARED() { mu_.unlock_shared(); }
-  bool TryLock() VDB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() VDB_ACQUIRE() {
+    lockorder::OnAcquire(this, rank_.rank, rank_.name, /*shared=*/false);
+    mu_.lock();
+  }
+  void Unlock() VDB_RELEASE() {
+    mu_.unlock();
+    lockorder::OnRelease(this);
+  }
+  void LockShared() VDB_ACQUIRE_SHARED() {
+    lockorder::OnAcquire(this, rank_.rank, rank_.name, /*shared=*/true);
+    mu_.lock_shared();
+  }
+  void UnlockShared() VDB_RELEASE_SHARED() {
+    mu_.unlock_shared();
+    lockorder::OnRelease(this);
+  }
+  bool TryLock() VDB_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    lockorder::OnTryAcquire(this, rank_.rank, rank_.name, /*shared=*/false);
+    return true;
+  }
 
   void AssertHeld() VDB_ASSERT_CAPABILITY(this) {}
   void AssertReaderHeld() VDB_THREAD_ANNOTATION(assert_shared_capability(this)) {}
 
  private:
   std::shared_mutex mu_;
+  LockRank rank_;
 };
 
 /// RAII exclusive lock over Mutex (the std::lock_guard replacement).
@@ -156,17 +199,21 @@ class CondVar {
   /// Atomically release the bound mutex, block, and reacquire before
   /// returning. Spurious wakeups happen; always wait in a loop.
   void Wait() VDB_REQUIRES(mu_) {
+    lockorder::OnCondVarWait(mu_);
     std::unique_lock<std::mutex> lock(mu_->mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();
+    lockorder::OnCondVarWake(mu_, mu_->rank_.rank, mu_->rank_.name);
   }
 
   /// Wait until notified or `deadline` passes. Returns false on timeout.
   bool WaitUntil(std::chrono::steady_clock::time_point deadline)
       VDB_REQUIRES(mu_) {
+    lockorder::OnCondVarWait(mu_);
     std::unique_lock<std::mutex> lock(mu_->mu_, std::adopt_lock);
     const std::cv_status status = cv_.wait_until(lock, deadline);
     lock.release();
+    lockorder::OnCondVarWake(mu_, mu_->rank_.rank, mu_->rank_.name);
     return status == std::cv_status::no_timeout;
   }
 

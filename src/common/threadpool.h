@@ -52,7 +52,7 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;  ///< Immutable after construction.
-  Mutex mu_;
+  Mutex mu_{VDB_LOCK_RANK(kThreadPool)};
   CondVar cv_{&mu_};
   CondVar idle_cv_{&mu_};
   std::deque<std::function<void()>> queue_ VDB_GUARDED_BY(mu_);

@@ -18,6 +18,11 @@
 namespace vectordb {
 namespace db {
 
+// The tier loaders wired in WireSegmentTiers() are std::functions invoked
+// under the owning segment's tier_mu_ and reading through the virtual
+// FileSystem — invisible to the static call analysis, so declared.
+VDB_ACQUIRED_BEFORE(kSegmentTier, kFsMemory);
+
 namespace {
 constexpr uint32_t kManifestMagic = 0x464E4D56;  // "VMNF"
 

@@ -216,7 +216,7 @@ class Collection {
   obs::Gauge* query_seconds_total_;
   obs::Counter* slow_queries_total_;
 
-  mutable Mutex write_mu_;
+  mutable Mutex write_mu_{VDB_LOCK_RANK(kCollectionWrite)};
   /// True when durable/published state lags the in-memory snapshot: a
   /// tombstone applied since the last manifest persist, a flushed segment
   /// whose manifest write failed, or a WAL reset that has not landed.

@@ -9,7 +9,8 @@ namespace db {
 
 VectorDb::VectorDb(DbOptions options) : options_(std::move(options)) {
   running_.store(true);
-  worker_ = std::thread([this] { WorkerLoop(); });
+  worker_ = std::make_unique<ThreadPool>(1);
+  worker_->Submit([this] { WorkerLoop(); });
 }
 
 VectorDb::~VectorDb() {
@@ -18,7 +19,7 @@ VectorDb::~VectorDb() {
     running_.store(false);
   }
   queue_cv_.SignalAll();
-  if (worker_.joinable()) worker_.join();
+  worker_.reset();  // Joins the pool worker once WorkerLoop returns.
 }
 
 CollectionOptions VectorDb::MakeCollectionOptions() const {

@@ -5,10 +5,10 @@
 #include <map>
 #include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common/mutex.h"
+#include "common/threadpool.h"
 #include "db/collection.h"
 
 namespace vectordb {
@@ -89,17 +89,21 @@ class VectorDb {
 
   DbOptions options_;
 
-  mutable Mutex collections_mu_;
+  mutable Mutex collections_mu_{VDB_LOCK_RANK(kVectorDbCollections)};
   std::map<std::string, std::unique_ptr<Collection>> collections_
       VDB_GUARDED_BY(collections_mu_);
 
-  mutable Mutex queue_mu_;
+  mutable Mutex queue_mu_{VDB_LOCK_RANK(kVectorDbQueue)};
   CondVar queue_cv_{&queue_mu_};    ///< Signals new work.
   CondVar drained_cv_{&queue_mu_};  ///< Signals an empty queue.
   std::deque<PendingOp> queue_ VDB_GUARDED_BY(queue_mu_);
   bool queue_busy_ VDB_GUARDED_BY(queue_mu_) = false;
 
-  std::thread worker_;
+  /// Single-thread pool hosting WorkerLoop(): the loop occupies the one
+  /// worker for the VectorDb's lifetime, and resetting the pool in the
+  /// destructor joins it. Keeps thread construction inside ThreadPool (the
+  /// vdb_lint `raw-thread` rule) so the worker shows up in pool stats.
+  std::unique_ptr<ThreadPool> worker_;
   std::atomic<bool> running_{false};
   std::atomic<bool> background_enabled_{false};
 };

@@ -76,7 +76,7 @@ class Coordinator {
 
   storage::FileSystemPtr fs_;
   std::string meta_path_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{VDB_LOCK_RANK(kCoordinator)};
   /// 256 virtual nodes per reader keep per-node shard counts within a few
   /// percent of uniform even at 12 readers.
   ConsistentHashRing ring_ VDB_GUARDED_BY(mu_){256};

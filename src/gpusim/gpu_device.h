@@ -96,7 +96,7 @@ class GpuDevice {
   std::string name_;
   Options options_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{VDB_LOCK_RANK(kGpuDevice)};
   GpuCost cost_ VDB_GUARDED_BY(mu_);
   size_t memory_used_ VDB_GUARDED_BY(mu_) = 0;
   /// LRU list, most recent at front; map key → (list iterator, bytes).

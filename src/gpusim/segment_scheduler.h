@@ -59,7 +59,7 @@ class SegmentScheduler {
   }
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{VDB_LOCK_RANK(kGpuScheduler)};
   std::vector<std::shared_ptr<GpuDevice>> devices_ VDB_GUARDED_BY(mu_);
   double last_makespan_ VDB_GUARDED_BY(mu_) = 0.0;
 };

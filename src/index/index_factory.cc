@@ -18,7 +18,7 @@ namespace vectordb {
 namespace index {
 
 struct IndexFactory::Impl {
-  mutable Mutex mu;
+  mutable Mutex mu{VDB_LOCK_RANK(kIndexFactory)};
   std::map<std::string, Creator> creators VDB_GUARDED_BY(mu);
 };
 

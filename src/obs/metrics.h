@@ -197,7 +197,7 @@ class MetricsRegistry {
                           const HistogramBuckets* buckets)
       VDB_EXCLUDES(mu_);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{VDB_LOCK_RANK(kMetricsRegistry)};
   std::map<std::string, Family> families_ VDB_GUARDED_BY(mu_);
 };
 

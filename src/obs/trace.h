@@ -45,7 +45,7 @@ class Trace {
 
  private:
   Timer timer_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{VDB_LOCK_RANK(kTrace)};
   std::vector<Span> spans_ VDB_GUARDED_BY(mu_);
 };
 

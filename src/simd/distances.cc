@@ -24,7 +24,7 @@ struct Hooks {
   SimdLevel level;
 };
 
-Mutex g_hook_mu;
+Mutex g_hook_mu{VDB_LOCK_RANK(kSimdHooks)};
 std::atomic<bool> g_initialized{false};
 // Deliberately NOT VDB_GUARDED_BY(g_hook_mu): writes happen under the lock,
 // but the hot-path kernels read g_hooks lock-free after observing the

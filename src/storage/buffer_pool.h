@@ -101,7 +101,7 @@ class BufferPool {
   void AddResidentLocked(Tier tier, double delta) VDB_REQUIRES(mu_);
 
   const size_t capacity_bytes_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{VDB_LOCK_RANK(kBufferPool)};
   Stats stats_ VDB_GUARDED_BY(mu_);
   std::list<Key> lru_ VDB_GUARDED_BY(mu_);  // Most recent at front.
   std::unordered_map<Key, Entry, KeyHash> cache_ VDB_GUARDED_BY(mu_);

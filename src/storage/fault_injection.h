@@ -156,7 +156,7 @@ class FaultInjectionFileSystem : public FileSystem {
   static void FlipBit(std::string* data, size_t bit);
 
   FileSystemPtr inner_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{VDB_LOCK_RANK(kFsFaultInjection)};
   Rng rng_ VDB_GUARDED_BY(mu_);
   std::vector<RuleState> rules_ VDB_GUARDED_BY(mu_);
   bool crashed_ VDB_GUARDED_BY(mu_) = false;

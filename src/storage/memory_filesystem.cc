@@ -55,7 +55,7 @@ class MemoryFileSystem : public FileSystem {
   std::string name() const override { return "memory"; }
 
  private:
-  Mutex mu_;
+  Mutex mu_{VDB_LOCK_RANK(kFsMemory)};
   std::map<std::string, std::string> files_ VDB_GUARDED_BY(mu_);
 };
 

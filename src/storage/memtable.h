@@ -50,7 +50,7 @@ class MemTable {
   };
 
   SegmentSchema schema_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{VDB_LOCK_RANK(kMemTable)};
   std::map<RowId, PendingRow> rows_ VDB_GUARDED_BY(mu_);
 };
 

@@ -74,7 +74,7 @@ class RetryingFileSystem : public FileSystem {
 
   FileSystemPtr inner_;
   RetryOptions options_;
-  Mutex rng_mu_;
+  Mutex rng_mu_{VDB_LOCK_RANK(kFsRetryRng)};
   Rng rng_ VDB_GUARDED_BY(rng_mu_);
   RetryStats stats_;  ///< Atomic counters; no lock needed.
 };

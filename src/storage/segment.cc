@@ -351,11 +351,8 @@ Result<SegmentPtr> Segment::DeserializeData(const std::string& in,
     }
     column.Build(std::move(sorted), std::move(by_position));
   }
-  {
-    MutexLock lock(&segment->tier_mu_);
-    segment->data_pinned_ = std::make_shared<const SegmentData>(
-        schema.vector_dims, std::move(fields));
-  }
+  InitPinnedData(segment.get(), std::make_shared<const SegmentData>(
+                                    schema.vector_dims, std::move(fields)));
 
   // v1 trailer: inline per-field index blobs (has_index, type, metric,
   // blob). Attached as pinned indexes — they have no durable artifact of
@@ -384,6 +381,28 @@ Result<SegmentPtr> Segment::DeserializeData(const std::string& in,
     }
   }
   return segment;
+}
+
+Result<SegmentDataPtr> Segment::TakeDeserializedData(
+    const std::shared_ptr<Segment>& segment) VDB_NO_THREAD_SAFETY_ANALYSIS {
+  // Lock-free by design: `segment` came straight out of DeserializeData on
+  // this thread, so tier_mu_ is uncontended and must not be taken (see the
+  // declaration comment for the lock-rank rationale).
+  if (segment == nullptr) {
+    return Status::InvalidArgument("null deserialized segment");
+  }
+  if (segment->data_pinned_ == nullptr) {
+    return Status::Internal("deserialized segment has no pinned data");
+  }
+  return segment->data_pinned_;
+}
+
+void Segment::InitPinnedData(Segment* segment, SegmentDataPtr data)
+    VDB_NO_THREAD_SAFETY_ANALYSIS {
+  // Lock-free by design — see the declaration comment: `segment` is still
+  // private to this thread, and the caller may already hold a
+  // kSegmentTier-ranked lock.
+  segment->data_pinned_ = std::move(data);
 }
 
 // --------------------------------------------------------------- builder --
@@ -439,11 +458,9 @@ Result<SegmentPtr> SegmentBuilder::Finish() {
     }
     field_offset += dim;
   }
-  {
-    MutexLock lock(&segment->tier_mu_);
-    segment->data_pinned_ = std::make_shared<const SegmentData>(
-        schema_.vector_dims, std::move(fields));
-  }
+  Segment::InitPinnedData(segment.get(),
+                          std::make_shared<const SegmentData>(
+                              schema_.vector_dims, std::move(fields)));
 
   segment->attributes_.resize(schema_.attribute_names.size());
   for (size_t a = 0; a < schema_.attribute_names.size(); ++a) {

@@ -234,8 +234,26 @@ class Segment {
   static Result<std::shared_ptr<Segment>> DeserializeData(
       const std::string& in, bool load_v1_indexes = true);
 
+  /// Extract the pinned data payload from a segment DeserializeData just
+  /// returned and that is still private to the calling thread. Deliberately
+  /// reads data_pinned_ without taking tier_mu_: the data-reload path runs
+  /// inside the *owning* segment's data loader — i.e. already under a
+  /// kSegmentTier-ranked lock — so locking the temporary segment's tier_mu_
+  /// here would nest two same-rank locks and trip the lock-order checker
+  /// (and the hierarchy) for a lock no other thread can even reach.
+  static Result<SegmentDataPtr> TakeDeserializedData(
+      const std::shared_ptr<Segment>& segment);
+
  private:
   friend class SegmentBuilder;
+
+  /// Pin `data` on a segment still private to the constructing thread
+  /// (DeserializeData, SegmentBuilder::Finish). Lock-free for the same
+  /// reason as TakeDeserializedData: these paths already run under a
+  /// kSegmentTier-ranked lock (the owning segment's data loader) or under
+  /// MemTable::mu_, and locking the private segment's tier_mu_ would nest
+  /// a second lock nobody else can contend on.
+  static void InitPinnedData(Segment* segment, SegmentDataPtr data);
 
   struct IndexSlot {
     uint64_t version = 0;
@@ -257,7 +275,7 @@ class Segment {
   /// Guards the residency state of both pageable tiers. Loaders run under
   /// this lock (exactly-once per cold miss); they may take the buffer
   /// pool's lock, so the order is strictly tier_mu_ -> pool.
-  mutable Mutex tier_mu_;
+  mutable Mutex tier_mu_{VDB_LOCK_RANK(kSegmentTier)};
   mutable SegmentDataPtr data_pinned_ VDB_GUARDED_BY(tier_mu_);
   mutable std::weak_ptr<const SegmentData> data_cached_ VDB_GUARDED_BY(tier_mu_);
   DataLoader data_loader_ VDB_GUARDED_BY(tier_mu_);

@@ -94,7 +94,9 @@ Result<SegmentDataPtr> SegmentStore::ReadData(SegmentId id) const {
   }
   auto parsed = Segment::DeserializeData(body, /*load_v1_indexes=*/false);
   if (!parsed.ok()) return parsed.status();
-  return parsed.value()->AcquireData();
+  // Extract without locking the temp segment: ReadData runs inside the
+  // owning segment's data loader, i.e. under a kSegmentTier-ranked lock.
+  return Segment::TakeDeserializedData(parsed.value());
 }
 
 Status SegmentStore::WriteIndex(SegmentId id, size_t field, uint64_t version,

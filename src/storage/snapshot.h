@@ -50,7 +50,7 @@ class SegmentViewCache {
   }
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{VDB_LOCK_RANK(kSegmentViewCache)};
   std::unordered_map<SegmentId, ViewPtr> views_ VDB_GUARDED_BY(mu_);
   uint64_t builds_ VDB_GUARDED_BY(mu_) = 0;
 };
@@ -138,7 +138,7 @@ class SnapshotManager {
   size_t pending_gc() const;
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{VDB_LOCK_RANK(kSnapshotManager)};
   SnapshotPtr current_ VDB_GUARDED_BY(mu_);
   std::vector<SegmentPtr> pending_gc_ VDB_GUARDED_BY(mu_);
   std::function<void(SegmentId)> drop_handler_ VDB_GUARDED_BY(mu_);

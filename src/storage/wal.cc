@@ -8,6 +8,11 @@
 namespace vectordb {
 namespace storage {
 
+// Append() and Recover() write/read through the virtual FileSystem while
+// holding mu_ — a path the static analyzer cannot trace through the
+// interface, so the order is declared.
+VDB_ACQUIRED_BEFORE(kWal, kFsMemory);
+
 namespace {
 
 // On-disk record framing: [u32 body_len][u32 crc][body]; body is the

@@ -57,7 +57,7 @@ class WriteAheadLog {
  private:
   FileSystemPtr fs_;
   std::string path_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{VDB_LOCK_RANK(kWal)};
   uint64_t next_lsn_ VDB_GUARDED_BY(mu_) = 1;
   bool recovered_ VDB_GUARDED_BY(mu_) = false;
 

@@ -1,0 +1,203 @@
+// Tests for the runtime lock-order checker (common/lockorder.h) and a
+// regression test for the segment-reload inversion it caught. The death
+// tests only fire when the checker is compiled in (-DVDB_LOCK_ORDER_CHECK=ON,
+// the `lockcheck` preset); without it they GTEST_SKIP so the suite stays
+// green in default builds.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "common/mutex.h"
+#include "storage/filesystem.h"
+#include "storage/segment_store.h"
+
+namespace vectordb {
+namespace {
+
+TEST(LockOrderTest, CorrectOrderRunsClean) {
+  Mutex outer{VDB_LOCK_RANK(kTestOuter)};
+  Mutex inner{VDB_LOCK_RANK(kTestInner)};
+  for (int i = 0; i < 3; ++i) {
+    MutexLock a(&outer);
+    MutexLock b(&inner);
+  }
+}
+
+TEST(LockOrderTest, UnrankedMutexesAreExempt) {
+  Mutex a;  // Unranked (rank -1): never pushed on the held stack.
+  Mutex b;
+  {
+    MutexLock la(&a);
+    MutexLock lb(&b);
+  }
+  {
+    MutexLock lb(&b);
+    MutexLock la(&a);
+  }
+}
+
+TEST(LockOrderDeathTest, WrongOrderAbortsAtFirstViolation) {
+#if !defined(VDB_LOCK_ORDER_CHECK)
+  GTEST_SKIP() << "built without VDB_LOCK_ORDER_CHECK";
+#else
+  Mutex outer{VDB_LOCK_RANK(kTestOuter)};
+  Mutex inner{VDB_LOCK_RANK(kTestInner)};
+  // Both orders in one statement: the correct order runs clean, then the
+  // reversed order aborts at the first out-of-rank acquisition — the
+  // matched message names exactly that pair, and nothing after it runs.
+  EXPECT_DEATH(
+      {
+        outer.Lock();
+        inner.Lock();
+        inner.Unlock();
+        outer.Unlock();
+        inner.Lock();
+        outer.Lock();  // rank 1000 while holding rank 1010: aborts here.
+        outer.Unlock();
+        inner.Unlock();
+      },
+      "lock-order violation: acquiring \"kTestOuter\" \\(rank 1000\\) "
+      "while holding \"kTestInner\" \\(rank 1010\\)");
+#endif
+}
+
+TEST(LockOrderDeathTest, EqualRanksCannotNest) {
+#if !defined(VDB_LOCK_ORDER_CHECK)
+  GTEST_SKIP() << "built without VDB_LOCK_ORDER_CHECK";
+#else
+  // Two distinct locks with the same rank: the hierarchy forbids nesting
+  // them (this is exactly the segment-reload inversion shape).
+  Mutex a{VDB_LOCK_RANK(kTestOuter)};
+  Mutex b{VDB_LOCK_RANK(kTestOuter)};
+  EXPECT_DEATH(
+      {
+        a.Lock();
+        b.Lock();
+      },
+      "lock-order violation: acquiring \"kTestOuter\" \\(rank 1000\\) "
+      "while holding \"kTestOuter\" \\(rank 1000\\)");
+#endif
+}
+
+TEST(LockOrderDeathTest, RecursiveAcquisitionAborts) {
+#if !defined(VDB_LOCK_ORDER_CHECK)
+  GTEST_SKIP() << "built without VDB_LOCK_ORDER_CHECK";
+#else
+  Mutex mu{VDB_LOCK_RANK(kTestOuter)};
+  EXPECT_DEATH(
+      {
+        mu.Lock();
+        mu.Lock();  // Would deadlock; the checker aborts instead.
+      },
+      "recursive acquisition of \"kTestOuter\"");
+#endif
+}
+
+TEST(LockOrderTest, TryLockSuccessIsExemptFromOrdering) {
+  // A successful TryLock cannot deadlock, so wrong-rank try-acquisitions
+  // are recorded but never fatal.
+  Mutex outer{VDB_LOCK_RANK(kTestOuter)};
+  Mutex inner{VDB_LOCK_RANK(kTestInner)};
+  MutexLock a(&inner);
+  ASSERT_TRUE(outer.TryLock());
+  outer.Unlock();
+}
+
+TEST(LockOrderTest, SharedAcquisitionsParticipate) {
+  SharedMutex outer{VDB_LOCK_RANK(kTestOuter)};
+  Mutex inner{VDB_LOCK_RANK(kTestInner)};
+  ReaderMutexLock a(&outer);
+  MutexLock b(&inner);
+}
+
+TEST(LockOrderTest, CondVarWaitReleasesBoundMutex) {
+  // Wait() pops the bound mutex from the held stack and the wake re-pushes
+  // it through the full rank check — a signal/wait round trip under a
+  // ranked mutex must stay clean.
+  Mutex mu{VDB_LOCK_RANK(kTestOuter)};
+  CondVar cv(&mu);
+  bool ready = false;
+  std::thread signaller([&] {
+    MutexLock lock(&mu);
+    ready = true;
+    cv.Signal();
+  });
+  {
+    MutexLock lock(&mu);
+    while (!ready) cv.Wait();
+    // After the wake the mutex is held again; a correctly-ranked nested
+    // acquisition still works.
+    Mutex inner{VDB_LOCK_RANK(kTestInner)};
+    MutexLock nested(&inner);
+  }
+  signaller.join();
+}
+
+TEST(LockOrderTest, CondVarTimedWaitStaysClean) {
+  Mutex mu{VDB_LOCK_RANK(kTestOuter)};
+  CondVar cv(&mu);
+  MutexLock lock(&mu);
+  const bool signalled = cv.WaitUntil(std::chrono::steady_clock::now() +
+                                      std::chrono::milliseconds(10));
+  EXPECT_FALSE(signalled);
+}
+
+TEST(LockOrderDeathTest, CondVarWaitWhileHoldingLaterLockAborts) {
+#if !defined(VDB_LOCK_ORDER_CHECK)
+  GTEST_SKIP() << "built without VDB_LOCK_ORDER_CHECK";
+#else
+  // Waiting releases only the bound mutex; any lock acquired after it
+  // would stay held across the block — the checker aborts before blocking.
+  Mutex outer{VDB_LOCK_RANK(kTestOuter)};
+  Mutex inner{VDB_LOCK_RANK(kTestInner)};
+  CondVar cv(&outer);
+  EXPECT_DEATH(
+      {
+        outer.Lock();
+        inner.Lock();
+        cv.WaitUntil(std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(10));
+      },
+      "CondVar wait on \"kTestOuter\"");
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Regression: the first inversion the runtime checker caught. The demand
+// paging reload path (SegmentStore::ReadData) runs inside the owning
+// segment's data loader — i.e. under a kSegmentTier-ranked tier_mu_ — and
+// used to call AcquireData() on the freshly deserialized temporary segment,
+// nesting a second rank-70 lock. The fix (Segment::TakeDeserializedData)
+// reads the thread-private temporary without locking. Under the lockcheck
+// build this test aborts if the nesting ever comes back.
+// ---------------------------------------------------------------------------
+
+TEST(LockOrderRegressionTest, ReadDataDoesNotLockTheTemporarySegment) {
+  storage::SegmentSchema schema;
+  schema.vector_dims = {4};
+  schema.attribute_names = {"price"};
+  storage::SegmentBuilder builder(7, schema);
+  for (RowId id = 0; id < 8; ++id) {
+    const float v[4] = {static_cast<float>(id), 0, 0, 0};
+    ASSERT_TRUE(builder.AddRow(id, {v}, {static_cast<double>(id)}).ok());
+  }
+  auto built = builder.Finish();
+  ASSERT_TRUE(built.ok());
+
+  storage::SegmentStore store(storage::NewMemoryFileSystem(), "seg/");
+  ASSERT_TRUE(store.WriteData(*built.value()).ok());
+
+  // Simulate the caller's position: a kSegmentTier-ranked lock is already
+  // held (the owning segment's tier_mu_ in the real loader path). ReadData
+  // must not acquire another rank-70 lock underneath it.
+  Mutex owning_tier_mu{VDB_LOCK_RANK(kSegmentTier)};
+  MutexLock held(&owning_tier_mu);
+  auto data = store.ReadData(7);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  ASSERT_NE(data.value(), nullptr);
+}
+
+}  // namespace
+}  // namespace vectordb

@@ -231,7 +231,7 @@ def run_gate(baseline_path, current_path, threshold, availability_drop,
     return 0
 
 
-def self_test():
+def self_test_kernel():
     def rows(speedups):
         return {
             ("k" + str(i), "avx2", 128): s for i, s in enumerate(speedups)
@@ -264,9 +264,10 @@ def self_test():
                                  DEFAULT_THRESHOLD)
     assert compared == 0, compared
     assert compared < MIN_COMPARED_ROWS
+    print("bench_gate: kernel self-test OK")
 
-    # ----- chaos mode -----
 
+def self_test_chaos():
     def chaos_doc(**overrides):
         doc = {
             "schema": CHAOS_SCHEMA,
@@ -299,9 +300,10 @@ def self_test():
     del missing["wrong_results"]
     failures = chaos_compare(chaos_doc(), missing, 0.05)
     assert len(failures) == 1 and "wrong_results" in failures[0], failures
+    print("bench_gate: chaos self-test OK")
 
-    # ----- storage mode -----
 
+def self_test_storage():
     def storage_doc(**overrides):
         doc = {
             "schema": STORAGE_SCHEMA,
@@ -347,8 +349,23 @@ def self_test():
         storage_doc(), storage_doc(v2_bytes_reduction=0.40), 0.05
     )
     assert len(failures) == 1 and "v2_bytes_reduction" in failures[0], failures
+    print("bench_gate: storage self-test OK")
 
-    print("bench_gate: self-test OK")
+
+SELF_TESTS = {
+    "kernel": self_test_kernel,
+    "chaos": self_test_chaos,
+    "storage": self_test_storage,
+}
+
+
+def self_test(mode="all"):
+    """Run the per-mode self-tests; `all` covers every gate schema so one
+    CI invocation proves kernel, chaos, and storage gating logic at once."""
+    modes = list(SELF_TESTS) if mode == "all" else [mode]
+    for name in modes:
+        SELF_TESTS[name]()
+    print(f"bench_gate: self-test OK ({len(modes)} mode(s))")
     return 0
 
 
@@ -376,12 +393,17 @@ def main():
         help="storage mode: max absolute v2_bytes_reduction drop vs "
         "baseline (default 0.05)",
     )
-    parser.add_argument("--self-test", action="store_true",
-                        help="run built-in unit checks and exit")
+    parser.add_argument(
+        "--self-test",
+        nargs="?",
+        const="all",
+        choices=["all", "kernel", "chaos", "storage"],
+        help="run built-in unit checks for one gate mode (or all) and exit",
+    )
     args = parser.parse_args()
 
     if args.self_test:
-        return self_test()
+        return self_test(args.self_test)
     if not args.baseline or not args.current:
         parser.error("--baseline and --current are required")
     return run_gate(args.baseline, args.current, args.threshold,

@@ -40,6 +40,12 @@ Machine-checkable conventions that the compiler cannot (portably) enforce:
                    (CRC + magic), artifact naming, and quarantine policy.
                    Bypassing it writes unframed bytes that recovery cannot
                    verify.
+  raw-thread       constructing std::thread in src/ is banned outside
+                   common/threadpool.* and common/sysinfo.cc — ad-hoc
+                   threads bypass the pool's sizing, naming, and shutdown
+                   join, and every one is an unaccounted concurrency source
+                   for the lock-order checker. Submit to ThreadPool instead.
+                   (std::thread::hardware_concurrency() stays legal.)
 
 Usage:
   tools/lint/vdb_lint.py [--root DIR]    lint DIR (default: repo root)
@@ -57,7 +63,18 @@ import sys
 import tempfile
 
 # Files whose whole purpose is to wrap or schedule the banned primitive.
-MUTEX_ALLOWLIST = {"src/common/mutex.h"}
+MUTEX_ALLOWLIST = {
+    "src/common/mutex.h",
+    # The lock-order checker's own bookkeeping cannot use vectordb::Mutex
+    # without recursing into its own hooks.
+    "src/common/lockorder.cc",
+}
+# The pool owns thread construction; sysinfo probes hardware concurrency.
+THREAD_ALLOWLIST = {
+    "src/common/threadpool.h",
+    "src/common/threadpool.cc",
+    "src/common/sysinfo.cc",
+}
 SLEEP_ALLOWLIST = {
     "src/storage/retrying_filesystem.cc",  # real backoff sleeps (opt-in)
     "src/storage/object_store.cc",         # simulated object-store latency
@@ -98,6 +115,9 @@ ADHOC_ATOMIC_RE = re.compile(
     r"u?int(?:8|16|32|64|ptr)?_t)\b")
 SEGMENT_SERIALIZE_RE = re.compile(
     r"\b(?:Segment::)?(?:SerializeData|DeserializeData)\s*\(")
+# std::thread not followed by :: — static members like
+# std::thread::hardware_concurrency() are fine, constructing threads is not.
+RAW_THREAD_RE = re.compile(r"std::j?thread\b(?!\s*::)")
 
 
 def _strip_comments_and_strings(line, in_block_comment):
@@ -213,6 +233,11 @@ def lint_file(root, rel_path, findings):
                  "raw Segment::SerializeData/DeserializeData outside "
                  "src/storage/; persist segments through "
                  "storage::SegmentStore so framing and quarantine apply"))
+        if rel_path not in THREAD_ALLOWLIST and RAW_THREAD_RE.search(line):
+            findings.append(
+                (rel_path, lineno, "raw-thread",
+                 "constructing std::thread outside common/threadpool is "
+                 "banned; submit work to ThreadPool instead"))
 
     if is_header and not saw_guard:
         findings.append((rel_path, 1, "header-guard",
@@ -275,6 +300,7 @@ void f() {
   std::lock_guard<std::mutex> lock(mu);
   std::string blob;
   segment.SerializeData(&blob);
+  std::thread worker([] {});
 }
 """
 
@@ -286,6 +312,7 @@ CLEAN_HEADER = """\
 inline const char* kName = "string with (void)f() and std::mutex inside";
 inline const char* kMetric = "vdb_exec_queries_total";  // valid metric name
 inline std::atomic<bool> g_flag{false};  // bool flags are not counters
+inline unsigned Cores() { return std::thread::hardware_concurrency(); }
 #endif  // VECTORDB_GOOD_H_
 """
 
@@ -319,6 +346,7 @@ def self_test():
         expect(findings, "adhoc-atomic", "src/bad.cc")
         expect(findings, "simd-include", "src/bad.cc")
         expect(findings, "segment-serialize", "src/bad.cc")
+        expect(findings, "raw-thread", "src/bad.cc")
         bad_names = [f for f in findings if f[2] == "metric-name"]
         if len(bad_names) != 2:
             failures.append(

@@ -1,0 +1,871 @@
+#!/usr/bin/env python3
+"""Static lock-order analyzer for the vectordb tree.
+
+Extracts the lock acquisition order from src/ and checks it against the
+global rank table in src/common/lock_ranks.h:
+
+  * every `Mutex` / `SharedMutex` declaration must carry a
+    `VDB_LOCK_RANK(kConstant)` naming a constant from lock_ranks.h
+    (unranked mutexes are an error — the runtime checker cannot order what
+    has no rank);
+  * rank constants must have unique values;
+  * lock nesting — a `MutexLock`/`WriterMutexLock`/`ReaderMutexLock` taken
+    while another guard is live in the same function, or a call made under
+    a guard into a method that (transitively) acquires locks — yields
+    acquired-before edges, every one of which must strictly increase rank;
+  * the resulting graph must be acyclic (guaranteed when all edges increase
+    rank, but checked independently so partial rank information still
+    catches inversions).
+
+The analysis is intentionally lexical (regex + brace tracking, no real C++
+parser). It sees direct member acquisitions, `VDB_REQUIRES` seeds, and
+calls through typed members/parameters or via globally-unique method names.
+It cannot see through `std::function` indirection (buffer-pool loaders,
+snapshot edit lambdas, drop handlers) or virtual dispatch — those paths are
+covered by the runtime checker (`-DVDB_LOCK_ORDER_CHECK=ON`), which
+validates every acquisition against the same rank table.
+
+With --emit DIR the tool writes the hierarchy as `lock_hierarchy.md` and
+`lock_hierarchy.dot`; CI re-emits them and fails on `git diff` so the
+committed artifact always matches the code.
+
+Usage:
+  tools/lint/vdb_lockorder.py [--root DIR] [--emit DOCS_DIR]
+  tools/lint/vdb_lockorder.py --self-test
+
+Exit status: 0 = clean, 1 = findings (or self-test failure).
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+RANKS_REL_PATH = os.path.join("src", "common", "lock_ranks.h")
+
+RANK_CONST_RE = re.compile(r"inline\s+constexpr\s+int\s+(k\w+)\s*=\s*(\d+)\s*;")
+MUTEX_DECL_RE = re.compile(
+    r"\b(?:mutable\s+)?(Mutex|SharedMutex)\s+(\w+)\s*"
+    r"(?:\{\s*VDB_LOCK_RANK\(\s*(k\w+)\s*\)\s*\})?\s*[;{=]")
+GUARD_RE = re.compile(
+    r"\b(MutexLock|WriterMutexLock|ReaderMutexLock)\s+\w+\s*\(\s*&\s*"
+    r"([\w.>-]+)\s*\)")
+REQUIRES_RE = re.compile(r"VDB_REQUIRES(?:_SHARED)?\s*\(\s*([\w.>-]+)\s*\)")
+ACQ_BEFORE_RE = re.compile(
+    r"\bVDB_ACQUIRED_BEFORE\s*\(\s*(k\w+)\s*,\s*(k\w+)\s*\)")
+CALL_RE = re.compile(r"(?:(\w+)\s*(?:->|\.))?(\w+)\s*\(")
+CLASS_HEAD_RE = re.compile(
+    r"\b(?:class|struct)\s+(?:VDB_\w+\s*(?:\([^)]*\)\s*)?)?(\w+)"
+    r"(?:\s+final)?(?:\s*:\s*[^{]*)?$")
+NAMESPACE_HEAD_RE = re.compile(r"\bnamespace\b[^={]*$")
+FUNC_HEAD_RE = re.compile(
+    r"(?:(\w+)\s*::\s*)?(~?\w+)\s*\(([^;]*)\)"
+    r"(?:\s*(?:const|noexcept|override|final))*"
+    r"\s*(?:VDB_\w+\s*(?:\([^{]*?\)\s*)?)*"
+    r"(?:->\s*[\w:<>,\s*&]+)?\s*$")
+CONTROL_KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "do",
+    "else", "new", "delete", "throw", "case", "defined", "alignof",
+    "static_cast", "dynamic_cast", "reinterpret_cast", "const_cast",
+    "static_assert", "decltype", "assert",
+}
+# `Type name` / `Type* name` / `Type& name` / `std::shared_ptr<Type> name`
+PARAM_RE = re.compile(r"([\w:<>]+)\s*[*&]*\s+(\w+)\s*(?:=|,|$)")
+MEMBER_DECL_RE = re.compile(
+    r"([\w:<>,\s]+?)[*&\s]+(\w+)\s*(?:VDB_\w+\s*\([^)]*\)\s*)?"
+    r"(?:=[^;]*|\{[^;]*\})?\s*;")
+LOCAL_DECL_RE = re.compile(r"^\s*(?:const\s+)?([\w:<>]+)\s*[*&]*\s+(\w+)\s*=")
+
+
+def strip_comments_and_strings(text):
+    """Remove //, /* */ spans and string/char literals, preserving newlines."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            if j < 0:
+                out.append("\n" * text.count("\n", i))
+                break
+            out.append("\n" * text.count("\n", i, j + 2))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote:
+                    break
+                j += 1
+            i = min(j + 1, n)
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class Lock:
+    """One declared Mutex/SharedMutex: identity is (owner, var)."""
+
+    def __init__(self, owner, var, rank_const, rank, path, line):
+        self.owner = owner          # class name, or "<file>" for globals
+        self.var = var
+        self.rank_const = rank_const  # None when unranked
+        self.rank = rank              # None when unranked/unknown constant
+        self.path = path
+        self.line = line
+
+    @property
+    def key(self):
+        return (self.owner, self.var)
+
+    @property
+    def label(self):
+        return "%s::%s" % (self.owner, self.var)
+
+
+class Func:
+    """One function/method body summary."""
+
+    def __init__(self, owner, name, path, line):
+        self.owner = owner  # class name or None for free functions
+        self.name = name
+        self.path = path
+        self.line = line
+        self.acquires = []   # (lock_key, line) — direct guard acquisitions
+        self.calls = []      # (held_keys tuple, receiver_class|None,
+                             #  method, line)
+        self.requires = []   # lock_keys seeded by VDB_REQUIRES
+
+    @property
+    def label(self):
+        return "%s::%s" % (self.owner, self.name) if self.owner else self.name
+
+
+class Model:
+    def __init__(self):
+        self.ranks = {}        # const name -> int value
+        self.rank_lines = {}   # const name -> (path, line)
+        self.locks = {}        # (owner, var) -> Lock
+        self.funcs = []        # list of Func
+        self.classes = set()   # every class name seen
+        self.members = {}      # class -> {member var -> type class}
+        self.methods = {}      # method name -> set of owner class names
+        self.errors = []       # (path, line, rule, message)
+        self.notes = []        # informational strings
+        self.declared = []     # (outer const, inner const, path, line)
+
+    def error(self, path, line, rule, message):
+        # Idempotent: the declaration pass runs twice (see run()), so the
+        # same finding may be reported twice.
+        entry = (path, line, rule, message)
+        if entry not in self.errors:
+            self.errors.append(entry)
+
+
+# ---------------------------------------------------------------------------
+# Phase 1: the rank table.
+# ---------------------------------------------------------------------------
+
+def parse_rank_table(root, model):
+    path = os.path.join(root, RANKS_REL_PATH)
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError as err:
+        model.error(RANKS_REL_PATH, 0, "rank-table", str(err))
+        return
+    by_value = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        m = RANK_CONST_RE.search(line)
+        if not m:
+            continue
+        name, value = m.group(1), int(m.group(2))
+        if name in model.ranks:
+            model.error(RANKS_REL_PATH, lineno, "rank-table",
+                        "duplicate rank constant %s" % name)
+            continue
+        if value in by_value:
+            model.error(
+                RANKS_REL_PATH, lineno, "rank-table",
+                "rank value %d reused by %s (already %s); values must be "
+                "unique" % (value, name, by_value[value]))
+        by_value[value] = name
+        model.ranks[name] = value
+        model.rank_lines[name] = (RANKS_REL_PATH, lineno)
+    if not model.ranks:
+        model.error(RANKS_REL_PATH, 0, "rank-table",
+                    "no rank constants found")
+
+
+# ---------------------------------------------------------------------------
+# Phase 2/3: per-file scan — scopes, declarations, guard nesting, calls.
+# ---------------------------------------------------------------------------
+
+class Scope:
+    def __init__(self, kind, name=None, func=None):
+        self.kind = kind  # "namespace" | "class" | "func" | "block"
+        self.name = name
+        self.func = func  # Func for "func"/"block" inside one
+        self.guards = []  # indices into func.acquires active in this scope
+
+
+def type_to_class(type_text, model):
+    """Map a type spelling to a known class name, if any.
+
+    Handles `Segment`, `storage::Segment*`, `std::shared_ptr<Segment>`,
+    and the `SegmentPtr` alias convention.
+    """
+    for token in re.findall(r"\w+", type_text or ""):
+        if token in model.classes:
+            return token
+        if token.endswith("Ptr") and token[:-3] in model.classes:
+            return token[:-3]
+    return None
+
+
+def scan_file(root, rel_path, model, collect_decls_only):
+    path = os.path.join(root, rel_path)
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = strip_comments_and_strings(f.read())
+    except OSError as err:
+        model.error(rel_path, 0, "io", str(err))
+        return
+
+    file_owner = "<%s>" % rel_path
+    scopes = []
+    held = []  # [(lock_key, scope_depth)] for the innermost function
+    local_types = {}  # var -> class, within the innermost function
+
+    def current_class():
+        for scope in reversed(scopes):
+            if scope.kind == "class":
+                return scope.name
+        return None
+
+    def current_func():
+        for scope in reversed(scopes):
+            if scope.func is not None:
+                return scope.func
+        return None
+
+    def resolve_lock_expr(expr, func):
+        """`mu_` / `impl_->mu` / `segment->tier_mu_` -> lock key or None."""
+        parts = re.split(r"->|\.", expr)
+        var = parts[-1]
+        if len(parts) == 1:
+            owner = func.owner or current_class()
+            if owner and (owner, var) in model.locks:
+                return (owner, var)
+            if (file_owner, var) in model.locks:
+                return (file_owner, var)
+            # Global declared in another file (e.g. extern): search uniques.
+            candidates = [k for k in model.locks if k[1] == var]
+            if len(candidates) == 1:
+                return candidates[0]
+            return None
+        recv = parts[-2]
+        recv_class = local_types.get(recv)
+        if recv_class is None and func is not None:
+            owner = func.owner or current_class()
+            recv_class = model.members.get(owner, {}).get(recv)
+        if recv_class and (recv_class, var) in model.locks:
+            return (recv_class, var)
+        candidates = [k for k in model.locks if k[1] == var]
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def head_line(pos):
+        return text.count("\n", 0, pos) + 1
+
+    def is_scope_brace(head):
+        """False for brace-initializers like `Mutex mu_{VDB_LOCK_RANK(..)}`
+        — those stay part of the enclosing statement."""
+        h = head.strip()
+        if not h:
+            return True  # bare block
+        if NAMESPACE_HEAD_RE.search(h):
+            return True
+        if re.search(r"\b(class|struct|union|enum)\b", h):
+            return True
+        if h.endswith(("else", "do", "try")):
+            return True
+        if re.search(r"[)\]](?:\s*(?:const|noexcept|mutable|override|final))*"
+                     r"\s*$", h):
+            return True  # function/control/lambda head
+        if FUNC_HEAD_RE.search(h) and "(" in h:
+            return True  # head ending in VDB_* attributes etc.
+        return False
+
+    i = 0
+    stmt_start = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == "{" and not is_scope_brace(text[stmt_start:i]):
+            depth = 1
+            j = i + 1
+            while j < n and depth:
+                if text[j] == "{":
+                    depth += 1
+                elif text[j] == "}":
+                    depth -= 1
+                j += 1
+            i = j  # Matching '}' consumed; statement continues to ';'.
+            continue
+        if c == "{":
+            head = text[stmt_start:i].strip()
+            lineno = head_line(i)
+            scope = Scope("block")
+            cm = CLASS_HEAD_RE.search(head)
+            fm = FUNC_HEAD_RE.search(head) if "(" in head else None
+            if NAMESPACE_HEAD_RE.search(head):
+                scope = Scope("namespace", name=head.split()[-1]
+                              if len(head.split()) > 1 else None)
+            elif cm and "enum" not in head.split():
+                scope = Scope("class", name=cm.group(1))
+                model.classes.add(cm.group(1))
+                model.members.setdefault(cm.group(1), {})
+            elif fm and fm.group(2) not in CONTROL_KEYWORDS \
+                    and current_func() is None:
+                owner = fm.group(1) or current_class()
+                func = Func(owner, fm.group(2), rel_path, lineno)
+                held = []
+                local_types = {}
+                for ptype, pname in PARAM_RE.findall(fm.group(3)):
+                    cls = type_to_class(ptype, model)
+                    if cls:
+                        local_types[pname] = cls
+                for req in REQUIRES_RE.findall(head):
+                    key = resolve_lock_expr(req, func)
+                    if key:
+                        func.requires.append(key)
+                if not collect_decls_only:
+                    model.funcs.append(func)
+                    if owner:
+                        model.methods.setdefault(func.name, set()).add(owner)
+                scope = Scope("func", func=func)
+            else:
+                scope = Scope("block", func=current_func())
+            scopes.append(scope)
+            stmt_start = i + 1
+        elif c == "}":
+            if scopes:
+                closing = scopes.pop()
+                if closing.kind in ("func", "block") and closing.func:
+                    depth = len(scopes)
+                    held = [(k, d) for (k, d) in held if d <= depth]
+                if closing.kind == "func":
+                    held = []
+                    local_types = {}
+            stmt_start = i + 1
+        elif c == ";":
+            stmt = text[stmt_start:i + 1]
+            lineno = head_line(stmt_start + len(stmt) - len(stmt.lstrip()))
+            func = current_func()
+            cls = current_class()
+
+            # Declared acquired-before edges (VDB_ACQUIRED_BEFORE) for
+            # paths the call analysis cannot trace.
+            if collect_decls_only:
+                for am in ACQ_BEFORE_RE.finditer(stmt):
+                    entry = (am.group(1), am.group(2), rel_path, lineno)
+                    if entry not in model.declared:
+                        model.declared.append(entry)
+
+            # Mutex/SharedMutex declarations (class members or globals).
+            if func is None:
+                dm = MUTEX_DECL_RE.search(stmt)
+                if dm and collect_decls_only:
+                    kind, var, const = dm.group(1), dm.group(2), dm.group(3)
+                    owner = cls or file_owner
+                    rank = model.ranks.get(const) if const else None
+                    lock = Lock(owner, var, const, rank, rel_path, lineno)
+                    model.locks[lock.key] = lock
+                    if const is None:
+                        model.error(
+                            rel_path, lineno, "unranked-mutex",
+                            "%s %s has no VDB_LOCK_RANK; every mutex in "
+                            "src/ must name a constant from "
+                            "common/lock_ranks.h" % (kind, lock.label))
+                    elif const not in model.ranks:
+                        model.error(
+                            rel_path, lineno, "unknown-rank",
+                            "%s names %s, which is not declared in "
+                            "common/lock_ranks.h" % (lock.label, const))
+                # Member declarations (for receiver-type resolution).
+                if cls and collect_decls_only and dm is None:
+                    mm = MEMBER_DECL_RE.match(stmt.strip())
+                    if mm:
+                        mtype = type_to_class(mm.group(1), model)
+                        if mtype:
+                            model.members[cls][mm.group(2)] = mtype
+
+            if func is not None and not collect_decls_only:
+                lm = LOCAL_DECL_RE.match(stmt)
+                if lm:
+                    ltype = type_to_class(lm.group(1), model)
+                    if ltype:
+                        local_types[lm.group(2)] = ltype
+                gm = GUARD_RE.search(stmt)
+                if gm:
+                    key = resolve_lock_expr(gm.group(2), func)
+                    if key:
+                        func.acquires.append((key, lineno))
+                        held.append((key, len(scopes)))
+                    else:
+                        model.notes.append(
+                            "%s:%d: unresolved guard on '%s' in %s" %
+                            (rel_path, lineno, gm.group(2), func.label))
+                for recv, method in CALL_RE.findall(stmt):
+                    if method in CONTROL_KEYWORDS or method.isupper() \
+                            or method.startswith("VDB_"):
+                        continue
+                    if gm and method in ("MutexLock", "WriterMutexLock",
+                                         "ReaderMutexLock"):
+                        continue
+                    recv_class = None
+                    if recv:
+                        recv_class = local_types.get(recv)
+                        if recv_class is None:
+                            owner = func.owner or cls
+                            recv_class = model.members.get(
+                                owner, {}).get(recv)
+                    held_keys = tuple(dict.fromkeys(
+                        list(func.requires) + [k for k, _ in held]))
+                    # Record even lock-free calls: they propagate transitive
+                    # acquire sets through intermediary helpers.
+                    func.calls.append(
+                        (held_keys, recv_class, method, lineno))
+            stmt_start = i + 1
+        i += 1
+
+
+def collect_sources(root):
+    sources = []
+    for dirpath, _, filenames in os.walk(os.path.join(root, "src")):
+        for name in sorted(filenames):
+            if name.endswith((".h", ".cc")):
+                sources.append(
+                    os.path.relpath(os.path.join(dirpath, name), root))
+    return sorted(sources)
+
+
+# ---------------------------------------------------------------------------
+# Phase 4: interprocedural edges + checks.
+# ---------------------------------------------------------------------------
+
+def build_edges(model):
+    """Returns {(from_key, to_key): (path, line, kind)} acquired-before."""
+    edges = {}
+
+    def add_edge(a, b, path, line, kind):
+        if a == b:
+            return  # Same identity: recursion, reported separately.
+        edges.setdefault((a, b), (path, line, kind))
+
+    # Direct nesting inside one function body.
+    for func in model.funcs:
+        seeds = list(func.requires)
+        held = []
+        for key, line in func.acquires:
+            for prior in seeds + held:
+                add_edge(prior, key, func.path, line, "nested in %s"
+                         % func.label)
+            held.append(key)
+
+    # Interprocedural: resolve callees, compute transitive acquire sets.
+    func_index = {}
+    for func in model.funcs:
+        func_index.setdefault((func.owner, func.name), []).append(func)
+
+    def resolve_callee(recv_class, method):
+        if recv_class is not None:
+            return func_index.get((recv_class, method), [])
+        owners = model.methods.get(method, set())
+        if len(owners) == 1:
+            return func_index.get((next(iter(owners)), method), [])
+        return []  # Ambiguous or unknown: skip (runtime checker covers it).
+
+    direct = {id(f): {k for k, _ in f.acquires} for f in model.funcs}
+    trans = {id(f): set(s) for f, s in
+             ((f, direct[id(f)]) for f in model.funcs)}
+    changed = True
+    while changed:
+        changed = False
+        for func in model.funcs:
+            acc = trans[id(func)]
+            before = len(acc)
+            for _, recv_class, method, _ in func.calls:
+                for callee in resolve_callee(recv_class, method):
+                    acc |= trans[id(callee)]
+            if len(acc) != before:
+                changed = True
+
+    for func in model.funcs:
+        for held_keys, recv_class, method, line in func.calls:
+            for callee in resolve_callee(recv_class, method):
+                for acquired in sorted(trans[id(callee)]):
+                    for h in held_keys:
+                        add_edge(h, acquired, func.path, line,
+                                 "%s -> %s()" % (func.label, callee.label))
+
+    # Declared edges (VDB_ACQUIRED_BEFORE): documentation for runtime-only
+    # paths. Validated like any observed edge, then drawn in the artifact.
+    by_const = {}
+    for lock in model.locks.values():
+        if lock.rank_const:
+            by_const.setdefault(lock.rank_const, []).append(lock)
+    for outer, inner, path, line in model.declared:
+        bad = False
+        for const in (outer, inner):
+            if const not in model.ranks:
+                model.error(
+                    path, line, "unknown-rank",
+                    "VDB_ACQUIRED_BEFORE names %s, which is not declared "
+                    "in common/lock_ranks.h" % const)
+                bad = True
+        if bad:
+            continue
+        for a in by_const.get(outer, []):
+            for b in by_const.get(inner, []):
+                add_edge(a.key, b.key, path, line, "declared")
+    return edges
+
+
+def check_edges(model, edges):
+    for (a, b), (path, line, kind) in sorted(edges.items()):
+        la, lb = model.locks.get(a), model.locks.get(b)
+        if la is None or lb is None or la.rank is None or lb.rank is None:
+            continue  # Unranked already reported.
+        if la.rank >= lb.rank:
+            model.error(
+                path, line, "rank-violation",
+                "%s (%s=%d) is held while acquiring %s (%s=%d); ranks must "
+                "strictly increase [%s]" %
+                (la.label, la.rank_const, la.rank, lb.label, lb.rank_const,
+                 lb.rank, kind))
+
+
+def find_cycles(model, edges):
+    graph = {}
+    for (a, b) in edges:
+        graph.setdefault(a, set()).add(b)
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {k: WHITE for k in model.locks}
+    stack = []
+
+    def dfs(node):
+        color[node] = GRAY
+        stack.append(node)
+        for nxt in sorted(graph.get(node, ())):
+            if color.get(nxt, WHITE) == GRAY:
+                cycle = stack[stack.index(nxt):] + [nxt]
+                labels = " -> ".join(
+                    model.locks[k].label if k in model.locks else str(k)
+                    for k in cycle)
+                model.error("", 0, "lock-cycle",
+                            "acquired-before cycle: %s" % labels)
+            elif color.get(nxt, WHITE) == WHITE and nxt in color:
+                dfs(nxt)
+        stack.pop()
+        color[node] = BLACK
+
+    for node in sorted(color):
+        if color[node] == WHITE:
+            dfs(node)
+
+
+# ---------------------------------------------------------------------------
+# Phase 5: artifact emission.
+# ---------------------------------------------------------------------------
+
+def ranked_locks(model):
+    return sorted(
+        (l for l in model.locks.values() if l.rank is not None),
+        key=lambda l: (l.rank, l.label))
+
+
+def emit_markdown(model, edges):
+    lines = [
+        "# Lock hierarchy",
+        "",
+        "Generated by `tools/lint/vdb_lockorder.py --emit docs` — do not "
+        "edit by hand.",
+        "A thread may only acquire locks in strictly increasing rank order "
+        "(lower rank = outer lock). Ranks live in "
+        "`src/common/lock_ranks.h`; the runtime checker "
+        "(`-DVDB_LOCK_ORDER_CHECK=ON`) enforces the same table on every "
+        "acquisition. See `docs/static_analysis.md` for how to add a mutex "
+        "or read a checker abort.",
+        "",
+        "| Rank | Constant | Lock | Declared at |",
+        "|-----:|----------|------|-------------|",
+    ]
+    for lock in ranked_locks(model):
+        lines.append("| %d | `%s` | `%s` | `%s:%d` |" %
+                     (lock.rank, lock.rank_const, lock.label, lock.path,
+                      lock.line))
+    lines += [
+        "",
+        "## Statically observed acquired-before edges",
+        "",
+        "Extracted from guard nesting and resolvable calls; paths through "
+        "`std::function` or virtual dispatch are invisible here and are "
+        "covered by the runtime checker instead.",
+        "",
+    ]
+    for (a, b), (path, line, kind) in sorted(
+            edges.items(),
+            key=lambda kv: (model.locks[kv[0][0]].rank or 0,
+                            model.locks[kv[0][1]].rank or 0,
+                            kv[0])):
+        la, lb = model.locks[a], model.locks[b]
+        lines.append("- `%s` (%d) → `%s` (%d) — `%s:%d` (%s)" %
+                     (la.label, la.rank or -1, lb.label, lb.rank or -1,
+                      path, line, kind))
+    if not edges:
+        lines.append("- (none)")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def emit_dot(model, edges):
+    lines = [
+        "// Generated by tools/lint/vdb_lockorder.py --emit docs; do not "
+        "edit.",
+        "digraph lock_hierarchy {",
+        "  rankdir=TB;",
+        "  node [shape=box, fontsize=10];",
+    ]
+    for lock in ranked_locks(model):
+        lines.append('  "%s" [label="%s\\n%s = %d"];' %
+                     (lock.label, lock.label, lock.rank_const, lock.rank))
+    for (a, b) in sorted(edges):
+        lines.append('  "%s" -> "%s";' %
+                     (model.locks[a].label, model.locks[b].label))
+    lines.append("}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Driver.
+# ---------------------------------------------------------------------------
+
+def run(root, emit_dir=None):
+    model = Model()
+    parse_rank_table(root, model)
+    sources = collect_sources(root)
+    if not sources:
+        print("vdb_lockorder: no sources under %s/src" % root,
+              file=sys.stderr)
+        return 1
+    # Declarations (locks, classes, members) first so guard and receiver
+    # resolution in the body pass sees every class regardless of order. The
+    # declaration pass itself runs twice: member types may reference classes
+    # defined in files scanned later (scan order is alphabetical), and only
+    # the second pass has the full class set.
+    for _ in range(2):
+        for rel in sources:
+            scan_file(root, rel, model, collect_decls_only=True)
+    for rel in sources:
+        scan_file(root, rel, model, collect_decls_only=False)
+
+    edges = build_edges(model)
+    check_edges(model, edges)
+    find_cycles(model, edges)
+
+    for path, line, rule, message in model.errors:
+        print("%s:%d: [%s] %s" % (path, line, rule, message))
+    if model.errors:
+        print("vdb_lockorder: %d finding(s); %d mutexes, %d edges" %
+              (len(model.errors), len(model.locks), len(edges)))
+        return 1
+
+    if emit_dir:
+        os.makedirs(emit_dir, exist_ok=True)
+        md = os.path.join(emit_dir, "lock_hierarchy.md")
+        dot = os.path.join(emit_dir, "lock_hierarchy.dot")
+        with open(md, "w", encoding="utf-8") as f:
+            f.write(emit_markdown(model, edges))
+        with open(dot, "w", encoding="utf-8") as f:
+            f.write(emit_dot(model, edges))
+        print("vdb_lockorder: wrote %s and %s" % (md, dot))
+    print("vdb_lockorder: OK (%d ranked mutexes, %d acquired-before edges, "
+          "0 cycles, 0 unranked)" % (len(model.locks), len(edges)))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Self-test.
+# ---------------------------------------------------------------------------
+
+SELFTEST_RANKS = """\
+namespace vectordb { namespace lock_rank {
+inline constexpr int kAlpha = 10;
+inline constexpr int kBeta = 20;
+inline constexpr int kGamma = 30;
+} }
+"""
+
+SELFTEST_GOOD = """\
+#include "common/mutex.h"
+VDB_ACQUIRED_BEFORE(kAlpha, kGamma);
+class Gamma {
+ public:
+  void Lockless() {}
+ private:
+  Mutex mu_{VDB_LOCK_RANK(kGamma)};
+};
+class Beta {
+ public:
+  void Touch() {
+    MutexLock lock(&mu_);
+  }
+ private:
+  Mutex mu_{VDB_LOCK_RANK(kBeta)};
+};
+class Alpha {
+ public:
+  void Nested() {
+    MutexLock lock(&mu_);
+    beta_->Touch();
+  }
+  void Direct(Beta* other) {
+    MutexLock lock(&mu_);
+    MutexLock inner(&other->mu_);
+  }
+  void Helper() VDB_REQUIRES(mu_) {
+    gamma_.Lockless();
+  }
+ private:
+  Mutex mu_{VDB_LOCK_RANK(kAlpha)};
+  Beta* beta_;
+  Gamma gamma_;
+};
+"""
+
+SELFTEST_BAD = """\
+#include "common/mutex.h"
+VDB_ACQUIRED_BEFORE(kBeta, kAlpha);
+class Low {
+ public:
+  void Grab() { MutexLock lock(&mu_); }
+  Mutex mu_{VDB_LOCK_RANK(kAlpha)};
+};
+class High {
+ public:
+  void Inverted() {
+    MutexLock lock(&mu_);
+    low_->Grab();
+  }
+  Mutex mu_{VDB_LOCK_RANK(kBeta)};
+  Mutex naked_mu_;
+  Mutex phantom_mu_{VDB_LOCK_RANK(kMissing)};
+  Low* low_;
+};
+"""
+
+
+def self_test():
+    failures = []
+
+    def check(cond, what):
+        if not cond:
+            failures.append(what)
+
+    def run_tree(files):
+        with tempfile.TemporaryDirectory(prefix="vdb_lockorder_") as tmp:
+            for rel, content in files.items():
+                full = os.path.join(tmp, rel)
+                os.makedirs(os.path.dirname(full), exist_ok=True)
+                with open(full, "w") as f:
+                    f.write(content)
+            model = Model()
+            parse_rank_table(tmp, model)
+            sources = collect_sources(tmp)
+            for _ in range(2):  # See run(): member types need the full
+                for rel in sources:  # class set, built on the first pass.
+                    scan_file(tmp, rel, model, collect_decls_only=True)
+            for rel in sources:
+                scan_file(tmp, rel, model, collect_decls_only=False)
+            edges = build_edges(model)
+            check_edges(model, edges)
+            find_cycles(model, edges)
+            return model, edges
+
+    # Clean tree: both nesting forms produce increasing-rank edges, no
+    # findings, and the interprocedural edge Alpha::mu_ -> Beta::mu_ exists.
+    model, edges = run_tree({
+        RANKS_REL_PATH: SELFTEST_RANKS,
+        "src/good.h": SELFTEST_GOOD,
+    })
+    check(not model.errors, "clean tree produced: %r" % model.errors)
+    check((("Alpha", "mu_"), ("Beta", "mu_")) in edges,
+          "interprocedural edge Alpha->Beta missing: %r" % sorted(edges))
+    check(edges.get((("Alpha", "mu_"), ("Gamma", "mu_")),
+                    (None, None, None))[2] == "declared",
+          "declared edge Alpha->Gamma missing: %r" % sorted(edges))
+    check(len(model.locks) == 3, "expected 3 locks, got %d"
+          % len(model.locks))
+
+    # Bad tree: rank inversion via a call under the lock, one unranked
+    # mutex, one unknown constant.
+    model, _ = run_tree({
+        RANKS_REL_PATH: SELFTEST_RANKS,
+        "src/bad.h": SELFTEST_BAD,
+    })
+    rules = sorted({e[2] for e in model.errors})
+    check("rank-violation" in rules,
+          "rank-violation did not fire: %r" % model.errors)
+    check("unranked-mutex" in rules,
+          "unranked-mutex did not fire: %r" % model.errors)
+    check("unknown-rank" in rules,
+          "unknown-rank did not fire: %r" % model.errors)
+
+    # Duplicate rank values in the table are rejected.
+    model, _ = run_tree({
+        RANKS_REL_PATH: SELFTEST_RANKS.replace(
+            "kGamma = 30", "kGamma = 20"),
+        "src/good.h": SELFTEST_GOOD,
+    })
+    check(any(e[2] == "rank-table" for e in model.errors),
+          "duplicate rank value not rejected: %r" % model.errors)
+
+    if failures:
+        for failure in failures:
+            print("self-test FAILED: " + failure, file=sys.stderr)
+        return 1
+    print("vdb_lockorder self-test: OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: two levels up)")
+    parser.add_argument("--emit", metavar="DIR", default=None,
+                        help="write lock_hierarchy.{md,dot} into DIR")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the analyzer against synthetic trees")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    root = args.root or os.path.normpath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", ".."))
+    return run(root, emit_dir=args.emit)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
