@@ -1,0 +1,273 @@
+// Serving-tier benchmark: closed-loop clients against the admission-
+// controlled batching scheduler. For each client count (1/8/64/512) every
+// client submits its next query only after the previous reply returns, so
+// queue depth — and therefore batch width — grows naturally with load.
+// Reports QPS, p50/p99 latency, mean batch width, and admission rejects per
+// level, plus a direct (unbatched) single-client baseline. Every batched
+// reply is cross-checked against per-query execution on the same
+// collection; tools/bench_gate.py gates CI on zero wrong results and on
+// throughput scaling from 1 to 64 clients.
+//
+// Usage: serving_bench [--quick] [--out PATH]
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/json.h"
+#include "benchsupport/dataset.h"
+#include "common/timer.h"
+#include "db/vector_db.h"
+#include "serve/serving_tier.h"
+#include "storage/filesystem.h"
+
+namespace vectordb {
+namespace {
+
+struct BenchConfig {
+  bool quick = false;
+  size_t rows = 8000;
+  size_t dim = 64;
+  size_t segments = 4;
+  size_t num_queries = 256;          ///< Distinct query vectors.
+  size_t queries_per_level = 4096;   ///< Total submissions per client count.
+  std::vector<size_t> client_counts = {1, 8, 64, 512};
+  std::string out_path = "BENCH_serving.json";
+};
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  std::sort(sorted.begin(), sorted.end());
+  const size_t idx = static_cast<size_t>(p * (sorted.size() - 1));
+  return sorted[idx];
+}
+
+struct LevelResult {
+  size_t clients = 0;
+  size_t completed = 0;
+  size_t rejected = 0;
+  size_t wrong_results = 0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_batch_width = 0.0;
+};
+
+LevelResult RunLevel(serve::ServingTier* tier, const bench::Dataset& queries,
+                     const std::vector<HitList>& reference,
+                     const BenchConfig& config, size_t clients) {
+  LevelResult result;
+  result.clients = clients;
+  const size_t per_client =
+      std::max<size_t>(1, config.queries_per_level / clients);
+
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<size_t> rejects(clients, 0);
+  std::vector<size_t> wrong(clients, 0);
+  std::vector<size_t> widths(clients, 0);
+  std::vector<size_t> served(clients, 0);
+
+  Timer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      latencies[c].reserve(per_client);
+      for (size_t q = 0; q < per_client; ++q) {
+        const size_t query_id = (c * per_client + q) % config.num_queries;
+        serve::SearchRequest request;
+        request.tenant = "client" + std::to_string(c % 8);
+        request.collection = "bench";
+        request.field = "v";
+        request.query.assign(queries.vector(query_id),
+                             queries.vector(query_id) + config.dim);
+        request.options.k = 10;
+        Timer timer;
+        serve::SearchReply reply = tier->Search(std::move(request));
+        const double ms = timer.ElapsedMillis();
+        if (reply.status.IsResourceExhausted()) {
+          ++rejects[c];
+          continue;
+        }
+        if (!reply.status.ok() || reply.hits != reference[query_id]) {
+          ++wrong[c];
+          continue;
+        }
+        latencies[c].push_back(ms);
+        widths[c] += reply.batch_width;
+        ++served[c];
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed = wall.ElapsedSeconds();
+
+  std::vector<double> all;
+  size_t total_width = 0;
+  for (size_t c = 0; c < clients; ++c) {
+    all.insert(all.end(), latencies[c].begin(), latencies[c].end());
+    result.rejected += rejects[c];
+    result.wrong_results += wrong[c];
+    result.completed += served[c];
+    total_width += widths[c];
+  }
+  result.qps = static_cast<double>(result.completed) / elapsed;
+  result.p50_ms = Percentile(all, 0.50);
+  result.p99_ms = Percentile(all, 0.99);
+  result.mean_batch_width =
+      result.completed == 0
+          ? 0.0
+          : static_cast<double>(total_width) /
+                static_cast<double>(result.completed);
+  return result;
+}
+
+}  // namespace
+}  // namespace vectordb
+
+int main(int argc, char** argv) {
+  vectordb::BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      config.quick = true;
+      config.rows = 2048;
+      config.segments = 2;
+      config.num_queries = 64;
+      config.queries_per_level = 512;
+      config.client_counts = {1, 8, 64};
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      config.out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  using vectordb::Timer;
+  namespace bench = vectordb::bench;
+  namespace db = vectordb::db;
+  namespace serve = vectordb::serve;
+
+  Timer wall;
+  bench::DatasetSpec spec;
+  spec.num_vectors = config.rows;
+  spec.dim = config.dim;
+  const auto data = bench::MakeSiftLike(spec);
+  const auto queries = bench::MakeQueries(spec, config.num_queries);
+
+  db::DbOptions db_options;
+  db_options.fs = vectordb::storage::NewMemoryFileSystem();
+  db::VectorDb vdb(db_options);
+  db::CollectionSchema schema;
+  schema.name = "bench";
+  schema.vector_fields = {{"v", config.dim}};
+  auto created = vdb.CreateCollection(schema);
+  if (!created.ok()) {
+    std::fprintf(stderr, "create failed: %s\n",
+                 created.status().ToString().c_str());
+    return 1;
+  }
+  db::Collection* collection = created.value();
+  const size_t rows_per_segment = config.rows / config.segments;
+  for (size_t i = 0; i < config.rows; ++i) {
+    db::Entity entity;
+    entity.id = static_cast<vectordb::RowId>(i);
+    entity.vectors.emplace_back(data.vector(i), data.vector(i) + config.dim);
+    if (!collection->Insert(entity).ok()) return 1;
+    if ((i + 1) % rows_per_segment == 0 && !collection->Flush().ok()) return 1;
+  }
+  if (!collection->Flush().ok()) return 1;
+
+  // Reference answers via per-query direct execution, plus the unbatched
+  // single-client baseline QPS.
+  db::QueryOptions qopts;
+  qopts.k = 10;
+  std::vector<vectordb::HitList> reference(config.num_queries);
+  Timer direct_timer;
+  for (size_t q = 0; q < config.num_queries; ++q) {
+    auto result = collection->Search("v", queries.vector(q), 1, qopts);
+    if (!result.ok()) {
+      std::fprintf(stderr, "direct search failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    reference[q] = std::move(result).value()[0];
+  }
+  const double direct_qps = static_cast<double>(config.num_queries) /
+                            direct_timer.ElapsedSeconds();
+
+  serve::ServeOptions serve_options;
+  serve_options.worker_threads = 4;
+  serve_options.max_batch_width = 32;
+  serve_options.max_in_flight = 2048;
+  serve_options.default_max_queued_per_tenant = 1024;
+  serve::ServingTier tier(&vdb, serve_options);
+
+  vectordb::api::Json levels = vectordb::api::Json::Array();
+  size_t total_wrong = 0;
+  double qps_1 = 0.0, qps_64 = 0.0;
+  for (size_t clients : config.client_counts) {
+    const auto level =
+        vectordb::RunLevel(&tier, queries, reference, config, clients);
+    std::printf(
+        "clients %4zu: %8.0f qps  p50 %7.3f ms  p99 %7.3f ms  "
+        "batch %5.2f  rejected %zu  wrong %zu\n",
+        level.clients, level.qps, level.p50_ms, level.p99_ms,
+        level.mean_batch_width, level.rejected, level.wrong_results);
+    total_wrong += level.wrong_results;
+    if (clients == 1) qps_1 = level.qps;
+    if (clients == 64) qps_64 = level.qps;
+    vectordb::api::Json row = vectordb::api::Json::Object();
+    row.Set("clients", level.clients);
+    row.Set("completed", level.completed);
+    row.Set("rejected", level.rejected);
+    row.Set("wrong_results", level.wrong_results);
+    row.Set("qps", level.qps);
+    row.Set("p50_ms", level.p50_ms);
+    row.Set("p99_ms", level.p99_ms);
+    row.Set("mean_batch_width", level.mean_batch_width);
+    levels.Append(std::move(row));
+  }
+
+  int exit_code = 0;
+  if (total_wrong != 0) {
+    std::fprintf(stderr, "BATCHED RESULTS DIVERGED: %zu wrong\n", total_wrong);
+    exit_code = 1;
+  }
+  const double scaling_64 = qps_1 > 0.0 ? qps_64 / qps_1 : 0.0;
+  std::printf("direct baseline %.0f qps  scaling 1->64 clients %.2fx\n",
+              direct_qps, scaling_64);
+
+  vectordb::api::Json root = vectordb::api::Json::Object();
+  root.Set("schema", "vdb-serving-bench-v1");
+  root.Set("quick", config.quick);
+  root.Set("rows", config.rows);
+  root.Set("dim", config.dim);
+  root.Set("segments", config.segments);
+  root.Set("num_queries", config.num_queries);
+  root.Set("worker_threads", serve_options.worker_threads);
+  root.Set("max_batch_width", serve_options.max_batch_width);
+  root.Set("direct_qps", direct_qps);
+  root.Set("scaling_1_to_64", scaling_64);
+  root.Set("wrong_results", total_wrong);
+  root.Set("levels", std::move(levels));
+  root.Set("wall_seconds", wall.ElapsedSeconds());
+
+  std::FILE* f = std::fopen(config.out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", config.out_path.c_str());
+    return 1;
+  }
+  const std::string text = root.Dump();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", config.out_path.c_str());
+  return exit_code;
+}

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "api/rest_handler.h"
+#include "serve/serving_tier.h"
 #include "storage/filesystem.h"
 
 using namespace vectordb;  // NOLINT — example brevity.
@@ -25,7 +26,13 @@ int main() {
   db::DbOptions options;
   options.fs = storage::NewMemoryFileSystem();
   db::VectorDb db(options);
+  // Searches go through the admission-controlled batching scheduler
+  // (docs/serving.md); "web" gets a deliberately tiny quota below.
+  db.SetTenantQuota("web", {.rate_qps = 1.0, .burst = 1.0});
+  serve::ServeOptions serve_options;
+  serve::ServingTier tier(&db, serve_options);
   api::RestHandler rest(&db);
+  rest.set_serving(&tier);
 
   auto call = [&](const char* method, const char* path,
                   const std::string& body = "") {
@@ -64,9 +71,17 @@ int main() {
   call("DELETE", "/collections/docs/entities/5");
   call("GET", "/collections/docs/entities/5");
 
-  // Error handling: malformed JSON and unknown routes map to HTTP codes.
+  // Error handling: every non-2xx response carries the unified
+  // {"error": {"code", "message", "retryable"}} body.
   call("POST", "/collections", "{not json");
   call("GET", "/collections/ghost");
+
+  // Backpressure: the "web" tenant's token bucket holds one query; the
+  // second answers 429 with retry_after_seconds and a Retry-After header.
+  call("POST", "/collections/docs/search",
+       R"({"vector":[5,0,0,0,0,0,0,0],"k":3,"tenant":"web"})");
+  call("POST", "/collections/docs/search",
+       R"({"vector":[5,0,0,0,0,0,0,0],"k":3,"tenant":"web"})");
 
   call("DELETE", "/collections/docs");
   return 0;

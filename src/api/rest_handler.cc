@@ -1,5 +1,6 @@
 #include "api/rest_handler.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <utility>
 #include <vector>
@@ -16,22 +17,75 @@ int HttpStatusFor(const Status& status) {
   if (status.IsNotFound()) return 404;
   if (status.IsAlreadyExists()) return 409;
   if (status.IsInvalidArgument() || status.IsNotSupported()) return 400;
+  if (status.IsResourceExhausted()) return 429;  // Admission / quota reject.
+  if (status.IsUnavailable()) return 503;
   if (status.IsAborted()) return 504;  // Query deadline expired.
   return 500;
 }
 
+const char* StatusCodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kAlreadyExists:
+      return "AlreadyExists";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kIOError:
+      return "IOError";
+    case Status::Code::kCorruption:
+      return "Corruption";
+    case Status::Code::kNotSupported:
+      return "NotSupported";
+    case Status::Code::kAborted:
+      return "Aborted";
+    case Status::Code::kResourceExhausted:
+      return "ResourceExhausted";
+    case Status::Code::kInternal:
+      return "Internal";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
+  }
+  return "Internal";
+}
+
+Json ErrorBody(const Status& status) {
+  Json error = Json::Object();
+  error.Set("code", StatusCodeName(status.code()));
+  error.Set("message", status.message());
+  error.Set("retryable", Json(status.IsTransient()));
+  Json body = Json::Object();
+  body.Set("error", std::move(error));
+  return body;
+}
+
 namespace {
 
-RestResponse Error(int status, const std::string& message) {
+/// Route-level failure with an explicit HTTP status (405s and route misses
+/// have no unique Status code); the body still follows the one schema.
+RestResponse Error(int http_status, const Status& status) {
   RestResponse response;
-  response.status = status;
-  response.body.Set("error", message);
+  response.status = http_status;
+  response.body = ErrorBody(status);
   return response;
 }
 
 RestResponse FromStatus(const Status& status) {
   if (status.ok()) return RestResponse{};
-  return Error(HttpStatusFor(status), status.ToString());
+  return Error(HttpStatusFor(status), status);
+}
+
+RestResponse MethodNotAllowed() {
+  return Error(405, Status::NotSupported("method not allowed"));
+}
+
+/// HTTP Retry-After is integral delta-seconds; round up so clients never
+/// retry before the hinted instant.
+std::string RetryAfterValue(double seconds) {
+  const long long v = static_cast<long long>(std::ceil(seconds));
+  return std::to_string(v < 1 ? 1 : v);
 }
 
 /// Split "/collections/foo/entities/7" into path segments.
@@ -140,32 +194,32 @@ RestResponse RestHandler::Handle(const std::string& method,
   Json parsed = Json::Object();
   if (!body.empty()) {
     auto result = Json::Parse(body);
-    if (!result.ok()) return Error(400, "invalid JSON: " + body);
+    if (!result.ok()) return FromStatus(Status::InvalidArgument("invalid JSON: " + body));
     parsed = std::move(result).value();
   }
 
   if (segments.size() == 1 && segments[0] == "metrics") {
     if (method == "GET") return Metrics();
-    return Error(405, "method not allowed");
+    return MethodNotAllowed();
   }
   if (segments.size() == 2 && segments[0] == "cluster" &&
       segments[1] == "health") {
     if (method == "GET") return ClusterHealth();
-    return Error(405, "method not allowed");
+    return MethodNotAllowed();
   }
   if (segments.empty() || segments[0] != "collections") {
-    return Error(404, "unknown route: " + path);
+    return Error(404, Status::NotFound("unknown route: " + path));
   }
   if (segments.size() == 1) {
     if (method == "GET") return ListCollections();
     if (method == "POST") return CreateCollection(parsed);
-    return Error(405, "method not allowed");
+    return MethodNotAllowed();
   }
   const std::string& name = segments[1];
   if (segments.size() == 2) {
     if (method == "DELETE") return DropCollection(name);
     if (method == "GET") return CollectionStats(name);
-    return Error(405, "method not allowed");
+    return MethodNotAllowed();
   }
   const std::string& verb = segments[2];
   if (verb == "entities") {
@@ -181,7 +235,7 @@ RestResponse RestHandler::Handle(const std::string& method,
   }
   if (verb == "flush" && method == "POST") return Flush(name);
   if (verb == "search" && method == "POST") return Search(name, parsed);
-  return Error(404, "unknown route: " + path);
+  return Error(404, Status::NotFound("unknown route: " + path));
 }
 
 RestResponse RestHandler::Metrics() {
@@ -256,14 +310,14 @@ RestResponse RestHandler::ListCollections() {
 
 RestResponse RestHandler::CreateCollection(const Json& body) {
   if (!body["name"].is_string() || !body["fields"].is_array()) {
-    return Error(400, "body requires 'name' and 'fields'");
+    return FromStatus(Status::InvalidArgument("body requires 'name' and 'fields'"));
   }
   db::CollectionSchema schema;
   schema.name = body["name"].as_string();
   for (size_t i = 0; i < body["fields"].size(); ++i) {
     const Json& field = body["fields"].at(i);
     if (!field["name"].is_string() || !field["dim"].is_number()) {
-      return Error(400, "each field requires 'name' and 'dim'");
+      return FromStatus(Status::InvalidArgument("each field requires 'name' and 'dim'"));
     }
     schema.vector_fields.push_back(
         {field["name"].as_string(),
@@ -299,7 +353,7 @@ RestResponse RestHandler::DropCollection(const std::string& name) {
 
 RestResponse RestHandler::CollectionStats(const std::string& name) {
   db::Collection* c = db_->GetCollection(name);
-  if (c == nullptr) return Error(404, "unknown collection: " + name);
+  if (c == nullptr) return FromStatus(Status::NotFound("unknown collection: " + name));
   RestResponse response;
   response.body.Set("name", name);
   response.body.Set("num_rows", Json(c->NumLiveRows()));
@@ -324,9 +378,9 @@ RestResponse RestHandler::CollectionStats(const std::string& name) {
 RestResponse RestHandler::InsertEntity(const std::string& name,
                                        const Json& body) {
   db::Collection* c = db_->GetCollection(name);
-  if (c == nullptr) return Error(404, "unknown collection: " + name);
+  if (c == nullptr) return FromStatus(Status::NotFound("unknown collection: " + name));
   if (!body["vectors"].is_array()) {
-    return Error(400, "body requires 'vectors': [[...], ...]");
+    return FromStatus(Status::InvalidArgument("body requires 'vectors': [[...], ...]"));
   }
   db::Entity entity;
   entity.id = body["id"].is_number()
@@ -335,7 +389,7 @@ RestResponse RestHandler::InsertEntity(const std::string& name,
   for (size_t f = 0; f < body["vectors"].size(); ++f) {
     std::vector<float> vec;
     if (!ParseVector(body["vectors"].at(f), &vec)) {
-      return Error(400, "vectors must be arrays of numbers");
+      return FromStatus(Status::InvalidArgument("vectors must be arrays of numbers"));
     }
     entity.vectors.push_back(std::move(vec));
   }
@@ -354,14 +408,14 @@ RestResponse RestHandler::InsertEntity(const std::string& name,
 RestResponse RestHandler::DeleteEntity(const std::string& name,
                                        const std::string& id) {
   db::Collection* c = db_->GetCollection(name);
-  if (c == nullptr) return Error(404, "unknown collection: " + name);
+  if (c == nullptr) return FromStatus(Status::NotFound("unknown collection: " + name));
   return FromStatus(c->Delete(std::strtoll(id.c_str(), nullptr, 10)));
 }
 
 RestResponse RestHandler::GetEntity(const std::string& name,
                                     const std::string& id) {
   db::Collection* c = db_->GetCollection(name);
-  if (c == nullptr) return Error(404, "unknown collection: " + name);
+  if (c == nullptr) return FromStatus(Status::NotFound("unknown collection: " + name));
   auto entity = c->Get(std::strtoll(id.c_str(), nullptr, 10));
   if (!entity.ok()) return FromStatus(entity.status());
   RestResponse response;
@@ -385,7 +439,7 @@ RestResponse RestHandler::Flush(const std::string& name) {
 
 RestResponse RestHandler::Search(const std::string& name, const Json& body) {
   db::Collection* c = db_->GetCollection(name);
-  if (c == nullptr) return Error(404, "unknown collection: " + name);
+  if (c == nullptr) return FromStatus(Status::NotFound("unknown collection: " + name));
 
   db::QueryOptions options;
   if (body["k"].is_number()) {
@@ -410,7 +464,7 @@ RestResponse RestHandler::Search(const std::string& name, const Json& body) {
     std::vector<const float*> query;
     for (size_t f = 0; f < body["vectors"].size(); ++f) {
       if (!ParseVector(body["vectors"].at(f), &fields[f])) {
-        return Error(400, "vectors must be arrays of numbers");
+        return FromStatus(Status::InvalidArgument("vectors must be arrays of numbers"));
       }
       query.push_back(fields[f].data());
     }
@@ -431,7 +485,7 @@ RestResponse RestHandler::Search(const std::string& name, const Json& body) {
   // Single-vector query: "vector": [...].
   std::vector<float> query;
   if (!ParseVector(body["vector"], &query)) {
-    return Error(400, "body requires 'vector' or 'vectors'");
+    return FromStatus(Status::InvalidArgument("body requires 'vector' or 'vectors'"));
   }
   const std::string field = body["field"].is_string()
                                 ? body["field"].as_string()
@@ -440,15 +494,57 @@ RestResponse RestHandler::Search(const std::string& name, const Json& body) {
   // Optional attribute filter: {"filter": {"attribute": "...", "lo": a,
   // "hi": b}} (Sec 4.1).
   const Json& filter = body["filter"];
+  bool has_filter = false;
+  std::string filter_attribute;
+  query::AttrRange filter_range{0, 0};
   if (filter.is_object()) {
     if (!filter["attribute"].is_string() || !filter["lo"].is_number() ||
         !filter["hi"].is_number()) {
-      return Error(400, "filter requires 'attribute', 'lo', 'hi'");
+      return FromStatus(Status::InvalidArgument("filter requires 'attribute', 'lo', 'hi'"));
     }
+    has_filter = true;
+    filter_attribute = filter["attribute"].as_string();
+    filter_range = {filter["lo"].as_number(), filter["hi"].as_number()};
+  }
+
+  // With a serving tier attached, single-vector queries go through the
+  // admission gate: per-tenant quotas, the global in-flight budget, and
+  // batch coalescing. Rejections surface as 429 + Retry-After.
+  if (serving_ != nullptr) {
+    serve::SearchRequest request;
+    if (body["tenant"].is_string()) request.tenant = body["tenant"].as_string();
+    request.collection = name;
+    request.field = field;
+    request.query = std::move(query);
+    request.options = options;
+    request.has_filter = has_filter;
+    request.filter_attribute = filter_attribute;
+    request.filter_range = filter_range;
+    serve::SearchReply reply = serving_->Search(std::move(request));
+    if (!reply.status.ok()) {
+      RestResponse response = FromStatus(reply.status);
+      if (reply.status.IsResourceExhausted()) {
+        const double hint = reply.retry_after_seconds;
+        response.headers.emplace_back("Retry-After", RetryAfterValue(hint));
+        Json error = response.body["error"];
+        error.Set("retry_after_seconds", Json(hint));
+        response.body.Set("error", std::move(error));
+      }
+      return response;
+    }
+    RestResponse response;
+    response.body.Set("hits", HitsToJson(reply.hits));
+    Json stats_json = StatsToJson(reply.stats);
+    stats_json.Set("batch_width", Json(static_cast<int64_t>(reply.batch_width)));
+    stats_json.Set("queue_seconds", Json(reply.queue_seconds));
+    response.body.Set("stats", std::move(stats_json));
+    return response;
+  }
+
+  if (has_filter) {
     exec::QueryStats stats;
-    auto result = c->SearchFiltered(
-        field, query.data(), filter["attribute"].as_string(),
-        {filter["lo"].as_number(), filter["hi"].as_number()}, options, &stats);
+    auto result = c->SearchFiltered(field, query.data(), filter_attribute,
+                                    filter_range, options, &stats);
     if (!result.ok()) return FromStatus(result.status());
     RestResponse response;
     response.body.Set("hits", HitsToJson(result.value()));

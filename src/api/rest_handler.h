@@ -2,9 +2,12 @@
 #define VECTORDB_API_REST_HANDLER_H_
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "api/json.h"
 #include "db/vector_db.h"
+#include "serve/serving_tier.h"
 
 namespace vectordb {
 namespace dist {
@@ -15,21 +18,37 @@ namespace api {
 
 /// A REST response: HTTP-style status code plus either a JSON body (the
 /// default) or a raw text body with an explicit content type (used by the
-/// Prometheus /metrics exposition).
+/// Prometheus /metrics exposition), and any extra response headers (e.g.
+/// Retry-After on admission rejections).
 struct RestResponse {
   int status = 200;
   Json body = Json::Object();
   /// Non-empty iff the response is plain text rather than JSON.
   std::string text;
   std::string content_type = "application/json";
+  /// Extra headers beyond Content-Type, in emit order.
+  std::vector<std::pair<std::string, std::string>> headers;
 
   bool ok() const { return status >= 200 && status < 300; }
 };
 
 /// The single Status -> HTTP status mapping used by every route:
 ///   OK → 200, NotFound → 404, AlreadyExists → 409, InvalidArgument /
-///   NotSupported → 400, Aborted (query deadline) → 504, else → 500.
+///   NotSupported → 400, ResourceExhausted (admission/quota) → 429,
+///   Unavailable → 503, Aborted (query deadline) → 504, else → 500.
 int HttpStatusFor(const Status& status);
+
+/// Stable wire name for a status code, used as error.code in the JSON
+/// error schema: "NotFound", "ResourceExhausted", ...
+const char* StatusCodeName(Status::Code code);
+
+/// Every non-2xx response carries this one versioned error shape:
+///   {"error": {"code": "<StatusCodeName>", "message": "...",
+///              "retryable": <bool>}}
+/// `retryable` mirrors Status::IsTransient() so clients can implement
+/// backoff without parsing message text. Built by the single mapping point
+/// next to HttpStatusFor; no route hand-rolls an error body.
+Json ErrorBody(const Status& status);
 
 /// Transport-agnostic RESTful request router (Sec 2.1: "Milvus also
 /// supports RESTful APIs for web applications"). Any HTTP server can
@@ -62,6 +81,12 @@ class RestHandler {
   /// 200 {"mode": "standalone"} so probes work in both deployments.
   void set_cluster(dist::Cluster* cluster) { cluster_ = cluster; }
 
+  /// Attach a serving tier: single-vector /search requests (filtered or
+  /// not) go through its admission gate. The body may carry "tenant" for
+  /// per-tenant quotas; admission rejections answer 429 with a Retry-After
+  /// header from the scheduler's hint.
+  void set_serving(serve::ServingTier* serving) { serving_ = serving; }
+
   RestResponse Handle(const std::string& method, const std::string& path,
                       const std::string& body);
 
@@ -80,6 +105,7 @@ class RestHandler {
 
   db::VectorDb* db_;
   dist::Cluster* cluster_ = nullptr;  ///< Optional; standalone when null.
+  serve::ServingTier* serving_ = nullptr;  ///< Optional admission gate.
 };
 
 }  // namespace api

@@ -3,15 +3,15 @@
 namespace vectordb {
 namespace api {
 
-bool Client::CollectionBuilder::Create() {
-  return client_->Record(client_->db_->CreateCollection(schema_).status());
+Status Client::CollectionBuilder::Create() {
+  return client_->db_->CreateCollection(schema_).status();
 }
 
-bool Client::DropCollection(const std::string& name) {
-  return Record(db_->DropCollection(name));
+Status Client::DropCollection(const std::string& name) {
+  return db_->DropCollection(name);
 }
 
-bool Client::HasCollection(const std::string& name) {
+Result<bool> Client::HasCollection(const std::string& name) {
   return db_->GetCollection(name) != nullptr;
 }
 
@@ -26,7 +26,6 @@ InsertOutcome Client::Insert(const std::string& collection, RowId id,
   db::Collection* c = db_->GetCollection(collection);
   if (c == nullptr) {
     outcome.status = Status::NotFound("unknown collection: " + collection);
-    Record(outcome.status);
     return outcome;
   }
   db::Entity entity;
@@ -34,21 +33,20 @@ InsertOutcome Client::Insert(const std::string& collection, RowId id,
   entity.vectors = vectors;
   entity.attributes = attributes;
   outcome.status = c->Insert(entity);
-  Record(outcome.status);
   if (outcome.ok()) outcome.id = entity.id;
   return outcome;
 }
 
-bool Client::Delete(const std::string& collection, RowId id) {
+Status Client::Delete(const std::string& collection, RowId id) {
   db::Collection* c = db_->GetCollection(collection);
   if (c == nullptr) {
-    return Record(Status::NotFound("unknown collection: " + collection));
+    return Status::NotFound("unknown collection: " + collection);
   }
-  return Record(c->Delete(id));
+  return c->Delete(id);
 }
 
-bool Client::Flush(const std::string& collection) {
-  return Record(db_->Flush(collection));
+Status Client::Flush(const std::string& collection) {
+  return db_->Flush(collection);
 }
 
 namespace {
@@ -78,13 +76,36 @@ SearchOutcome Client::SearchBuilder::Run(const std::vector<float>& query) {
   db::Collection* c = client_->db_->GetCollection(collection_);
   if (c == nullptr) {
     outcome.status = Status::NotFound("unknown collection: " + collection_);
-    client_->RecordSearch(outcome);
     return outcome;
   }
   const std::string field =
       field_.empty() && !c->schema().vector_fields.empty()
           ? c->schema().vector_fields[0].name
           : field_;
+
+  if (client_->serving_ != nullptr) {
+    serve::SearchRequest request;
+    request.tenant = tenant_;
+    request.collection = collection_;
+    request.field = field;
+    request.query = query;
+    request.options = options_;
+    if (!where_attribute_.empty()) {
+      request.has_filter = true;
+      request.filter_attribute = where_attribute_;
+      request.filter_range = range_;
+    }
+    serve::SearchReply reply = client_->serving_->Search(std::move(request));
+    outcome.status = reply.status;
+    outcome.stats = reply.stats;
+    outcome.retry_after_seconds = reply.retry_after_seconds;
+    outcome.queue_seconds = reply.queue_seconds;
+    outcome.batch_width = reply.batch_width;
+    if (outcome.ok()) {
+      outcome.rows = ToRows(reply.hits, c, fetch_attributes_);
+    }
+    return outcome;
+  }
 
   if (!where_attribute_.empty()) {
     auto result = c->SearchFiltered(field, query.data(), where_attribute_,
@@ -100,7 +121,6 @@ SearchOutcome Client::SearchBuilder::Run(const std::vector<float>& query) {
       outcome.rows = ToRows(result.value()[0], c, fetch_attributes_);
     }
   }
-  client_->RecordSearch(outcome);
   return outcome;
 }
 
@@ -111,7 +131,6 @@ SearchOutcome Client::SearchBuilder::RunMulti(
   db::Collection* c = client_->db_->GetCollection(collection_);
   if (c == nullptr) {
     outcome.status = Status::NotFound("unknown collection: " + collection_);
-    client_->RecordSearch(outcome);
     return outcome;
   }
   std::vector<const float*> query;
@@ -123,7 +142,6 @@ SearchOutcome Client::SearchBuilder::RunMulti(
   if (outcome.ok()) {
     outcome.rows = ToRows(result.value(), c, fetch_attributes_);
   }
-  client_->RecordSearch(outcome);
   return outcome;
 }
 

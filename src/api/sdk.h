@@ -6,8 +6,8 @@
 #include <utility>
 #include <vector>
 
-#include "common/mutex.h"
 #include "db/vector_db.h"
+#include "serve/serving_tier.h"
 
 namespace vectordb {
 namespace api {
@@ -27,6 +27,13 @@ struct SearchOutcome {
   std::vector<SearchResultRow> rows;
   exec::QueryStats stats;
   Status status = Status::OK();
+  /// Backpressure hint, set when status is ResourceExhausted and the query
+  /// went through a serving tier: seconds until capacity should return.
+  double retry_after_seconds = 0.0;
+  /// Admission-to-execution wait in the serving tier (0 when direct).
+  double queue_seconds = 0.0;
+  /// Queries coalesced into the shared scan (0 when direct, >= 1 served).
+  size_t batch_width = 0;
 
   bool ok() const { return status.ok(); }
 };
@@ -47,37 +54,28 @@ struct InsertOutcome {
 /// patterns (insert+flush, search+fetch-attributes) and returns per-call
 /// outcomes, so a single Client may be shared across threads.
 ///
+/// Every call reports through a by-value Status or outcome type — there is
+/// no per-client "last error" state (the old last_error()/last_query_stats()
+/// shims are gone; under sharing they could describe another thread's call).
+///
 ///   api::Client client(db);
 ///   client.Collection("products")
 ///         .WithVectorField("embedding", 128)
 ///         .WithAttribute("price")
-///         .Create();
+///         .Create();                       // -> Status
 ///   client.Insert("products", id, {vec}, {9.99});
 ///   auto outcome = client.Search("products").Field("embedding")
 ///                        .TopK(5).NProbe(16).Run(query);
 ///   if (outcome.ok()) { ... outcome.rows ... outcome.stats ... }
+///
+/// A Client constructed with a serve::ServingTier routes single-vector
+/// searches through its admission gate: quota rejections come back as
+/// ResourceExhausted outcomes carrying retry_after_seconds, and compatible
+/// concurrent queries share batched segment scans.
 class Client {
  public:
-  explicit Client(db::VectorDb* db) : db_(db) {}
-
-  /// DEPRECATED: error message of the last failed call on this Client (""
-  /// when the last call succeeded). Prefer the Status carried inside the
-  /// returned SearchOutcome/InsertOutcome: this accessor reports the most
-  /// recent call on *any* thread, so under sharing it can describe someone
-  /// else's query. Kept as a shim for pre-outcome callers; returns by value
-  /// under a lock so the read itself is race-free.
-  std::string last_error() const VDB_EXCLUDES(shim_mu_) {
-    MutexLock lock(&shim_mu_);
-    return last_error_;
-  }
-
-  /// DEPRECATED: execution counters of the last SearchBuilder::Run/RunMulti
-  /// call on this Client. Prefer SearchOutcome::stats, which is pinned to
-  /// one query. Same caveat and locking discipline as last_error().
-  exec::QueryStats last_query_stats() const VDB_EXCLUDES(shim_mu_) {
-    MutexLock lock(&shim_mu_);
-    return last_query_stats_;
-  }
+  explicit Client(db::VectorDb* db, serve::ServingTier* serving = nullptr)
+      : db_(db), serving_(serving) {}
 
   // ----- collection DDL -----
 
@@ -105,8 +103,8 @@ class Client {
       schema_.index_params = params;
       return *this;
     }
-    /// Execute the DDL; false on failure (see Client::last_error()).
-    bool Create();
+    /// Execute the DDL.
+    Status Create();
 
    private:
     Client* client_;
@@ -116,8 +114,11 @@ class Client {
   CollectionBuilder Collection(const std::string& name) {
     return CollectionBuilder(this, name);
   }
-  bool DropCollection(const std::string& name);
-  bool HasCollection(const std::string& name);
+  Status DropCollection(const std::string& name);
+  /// Whether the collection is currently open in this process. Result so
+  /// future transports (REST client, catalog lookups) can surface errors;
+  /// callers wanting a plain flag use HasCollection(name).value_or(false).
+  Result<bool> HasCollection(const std::string& name);
   std::vector<std::string> ListCollections();
 
   // ----- data plane -----
@@ -128,9 +129,9 @@ class Client {
   InsertOutcome Insert(const std::string& collection, RowId id,
                        const std::vector<std::vector<float>>& vectors,
                        const std::vector<double>& attributes = {});
-  bool Delete(const std::string& collection, RowId id);
+  Status Delete(const std::string& collection, RowId id);
   /// Sec 5.1 flush(): blocks until all pending writes are searchable.
-  bool Flush(const std::string& collection);
+  Status Flush(const std::string& collection);
 
   // ----- query plane -----
 
@@ -140,6 +141,12 @@ class Client {
         : client_(client), collection_(std::move(collection)) {}
     SearchBuilder& Field(const std::string& field) {
       field_ = field;
+      return *this;
+    }
+    /// Tenant identity for admission control; only meaningful when the
+    /// Client is attached to a serving tier ("" = default tenant).
+    SearchBuilder& Tenant(const std::string& tenant) {
+      tenant_ = tenant;
       return *this;
     }
     SearchBuilder& TopK(size_t k) {
@@ -177,10 +184,12 @@ class Client {
       return *this;
     }
 
-    /// Single-vector query (vector query or attribute filtering).
+    /// Single-vector query (vector query or attribute filtering). Routed
+    /// through the serving tier's admission gate when one is attached.
     SearchOutcome Run(const std::vector<float>& query);
 
-    /// Multi-vector query over all fields with the given weights.
+    /// Multi-vector query over all fields with the given weights. Always
+    /// executes directly (multi-vector plans do not batch).
     SearchOutcome RunMulti(
         const std::vector<std::vector<float>>& query_fields,
         const std::vector<float>& weights = {});
@@ -189,6 +198,7 @@ class Client {
     Client* client_;
     std::string collection_;
     std::string field_;
+    std::string tenant_;
     db::QueryOptions options_;
     std::string where_attribute_;
     query::AttrRange range_{0, 0};
@@ -200,32 +210,14 @@ class Client {
   }
 
   db::VectorDb* raw() { return db_; }
+  serve::ServingTier* serving() { return serving_; }
 
  private:
   friend class CollectionBuilder;
   friend class SearchBuilder;
 
-  /// Mirror a call's status into the deprecated last_error() shim.
-  bool Record(const Status& status) VDB_EXCLUDES(shim_mu_) {
-    MutexLock lock(&shim_mu_);
-    last_error_ = status.ok() ? "" : status.ToString();
-    return status.ok();
-  }
-
-  /// Mirror a finished search's outcome into both deprecated shims.
-  void RecordSearch(const SearchOutcome& outcome) VDB_EXCLUDES(shim_mu_) {
-    MutexLock lock(&shim_mu_);
-    last_error_ = outcome.status.ok() ? "" : outcome.status.ToString();
-    last_query_stats_ = outcome.stats;
-  }
-
   db::VectorDb* db_;
-  // Deprecated last-call shims: outcomes are authoritative; these exist so
-  // pre-outcome callers keep working, and only ever hold what some recent
-  // call produced.
-  mutable Mutex shim_mu_{VDB_LOCK_RANK(kSdkShim)};
-  std::string last_error_ VDB_GUARDED_BY(shim_mu_);
-  exec::QueryStats last_query_stats_ VDB_GUARDED_BY(shim_mu_);
+  serve::ServingTier* serving_;  ///< Optional admission front door.
 };
 
 }  // namespace api

@@ -26,7 +26,12 @@ namespace lock_rank {
 // -- db layer (outermost: these are held while calling into storage) --------
 inline constexpr int kVectorDbCollections = 10;  // VectorDb::collections_mu_
 inline constexpr int kVectorDbQueue = 20;        // VectorDb::queue_mu_
+inline constexpr int kVectorDbTenants = 25;      // VectorDb::tenant_mu_
 inline constexpr int kCoordinator = 30;          // dist::Coordinator::mu_
+// -- serving tier (sits between coordinator and collection: the scheduler
+//    admits while quotas are read, and workers call into Collection) --------
+inline constexpr int kServeScheduler = 32;  // serve::ServingTier::mu_
+inline constexpr int kServeTicket = 36;     // serve::TicketState::mu_
 inline constexpr int kCollectionWrite = 40;      // Collection::write_mu_
 
 // -- storage layer ----------------------------------------------------------
@@ -52,7 +57,6 @@ inline constexpr int kThreadPool = 120;       // ThreadPool::mu_
 inline constexpr int kMetricsRegistry = 130;  // obs::MetricsRegistry::mu_
 inline constexpr int kTrace = 135;            // obs::Trace::mu_
 inline constexpr int kSimdHooks = 140;        // simd g_hook_mu
-inline constexpr int kSdkShim = 145;          // CollectionHandle::shim_mu_
 // Logger is the innermost lock in the tree: code logs while holding
 // subsystem locks (e.g. Segment tier transitions), never the reverse.
 inline constexpr int kLogger = 150;  // logger.cc g_write_mu

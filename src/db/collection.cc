@@ -857,11 +857,21 @@ Result<HitList> Collection::SearchFiltered(
     const std::string& field, const float* query, const std::string& attribute,
     const query::AttrRange& range, const QueryOptions& options,
     exec::QueryStats* stats) const {
+  auto result =
+      SearchFilteredBatch(field, query, 1, attribute, range, options, stats);
+  if (!result.ok()) return result.status();
+  return std::move(result.value()[0]);
+}
+
+Result<std::vector<HitList>> Collection::SearchFilteredBatch(
+    const std::string& field, const float* queries, size_t nq,
+    const std::string& attribute, const query::AttrRange& range,
+    const QueryOptions& options, exec::QueryStats* stats) const {
   const int f = schema_.FieldIndex(field);
   if (f < 0) return Status::NotFound("unknown vector field: " + field);
   const int a = schema_.AttributeIdx(attribute);
   if (a < 0) return Status::NotFound("unknown attribute: " + attribute);
-  VDB_RETURN_NOT_OK(exec::ValidateQueryOptions(options, 1));
+  VDB_RETURN_NOT_OK(exec::ValidateQueryOptions(options, nq));
   const storage::SnapshotPtr snapshot = snapshot_manager_.Acquire();
 
   exec::QueryContext ctx(options);
@@ -869,7 +879,8 @@ Result<HitList> Collection::SearchFiltered(
   plan.field = static_cast<size_t>(f);
   plan.dim = schema_.vector_fields[f].dim;
   plan.metric = schema_.metric;
-  plan.query = query;
+  plan.queries = queries;
+  plan.nq = nq;
   plan.attribute = static_cast<size_t>(a);
   plan.range = range;
   exec::SegmentExecutor executor(query_pool_.get());

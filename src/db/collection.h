@@ -131,6 +131,16 @@ class Collection {
                                  const QueryOptions& options,
                                  exec::QueryStats* stats = nullptr) const;
 
+  /// Batched attribute filtering: nq query vectors sharing one filter run
+  /// through a single segment fan-out — candidate collection, strategy
+  /// choice, and the allow-bitmap are computed once per segment for the
+  /// whole batch (the serving tier's coalesced path). Per-query results
+  /// are bitwise identical to nq separate SearchFiltered calls.
+  Result<std::vector<HitList>> SearchFilteredBatch(
+      const std::string& field, const float* queries, size_t nq,
+      const std::string& attribute, const query::AttrRange& range,
+      const QueryOptions& options, exec::QueryStats* stats = nullptr) const;
+
   /// Multi-vector query (Sec 4.2): iterative merging across segments with
   /// weighted-sum aggregation (weights empty = all 1).
   Result<HitList> MultiVectorSearch(const std::vector<const float*>& query,

@@ -8,6 +8,11 @@ namespace vectordb {
 namespace db {
 
 VectorDb::VectorDb(DbOptions options) : options_(std::move(options)) {
+  {
+    MutexLock lock(&tenant_mu_);
+    default_tenant_quota_ = options_.default_tenant_quota;
+    tenant_quotas_ = options_.tenant_quotas;
+  }
   running_.store(true);
   worker_ = std::make_unique<ThreadPool>(1);
   worker_->Submit([this] { WorkerLoop(); });
@@ -93,6 +98,18 @@ std::vector<std::string> VectorDb::ListCollections() const {
   names.reserve(collections_.size());
   for (const auto& [name, _] : collections_) names.push_back(name);
   return names;
+}
+
+TenantQuota VectorDb::TenantQuotaFor(const std::string& tenant) const {
+  MutexLock lock(&tenant_mu_);
+  auto it = tenant_quotas_.find(tenant);
+  return it == tenant_quotas_.end() ? default_tenant_quota_ : it->second;
+}
+
+void VectorDb::SetTenantQuota(const std::string& tenant,
+                              const TenantQuota& quota) {
+  MutexLock lock(&tenant_mu_);
+  tenant_quotas_[tenant] = quota;
 }
 
 Status VectorDb::InsertAsync(const std::string& collection, Entity entity) {

@@ -14,6 +14,22 @@
 namespace vectordb {
 namespace db {
 
+/// Per-tenant admission quotas, consumed by the serving tier's scheduler
+/// (src/serve/). They live in the db layer so deployments configure tenants
+/// next to the rest of the database options and the serving tier stays a
+/// pure consumer. Zero values mean "unlimited" / "tier default".
+struct TenantQuota {
+  /// Sustained admission rate (queries/second, token-bucket refill).
+  /// 0 = no rate limit for this tenant.
+  double rate_qps = 0.0;
+  /// Token-bucket capacity (how much burst above the sustained rate is
+  /// admitted). 0 = max(1, rate_qps).
+  double burst = 0.0;
+  /// Queries this tenant may have queued (admitted, not yet executing).
+  /// 0 = the serving tier's default per-tenant cap.
+  size_t max_queued = 0;
+};
+
 struct DbOptions {
   storage::FileSystemPtr fs;  ///< Shared by every collection.
   /// Object-name prefix for all collections of this instance.
@@ -29,6 +45,11 @@ struct DbOptions {
   /// Background maintenance tick — the "once every second" flush leg of
   /// Sec 2.3 plus merging, index building, and snapshot GC.
   size_t background_interval_ms = 1000;
+  /// Admission quota applied to tenants without an explicit entry in
+  /// `tenant_quotas` (defaults = unlimited rate, tier-default queue cap).
+  TenantQuota default_tenant_quota;
+  /// Per-tenant admission quotas, keyed by tenant name.
+  std::map<std::string, TenantQuota> tenant_quotas;
 };
 
 /// The embeddable database facade: collection lifecycle, the asynchronous
@@ -51,6 +72,18 @@ class VectorDb {
   Collection* GetCollection(const std::string& name);
   Status DropCollection(const std::string& name);
   std::vector<std::string> ListCollections() const;
+
+  // ----- tenant quotas (consumed by the serving tier) -----
+
+  /// The admission quota for `tenant`: the configured entry when one
+  /// exists, the default quota otherwise.
+  TenantQuota TenantQuotaFor(const std::string& tenant) const
+      VDB_EXCLUDES(tenant_mu_);
+
+  /// Install or replace one tenant's quota at runtime (an admission-control
+  /// knob, so it is hot-swappable without reopening the database).
+  void SetTenantQuota(const std::string& tenant, const TenantQuota& quota)
+      VDB_EXCLUDES(tenant_mu_);
 
   // ----- asynchronous write path (Sec 5.1) -----
 
@@ -92,6 +125,12 @@ class VectorDb {
   mutable Mutex collections_mu_{VDB_LOCK_RANK(kVectorDbCollections)};
   std::map<std::string, std::unique_ptr<Collection>> collections_
       VDB_GUARDED_BY(collections_mu_);
+
+  /// Guards the runtime tenant-quota table (reads are per-admission, writes
+  /// are rare config changes).
+  mutable Mutex tenant_mu_{VDB_LOCK_RANK(kVectorDbTenants)};
+  std::map<std::string, TenantQuota> tenant_quotas_ VDB_GUARDED_BY(tenant_mu_);
+  TenantQuota default_tenant_quota_ VDB_GUARDED_BY(tenant_mu_);
 
   mutable Mutex queue_mu_{VDB_LOCK_RANK(kVectorDbQueue)};
   CondVar queue_cv_{&queue_mu_};    ///< Signals new work.

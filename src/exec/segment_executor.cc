@@ -120,11 +120,14 @@ Status SearchOneSegment(const SegmentView& view, const VectorSearchPlan& plan,
 }
 
 /// Strategy A on one segment view: attribute index → exact distance on
-/// every qualifying live row. Also the rescue path when B/C lose their
-/// vector index mid-flight. Pages the data tier in (B/C proper run
-/// index-only and never touch it).
+/// every qualifying live row, for each of the plan's nq queries. Also the
+/// rescue path when B/C lose their vector index mid-flight. Pages the data
+/// tier in (B/C proper run index-only and never touch it). The candidate
+/// collection and liveness resolution run once and are shared by all nq
+/// queries; per query the candidates are scored in the same order a
+/// single-query run would use, so results are bitwise identical.
 Status StrategyAScan(const SegmentView& view, const FilteredSearchPlan& plan,
-                     SegmentPartial* out, ResultHeap* heap) {
+                     SegmentPartial* out, std::vector<ResultHeap>* heaps) {
   bool loaded_now = false;
   auto data = view.AcquireData(&loaded_now);
   if (!data.ok()) return data.status();
@@ -133,25 +136,37 @@ Status StrategyAScan(const SegmentView& view, const FilteredSearchPlan& plan,
   const auto& column = segment.attribute(plan.attribute);
   std::vector<RowId> candidates;
   column.CollectInRange(plan.range.lo, plan.range.hi, &candidates);
+  // Resolve row positions and liveness once for the whole batch.
+  std::vector<std::pair<RowId, size_t>> live;
+  live.reserve(candidates.size());
   for (RowId row_id : candidates) {
     const auto pos = segment.PositionOf(row_id);
     if (!pos || !view.IsLive(*pos)) continue;
-    heap->Push(row_id,
-               simd::ComputeFloatScore(plan.metric, plan.query,
-                                       data.value()->vector(plan.field, *pos),
-                                       plan.dim));
+    live.emplace_back(row_id, *pos);
+  }
+  for (size_t q = 0; q < plan.nq; ++q) {
+    const float* query = plan.queries + q * plan.dim;
+    ResultHeap& heap = (*heaps)[q];
+    for (const auto& [row_id, pos] : live) {
+      heap.Push(row_id,
+                simd::ComputeFloatScore(plan.metric, query,
+                                        data.value()->vector(plan.field, pos),
+                                        plan.dim));
+    }
   }
   return Status::OK();
 }
 
 /// Execute one segment of a filtered search with the cost-model strategy
 /// (Sec 4.1 strategy D), consuming the view's shared allow-bitset instead
-/// of re-resolving tombstones per row.
+/// of re-resolving tombstones per row. All nq queries share the filter, so
+/// candidate collection, the strategy decision, and (for strategy B) the
+/// allow-bitmap are computed once and reused across the batch.
 Status FilterOneSegment(const SegmentView& view, const FilteredSearchPlan& plan,
                         QueryContext* ctx, SegmentPartial* out) {
   if (ctx->Expired()) return Status::Aborted(kDeadlineMessage);
   const storage::Segment& segment = view.segment();
-  out->lists.assign(1, HitList{});
+  out->lists.assign(plan.nq, HitList{});
   const auto& column = segment.attribute(plan.attribute);
   const size_t passing =
       segment.num_rows() == 0
@@ -200,19 +215,23 @@ Status FilterOneSegment(const SegmentView& view, const FilteredSearchPlan& plan,
                                        ? query::FilterStrategy::kA
                                        : query::ChooseStrategy(inputs);
 
-  ResultHeap heap = ResultHeap::ForMetric(options.k, plan.metric);
+  std::vector<ResultHeap> heaps;
+  heaps.reserve(plan.nq);
+  for (size_t q = 0; q < plan.nq; ++q) {
+    heaps.push_back(ResultHeap::ForMetric(options.k, plan.metric));
+  }
   auto rescue = [&](const Status& status) -> Status {
     ++out->stats.index_fallbacks;
     if (ctx->TakeIndexFallbackLogToken()) {
       VDB_WARN << "index search failed on segment " << segment.id() << ": "
                << status.ToString() << "; falling back to exact filter scan";
     }
-    return StrategyAScan(view, plan, out, &heap);
+    return StrategyAScan(view, plan, out, &heaps);
   };
 
   switch (strategy) {
     case query::FilterStrategy::kA: {
-      VDB_RETURN_NOT_OK(StrategyAScan(view, plan, out, &heap));
+      VDB_RETURN_NOT_OK(StrategyAScan(view, plan, out, &heaps));
       break;
     }
     case query::FilterStrategy::kC: {
@@ -225,19 +244,22 @@ Status FilterOneSegment(const SegmentView& view, const FilteredSearchPlan& plan,
       idx_options.ef_search = std::max(options.ef_search, fetch);
       idx_options.filter = view.allow();
       std::vector<HitList> results;
-      const Status status = idx->Search(plan.query, 1, idx_options, &results);
+      const Status status =
+          idx->Search(plan.queries, plan.nq, idx_options, &results);
       if (!status.ok()) {
         VDB_RETURN_NOT_OK(rescue(status));
         break;
       }
       ++out->stats.segments_indexed;
-      size_t taken = 0;
-      for (const SearchHit& hit : results[0]) {
-        const size_t pos = static_cast<size_t>(hit.id);
-        const double value = column.ValueAt(pos);
-        if (value < plan.range.lo || value > plan.range.hi) continue;
-        heap.Push(segment.row_id_at(pos), hit.score);
-        if (++taken == options.k) break;
+      for (size_t q = 0; q < plan.nq; ++q) {
+        size_t taken = 0;
+        for (const SearchHit& hit : results[q]) {
+          const size_t pos = static_cast<size_t>(hit.id);
+          const double value = column.ValueAt(pos);
+          if (value < plan.range.lo || value > plan.range.hi) continue;
+          heaps[q].Push(segment.row_id_at(pos), hit.score);
+          if (++taken == options.k) break;
+        }
       }
       break;
     }
@@ -256,19 +278,23 @@ Status FilterOneSegment(const SegmentView& view, const FilteredSearchPlan& plan,
       idx_options.ef_search = std::max(options.ef_search, options.k);
       idx_options.filter = &allowed;
       std::vector<HitList> results;
-      const Status status = idx->Search(plan.query, 1, idx_options, &results);
+      const Status status =
+          idx->Search(plan.queries, plan.nq, idx_options, &results);
       if (!status.ok()) {
         VDB_RETURN_NOT_OK(rescue(status));
         break;
       }
       ++out->stats.segments_indexed;
-      for (const SearchHit& hit : results[0]) {
-        heap.Push(segment.row_id_at(static_cast<size_t>(hit.id)), hit.score);
+      for (size_t q = 0; q < plan.nq; ++q) {
+        for (const SearchHit& hit : results[q]) {
+          heaps[q].Push(segment.row_id_at(static_cast<size_t>(hit.id)),
+                        hit.score);
+        }
       }
       break;
     }
   }
-  out->lists[0] = heap.TakeSorted();
+  for (size_t q = 0; q < plan.nq; ++q) out->lists[q] = heaps[q].TakeSorted();
   return Status::OK();
 }
 
@@ -348,13 +374,13 @@ Result<std::vector<HitList>> SegmentExecutor::SearchVectors(
   return out;
 }
 
-Result<HitList> SegmentExecutor::SearchFiltered(
+Result<std::vector<HitList>> SegmentExecutor::SearchFiltered(
     const storage::Snapshot& snapshot, const FilteredSearchPlan& plan,
     QueryContext* ctx) const {
   Timer total;
   if (ctx->Expired()) return Status::Aborted(kDeadlineMessage);
   const std::vector<SegmentViewPtr> views = ResolveViews(snapshot, ctx);
-  ctx->stats().queries += 1;
+  ctx->stats().queries += plan.nq;
 
   Timer search_timer;
   std::vector<SegmentPartial> partials(views.size());
@@ -378,15 +404,20 @@ Result<HitList> SegmentExecutor::SearchFiltered(
 
   Timer merge_timer;
   obs::TraceSpan merge_span(&ctx->trace(), "merge", ctx->root_span());
-  ResultHeap heap = ResultHeap::ForMetric(ctx->options().k, plan.metric);
   for (SegmentPartial& partial : partials) {
     if (!partial.status.ok()) return partial.status;
     ctx->stats().MergeFrom(partial.stats);
-    for (const SearchHit& hit : partial.lists[0]) {
-      heap.Push(hit.id, hit.score);
-    }
   }
-  HitList out = heap.TakeSorted();
+  std::vector<HitList> out(plan.nq);
+  for (size_t q = 0; q < plan.nq; ++q) {
+    ResultHeap heap = ResultHeap::ForMetric(ctx->options().k, plan.metric);
+    for (const SegmentPartial& partial : partials) {
+      for (const SearchHit& hit : partial.lists[q]) {
+        heap.Push(hit.id, hit.score);
+      }
+    }
+    out[q] = heap.TakeSorted();
+  }
   ctx->stats().merge_seconds += merge_timer.ElapsedSeconds();
   ctx->stats().total_seconds += total.ElapsedSeconds();
   return out;

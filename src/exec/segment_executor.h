@@ -24,13 +24,19 @@ struct VectorSearchPlan {
   size_t k = 0;
 };
 
-/// One attribute-filtered query (Sec 4.1): per-segment cost-based strategy
-/// selection over the shared tombstone allow-bitset.
+/// One attribute-filtered scan (Sec 4.1): per-segment cost-based strategy
+/// selection over the shared tombstone allow-bitset. `nq` query vectors
+/// share one filter: the candidate collection, the allow-bitmap, and the
+/// strategy choice are computed once per segment and amortized across all
+/// nq queries (the serving tier's batch coalescing relies on this), while
+/// each query still gets its own independent top-k — results are bitwise
+/// identical to running the queries one at a time.
 struct FilteredSearchPlan {
   size_t field = 0;
   size_t dim = 0;
   MetricType metric = MetricType::kL2;
-  const float* query = nullptr;
+  const float* queries = nullptr;  ///< nq contiguous query vectors.
+  size_t nq = 1;
   size_t attribute = 0;
   query::AttrRange range;
 };
@@ -58,11 +64,12 @@ class SegmentExecutor {
                                              const VectorSearchPlan& plan,
                                              QueryContext* ctx) const;
 
-  /// Attribute-filtered top-k (strategy A/B/C chosen per segment by the
-  /// cost model; index failures degrade to the exact strategy A).
-  Result<HitList> SearchFiltered(const storage::Snapshot& snapshot,
-                                 const FilteredSearchPlan& plan,
-                                 QueryContext* ctx) const;
+  /// Attribute-filtered top-k of each of the plan's nq queries (strategy
+  /// A/B/C chosen per segment by the cost model; index failures degrade to
+  /// the exact strategy A). One HitList per query, in query order.
+  Result<std::vector<HitList>> SearchFiltered(const storage::Snapshot& snapshot,
+                                              const FilteredSearchPlan& plan,
+                                              QueryContext* ctx) const;
 
   /// Exact weighted-sum aggregate score of one entity across resolved
   /// views (the random-access leg of multi-vector iterative merging).

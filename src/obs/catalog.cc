@@ -120,11 +120,44 @@ DistMetrics& Dist() {
   return *m;
 }
 
+ServeMetrics& Serve() {
+  static ServeMetrics* m = new ServeMetrics{
+      R().GetCounter("vdb_serve_submitted_total",
+                     "Queries presented to the admission gate."),
+      R().GetCounter("vdb_serve_admitted_total",
+                     "Queries admitted into a tenant queue."),
+      R().GetCounter("vdb_serve_rejected_rate_total",
+                     "Queries rejected by a tenant token bucket."),
+      R().GetCounter("vdb_serve_rejected_queue_total",
+                     "Queries rejected by a tenant queue cap."),
+      R().GetCounter("vdb_serve_rejected_inflight_total",
+                     "Queries rejected by the global in-flight budget."),
+      R().GetCounter("vdb_serve_batches_total",
+                     "Coalesced segment-scan batches executed."),
+      R().GetCounter("vdb_serve_batched_queries_total",
+                     "Queries that shared a batch of width greater than one."),
+      R().GetGauge("vdb_serve_queue_depth",
+                   "Admitted queries waiting across all tenant queues."),
+      R().GetGauge("vdb_serve_in_flight",
+                   "Admitted queries currently queued or executing."),
+      R().GetHistogram("vdb_serve_batch_width", "Queries per executed batch.",
+                       HistogramBuckets::Exponential(1.0, 2.0, 8)),
+      R().GetHistogram("vdb_serve_queue_seconds",
+                       "Admission to execution-start wait in seconds.",
+                       HistogramBuckets::Exponential(1e-5, 4.0, 10)),
+      R().GetHistogram("vdb_serve_serve_seconds",
+                       "Admission to completion latency in seconds.",
+                       HistogramBuckets::Exponential(1e-4, 4.0, 10)),
+  };
+  return *m;
+}
+
 void TouchAll() {
   Exec();
   Storage();
   Gpusim();
   Dist();
+  Serve();
 }
 
 }  // namespace obs

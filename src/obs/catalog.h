@@ -71,6 +71,22 @@ struct DistMetrics {
 };
 DistMetrics& Dist();
 
+struct ServeMetrics {
+  Counter* submitted;          // queries presented to the admission gate
+  Counter* admitted;           // queries admitted into a tenant queue
+  Counter* rejected_rate;      // rejected by a tenant token bucket
+  Counter* rejected_queue;     // rejected by a tenant queue cap
+  Counter* rejected_inflight;  // rejected by the global in-flight budget
+  Counter* batches;            // coalesced segment-scan batches executed
+  Counter* batched_queries;    // queries that shared a batch of width > 1
+  Gauge* queue_depth;          // admitted queries waiting across all tenants
+  Gauge* in_flight;            // admitted queries queued or executing
+  Histogram* batch_width;      // queries per executed batch
+  Histogram* queue_seconds;    // admission -> execution-start wait
+  Histogram* serve_seconds;    // admission -> completion latency
+};
+ServeMetrics& Serve();
+
 /// Force-register every family above (a /metrics scrape calls this first so
 /// idle subsystems still appear with zeroed series).
 void TouchAll();

@@ -13,8 +13,9 @@ namespace {
 
 // Subsystems sanctioned by the vdb_<subsystem>_<name> convention; keep in
 // sync with METRIC_SUBSYSTEMS in tools/lint/vdb_lint.py.
-constexpr const char* kSubsystems[] = {"exec", "storage", "gpusim", "dist",
-                                       "db",   "api",     "obs",    "index"};
+constexpr const char* kSubsystems[] = {"exec", "storage", "gpusim",
+                                       "dist", "db",      "api",
+                                       "obs",  "index",   "serve"};
 
 std::string FormatDouble(double v) {
   char buf[64];

@@ -1,0 +1,32 @@
+#include "serve/batch_planner.h"
+
+#include <algorithm>
+
+namespace vectordb {
+namespace serve {
+
+std::vector<size_t> BatchPlanner::Plan(
+    const std::vector<BatchCandidate>& candidates, size_t leader_index) const {
+  std::vector<size_t> picked;
+  if (leader_index >= candidates.size()) return picked;
+  const BatchKey& key = candidates[leader_index].key;
+  bool leader_in = false;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (!(candidates[i].key == key)) continue;
+    if (picked.size() == max_batch_width_) {
+      if (i > leader_index) break;  // Batch full before reaching the leader.
+      continue;
+    }
+    picked.push_back(i);
+    if (i == leader_index) leader_in = true;
+  }
+  if (!leader_in) {
+    // Older compatible queries filled the batch; evict the newest so the
+    // round-robin leader still executes in this round.
+    picked.back() = leader_index;
+  }
+  return picked;
+}
+
+}  // namespace serve
+}  // namespace vectordb

@@ -1,0 +1,71 @@
+#ifndef VECTORDB_SERVE_BATCH_PLANNER_H_
+#define VECTORDB_SERVE_BATCH_PLANNER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "exec/query_context.h"
+#include "query/filter_strategies.h"
+
+namespace vectordb {
+namespace serve {
+
+/// The compatibility key for coalescing queued queries into one shared
+/// segment scan. Two queries may ride the same batch only when every field
+/// below matches: they then hit the same collection snapshot, the same
+/// vector field, the same filter bitmap, and identical execution knobs, so
+/// the batched per-query results are bitwise identical to running each
+/// query alone (the executor's candidate collection, strategy choice, and
+/// merge order never depend on the query vector).
+struct BatchKey {
+  std::string collection;
+  std::string field;
+  size_t dim = 0;  ///< Queries of the wrong dimension fail alone.
+  bool has_filter = false;
+  std::string filter_attribute;
+  double filter_lo = 0.0;
+  double filter_hi = 0.0;
+  // Execution knobs (exec::QueryOptions) — all of them shape the scan.
+  size_t k = 0;
+  size_t nprobe = 0;
+  size_t ef_search = 0;
+  double theta = 0.0;
+  double timeout_seconds = 0.0;
+
+  bool operator==(const BatchKey& other) const = default;
+};
+
+/// One admitted query as the planner sees it: its admission sequence number
+/// (global, monotonically increasing) and its compatibility key.
+struct BatchCandidate {
+  uint64_t seq = 0;
+  BatchKey key;
+};
+
+/// Pure batch-selection logic, separated from the scheduler's locking so it
+/// is unit-testable: given the queued candidates in admission-seq order and
+/// the round-robin leader, pick the queries that share the leader's batch.
+class BatchPlanner {
+ public:
+  explicit BatchPlanner(size_t max_batch_width)
+      : max_batch_width_(max_batch_width == 0 ? 1 : max_batch_width) {}
+
+  size_t max_batch_width() const { return max_batch_width_; }
+
+  /// Select up to max_batch_width indices into `candidates` (which must be
+  /// sorted by seq) whose key equals the leader's, oldest first. The leader
+  /// is always included: if older compatible queries fill the batch, the
+  /// newest non-leader selection is dropped to make room, so the round-robin
+  /// fairness guarantee (the chosen tenant's head executes now) holds.
+  std::vector<size_t> Plan(const std::vector<BatchCandidate>& candidates,
+                           size_t leader_index) const;
+
+ private:
+  size_t max_batch_width_;
+};
+
+}  // namespace serve
+}  // namespace vectordb
+
+#endif  // VECTORDB_SERVE_BATCH_PLANNER_H_

@@ -1,0 +1,404 @@
+#include "serve/serving_tier.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/logger.h"
+#include "obs/catalog.h"
+
+namespace vectordb {
+namespace serve {
+
+namespace {
+
+double SteadyNow() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+// ----- Ticket ---------------------------------------------------------------
+
+Ticket::Ticket() = default;
+
+const SearchReply& Ticket::Wait() {
+  MutexLock lock(&mu_);
+  while (!done_) cv_.Wait();
+  return reply_;
+}
+
+bool Ticket::done() const {
+  MutexLock lock(&mu_);
+  return done_;
+}
+
+const SearchReply& Ticket::reply() const {
+  MutexLock lock(&mu_);
+  return reply_;
+}
+
+void Ticket::Complete(SearchReply reply) {
+  {
+    MutexLock lock(&mu_);
+    reply_ = std::move(reply);
+    done_ = true;
+  }
+  cv_.SignalAll();
+}
+
+// ----- ServingTier ----------------------------------------------------------
+
+ServingTier::ServingTier(db::VectorDb* db, ServeOptions options)
+    : db_(db),
+      options_(std::move(options)),
+      planner_(options_.max_batch_width) {
+  obs::Serve();  // Register the family even before traffic arrives.
+  if (options_.worker_threads > 0) {
+    workers_ = std::make_unique<ThreadPool>(options_.worker_threads);
+    for (size_t i = 0; i < options_.worker_threads; ++i) {
+      workers_->Submit([this] { WorkerLoop(); });
+    }
+  }
+}
+
+ServingTier::~ServingTier() {
+  {
+    MutexLock lock(&mu_);
+    stopping_ = true;
+  }
+  work_cv_.SignalAll();
+  workers_.reset();  // Workers drain the queues, then join.
+  // Manual mode (or a mid-shutdown race) can leave admitted tickets behind;
+  // complete them so no caller blocks on a tier that no longer exists.
+  std::vector<Queued> orphans;
+  {
+    MutexLock lock(&mu_);
+    for (auto& [tenant, queue] : queues_) {
+      for (auto& entry : queue) orphans.push_back(std::move(entry));
+      queue.clear();
+    }
+    queued_count_ = 0;
+    obs::Serve().queue_depth->Set(0.0);
+    obs::Serve().in_flight->Set(static_cast<double>(executing_count_));
+  }
+  for (auto& entry : orphans) {
+    SearchReply reply;
+    reply.status = Status::Unavailable("serving tier shut down");
+    entry.ticket->Complete(std::move(reply));
+  }
+}
+
+double ServingTier::Now() const {
+  return options_.clock ? options_.clock() : SteadyNow();
+}
+
+BatchKey ServingTier::KeyFor(const SearchRequest& request) {
+  BatchKey key;
+  key.collection = request.collection;
+  key.field = request.field;
+  key.dim = request.query.size();
+  key.has_filter = request.has_filter;
+  if (request.has_filter) {
+    key.filter_attribute = request.filter_attribute;
+    key.filter_lo = request.filter_range.lo;
+    key.filter_hi = request.filter_range.hi;
+  }
+  key.k = request.options.k;
+  key.nprobe = request.options.nprobe;
+  key.ef_search = request.options.ef_search;
+  key.theta = request.options.theta;
+  key.timeout_seconds = request.options.timeout_seconds;
+  return key;
+}
+
+Status ServingTier::ValidateRequest(const SearchRequest& request) const {
+  if (request.query.empty()) {
+    return Status::InvalidArgument("empty query vector");
+  }
+  VDB_RETURN_NOT_OK(exec::ValidateQueryOptions(request.options, 1));
+  db::Collection* collection = db_->GetCollection(request.collection);
+  if (collection == nullptr) {
+    return Status::NotFound("unknown collection: " + request.collection);
+  }
+  for (const auto& field : collection->schema().vector_fields) {
+    if (field.name != request.field) continue;
+    if (field.dim != request.query.size()) {
+      return Status::InvalidArgument(
+          "query dimension mismatch for field: " + request.field);
+    }
+    return Status::OK();
+  }
+  return Status::NotFound("unknown vector field: " + request.field);
+}
+
+bool ServingTier::TakeToken(const db::TenantQuota& quota, Bucket* bucket,
+                            double* retry_after) {
+  if (quota.rate_qps <= 0.0) return true;  // Unlimited tenant.
+  const double burst =
+      quota.burst > 0.0 ? quota.burst : std::max(1.0, quota.rate_qps);
+  const double now = Now();
+  if (!bucket->primed) {
+    bucket->tokens = burst;
+    bucket->last_refill = now;
+    bucket->primed = true;
+  } else if (now > bucket->last_refill) {
+    bucket->tokens = std::min(
+        burst, bucket->tokens + (now - bucket->last_refill) * quota.rate_qps);
+    bucket->last_refill = now;
+  }
+  if (bucket->tokens >= 1.0) {
+    bucket->tokens -= 1.0;
+    return true;
+  }
+  *retry_after = std::max(options_.retry_after_floor_seconds,
+                          (1.0 - bucket->tokens) / quota.rate_qps);
+  return false;
+}
+
+TicketPtr ServingTier::Submit(SearchRequest request) {
+  auto ticket = std::make_shared<Ticket>();
+  obs::Serve().submitted->Inc();
+
+  // Validation and the quota lookup happen before the scheduler lock: both
+  // take lower-ranked locks (catalog, tenant table), and a malformed query
+  // must be rejected alone rather than poisoning a batch later.
+  const Status valid = ValidateRequest(request);
+  if (!valid.ok()) {
+    SearchReply reply;
+    reply.status = valid;
+    ticket->Complete(std::move(reply));
+    return ticket;
+  }
+  const db::TenantQuota quota = db_->TenantQuotaFor(request.tenant);
+  const size_t queue_cap = quota.max_queued > 0
+                               ? quota.max_queued
+                               : options_.default_max_queued_per_tenant;
+
+  Status reject;
+  double retry_after = options_.retry_after_floor_seconds;
+  {
+    MutexLock lock(&mu_);
+    if (stopping_) {
+      reject = Status::Unavailable("serving tier shutting down");
+    } else if (queued_count_ + executing_count_ >= options_.max_in_flight) {
+      obs::Serve().rejected_inflight->Inc();
+      reject = Status::ResourceExhausted("serving tier at capacity");
+    } else if (queues_[request.tenant].size() >= queue_cap) {
+      obs::Serve().rejected_queue->Inc();
+      reject = Status::ResourceExhausted("tenant queue full: " +
+                                         request.tenant);
+    } else if (!TakeToken(quota, &buckets_[request.tenant], &retry_after)) {
+      obs::Serve().rejected_rate->Inc();
+      reject = Status::ResourceExhausted("tenant rate limit: " +
+                                         request.tenant);
+    } else {
+      Queued entry;
+      entry.seq = next_seq_++;
+      entry.admit_time = Now();
+      entry.request = std::move(request);
+      entry.ticket = ticket;
+      queues_[entry.request.tenant].push_back(std::move(entry));
+      ++queued_count_;
+      obs::Serve().admitted->Inc();
+      obs::Serve().queue_depth->Set(static_cast<double>(queued_count_));
+      obs::Serve().in_flight->Set(
+          static_cast<double>(queued_count_ + executing_count_));
+    }
+  }
+  if (!reject.ok()) {
+    SearchReply reply;
+    reply.status = reject;
+    if (reject.IsResourceExhausted()) reply.retry_after_seconds = retry_after;
+    ticket->Complete(std::move(reply));
+    return ticket;
+  }
+  work_cv_.Signal();
+  return ticket;
+}
+
+SearchReply ServingTier::Search(SearchRequest request) {
+  return Submit(std::move(request))->Wait();
+}
+
+bool ServingTier::PlanBatchLocked(Batch* batch) {
+  if (queued_count_ == 0) return false;
+
+  // Flatten the queues into admission-seq order and pick the round-robin
+  // leader: the head of the first non-empty tenant queue after the cursor.
+  std::vector<BatchCandidate> candidates;
+  std::vector<std::pair<std::string, size_t>> where;  // tenant, queue index
+  candidates.reserve(queued_count_);
+  for (const auto& [tenant, queue] : queues_) {
+    for (size_t i = 0; i < queue.size(); ++i) {
+      candidates.push_back({queue[i].seq, KeyFor(queue[i].request)});
+      where.emplace_back(tenant, i);
+    }
+  }
+  std::vector<size_t> order(candidates.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return candidates[a].seq < candidates[b].seq;
+  });
+  std::vector<BatchCandidate> sorted;
+  std::vector<std::pair<std::string, size_t>> sorted_where;
+  sorted.reserve(order.size());
+  for (size_t i : order) {
+    sorted.push_back(candidates[i]);
+    sorted_where.push_back(where[i]);
+  }
+
+  // Round-robin leader tenant: first non-empty queue strictly after the
+  // cursor, wrapping, so every tenant's head gets a turn under contention.
+  auto it = queues_.upper_bound(rr_cursor_);
+  for (size_t step = 0; step <= queues_.size(); ++step, ++it) {
+    if (it == queues_.end()) it = queues_.begin();
+    if (!it->second.empty()) break;
+  }
+  const std::string leader_tenant = it->first;
+  const uint64_t leader_seq = it->second.front().seq;
+  size_t leader_index = 0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i].seq == leader_seq) leader_index = i;
+  }
+
+  const std::vector<size_t> picked = planner_.Plan(sorted, leader_index);
+  if (picked.empty()) return false;
+
+  // Move the selected entries out of their queues (seqs are unique, so a
+  // per-tenant sweep over the picked seq set is exact).
+  std::map<std::string, std::vector<uint64_t>> picked_seqs;
+  for (size_t i : picked) {
+    picked_seqs[sorted_where[i].first].push_back(sorted[i].seq);
+  }
+  batch->entries.clear();
+  for (auto& [tenant, seqs] : picked_seqs) {
+    auto& queue = queues_[tenant];
+    std::deque<Queued> keep;
+    for (auto& entry : queue) {
+      if (std::find(seqs.begin(), seqs.end(), entry.seq) != seqs.end()) {
+        batch->entries.push_back(std::move(entry));
+      } else {
+        keep.push_back(std::move(entry));
+      }
+    }
+    queue.swap(keep);
+  }
+  // Batches execute in admission order regardless of tenant map order.
+  std::sort(batch->entries.begin(), batch->entries.end(),
+            [](const Queued& a, const Queued& b) { return a.seq < b.seq; });
+
+  rr_cursor_ = leader_tenant;
+  queued_count_ -= batch->entries.size();
+  executing_count_ += batch->entries.size();
+  obs::Serve().queue_depth->Set(static_cast<double>(queued_count_));
+  return true;
+}
+
+void ServingTier::ExecuteBatch(Batch batch) {
+  const size_t nq = batch.entries.size();
+  const double exec_start = Now();
+  const SearchRequest& lead = batch.entries.front().request;
+  const size_t dim = lead.query.size();
+
+  // One contiguous query block: the executor scans each segment once for
+  // the whole batch.
+  std::vector<float> block(nq * dim);
+  for (size_t i = 0; i < nq; ++i) {
+    std::copy(batch.entries[i].request.query.begin(),
+              batch.entries[i].request.query.end(),
+              block.begin() + i * dim);
+  }
+
+  exec::QueryStats stats;
+  Status status;
+  std::vector<HitList> lists;
+  db::Collection* collection = db_->GetCollection(lead.collection);
+  if (collection == nullptr) {
+    status = Status::NotFound("collection dropped: " + lead.collection);
+  } else if (lead.has_filter) {
+    auto result = collection->SearchFilteredBatch(
+        lead.field, block.data(), nq, lead.filter_attribute,
+        lead.filter_range, lead.options, &stats);
+    if (result.ok()) {
+      lists = std::move(result).value();
+    } else {
+      status = result.status();
+    }
+  } else {
+    auto result =
+        collection->Search(lead.field, block.data(), nq, lead.options, &stats);
+    if (result.ok()) {
+      lists = std::move(result).value();
+    } else {
+      status = result.status();
+    }
+  }
+
+  obs::Serve().batches->Inc();
+  obs::Serve().batch_width->Observe(static_cast<double>(nq));
+  if (nq > 1) obs::Serve().batched_queries->Inc(nq);
+
+  // Release the admission budget before completing tickets: execution is
+  // over, so capacity frees as soon as possible, and a client observing its
+  // ticket done is guaranteed to see the budget already returned.
+  {
+    MutexLock lock(&mu_);
+    executing_count_ -= nq;
+    obs::Serve().in_flight->Set(
+        static_cast<double>(queued_count_ + executing_count_));
+  }
+
+  const double done = Now();
+  for (size_t i = 0; i < nq; ++i) {
+    SearchReply reply;
+    reply.status = status;
+    if (status.ok() && i < lists.size()) reply.hits = std::move(lists[i]);
+    reply.stats = stats;
+    reply.queue_seconds =
+        std::max(0.0, exec_start - batch.entries[i].admit_time);
+    reply.batch_width = nq;
+    obs::Serve().queue_seconds->Observe(reply.queue_seconds);
+    obs::Serve().serve_seconds->Observe(
+        std::max(0.0, done - batch.entries[i].admit_time));
+    batch.entries[i].ticket->Complete(std::move(reply));
+  }
+}
+
+void ServingTier::WorkerLoop() {
+  while (true) {
+    Batch batch;
+    {
+      MutexLock lock(&mu_);
+      while (queued_count_ == 0 && !stopping_) work_cv_.Wait();
+      if (queued_count_ == 0 && stopping_) return;
+      if (!PlanBatchLocked(&batch)) continue;
+    }
+    ExecuteBatch(std::move(batch));
+  }
+}
+
+bool ServingTier::PumpOnce() {
+  Batch batch;
+  {
+    MutexLock lock(&mu_);
+    if (!PlanBatchLocked(&batch)) return false;
+  }
+  ExecuteBatch(std::move(batch));
+  return true;
+}
+
+size_t ServingTier::queue_depth() const {
+  MutexLock lock(&mu_);
+  return queued_count_;
+}
+
+size_t ServingTier::in_flight() const {
+  MutexLock lock(&mu_);
+  return queued_count_ + executing_count_;
+}
+
+}  // namespace serve
+}  // namespace vectordb

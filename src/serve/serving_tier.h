@@ -1,0 +1,197 @@
+#ifndef VECTORDB_SERVE_SERVING_TIER_H_
+#define VECTORDB_SERVE_SERVING_TIER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/threadpool.h"
+#include "db/vector_db.h"
+#include "serve/batch_planner.h"
+
+namespace vectordb {
+namespace serve {
+
+/// One search as submitted to the admission gate. The tier owns a copy of
+/// the query vector so callers (REST handlers, SDK clients) can return
+/// before execution starts.
+struct SearchRequest {
+  std::string tenant;      ///< "" = the default tenant.
+  std::string collection;
+  std::string field;
+  std::vector<float> query;
+  db::QueryOptions options;
+  bool has_filter = false;
+  std::string filter_attribute;
+  query::AttrRange filter_range;
+};
+
+/// The completed (or rejected) outcome of one submitted search.
+struct SearchReply {
+  Status status;
+  HitList hits;
+  /// Execution counters of the batch this query rode in (segments scanned
+  /// once per batch, so batched queries share the same fan-out numbers).
+  exec::QueryStats stats;
+  /// Set when status is ResourceExhausted: the scheduler's hint for when
+  /// capacity should be available again (REST surfaces it as Retry-After).
+  double retry_after_seconds = 0.0;
+  double queue_seconds = 0.0;  ///< Admission to execution-start wait.
+  size_t batch_width = 0;      ///< Queries coalesced into the shared scan.
+};
+
+struct ServeOptions {
+  /// Batch-executing workers. 0 = manual mode: nothing executes until the
+  /// caller drives PumpOnce() — the deterministic-test configuration.
+  size_t worker_threads = 2;
+  /// Global admission budget: queries queued or executing. Submissions
+  /// beyond it are rejected immediately (typed ResourceExhausted), never
+  /// queued unboundedly.
+  size_t max_in_flight = 256;
+  /// Queries coalesced into one shared segment scan.
+  size_t max_batch_width = 16;
+  /// Per-tenant queue cap for tenants whose quota leaves max_queued at 0.
+  size_t default_max_queued_per_tenant = 64;
+  /// Lower bound on every retry-after hint.
+  double retry_after_floor_seconds = 0.01;
+  /// Monotonic seconds for token buckets and latency stats. Null = steady
+  /// clock; tests inject a manual clock for deterministic admission.
+  std::function<double()> clock;
+};
+
+/// Completion handle for one submitted search. Tickets are shared-ownership
+/// so they stay valid however the caller and the tier interleave; the state
+/// carries its own mutex (rank kServeTicket) — completion never touches the
+/// scheduler lock.
+class Ticket {
+ public:
+  Ticket();
+  Ticket(const Ticket&) = delete;
+  Ticket& operator=(const Ticket&) = delete;
+
+  /// Block until the reply is ready (immediately for rejected tickets),
+  /// then return it. The reference stays valid for the ticket's lifetime.
+  const SearchReply& Wait();
+
+  bool done() const;
+  /// The reply; only valid once done().
+  const SearchReply& reply() const;
+
+ private:
+  friend class ServingTier;
+  void Complete(SearchReply reply);
+
+  mutable Mutex mu_{VDB_LOCK_RANK(kServeTicket)};
+  CondVar cv_{&mu_};
+  bool done_ VDB_GUARDED_BY(mu_) = false;
+  SearchReply reply_ VDB_GUARDED_BY(mu_);
+};
+using TicketPtr = std::shared_ptr<Ticket>;
+
+/// The admission-controlled serving tier (the query front door): per-tenant
+/// token-bucket rate limits and queue caps, a global in-flight budget that
+/// rejects early instead of queueing unboundedly, and a batch planner that
+/// coalesces compatible queued queries into shared segment scans. Batched
+/// results are bitwise identical to per-query execution.
+class ServingTier {
+ public:
+  ServingTier(db::VectorDb* db, ServeOptions options);
+  ~ServingTier();
+
+  ServingTier(const ServingTier&) = delete;
+  ServingTier& operator=(const ServingTier&) = delete;
+
+  /// Admission gate. Always returns a ticket: rejected submissions come
+  /// back already completed with a typed ResourceExhausted reply carrying
+  /// retry_after_seconds. Malformed requests (unknown collection, wrong
+  /// dimension, bad options) are rejected here too, so they can never
+  /// poison a batch.
+  TicketPtr Submit(SearchRequest request) VDB_EXCLUDES(mu_);
+
+  /// Submit and wait: the synchronous entry point used by the SDK and the
+  /// REST handler. Requires worker_threads > 0 (manual mode would block
+  /// forever with nobody pumping).
+  SearchReply Search(SearchRequest request) VDB_EXCLUDES(mu_);
+
+  /// Manual mode: plan one batch from the queues and execute it on the
+  /// calling thread. Returns false when nothing was queued. Also usable
+  /// with workers running (it competes for queued work like a worker).
+  bool PumpOnce() VDB_EXCLUDES(mu_);
+
+  size_t queue_depth() const VDB_EXCLUDES(mu_);  ///< Admitted, not started.
+  size_t in_flight() const VDB_EXCLUDES(mu_);    ///< Queued + executing.
+
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  /// One admitted query waiting in its tenant queue.
+  struct Queued {
+    uint64_t seq = 0;
+    double admit_time = 0.0;
+    SearchRequest request;
+    TicketPtr ticket;
+  };
+
+  /// Token bucket tracking one tenant's admission rate.
+  struct Bucket {
+    double tokens = 0.0;
+    double last_refill = 0.0;
+    bool primed = false;  ///< First admission initializes the bucket full.
+  };
+
+  /// A planned batch, popped from the queues and owned by the executor.
+  struct Batch {
+    std::vector<Queued> entries;
+  };
+
+  double Now() const;
+  static BatchKey KeyFor(const SearchRequest& request);
+
+  /// Validate a request against the live catalog; failures reject alone.
+  Status ValidateRequest(const SearchRequest& request) const;
+
+  /// Refill + take one token; on failure returns the seconds until the
+  /// bucket earns the next token.
+  bool TakeToken(const db::TenantQuota& quota, Bucket* bucket,
+                 double* retry_after) VDB_REQUIRES(mu_);
+
+  /// Pop the next batch: round-robin over tenants for the leader, then
+  /// coalesce compatible queries across all queues in admission order.
+  bool PlanBatchLocked(Batch* batch) VDB_REQUIRES(mu_);
+
+  /// Execute a planned batch (no scheduler lock held) and complete its
+  /// tickets; then retire the batch from the in-flight count.
+  void ExecuteBatch(Batch batch) VDB_EXCLUDES(mu_);
+
+  void WorkerLoop() VDB_EXCLUDES(mu_);
+
+  db::VectorDb* const db_;
+  const ServeOptions options_;
+  BatchPlanner planner_;
+
+  mutable Mutex mu_{VDB_LOCK_RANK(kServeScheduler)};
+  CondVar work_cv_{&mu_};
+  std::map<std::string, std::deque<Queued>> queues_ VDB_GUARDED_BY(mu_);
+  std::map<std::string, Bucket> buckets_ VDB_GUARDED_BY(mu_);
+  /// Round-robin cursor: the tenant served last; the next leader is the
+  /// first non-empty queue strictly after it (wrapping).
+  std::string rr_cursor_ VDB_GUARDED_BY(mu_);
+  uint64_t next_seq_ VDB_GUARDED_BY(mu_) = 0;
+  size_t queued_count_ VDB_GUARDED_BY(mu_) = 0;
+  size_t executing_count_ VDB_GUARDED_BY(mu_) = 0;
+  bool stopping_ VDB_GUARDED_BY(mu_) = false;
+
+  /// Hosts the long-lived worker loops; reset in the destructor to join.
+  std::unique_ptr<ThreadPool> workers_;
+};
+
+}  // namespace serve
+}  // namespace vectordb
+
+#endif  // VECTORDB_SERVE_SERVING_TIER_H_

@@ -327,7 +327,8 @@ TEST_F(RestApiTest, MetricsExpositionParsesAndCoversSubsystems) {
   const Exposition parsed = Exposition::Parse(response.text);
   ASSERT_EQ(parsed.error, "");
   EXPECT_FALSE(parsed.samples.empty());
-  for (const std::string subsystem : {"exec", "storage", "gpusim", "dist"}) {
+  for (const std::string subsystem :
+       {"exec", "storage", "gpusim", "dist", "serve"}) {
     const auto kinds = parsed.KindsForSubsystem(subsystem);
     EXPECT_TRUE(kinds.count("counter")) << subsystem;
     EXPECT_TRUE(kinds.count("gauge")) << subsystem;
@@ -425,8 +426,41 @@ TEST_F(RestApiTest, HttpStatusMapping) {
   EXPECT_EQ(HttpStatusFor(Status::AlreadyExists("x")), 409);
   EXPECT_EQ(HttpStatusFor(Status::InvalidArgument("x")), 400);
   EXPECT_EQ(HttpStatusFor(Status::NotSupported("x")), 400);
+  EXPECT_EQ(HttpStatusFor(Status::ResourceExhausted("x")), 429);
+  EXPECT_EQ(HttpStatusFor(Status::Unavailable("x")), 503);
   EXPECT_EQ(HttpStatusFor(Status::Aborted("deadline")), 504);
   EXPECT_EQ(HttpStatusFor(Status::IOError("x")), 500);
+}
+
+// Every non-2xx response carries the one versioned error shape:
+// {"error": {"code", "message", "retryable"}} from the single mapping
+// point; no route hand-rolls its own error body.
+TEST_F(RestApiTest, UnifiedErrorSchema) {
+  auto missing = handler_->Handle("GET", "/v1/collections/ghost", "");
+  EXPECT_EQ(missing.status, 404);
+  const Json& not_found = missing.body["error"];
+  EXPECT_EQ(not_found["code"].as_string(), "NotFound");
+  EXPECT_FALSE(not_found["message"].as_string().empty());
+  EXPECT_FALSE(not_found["retryable"].as_bool());
+
+  auto bad = handler_->Handle("POST", "/v1/collections", "{not json");
+  EXPECT_EQ(bad.status, 400);
+  const Json& invalid = bad.body["error"];
+  EXPECT_EQ(invalid["code"].as_string(), "InvalidArgument");
+  EXPECT_FALSE(invalid["retryable"].as_bool());
+
+  auto unrouted = handler_->Handle("GET", "/v1/nope", "");
+  EXPECT_EQ(unrouted.status, 404);
+  EXPECT_EQ(unrouted.body["error"]["code"].as_string(), "NotFound");
+
+  // ErrorBody marks transient statuses retryable so clients can back off
+  // without parsing message text.
+  EXPECT_TRUE(ErrorBody(Status::ResourceExhausted("x"))["error"]["retryable"]
+                  .as_bool());
+  EXPECT_TRUE(ErrorBody(Status::Unavailable("x"))["error"]["retryable"]
+                  .as_bool());
+  EXPECT_FALSE(ErrorBody(Status::NotFound("x"))["error"]["retryable"]
+                   .as_bool());
 }
 
 }  // namespace

@@ -15,7 +15,7 @@ class SdkTest : public ::testing::Test {
     client_ = std::make_unique<Client>(db_.get());
   }
 
-  bool CreateProducts() {
+  Status CreateProducts() {
     index::IndexBuildParams params;
     params.nlist = 4;
     return client_->Collection("products")
@@ -31,7 +31,7 @@ class SdkTest : public ::testing::Test {
       const std::vector<float> vec = {static_cast<float>(i), 0, 0, 0};
       ASSERT_TRUE(client_->Insert("products", i, {vec}, {i * 10.0}).ok());
     }
-    ASSERT_TRUE(client_->Flush("products"));
+    ASSERT_TRUE(client_->Flush("products").ok());
   }
 
   db::DbOptions options_;
@@ -41,22 +41,30 @@ class SdkTest : public ::testing::Test {
 };
 
 TEST_F(SdkTest, BuilderCreatesCollection) {
-  ASSERT_TRUE(CreateProducts()) << client_->last_error();
-  EXPECT_TRUE(client_->HasCollection("products"));
+  const Status created = CreateProducts();
+  ASSERT_TRUE(created.ok()) << created.ToString();
+  EXPECT_TRUE(client_->HasCollection("products").value_or(false));
   EXPECT_EQ(client_->ListCollections(),
             std::vector<std::string>{"products"});
 }
 
-TEST_F(SdkTest, CreateFailureSetsLastError) {
-  EXPECT_FALSE(client_->Collection("bad").Create());  // No vector fields.
-  EXPECT_NE(client_->last_error(), "");
-  // A subsequent success clears it.
-  ASSERT_TRUE(CreateProducts());
-  EXPECT_EQ(client_->last_error(), "");
+TEST_F(SdkTest, CreateFailureReturnsTypedStatus) {
+  const Status bad = client_->Collection("bad").Create();  // No vector fields.
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.ToString(), "OK");
+  // DDL statuses are per-call values: a later success is its own status.
+  EXPECT_TRUE(CreateProducts().ok());
+}
+
+TEST_F(SdkTest, DropCollectionReturnsStatus) {
+  ASSERT_TRUE(CreateProducts().ok());
+  EXPECT_TRUE(client_->DropCollection("products").ok());
+  EXPECT_FALSE(client_->HasCollection("products").value_or(false));
+  EXPECT_TRUE(client_->DropCollection("products").IsNotFound());
 }
 
 TEST_F(SdkTest, InsertAutoAssignsIds) {
-  ASSERT_TRUE(CreateProducts());
+  ASSERT_TRUE(CreateProducts().ok());
   const std::vector<float> vec = {1, 2, 3, 4};
   const InsertOutcome a =
       client_->Insert("products", kInvalidRowId, {vec}, {1.0});
@@ -69,7 +77,7 @@ TEST_F(SdkTest, InsertAutoAssignsIds) {
 }
 
 TEST_F(SdkTest, InsertFailureIsUnambiguous) {
-  ASSERT_TRUE(CreateProducts());
+  ASSERT_TRUE(CreateProducts().ok());
   const std::vector<float> vec = {1, 2, 3, 4};
   ASSERT_TRUE(client_->Insert("products", 7, {vec}, {1.0}).ok());
   // Duplicate id: the outcome carries the failure and never an id, where
@@ -81,7 +89,7 @@ TEST_F(SdkTest, InsertFailureIsUnambiguous) {
 }
 
 TEST_F(SdkTest, SearchBuilderReturnsNeighbors) {
-  ASSERT_TRUE(CreateProducts());
+  ASSERT_TRUE(CreateProducts().ok());
   InsertProducts(20);
   const std::vector<float> query = {7, 0, 0, 0};
   auto outcome =
@@ -93,21 +101,17 @@ TEST_F(SdkTest, SearchBuilderReturnsNeighbors) {
 }
 
 TEST_F(SdkTest, OutcomeCarriesPerQueryStats) {
-  ASSERT_TRUE(CreateProducts());
+  ASSERT_TRUE(CreateProducts().ok());
   InsertProducts(20);
   const std::vector<float> query = {7, 0, 0, 0};
   auto outcome = client_->Search("products").TopK(3).NProbe(4).Run(query);
   ASSERT_TRUE(outcome.ok());
   EXPECT_EQ(outcome.stats.queries, 1u);
   EXPECT_GE(outcome.stats.segments_scanned, 1u);
-  // The deprecated last-call shims mirror the outcome.
-  EXPECT_EQ(client_->last_query_stats().segments_scanned,
-            outcome.stats.segments_scanned);
-  EXPECT_EQ(client_->last_error(), "");
 }
 
 TEST_F(SdkTest, DefaultFieldIsFirstVectorField) {
-  ASSERT_TRUE(CreateProducts());
+  ASSERT_TRUE(CreateProducts().ok());
   InsertProducts(10);
   const std::vector<float> query = {3, 0, 0, 0};
   auto outcome = client_->Search("products").TopK(1).NProbe(4).Run(query);
@@ -116,7 +120,7 @@ TEST_F(SdkTest, DefaultFieldIsFirstVectorField) {
 }
 
 TEST_F(SdkTest, WhereClauseFilters) {
-  ASSERT_TRUE(CreateProducts());
+  ASSERT_TRUE(CreateProducts().ok());
   InsertProducts(20);
   const std::vector<float> query = {7, 0, 0, 0};
   auto outcome = client_->Search("products")
@@ -132,7 +136,7 @@ TEST_F(SdkTest, WhereClauseFilters) {
 }
 
 TEST_F(SdkTest, FetchAttributesPopulatesRows) {
-  ASSERT_TRUE(CreateProducts());
+  ASSERT_TRUE(CreateProducts().ok());
   InsertProducts(10);
   const std::vector<float> query = {4, 0, 0, 0};
   auto outcome = client_->Search("products")
@@ -146,9 +150,9 @@ TEST_F(SdkTest, FetchAttributesPopulatesRows) {
 }
 
 TEST_F(SdkTest, DeleteThenSearchExcludesRow) {
-  ASSERT_TRUE(CreateProducts());
+  ASSERT_TRUE(CreateProducts().ok());
   InsertProducts(10);
-  ASSERT_TRUE(client_->Delete("products", 4));
+  ASSERT_TRUE(client_->Delete("products", 4).ok());
   const std::vector<float> query = {4, 0, 0, 0};
   auto outcome = client_->Search("products").TopK(10).NProbe(4).Run(query);
   for (const auto& row : outcome.rows) EXPECT_NE(row.id, 4);
@@ -161,13 +165,14 @@ TEST_F(SdkTest, MultiVectorSearchViaSdk) {
                   .WithVectorField("face", 2)
                   .WithVectorField("body", 2)
                   .WithIndex(index::IndexType::kIvfFlat, params)
-                  .Create());
+                  .Create()
+                  .ok());
   for (int i = 0; i < 10; ++i) {
     const std::vector<float> face = {static_cast<float>(i), 1};
     const std::vector<float> body = {static_cast<float>(i), 2};
     ASSERT_TRUE(client_->Insert("faces", i, {face, body}).ok());
   }
-  ASSERT_TRUE(client_->Flush("faces"));
+  ASSERT_TRUE(client_->Flush("faces").ok());
   auto outcome = client_->Search("faces").TopK(2).RunMulti(
       {{6, 1}, {6, 2}}, {0.5f, 0.5f});
   ASSERT_TRUE(outcome.ok()) << outcome.status.ToString();
@@ -179,12 +184,11 @@ TEST_F(SdkTest, UnknownCollectionFailsGracefully) {
   const InsertOutcome insert = client_->Insert("ghost", 1, {{1.0f}});
   EXPECT_FALSE(insert.ok());
   EXPECT_TRUE(insert.status.IsNotFound());
-  EXPECT_FALSE(client_->Delete("ghost", 1));
+  EXPECT_TRUE(client_->Delete("ghost", 1).IsNotFound());
   auto outcome = client_->Search("ghost").Run({1.0f});
   EXPECT_FALSE(outcome.ok());
   EXPECT_TRUE(outcome.status.IsNotFound());
   EXPECT_TRUE(outcome.rows.empty());
-  EXPECT_NE(client_->last_error(), "");
 }
 
 }  // namespace

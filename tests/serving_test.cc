@@ -1,0 +1,476 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/rest_handler.h"
+#include "api/sdk.h"
+#include "serve/batch_planner.h"
+#include "serve/serving_tier.h"
+#include "storage/filesystem.h"
+
+namespace vectordb {
+namespace serve {
+namespace {
+
+// ----- BatchPlanner unit tests ----------------------------------------------
+
+BatchKey KeyNamed(const std::string& collection) {
+  BatchKey key;
+  key.collection = collection;
+  key.field = "v";
+  key.dim = 4;
+  key.k = 10;
+  key.nprobe = 16;
+  key.ef_search = 64;
+  key.theta = 2.0;
+  return key;
+}
+
+TEST(BatchPlannerTest, CoalescesOnlyMatchingKeys) {
+  BatchPlanner planner(8);
+  const BatchKey a = KeyNamed("a");
+  const BatchKey b = KeyNamed("b");
+  std::vector<BatchCandidate> candidates = {
+      {0, a}, {1, b}, {2, a}, {3, a}, {4, b}};
+  const auto picked = planner.Plan(candidates, 0);
+  EXPECT_EQ(picked, (std::vector<size_t>{0, 2, 3}));
+  const auto picked_b = planner.Plan(candidates, 1);
+  EXPECT_EQ(picked_b, (std::vector<size_t>{1, 4}));
+}
+
+TEST(BatchPlannerTest, RespectsMaxWidth) {
+  BatchPlanner planner(2);
+  const BatchKey a = KeyNamed("a");
+  std::vector<BatchCandidate> candidates = {{0, a}, {1, a}, {2, a}};
+  const auto picked = planner.Plan(candidates, 0);
+  EXPECT_EQ(picked, (std::vector<size_t>{0, 1}));
+}
+
+TEST(BatchPlannerTest, LeaderAlwaysIncluded) {
+  BatchPlanner planner(2);
+  const BatchKey a = KeyNamed("a");
+  std::vector<BatchCandidate> candidates = {{0, a}, {1, a}, {2, a}, {3, a}};
+  // Leader is the newest candidate; older ones would fill the batch, so the
+  // newest non-leader pick is evicted to honor round-robin fairness.
+  const auto picked = planner.Plan(candidates, 3);
+  ASSERT_EQ(picked.size(), 2u);
+  EXPECT_EQ(picked[0], 0u);
+  EXPECT_EQ(picked[1], 3u);
+}
+
+TEST(BatchPlannerTest, DifferentFiltersNeverShareABatch) {
+  BatchPlanner planner(8);
+  BatchKey filtered = KeyNamed("a");
+  filtered.has_filter = true;
+  filtered.filter_attribute = "price";
+  filtered.filter_lo = 10;
+  filtered.filter_hi = 20;
+  BatchKey other = filtered;
+  other.filter_hi = 30;
+  std::vector<BatchCandidate> candidates = {{0, filtered}, {1, other}};
+  EXPECT_EQ(planner.Plan(candidates, 0), (std::vector<size_t>{0}));
+}
+
+// ----- ServingTier fixture --------------------------------------------------
+
+class ServingTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kDim = 4;
+  static constexpr int kRows = 48;
+
+  void OpenDb(db::DbOptions extra = {}) {
+    options_ = std::move(extra);
+    options_.fs = storage::NewMemoryFileSystem();
+    db_ = std::make_unique<db::VectorDb>(options_);
+    db::CollectionSchema schema;
+    schema.name = "items";
+    schema.vector_fields.push_back({"v", kDim});
+    schema.attributes.push_back("price");
+    auto created = db_->CreateCollection(schema);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    db::Collection* c = created.value();
+    // Two flushed segments so batching spans a real fan-out.
+    for (int i = 0; i < kRows; ++i) {
+      db::Entity entity;
+      entity.id = i;
+      entity.vectors = {{static_cast<float>(i), 0, 0, 0}};
+      entity.attributes = {i * 10.0};
+      ASSERT_TRUE(c->Insert(entity).ok());
+      if (i == kRows / 2) {
+        ASSERT_TRUE(c->Flush().ok());
+      }
+    }
+    ASSERT_TRUE(c->Flush().ok());
+  }
+
+  SearchRequest MakeRequest(float target, const std::string& tenant = "") {
+    SearchRequest request;
+    request.tenant = tenant;
+    request.collection = "items";
+    request.field = "v";
+    request.query = {target, 0, 0, 0};
+    request.options.k = 5;
+    request.options.nprobe = 8;
+    return request;
+  }
+
+  db::DbOptions options_;
+  std::unique_ptr<db::VectorDb> db_;
+};
+
+// Batched execution must be hit-for-hit identical to per-query execution:
+// same ids, same scores (bitwise), same order.
+TEST_F(ServingTest, BatchedResultsMatchPerQueryExecution) {
+  OpenDb();
+  db::Collection* c = db_->GetCollection("items");
+
+  ServeOptions serve_options;
+  serve_options.worker_threads = 0;  // Manual pump: deterministic batching.
+  serve_options.max_batch_width = 16;
+  ServingTier tier(db_.get(), serve_options);
+
+  std::vector<TicketPtr> tickets;
+  std::vector<HitList> direct;
+  for (int i = 0; i < 12; ++i) {
+    const float target = static_cast<float>((i * 7) % kRows);
+    SearchRequest request = MakeRequest(target);
+    auto expected =
+        c->Search("v", request.query.data(), 1, request.options, nullptr);
+    ASSERT_TRUE(expected.ok());
+    direct.push_back(expected.value()[0]);
+    tickets.push_back(tier.Submit(std::move(request)));
+  }
+  EXPECT_EQ(tier.queue_depth(), 12u);
+  ASSERT_TRUE(tier.PumpOnce());
+  EXPECT_EQ(tier.queue_depth(), 0u);
+
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    ASSERT_TRUE(tickets[i]->done());
+    const SearchReply& reply = tickets[i]->reply();
+    ASSERT_TRUE(reply.status.ok()) << reply.status.ToString();
+    EXPECT_EQ(reply.batch_width, 12u);
+    EXPECT_EQ(reply.hits, direct[i]) << "query " << i;
+  }
+}
+
+TEST_F(ServingTest, BatchedFilteredResultsMatchPerQueryExecution) {
+  OpenDb();
+  db::Collection* c = db_->GetCollection("items");
+
+  ServeOptions serve_options;
+  serve_options.worker_threads = 0;
+  ServingTier tier(db_.get(), serve_options);
+
+  const query::AttrRange range{100.0, 300.0};  // ids 10..30.
+  std::vector<TicketPtr> tickets;
+  std::vector<HitList> direct;
+  for (int i = 0; i < 6; ++i) {
+    SearchRequest request = MakeRequest(static_cast<float>(10 + i * 3));
+    request.has_filter = true;
+    request.filter_attribute = "price";
+    request.filter_range = range;
+    auto expected = c->SearchFiltered("v", request.query.data(), "price",
+                                      range, request.options, nullptr);
+    ASSERT_TRUE(expected.ok());
+    direct.push_back(expected.value());
+    tickets.push_back(tier.Submit(std::move(request)));
+  }
+  ASSERT_TRUE(tier.PumpOnce());
+
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    const SearchReply& reply = tickets[i]->reply();
+    ASSERT_TRUE(reply.status.ok()) << reply.status.ToString();
+    EXPECT_EQ(reply.batch_width, 6u);
+    EXPECT_EQ(reply.hits, direct[i]) << "query " << i;
+    for (const SearchHit& hit : reply.hits) {
+      EXPECT_GE(hit.id, 10);
+      EXPECT_LE(hit.id, 30);
+    }
+  }
+}
+
+// Queries with different options/filters never share a batch; a pump
+// executes exactly one compatibility group.
+TEST_F(ServingTest, IncompatibleQueriesExecuteInSeparateBatches) {
+  OpenDb();
+  ServeOptions serve_options;
+  serve_options.worker_threads = 0;
+  ServingTier tier(db_.get(), serve_options);
+
+  auto plain = tier.Submit(MakeRequest(3));
+  SearchRequest filtered_request = MakeRequest(3);
+  filtered_request.has_filter = true;
+  filtered_request.filter_attribute = "price";
+  filtered_request.filter_range = {0.0, 100.0};
+  auto filtered = tier.Submit(std::move(filtered_request));
+
+  ASSERT_TRUE(tier.PumpOnce());
+  ASSERT_TRUE(tier.PumpOnce());
+  EXPECT_FALSE(tier.PumpOnce());
+  ASSERT_TRUE(plain->done());
+  ASSERT_TRUE(filtered->done());
+  EXPECT_EQ(plain->reply().batch_width, 1u);
+  EXPECT_EQ(filtered->reply().batch_width, 1u);
+}
+
+// Admission rejects deterministically once the global budget is full, with
+// a typed status and a retry-after hint — never unbounded queueing.
+TEST_F(ServingTest, FullBudgetRejectsDeterministically) {
+  OpenDb();
+  ServeOptions serve_options;
+  serve_options.worker_threads = 0;
+  serve_options.max_in_flight = 4;
+  serve_options.retry_after_floor_seconds = 0.25;
+  ServingTier tier(db_.get(), serve_options);
+
+  std::vector<TicketPtr> tickets;
+  for (int i = 0; i < 7; ++i) tickets.push_back(tier.Submit(MakeRequest(1)));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(tickets[i]->done()) << "admitted ticket " << i;
+  }
+  for (int i = 4; i < 7; ++i) {
+    ASSERT_TRUE(tickets[i]->done()) << "rejected ticket " << i;
+    const SearchReply& reply = tickets[i]->reply();
+    EXPECT_TRUE(reply.status.IsResourceExhausted()) << reply.status.ToString();
+    EXPECT_TRUE(reply.status.IsTransient());
+    EXPECT_GE(reply.retry_after_seconds, 0.25);
+  }
+  EXPECT_EQ(tier.in_flight(), 4u);
+  // Draining the queue frees budget: the next submit is admitted.
+  while (tier.PumpOnce()) {
+  }
+  EXPECT_EQ(tier.in_flight(), 0u);
+  EXPECT_FALSE(tier.Submit(MakeRequest(1))->done());
+}
+
+// Token buckets are per tenant: one tenant exhausting its rate cannot take
+// admission capacity away from another.
+TEST_F(ServingTest, TenantQuotaIsolation) {
+  db::DbOptions db_options;
+  db::TenantQuota limited;
+  limited.rate_qps = 2.0;
+  limited.burst = 2.0;
+  db_options.tenant_quotas["limited"] = limited;
+  OpenDb(std::move(db_options));
+
+  auto clock_now = std::make_shared<double>(0.0);
+  ServeOptions serve_options;
+  serve_options.worker_threads = 0;
+  serve_options.clock = [clock_now] { return *clock_now; };
+  ServingTier tier(db_.get(), serve_options);
+
+  // The limited tenant gets exactly its burst of 2, then typed rejects.
+  EXPECT_FALSE(tier.Submit(MakeRequest(1, "limited"))->done());
+  EXPECT_FALSE(tier.Submit(MakeRequest(2, "limited"))->done());
+  auto rejected = tier.Submit(MakeRequest(3, "limited"));
+  ASSERT_TRUE(rejected->done());
+  EXPECT_TRUE(rejected->reply().status.IsResourceExhausted());
+  // At 2 qps and an empty bucket, the next token is 0.5 seconds out.
+  EXPECT_DOUBLE_EQ(rejected->reply().retry_after_seconds, 0.5);
+
+  // An unlimited tenant is untouched by the limited tenant's exhaustion.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_FALSE(tier.Submit(MakeRequest(i, "open"))->done()) << i;
+  }
+
+  // Advancing the clock refills the bucket deterministically.
+  *clock_now = 1.0;  // 2 qps * 1 s = 2 tokens.
+  EXPECT_FALSE(tier.Submit(MakeRequest(4, "limited"))->done());
+  EXPECT_FALSE(tier.Submit(MakeRequest(5, "limited"))->done());
+  EXPECT_TRUE(tier.Submit(MakeRequest(6, "limited"))->done());
+}
+
+// Per-tenant queue caps bound each tenant's backlog independently.
+TEST_F(ServingTest, PerTenantQueueCap) {
+  db::DbOptions db_options;
+  db::TenantQuota capped;
+  capped.max_queued = 2;
+  db_options.tenant_quotas["capped"] = capped;
+  OpenDb(std::move(db_options));
+
+  ServeOptions serve_options;
+  serve_options.worker_threads = 0;
+  ServingTier tier(db_.get(), serve_options);
+
+  EXPECT_FALSE(tier.Submit(MakeRequest(1, "capped"))->done());
+  EXPECT_FALSE(tier.Submit(MakeRequest(2, "capped"))->done());
+  auto over = tier.Submit(MakeRequest(3, "capped"));
+  ASSERT_TRUE(over->done());
+  EXPECT_TRUE(over->reply().status.IsResourceExhausted());
+  // Another tenant still has its own headroom.
+  EXPECT_FALSE(tier.Submit(MakeRequest(1, "other"))->done());
+}
+
+// Round-robin across tenants: with queued work from two tenants and
+// incompatible keys, pumps alternate tenants rather than starving one.
+TEST_F(ServingTest, RoundRobinAcrossTenants) {
+  OpenDb();
+  ServeOptions serve_options;
+  serve_options.worker_threads = 0;
+  serve_options.max_batch_width = 1;  // Force one query per pump.
+  ServingTier tier(db_.get(), serve_options);
+
+  auto a1 = tier.Submit(MakeRequest(1, "a"));
+  auto a2 = tier.Submit(MakeRequest(2, "a"));
+  auto b1 = tier.Submit(MakeRequest(3, "b"));
+
+  ASSERT_TRUE(tier.PumpOnce());
+  ASSERT_TRUE(tier.PumpOnce());
+  // After two pumps both tenants have been served once; tenant a's second
+  // query would only starve if service order ignored tenants.
+  EXPECT_TRUE(a1->done());
+  EXPECT_TRUE(b1->done());
+  EXPECT_FALSE(a2->done());
+  ASSERT_TRUE(tier.PumpOnce());
+  EXPECT_TRUE(a2->done());
+}
+
+// Malformed submissions are rejected alone at the gate and can never
+// poison a batch of valid queries.
+TEST_F(ServingTest, MalformedQueriesRejectAlone) {
+  OpenDb();
+  ServeOptions serve_options;
+  serve_options.worker_threads = 0;
+  ServingTier tier(db_.get(), serve_options);
+
+  SearchRequest bad_dim = MakeRequest(1);
+  bad_dim.query = {1, 2};  // Wrong dimension.
+  auto bad = tier.Submit(std::move(bad_dim));
+  ASSERT_TRUE(bad->done());
+  EXPECT_TRUE(bad->reply().status.IsInvalidArgument());
+
+  SearchRequest ghost = MakeRequest(1);
+  ghost.collection = "ghost";
+  auto missing = tier.Submit(std::move(ghost));
+  ASSERT_TRUE(missing->done());
+  EXPECT_TRUE(missing->reply().status.IsNotFound());
+
+  auto good = tier.Submit(MakeRequest(1));
+  EXPECT_FALSE(good->done());
+  ASSERT_TRUE(tier.PumpOnce());
+  EXPECT_TRUE(good->reply().status.ok());
+}
+
+// Concurrent clients through worker threads: correctness under TSan (ctest
+// label `serve` runs in the tsan-concurrency preset).
+TEST_F(ServingTest, ConcurrentClientsGetCorrectResults) {
+  OpenDb();
+  ServeOptions serve_options;
+  serve_options.worker_threads = 3;
+  serve_options.max_in_flight = 1024;
+  serve_options.max_batch_width = 8;
+  ServingTier tier(db_.get(), serve_options);
+
+  constexpr int kThreads = 4;
+  constexpr int kQueries = 24;
+  std::vector<std::thread> clients;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([this, &tier, &failures, t] {
+      for (int q = 0; q < kQueries; ++q) {
+        const float target = static_cast<float>((t * kQueries + q) % kRows);
+        SearchReply reply =
+            tier.Search(MakeRequest(target, "tenant" + std::to_string(t % 2)));
+        if (!reply.status.ok() || reply.hits.empty() ||
+            reply.hits[0].id != static_cast<RowId>(target) ||
+            reply.batch_width < 1) {
+          ++failures[t];
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0) << t;
+  EXPECT_EQ(tier.in_flight(), 0u);
+}
+
+// ----- SDK + REST surfaces --------------------------------------------------
+
+TEST_F(ServingTest, SdkRoutesThroughServingTier) {
+  OpenDb();
+  ServeOptions serve_options;
+  serve_options.worker_threads = 2;
+  ServingTier tier(db_.get(), serve_options);
+  api::Client client(db_.get(), &tier);
+
+  auto outcome =
+      client.Search("items").Field("v").Tenant("app").TopK(3).Run({7, 0, 0, 0});
+  ASSERT_TRUE(outcome.ok()) << outcome.status.ToString();
+  ASSERT_EQ(outcome.rows.size(), 3u);
+  EXPECT_EQ(outcome.rows[0].id, 7);
+  EXPECT_GE(outcome.batch_width, 1u);  // Served through the batch path.
+}
+
+TEST_F(ServingTest, SdkSurfacesBackpressure) {
+  OpenDb();
+  ServeOptions serve_options;
+  serve_options.worker_threads = 2;
+  serve_options.max_in_flight = 0;  // Every submission rejects.
+  ServingTier tier(db_.get(), serve_options);
+  api::Client client(db_.get(), &tier);
+
+  auto outcome = client.Search("items").Field("v").TopK(3).Run({7, 0, 0, 0});
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_TRUE(outcome.status.IsResourceExhausted());
+  EXPECT_GT(outcome.retry_after_seconds, 0.0);
+}
+
+TEST_F(ServingTest, RestSearchAnswers429WithRetryAfter) {
+  OpenDb();
+  ServeOptions serve_options;
+  serve_options.worker_threads = 2;
+  serve_options.max_in_flight = 0;  // Every submission rejects.
+  ServingTier tier(db_.get(), serve_options);
+  api::RestHandler handler(db_.get());
+  handler.set_serving(&tier);
+
+  auto response =
+      handler.Handle("POST", "/v1/collections/items/search",
+                     R"({"vector": [1, 0, 0, 0], "tenant": "web"})");
+  EXPECT_EQ(response.status, 429);
+  const api::Json& error = response.body["error"];
+  EXPECT_EQ(error["code"].as_string(), "ResourceExhausted");
+  EXPECT_TRUE(error["retryable"].as_bool());
+  EXPECT_GT(error["retry_after_seconds"].as_number(), 0.0);
+  ASSERT_EQ(response.headers.size(), 1u);
+  EXPECT_EQ(response.headers[0].first, "Retry-After");
+  EXPECT_GE(std::stoi(response.headers[0].second), 1);
+}
+
+TEST_F(ServingTest, RestSearchServesThroughTier) {
+  OpenDb();
+  ServeOptions serve_options;
+  serve_options.worker_threads = 2;
+  ServingTier tier(db_.get(), serve_options);
+  api::RestHandler handler(db_.get());
+  handler.set_serving(&tier);
+
+  auto response = handler.Handle("POST", "/v1/collections/items/search",
+                                 R"({"vector": [5, 0, 0, 0], "k": 2})");
+  ASSERT_EQ(response.status, 200) << response.body.Dump();
+  ASSERT_GE(response.body["hits"].size(), 1u);
+  EXPECT_EQ(response.body["hits"].at(0)["id"].as_number(), 5.0);
+  EXPECT_GE(response.body["stats"]["batch_width"].as_number(), 1.0);
+}
+
+TEST_F(ServingTest, ServeMetricsExposed) {
+  OpenDb();
+  ServeOptions serve_options;
+  serve_options.worker_threads = 0;
+  ServingTier tier(db_.get(), serve_options);
+  (void)tier.Submit(MakeRequest(1));
+  while (tier.PumpOnce()) {
+  }
+  api::RestHandler handler(db_.get());
+  auto metrics = handler.Handle("GET", "/v1/metrics", "");
+  EXPECT_NE(metrics.text.find("vdb_serve_submitted_total"), std::string::npos);
+  EXPECT_NE(metrics.text.find("vdb_serve_batches_total"), std::string::npos);
+  EXPECT_NE(metrics.text.find("vdb_serve_queue_depth"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace vectordb

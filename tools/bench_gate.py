@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Benchmark regression gate (kernel + chaos + storage schemas).
+"""Benchmark regression gate (kernel + chaos + storage + serving schemas).
 
 Kernel mode (schema vdb-kernel-bench-v1): compares a fresh kernel-bench run
 (bench/kernel_bench --quick) against the committed baseline
@@ -26,10 +26,21 @@ than --reduction-drop below the committed baseline. Timings (qps, cold-start
 latency) are recorded for the trajectory but not gated — they vary across
 machines.
 
+Serving mode (schema vdb-serving-bench-v1): batched execution must be
+exact (wrong_results is zero-tolerance — every reply is cross-checked
+against per-query execution), closed-loop clients must never be rejected
+(they cannot exceed the admission budget by construction), batching must
+actually engage at the highest client count, and throughput scaling from
+1 to 64 clients may not fall more than --scaling-drop below the committed
+baseline nor under an absolute floor. Raw QPS and latency are recorded
+for the trajectory but not gated — they vary across machines; the scaling
+ratio is same-machine normalized.
+
 Usage:
   bench_gate.py --baseline BENCH_kernels.json --current fresh.json
   bench_gate.py --baseline BENCH_chaos.json --current fresh_chaos.json
   bench_gate.py --baseline BENCH_storage.json --current fresh_storage.json
+  bench_gate.py --baseline BENCH_serving.json --current fresh_serving.json
   bench_gate.py --self-test
 """
 
@@ -59,11 +70,21 @@ DEFAULT_REDUCTION_DROP = 0.05
 # paying for itself.
 STORAGE_MAX_V2_RATIO = 0.95
 
+SERVING_SCHEMA = "vdb-serving-bench-v1"
+DEFAULT_SCALING_DROP = 0.5
+# Concurrency must never make the serving tier slower than a lone client
+# by more than this floor, regardless of the baseline.
+SERVING_MIN_SCALING = 0.8
+# At the highest client count the coalescer must actually batch: a mean
+# width this low means queries are executing one by one.
+SERVING_MIN_PEAK_BATCH_WIDTH = 2.0
+
 
 def load_doc(path):
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
-    if doc.get("schema") not in (KERNEL_SCHEMA, CHAOS_SCHEMA, STORAGE_SCHEMA):
+    known = (KERNEL_SCHEMA, CHAOS_SCHEMA, STORAGE_SCHEMA, SERVING_SCHEMA)
+    if doc.get("schema") not in known:
         raise ValueError(f"{path}: unexpected schema {doc.get('schema')!r}")
     return doc
 
@@ -192,8 +213,68 @@ def run_storage_gate(baseline_doc, current_doc, max_reduction_drop):
     return 0
 
 
+def serving_compare(baseline_doc, current_doc, max_scaling_drop):
+    """Returns a list of failure strings for a serving-bench pair."""
+    failures = []
+    wrong = current_doc.get("wrong_results")
+    if wrong is None:
+        failures.append("current run is missing required field 'wrong_results'")
+    elif int(wrong) != 0:
+        failures.append(f"wrong_results = {wrong} (must be 0: batched "
+                        f"execution diverged from per-query execution)")
+    levels = current_doc.get("levels") or []
+    if not levels:
+        failures.append("current run has no per-client-count levels")
+        return failures
+    rejected = sum(int(level.get("rejected", 0)) for level in levels)
+    if rejected != 0:
+        failures.append(
+            f"rejected = {rejected} (closed-loop clients cannot legally "
+            f"exceed the admission budget)"
+        )
+    peak = max(levels, key=lambda level: int(level.get("clients", 0)))
+    width = float(peak.get("mean_batch_width", 0.0))
+    if width < SERVING_MIN_PEAK_BATCH_WIDTH:
+        failures.append(
+            f"mean_batch_width {width:.2f} at {peak.get('clients')} clients "
+            f"< {SERVING_MIN_PEAK_BATCH_WIDTH}: coalescing stopped engaging"
+        )
+    base = float(baseline_doc.get("scaling_1_to_64", 0.0))
+    cur = float(current_doc.get("scaling_1_to_64", 0.0))
+    if cur < SERVING_MIN_SCALING:
+        failures.append(
+            f"scaling_1_to_64 {cur:.2f} < absolute floor "
+            f"{SERVING_MIN_SCALING:.2f}: concurrency makes serving slower "
+            f"than a lone client"
+        )
+    elif cur < base - max_scaling_drop:
+        failures.append(
+            f"scaling_1_to_64 {cur:.2f} < baseline {base:.2f} - "
+            f"{max_scaling_drop:.2f} allowed drop"
+        )
+    return failures
+
+
+def run_serving_gate(baseline_doc, current_doc, max_scaling_drop):
+    failures = serving_compare(baseline_doc, current_doc, max_scaling_drop)
+    if failures:
+        print(
+            f"bench_gate: serving run failed {len(failures)} check(s):",
+            file=sys.stderr,
+        )
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(
+        "bench_gate: OK (batched serving exact, scaling_1_to_64 "
+        f"{float(current_doc['scaling_1_to_64']):.2f})"
+    )
+    return 0
+
+
 def run_gate(baseline_path, current_path, threshold, availability_drop,
-             reduction_drop=DEFAULT_REDUCTION_DROP):
+             reduction_drop=DEFAULT_REDUCTION_DROP,
+             scaling_drop=DEFAULT_SCALING_DROP):
     baseline_doc = load_doc(baseline_path)
     current_doc = load_doc(current_path)
     if baseline_doc["schema"] != current_doc["schema"]:
@@ -207,6 +288,8 @@ def run_gate(baseline_path, current_path, threshold, availability_drop,
         return run_chaos_gate(baseline_doc, current_doc, availability_drop)
     if baseline_doc["schema"] == STORAGE_SCHEMA:
         return run_storage_gate(baseline_doc, current_doc, reduction_drop)
+    if baseline_doc["schema"] == SERVING_SCHEMA:
+        return run_serving_gate(baseline_doc, current_doc, scaling_drop)
 
     baseline = index_rows(baseline_doc["results"])
     current = index_rows(current_doc["results"])
@@ -352,10 +435,72 @@ def self_test_storage():
     print("bench_gate: storage self-test OK")
 
 
+def self_test_serving():
+    def serving_doc(**overrides):
+        doc = {
+            "schema": SERVING_SCHEMA,
+            "wrong_results": 0,
+            "scaling_1_to_64": 1.4,
+            "levels": [
+                {"clients": 1, "rejected": 0, "mean_batch_width": 1.0},
+                {"clients": 64, "rejected": 0, "mean_batch_width": 12.0},
+                {"clients": 512, "rejected": 0, "mean_batch_width": 30.0},
+            ],
+        }
+        doc.update(overrides)
+        return doc
+
+    # Clean run vs clean baseline passes, including a small scaling dip.
+    assert not serving_compare(serving_doc(), serving_doc(), 0.5)
+    assert not serving_compare(
+        serving_doc(), serving_doc(scaling_1_to_64=1.0), 0.5
+    )
+
+    # Any batched result diverging from per-query execution fails outright.
+    failures = serving_compare(
+        serving_doc(), serving_doc(wrong_results=3), 0.5
+    )
+    assert len(failures) == 1 and "wrong_results" in failures[0], failures
+
+    # Dropping the invariant field entirely must not pass silently.
+    missing = serving_doc()
+    del missing["wrong_results"]
+    failures = serving_compare(serving_doc(), missing, 0.5)
+    assert len(failures) == 1 and "wrong_results" in failures[0], failures
+
+    # Closed-loop clients can never legally be rejected.
+    bad = serving_doc()
+    bad["levels"][1]["rejected"] = 2
+    failures = serving_compare(serving_doc(), bad, 0.5)
+    assert len(failures) == 1 and "rejected" in failures[0], failures
+
+    # Coalescing must engage at the highest client count.
+    flat = serving_doc()
+    flat["levels"][2]["mean_batch_width"] = 1.0
+    failures = serving_compare(serving_doc(), flat, 0.5)
+    assert len(failures) == 1 and "coalescing" in failures[0], failures
+
+    # Scaling below the absolute floor fails even with a forgiving baseline.
+    failures = serving_compare(
+        serving_doc(scaling_1_to_64=0.9), serving_doc(scaling_1_to_64=0.5),
+        0.5,
+    )
+    assert len(failures) == 1 and "absolute floor" in failures[0], failures
+
+    # Scaling shrinking past the allowed drop vs baseline fails.
+    failures = serving_compare(
+        serving_doc(scaling_1_to_64=2.0), serving_doc(scaling_1_to_64=1.2),
+        0.5,
+    )
+    assert len(failures) == 1 and "baseline" in failures[0], failures
+    print("bench_gate: serving self-test OK")
+
+
 SELF_TESTS = {
     "kernel": self_test_kernel,
     "chaos": self_test_chaos,
     "storage": self_test_storage,
+    "serving": self_test_serving,
 }
 
 
@@ -394,10 +539,17 @@ def main():
         "baseline (default 0.05)",
     )
     parser.add_argument(
+        "--scaling-drop",
+        type=float,
+        default=DEFAULT_SCALING_DROP,
+        help="serving mode: max absolute scaling_1_to_64 drop vs baseline "
+        "(default 0.5)",
+    )
+    parser.add_argument(
         "--self-test",
         nargs="?",
         const="all",
-        choices=["all", "kernel", "chaos", "storage"],
+        choices=["all", "kernel", "chaos", "storage", "serving"],
         help="run built-in unit checks for one gate mode (or all) and exit",
     )
     args = parser.parse_args()
@@ -407,7 +559,8 @@ def main():
     if not args.baseline or not args.current:
         parser.error("--baseline and --current are required")
     return run_gate(args.baseline, args.current, args.threshold,
-                    args.availability_drop, args.reduction_drop)
+                    args.availability_drop, args.reduction_drop,
+                    args.scaling_drop)
 
 
 if __name__ == "__main__":

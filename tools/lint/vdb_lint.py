@@ -93,7 +93,7 @@ ATOMIC_ALLOWLIST = {
 
 # Keep in sync with kSubsystems in src/obs/metrics.cc.
 METRIC_SUBSYSTEMS = ("exec", "storage", "gpusim", "dist", "db", "api", "obs",
-                     "index")
+                     "index", "serve")
 
 NAKED_MUTEX_RE = re.compile(
     r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|lock_guard|"
